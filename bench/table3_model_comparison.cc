@@ -1,0 +1,67 @@
+// Reproduces Table III + Figure 2: LLaMA2-7B vs Phi-2 as MultiCast (VI)
+// back-ends on the Gas Rate dataset. The paper finds LLaMA2 roughly 2x
+// more accurate on both dimensions; the simulated profiles reproduce
+// that ordering (see DESIGN.md for the substitution).
+
+#include "bench/bench_common.h"
+
+namespace multicast {
+namespace bench {
+namespace {
+
+// Paper Table III (rows: LLaMA2, Phi-2; columns: GasRate, CO2).
+const std::vector<std::vector<double>> kPaperRmse = {{1.154, 2.71},
+                                                     {2.106, 4.676}};
+
+void Run() {
+  ts::Split split = LoadSplit("GasRate");
+
+  forecast::MultiCastOptions base =
+      DefaultMultiCast(multiplex::MuxKind::kValueInterleave);
+
+  forecast::MultiCastOptions llama = base;
+  llama.profile = lm::ModelProfile::Llama2_7B();
+  forecast::MultiCastForecaster llama_f(llama);
+
+  forecast::MultiCastOptions phi = base;
+  phi.profile = lm::ModelProfile::Phi2();
+  forecast::MultiCastForecaster phi_f(phi);
+
+  std::vector<eval::MethodRun> runs;
+  runs.push_back(OrDie(eval::RunMethod(&llama_f, split), "llama"));
+  runs.back().method = "MultiCast (LLaMA2 / 7B sim)";
+  runs.push_back(OrDie(eval::RunMethod(&phi_f, split), "phi"));
+  runs.back().method = "MultiCast (Phi-2 / 2.7B sim)";
+
+  Banner("Table III: LLM model comparison (Gas Rate, VI, 5 samples)");
+  std::fputs(eval::RenderRmseTable("", DimNames(split.test), runs,
+                                   kPaperRmse)
+                 .c_str(),
+             stdout);
+  PrintCosts(runs);
+
+  double ratio0 = runs[1].rmse_per_dim[0] / runs[0].rmse_per_dim[0];
+  double ratio1 = runs[1].rmse_per_dim[1] / runs[0].rmse_per_dim[1];
+  std::printf(
+      "\nShape check: Phi-2-sim / LLaMA2-sim RMSE ratio = %.2f (GasRate), "
+      "%.2f (CO2); paper reports 1.83 and 1.73.\n",
+      ratio0, ratio1);
+
+  Banner("Figure 2a: forecast with the stronger back-end (GasRate dim)");
+  std::fputs(
+      eval::RenderForecastFigure("LLaMA2-sim", split, 0, runs[0]).c_str(),
+      stdout);
+  Banner("Figure 2b: forecast with the weaker back-end (GasRate dim)");
+  std::fputs(
+      eval::RenderForecastFigure("Phi-2-sim", split, 0, runs[1]).c_str(),
+      stdout);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace multicast
+
+int main() {
+  multicast::bench::Run();
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Reproduces Table VIII + Figures 6 and 8: MultiCast SAX (alphabetical
+// and digital) on the CO2 dimension of Gas Rate for SAX segment lengths
+// 3, 6 and 9, against the non-quantized MultiCast. The paper's headline
+// shape: SAX is more than an order of magnitude cheaper while somewhat
+// less accurate.
+
+#include <algorithm>
+
+#include "bench/bench_common.h"
+
+namespace multicast {
+namespace bench {
+namespace {
+
+struct Cell {
+  double rmse = 0.0;
+  double seconds = 0.0;
+  size_t tokens = 0;
+  eval::MethodRun run;
+};
+
+const int kSegments[] = {3, 6, 9};
+
+// Paper Table VIII: RMSE / seconds for alphabetical and digital SAX at
+// segment lengths {3, 6, 9}, plus non-quantized MultiCast.
+const double kPaperAlpha[3][2] = {{1.089, 148}, {0.983, 77}, {0.888, 54}};
+const double kPaperDigit[3][2] = {{0.992, 156}, {0.99, 71}, {0.912, 52}};
+const double kPaperRaw[2] = {0.781, 1168};
+
+void Run() {
+  ts::Split split = LoadSplit("GasRate");
+  // VI at the Table II defaults is the non-quantized reference (our
+  // best-performing variant on the CO2 dimension, matching how the
+  // paper quotes a single "MultiCast" row); the SAX sweeps enable
+  // quantization on the same pipeline.
+  forecast::MultiCastForecaster raw(
+      DefaultMultiCast(multiplex::MuxKind::kValueInterleave));
+  eval::MethodRun raw_run = OrDie(eval::RunMethod(&raw, split), "raw");
+
+  auto sweep = [&](forecast::Quantization q) {
+    std::vector<Cell> cells;
+    for (int seg : kSegments) {
+      forecast::MultiCastOptions opts =
+          DefaultMultiCast(multiplex::MuxKind::kValueInterleave);
+      opts.quantization = q;
+      opts.sax_segment_length = seg;
+      opts.sax_alphabet_size = 5;
+      forecast::MultiCastForecaster f(opts);
+      eval::MethodRun run = OrDie(eval::RunMethod(&f, split), "sax");
+      cells.push_back(
+          {run.rmse_per_dim[1], run.seconds, run.ledger.total(), run});
+    }
+    return cells;
+  };
+  std::vector<Cell> alpha = sweep(forecast::Quantization::kSaxAlphabetic);
+  std::vector<Cell> digit = sweep(forecast::Quantization::kSaxDigital);
+
+  Banner("Table VIII: increasing SAX segment length (CO2 dimension)");
+  TextTable table({"Method", "3", "6", "9"});
+  auto add_rows = [&](const char* name, const std::vector<Cell>& cells,
+                      const double paper[3][2]) {
+    std::vector<std::string> rmse_row = {name};
+    std::vector<std::string> cost_row = {"  (cost)"};
+    for (int i = 0; i < 3; ++i) {
+      rmse_row.push_back(StrFormat("%s (paper %s)",
+                                   FormatDouble(cells[i].rmse).c_str(),
+                                   FormatDouble(paper[i][0]).c_str()));
+      cost_row.push_back(StrFormat("%.2fs / %zu tok (paper %.0f sec)",
+                                   cells[i].seconds, cells[i].tokens,
+                                   paper[i][1]));
+    }
+    table.AddRow(rmse_row);
+    table.AddRow(cost_row);
+  };
+  add_rows("MultiCast SAX (alphabetical)", alpha, kPaperAlpha);
+  add_rows("MultiCast SAX (digital)", digit, kPaperDigit);
+  table.AddRow({"MultiCast (no quantization)",
+                StrFormat("%s (paper %s)",
+                          FormatDouble(raw_run.rmse_per_dim[1]).c_str(),
+                          FormatDouble(kPaperRaw[0]).c_str()),
+                StrFormat("%.2fs / %zu tok (paper %.0f sec)",
+                          raw_run.seconds, raw_run.ledger.total(),
+                          kPaperRaw[1]),
+                ""});
+  table.Print();
+
+  std::printf(
+      "\nShape checks:\n"
+      "  token cost, raw vs best SAX: %zu vs %zu (%.1fx; paper: 1168s vs "
+      "52s, >20x)\n"
+      "  cost shrinks monotonically with segment length: %zu > %zu > %zu\n"
+      "  raw RMSE %.3f vs best SAX RMSE %.3f — the paper reports raw as "
+      "more accurate; with a weaker pattern model the single-symbol SAX "
+      "stream can invert this, since one token per timestamp is easier "
+      "to continue (the effect Sec. IV-E itself anticipates)\n"
+      "  alphabetical == digital RMSE here is exact, not a coincidence: "
+      "the simulated LM is symbol-agnostic, so the paper's alphabetical/"
+      "digital gap must come from a real LLM's tokenizer asymmetries\n",
+      raw_run.ledger.total(), digit[2].tokens,
+      static_cast<double>(raw_run.ledger.total()) /
+          static_cast<double>(digit[2].tokens),
+      alpha[0].tokens, alpha[1].tokens, alpha[2].tokens,
+      raw_run.rmse_per_dim[1],
+      std::min({alpha[0].rmse, alpha[1].rmse, alpha[2].rmse}));
+
+  Banner("Figure 6: forecasts for SAX segment lengths 3 / 6 / 9 (CO2)");
+  const char* fig6[] = {"Fig. 6a (3 segments)", "Fig. 6b (6 segments)",
+                        "Fig. 6c (9 segments)"};
+  for (int i = 0; i < 3; ++i) {
+    std::fputs(
+        eval::RenderForecastFigure(fig6[i], split, 1, alpha[i].run).c_str(),
+        stdout);
+  }
+
+  Banner("Figure 8: digital SAX symbols (CO2), segment length 6");
+  std::fputs(
+      eval::RenderForecastFigure("digital SAX", split, 1, digit[1].run)
+          .c_str(),
+      stdout);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace multicast
+
+int main() {
+  multicast::bench::Run();
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Transformer-monitoring scenario: forecast oil temperature (OT) from a
+// CSV export, comparing the zero-shot LLM pipeline against tuned
+// classical baselines.
+//
+// OT is the ETDataset's regression target: operators forecast it to
+// schedule load. This example walks the full real-data path — write the
+// feed to CSV, reload it with the library's loader (exactly what a user
+// with the actual ETT files would do), then compare MultiCast with
+// ARIMA (AIC-tuned) and an LSTM, reporting accuracy and cost.
+//
+// Build & run:  ./build/examples/energy_monitor
+
+#include <cstdio>
+
+#include "baselines/arima.h"
+#include "baselines/lstm.h"
+#include "data/datasets.h"
+#include "eval/experiment.h"
+#include "eval/report.h"
+#include "forecast/multicast_forecaster.h"
+#include "ts/split.h"
+#include "util/csv.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace multicast;
+
+  // 1. Export the feed to CSV and reload through the real-data path.
+  ts::Frame generated = data::MakeElectricity().ValueOrDie();
+  std::string path = "/tmp/multicast_energy_feed.csv";
+  Status io = WriteCsvFile(generated.ToCsv(), path);
+  if (!io.ok()) {
+    std::fprintf(stderr, "CSV write failed: %s\n", io.ToString().c_str());
+    return 1;
+  }
+  ts::Frame frame =
+      data::LoadCsvDataset(path, "Electricity").ValueOrDie();
+  std::printf("Loaded %zu x %zu feed from %s\n", frame.num_dims(),
+              frame.length(), path.c_str());
+
+  // 2. Hold out the final month (10 samples at 3-day resolution).
+  ts::Split split = ts::SplitHorizon(frame, 10).ValueOrDie();
+  size_t ot = frame.DimIndex("OT").ValueOrDie();
+
+  // 3. Contenders. ARIMA auto-tunes orders per dimension via AIC; the
+  //    LSTM uses the paper's grid-search configuration; MultiCast is
+  //    zero-shot — no tuning at all.
+  forecast::MultiCastOptions mc;
+  mc.mux = multiplex::MuxKind::kValueConcat;
+  mc.num_samples = 5;
+  forecast::MultiCastForecaster multicast_f(mc);
+
+  baselines::ArimaOptions arima_opts;
+  arima_opts.auto_select = true;
+  baselines::ArimaForecaster arima_f(arima_opts);
+
+  baselines::LstmOptions lstm_opts;
+  lstm_opts.hidden_units = 128;
+  lstm_opts.dropout = 0.2;
+  lstm_opts.epochs = 30;
+  baselines::LstmForecaster lstm_f(lstm_opts);
+
+  auto runs = eval::RunMethods({&multicast_f, &arima_f, &lstm_f}, split)
+                  .ValueOrDie();
+
+  // 4. Report.
+  TextTable table({"Method", "OT RMSE", "tuning required", "tokens",
+                   "seconds"});
+  const char* tuning[] = {"none (zero-shot)", "AIC grid search",
+                          "grid-searched architecture, 30 epochs"};
+  for (size_t m = 0; m < runs.size(); ++m) {
+    table.AddRow({runs[m].method,
+                  StrFormat("%.3f", runs[m].rmse_per_dim[ot]), tuning[m],
+                  StrFormat("%zu", runs[m].ledger.total()),
+                  StrFormat("%.3f", runs[m].seconds)});
+  }
+  table.Print();
+
+  std::printf("\n");
+  std::fputs(eval::RenderForecastFigure("Oil temperature, next month",
+                                        split, ot, runs[0])
+                 .c_str(),
+             stdout);
+
+  std::printf(
+      "\nThe zero-shot pipeline needs no training loop and no parameter "
+      "search — the trade the paper's conclusion highlights — at the "
+      "price of the token budget above.\n");
+  std::remove(path.c_str());
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Quickstart: zero-shot multivariate forecasting in ~20 lines.
+//
+// Loads the 2-dimensional Gas Rate dataset, holds out the last 24
+// steps, forecasts them with MultiCast (value-interleaving), and prints
+// the per-dimension RMSE plus a terminal overlay of the result.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "data/datasets.h"
+#include "eval/experiment.h"
+#include "eval/report.h"
+#include "forecast/multicast_forecaster.h"
+#include "ts/split.h"
+
+int main() {
+  using namespace multicast;
+
+  // 1. A multivariate series (any ts::Frame works; see LoadCsvDataset
+  //    for bringing your own data).
+  ts::Frame frame = data::MakeGasRate().ValueOrDie();
+
+  // 2. Hold out a horizon to score against.
+  ts::Split split = ts::SplitHorizon(frame, 24).ValueOrDie();
+
+  // 3. Configure MultiCast: multiplexing scheme, digit budget, number
+  //    of samples, and the simulated LLM back-end.
+  forecast::MultiCastOptions options;
+  options.mux = multiplex::MuxKind::kValueInterleave;
+  options.digits = 2;
+  options.num_samples = 5;
+  forecast::MultiCastForecaster forecaster(options);
+
+  // 4. Forecast and score.
+  eval::MethodRun run =
+      eval::RunMethod(&forecaster, split).ValueOrDie();
+  for (size_t d = 0; d < split.test.num_dims(); ++d) {
+    std::printf("RMSE %-8s = %.3f\n", split.test.dim(d).name().c_str(),
+                run.rmse_per_dim[d]);
+  }
+  std::printf("LLM cost: %zu prompt + %zu generated tokens in %.3fs\n\n",
+              run.ledger.prompt_tokens, run.ledger.generated_tokens,
+              run.seconds);
+
+  // 5. Visualize.
+  std::fputs(eval::RenderForecastFigure("Gas Rate: CO2 dimension", split,
+                                        1, run)
+                 .c_str(),
+             stdout);
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Weather-station scenario: pick the right multiplexing scheme and
+// decide whether SAX compression is worth it.
+//
+// The paper's Sec. IV-C takeaway is that the optimal multiplexer
+// differs per dimension and dataset. A practitioner with a new feed
+// should therefore (1) backtest all three schemes on held-out history,
+// (2) deploy the winner per target dimension, and (3) check what SAX
+// quantization would save if the model is billed per token. This
+// example does exactly that on the 4-dimensional weather dataset.
+//
+// Build & run:  ./build/examples/weather_station
+
+#include <cstdio>
+
+#include "data/datasets.h"
+#include "eval/experiment.h"
+#include "eval/report.h"
+#include "forecast/multicast_forecaster.h"
+#include "ts/split.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace multicast;
+
+  ts::Frame frame = data::MakeWeather().ValueOrDie();
+  // Backtest window: last 32 samples of history.
+  ts::Split split = ts::SplitHorizon(frame, 32).ValueOrDie();
+
+  std::printf("Backtesting multiplexing schemes on %zu-dim weather feed "
+              "(%zu train, %zu test)...\n\n",
+              frame.num_dims(), split.train.length(), split.test.length());
+
+  // 1. Score all three schemes.
+  std::vector<eval::MethodRun> runs;
+  for (auto mux : {multiplex::MuxKind::kDigitInterleave,
+                   multiplex::MuxKind::kValueInterleave,
+                   multiplex::MuxKind::kValueConcat}) {
+    forecast::MultiCastOptions options;
+    options.mux = mux;
+    options.num_samples = 5;
+    forecast::MultiCastForecaster f(options);
+    runs.push_back(eval::RunMethod(&f, split).ValueOrDie());
+  }
+
+  std::vector<std::string> dim_names;
+  for (size_t d = 0; d < frame.num_dims(); ++d) {
+    dim_names.push_back(frame.dim(d).name());
+  }
+  std::fputs(eval::RenderRmseTable("Scheme backtest (RMSE, * = best)",
+                                   dim_names, runs)
+                 .c_str(),
+             stdout);
+
+  // 2. Deployment recommendation per dimension.
+  std::printf("\nRecommended scheme per dimension:\n");
+  for (size_t d = 0; d < frame.num_dims(); ++d) {
+    size_t best = 0;
+    for (size_t m = 1; m < runs.size(); ++m) {
+      if (runs[m].rmse_per_dim[d] < runs[best].rmse_per_dim[d]) best = m;
+    }
+    std::printf("  %-6s -> %s (RMSE %.3f)\n", dim_names[d].c_str(),
+                runs[best].method.c_str(), runs[best].rmse_per_dim[d]);
+  }
+
+  // 3. What would SAX save? Same forecast with one symbol per segment.
+  forecast::MultiCastOptions sax_options;
+  sax_options.mux = multiplex::MuxKind::kValueInterleave;
+  sax_options.quantization = forecast::Quantization::kSaxDigital;
+  sax_options.sax_segment_length = 6;
+  sax_options.sax_alphabet_size = 5;
+  sax_options.num_samples = 5;
+  forecast::MultiCastForecaster sax_f(sax_options);
+  eval::MethodRun sax_run = eval::RunMethod(&sax_f, split).ValueOrDie();
+
+  const eval::MethodRun& raw_vi = runs[1];
+  TextTable tradeoff({"Pipeline", "mean RMSE", "tokens", "seconds"});
+  auto mean_rmse = [](const eval::MethodRun& run) {
+    double sum = 0.0;
+    for (double v : run.rmse_per_dim) sum += v;
+    return sum / static_cast<double>(run.rmse_per_dim.size());
+  };
+  tradeoff.AddRow({"raw (b = 2 digits)", StrFormat("%.3f", mean_rmse(raw_vi)),
+                   StrFormat("%zu", raw_vi.ledger.total()),
+                   StrFormat("%.3f", raw_vi.seconds)});
+  tradeoff.AddRow({"SAX (digital, w = 6)",
+                   StrFormat("%.3f", mean_rmse(sax_run)),
+                   StrFormat("%zu", sax_run.ledger.total()),
+                   StrFormat("%.3f", sax_run.seconds)});
+  std::printf("\n");
+  tradeoff.Print();
+  std::printf(
+      "\nSAX cuts the token bill %.0fx; if the feed is billed per token "
+      "and the accuracy above is acceptable, deploy the quantized "
+      "pipeline.\n",
+      static_cast<double>(raw_vi.ledger.total()) /
+          static_cast<double>(sax_run.ledger.total()));
+  return 0;
+}

@@ -1,0 +1,287 @@
+#include "baselines/arima.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/linalg.h"
+#include "ts/stats.h"
+#include "ts/transforms.h"
+#include "util/strings.h"
+#include "util/timer.h"
+
+namespace multicast {
+namespace baselines {
+
+namespace {
+
+// Residuals of an ARMA(p, q) fit on the demeaned series `z`, computed by
+// the defining recursion with pre-sample innovations set to zero.
+std::vector<double> ArmaResiduals(const std::vector<double>& z,
+                                  const std::vector<double>& phi,
+                                  const std::vector<double>& theta) {
+  std::vector<double> e(z.size(), 0.0);
+  for (size_t t = 0; t < z.size(); ++t) {
+    double pred = 0.0;
+    for (size_t i = 0; i < phi.size(); ++i) {
+      if (t >= i + 1) pred += phi[i] * z[t - i - 1];
+    }
+    for (size_t j = 0; j < theta.size(); ++j) {
+      if (t >= j + 1) pred += theta[j] * e[t - j - 1];
+    }
+    e[t] = z[t] - pred;
+  }
+  return e;
+}
+
+// One OLS pass of the Hannan–Rissanen stage-2 regression: z_t on its p
+// lags and the q lagged innovation estimates `e`.
+Result<std::pair<std::vector<double>, std::vector<double>>> RegressArma(
+    const std::vector<double>& z, const std::vector<double>& e, int p,
+    int q) {
+  size_t start = static_cast<size_t>(std::max(p, q));
+  size_t rows = z.size() - start;
+  size_t cols = static_cast<size_t>(p + q);
+  if (cols == 0) {
+    return std::make_pair(std::vector<double>(), std::vector<double>());
+  }
+  if (rows < cols + 2) {
+    return Status::InvalidArgument(
+        StrFormat("series too short for ARMA(%d, %d): %zu usable rows", p, q,
+                  rows));
+  }
+  Matrix x(rows, cols);
+  std::vector<double> y(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    size_t t = start + r;
+    y[r] = z[t];
+    for (int i = 0; i < p; ++i) {
+      x.at(r, static_cast<size_t>(i)) = z[t - static_cast<size_t>(i) - 1];
+    }
+    for (int j = 0; j < q; ++j) {
+      x.at(r, static_cast<size_t>(p + j)) = e[t - static_cast<size_t>(j) - 1];
+    }
+  }
+  MC_ASSIGN_OR_RETURN(std::vector<double> beta, LeastSquares(x, y));
+  std::vector<double> phi(beta.begin(), beta.begin() + p);
+  std::vector<double> theta(beta.begin() + p, beta.end());
+  return std::make_pair(std::move(phi), std::move(theta));
+}
+
+}  // namespace
+
+namespace arima_internal {
+
+// Spectral radius of the AR companion matrix via power iteration. The
+// process is stationary iff all companion eigenvalues lie inside the
+// unit circle.
+double ArSpectralRadius(const std::vector<double>& phi) {
+  size_t p = phi.size();
+  if (p == 0) return 0.0;
+  if (p == 1) return std::fabs(phi[0]);
+  // Power iteration with per-step renormalization. A complex dominant
+  // eigenvalue pair makes single-step norm ratios oscillate, so the
+  // radius is taken as the geometric mean growth over the tail steps.
+  std::vector<double> v(p, 1.0 / std::sqrt(static_cast<double>(p)));
+  constexpr int kBurnIn = 100;
+  constexpr int kMeasure = 200;
+  double log_growth = 0.0;
+  for (int iter = 0; iter < kBurnIn + kMeasure; ++iter) {
+    std::vector<double> w(p, 0.0);
+    for (size_t j = 0; j < p; ++j) w[0] += phi[j] * v[j];
+    for (size_t j = 1; j < p; ++j) w[j] = v[j - 1];
+    double norm = 0.0;
+    for (double x : w) norm += x * x;
+    norm = std::sqrt(norm);
+    if (norm < 1e-300) return 0.0;
+    if (iter >= kBurnIn) log_growth += std::log(norm);
+    for (double& x : w) x /= norm;
+    v = std::move(w);
+  }
+  return std::exp(log_growth / kMeasure);
+}
+
+// OLS can return an explosive AR polynomial (e.g. when the series was
+// over-differenced); forecasting with it diverges. Shrink the lag-k
+// coefficient by s^k, which scales every root by 1/s, until the process
+// is safely stationary.
+void EnforceStationarity(std::vector<double>* phi) {
+  constexpr double kMaxRadius = 0.98;
+  double radius = ArSpectralRadius(*phi);
+  if (radius <= kMaxRadius) return;
+  double s = kMaxRadius / radius;
+  double factor = s;
+  for (double& coeff : *phi) {
+    coeff *= factor;
+    factor *= s;
+  }
+}
+
+}  // namespace arima_internal
+
+namespace {
+using arima_internal::EnforceStationarity;
+}  // namespace
+
+Result<ArimaModel> ArimaModel::Fit(const std::vector<double>& series,
+                                   const ArimaOptions& options) {
+  if (options.p < 0 || options.d < 0 || options.q < 0) {
+    return Status::InvalidArgument("ARIMA orders must be non-negative");
+  }
+  size_t min_len = static_cast<size_t>(options.d) +
+                   static_cast<size_t>(std::max(options.p, options.q)) * 3 +
+                   10;
+  if (series.size() < min_len) {
+    return Status::InvalidArgument(
+        StrFormat("series of length %zu too short for ARIMA(%d,%d,%d)",
+                  series.size(), options.p, options.d, options.q));
+  }
+
+  ArimaModel model;
+  model.p_ = options.p;
+  model.d_ = options.d;
+  model.q_ = options.q;
+
+  MC_ASSIGN_OR_RETURN(
+      std::vector<double> w,
+      ts::DifferenceWithHeads(series, options.d, &model.heads_));
+  model.intercept_ = ts::Mean(w);
+  std::vector<double> z;
+  z.reserve(w.size());
+  for (double v : w) z.push_back(v - model.intercept_);
+  model.diffed_ = z;
+
+  std::vector<double> e;
+  if (model.q_ > 0) {
+    // Stage 1: long autoregression to estimate the innovations.
+    int m = std::min<int>(
+        std::max(model.p_ + model.q_ + 2, 8),
+        static_cast<int>(z.size()) / 4);
+    m = std::max(m, 1);
+    MC_ASSIGN_OR_RETURN(auto ar_fit, RegressArma(z, /*e=*/{}, m, 0));
+    e = ArmaResiduals(z, ar_fit.first, {});
+  } else {
+    e.assign(z.size(), 0.0);
+  }
+
+  // Stage 2 (+ one refinement pass with updated innovations).
+  std::vector<double> phi, theta;
+  for (int pass = 0; pass < 2; ++pass) {
+    MC_ASSIGN_OR_RETURN(auto fit, RegressArma(z, e, model.p_, model.q_));
+    phi = std::move(fit.first);
+    theta = std::move(fit.second);
+    EnforceStationarity(&phi);
+    // MA invertibility uses the same root geometry (theta is the AR
+    // polynomial of the inverted process).
+    EnforceStationarity(&theta);
+    e = ArmaResiduals(z, phi, theta);
+    if (model.q_ == 0) break;  // nothing to refine without MA terms
+  }
+  model.phi_ = std::move(phi);
+  model.theta_ = std::move(theta);
+  model.residuals_ = std::move(e);
+
+  // Innovation variance over the post-burn-in residuals.
+  size_t burn = static_cast<size_t>(std::max(model.p_, model.q_));
+  size_t n_eff = model.residuals_.size() - burn;
+  double ss = 0.0;
+  for (size_t t = burn; t < model.residuals_.size(); ++t) {
+    ss += model.residuals_[t] * model.residuals_[t];
+  }
+  model.sigma2_ = std::max(ss / static_cast<double>(n_eff), 1e-12);
+  double k = static_cast<double>(model.p_ + model.q_ + 1);
+  model.aic_ = static_cast<double>(n_eff) * std::log(model.sigma2_) + 2.0 * k;
+  return model;
+}
+
+Result<ArimaModel> ArimaModel::FitAuto(const std::vector<double>& series,
+                                       const ArimaOptions& options) {
+  bool have_best = false;
+  ArimaModel best;
+  Status last_error = Status::OK();
+  for (int d = 0; d <= options.max_d; ++d) {
+    for (int p = 0; p <= options.max_p; ++p) {
+      for (int q = 0; q <= options.max_q; ++q) {
+        if (p == 0 && q == 0 && d == 0) continue;  // white noise, useless
+        ArimaOptions opt = options;
+        opt.p = p;
+        opt.d = d;
+        opt.q = q;
+        Result<ArimaModel> fit = Fit(series, opt);
+        if (!fit.ok()) {
+          last_error = fit.status();
+          continue;
+        }
+        // AICs across d are not strictly comparable (different n_eff and
+        // scale); following common practice we still grid over d but
+        // penalize each differencing pass slightly to prefer the simpler
+        // integration order on ties.
+        double score = fit.value().aic() + 2.0 * d;
+        if (!have_best || score < best.aic() + 2.0 * best.d()) {
+          best = std::move(fit).value();
+          have_best = true;
+        }
+      }
+    }
+  }
+  if (!have_best) {
+    return Status::FailedPrecondition("no ARIMA candidate fit: " +
+                                      last_error.ToString());
+  }
+  return best;
+}
+
+Result<std::vector<double>> ArimaModel::Forecast(size_t horizon) const {
+  if (horizon == 0) return Status::InvalidArgument("horizon must be >= 1");
+  std::vector<double> z = diffed_;
+  std::vector<double> e = residuals_;
+  std::vector<double> out_diffed;
+  out_diffed.reserve(horizon);
+  for (size_t h = 0; h < horizon; ++h) {
+    double pred = 0.0;
+    for (size_t i = 0; i < phi_.size(); ++i) {
+      if (z.size() >= i + 1) pred += phi_[i] * z[z.size() - i - 1];
+    }
+    for (size_t j = 0; j < theta_.size(); ++j) {
+      if (e.size() >= j + 1) pred += theta_[j] * e[e.size() - j - 1];
+    }
+    z.push_back(pred);
+    e.push_back(0.0);  // future innovations have zero expectation
+    out_diffed.push_back(pred + intercept_);
+  }
+
+  if (d_ == 0) return out_diffed;
+  // Splice the forecast onto the end of the differenced history and
+  // integrate the whole thing, then return the last `horizon` values.
+  std::vector<double> full;
+  full.reserve(diffed_.size() + horizon);
+  for (double v : diffed_) full.push_back(v + intercept_);
+  for (double v : out_diffed) full.push_back(v);
+  MC_ASSIGN_OR_RETURN(std::vector<double> integrated,
+                      ts::Undifference(full, heads_));
+  return std::vector<double>(integrated.end() - horizon, integrated.end());
+}
+
+Result<forecast::ForecastResult> ArimaForecaster::Forecast(
+    const ts::Frame& history, size_t horizon) {
+  Timer timer;
+  std::vector<ts::Series> out_dims;
+  for (size_t d = 0; d < history.num_dims(); ++d) {
+    const std::vector<double>& values = history.dim(d).values();
+    Result<ArimaModel> model = options_.auto_select
+                                   ? ArimaModel::FitAuto(values, options_)
+                                   : ArimaModel::Fit(values, options_);
+    MC_RETURN_IF_ERROR(model.status());
+    MC_ASSIGN_OR_RETURN(std::vector<double> fc,
+                        model.value().Forecast(horizon));
+    out_dims.emplace_back(std::move(fc), history.dim(d).name());
+  }
+  forecast::ForecastResult result;
+  MC_ASSIGN_OR_RETURN(result.forecast,
+                      ts::Frame::FromSeries(std::move(out_dims),
+                                            history.name()));
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace baselines
+}  // namespace multicast

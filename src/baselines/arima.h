@@ -1,0 +1,108 @@
+// ARIMA(p, d, q) forecasting (Box & Jenkins).
+//
+// The paper's strongest classical baseline. The three components map
+// directly onto the implementation:
+//   AR  — the current value is a linear function of its p past values,
+//   MA  — plus a linear function of the q past innovations,
+//   I   — after differencing the series d times to make it stationary.
+// Coefficients are estimated with the Hannan–Rissanen procedure: a long
+// autoregression first recovers innovation estimates, then one OLS
+// regression on lagged values and lagged innovations yields phi/theta,
+// iterated once for refinement. Forecasts substitute zero for future
+// innovations and integrate the differencing back out.
+
+#ifndef MULTICAST_BASELINES_ARIMA_H_
+#define MULTICAST_BASELINES_ARIMA_H_
+
+#include <string>
+#include <vector>
+
+#include "forecast/forecaster.h"
+#include "ts/series.h"
+#include "util/status.h"
+
+namespace multicast {
+namespace baselines {
+
+namespace arima_internal {
+
+/// Spectral radius of the companion matrix of the AR polynomial whose
+/// lag-k coefficient is phi[k-1] (sparse lags encoded as zeros). The
+/// process is stationary iff this is < 1.
+double ArSpectralRadius(const std::vector<double>& phi);
+
+/// Shrinks an explosive AR polynomial's roots into the unit circle by
+/// scaling the lag-k coefficient by s^k; no-op when already stationary.
+void EnforceStationarity(std::vector<double>* phi);
+
+}  // namespace arima_internal
+
+struct ArimaOptions {
+  int p = 2;  ///< autoregressive order
+  int d = 1;  ///< differencing order
+  int q = 1;  ///< moving-average order
+  /// When set, (p, d, q) are chosen per dimension by AIC grid search over
+  /// p <= max_p, d <= max_d, q <= max_q (the "expert knowledge" MultiCast
+  /// argues LLMs avoid).
+  bool auto_select = false;
+  int max_p = 5;
+  int max_d = 1;
+  int max_q = 2;
+};
+
+/// A fitted univariate ARIMA model.
+class ArimaModel {
+ public:
+  /// Estimates the model on `series` with fixed (p, d, q).
+  static Result<ArimaModel> Fit(const std::vector<double>& series,
+                                const ArimaOptions& options);
+
+  /// Fits all (p, d, q) in the option grid and keeps the lowest-AIC model.
+  static Result<ArimaModel> FitAuto(const std::vector<double>& series,
+                                    const ArimaOptions& options);
+
+  /// Forecasts `horizon` steps beyond the fitted series.
+  Result<std::vector<double>> Forecast(size_t horizon) const;
+
+  const std::vector<double>& phi() const { return phi_; }
+  const std::vector<double>& theta() const { return theta_; }
+  double intercept() const { return intercept_; }
+  double sigma2() const { return sigma2_; }
+  double aic() const { return aic_; }
+  int p() const { return p_; }
+  int d() const { return d_; }
+  int q() const { return q_; }
+
+ private:
+  ArimaModel() = default;
+
+  int p_ = 0, d_ = 0, q_ = 0;
+  std::vector<double> phi_;     // AR coefficients, phi_[0] is lag 1
+  std::vector<double> theta_;   // MA coefficients, theta_[0] is lag 1
+  double intercept_ = 0.0;
+  double sigma2_ = 0.0;         // innovation variance estimate
+  double aic_ = 0.0;
+  std::vector<double> diffed_;  // differenced training series
+  std::vector<double> heads_;   // per-pass heads for undifferencing
+  std::vector<double> residuals_;  // in-sample innovations
+};
+
+/// Forecaster adapter: fits an independent ARIMA per dimension, matching
+/// the paper's use of ARIMA as a univariate method.
+class ArimaForecaster final : public forecast::Forecaster {
+ public:
+  explicit ArimaForecaster(const ArimaOptions& options) : options_(options) {}
+
+  std::string name() const override { return "ARIMA"; }
+
+  Result<forecast::ForecastResult> Forecast(const ts::Frame& history,
+                                            size_t horizon) override;
+
+ private:
+  ArimaOptions options_;
+};
+
+}  // namespace baselines
+}  // namespace multicast
+
+#endif  // MULTICAST_BASELINES_ARIMA_H_

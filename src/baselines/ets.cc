@@ -1,0 +1,165 @@
+#include "baselines/ets.h"
+
+#include <cmath>
+#include <limits>
+
+#include "ts/seasonality.h"
+#include "util/strings.h"
+#include "util/timer.h"
+
+namespace multicast {
+namespace baselines {
+
+double EtsModel::Smooth(const std::vector<double>& series,
+                        const EtsOptions& options, double alpha, double beta,
+                        double gamma, double* level, double* trend,
+                        std::vector<double>* season) {
+  const size_t m = options.season_length;
+  const double phi = options.damping;
+
+  // Initial states: level from the first observation (or first-season
+  // mean), zero trend, seasonal offsets from the first season.
+  double l, b = 0.0;
+  std::vector<double> s;
+  size_t start;
+  if (m > 0) {
+    double mean = 0.0;
+    for (size_t i = 0; i < m; ++i) mean += series[i];
+    mean /= static_cast<double>(m);
+    l = mean;
+    s.resize(m);
+    for (size_t i = 0; i < m; ++i) s[i] = series[i] - mean;
+    start = m;
+  } else {
+    l = series[0];
+    start = 1;
+  }
+
+  double sse = 0.0;
+  size_t count = 0;
+  for (size_t t = start; t < series.size(); ++t) {
+    double seasonal = m > 0 ? s[t % m] : 0.0;
+    double forecast = l + phi * b + seasonal;
+    double error = series[t] - forecast;
+    sse += error * error;
+    ++count;
+
+    double l_prev = l;
+    l = alpha * (series[t] - seasonal) + (1.0 - alpha) * (l + phi * b);
+    b = beta * (l - l_prev) + (1.0 - beta) * phi * b;
+    if (m > 0) {
+      s[t % m] = gamma * (series[t] - l) + (1.0 - gamma) * s[t % m];
+    }
+  }
+  *level = l;
+  *trend = b;
+  *season = std::move(s);
+  return count > 0 ? sse / static_cast<double>(count)
+                   : std::numeric_limits<double>::infinity();
+}
+
+Result<EtsModel> EtsModel::Fit(const std::vector<double>& series,
+                               const EtsOptions& options) {
+  if (options.season_length > 0 &&
+      series.size() < 2 * options.season_length) {
+    return Status::InvalidArgument(
+        StrFormat("need >= 2 seasons (%zu values) for season length %zu",
+                  2 * options.season_length, options.season_length));
+  }
+  if (series.size() < 4) {
+    return Status::InvalidArgument("series too short for Holt-Winters");
+  }
+  if (!(options.damping > 0.0 && options.damping <= 1.0)) {
+    return Status::InvalidArgument("damping must be in (0, 1]");
+  }
+  if (options.grid_steps < 2) {
+    return Status::InvalidArgument("grid_steps must be >= 2");
+  }
+
+  EtsModel best;
+  best.options_ = options;
+  best.train_length_ = series.size();
+  best.mse_ = std::numeric_limits<double>::infinity();
+  const int g = options.grid_steps;
+  for (int ai = 1; ai <= g; ++ai) {
+    double alpha = static_cast<double>(ai) / (g + 1);
+    for (int bi = 0; bi <= g; ++bi) {
+      double beta = static_cast<double>(bi) / (g + 1);
+      int gamma_steps = options.season_length > 0 ? g : 0;
+      for (int gi = 0; gi <= gamma_steps; ++gi) {
+        double gamma = static_cast<double>(gi) / (g + 1);
+        double level, trend;
+        std::vector<double> season;
+        double mse = Smooth(series, options, alpha, beta, gamma, &level,
+                            &trend, &season);
+        if (mse < best.mse_) {
+          best.alpha_ = alpha;
+          best.beta_ = beta;
+          best.gamma_ = gamma;
+          best.level_ = level;
+          best.trend_ = trend;
+          best.season_ = std::move(season);
+          best.mse_ = mse;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+Result<std::vector<double>> EtsModel::Forecast(size_t horizon) const {
+  if (horizon == 0) return Status::InvalidArgument("horizon must be >= 1");
+  std::vector<double> out;
+  out.reserve(horizon);
+  const size_t m = options_.season_length;
+  const double phi = options_.damping;
+  // Damped-trend multiplier: phi + phi^2 + ... + phi^h.
+  double damp_sum = 0.0;
+  double damp_pow = 1.0;
+  for (size_t h = 1; h <= horizon; ++h) {
+    damp_pow *= phi;
+    damp_sum += damp_pow;
+    double seasonal = 0.0;
+    if (m > 0) {
+      // The season buffer is indexed by absolute time modulo m, and
+      // training ended at t = n - 1, so forecast step h lands at
+      // (n + h - 1) % m.
+      seasonal = season_[(train_length_ + h - 1) % m];
+    }
+    out.push_back(level_ + damp_sum * trend_ + seasonal);
+  }
+  return out;
+}
+
+Result<forecast::ForecastResult> EtsForecaster::Forecast(
+    const ts::Frame& history, size_t horizon) {
+  Timer timer;
+  std::vector<ts::Series> out_dims;
+  for (size_t d = 0; d < history.num_dims(); ++d) {
+    EtsOptions dim_options = options_;
+    if (options_.auto_season) {
+      dim_options.season_length = 0;
+      Result<ts::Seasonality> season =
+          ts::DetectSeasonality(history.dim(d));
+      // Two full seasons are required to initialize the seasonal state.
+      if (season.ok() && season.value().period > 0 &&
+          history.length() >= 2 * season.value().period) {
+        dim_options.season_length = season.value().period;
+      }
+    }
+    MC_ASSIGN_OR_RETURN(
+        EtsModel model,
+        EtsModel::Fit(history.dim(d).values(), dim_options));
+    MC_ASSIGN_OR_RETURN(std::vector<double> fc, model.Forecast(horizon));
+    out_dims.emplace_back(std::move(fc), history.dim(d).name());
+  }
+  forecast::ForecastResult result;
+  MC_ASSIGN_OR_RETURN(result.forecast,
+                      ts::Frame::FromSeries(std::move(out_dims),
+                                            history.name()));
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace baselines
+}  // namespace multicast

@@ -1,0 +1,87 @@
+// Exponential smoothing (Holt–Winters) forecasting.
+//
+// The linear-model family the paper's introduction cites alongside
+// ARIMA. Additive error/trend/seasonality with damping; smoothing
+// parameters are chosen per series by grid search over the in-sample
+// one-step-ahead SSE — the classical "parameter search" workflow that
+// zero-shot forecasting removes.
+
+#ifndef MULTICAST_BASELINES_ETS_H_
+#define MULTICAST_BASELINES_ETS_H_
+
+#include <string>
+#include <vector>
+
+#include "forecast/forecaster.h"
+#include "util/status.h"
+
+namespace multicast {
+namespace baselines {
+
+struct EtsOptions {
+  /// Season length in samples; 0 disables the seasonal component.
+  size_t season_length = 0;
+  /// When set, EtsForecaster detects each dimension's dominant period
+  /// (ts::DetectSeasonality) and uses it as that dimension's season
+  /// length, overriding `season_length`. Dimensions with no significant
+  /// period fall back to non-seasonal smoothing.
+  bool auto_season = false;
+  /// Trend damping factor in (0, 1]; 1 = undamped Holt trend.
+  double damping = 0.98;
+  /// Grid resolution for the (alpha, beta, gamma) search.
+  int grid_steps = 8;
+};
+
+/// A fitted additive Holt–Winters model for one series.
+class EtsModel {
+ public:
+  /// Fits level/trend/season states with grid-searched smoothing
+  /// parameters. Needs at least 2 full seasons when seasonal.
+  static Result<EtsModel> Fit(const std::vector<double>& series,
+                              const EtsOptions& options);
+
+  /// Forecasts `horizon` steps ahead.
+  Result<std::vector<double>> Forecast(size_t horizon) const;
+
+  double alpha() const { return alpha_; }
+  double beta() const { return beta_; }
+  double gamma() const { return gamma_; }
+  /// In-sample one-step-ahead mean squared error of the chosen fit.
+  double mse() const { return mse_; }
+
+ private:
+  EtsModel() = default;
+
+  // Runs the smoothing recursion; returns one-step SSE and leaves the
+  // final states in the out-params.
+  static double Smooth(const std::vector<double>& series,
+                       const EtsOptions& options, double alpha, double beta,
+                       double gamma, double* level, double* trend,
+                       std::vector<double>* season);
+
+  EtsOptions options_;
+  double alpha_ = 0.5, beta_ = 0.1, gamma_ = 0.1;
+  double level_ = 0.0, trend_ = 0.0;
+  std::vector<double> season_;  // indexed by absolute time modulo m
+  size_t train_length_ = 0;     // keeps the seasonal phase for Forecast
+  double mse_ = 0.0;
+};
+
+/// Forecaster adapter: independent Holt–Winters per dimension.
+class EtsForecaster final : public forecast::Forecaster {
+ public:
+  explicit EtsForecaster(const EtsOptions& options) : options_(options) {}
+
+  std::string name() const override { return "HoltWinters"; }
+
+  Result<forecast::ForecastResult> Forecast(const ts::Frame& history,
+                                            size_t horizon) override;
+
+ private:
+  EtsOptions options_;
+};
+
+}  // namespace baselines
+}  // namespace multicast
+
+#endif  // MULTICAST_BASELINES_ETS_H_

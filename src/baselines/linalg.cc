@@ -1,0 +1,124 @@
+#include "baselines/linalg.h"
+
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace multicast {
+namespace baselines {
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) t.at(c, r) = at(r, c);
+  }
+  return t;
+}
+
+Result<Matrix> Matrix::Multiply(const Matrix& other) const {
+  if (cols_ != other.rows_) {
+    return Status::InvalidArgument(
+        StrFormat("matmul shape mismatch: %zux%zu * %zux%zu", rows_, cols_,
+                  other.rows_, other.cols_));
+  }
+  Matrix out(rows_, other.cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = 0; k < cols_; ++k) {
+      double a = at(r, k);
+      if (a == 0.0) continue;
+      for (size_t c = 0; c < other.cols_; ++c) {
+        out.at(r, c) += a * other.at(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::vector<double>> Matrix::Multiply(
+    const std::vector<double>& v) const {
+  if (cols_ != v.size()) {
+    return Status::InvalidArgument(
+        StrFormat("matvec shape mismatch: %zux%zu * %zu", rows_, cols_,
+                  v.size()));
+  }
+  std::vector<double> out(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (size_t c = 0; c < cols_; ++c) sum += at(r, c) * v[c];
+    out[r] = sum;
+  }
+  return out;
+}
+
+Result<std::vector<double>> SolveLinearSystem(Matrix a, std::vector<double> b,
+                                              double pivot_eps) {
+  if (a.rows() != a.cols() || a.rows() != b.size()) {
+    return Status::InvalidArgument("SolveLinearSystem requires square A and "
+                                   "matching b");
+  }
+  const size_t n = a.rows();
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    size_t pivot = col;
+    double best = std::fabs(a.at(col, col));
+    for (size_t r = col + 1; r < n; ++r) {
+      double mag = std::fabs(a.at(r, col));
+      if (mag > best) {
+        best = mag;
+        pivot = r;
+      }
+    }
+    if (best < pivot_eps) {
+      return Status::FailedPrecondition(
+          StrFormat("singular matrix at column %zu", col));
+    }
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) std::swap(a.at(col, c), a.at(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    // Eliminate below.
+    for (size_t r = col + 1; r < n; ++r) {
+      double factor = a.at(r, col) / a.at(col, col);
+      if (factor == 0.0) continue;
+      for (size_t c = col; c < n; ++c) {
+        a.at(r, c) -= factor * a.at(col, c);
+      }
+      b[r] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (size_t ri = n; ri-- > 0;) {
+    double sum = b[ri];
+    for (size_t c = ri + 1; c < n; ++c) sum -= a.at(ri, c) * x[c];
+    x[ri] = sum / a.at(ri, ri);
+  }
+  return x;
+}
+
+Result<std::vector<double>> LeastSquares(const Matrix& x,
+                                         const std::vector<double>& y,
+                                         double ridge) {
+  if (x.rows() != y.size()) {
+    return Status::InvalidArgument("design matrix rows != targets");
+  }
+  if (x.rows() < x.cols()) {
+    return Status::InvalidArgument(
+        StrFormat("under-determined system: %zu rows, %zu cols", x.rows(),
+                  x.cols()));
+  }
+  Matrix xt = x.Transpose();
+  MC_ASSIGN_OR_RETURN(Matrix xtx, xt.Multiply(x));
+  for (size_t i = 0; i < xtx.rows(); ++i) xtx.at(i, i) += ridge;
+  MC_ASSIGN_OR_RETURN(std::vector<double> xty, xt.Multiply(y));
+  return SolveLinearSystem(std::move(xtx), std::move(xty));
+}
+
+}  // namespace baselines
+}  // namespace multicast

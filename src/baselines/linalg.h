@@ -1,0 +1,66 @@
+// Small dense linear algebra for the classical baselines.
+//
+// Just enough for ordinary least squares (Hannan–Rissanen ARIMA
+// estimation) and the LSTM's affine maps: a row-major matrix, products,
+// transpose and a partial-pivoting linear solver. Sizes here are tiny
+// (tens of columns), so clarity beats blocking/vectorization.
+
+#ifndef MULTICAST_BASELINES_LINALG_H_
+#define MULTICAST_BASELINES_LINALG_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/status.h"
+
+namespace multicast {
+namespace baselines {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  Matrix Transpose() const;
+
+  /// Matrix product; dimension mismatch is an error.
+  Result<Matrix> Multiply(const Matrix& other) const;
+
+  /// Matrix–vector product.
+  Result<std::vector<double>> Multiply(const std::vector<double>& v) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b by Gaussian elimination with partial pivoting.
+/// A must be square and non-singular (within `pivot_eps`).
+Result<std::vector<double>> SolveLinearSystem(Matrix a,
+                                              std::vector<double> b,
+                                              double pivot_eps = 1e-12);
+
+/// Ordinary least squares: returns beta minimizing ||X beta - y||^2 via
+/// the normal equations with a small ridge term for numerical safety.
+Result<std::vector<double>> LeastSquares(const Matrix& x,
+                                         const std::vector<double>& y,
+                                         double ridge = 1e-8);
+
+}  // namespace baselines
+}  // namespace multicast
+
+#endif  // MULTICAST_BASELINES_LINALG_H_

@@ -1,0 +1,397 @@
+#include "baselines/lstm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ts/transforms.h"
+#include "util/strings.h"
+#include "util/timer.h"
+
+namespace multicast {
+namespace baselines {
+
+namespace {
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+// Forward activations for one sample, retained for BPTT.
+struct LstmNetwork::Cache {
+  // Per timestep t: concatenated input [x_t; h_{t-1}], gate activations,
+  // cell state and its tanh, and the hidden state.
+  std::vector<std::vector<double>> xh;      // T x (I+H)
+  std::vector<std::vector<double>> i, f, g, o;  // T x H each
+  std::vector<std::vector<double>> c;       // T x H
+  std::vector<std::vector<double>> tanh_c;  // T x H
+  std::vector<std::vector<double>> h;       // T x H
+  std::vector<double> output;               // O
+};
+
+LstmNetwork::LstmNetwork(int input_size, int output_size,
+                         const LstmOptions& options)
+    : input_size_(input_size),
+      output_size_(output_size),
+      options_(options) {
+  MC_CHECK(input_size_ >= 1 && output_size_ >= 1);
+  MC_CHECK(options_.hidden_units >= 1);
+  MC_CHECK(options_.dropout >= 0.0 && options_.dropout < 1.0);
+
+  const int h = options_.hidden_units;
+  const int cols = input_size_ + h;
+  w_.assign(static_cast<size_t>(4 * h) * cols, 0.0);
+  b_.assign(static_cast<size_t>(4 * h), 0.0);
+  wy_.assign(static_cast<size_t>(output_size_) * h, 0.0);
+  by_.assign(static_cast<size_t>(output_size_), 0.0);
+
+  Rng rng(options_.seed, /*stream=*/23);
+  double limit_w = std::sqrt(6.0 / static_cast<double>(cols + h));
+  for (double& v : w_) v = rng.NextUniform(-limit_w, limit_w);
+  double limit_y = std::sqrt(6.0 / static_cast<double>(h + output_size_));
+  for (double& v : wy_) v = rng.NextUniform(-limit_y, limit_y);
+  // Forget-gate bias starts at 1 so early training retains memory.
+  for (int j = 0; j < h; ++j) b_[static_cast<size_t>(h + j)] = 1.0;
+
+  auto zero_like = [](const std::vector<double>& p) {
+    AdamState s;
+    s.m.assign(p.size(), 0.0);
+    s.v.assign(p.size(), 0.0);
+    return s;
+  };
+  adam_w_ = zero_like(w_);
+  adam_b_ = zero_like(b_);
+  adam_wy_ = zero_like(wy_);
+  adam_by_ = zero_like(by_);
+}
+
+size_t LstmNetwork::num_parameters() const {
+  return w_.size() + b_.size() + wy_.size() + by_.size();
+}
+
+void LstmNetwork::Forward(const std::vector<std::vector<double>>& window,
+                          Cache* cache) const {
+  const int h = options_.hidden_units;
+  const int cols = input_size_ + h;
+  const size_t steps = window.size();
+
+  cache->xh.assign(steps, std::vector<double>(cols, 0.0));
+  auto zeros = std::vector<double>(h, 0.0);
+  cache->i.assign(steps, zeros);
+  cache->f.assign(steps, zeros);
+  cache->g.assign(steps, zeros);
+  cache->o.assign(steps, zeros);
+  cache->c.assign(steps, zeros);
+  cache->tanh_c.assign(steps, zeros);
+  cache->h.assign(steps, zeros);
+
+  std::vector<double> h_prev(h, 0.0);
+  std::vector<double> c_prev(h, 0.0);
+  for (size_t t = 0; t < steps; ++t) {
+    auto& xh = cache->xh[t];
+    for (int k = 0; k < input_size_; ++k) xh[k] = window[t][k];
+    for (int k = 0; k < h; ++k) xh[input_size_ + k] = h_prev[k];
+
+    for (int j = 0; j < h; ++j) {
+      double zi = b_[j], zf = b_[h + j], zg = b_[2 * h + j],
+             zo = b_[3 * h + j];
+      const double* wi = &w_[static_cast<size_t>(j) * cols];
+      const double* wf = &w_[static_cast<size_t>(h + j) * cols];
+      const double* wg = &w_[static_cast<size_t>(2 * h + j) * cols];
+      const double* wo = &w_[static_cast<size_t>(3 * h + j) * cols];
+      for (int k = 0; k < cols; ++k) {
+        double x = xh[k];
+        zi += wi[k] * x;
+        zf += wf[k] * x;
+        zg += wg[k] * x;
+        zo += wo[k] * x;
+      }
+      double gi = Sigmoid(zi);
+      double gf = Sigmoid(zf);
+      double gg = std::tanh(zg);
+      double go = Sigmoid(zo);
+      double cc = gf * c_prev[j] + gi * gg;
+      double tc = std::tanh(cc);
+      cache->i[t][j] = gi;
+      cache->f[t][j] = gf;
+      cache->g[t][j] = gg;
+      cache->o[t][j] = go;
+      cache->c[t][j] = cc;
+      cache->tanh_c[t][j] = tc;
+      cache->h[t][j] = go * tc;
+    }
+    h_prev = cache->h[t];
+    c_prev = cache->c[t];
+  }
+
+  cache->output.assign(static_cast<size_t>(output_size_), 0.0);
+  const auto& h_last = cache->h.back();
+  for (int r = 0; r < output_size_; ++r) {
+    double sum = by_[r];
+    const double* wy = &wy_[static_cast<size_t>(r) * h];
+    for (int k = 0; k < h; ++k) sum += wy[k] * h_last[k];
+    cache->output[static_cast<size_t>(r)] = sum;
+  }
+}
+
+std::vector<double> LstmNetwork::Predict(
+    const std::vector<std::vector<double>>& window) const {
+  Cache cache;
+  Forward(window, &cache);
+  return cache.output;
+}
+
+Result<double> LstmNetwork::TrainBatch(
+    const std::vector<std::vector<std::vector<double>>>& windows,
+    const std::vector<std::vector<double>>& targets, Rng* rng) {
+  if (windows.empty() || windows.size() != targets.size()) {
+    return Status::InvalidArgument("empty or mismatched training batch");
+  }
+  const int h = options_.hidden_units;
+  const int cols = input_size_ + h;
+
+  std::vector<double> gw(w_.size(), 0.0);
+  std::vector<double> gb(b_.size(), 0.0);
+  std::vector<double> gwy(wy_.size(), 0.0);
+  std::vector<double> gby(by_.size(), 0.0);
+  double loss = 0.0;
+
+  for (size_t s = 0; s < windows.size(); ++s) {
+    const auto& window = windows[s];
+    const auto& target = targets[s];
+    if (window.empty() ||
+        target.size() != static_cast<size_t>(output_size_)) {
+      return Status::InvalidArgument("bad sample shape in batch");
+    }
+    for (const auto& step : window) {
+      if (step.size() != static_cast<size_t>(input_size_)) {
+        return Status::InvalidArgument("bad window step width");
+      }
+    }
+
+    Cache cache;
+    Forward(window, &cache);
+    const size_t steps = window.size();
+
+    // Inverted dropout on the final hidden state (training only).
+    std::vector<double> mask(static_cast<size_t>(h), 1.0);
+    if (options_.dropout > 0.0) {
+      double keep = 1.0 - options_.dropout;
+      for (int j = 0; j < h; ++j) {
+        mask[j] = rng->NextDouble() < keep ? 1.0 / keep : 0.0;
+      }
+    }
+    std::vector<double> h_drop(static_cast<size_t>(h));
+    for (int j = 0; j < h; ++j) h_drop[j] = cache.h.back()[j] * mask[j];
+
+    // Recompute the head on the dropped hidden state.
+    std::vector<double> y(static_cast<size_t>(output_size_));
+    for (int r = 0; r < output_size_; ++r) {
+      double sum = by_[r];
+      const double* wy = &wy_[static_cast<size_t>(r) * h];
+      for (int j = 0; j < h; ++j) sum += wy[j] * h_drop[j];
+      y[r] = sum;
+    }
+
+    // MSE loss and its gradient.
+    std::vector<double> dy(static_cast<size_t>(output_size_));
+    for (int r = 0; r < output_size_; ++r) {
+      double diff = y[r] - target[r];
+      loss += diff * diff / static_cast<double>(output_size_);
+      dy[r] = 2.0 * diff / static_cast<double>(output_size_);
+    }
+
+    // Dense head gradients; dh through the dropout mask.
+    std::vector<double> dh(static_cast<size_t>(h), 0.0);
+    for (int r = 0; r < output_size_; ++r) {
+      gby[r] += dy[r];
+      for (int j = 0; j < h; ++j) {
+        gwy[static_cast<size_t>(r) * h + j] += dy[r] * h_drop[j];
+        dh[j] += wy_[static_cast<size_t>(r) * h + j] * dy[r] * mask[j];
+      }
+    }
+
+    // BPTT.
+    std::vector<double> dc(static_cast<size_t>(h), 0.0);
+    for (size_t t = steps; t-- > 0;) {
+      std::vector<double> dz(static_cast<size_t>(4 * h), 0.0);
+      const std::vector<double>* c_prev_vec =
+          t > 0 ? &cache.c[t - 1] : nullptr;
+      for (int j = 0; j < h; ++j) {
+        double tc = cache.tanh_c[t][j];
+        double go = cache.o[t][j];
+        double gi = cache.i[t][j];
+        double gf = cache.f[t][j];
+        double gg = cache.g[t][j];
+        double c_prev = c_prev_vec != nullptr ? (*c_prev_vec)[j] : 0.0;
+
+        double dct = dc[j] + dh[j] * go * (1.0 - tc * tc);
+        double do_ = dh[j] * tc;
+        double di = dct * gg;
+        double dg = dct * gi;
+        double df = dct * c_prev;
+
+        dz[j] = di * gi * (1.0 - gi);
+        dz[h + j] = df * gf * (1.0 - gf);
+        dz[2 * h + j] = dg * (1.0 - gg * gg);
+        dz[3 * h + j] = do_ * go * (1.0 - go);
+        dc[j] = dct * gf;  // carries to t-1
+      }
+
+      const auto& xh = cache.xh[t];
+      std::vector<double> dxh(static_cast<size_t>(cols), 0.0);
+      for (int row = 0; row < 4 * h; ++row) {
+        double dzr = dz[row];
+        if (dzr == 0.0) continue;
+        gb[row] += dzr;
+        double* gw_row = &gw[static_cast<size_t>(row) * cols];
+        const double* w_row = &w_[static_cast<size_t>(row) * cols];
+        for (int k = 0; k < cols; ++k) {
+          gw_row[k] += dzr * xh[k];
+          dxh[k] += w_row[k] * dzr;
+        }
+      }
+      for (int j = 0; j < h; ++j) dh[j] = dxh[input_size_ + j];
+    }
+  }
+
+  double inv_n = 1.0 / static_cast<double>(windows.size());
+  for (double& v : gw) v *= inv_n;
+  for (double& v : gb) v *= inv_n;
+  for (double& v : gwy) v *= inv_n;
+  for (double& v : gby) v *= inv_n;
+  loss *= inv_n;
+
+  // Global gradient-norm clipping.
+  if (options_.clip_norm > 0.0) {
+    double sq = 0.0;
+    for (const auto* g : {&gw, &gb, &gwy, &gby}) {
+      for (double v : *g) sq += v * v;
+    }
+    double norm = std::sqrt(sq);
+    if (norm > options_.clip_norm) {
+      double scale = options_.clip_norm / norm;
+      for (auto* g : {&gw, &gb, &gwy, &gby}) {
+        for (double& v : *g) v *= scale;
+      }
+    }
+  }
+
+  // Adam update.
+  ++adam_t_;
+  constexpr double kBeta1 = 0.9;
+  constexpr double kBeta2 = 0.999;
+  constexpr double kEps = 1e-8;
+  double bc1 = 1.0 - std::pow(kBeta1, static_cast<double>(adam_t_));
+  double bc2 = 1.0 - std::pow(kBeta2, static_cast<double>(adam_t_));
+  auto adam_step = [&](std::vector<double>* params, AdamState* state,
+                       const std::vector<double>& grad) {
+    for (size_t k = 0; k < params->size(); ++k) {
+      state->m[k] = kBeta1 * state->m[k] + (1.0 - kBeta1) * grad[k];
+      state->v[k] = kBeta2 * state->v[k] + (1.0 - kBeta2) * grad[k] * grad[k];
+      double mhat = state->m[k] / bc1;
+      double vhat = state->v[k] / bc2;
+      (*params)[k] -= options_.learning_rate * mhat /
+                      (std::sqrt(vhat) + kEps);
+    }
+  };
+  adam_step(&w_, &adam_w_, gw);
+  adam_step(&b_, &adam_b_, gb);
+  adam_step(&wy_, &adam_wy_, gwy);
+  adam_step(&by_, &adam_by_, gby);
+
+  return loss;
+}
+
+Result<forecast::ForecastResult> LstmForecaster::Forecast(
+    const ts::Frame& history, size_t horizon) {
+  Timer timer;
+  if (horizon == 0) return Status::InvalidArgument("horizon must be >= 1");
+  const size_t dims = history.num_dims();
+  const size_t n = history.length();
+
+  // Shrink the window if the history is short; at least 2 steps of
+  // context and 4 training samples are required.
+  int window = options_.window;
+  while (window > 2 && n < static_cast<size_t>(window) + 5) --window;
+  if (n < static_cast<size_t>(window) + 5) {
+    return Status::InvalidArgument(
+        StrFormat("history of length %zu too short for LSTM training", n));
+  }
+
+  // Z-normalize each dimension on the history.
+  std::vector<ts::ZNormParams> norms(dims);
+  std::vector<std::vector<double>> normed(dims);
+  for (size_t d = 0; d < dims; ++d) {
+    ts::Series z = ts::ZNormalize(history.dim(d), &norms[d]);
+    normed[d] = z.values();
+  }
+  auto row_at = [&](size_t t) {
+    std::vector<double> row(dims);
+    for (size_t d = 0; d < dims; ++d) row[d] = normed[d][t];
+    return row;
+  };
+
+  // Sliding-window supervised set: window rows -> next row.
+  std::vector<std::vector<std::vector<double>>> windows;
+  std::vector<std::vector<double>> targets;
+  for (size_t t = static_cast<size_t>(window); t < n; ++t) {
+    std::vector<std::vector<double>> sample;
+    sample.reserve(static_cast<size_t>(window));
+    for (size_t k = t - static_cast<size_t>(window); k < t; ++k) {
+      sample.push_back(row_at(k));
+    }
+    windows.push_back(std::move(sample));
+    targets.push_back(row_at(t));
+  }
+
+  LstmOptions net_options = options_;
+  net_options.window = window;
+  LstmNetwork net(static_cast<int>(dims), static_cast<int>(dims),
+                  net_options);
+  Rng rng(options_.seed, /*stream=*/31);
+
+  std::vector<size_t> order(windows.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  size_t batch = static_cast<size_t>(std::max(1, options_.batch_size));
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t begin = 0; begin < order.size(); begin += batch) {
+      size_t end = std::min(begin + batch, order.size());
+      std::vector<std::vector<std::vector<double>>> bw;
+      std::vector<std::vector<double>> bt;
+      for (size_t k = begin; k < end; ++k) {
+        bw.push_back(windows[order[k]]);
+        bt.push_back(targets[order[k]]);
+      }
+      MC_RETURN_IF_ERROR(net.TrainBatch(bw, bt, &rng).status());
+    }
+  }
+
+  // Recursive multi-step forecast.
+  std::vector<std::vector<double>> context;
+  for (size_t t = n - static_cast<size_t>(window); t < n; ++t) {
+    context.push_back(row_at(t));
+  }
+  std::vector<ts::Series> out_dims(dims);
+  for (size_t d = 0; d < dims; ++d) {
+    out_dims[d].set_name(history.dim(d).name());
+  }
+  for (size_t h = 0; h < horizon; ++h) {
+    std::vector<double> pred = net.Predict(context);
+    for (size_t d = 0; d < dims; ++d) {
+      out_dims[d].push_back(pred[d] * norms[d].stddev + norms[d].mean);
+    }
+    context.erase(context.begin());
+    context.push_back(std::move(pred));
+  }
+
+  forecast::ForecastResult result;
+  MC_ASSIGN_OR_RETURN(result.forecast,
+                      ts::Frame::FromSeries(std::move(out_dims),
+                                            history.name()));
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace baselines
+}  // namespace multicast

@@ -1,0 +1,83 @@
+#include "baselines/naive.h"
+
+#include "util/timer.h"
+
+namespace multicast {
+namespace baselines {
+
+namespace {
+
+Status ValidateArgs(const ts::Frame& history, size_t horizon,
+                    size_t min_length) {
+  if (horizon == 0) return Status::InvalidArgument("horizon must be >= 1");
+  if (history.length() < min_length) {
+    return Status::InvalidArgument("history too short");
+  }
+  return Status::OK();
+}
+
+Result<forecast::ForecastResult> BuildResult(const ts::Frame& history,
+                                             std::vector<ts::Series> dims,
+                                             double seconds) {
+  forecast::ForecastResult result;
+  MC_ASSIGN_OR_RETURN(result.forecast,
+                      ts::Frame::FromSeries(std::move(dims), history.name()));
+  result.seconds = seconds;
+  return result;
+}
+
+}  // namespace
+
+Result<forecast::ForecastResult> NaiveLastForecaster::Forecast(
+    const ts::Frame& history, size_t horizon) {
+  Timer timer;
+  MC_RETURN_IF_ERROR(ValidateArgs(history, horizon, 1));
+  std::vector<ts::Series> dims;
+  for (size_t d = 0; d < history.num_dims(); ++d) {
+    double last = history.dim(d)[history.length() - 1];
+    dims.emplace_back(std::vector<double>(horizon, last),
+                      history.dim(d).name());
+  }
+  return BuildResult(history, std::move(dims), timer.Seconds());
+}
+
+Result<forecast::ForecastResult> SeasonalNaiveForecaster::Forecast(
+    const ts::Frame& history, size_t horizon) {
+  Timer timer;
+  if (period_ == 0) return Status::InvalidArgument("period must be >= 1");
+  MC_RETURN_IF_ERROR(ValidateArgs(history, horizon, period_));
+  std::vector<ts::Series> dims;
+  size_t n = history.length();
+  for (size_t d = 0; d < history.num_dims(); ++d) {
+    std::vector<double> out;
+    out.reserve(horizon);
+    for (size_t h = 0; h < horizon; ++h) {
+      out.push_back(history.dim(d)[n - period_ + (h % period_)]);
+    }
+    dims.emplace_back(std::move(out), history.dim(d).name());
+  }
+  return BuildResult(history, std::move(dims), timer.Seconds());
+}
+
+Result<forecast::ForecastResult> DriftForecaster::Forecast(
+    const ts::Frame& history, size_t horizon) {
+  Timer timer;
+  MC_RETURN_IF_ERROR(ValidateArgs(history, horizon, 2));
+  std::vector<ts::Series> dims;
+  size_t n = history.length();
+  for (size_t d = 0; d < history.num_dims(); ++d) {
+    double first = history.dim(d)[0];
+    double last = history.dim(d)[n - 1];
+    double slope = (last - first) / static_cast<double>(n - 1);
+    std::vector<double> out;
+    out.reserve(horizon);
+    for (size_t h = 0; h < horizon; ++h) {
+      out.push_back(last + slope * static_cast<double>(h + 1));
+    }
+    dims.emplace_back(std::move(out), history.dim(d).name());
+  }
+  return BuildResult(history, std::move(dims), timer.Seconds());
+}
+
+}  // namespace baselines
+}  // namespace multicast

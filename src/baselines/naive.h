@@ -1,0 +1,47 @@
+// Trivial reference forecasters: sanity floors for the evaluation.
+
+#ifndef MULTICAST_BASELINES_NAIVE_H_
+#define MULTICAST_BASELINES_NAIVE_H_
+
+#include <string>
+
+#include "forecast/forecaster.h"
+
+namespace multicast {
+namespace baselines {
+
+/// Repeats the last observed value of each dimension ("naive" / random
+/// walk forecast). Any method worth reporting should beat this on data
+/// with structure.
+class NaiveLastForecaster final : public forecast::Forecaster {
+ public:
+  std::string name() const override { return "NaiveLast"; }
+  Result<forecast::ForecastResult> Forecast(const ts::Frame& history,
+                                            size_t horizon) override;
+};
+
+/// Repeats the last observed season of length `period`.
+class SeasonalNaiveForecaster final : public forecast::Forecaster {
+ public:
+  explicit SeasonalNaiveForecaster(size_t period) : period_(period) {}
+  std::string name() const override { return "SeasonalNaive"; }
+  Result<forecast::ForecastResult> Forecast(const ts::Frame& history,
+                                            size_t horizon) override;
+
+ private:
+  size_t period_;
+};
+
+/// Extends the straight line between the first and last observation
+/// (the "drift" method).
+class DriftForecaster final : public forecast::Forecaster {
+ public:
+  std::string name() const override { return "Drift"; }
+  Result<forecast::ForecastResult> Forecast(const ts::Frame& history,
+                                            size_t horizon) override;
+};
+
+}  // namespace baselines
+}  // namespace multicast
+
+#endif  // MULTICAST_BASELINES_NAIVE_H_

@@ -1,0 +1,248 @@
+#include "baselines/sarima.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/arima.h"
+#include "baselines/linalg.h"
+#include "ts/seasonality.h"
+#include "ts/stats.h"
+#include "ts/transforms.h"
+#include "util/strings.h"
+#include "util/timer.h"
+
+namespace multicast {
+namespace baselines {
+
+namespace {
+
+// The additive lag structure: non-seasonal lags 1..k plus seasonal lags
+// s, 2s, ..., Ks. (The classical multiplicative polynomial also has
+// cross terms; the additive form is the standard Hannan–Rissanen
+// regression approximation.)
+std::vector<size_t> BuildLags(int k, int seasonal_k, size_t period) {
+  std::vector<size_t> lags;
+  for (int i = 1; i <= k; ++i) lags.push_back(static_cast<size_t>(i));
+  for (int j = 1; j <= seasonal_k; ++j) {
+    size_t lag = period * static_cast<size_t>(j);
+    if (std::find(lags.begin(), lags.end(), lag) == lags.end()) {
+      lags.push_back(lag);
+    }
+  }
+  std::sort(lags.begin(), lags.end());
+  return lags;
+}
+
+// Expands per-lag coefficients into a dense lag-indexed vector
+// (dense[lag - 1] = coefficient).
+std::vector<double> Densify(const std::vector<size_t>& lags,
+                            const std::vector<double>& coeffs) {
+  size_t max_lag = lags.empty() ? 0 : lags.back();
+  std::vector<double> dense(max_lag, 0.0);
+  for (size_t i = 0; i < lags.size(); ++i) {
+    dense[lags[i] - 1] = coeffs[i];
+  }
+  return dense;
+}
+
+// ARMA recursion residuals with dense coefficient vectors.
+std::vector<double> DenseResiduals(const std::vector<double>& z,
+                                   const std::vector<double>& phi,
+                                   const std::vector<double>& theta) {
+  std::vector<double> e(z.size(), 0.0);
+  for (size_t t = 0; t < z.size(); ++t) {
+    double pred = 0.0;
+    for (size_t i = 0; i < phi.size(); ++i) {
+      if (t >= i + 1) pred += phi[i] * z[t - i - 1];
+    }
+    for (size_t j = 0; j < theta.size(); ++j) {
+      if (t >= j + 1) pred += theta[j] * e[t - j - 1];
+    }
+    e[t] = z[t] - pred;
+  }
+  return e;
+}
+
+// OLS of z_t on the AR lags of z and MA lags of e.
+Result<std::pair<std::vector<double>, std::vector<double>>> RegressLags(
+    const std::vector<double>& z, const std::vector<double>& e,
+    const std::vector<size_t>& ar_lags, const std::vector<size_t>& ma_lags) {
+  size_t max_lag = 0;
+  for (size_t lag : ar_lags) max_lag = std::max(max_lag, lag);
+  for (size_t lag : ma_lags) max_lag = std::max(max_lag, lag);
+  size_t cols = ar_lags.size() + ma_lags.size();
+  if (cols == 0) {
+    return std::make_pair(std::vector<double>(), std::vector<double>());
+  }
+  if (z.size() < max_lag + cols + 4) {
+    return Status::InvalidArgument(
+        StrFormat("series too short (%zu) for max lag %zu", z.size(),
+                  max_lag));
+  }
+  size_t rows = z.size() - max_lag;
+  Matrix x(rows, cols);
+  std::vector<double> y(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    size_t t = max_lag + r;
+    y[r] = z[t];
+    size_t c = 0;
+    for (size_t lag : ar_lags) x.at(r, c++) = z[t - lag];
+    for (size_t lag : ma_lags) x.at(r, c++) = e[t - lag];
+  }
+  MC_ASSIGN_OR_RETURN(std::vector<double> beta, LeastSquares(x, y));
+  std::vector<double> ar(beta.begin(),
+                         beta.begin() + static_cast<long>(ar_lags.size()));
+  std::vector<double> ma(beta.begin() + static_cast<long>(ar_lags.size()),
+                         beta.end());
+  return std::make_pair(std::move(ar), std::move(ma));
+}
+
+}  // namespace
+
+Result<SarimaModel> SarimaModel::Fit(const std::vector<double>& series,
+                                     const SarimaOptions& options) {
+  if (options.p < 0 || options.d < 0 || options.q < 0 ||
+      options.seasonal_p < 0 || options.seasonal_d < 0 ||
+      options.seasonal_q < 0) {
+    return Status::InvalidArgument("SARIMA orders must be non-negative");
+  }
+  bool seasonal_terms = options.seasonal_p > 0 || options.seasonal_d > 0 ||
+                        options.seasonal_q > 0;
+  if (seasonal_terms && options.period < 2) {
+    return Status::InvalidArgument("seasonal period must be >= 2");
+  }
+
+  SarimaModel model;
+  model.options_ = options;
+
+  // Seasonal differencing first, regular second (inverted in reverse).
+  std::vector<double> w = series;
+  if (options.seasonal_d > 0) {
+    MC_ASSIGN_OR_RETURN(
+        w, ts::SeasonalDifferenceWithHeads(series, options.period,
+                                           options.seasonal_d,
+                                           &model.seasonal_heads_));
+  }
+  MC_ASSIGN_OR_RETURN(
+      w, ts::DifferenceWithHeads(w, options.d, &model.regular_heads_));
+
+  model.intercept_ = ts::Mean(w);
+  std::vector<double> z;
+  z.reserve(w.size());
+  for (double v : w) z.push_back(v - model.intercept_);
+  model.diffed_ = z;
+
+  std::vector<size_t> ar_lags =
+      BuildLags(options.p, options.seasonal_p, options.period);
+  std::vector<size_t> ma_lags =
+      BuildLags(options.q, options.seasonal_q, options.period);
+
+  // Innovations from a long autoregression when MA terms are present.
+  std::vector<double> e(z.size(), 0.0);
+  if (!ma_lags.empty()) {
+    size_t m = std::min<size_t>(
+        std::max<size_t>(ma_lags.back() + 2, 8), z.size() / 3);
+    std::vector<size_t> long_lags;
+    for (size_t lag = 1; lag <= m; ++lag) long_lags.push_back(lag);
+    MC_ASSIGN_OR_RETURN(auto long_fit, RegressLags(z, e, long_lags, {}));
+    e = DenseResiduals(z, Densify(long_lags, long_fit.first), {});
+  }
+
+  for (int pass = 0; pass < 2; ++pass) {
+    MC_ASSIGN_OR_RETURN(auto fit, RegressLags(z, e, ar_lags, ma_lags));
+    model.phi_ = Densify(ar_lags, fit.first);
+    model.theta_ = Densify(ma_lags, fit.second);
+    arima_internal::EnforceStationarity(&model.phi_);
+    arima_internal::EnforceStationarity(&model.theta_);
+    e = DenseResiduals(z, model.phi_, model.theta_);
+    if (ma_lags.empty()) break;
+  }
+  model.residuals_ = e;
+
+  size_t burn = std::max(model.phi_.size(), model.theta_.size());
+  if (burn >= model.residuals_.size()) {
+    return Status::InvalidArgument("series too short after differencing");
+  }
+  size_t n_eff = model.residuals_.size() - burn;
+  double ss = 0.0;
+  for (size_t t = burn; t < model.residuals_.size(); ++t) {
+    ss += model.residuals_[t] * model.residuals_[t];
+  }
+  model.sigma2_ = std::max(ss / static_cast<double>(n_eff), 1e-12);
+  double k = static_cast<double>(ar_lags.size() + ma_lags.size() + 1);
+  model.aic_ =
+      static_cast<double>(n_eff) * std::log(model.sigma2_) + 2.0 * k;
+  return model;
+}
+
+Result<std::vector<double>> SarimaModel::Forecast(size_t horizon) const {
+  if (horizon == 0) return Status::InvalidArgument("horizon must be >= 1");
+  std::vector<double> z = diffed_;
+  std::vector<double> e = residuals_;
+  std::vector<double> out_diffed;
+  out_diffed.reserve(horizon);
+  for (size_t h = 0; h < horizon; ++h) {
+    double pred = 0.0;
+    for (size_t i = 0; i < phi_.size(); ++i) {
+      if (z.size() >= i + 1) pred += phi_[i] * z[z.size() - i - 1];
+    }
+    for (size_t j = 0; j < theta_.size(); ++j) {
+      if (e.size() >= j + 1) pred += theta_[j] * e[e.size() - j - 1];
+    }
+    z.push_back(pred);
+    e.push_back(0.0);
+    out_diffed.push_back(pred + intercept_);
+  }
+
+  // Invert the regular differencing, then the seasonal differencing.
+  std::vector<double> full;
+  full.reserve(diffed_.size() + horizon);
+  for (double v : diffed_) full.push_back(v + intercept_);
+  for (double v : out_diffed) full.push_back(v);
+  if (options_.d > 0) {
+    MC_ASSIGN_OR_RETURN(full, ts::Undifference(full, regular_heads_));
+  }
+  if (options_.seasonal_d > 0) {
+    MC_ASSIGN_OR_RETURN(
+        full,
+        ts::SeasonalUndifference(full, options_.period, seasonal_heads_));
+  }
+  return std::vector<double>(full.end() - static_cast<long>(horizon),
+                             full.end());
+}
+
+Result<forecast::ForecastResult> SarimaForecaster::Forecast(
+    const ts::Frame& history, size_t horizon) {
+  Timer timer;
+  std::vector<ts::Series> out_dims;
+  for (size_t d = 0; d < history.num_dims(); ++d) {
+    SarimaOptions dim_options = options_;
+    if (options_.auto_period) {
+      Result<ts::Seasonality> season =
+          ts::DetectSeasonality(history.dim(d));
+      if (season.ok() && season.value().period >= 2 &&
+          history.length() >= 3 * season.value().period) {
+        dim_options.period = season.value().period;
+      } else {
+        // No usable period: drop the seasonal terms entirely.
+        dim_options.seasonal_p = 0;
+        dim_options.seasonal_d = 0;
+        dim_options.seasonal_q = 0;
+      }
+    }
+    MC_ASSIGN_OR_RETURN(
+        SarimaModel model,
+        SarimaModel::Fit(history.dim(d).values(), dim_options));
+    MC_ASSIGN_OR_RETURN(std::vector<double> fc, model.Forecast(horizon));
+    out_dims.emplace_back(std::move(fc), history.dim(d).name());
+  }
+  forecast::ForecastResult result;
+  MC_ASSIGN_OR_RETURN(result.forecast,
+                      ts::Frame::FromSeries(std::move(out_dims),
+                                            history.name()));
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace baselines
+}  // namespace multicast

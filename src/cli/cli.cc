@@ -1,0 +1,367 @@
+#include "cli/cli.h"
+
+#include <set>
+
+#include "baselines/arima.h"
+#include "baselines/ets.h"
+#include "baselines/sarima.h"
+#include "baselines/lstm.h"
+#include "baselines/naive.h"
+#include "data/datasets.h"
+#include "eval/report.h"
+#include "eval/rolling.h"
+#include "extensions/anomaly.h"
+#include "extensions/imputation.h"
+#include "forecast/llmtime_forecaster.h"
+#include "forecast/multicast_forecaster.h"
+#include "ts/split.h"
+#include "util/flags.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace multicast {
+namespace cli {
+
+namespace {
+
+// Flags shared by the method-constructing commands.
+const std::set<std::string> kMethodFlags = {
+    "input",  "output",      "horizon",  "method",   "samples",
+    "digits", "seed",        "sax",      "sax-segment",
+    "sax-alphabet",          "profile",  "plot",     "folds",
+    "stride", "quantile",    "dataset",  "name",     "quantiles"};
+const std::set<std::string> kBoolFlags = {"plot"};
+
+Result<lm::ModelProfile> ProfileByName(const std::string& name) {
+  if (name == "llama2") return lm::ModelProfile::Llama2_7B();
+  if (name == "phi2") return lm::ModelProfile::Phi2();
+  if (name == "ctw") return lm::ModelProfile::CtwMixture();
+  return Status::InvalidArgument("unknown profile '" + name +
+                                 "' (expected llama2, phi2 or ctw)");
+}
+
+Result<MethodSpec> SpecFromFlags(const FlagSet& flags) {
+  MethodSpec spec;
+  spec.name = flags.GetString("method", "VI");
+  MC_ASSIGN_OR_RETURN(int64_t samples, flags.GetInt("samples", 5));
+  MC_ASSIGN_OR_RETURN(int64_t digits, flags.GetInt("digits", 2));
+  MC_ASSIGN_OR_RETURN(int64_t seed, flags.GetInt("seed", 42));
+  MC_ASSIGN_OR_RETURN(int64_t sax_segment, flags.GetInt("sax-segment", 6));
+  MC_ASSIGN_OR_RETURN(int64_t sax_alphabet,
+                      flags.GetInt("sax-alphabet", 5));
+  spec.samples = static_cast<int>(samples);
+  spec.digits = static_cast<int>(digits);
+  spec.seed = static_cast<uint64_t>(seed);
+  spec.sax = flags.GetString("sax", "");
+  spec.sax_segment = static_cast<int>(sax_segment);
+  spec.sax_alphabet = static_cast<int>(sax_alphabet);
+  spec.profile = flags.GetString("profile", "llama2");
+  return spec;
+}
+
+Result<ts::Frame> LoadInput(const FlagSet& flags) {
+  std::string path = flags.GetString("input", "");
+  if (path.empty()) {
+    return Status::InvalidArgument("--input <csv> is required");
+  }
+  return data::LoadCsvDataset(path, flags.GetString("name", path));
+}
+
+Status SaveIfRequested(const FlagSet& flags, const ts::Frame& frame,
+                       std::ostream& out) {
+  std::string path = flags.GetString("output", "");
+  if (path.empty()) return Status::OK();
+  MC_RETURN_IF_ERROR(WriteCsvFile(frame.ToCsv(), path));
+  out << "wrote " << path << "\n";
+  return Status::OK();
+}
+
+// Parses a comma-separated list of quantile levels ("0.1,0.9").
+Result<std::vector<double>> ParseQuantiles(const std::string& text) {
+  std::vector<double> levels;
+  for (const std::string& field : Split(text, ',')) {
+    char* end = nullptr;
+    double level = std::strtod(field.c_str(), &end);
+    if (end != field.c_str() + field.size() || field.empty()) {
+      return Status::InvalidArgument("bad quantile level '" + field + "'");
+    }
+    levels.push_back(level);
+  }
+  return levels;
+}
+
+Result<int> CmdForecast(const FlagSet& flags, std::ostream& out) {
+  MC_ASSIGN_OR_RETURN(ts::Frame frame, LoadInput(flags));
+  MC_ASSIGN_OR_RETURN(int64_t horizon, flags.GetInt("horizon", 12));
+  if (horizon < 1) return Status::InvalidArgument("--horizon must be >= 1");
+  MC_ASSIGN_OR_RETURN(MethodSpec spec, SpecFromFlags(flags));
+  MC_ASSIGN_OR_RETURN(std::unique_ptr<forecast::Forecaster> forecaster,
+                      MakeForecaster(spec));
+
+  // Quantile bands are a MultiCast feature; rebuild with them when
+  // requested on a MultiCast variant.
+  if (flags.Has("quantiles")) {
+    auto* mc = dynamic_cast<forecast::MultiCastForecaster*>(
+        forecaster.get());
+    if (mc == nullptr) {
+      return Status::InvalidArgument(
+          "--quantiles requires a MultiCast method (DI, VI or VC)");
+    }
+    MC_ASSIGN_OR_RETURN(std::vector<double> levels,
+                        ParseQuantiles(flags.GetString("quantiles", "")));
+    forecast::MultiCastOptions opts = mc->options();
+    opts.quantiles = std::move(levels);
+    forecaster = std::make_unique<forecast::MultiCastForecaster>(opts);
+  }
+
+  MC_ASSIGN_OR_RETURN(
+      forecast::ForecastResult result,
+      forecaster->Forecast(frame, static_cast<size_t>(horizon)));
+  out << forecaster->name() << " forecast, " << horizon << " steps, "
+      << StrFormat("%.3fs", result.seconds);
+  if (result.ledger.total() > 0) {
+    out << ", tokens " << eval::FormatLedger(result.ledger);
+  }
+  out << "\n";
+
+  // Print the forecast as CSV rows on stdout.
+  out << WriteCsv(result.forecast.ToCsv());
+  for (const auto& [level, band] : result.quantile_bands) {
+    out << StrFormat("p%g band:\n", level * 100.0);
+    out << WriteCsv(band.ToCsv());
+  }
+
+  if (flags.GetBool("plot")) {
+    ts::Split pseudo;
+    pseudo.train = frame;
+    pseudo.test = result.forecast;
+    eval::MethodRun run;
+    run.method = forecaster->name();
+    run.forecast = result.forecast;
+    for (size_t d = 0; d < frame.num_dims(); ++d) {
+      out << eval::RenderForecastFigure(frame.dim(d).name(), pseudo, d,
+                                        run);
+    }
+  }
+  MC_RETURN_IF_ERROR(SaveIfRequested(flags, result.forecast, out));
+  return 0;
+}
+
+Result<int> CmdEvaluate(const FlagSet& flags, std::ostream& out) {
+  MC_ASSIGN_OR_RETURN(ts::Frame frame, LoadInput(flags));
+  MC_ASSIGN_OR_RETURN(int64_t horizon, flags.GetInt("horizon", 12));
+  MC_ASSIGN_OR_RETURN(int64_t folds, flags.GetInt("folds", 3));
+  MC_ASSIGN_OR_RETURN(int64_t stride, flags.GetInt("stride", horizon));
+  MC_ASSIGN_OR_RETURN(MethodSpec base, SpecFromFlags(flags));
+
+  eval::RollingOptions ro;
+  ro.horizon = static_cast<size_t>(horizon);
+  ro.folds = static_cast<size_t>(folds);
+  ro.stride = static_cast<size_t>(stride);
+
+  std::vector<std::string> header = {"Method"};
+  for (size_t d = 0; d < frame.num_dims(); ++d) {
+    header.push_back(frame.dim(d).name() + " (mean +/- sd)");
+  }
+  TextTable table(header);
+  for (const char* name : {"DI", "VI", "VC", "LLMTIME", "ARIMA", "SARIMA",
+                           "HW", "LSTM", "NAIVE"}) {
+    MethodSpec spec = base;
+    spec.name = name;
+    MC_ASSIGN_OR_RETURN(std::unique_ptr<forecast::Forecaster> forecaster,
+                        MakeForecaster(spec));
+    MC_ASSIGN_OR_RETURN(
+        eval::RollingResult result,
+        eval::RollingOriginEvaluate(forecaster.get(), frame, ro));
+    std::vector<std::string> row = {result.method};
+    for (size_t d = 0; d < frame.num_dims(); ++d) {
+      row.push_back(StrFormat("%.3f +/- %.3f", result.mean_rmse[d],
+                              result.stddev_rmse[d]));
+    }
+    table.AddRow(std::move(row));
+  }
+  out << table.Render();
+  return 0;
+}
+
+Result<int> CmdImpute(const FlagSet& flags, std::ostream& out) {
+  MC_ASSIGN_OR_RETURN(ts::Frame frame, LoadInput(flags));
+  MC_ASSIGN_OR_RETURN(MethodSpec spec, SpecFromFlags(flags));
+  extensions::ImputeOptions opts;
+  opts.multicast.num_samples = spec.samples;
+  opts.multicast.digits = spec.digits;
+  opts.multicast.seed = spec.seed;
+  MC_ASSIGN_OR_RETURN(opts.multicast.profile, ProfileByName(spec.profile));
+
+  auto gaps = extensions::FindGaps(frame);
+  out << "gaps: " << gaps.size();
+  for (const auto& gap : gaps) {
+    out << StrFormat(" [%zu, %zu)", gap.begin, gap.end);
+  }
+  out << "\n";
+  MC_ASSIGN_OR_RETURN(ts::Frame filled, extensions::Impute(frame, opts));
+  out << WriteCsv(filled.ToCsv());
+  MC_RETURN_IF_ERROR(SaveIfRequested(flags, filled, out));
+  return 0;
+}
+
+Result<int> CmdAnomaly(const FlagSet& flags, std::ostream& out) {
+  MC_ASSIGN_OR_RETURN(ts::Frame frame, LoadInput(flags));
+  MC_ASSIGN_OR_RETURN(double quantile, flags.GetDouble("quantile", 0.98));
+  extensions::AnomalyOptions opts;
+  opts.threshold_quantile = quantile;
+  MC_ASSIGN_OR_RETURN(opts.profile,
+                      ProfileByName(flags.GetString("profile", "llama2")));
+  MC_ASSIGN_OR_RETURN(extensions::AnomalyReport report,
+                      extensions::DetectAnomalies(frame, opts));
+  out << StrFormat("threshold (q%.3g of surprisal): %.4f\n", quantile,
+                   report.threshold);
+  out << "anomalies:";
+  for (size_t t : report.anomalies) {
+    size_t d = report.ArgMaxDimension(t);
+    out << " " << t << "(" << frame.dim(d).name() << ")";
+  }
+  out << "\n";
+
+  extensions::ChangePointOptions cp;
+  cp.scoring = opts;
+  MC_ASSIGN_OR_RETURN(std::vector<size_t> cps,
+                      extensions::DetectChangePoints(frame, cp));
+  out << "change points:";
+  for (size_t t : cps) out << " " << t;
+  out << "\n";
+  return 0;
+}
+
+Result<int> CmdGenerate(const FlagSet& flags, std::ostream& out) {
+  std::string dataset = flags.GetString("dataset", "GasRate");
+  MC_ASSIGN_OR_RETURN(int64_t seed,
+                      flags.GetInt("seed", data::kDefaultSeed));
+  MC_ASSIGN_OR_RETURN(
+      ts::Frame frame,
+      data::LoadDataset(dataset, static_cast<uint64_t>(seed)));
+  std::string path = flags.GetString("output", "");
+  if (path.empty()) {
+    out << WriteCsv(frame.ToCsv());
+  } else {
+    MC_RETURN_IF_ERROR(WriteCsvFile(frame.ToCsv(), path));
+    out << "wrote " << dataset << " (" << frame.num_dims() << " x "
+        << frame.length() << ") to " << path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<forecast::Forecaster>> MakeForecaster(
+    const MethodSpec& spec) {
+  MC_ASSIGN_OR_RETURN(lm::ModelProfile profile,
+                      ProfileByName(spec.profile));
+  auto multicast_with = [&](multiplex::MuxKind mux)
+      -> Result<std::unique_ptr<forecast::Forecaster>> {
+    forecast::MultiCastOptions opts;
+    opts.mux = mux;
+    opts.num_samples = spec.samples;
+    opts.digits = spec.digits;
+    opts.seed = spec.seed;
+    opts.profile = profile;
+    if (spec.sax == "alpha") {
+      opts.quantization = forecast::Quantization::kSaxAlphabetic;
+    } else if (spec.sax == "digit") {
+      opts.quantization = forecast::Quantization::kSaxDigital;
+    } else if (!spec.sax.empty()) {
+      return Status::InvalidArgument("--sax expects 'alpha' or 'digit'");
+    }
+    opts.sax_segment_length = spec.sax_segment;
+    opts.sax_alphabet_size = spec.sax_alphabet;
+    return {std::make_unique<forecast::MultiCastForecaster>(opts)};
+  };
+
+  if (spec.name == "DI") {
+    return multicast_with(multiplex::MuxKind::kDigitInterleave);
+  }
+  if (spec.name == "VI") {
+    return multicast_with(multiplex::MuxKind::kValueInterleave);
+  }
+  if (spec.name == "VC") {
+    return multicast_with(multiplex::MuxKind::kValueConcat);
+  }
+  if (spec.name == "LLMTIME") {
+    forecast::LlmTimeOptions opts;
+    opts.num_samples = spec.samples;
+    opts.digits = spec.digits;
+    opts.seed = spec.seed;
+    opts.profile = profile;
+    return {std::make_unique<forecast::LlmTimeForecaster>(opts)};
+  }
+  if (spec.name == "ARIMA") {
+    baselines::ArimaOptions opts;
+    opts.auto_select = true;
+    return {std::make_unique<baselines::ArimaForecaster>(opts)};
+  }
+  if (spec.name == "SARIMA") {
+    baselines::SarimaOptions opts;
+    opts.auto_period = true;
+    return {std::make_unique<baselines::SarimaForecaster>(opts)};
+  }
+  if (spec.name == "LSTM") {
+    baselines::LstmOptions opts;
+    opts.seed = spec.seed;
+    return {std::make_unique<baselines::LstmForecaster>(opts)};
+  }
+  if (spec.name == "HW") {
+    baselines::EtsOptions opts;
+    opts.auto_season = true;
+    return {std::make_unique<baselines::EtsForecaster>(opts)};
+  }
+  if (spec.name == "NAIVE") {
+    return {std::make_unique<baselines::NaiveLastForecaster>()};
+  }
+  if (spec.name == "DRIFT") {
+    return {std::make_unique<baselines::DriftForecaster>()};
+  }
+  return Status::InvalidArgument(
+      "unknown method '" + spec.name +
+      "' (expected DI, VI, VC, LLMTIME, ARIMA, SARIMA, LSTM, HW, NAIVE or "
+      "DRIFT)");
+}
+
+std::string UsageText() {
+  return
+      "multicast <command> [flags]\n"
+      "\n"
+      "commands:\n"
+      "  forecast  --input feed.csv --horizon 12 [--method VI] [--samples 5]\n"
+      "            [--digits 2] [--sax alpha|digit] [--sax-segment 6]\n"
+      "            [--sax-alphabet 5] [--profile llama2|phi2|ctw]\n"
+      "            [--quantiles 0.1,0.9] [--seed 42] [--output out.csv]\n"
+      "            [--plot]\n"
+      "  evaluate  --input feed.csv --horizon 12 [--folds 3] [--stride 12]\n"
+      "  impute    --input feed.csv [--output out.csv]\n"
+      "  anomaly   --input feed.csv [--quantile 0.98]\n"
+      "  generate  [--dataset GasRate|Electricity|Weather] [--seed N]\n"
+      "            [--output out.csv]\n"
+      "  help\n";
+}
+
+Result<int> RunCommand(const std::vector<std::string>& args,
+                       std::ostream& out) {
+  if (args.empty() || args[0] == "help" || args[0] == "--help") {
+    out << UsageText();
+    return 0;
+  }
+  std::string command = args[0];
+  std::vector<std::string> rest(args.begin() + 1, args.end());
+  MC_ASSIGN_OR_RETURN(FlagSet flags,
+                      FlagSet::Parse(rest, kMethodFlags, kBoolFlags));
+  if (command == "forecast") return CmdForecast(flags, out);
+  if (command == "evaluate") return CmdEvaluate(flags, out);
+  if (command == "impute") return CmdImpute(flags, out);
+  if (command == "anomaly") return CmdAnomaly(flags, out);
+  if (command == "generate") return CmdGenerate(flags, out);
+  return Status::InvalidArgument("unknown command '" + command +
+                                 "'; run 'multicast help'");
+}
+
+}  // namespace cli
+}  // namespace multicast

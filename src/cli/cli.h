@@ -1,0 +1,56 @@
+// The `multicast` command-line tool, as a testable library.
+//
+// Subcommands:
+//   forecast  — forecast a CSV feed with any method, print or save
+//   evaluate  — rolling-origin comparison of all methods on a CSV feed
+//   impute    — fill NaN gaps in a CSV feed
+//   anomaly   — score and flag anomalous timestamps
+//   generate  — write one of the built-in synthetic datasets to CSV
+//   help      — usage
+//
+// The thin binary in tools/ forwards argv here; every command writes to
+// the supplied stream so tests can capture output.
+
+#ifndef MULTICAST_CLI_CLI_H_
+#define MULTICAST_CLI_CLI_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "forecast/forecaster.h"
+#include "util/status.h"
+
+namespace multicast {
+namespace cli {
+
+/// Runs one CLI invocation (args excludes argv[0]). Returns the process
+/// exit code on success; an error Status describes a usage problem.
+Result<int> RunCommand(const std::vector<std::string>& args,
+                       std::ostream& out);
+
+/// Builds a forecaster from its CLI name: DI, VI, VC, LLMTIME, ARIMA,
+/// LSTM, HW (Holt–Winters), NAIVE, DRIFT. MultiCast variants honor
+/// `samples`, `digits`, `seed` and the SAX settings.
+struct MethodSpec {
+  std::string name = "VI";
+  int samples = 5;
+  int digits = 2;
+  uint64_t seed = 42;
+  std::string sax;          // "", "alpha" or "digit"
+  int sax_segment = 6;
+  int sax_alphabet = 5;
+  std::string profile = "llama2";  // llama2 | phi2 | ctw
+};
+
+Result<std::unique_ptr<forecast::Forecaster>> MakeForecaster(
+    const MethodSpec& spec);
+
+/// Usage text.
+std::string UsageText();
+
+}  // namespace cli
+}  // namespace multicast
+
+#endif  // MULTICAST_CLI_CLI_H_

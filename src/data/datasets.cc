@@ -1,0 +1,163 @@
+#include "data/datasets.h"
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace multicast {
+namespace data {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// Smooth AR(1) noise process with standard deviation ~sigma.
+class RedNoise {
+ public:
+  RedNoise(Rng* rng, double rho, double sigma)
+      : rng_(rng), rho_(rho),
+        innovation_(sigma * std::sqrt(1.0 - rho * rho)) {}
+
+  double Next() {
+    state_ = rho_ * state_ + rng_->NextGaussian(0.0, innovation_);
+    return state_;
+  }
+
+ private:
+  Rng* rng_;
+  double rho_;
+  double innovation_;
+  double state_ = 0.0;
+};
+
+}  // namespace
+
+std::vector<DatasetSpec> BuiltinDatasets() {
+  return {
+      {"GasRate", 2, 296,
+       "gas furnace: input feed rate and output CO2 percentage"},
+      {"Electricity", 3, 242,
+       "transformer load (HUFL, HULL) and oil temperature (OT)"},
+      {"Weather", 4, 217,
+       "air temperature, vapor concentration, saturation pressure, "
+       "potential temperature"},
+  };
+}
+
+Result<ts::Frame> MakeGasRate(uint64_t seed) {
+  constexpr size_t kLength = 296;
+  Rng rng(seed, /*stream=*/101);
+  RedNoise feed_noise(&rng, 0.8, 0.35);
+  RedNoise co2_noise(&rng, 0.6, 0.25);
+
+  // Latent oscillating gas feed: two interfering cycles plus red noise,
+  // echoing the quasi-periodic bursts of the Box–Jenkins input series.
+  std::vector<double> gas(kLength);
+  for (size_t t = 0; t < kLength; ++t) {
+    double slow = 1.6 * std::sin(2.0 * kPi * static_cast<double>(t) / 55.0);
+    double fast = 0.9 * std::sin(2.0 * kPi * static_cast<double>(t) / 17.0 +
+                                 1.3);
+    gas[t] = slow + fast + feed_noise.Next();
+  }
+
+  // CO2 output responds negatively to the feed with a ~4-step lag and
+  // first-order plant smoothing around a 53% operating point.
+  std::vector<double> co2(kLength);
+  double plant = 0.0;
+  for (size_t t = 0; t < kLength; ++t) {
+    double input = t >= 4 ? gas[t - 4] : gas[0];
+    plant = 0.72 * plant + 0.28 * (-1.9 * input);
+    co2[t] = 53.0 + 2.6 * plant + co2_noise.Next();
+  }
+
+  return ts::Frame::FromSeries(
+      {ts::Series(std::move(gas), "GasRate"),
+       ts::Series(std::move(co2), "CO2")},
+      "GasRate");
+}
+
+Result<ts::Frame> MakeElectricity(uint64_t seed) {
+  constexpr size_t kLength = 242;  // 3-day samples, ~2 years
+  Rng rng(seed, /*stream=*/103);
+  RedNoise load_noise(&rng, 0.7, 2.2);
+  RedNoise hull_noise(&rng, 0.5, 0.5);
+  RedNoise ot_noise(&rng, 0.75, 1.6);
+
+  std::vector<double> hufl(kLength), hull(kLength), ot(kLength);
+  double thermal = 0.0;
+  for (size_t t = 0; t < kLength; ++t) {
+    double tt = static_cast<double>(t);
+    // Annual demand cycle (one year ~ 121.7 samples at 3-day sampling)
+    // with a slow growth trend and a shorter operational cycle.
+    double annual = 9.0 * std::sin(2.0 * kPi * tt / 121.7 + 0.6);
+    double monthly = 3.0 * std::sin(2.0 * kPi * tt / 10.1);
+    double load = 24.0 + 0.015 * tt + annual + monthly + load_noise.Next();
+    hufl[t] = load;
+    // Useless load tracks useful load at a much smaller scale.
+    hull[t] = 1.5 + 0.16 * load + hull_noise.Next();
+    // Oil temperature integrates the load (thermal inertia) on top of a
+    // phase-shifted annual cycle.
+    thermal = 0.9 * thermal + 0.1 * (load - 24.0);
+    ot[t] = 30.0 + 8.0 * std::sin(2.0 * kPi * tt / 121.7 - 0.9) +
+            0.9 * thermal + ot_noise.Next();
+  }
+
+  return ts::Frame::FromSeries(
+      {ts::Series(std::move(hufl), "HUFL"),
+       ts::Series(std::move(hull), "HULL"),
+       ts::Series(std::move(ot), "OT")},
+      "Electricity");
+}
+
+Result<ts::Frame> MakeWeather(uint64_t seed) {
+  constexpr size_t kLength = 217;
+  Rng rng(seed, /*stream=*/107);
+  RedNoise temp_noise(&rng, 0.8, 1.8);
+  RedNoise h2oc_noise(&rng, 0.5, 0.35);
+  RedNoise vp_noise(&rng, 0.5, 0.8);
+  RedNoise tpot_noise(&rng, 0.4, 0.4);
+
+  std::vector<double> tlog(kLength), h2oc(kLength), vpmax(kLength),
+      tpot(kLength);
+  for (size_t t = 0; t < kLength; ++t) {
+    double tt = static_cast<double>(t);
+    // Latent air temperature: annual cycle (~108.5 samples per year)
+    // plus a synoptic ~11-sample wave and red noise.
+    double temp = 10.0 + 8.0 * std::sin(2.0 * kPi * tt / 108.5 - 1.2) +
+                  4.0 * std::sin(2.0 * kPi * tt / 11.3 + 0.4) +
+                  temp_noise.Next();
+    tlog[t] = temp;
+    // Magnus law: saturation vapor pressure is exponential in T.
+    double magnus = 6.1094 * std::exp(17.625 * temp / (temp + 243.04));
+    vpmax[t] = magnus + vp_noise.Next();
+    // Vapor concentration follows saturation pressure at ~65% relative
+    // humidity (ideal-gas mmol/mol at ~1 bar).
+    h2oc[t] = 0.65 * magnus * 0.987 + h2oc_noise.Next();
+    // Potential temperature in Kelvin tracks T with a small offset.
+    tpot[t] = temp + 273.15 + 1.5 + tpot_noise.Next();
+  }
+
+  return ts::Frame::FromSeries(
+      {ts::Series(std::move(tlog), "Tlog"),
+       ts::Series(std::move(h2oc), "H2OC"),
+       ts::Series(std::move(vpmax), "VPmax"),
+       ts::Series(std::move(tpot), "Tpot")},
+      "Weather");
+}
+
+Result<ts::Frame> LoadDataset(const std::string& name, uint64_t seed) {
+  if (name == "GasRate") return MakeGasRate(seed);
+  if (name == "Electricity") return MakeElectricity(seed);
+  if (name == "Weather") return MakeWeather(seed);
+  return Status::NotFound("unknown dataset '" + name +
+                          "' (expected GasRate, Electricity or Weather)");
+}
+
+Result<ts::Frame> LoadCsvDataset(const std::string& path,
+                                 const std::string& name) {
+  MC_ASSIGN_OR_RETURN(CsvTable table, ReadCsvFile(path));
+  return ts::Frame::FromCsv(table, name);
+}
+
+}  // namespace data
+}  // namespace multicast

@@ -1,0 +1,63 @@
+#include "eval/experiment.h"
+
+#include "metrics/metrics.h"
+#include "util/strings.h"
+
+namespace multicast {
+namespace eval {
+
+Result<MethodRun> RunMethod(forecast::Forecaster* forecaster,
+                            const ts::Split& split) {
+  if (forecaster == nullptr) {
+    return Status::InvalidArgument("null forecaster");
+  }
+  size_t horizon = split.test.length();
+  MC_ASSIGN_OR_RETURN(forecast::ForecastResult result,
+                      forecaster->Forecast(split.train, horizon));
+  if (result.forecast.num_dims() != split.test.num_dims() ||
+      result.forecast.length() != horizon) {
+    return Status::Internal(
+        StrFormat("%s returned a %zux%zu forecast for a %zux%zu horizon",
+                  forecaster->name().c_str(), result.forecast.num_dims(),
+                  result.forecast.length(), split.test.num_dims(), horizon));
+  }
+
+  MethodRun run;
+  run.method = forecaster->name();
+  run.seconds = result.seconds;
+  run.ledger = result.ledger;
+  for (size_t d = 0; d < split.test.num_dims(); ++d) {
+    MC_ASSIGN_OR_RETURN(double rmse,
+                        metrics::Rmse(split.test.dim(d).values(),
+                                      result.forecast.dim(d).values()));
+    run.rmse_per_dim.push_back(rmse);
+  }
+  run.forecast = std::move(result.forecast);
+  return run;
+}
+
+Result<std::vector<MethodRun>> RunMethods(
+    const std::vector<forecast::Forecaster*>& forecasters,
+    const ts::Split& split) {
+  std::vector<MethodRun> runs;
+  runs.reserve(forecasters.size());
+  for (forecast::Forecaster* f : forecasters) {
+    MC_ASSIGN_OR_RETURN(MethodRun run, RunMethod(f, split));
+    runs.push_back(std::move(run));
+  }
+  return runs;
+}
+
+int ArgMin(const std::vector<double>& values) {
+  if (values.empty()) return -1;
+  int best = 0;
+  for (size_t i = 1; i < values.size(); ++i) {
+    if (values[i] < values[static_cast<size_t>(best)]) {
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+}  // namespace eval
+}  // namespace multicast

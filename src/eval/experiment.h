@@ -1,0 +1,47 @@
+// Experiment harness: runs forecasters on a train/test split and scores
+// them the way the paper's tables report (per-dimension RMSE, wall time,
+// token usage).
+
+#ifndef MULTICAST_EVAL_EXPERIMENT_H_
+#define MULTICAST_EVAL_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "forecast/forecaster.h"
+#include "ts/split.h"
+#include "util/status.h"
+
+namespace multicast {
+namespace eval {
+
+/// One method's scored run on one split.
+struct MethodRun {
+  std::string method;
+  /// RMSE of each dimension, in frame dimension order.
+  std::vector<double> rmse_per_dim;
+  /// Wall seconds spent in Forecast().
+  double seconds = 0.0;
+  /// LLM token usage (zeros for classical methods).
+  lm::TokenLedger ledger;
+  /// The forecast itself, retained for figure rendering.
+  ts::Frame forecast;
+};
+
+/// Forecasts `split.test.length()` steps from `split.train` and scores
+/// against `split.test`.
+Result<MethodRun> RunMethod(forecast::Forecaster* forecaster,
+                            const ts::Split& split);
+
+/// Runs a list of forecasters on the same split.
+Result<std::vector<MethodRun>> RunMethods(
+    const std::vector<forecast::Forecaster*>& forecasters,
+    const ts::Split& split);
+
+/// Index of the best (lowest) entry of `values`; -1 when empty.
+int ArgMin(const std::vector<double>& values);
+
+}  // namespace eval
+}  // namespace multicast
+
+#endif  // MULTICAST_EVAL_EXPERIMENT_H_

@@ -1,0 +1,88 @@
+#include "eval/report.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/ascii_plot.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace multicast {
+namespace eval {
+
+std::string RenderRmseTable(const std::string& title,
+                            const std::vector<std::string>& dim_names,
+                            const std::vector<MethodRun>& runs,
+                            const std::vector<std::vector<double>>& paper) {
+  std::vector<std::string> header = {"Model"};
+  for (const auto& name : dim_names) header.push_back(name);
+  TextTable table(header);
+
+  // Per-dimension best across methods, for the '*' marker.
+  std::vector<double> best(dim_names.size(),
+                           std::numeric_limits<double>::infinity());
+  for (const auto& run : runs) {
+    for (size_t d = 0; d < run.rmse_per_dim.size() && d < best.size(); ++d) {
+      best[d] = std::min(best[d], run.rmse_per_dim[d]);
+    }
+  }
+
+  for (size_t r = 0; r < runs.size(); ++r) {
+    std::vector<std::string> row = {runs[r].method};
+    for (size_t d = 0; d < dim_names.size(); ++d) {
+      if (d >= runs[r].rmse_per_dim.size()) {
+        row.push_back("-");
+        continue;
+      }
+      double v = runs[r].rmse_per_dim[d];
+      std::string cell = FormatDouble(v, 3);
+      if (v <= best[d]) cell += " *";
+      if (r < paper.size() && d < paper[r].size()) {
+        cell += StrFormat(" (paper %s)",
+                          FormatDouble(paper[r][d], 3).c_str());
+      }
+      row.push_back(std::move(cell));
+    }
+    table.AddRow(std::move(row));
+  }
+
+  std::string out;
+  if (!title.empty()) out += title + "\n";
+  out += table.Render();
+  return out;
+}
+
+std::string RenderForecastFigure(const std::string& title,
+                                 const ts::Split& split, size_t dim,
+                                 const MethodRun& run, size_t history_tail) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  ts::Series tail = split.train.dim(dim).Tail(history_tail);
+  size_t prefix = tail.size();
+  size_t horizon = split.test.length();
+
+  PlotSeries history{"history", '.', {}};
+  history.values = tail.values();
+  history.values.resize(prefix + horizon, nan);
+
+  PlotSeries actual{"actual", 'o', std::vector<double>(prefix, nan)};
+  for (size_t t = 0; t < horizon; ++t) {
+    actual.values.push_back(split.test.dim(dim)[t]);
+  }
+
+  PlotSeries predicted{run.method + " forecast", '#',
+                       std::vector<double>(prefix, nan)};
+  for (size_t t = 0; t < horizon; ++t) {
+    predicted.values.push_back(run.forecast.dim(dim)[t]);
+  }
+
+  PlotOptions options;
+  options.title = title;
+  return RenderAsciiPlot({history, actual, predicted}, options);
+}
+
+std::string FormatLedger(const lm::TokenLedger& ledger) {
+  return StrFormat("%zu+%zu", ledger.prompt_tokens, ledger.generated_tokens);
+}
+
+}  // namespace eval
+}  // namespace multicast

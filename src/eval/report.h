@@ -1,0 +1,39 @@
+// Rendering helpers for the paper-style tables and figure overlays.
+
+#ifndef MULTICAST_EVAL_REPORT_H_
+#define MULTICAST_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/experiment.h"
+#include "ts/split.h"
+
+namespace multicast {
+namespace eval {
+
+/// Renders a Table IV/V/VI-style block: one row per method, one RMSE
+/// column per dimension, the per-column best marked with '*'. When
+/// `paper` is non-empty it must be rows of paper-reported RMSEs aligned
+/// with `runs`; they are printed beside the measured values as
+/// "measured (paper X)".
+std::string RenderRmseTable(const std::string& title,
+                            const std::vector<std::string>& dim_names,
+                            const std::vector<MethodRun>& runs,
+                            const std::vector<std::vector<double>>& paper =
+                                {});
+
+/// Renders a figure-style overlay for one dimension: the tail of the
+/// training history, the actual horizon and a method's forecast.
+std::string RenderForecastFigure(const std::string& title,
+                                 const ts::Split& split, size_t dim,
+                                 const MethodRun& run,
+                                 size_t history_tail = 48);
+
+/// Formats a token ledger as "prompt+generated" ("1320+84").
+std::string FormatLedger(const lm::TokenLedger& ledger);
+
+}  // namespace eval
+}  // namespace multicast
+
+#endif  // MULTICAST_EVAL_REPORT_H_

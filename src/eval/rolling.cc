@@ -1,0 +1,63 @@
+#include "eval/rolling.h"
+
+#include <cmath>
+
+#include "ts/split.h"
+#include "util/strings.h"
+
+namespace multicast {
+namespace eval {
+
+Result<RollingResult> RollingOriginEvaluate(
+    forecast::Forecaster* forecaster, const ts::Frame& frame,
+    const RollingOptions& options) {
+  if (forecaster == nullptr) {
+    return Status::InvalidArgument("null forecaster");
+  }
+  if (options.horizon == 0 || options.folds == 0) {
+    return Status::InvalidArgument("horizon and folds must be >= 1");
+  }
+  // Fold k (0-based, newest first) ends at length - k * stride.
+  size_t deepest_offset = (options.folds - 1) * options.stride +
+                          options.horizon;
+  if (frame.length() < deepest_offset + options.min_train) {
+    return Status::InvalidArgument(
+        StrFormat("frame of length %zu too short for %zu folds "
+                  "(needs %zu)",
+                  frame.length(), options.folds,
+                  deepest_offset + options.min_train));
+  }
+
+  RollingResult result;
+  result.method = forecaster->name();
+  size_t dims = frame.num_dims();
+  result.mean_rmse.assign(dims, 0.0);
+  result.stddev_rmse.assign(dims, 0.0);
+
+  for (size_t k = 0; k < options.folds; ++k) {
+    size_t end = frame.length() - k * options.stride;
+    MC_ASSIGN_OR_RETURN(ts::Frame window, frame.Slice(0, end));
+    MC_ASSIGN_OR_RETURN(ts::Split split,
+                        ts::SplitHorizon(window, options.horizon));
+    MC_ASSIGN_OR_RETURN(MethodRun run, RunMethod(forecaster, split));
+    result.ledger += run.ledger;
+    result.fold_rmse.push_back(run.rmse_per_dim);
+  }
+
+  for (size_t d = 0; d < dims; ++d) {
+    double sum = 0.0;
+    for (const auto& fold : result.fold_rmse) sum += fold[d];
+    double mean = sum / static_cast<double>(options.folds);
+    double ss = 0.0;
+    for (const auto& fold : result.fold_rmse) {
+      ss += (fold[d] - mean) * (fold[d] - mean);
+    }
+    result.mean_rmse[d] = mean;
+    result.stddev_rmse[d] =
+        std::sqrt(ss / static_cast<double>(options.folds));
+  }
+  return result;
+}
+
+}  // namespace eval
+}  // namespace multicast

@@ -1,0 +1,56 @@
+// Rolling-origin evaluation (time-series cross-validation).
+//
+// The paper scores one train/test split per dataset. A single split is
+// high-variance — especially for sampled LLM forecasts — so this
+// evaluator re-fits and re-forecasts from a sequence of origins and
+// aggregates per-dimension RMSE across folds. Used by the robustness
+// bench and available to library users.
+
+#ifndef MULTICAST_EVAL_ROLLING_H_
+#define MULTICAST_EVAL_ROLLING_H_
+
+#include <vector>
+
+#include "eval/experiment.h"
+#include "forecast/forecaster.h"
+#include "ts/frame.h"
+#include "util/status.h"
+
+namespace multicast {
+namespace eval {
+
+struct RollingOptions {
+  /// Steps forecast at every origin.
+  size_t horizon = 12;
+  /// Origins step back from the series end by this stride.
+  size_t stride = 12;
+  /// Number of folds (origins). The earliest fold must still leave
+  /// `min_train` observations of history.
+  size_t folds = 3;
+  /// Minimum history length per fold.
+  size_t min_train = 32;
+};
+
+/// Aggregated rolling-origin result for one method.
+struct RollingResult {
+  std::string method;
+  /// Per-dimension RMSE averaged over folds.
+  std::vector<double> mean_rmse;
+  /// Per-dimension standard deviation of the fold RMSEs.
+  std::vector<double> stddev_rmse;
+  /// Per-fold per-dimension RMSEs (folds x dims), newest origin first.
+  std::vector<std::vector<double>> fold_rmse;
+  /// Summed token ledger across folds.
+  lm::TokenLedger ledger;
+};
+
+/// Runs `forecaster` at every origin and aggregates. Errors if the
+/// frame is too short for the requested folds.
+Result<RollingResult> RollingOriginEvaluate(forecast::Forecaster* forecaster,
+                                            const ts::Frame& frame,
+                                            const RollingOptions& options);
+
+}  // namespace eval
+}  // namespace multicast
+
+#endif  // MULTICAST_EVAL_ROLLING_H_

@@ -1,0 +1,80 @@
+// Zero-shot anomaly and change-point detection — the remaining
+// future-work tasks of the paper's conclusion, built directly on the
+// language-model substrate.
+//
+// The series is serialized exactly as for forecasting (rescale ->
+// multiplex -> tokenize). The LM is then evaluated *prequentially*: each
+// token is scored by its negative log-likelihood under the model's
+// prediction BEFORE the token is observed. Timestamps whose tokens the
+// pattern model finds surprising get high scores; a threshold on the
+// score flags anomalies, and a CUSUM pass over the scores locates
+// sustained distribution shifts (change points).
+
+#ifndef MULTICAST_EXTENSIONS_ANOMALY_H_
+#define MULTICAST_EXTENSIONS_ANOMALY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "lm/profiles.h"
+#include "multiplex/multiplexer.h"
+#include "ts/frame.h"
+#include "util/status.h"
+
+namespace multicast {
+namespace extensions {
+
+struct AnomalyOptions {
+  multiplex::MuxKind mux = multiplex::MuxKind::kValueConcat;
+  int digits = 2;
+  lm::ModelProfile profile = lm::ModelProfile::Llama2_7B();
+  /// Timestamps scoring above this quantile of all scores are anomalies.
+  double threshold_quantile = 0.98;
+  /// Leading timestamps exempt from flagging while the model warms up.
+  size_t warmup = 16;
+};
+
+struct AnomalyReport {
+  /// Mean per-token negative log-likelihood of each timestamp.
+  std::vector<double> scores;
+  /// Attribution: per_dim_scores[d][t] is the mean surprisal of the
+  /// tokens that serialize dimension d at timestamp t (separator tokens
+  /// are charged to the whole timestamp only). The dimension that
+  /// caused an alarm is the argmax over d at the flagged t.
+  std::vector<std::vector<double>> per_dim_scores;
+  /// Timestamps flagged as anomalous (score above the quantile
+  /// threshold, after warm-up).
+  std::vector<size_t> anomalies;
+  /// The threshold that was applied.
+  double threshold = 0.0;
+
+  /// Dimension with the highest surprisal at timestamp t (for alarm
+  /// triage); returns 0 for an out-of-range t.
+  size_t ArgMaxDimension(size_t t) const;
+};
+
+/// Scores every timestamp of `frame` and flags anomalies. Zero-shot: the
+/// model state is built online from the very stream being scored.
+Result<AnomalyReport> DetectAnomalies(const ts::Frame& frame,
+                                      const AnomalyOptions& options);
+
+struct ChangePointOptions {
+  AnomalyOptions scoring;
+  /// CUSUM drift: scores must exceed their running mean by this many
+  /// standard deviations before evidence accumulates.
+  double drift_sigmas = 0.5;
+  /// CUSUM alarm threshold, in standard deviations of the score.
+  double alarm_sigmas = 6.0;
+  /// Minimum spacing between reported change points.
+  size_t min_spacing = 10;
+};
+
+/// Detects sustained shifts in the LM surprisal stream. Returns the
+/// change-point timestamps in increasing order.
+Result<std::vector<size_t>> DetectChangePoints(
+    const ts::Frame& frame, const ChangePointOptions& options);
+
+}  // namespace extensions
+}  // namespace multicast
+
+#endif  // MULTICAST_EXTENSIONS_ANOMALY_H_

@@ -1,0 +1,189 @@
+#include "extensions/imputation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace multicast {
+namespace extensions {
+
+namespace {
+
+// Root-mean-square step size of the `window` first-differences of a
+// series prefix ending at (exclusive) index `end`; 0 when too short.
+double LocalStepScale(const ts::Series& series, size_t end,
+                      size_t window = 8) {
+  if (end < 2) return 0.0;
+  size_t begin = end > window ? end - window : 1;
+  double ss = 0.0;
+  for (size_t t = begin; t < end; ++t) {
+    double step = series[t] - series[t - 1];
+    ss += step * step;
+  }
+  return std::sqrt(ss / static_cast<double>(end - begin));
+}
+
+// Shift that removes most of a seam jump that is large relative to the
+// anchor's typical step size, while leaving a seam-consistent forecast
+// essentially untouched. The quadratic weight m^2 / (m^2 + band^2)
+// interpolates smoothly between the two regimes: a jump of many step
+// scales is ~fully pulled back to the edge, a jump within one step
+// scale is barely moved.
+double SeamShift(double mismatch, double step_scale) {
+  double band = 2.0 * step_scale;
+  double m2 = mismatch * mismatch;
+  double weight = m2 / (m2 + band * band + 1e-12);
+  return -mismatch * weight;
+}
+
+// Reverses every dimension of a frame (time runs backwards).
+Result<ts::Frame> ReverseFrame(const ts::Frame& frame) {
+  std::vector<ts::Series> dims;
+  for (size_t d = 0; d < frame.num_dims(); ++d) {
+    std::vector<double> values = frame.dim(d).values();
+    std::reverse(values.begin(), values.end());
+    dims.emplace_back(std::move(values), frame.dim(d).name());
+  }
+  return ts::Frame::FromSeries(std::move(dims), frame.name());
+}
+
+}  // namespace
+
+std::vector<Gap> FindGaps(const ts::Frame& frame) {
+  std::vector<Gap> gaps;
+  bool in_gap = false;
+  Gap current;
+  for (size_t t = 0; t < frame.length(); ++t) {
+    bool missing = false;
+    for (size_t d = 0; d < frame.num_dims(); ++d) {
+      if (std::isnan(frame.at(d, t))) {
+        missing = true;
+        break;
+      }
+    }
+    if (missing && !in_gap) {
+      current.begin = t;
+      in_gap = true;
+    } else if (!missing && in_gap) {
+      current.end = t;
+      gaps.push_back(current);
+      in_gap = false;
+    }
+  }
+  if (in_gap) {
+    current.end = frame.length();
+    gaps.push_back(current);
+  }
+  return gaps;
+}
+
+Result<ts::Frame> Impute(const ts::Frame& frame,
+                         const ImputeOptions& options) {
+  // Minimum history the LLM pipeline is prompted with on each side.
+  constexpr size_t kMinAnchor = 8;
+
+  std::vector<Gap> gaps = FindGaps(frame);
+  ts::Frame out = frame;
+  for (size_t gi = 0; gi < gaps.size(); ++gi) {
+    const Gap& gap = gaps[gi];
+    // The right anchor must stop before the next (still unfilled) gap.
+    size_t right_end =
+        gi + 1 < gaps.size() ? gaps[gi + 1].begin : frame.length();
+    bool has_left = gap.begin >= kMinAnchor;
+    size_t right_len = right_end - gap.end;
+    bool has_right = options.bidirectional && right_len >= kMinAnchor;
+    if (!has_left && !has_right) {
+      return Status::FailedPrecondition(
+          StrFormat("gap [%zu, %zu) has no usable anchor on either side",
+                    gap.begin, gap.end));
+    }
+
+    // NOTE: anchors themselves may contain earlier gaps; impute in order
+    // so the left anchor is already filled by previous iterations.
+    Result<ts::Frame> forward = Status::NotFound("unused");
+    if (has_left) {
+      MC_ASSIGN_OR_RETURN(ts::Frame left, out.Slice(0, gap.begin));
+      forecast::MultiCastForecaster f(options.multicast);
+      forward = [&]() -> Result<ts::Frame> {
+        MC_ASSIGN_OR_RETURN(forecast::ForecastResult r,
+                            f.Forecast(left, gap.length()));
+        return std::move(r.forecast);
+      }();
+      MC_RETURN_IF_ERROR(forward.status());
+    }
+    Result<ts::Frame> backward = Status::NotFound("unused");
+    if (has_right) {
+      MC_ASSIGN_OR_RETURN(ts::Frame right, out.Slice(gap.end, right_end));
+      MC_ASSIGN_OR_RETURN(ts::Frame reversed, ReverseFrame(right));
+      forecast::MultiCastForecaster b(options.multicast);
+      backward = [&]() -> Result<ts::Frame> {
+        MC_ASSIGN_OR_RETURN(forecast::ForecastResult r,
+                            b.Forecast(reversed, gap.length()));
+        // The backward forecast arrives nearest-to-gap-end first.
+        return ReverseFrame(r.forecast);
+      }();
+      MC_RETURN_IF_ERROR(backward.status());
+    }
+
+    // Seam continuity: shift each side's forecast so its gap-edge value
+    // continues the adjacent anchor's level plus local slope.
+    if (options.align_seams) {
+      for (size_t d = 0; d < out.num_dims(); ++d) {
+        if (has_left) {
+          double edge = out.at(d, gap.begin - 1);
+          double scale = LocalStepScale(out.dim(d), gap.begin);
+          double mismatch = forward.value().at(d, 0) - edge;
+          double shift = SeamShift(mismatch, scale);
+          for (size_t k = 0; k < gap.length(); ++k) {
+            forward.value().dim(d)[k] += shift;
+          }
+        }
+        if (has_right) {
+          double edge = out.at(d, gap.end);
+          // Step scale just after the gap, in forward time.
+          double ss = 0.0;
+          size_t window = std::min<size_t>(8, right_end - gap.end - 1);
+          for (size_t t = gap.end + 1; t <= gap.end + window; ++t) {
+            double step = out.at(d, t) - out.at(d, t - 1);
+            ss += step * step;
+          }
+          double scale =
+              window > 0 ? std::sqrt(ss / static_cast<double>(window))
+                         : 0.0;
+          double mismatch =
+              backward.value().at(d, gap.length() - 1) - edge;
+          double shift = SeamShift(mismatch, scale);
+          for (size_t k = 0; k < gap.length(); ++k) {
+            backward.value().dim(d)[k] += shift;
+          }
+        }
+      }
+    }
+
+    for (size_t d = 0; d < out.num_dims(); ++d) {
+      for (size_t k = 0; k < gap.length(); ++k) {
+        double value;
+        if (has_left && has_right) {
+          // Linear cross-fade: trust the forward pass near the left
+          // edge and the backward pass near the right edge.
+          double w = gap.length() == 1
+                         ? 0.5
+                         : static_cast<double>(k) /
+                               static_cast<double>(gap.length() - 1);
+          value = (1.0 - w) * forward.value().at(d, k) +
+                  w * backward.value().at(d, k);
+        } else if (has_left) {
+          value = forward.value().at(d, k);
+        } else {
+          value = backward.value().at(d, k);
+        }
+        out.dim(d)[gap.begin + k] = value;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace extensions
+}  // namespace multicast

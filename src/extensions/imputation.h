@@ -1,0 +1,54 @@
+// Zero-shot gap imputation — the first of the paper's stated future-work
+// tasks ("imputation, anomaly detection, and change point detection"),
+// built on the same serialize -> sample -> median pipeline.
+
+#ifndef MULTICAST_EXTENSIONS_IMPUTATION_H_
+#define MULTICAST_EXTENSIONS_IMPUTATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "forecast/multicast_forecaster.h"
+#include "ts/frame.h"
+#include "util/status.h"
+
+namespace multicast {
+namespace extensions {
+
+/// A maximal run of missing timestamps [begin, end).
+struct Gap {
+  size_t begin = 0;
+  size_t end = 0;
+
+  size_t length() const { return end - begin; }
+};
+
+/// Finds maximal NaN runs in `frame` (a timestamp is missing when ANY
+/// dimension is NaN, since the multiplexed pipeline needs all of them).
+std::vector<Gap> FindGaps(const ts::Frame& frame);
+
+struct ImputeOptions {
+  forecast::MultiCastOptions multicast;
+  /// Blend a forward forecast (history before the gap) with a backward
+  /// forecast (reversed history after the gap), linearly weighted by
+  /// distance to each edge. With only one side available the other is
+  /// used alone.
+  bool bidirectional = true;
+  /// Seam continuity correction: shift each side's forecast so its
+  /// gap-edge value continues the anchor's level and local slope. A
+  /// sampled zero-shot forecast can land a level step away from the
+  /// anchor; inside a gap both edges are *observed*, so anchoring to
+  /// them is free information that a pure forecast does not use.
+  bool align_seams = true;
+};
+
+/// Fills every gap of `frame` and returns the completed copy. Errors
+/// when a gap touches both ends of the series (no anchor on either side)
+/// or the anchored history is too short to prompt with.
+Result<ts::Frame> Impute(const ts::Frame& frame,
+                         const ImputeOptions& options);
+
+}  // namespace extensions
+}  // namespace multicast
+
+#endif  // MULTICAST_EXTENSIONS_IMPUTATION_H_

@@ -1,0 +1,95 @@
+#include "forecast/auto_tune.h"
+
+#include <cmath>
+#include <limits>
+
+#include "ts/split.h"
+#include "util/strings.h"
+
+namespace multicast {
+namespace forecast {
+
+namespace {
+
+// Root mean squared error (local copy: mc_forecast cannot depend on
+// mc_metrics/mc_eval without a link cycle).
+double Rmse(const std::vector<double>& a, const std::vector<double>& b) {
+  double ss = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    ss += d * d;
+  }
+  return std::sqrt(ss / static_cast<double>(a.size()));
+}
+
+// Mean validation RMSE of one candidate over rolling folds inside the
+// history.
+Result<double> ScoreCandidate(const MultiCastOptions& candidate,
+                              const ts::Frame& history, size_t folds,
+                              size_t horizon) {
+  double total = 0.0;
+  size_t count = 0;
+  for (size_t k = 0; k < folds; ++k) {
+    size_t end = history.length() - k * horizon;
+    MC_ASSIGN_OR_RETURN(ts::Frame window, history.Slice(0, end));
+    MC_ASSIGN_OR_RETURN(ts::Split split, ts::SplitHorizon(window, horizon));
+    MultiCastForecaster forecaster(candidate);
+    MC_ASSIGN_OR_RETURN(ForecastResult result,
+                        forecaster.Forecast(split.train, horizon));
+    for (size_t d = 0; d < split.test.num_dims(); ++d) {
+      total += Rmse(split.test.dim(d).values(),
+                    result.forecast.dim(d).values());
+      ++count;
+    }
+  }
+  return total / static_cast<double>(count);
+}
+
+}  // namespace
+
+Result<AutoTuneResult> AutoTuneMultiCast(const ts::Frame& history,
+                                         const AutoTuneOptions& options) {
+  if (options.muxes.empty()) {
+    return Status::InvalidArgument("no multiplexer candidates");
+  }
+  if (options.folds == 0) {
+    return Status::InvalidArgument("folds must be >= 1");
+  }
+  size_t horizon =
+      options.horizon != 0 ? options.horizon : history.length() / 10;
+  if (horizon < 2) horizon = 2;
+  if (history.length() < options.folds * horizon + 16) {
+    return Status::InvalidArgument(
+        StrFormat("history of length %zu too short for %zu validation "
+                  "folds of horizon %zu",
+                  history.length(), options.folds, horizon));
+  }
+
+  std::vector<int> digits = options.digit_choices;
+  if (digits.empty()) digits.push_back(options.base.digits);
+
+  AutoTuneResult result;
+  double best = std::numeric_limits<double>::infinity();
+  for (multiplex::MuxKind mux : options.muxes) {
+    for (int b : digits) {
+      MultiCastOptions candidate = options.base;
+      candidate.mux = mux;
+      candidate.digits = b;
+      MC_ASSIGN_OR_RETURN(
+          double rmse,
+          ScoreCandidate(candidate, history, options.folds, horizon));
+      std::string label = StrFormat("%s b=%d", multiplex::MuxKindName(mux),
+                                    b);
+      result.scores.emplace_back(label, rmse);
+      if (rmse < best) {
+        best = rmse;
+        result.options = candidate;
+        result.validation_rmse = rmse;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace forecast
+}  // namespace multicast

@@ -1,0 +1,57 @@
+// Validation-based MultiCast configuration selection.
+//
+// The paper establishes its defaults (multiplexer, digit budget, sample
+// count — Table II) with "tuning tests", and observes that the best
+// multiplexer varies per dataset. This utility automates that workflow
+// without touching the test horizon: candidate configurations are
+// scored by rolling-origin evaluation *within the history*, and the
+// winner (by mean RMSE across dimensions and folds) is returned.
+
+#ifndef MULTICAST_FORECAST_AUTO_TUNE_H_
+#define MULTICAST_FORECAST_AUTO_TUNE_H_
+
+#include <vector>
+
+#include "forecast/multicast_forecaster.h"
+#include "ts/frame.h"
+#include "util/status.h"
+
+namespace multicast {
+namespace forecast {
+
+struct AutoTuneOptions {
+  /// Base configuration; every candidate inherits these fields except
+  /// the ones being swept.
+  MultiCastOptions base;
+  /// Multiplexers to try (default: all three).
+  std::vector<multiplex::MuxKind> muxes = {
+      multiplex::MuxKind::kDigitInterleave,
+      multiplex::MuxKind::kValueInterleave,
+      multiplex::MuxKind::kValueConcat};
+  /// Digit budgets to try (default: just the base's).
+  std::vector<int> digit_choices;
+  /// Validation folds carved out of the history.
+  size_t folds = 2;
+  /// Validation horizon per fold (0 = 10% of the history).
+  size_t horizon = 0;
+};
+
+struct AutoTuneResult {
+  /// Winning configuration (base with the swept fields replaced).
+  MultiCastOptions options;
+  /// Mean validation RMSE of the winner, averaged over dims and folds.
+  double validation_rmse = 0.0;
+  /// Candidate scores in evaluation order, for diagnostics.
+  std::vector<std::pair<std::string, double>> scores;
+};
+
+/// Sweeps the candidate grid on `history` and returns the winner.
+/// Errors when the history is too short to carve out the validation
+/// folds.
+Result<AutoTuneResult> AutoTuneMultiCast(const ts::Frame& history,
+                                         const AutoTuneOptions& options);
+
+}  // namespace forecast
+}  // namespace multicast
+
+#endif  // MULTICAST_FORECAST_AUTO_TUNE_H_

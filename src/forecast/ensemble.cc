@@ -1,0 +1,57 @@
+#include "forecast/ensemble.h"
+
+#include "ts/stats.h"
+#include "util/strings.h"
+#include "util/timer.h"
+
+namespace multicast {
+namespace forecast {
+
+EnsembleForecaster::EnsembleForecaster(
+    std::vector<std::unique_ptr<Forecaster>> members)
+    : members_(std::move(members)) {
+  MC_CHECK(!members_.empty());
+  for (const auto& member : members_) MC_CHECK(member != nullptr);
+}
+
+std::string EnsembleForecaster::name() const {
+  std::vector<std::string> names;
+  for (const auto& member : members_) names.push_back(member->name());
+  return "Ensemble(" + Join(names, ", ") + ")";
+}
+
+Result<ForecastResult> EnsembleForecaster::Forecast(const ts::Frame& history,
+                                                    size_t horizon) {
+  Timer timer;
+  std::vector<ForecastResult> member_results;
+  ForecastResult result;
+  for (const auto& member : members_) {
+    MC_ASSIGN_OR_RETURN(ForecastResult r,
+                        member->Forecast(history, horizon));
+    result.ledger += r.ledger;
+    member_results.push_back(std::move(r));
+  }
+
+  std::vector<ts::Series> out_dims;
+  for (size_t d = 0; d < history.num_dims(); ++d) {
+    std::vector<double> agg;
+    agg.reserve(horizon);
+    for (size_t t = 0; t < horizon; ++t) {
+      std::vector<double> column;
+      column.reserve(member_results.size());
+      for (const auto& r : member_results) {
+        column.push_back(r.forecast.at(d, t));
+      }
+      agg.push_back(ts::Median(std::move(column)));
+    }
+    out_dims.emplace_back(std::move(agg), history.dim(d).name());
+  }
+  MC_ASSIGN_OR_RETURN(result.forecast,
+                      ts::Frame::FromSeries(std::move(out_dims),
+                                            history.name()));
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace forecast
+}  // namespace multicast

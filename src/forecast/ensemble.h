@@ -1,0 +1,46 @@
+// Ensemble forecaster: per-timestamp median across member forecasts.
+//
+// LLMTime aggregates samples *within* one model by the median; the same
+// estimator composes across models. Ensembling a MultiCast variant with
+// a classical baseline hedges the failure modes the paper's tables show
+// are complementary (LLM methods on correlated dims, ARIMA on smooth
+// mean-reverting ones).
+
+#ifndef MULTICAST_FORECAST_ENSEMBLE_H_
+#define MULTICAST_FORECAST_ENSEMBLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "forecast/forecaster.h"
+
+namespace multicast {
+namespace forecast {
+
+/// Owns its members and forecasts their per-timestamp median.
+class EnsembleForecaster final : public Forecaster {
+ public:
+  /// At least one member is required.
+  explicit EnsembleForecaster(
+      std::vector<std::unique_ptr<Forecaster>> members);
+
+  /// "Ensemble(a, b, ...)".
+  std::string name() const override;
+
+  /// Runs every member; token ledgers are summed. Fails if any member
+  /// fails (an ensemble with silently missing members would mis-report
+  /// what it aggregated).
+  Result<ForecastResult> Forecast(const ts::Frame& history,
+                                  size_t horizon) override;
+
+  size_t num_members() const { return members_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Forecaster>> members_;
+};
+
+}  // namespace forecast
+}  // namespace multicast
+
+#endif  // MULTICAST_FORECAST_ENSEMBLE_H_

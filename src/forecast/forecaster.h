@@ -1,0 +1,48 @@
+// Common interface for every forecasting method in the evaluation.
+
+#ifndef MULTICAST_FORECAST_FORECASTER_H_
+#define MULTICAST_FORECAST_FORECASTER_H_
+
+#include <string>
+
+#include "lm/generator.h"
+#include "ts/frame.h"
+#include "util/status.h"
+
+namespace multicast {
+namespace forecast {
+
+/// A multivariate forecast plus its cost accounting.
+struct ForecastResult {
+  /// One series per input dimension, `horizon` values each, in the
+  /// original units of the history.
+  ts::Frame forecast;
+  /// Optional probabilistic bands: (quantile level, frame) pairs in
+  /// ascending level order. Sampling-based methods fill these when
+  /// asked (MultiCastOptions::quantiles); point methods leave it empty.
+  std::vector<std::pair<double, ts::Frame>> quantile_bands;
+  /// LLM token usage (zeros for ARIMA/LSTM/naive methods).
+  lm::TokenLedger ledger;
+  /// Wall-clock seconds spent inside Forecast().
+  double seconds = 0.0;
+};
+
+/// A method that extends a multivariate history by `horizon` steps.
+/// Implementations must not look at anything beyond `history` — the test
+/// horizon is unseen (zero-shot evaluation discipline).
+class Forecaster {
+ public:
+  virtual ~Forecaster() = default;
+
+  /// Display name used in the result tables ("MultiCast (DI)", "ARIMA"...).
+  virtual std::string name() const = 0;
+
+  /// Forecasts `horizon` future timestamps of every dimension.
+  virtual Result<ForecastResult> Forecast(const ts::Frame& history,
+                                          size_t horizon) = 0;
+};
+
+}  // namespace forecast
+}  // namespace multicast
+
+#endif  // MULTICAST_FORECAST_FORECASTER_H_

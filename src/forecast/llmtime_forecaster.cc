@@ -1,0 +1,47 @@
+#include "forecast/llmtime_forecaster.h"
+
+#include "forecast/multicast_forecaster.h"
+#include "util/timer.h"
+
+namespace multicast {
+namespace forecast {
+
+LlmTimeForecaster::LlmTimeForecaster(const LlmTimeOptions& options)
+    : options_(options) {}
+
+Result<ForecastResult> LlmTimeForecaster::Forecast(const ts::Frame& history,
+                                                   size_t horizon) {
+  Timer timer;
+  // A univariate stream is the degenerate multiplex (d = 1; VI and VC
+  // coincide with LLMTime's "v1,v2,..." serialization), so each
+  // dimension reuses the MultiCast pipeline on a single-dimension frame.
+  MultiCastOptions mc;
+  mc.mux = multiplex::MuxKind::kValueConcat;
+  mc.digits = options_.digits;
+  mc.num_samples = options_.num_samples;
+  mc.profile = options_.profile;
+  mc.scaler = options_.scaler;
+
+  ForecastResult result;
+  std::vector<ts::Series> out_dims;
+  for (size_t d = 0; d < history.num_dims(); ++d) {
+    MC_ASSIGN_OR_RETURN(
+        ts::Frame uni,
+        ts::Frame::FromSeries({history.dim(d)}, history.dim(d).name()));
+    // Decorrelated seeds per dimension keep samples independent.
+    mc.seed = options_.seed + 0x9e3779b97f4a7c15ULL * (d + 1);
+    MultiCastForecaster forecaster(mc);
+    MC_ASSIGN_OR_RETURN(ForecastResult uni_result,
+                        forecaster.Forecast(uni, horizon));
+    result.ledger += uni_result.ledger;
+    out_dims.push_back(uni_result.forecast.dim(0));
+  }
+  MC_ASSIGN_OR_RETURN(result.forecast,
+                      ts::Frame::FromSeries(std::move(out_dims),
+                                            history.name()));
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace forecast
+}  // namespace multicast

@@ -1,0 +1,50 @@
+// LLMTime baseline (Gruver et al., NeurIPS 2023), as evaluated in the
+// paper: the same numeric serialization and sampling pipeline, applied
+// to *each dimension independently* — the state of the art MultiCast is
+// compared against. Ignores inter-dimensional correlations by design.
+
+#ifndef MULTICAST_FORECAST_LLMTIME_FORECASTER_H_
+#define MULTICAST_FORECAST_LLMTIME_FORECASTER_H_
+
+#include <string>
+
+#include "forecast/forecaster.h"
+#include "lm/profiles.h"
+#include "scale/scaler.h"
+
+namespace multicast {
+namespace forecast {
+
+struct LlmTimeOptions {
+  /// Digits per rescaled value.
+  int digits = 2;
+  /// Samples per dimension; the estimate is the per-timestamp median.
+  int num_samples = 5;
+  lm::ModelProfile profile = lm::ModelProfile::Llama2_7B();
+  scale::ScalerOptions scaler;
+  uint64_t seed = 42;
+};
+
+/// Runs a univariate serialized forecast per dimension and stitches the
+/// results back into a frame. Token ledgers of all per-dimension calls
+/// are summed, matching the paper's "total time = sum of time needed per
+/// dimension" accounting.
+class LlmTimeForecaster final : public Forecaster {
+ public:
+  explicit LlmTimeForecaster(const LlmTimeOptions& options);
+
+  std::string name() const override { return "LLMTIME"; }
+
+  Result<ForecastResult> Forecast(const ts::Frame& history,
+                                  size_t horizon) override;
+
+  const LlmTimeOptions& options() const { return options_; }
+
+ private:
+  LlmTimeOptions options_;
+};
+
+}  // namespace forecast
+}  // namespace multicast
+
+#endif  // MULTICAST_FORECAST_LLMTIME_FORECASTER_H_

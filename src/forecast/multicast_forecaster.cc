@@ -1,0 +1,318 @@
+#include "forecast/multicast_forecaster.h"
+
+#include <algorithm>
+
+#include "token/codec.h"
+#include "ts/stats.h"
+#include "util/strings.h"
+#include "util/timer.h"
+
+namespace multicast {
+namespace forecast {
+
+namespace {
+
+// Builds the per-step grammar mask for a multiplexed digit stream: comma
+// at separator positions of the timestamp cycle, any non-comma symbol
+// elsewhere.
+lm::GrammarMask StructuredMask(const multiplex::Multiplexer& mux,
+                               const std::vector<int>& widths,
+                               const token::Vocabulary& vocab) {
+  size_t cycle = mux.TokensPerTimestamp(widths);
+  std::vector<bool> separator_positions(cycle);
+  for (size_t p = 0; p < cycle; ++p) {
+    separator_positions[p] = mux.IsSeparatorPosition(p, widths);
+  }
+  token::TokenId comma = vocab.CommaId().ValueOrDie();
+  size_t vocab_size = vocab.size();
+  return [=](size_t step) {
+    bool want_comma = separator_positions[step % cycle];
+    std::vector<bool> allowed(vocab_size, !want_comma);
+    allowed[static_cast<size_t>(comma)] = want_comma;
+    return allowed;
+  };
+}
+
+// Builds the median point forecast and any requested quantile bands
+// from the per-dimension sample matrix, writing into `result`.
+Status FillAggregates(
+    const std::vector<std::vector<std::vector<double>>>& samples_per_dim,
+    const ts::Frame& history, const std::vector<double>& quantiles,
+    ForecastResult* result) {
+  std::vector<ts::Series> out_dims;
+  for (size_t d = 0; d < samples_per_dim.size(); ++d) {
+    MC_ASSIGN_OR_RETURN(std::vector<double> agg,
+                        MedianAggregate(samples_per_dim[d]));
+    out_dims.emplace_back(std::move(agg), history.dim(d).name());
+  }
+  MC_ASSIGN_OR_RETURN(result->forecast,
+                      ts::Frame::FromSeries(std::move(out_dims),
+                                            history.name()));
+
+  std::vector<double> sorted_levels = quantiles;
+  std::sort(sorted_levels.begin(), sorted_levels.end());
+  for (double level : sorted_levels) {
+    if (!(level > 0.0 && level < 1.0)) {
+      return Status::InvalidArgument(
+          StrFormat("quantile level %g outside (0, 1)", level));
+    }
+    std::vector<ts::Series> band_dims;
+    for (size_t d = 0; d < samples_per_dim.size(); ++d) {
+      MC_ASSIGN_OR_RETURN(std::vector<double> agg,
+                          QuantileAggregate(samples_per_dim[d], level));
+      band_dims.emplace_back(std::move(agg), history.dim(d).name());
+    }
+    MC_ASSIGN_OR_RETURN(ts::Frame band,
+                        ts::Frame::FromSeries(std::move(band_dims),
+                                              history.name()));
+    result->quantile_bands.emplace_back(level, std::move(band));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+const char* QuantizationName(Quantization q) {
+  switch (q) {
+    case Quantization::kNone:
+      return "none";
+    case Quantization::kSaxAlphabetic:
+      return "alphabetical";
+    case Quantization::kSaxDigital:
+      return "digital";
+  }
+  return "?";
+}
+
+MultiCastForecaster::MultiCastForecaster(const MultiCastOptions& options)
+    : options_(options) {
+  options_.scaler.digits = options_.digits;
+}
+
+std::string MultiCastForecaster::name() const {
+  if (options_.quantization == Quantization::kNone) {
+    return StrFormat("MultiCast (%s)",
+                     multiplex::MuxKindName(options_.mux));
+  }
+  return StrFormat("MultiCast SAX (%s)",
+                   QuantizationName(options_.quantization));
+}
+
+Result<ForecastResult> MultiCastForecaster::Forecast(const ts::Frame& history,
+                                                     size_t horizon) {
+  if (horizon == 0) return Status::InvalidArgument("horizon must be >= 1");
+  if (history.length() < 4) {
+    return Status::InvalidArgument("history too short to forecast from");
+  }
+  if (options_.num_samples < 1) {
+    return Status::InvalidArgument("num_samples must be >= 1");
+  }
+  if (options_.quantization == Quantization::kNone) {
+    return ForecastRaw(history, horizon);
+  }
+  return ForecastSax(history, horizon);
+}
+
+Result<ForecastResult> MultiCastForecaster::ForecastRaw(
+    const ts::Frame& history, size_t horizon) {
+  Timer timer;
+  const size_t dims = history.num_dims();
+
+  // 1. Rescale every dimension to b-digit integers (fit on history only).
+  std::vector<scale::ScalerParams> params(dims);
+  multiplex::MuxInput input;
+  input.values.resize(dims);
+  std::vector<int> widths(dims, options_.digits);
+  for (size_t d = 0; d < dims; ++d) {
+    MC_ASSIGN_OR_RETURN(params[d],
+                        scale::FitScaler(history.dim(d), options_.scaler));
+    std::vector<int64_t> scaled =
+        scale::ScaleValues(history.dim(d).values(), params[d]);
+    input.values[d].reserve(scaled.size());
+    for (int64_t v : scaled) {
+      MC_ASSIGN_OR_RETURN(std::string s,
+                          token::FixedWidthDigits(v, options_.digits));
+      input.values[d].push_back(std::move(s));
+    }
+  }
+
+  // 2. Multiplex to one stream; the trailing comma opens a new timestamp
+  // so generation starts at the first digit position of the cycle.
+  std::unique_ptr<multiplex::Multiplexer> mux =
+      multiplex::CreateMultiplexer(options_.mux);
+  MC_ASSIGN_OR_RETURN(std::string stream, mux->Multiplex(input, widths));
+  stream.push_back(',');
+
+  // 3. Tokenize.
+  token::Vocabulary vocab = token::Vocabulary::Digits();
+  MC_ASSIGN_OR_RETURN(std::vector<token::TokenId> prompt,
+                      token::Encode(stream, vocab));
+
+  // 4. Draw n constrained continuations.
+  size_t tokens_needed = horizon * mux->TokensPerTimestamp(widths);
+  lm::GrammarMask mask = StructuredMask(*mux, widths, vocab);
+  lm::SimulatedLlm llm(options_.profile, vocab.size());
+  Rng rng(options_.seed, /*stream=*/7);
+
+  // samples_per_dim[d][s] is sample s of dimension d.
+  std::vector<std::vector<std::vector<double>>> samples_per_dim(dims);
+  ForecastResult result;
+  for (int s = 0; s < options_.num_samples; ++s) {
+    Rng sample_rng = rng.Fork();
+    MC_ASSIGN_OR_RETURN(
+        lm::GenerationResult gen,
+        llm.Complete(prompt, tokens_needed, mask, &sample_rng));
+    result.ledger += gen.ledger;
+    MC_ASSIGN_OR_RETURN(std::string text, token::Decode(gen.tokens, vocab));
+
+    // 5. Demultiplex and descale this sample.
+    MC_ASSIGN_OR_RETURN(
+        multiplex::MuxInput demuxed,
+        mux->Demultiplex(text, widths, /*allow_partial=*/true));
+    if (demuxed.num_timestamps() < horizon) {
+      return Status::Internal(
+          StrFormat("sample %d decoded %zu of %zu timestamps", s,
+                    demuxed.num_timestamps(), horizon));
+    }
+    for (size_t d = 0; d < dims; ++d) {
+      std::vector<int64_t> scaled;
+      scaled.reserve(horizon);
+      for (size_t t = 0; t < horizon; ++t) {
+        MC_ASSIGN_OR_RETURN(int64_t v,
+                            token::ParseFixedWidthDigits(demuxed.values[d][t]));
+        scaled.push_back(v);
+      }
+      samples_per_dim[d].push_back(scale::DescaleValues(scaled, params[d]));
+    }
+  }
+
+  // 6. Median across samples (+ quantile bands), per dimension and
+  // timestamp.
+  MC_RETURN_IF_ERROR(FillAggregates(samples_per_dim, history,
+                                    options_.quantiles, &result));
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+Result<ForecastResult> MultiCastForecaster::ForecastSax(
+    const ts::Frame& history, size_t horizon) {
+  Timer timer;
+  const size_t dims = history.num_dims();
+  const bool digital = options_.quantization == Quantization::kSaxDigital;
+
+  sax::SaxOptions sax_opts;
+  sax_opts.segment_length = options_.sax_segment_length;
+  sax_opts.alphabet_size = options_.sax_alphabet_size;
+  sax_opts.symbols =
+      digital ? sax::SymbolKind::kDigital : sax::SymbolKind::kAlphabetic;
+
+  // 1. SAX-encode every dimension: one symbol per PAA segment.
+  std::vector<sax::SaxCodec> codecs;
+  multiplex::MuxInput input;
+  input.values.resize(dims);
+  std::vector<int> widths(dims, 1);
+  for (size_t d = 0; d < dims; ++d) {
+    MC_ASSIGN_OR_RETURN(sax::SaxCodec codec,
+                        sax::SaxCodec::Fit(history.dim(d), sax_opts));
+    MC_ASSIGN_OR_RETURN(std::string word,
+                        codec.Encode(history.dim(d).values()));
+    input.values[d].reserve(word.size());
+    for (char c : word) input.values[d].emplace_back(1, c);
+    codecs.push_back(std::move(codec));
+  }
+
+  // 2. Multiplex the symbol streams (each "timestamp" is one PAA segment).
+  std::unique_ptr<multiplex::Multiplexer> mux =
+      multiplex::CreateMultiplexer(options_.mux);
+  MC_ASSIGN_OR_RETURN(std::string stream, mux->Multiplex(input, widths));
+  stream.push_back(',');
+
+  // 3. Tokenize over the SAX vocabulary (the generation constraint set
+  // becomes the active alphabet plus comma instead of [0-9,]).
+  Result<token::Vocabulary> vocab_or =
+      digital ? token::Vocabulary::SaxDigital(options_.sax_alphabet_size)
+              : token::Vocabulary::SaxAlphabetic(options_.sax_alphabet_size);
+  if (!vocab_or.ok()) return vocab_or.status();
+  token::Vocabulary vocab = std::move(vocab_or).value();
+  MC_ASSIGN_OR_RETURN(std::vector<token::TokenId> prompt,
+                      token::Encode(stream, vocab));
+
+  // 4. Generate enough whole segments to cover `horizon` raw timestamps.
+  size_t segments_needed =
+      (horizon + static_cast<size_t>(options_.sax_segment_length) - 1) /
+      static_cast<size_t>(options_.sax_segment_length);
+  size_t tokens_needed = segments_needed * mux->TokensPerTimestamp(widths);
+  lm::GrammarMask mask = StructuredMask(*mux, widths, vocab);
+  lm::SimulatedLlm llm(options_.profile, vocab.size());
+  Rng rng(options_.seed, /*stream=*/11);
+
+  std::vector<std::vector<std::vector<double>>> samples_per_dim(dims);
+  ForecastResult result;
+  for (int s = 0; s < options_.num_samples; ++s) {
+    Rng sample_rng = rng.Fork();
+    MC_ASSIGN_OR_RETURN(
+        lm::GenerationResult gen,
+        llm.Complete(prompt, tokens_needed, mask, &sample_rng));
+    result.ledger += gen.ledger;
+    MC_ASSIGN_OR_RETURN(std::string text, token::Decode(gen.tokens, vocab));
+
+    // 5. Demultiplex the symbol stream back into per-dimension SAX words.
+    MC_ASSIGN_OR_RETURN(
+        multiplex::MuxInput demuxed,
+        mux->Demultiplex(text, widths, /*allow_partial=*/true));
+    std::vector<std::string> words(dims);
+    for (size_t d = 0; d < dims; ++d) {
+      for (const std::string& symbol : demuxed.values[d]) {
+        words[d].push_back(symbol[0]);
+      }
+    }
+    for (size_t d = 0; d < dims; ++d) {
+      if (words[d].size() < segments_needed) {
+        return Status::Internal(
+            StrFormat("sample %d decoded %zu of %zu segments", s,
+                      words[d].size(), segments_needed));
+      }
+      words[d].resize(segments_needed);
+      MC_ASSIGN_OR_RETURN(std::vector<double> values,
+                          codecs[d].Decode(words[d], horizon));
+      samples_per_dim[d].push_back(std::move(values));
+    }
+  }
+
+  MC_RETURN_IF_ERROR(FillAggregates(samples_per_dim, history,
+                                    options_.quantiles, &result));
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+Result<std::vector<double>> MedianAggregate(
+    const std::vector<std::vector<double>>& samples) {
+  return QuantileAggregate(samples, 0.5);
+}
+
+Result<std::vector<double>> QuantileAggregate(
+    const std::vector<std::vector<double>>& samples, double q) {
+  if (samples.empty()) return Status::InvalidArgument("no samples");
+  if (!(q > 0.0 && q < 1.0)) {
+    return Status::InvalidArgument(
+        StrFormat("quantile %g outside (0, 1)", q));
+  }
+  size_t h = samples[0].size();
+  for (const auto& s : samples) {
+    if (s.size() != h) {
+      return Status::InvalidArgument("samples have differing horizons");
+    }
+  }
+  std::vector<double> out;
+  out.reserve(h);
+  for (size_t t = 0; t < h; ++t) {
+    std::vector<double> column;
+    column.reserve(samples.size());
+    for (const auto& s : samples) column.push_back(s[t]);
+    out.push_back(ts::Quantile(std::move(column), q));
+  }
+  return out;
+}
+
+}  // namespace forecast
+}  // namespace multicast

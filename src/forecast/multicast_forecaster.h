@@ -1,0 +1,98 @@
+// The MultiCast forecaster: the paper's end-to-end pipeline.
+//
+//   rescale each dimension (b digits)      [scale]
+//   -> multiplex dimensions to one stream  [multiplex: DI | VI | VC]
+//   -> tokenize to corpus ids              [token]
+//   -> n constrained autoregressive samples[lm]
+//   -> demultiplex + descale each sample   [multiplex, scale]
+//   -> per-timestamp median across samples
+//
+// With SAX quantization enabled, rescaling/tokenizing is replaced by the
+// per-dimension SAX codec (one symbol per PAA segment), shrinking tokens
+// per timestamp from (b + 1) to ~1/segment_length and shortening both
+// the prompt and the generation (Tables VIII-IX).
+
+#ifndef MULTICAST_FORECAST_MULTICAST_FORECASTER_H_
+#define MULTICAST_FORECAST_MULTICAST_FORECASTER_H_
+
+#include <string>
+
+#include "forecast/forecaster.h"
+#include "lm/profiles.h"
+#include "multiplex/multiplexer.h"
+#include "sax/sax.h"
+#include "scale/scaler.h"
+
+namespace multicast {
+namespace forecast {
+
+/// Which quantization the pipeline applies before tokenization.
+enum class Quantization {
+  kNone,           ///< raw b-digit serialization (paper's "MultiCast")
+  kSaxAlphabetic,  ///< "MultiCast SAX (alphabetical)"
+  kSaxDigital,     ///< "MultiCast SAX (digital)"
+};
+
+const char* QuantizationName(Quantization q);
+
+struct MultiCastOptions {
+  /// Multiplexing scheme (Sec. III-A).
+  multiplex::MuxKind mux = multiplex::MuxKind::kDigitInterleave;
+  /// Digits per rescaled value (paper's b). Ignored under SAX.
+  int digits = 2;
+  /// Samples drawn per forecast; the estimate is their per-timestamp
+  /// median (Table II default: 5).
+  int num_samples = 5;
+  /// Simulated LLM back-end.
+  lm::ModelProfile profile = lm::ModelProfile::Llama2_7B();
+  /// Quantization mode and its SAX parameters (Table II defaults).
+  Quantization quantization = Quantization::kNone;
+  int sax_segment_length = 6;
+  int sax_alphabet_size = 5;
+  /// Percentile/headroom of the rescaler (raw mode only).
+  scale::ScalerOptions scaler;
+  /// Seed for all sampling in this forecaster.
+  uint64_t seed = 42;
+  /// Quantile levels (each in (0, 1)) to report as probabilistic bands
+  /// alongside the median point forecast, computed across the n drawn
+  /// samples per timestamp. Empty disables bands. Levels finer than the
+  /// sample count resolves are interpolated.
+  std::vector<double> quantiles;
+};
+
+/// See file comment.
+class MultiCastForecaster final : public Forecaster {
+ public:
+  explicit MultiCastForecaster(const MultiCastOptions& options);
+
+  /// "MultiCast (DI)", or "MultiCast SAX (alphabetical)" under SAX.
+  std::string name() const override;
+
+  Result<ForecastResult> Forecast(const ts::Frame& history,
+                                  size_t horizon) override;
+
+  const MultiCastOptions& options() const { return options_; }
+
+ private:
+  Result<ForecastResult> ForecastRaw(const ts::Frame& history,
+                                     size_t horizon);
+  Result<ForecastResult> ForecastSax(const ts::Frame& history,
+                                     size_t horizon);
+
+  MultiCastOptions options_;
+};
+
+/// Aggregates `samples[s][t]` (s samples of an h-step forecast) into the
+/// per-timestamp median, LLMTime's estimator. Exposed for tests.
+Result<std::vector<double>> MedianAggregate(
+    const std::vector<std::vector<double>>& samples);
+
+/// Per-timestamp `q`-quantile across samples (same shape rules as
+/// MedianAggregate; q must be in (0, 1)).
+Result<std::vector<double>> QuantileAggregate(
+    const std::vector<std::vector<double>>& samples, double q);
+
+}  // namespace forecast
+}  // namespace multicast
+
+#endif  // MULTICAST_FORECAST_MULTICAST_FORECASTER_H_

@@ -1,0 +1,69 @@
+#include "lm/generator.h"
+
+#include <memory>
+
+#include "lm/mixture_model.h"
+#include "lm/ngram_model.h"
+#include "util/strings.h"
+
+namespace multicast {
+namespace lm {
+
+GrammarMask AllowAll(size_t vocab_size) {
+  std::vector<bool> mask(vocab_size, true);
+  return [mask](size_t) { return mask; };
+}
+
+SimulatedLlm::SimulatedLlm(const ModelProfile& profile, size_t vocab_size)
+    : profile_(profile), vocab_size_(vocab_size) {}
+
+Result<GenerationResult> SimulatedLlm::Complete(
+    const std::vector<token::TokenId>& prompt, size_t num_tokens,
+    const GrammarMask& mask, Rng* rng) const {
+  if (prompt.empty()) {
+    return Status::InvalidArgument("empty prompt");
+  }
+  for (token::TokenId id : prompt) {
+    if (id < 0 || static_cast<size_t>(id) >= vocab_size_) {
+      return Status::InvalidArgument(
+          StrFormat("prompt token id %d outside vocabulary of size %zu", id,
+                    vocab_size_));
+    }
+  }
+
+  std::unique_ptr<LanguageModel> model;
+  switch (profile_.backend) {
+    case BackendKind::kNGram:
+      model = std::make_unique<NGramLanguageModel>(vocab_size_,
+                                                   profile_.ngram);
+      break;
+    case BackendKind::kMixture:
+      model = std::make_unique<MixtureLanguageModel>(vocab_size_,
+                                                     profile_.mixture);
+      break;
+  }
+  for (token::TokenId id : prompt) model->Observe(id);
+
+  GenerationResult result;
+  result.ledger.prompt_tokens = prompt.size();
+  result.tokens.reserve(num_tokens);
+  for (size_t step = 0; step < num_tokens; ++step) {
+    std::vector<bool> allowed = mask(step);
+    if (allowed.size() != vocab_size_) {
+      return Status::InvalidArgument(
+          StrFormat("grammar mask has %zu entries for vocabulary of %zu",
+                    allowed.size(), vocab_size_));
+    }
+    std::vector<double> probs = model->NextDistribution();
+    MC_ASSIGN_OR_RETURN(token::TokenId next,
+                        SampleToken(probs, allowed, profile_.sampler, rng));
+    result.tokens.push_back(next);
+    // Sampled tokens become context, exactly as in KV-cached decoding.
+    model->Observe(next);
+    ++result.ledger.generated_tokens;
+  }
+  return result;
+}
+
+}  // namespace lm
+}  // namespace multicast

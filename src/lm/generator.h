@@ -1,0 +1,72 @@
+// Autoregressive constrained generation + token accounting.
+
+#ifndef MULTICAST_LM_GENERATOR_H_
+#define MULTICAST_LM_GENERATOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "lm/language_model.h"
+#include "lm/profiles.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace multicast {
+namespace lm {
+
+/// Running count of tokens consumed and produced, the unit the paper's
+/// cost argument (Sec. II) and the execution-time tables are driven by.
+struct TokenLedger {
+  size_t prompt_tokens = 0;
+  size_t generated_tokens = 0;
+
+  size_t total() const { return prompt_tokens + generated_tokens; }
+
+  TokenLedger& operator+=(const TokenLedger& other) {
+    prompt_tokens += other.prompt_tokens;
+    generated_tokens += other.generated_tokens;
+    return *this;
+  }
+};
+
+/// Per-position output constraint: returns the allowed-token mask for
+/// generation step `step` (0-based). This generalizes LLMTime's "only
+/// [0-9,]" restriction to the multiplexers' position grammars.
+using GrammarMask = std::function<std::vector<bool>(size_t step)>;
+
+/// A mask allowing every token of a `vocab_size` vocabulary.
+GrammarMask AllowAll(size_t vocab_size);
+
+struct GenerationResult {
+  std::vector<token::TokenId> tokens;
+  TokenLedger ledger;
+};
+
+/// One simulated LLM back-end: a profile plus the decoding loop.
+///
+/// Each Complete() call behaves like one stateless API call to a hosted
+/// model: the prompt is fed to a fresh decoding session (zero-shot — no
+/// state leaks between calls) and `num_tokens` constrained tokens are
+/// sampled autoregressively.
+class SimulatedLlm {
+ public:
+  /// `vocab_size` must match the vocabulary the prompt was encoded with.
+  SimulatedLlm(const ModelProfile& profile, size_t vocab_size);
+
+  /// Generates `num_tokens` continuation tokens for `prompt`.
+  Result<GenerationResult> Complete(const std::vector<token::TokenId>& prompt,
+                                    size_t num_tokens,
+                                    const GrammarMask& mask, Rng* rng) const;
+
+  const ModelProfile& profile() const { return profile_; }
+  size_t vocab_size() const { return vocab_size_; }
+
+ private:
+  ModelProfile profile_;
+  size_t vocab_size_;
+};
+
+}  // namespace lm
+}  // namespace multicast
+
+#endif  // MULTICAST_LM_GENERATOR_H_

@@ -1,0 +1,45 @@
+// Autoregressive language-model interface.
+//
+// This is the substrate that stands in for the paper's LLaMA2 / Phi-2
+// back-ends (see DESIGN.md, "Reproduction gates"). The interface mirrors
+// how a decoder-only LLM is actually driven: feed the prompt token ids
+// one by one (Observe), then alternate NextDistribution -> sample ->
+// Observe for each generated token. Implementations are *zero-shot* in
+// the paper's sense: they carry no weights trained on the evaluation
+// horizon; all conditioning comes from the observed context.
+
+#ifndef MULTICAST_LM_LANGUAGE_MODEL_H_
+#define MULTICAST_LM_LANGUAGE_MODEL_H_
+
+#include <vector>
+
+#include "token/vocabulary.h"
+
+namespace multicast {
+namespace lm {
+
+/// A stateful decoding session over a fixed vocabulary.
+class LanguageModel {
+ public:
+  virtual ~LanguageModel() = default;
+
+  /// Clears all context (start of a fresh prompt).
+  virtual void Reset() = 0;
+
+  /// Consumes one token of context (prompt or previously sampled output).
+  virtual void Observe(token::TokenId id) = 0;
+
+  /// Probability of each vocabulary token following the observed context.
+  /// The returned vector has vocab_size() entries summing to 1.
+  virtual std::vector<double> NextDistribution() const = 0;
+
+  virtual size_t vocab_size() const = 0;
+
+  /// Number of tokens observed since the last Reset().
+  virtual size_t context_length() const = 0;
+};
+
+}  // namespace lm
+}  // namespace multicast
+
+#endif  // MULTICAST_LM_LANGUAGE_MODEL_H_

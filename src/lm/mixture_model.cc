@@ -1,0 +1,171 @@
+#include "lm/mixture_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace multicast {
+namespace lm {
+
+namespace {
+constexpr int kBitsPerToken = 5;
+constexpr int kMaxSupportedDepth = 12;
+}  // namespace
+
+MixtureLanguageModel::MixtureLanguageModel(size_t vocab_size,
+                                           const MixtureOptions& options)
+    : vocab_size_(vocab_size), options_(options) {
+  MC_CHECK(vocab_size_ >= 2 && vocab_size_ <= 31);
+  MC_CHECK(options_.max_depth >= 1 &&
+           options_.max_depth <= kMaxSupportedDepth);
+  MC_CHECK(options_.kt_alpha > 0.0);
+  MC_CHECK(options_.prior_self_weight > 0.0 &&
+           options_.prior_self_weight < 1.0);
+  MC_CHECK(options_.uniform_mix >= 0.0 && options_.uniform_mix < 1.0);
+  nodes_.resize(static_cast<size_t>(options_.max_depth) + 1);
+  depth_log_odds_.assign(nodes_.size(), 0.0);
+}
+
+void MixtureLanguageModel::Reset() {
+  observed_ = 0;
+  recent_.clear();
+  for (auto& table : nodes_) table.clear();
+  depth_log_odds_.assign(nodes_.size(), 0.0);
+}
+
+uint64_t MixtureLanguageModel::PackContext(int depth) const {
+  uint64_t key = static_cast<uint64_t>(depth) + 1;
+  size_t start = recent_.size() - static_cast<size_t>(depth);
+  for (size_t i = start; i < recent_.size(); ++i) {
+    key = (key << kBitsPerToken) |
+          static_cast<uint64_t>(recent_[i] & 0x1f);
+  }
+  return key;
+}
+
+double MixtureLanguageModel::KtProb(const Node& node, size_t symbol) const {
+  double num = static_cast<double>(node.counts.empty()
+                                       ? 0
+                                       : node.counts[symbol]) +
+               options_.kt_alpha;
+  double den = static_cast<double>(node.total) +
+               options_.kt_alpha * static_cast<double>(vocab_size_);
+  return num / den;
+}
+
+std::vector<double> MixtureLanguageModel::MixturePath(
+    std::vector<uint64_t>* keys) const {
+  if (keys != nullptr) keys->clear();
+  std::vector<double> mix(vocab_size_,
+                          1.0 / static_cast<double>(vocab_size_));
+  int max_depth = static_cast<int>(
+      std::min<size_t>(recent_.size(), nodes_.size() - 1));
+  for (int d = 0; d <= max_depth; ++d) {
+    uint64_t key = PackContext(d);
+    if (keys != nullptr) keys->push_back(key);
+    const auto& table = nodes_[static_cast<size_t>(d)];
+    auto it = table.find(key);
+    if (it == table.end()) continue;  // unseen context: defer to shallower
+    const Node& node = it->second;
+    double odds = std::exp(std::clamp(
+        node.log_self_odds + depth_log_odds_[static_cast<size_t>(d)],
+        -30.0, 30.0));
+    double w = odds / (1.0 + odds);
+    for (size_t s = 0; s < vocab_size_; ++s) {
+      mix[s] = w * KtProb(node, s) + (1.0 - w) * mix[s];
+    }
+  }
+  return mix;
+}
+
+void MixtureLanguageModel::Observe(token::TokenId id) {
+  MC_CHECK(id >= 0 && static_cast<size_t>(id) < vocab_size_);
+  const size_t symbol = static_cast<size_t>(id);
+  int max_depth = static_cast<int>(
+      std::min<size_t>(recent_.size(), nodes_.size() - 1));
+
+  // 1. Pre-update predictive probabilities of `symbol` at every depth:
+  // shallow[d] is the full mixture up to depth d, own[d] the node's KT.
+  std::vector<double> mix_below(static_cast<size_t>(max_depth) + 1);
+  std::vector<double> own(static_cast<size_t>(max_depth) + 1);
+  std::vector<uint64_t> keys(static_cast<size_t>(max_depth) + 1);
+  double running = 1.0 / static_cast<double>(vocab_size_);
+  double prior_log_odds = std::log(options_.prior_self_weight /
+                                   (1.0 - options_.prior_self_weight));
+  for (int d = 0; d <= max_depth; ++d) {
+    keys[d] = PackContext(d);
+    auto& table = nodes_[static_cast<size_t>(d)];
+    auto it = table.find(keys[d]);
+    mix_below[d] = running;  // mixture of depths < d at `symbol`
+    if (it != table.end()) {
+      const Node& node = it->second;
+      own[d] = KtProb(node, symbol);
+      double odds = std::exp(std::clamp(
+          node.log_self_odds + depth_log_odds_[static_cast<size_t>(d)],
+          -30.0, 30.0));
+      double w = odds / (1.0 + odds);
+      running = w * own[d] + (1.0 - w) * running;
+    } else {
+      // Fresh node: its KT estimator is uniform.
+      own[d] = 1.0 / static_cast<double>(vocab_size_);
+    }
+  }
+
+  // 2. Bayesian weight update per node (posterior odds multiply by the
+  // likelihood ratio of "my estimator" vs "the shallower mixture"),
+  // then count updates.
+  for (int d = 0; d <= max_depth; ++d) {
+    auto& table = nodes_[static_cast<size_t>(d)];
+    auto [it, inserted] = table.try_emplace(keys[d]);
+    Node& node = it->second;
+    if (inserted) {
+      node.counts.assign(vocab_size_, 0);
+      node.log_self_odds = prior_log_odds;
+    }
+    double llr = std::log(own[d]) - std::log(mix_below[d]);
+    node.log_self_odds += llr;
+    // Clamp so a long stretch of wins cannot freeze the weight forever.
+    node.log_self_odds = std::clamp(node.log_self_odds, -30.0, 30.0);
+    depth_log_odds_[static_cast<size_t>(d)] = std::clamp(
+        depth_log_odds_[static_cast<size_t>(d)] +
+            options_.depth_learning_rate * llr,
+        -30.0, 30.0);
+    ++node.counts[symbol];
+    ++node.total;
+  }
+
+  recent_.push_back(id);
+  if (recent_.size() > static_cast<size_t>(options_.max_depth)) {
+    recent_.pop_front();
+  }
+  ++observed_;
+}
+
+void MixtureLanguageModel::ObserveAll(
+    const std::vector<token::TokenId>& ids) {
+  for (token::TokenId id : ids) Observe(id);
+}
+
+std::vector<double> MixtureLanguageModel::NextDistribution() const {
+  std::vector<double> probs = MixturePath(nullptr);
+  if (options_.uniform_mix > 0.0) {
+    double u = options_.uniform_mix / static_cast<double>(vocab_size_);
+    for (double& p : probs) {
+      p = (1.0 - options_.uniform_mix) * p + u;
+    }
+  }
+  double sum = 0.0;
+  for (double p : probs) sum += p;
+  for (double& p : probs) p /= sum;
+  return probs;
+}
+
+size_t MixtureLanguageModel::num_nodes() const {
+  size_t n = 0;
+  for (const auto& table : nodes_) n += table.size();
+  return n;
+}
+
+}  // namespace lm
+}  // namespace multicast

@@ -1,0 +1,95 @@
+// Adaptive context-depth mixture language model (CTW-style).
+//
+// A second, architecturally different simulated back-end, used for the
+// "larger model" profiles. Where the Witten–Bell n-gram interpolates by
+// observed type counts, this model performs *Bayesian model averaging
+// over context depths* along the active context path: every depth d
+// keeps a Krichevsky–Trofimov estimator for its context node, and a
+// per-node posterior weight decides — from that node's own predictive
+// history — whether its estimator or the shallower mixture predicts
+// better. This is the conditional-probability form of Context Tree
+// Weighting (Willems–Shtarkov–Tjalkens) evaluated on the context path,
+// and adapts the effective context length per position instead of
+// globally.
+
+#ifndef MULTICAST_LM_MIXTURE_MODEL_H_
+#define MULTICAST_LM_MIXTURE_MODEL_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "lm/language_model.h"
+
+namespace multicast {
+namespace lm {
+
+struct MixtureOptions {
+  /// Deepest context depth mixed over. Must be in [1, 12].
+  int max_depth = 8;
+  /// KT estimator pseudo-count per symbol (1/2 is the classical KT
+  /// choice; larger is smoother).
+  double kt_alpha = 0.5;
+  /// Prior weight of "use this node's estimator" vs "defer to the
+  /// shallower mixture" at a fresh node. Must be in (0, 1).
+  double prior_self_weight = 0.5;
+  /// Learning rate of the shared per-depth weight component. Deep
+  /// context nodes are individually visited only a handful of times, so
+  /// a per-depth factor — updated on *every* token — learns how useful
+  /// each depth is globally, while the per-node odds personalize it.
+  double depth_learning_rate = 0.05;
+  /// Uniform mixing floor, as in NGramOptions.
+  double uniform_mix = 1e-4;
+};
+
+/// See file comment.
+class MixtureLanguageModel final : public LanguageModel {
+ public:
+  MixtureLanguageModel(size_t vocab_size, const MixtureOptions& options);
+
+  void Reset() override;
+  void Observe(token::TokenId id) override;
+  std::vector<double> NextDistribution() const override;
+  size_t vocab_size() const override { return vocab_size_; }
+  size_t context_length() const override { return observed_; }
+
+  void ObserveAll(const std::vector<token::TokenId>& ids);
+
+  /// Number of context nodes materialized so far.
+  size_t num_nodes() const;
+
+ private:
+  struct Node {
+    std::vector<uint32_t> counts;
+    uint32_t total = 0;
+    /// Posterior weight of this node's own KT estimator within the
+    /// mixture at its depth (log-domain odds vs the shallower mixture).
+    double log_self_odds = 0.0;
+  };
+
+  // Packs the most recent `depth` tokens into a 64-bit key (5 bits per
+  // token, depth tag disambiguates).
+  uint64_t PackContext(int depth) const;
+
+  // KT predictive probability of `symbol` at `node`.
+  double KtProb(const Node& node, size_t symbol) const;
+
+  // Walks the context path computing the mixture distribution; also
+  // returns the per-depth node keys so Observe can update them.
+  std::vector<double> MixturePath(std::vector<uint64_t>* keys) const;
+
+  size_t vocab_size_;
+  MixtureOptions options_;
+  size_t observed_ = 0;
+  std::deque<token::TokenId> recent_;
+  // nodes_[d] maps packed depth-d contexts to their node.
+  std::vector<std::unordered_map<uint64_t, Node>> nodes_;
+  // Shared log-odds component per depth (see depth_learning_rate).
+  std::vector<double> depth_log_odds_;
+};
+
+}  // namespace lm
+}  // namespace multicast
+
+#endif  // MULTICAST_LM_MIXTURE_MODEL_H_

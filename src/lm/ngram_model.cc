@@ -1,0 +1,114 @@
+#include "lm/ngram_model.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace multicast {
+namespace lm {
+
+namespace {
+constexpr int kBitsPerToken = 5;
+constexpr int kMaxSupportedOrder = 12;
+}  // namespace
+
+NGramLanguageModel::NGramLanguageModel(size_t vocab_size,
+                                       const NGramOptions& options)
+    : vocab_size_(vocab_size), options_(options) {
+  MC_CHECK(vocab_size_ >= 2 && vocab_size_ <= 31);
+  MC_CHECK(options_.max_order >= 1 &&
+           options_.max_order <= kMaxSupportedOrder);
+  MC_CHECK(options_.backoff_boost >= 0.0);
+  MC_CHECK(options_.uniform_mix >= 0.0 && options_.uniform_mix < 1.0);
+  counts_.resize(static_cast<size_t>(options_.max_order) + 1);
+}
+
+void NGramLanguageModel::Reset() {
+  observed_ = 0;
+  recent_.clear();
+  for (auto& table : counts_) table.clear();
+}
+
+uint64_t NGramLanguageModel::PackContext(int order) const {
+  // Layout: [order tag | token_{-order} ... token_{-1}], each 5 bits.
+  // Token value 0 is valid, so the order tag disambiguates "empty" keys.
+  uint64_t key = static_cast<uint64_t>(order) + 1;
+  size_t start = recent_.size() - static_cast<size_t>(order);
+  for (size_t i = start; i < recent_.size(); ++i) {
+    key = (key << kBitsPerToken) |
+          static_cast<uint64_t>(recent_[i] & 0x1f);
+  }
+  return key;
+}
+
+void NGramLanguageModel::Observe(token::TokenId id) {
+  MC_CHECK(id >= 0 && static_cast<size_t>(id) < vocab_size_);
+  // Record `id` as the continuation of every context order that is fully
+  // available in the window (order 0 = unigram always is).
+  int max_ctx = static_cast<int>(
+      std::min<size_t>(recent_.size(), counts_.size() - 1));
+  for (int order = 0; order <= max_ctx; ++order) {
+    auto& entry = counts_[static_cast<size_t>(order)][PackContext(order)];
+    if (entry.next.empty()) entry.next.assign(vocab_size_, 0);
+    if (entry.next[static_cast<size_t>(id)] == 0) ++entry.types;
+    ++entry.next[static_cast<size_t>(id)];
+    ++entry.total;
+  }
+  recent_.push_back(id);
+  if (recent_.size() > static_cast<size_t>(options_.max_order)) {
+    recent_.pop_front();
+  }
+  ++observed_;
+}
+
+void NGramLanguageModel::ObserveAll(const std::vector<token::TokenId>& ids) {
+  for (token::TokenId id : ids) Observe(id);
+}
+
+std::vector<double> NGramLanguageModel::NextDistribution() const {
+  // Interpolated Witten–Bell, built bottom-up: start from uniform, then
+  // for each order k with counts, blend
+  //   P_k(w) = (c(h_k, w) + (T(h_k) + boost) * P_{k-1}(w))
+  //            / (c(h_k) + T(h_k) + boost).
+  std::vector<double> probs(vocab_size_, 1.0 / static_cast<double>(vocab_size_));
+  int max_ctx = static_cast<int>(
+      std::min<size_t>(recent_.size(), counts_.size() - 1));
+  for (int order = 0; order <= max_ctx; ++order) {
+    const auto& table = counts_[static_cast<size_t>(order)];
+    auto it = table.find(PackContext(order));
+    if (it == table.end() || it->second.total == 0) continue;
+    const ContextCounts& cc = it->second;
+    double lambda = static_cast<double>(cc.types) + options_.backoff_boost;
+    double denom = static_cast<double>(cc.total) + lambda;
+    for (size_t w = 0; w < vocab_size_; ++w) {
+      probs[w] = (static_cast<double>(cc.next[w]) + lambda * probs[w]) / denom;
+    }
+  }
+
+  if (options_.uniform_mix > 0.0) {
+    double u = options_.uniform_mix / static_cast<double>(vocab_size_);
+    for (double& p : probs) {
+      p = (1.0 - options_.uniform_mix) * p + u;
+    }
+  }
+
+  // Guard against drift: renormalize exactly.
+  double sum = 0.0;
+  for (double p : probs) sum += p;
+  for (double& p : probs) p /= sum;
+  return probs;
+}
+
+size_t NGramLanguageModel::num_entries() const {
+  size_t n = 0;
+  for (const auto& table : counts_) {
+    for (const auto& [key, cc] : table) {
+      (void)key;
+      n += cc.types;
+    }
+  }
+  return n;
+}
+
+}  // namespace lm
+}  // namespace multicast

@@ -1,0 +1,87 @@
+// Interpolated Witten–Bell backoff n-gram language model.
+//
+// The conditional next-token model behind the simulated LLM back-ends.
+// Counts of all n-grams up to `max_order` are maintained *online* over
+// the observed context, so the model is zero-shot: its only knowledge is
+// the serialized history it was prompted with, exactly the information a
+// frozen LLM conditions on at inference time. Witten–Bell interpolation
+// backs off smoothly from the longest matching context to the uniform
+// distribution, which keeps every token's probability strictly positive
+// (required for constrained sampling — masking must never zero out the
+// entire support).
+
+#ifndef MULTICAST_LM_NGRAM_MODEL_H_
+#define MULTICAST_LM_NGRAM_MODEL_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "lm/language_model.h"
+
+namespace multicast {
+namespace lm {
+
+struct NGramOptions {
+  /// Longest context used, in tokens (an order-k model conditions on the
+  /// previous k tokens). Must be in [1, 12] so contexts pack into 64 bits.
+  int max_order = 8;
+  /// Extra pseudo-type mass added to every Witten–Bell backoff weight.
+  /// Larger values flatten the model toward lower orders — the knob the
+  /// weaker "Phi-2" profile turns up.
+  double backoff_boost = 0.0;
+  /// Probability mass mixed in from the uniform distribution at the end
+  /// (decoder noise floor). Must be in [0, 1).
+  double uniform_mix = 1e-4;
+};
+
+/// See file comment.
+class NGramLanguageModel final : public LanguageModel {
+ public:
+  /// `vocab_size` must be <= 31 (tokens pack into 5 bits each).
+  NGramLanguageModel(size_t vocab_size, const NGramOptions& options);
+
+  void Reset() override;
+  void Observe(token::TokenId id) override;
+  std::vector<double> NextDistribution() const override;
+  size_t vocab_size() const override { return vocab_size_; }
+  size_t context_length() const override { return observed_; }
+
+  /// Convenience: observes a whole token sequence.
+  void ObserveAll(const std::vector<token::TokenId>& ids);
+
+  const NGramOptions& options() const { return options_; }
+
+  /// Number of distinct (context, next) pairs currently counted, across
+  /// all orders. Exposed for tests and capacity diagnostics.
+  size_t num_entries() const;
+
+ private:
+  // Per-context counts: next-token counts, their total, and the number of
+  // distinct next-token types (Witten–Bell's T(h)).
+  struct ContextCounts {
+    std::vector<uint32_t> next;
+    uint32_t total = 0;
+    uint32_t types = 0;
+  };
+
+  // Packs the last `order` tokens of the recent-context window into a
+  // 64-bit key. Keys of different orders cannot collide because the
+  // order is encoded in the key.
+  uint64_t PackContext(int order) const;
+
+  size_t vocab_size_;
+  NGramOptions options_;
+  size_t observed_ = 0;
+  // Most recent max_order tokens (the sliding conditioning window).
+  std::deque<token::TokenId> recent_;
+  // counts_[k] holds order-k contexts (k = 0 .. max_order), where order
+  // 0 is the unigram table under the single empty-context key.
+  std::vector<std::unordered_map<uint64_t, ContextCounts>> counts_;
+};
+
+}  // namespace lm
+}  // namespace multicast
+
+#endif  // MULTICAST_LM_NGRAM_MODEL_H_

@@ -1,0 +1,80 @@
+#include "metrics/metrics.h"
+
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace multicast {
+namespace metrics {
+
+namespace {
+
+Status Validate(const std::vector<double>& actual,
+                const std::vector<double>& predicted) {
+  if (actual.empty()) return Status::InvalidArgument("empty inputs");
+  if (actual.size() != predicted.size()) {
+    return Status::InvalidArgument(
+        StrFormat("size mismatch: %zu actual vs %zu predicted",
+                  actual.size(), predicted.size()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> Rmse(const std::vector<double>& actual,
+                    const std::vector<double>& predicted) {
+  MC_RETURN_IF_ERROR(Validate(actual, predicted));
+  double ss = 0.0;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    double d = actual[i] - predicted[i];
+    ss += d * d;
+  }
+  return std::sqrt(ss / static_cast<double>(actual.size()));
+}
+
+Result<double> Mae(const std::vector<double>& actual,
+                   const std::vector<double>& predicted) {
+  MC_RETURN_IF_ERROR(Validate(actual, predicted));
+  double sum = 0.0;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    sum += std::fabs(actual[i] - predicted[i]);
+  }
+  return sum / static_cast<double>(actual.size());
+}
+
+Result<double> Mape(const std::vector<double>& actual,
+                    const std::vector<double>& predicted, double eps) {
+  MC_RETURN_IF_ERROR(Validate(actual, predicted));
+  double sum = 0.0;
+  size_t used = 0;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    if (std::fabs(actual[i]) < eps) continue;
+    sum += std::fabs((actual[i] - predicted[i]) / actual[i]);
+    ++used;
+  }
+  if (used == 0) {
+    return Status::InvalidArgument("all actual values below epsilon");
+  }
+  return 100.0 * sum / static_cast<double>(used);
+}
+
+Result<double> Smape(const std::vector<double>& actual,
+                     const std::vector<double>& predicted, double eps) {
+  MC_RETURN_IF_ERROR(Validate(actual, predicted));
+  double sum = 0.0;
+  size_t used = 0;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    double denom = (std::fabs(actual[i]) + std::fabs(predicted[i])) / 2.0;
+    if (denom < eps) continue;
+    sum += std::fabs(actual[i] - predicted[i]) / denom;
+    ++used;
+  }
+  if (used == 0) {
+    return Status::InvalidArgument("all magnitudes below epsilon");
+  }
+  return 100.0 * sum / static_cast<double>(used);
+}
+
+}  // namespace metrics
+}  // namespace multicast

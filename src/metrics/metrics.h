@@ -1,0 +1,36 @@
+// Forecast accuracy metrics (RMSE is the paper's headline metric).
+
+#ifndef MULTICAST_METRICS_METRICS_H_
+#define MULTICAST_METRICS_METRICS_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace multicast {
+namespace metrics {
+
+/// Root mean squared error: sqrt(sum (y - yhat)^2 / n). Errors on empty
+/// or mismatched inputs.
+Result<double> Rmse(const std::vector<double>& actual,
+                    const std::vector<double>& predicted);
+
+/// Mean absolute error.
+Result<double> Mae(const std::vector<double>& actual,
+                   const std::vector<double>& predicted);
+
+/// Mean absolute percentage error (%). Timestamps with |actual| < eps
+/// are skipped; errors when every timestamp is skipped.
+Result<double> Mape(const std::vector<double>& actual,
+                    const std::vector<double>& predicted,
+                    double eps = 1e-8);
+
+/// Symmetric MAPE (%), the 0..200 variant.
+Result<double> Smape(const std::vector<double>& actual,
+                     const std::vector<double>& predicted,
+                     double eps = 1e-8);
+
+}  // namespace metrics
+}  // namespace multicast
+
+#endif  // MULTICAST_METRICS_METRICS_H_

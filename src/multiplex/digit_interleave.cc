@@ -1,0 +1,101 @@
+#include "multiplex/digit_interleave.h"
+
+#include "util/strings.h"
+
+namespace multicast {
+namespace multiplex {
+
+namespace {
+
+// DI is only defined when every dimension uses the same digit width.
+Status ValidateUniformWidths(const std::vector<int>& widths) {
+  for (size_t d = 1; d < widths.size(); ++d) {
+    if (widths[d] != widths[0]) {
+      return Status::InvalidArgument(
+          StrFormat("digit-interleaving requires a uniform digit width; "
+                    "dimension %zu has width %d vs %d",
+                    d, widths[d], widths[0]));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::string> DigitInterleaveMultiplexer::Multiplex(
+    const MuxInput& input, const std::vector<int>& widths) const {
+  MC_RETURN_IF_ERROR(ValidateInput(input, widths));
+  MC_RETURN_IF_ERROR(ValidateUniformWidths(widths));
+  const size_t dims = input.num_dims();
+  const size_t n = input.num_timestamps();
+  const size_t b = static_cast<size_t>(widths[0]);
+
+  std::string out;
+  out.reserve(n * (dims * b + 1));
+  for (size_t t = 0; t < n; ++t) {
+    if (t > 0) out.push_back(',');
+    for (size_t j = 0; j < b; ++j) {
+      for (size_t d = 0; d < dims; ++d) {
+        out.push_back(input.values[d][t][j]);
+      }
+    }
+  }
+  return out;
+}
+
+Result<MuxInput> DigitInterleaveMultiplexer::Demultiplex(
+    const std::string& text, const std::vector<int>& widths,
+    bool allow_partial) const {
+  if (widths.empty()) return Status::InvalidArgument("widths is empty");
+  MC_RETURN_IF_ERROR(ValidateUniformWidths(widths));
+  const size_t dims = widths.size();
+  const size_t b = static_cast<size_t>(widths[0]);
+  const size_t field_len = dims * b;
+
+  MuxInput out;
+  out.values.resize(dims);
+  std::vector<std::string> fields = Split(text, ',');
+  for (size_t f = 0; f < fields.size(); ++f) {
+    const std::string& field = fields[f];
+    bool bad = field.size() != field_len || !IsMuxSymbols(field);
+    if (bad) {
+      bool is_last = f + 1 == fields.size();
+      if (allow_partial && is_last) break;
+      return Status::InvalidArgument(
+          StrFormat("timestamp %zu field '%s' is not %zu digits", f,
+                    field.c_str(), field_len));
+    }
+    for (size_t d = 0; d < dims; ++d) {
+      std::string value(b, '0');
+      for (size_t j = 0; j < b; ++j) value[j] = field[j * dims + d];
+      out.values[d].push_back(std::move(value));
+    }
+  }
+  if (out.num_timestamps() == 0) {
+    return Status::InvalidArgument("no complete timestamp in DI stream");
+  }
+  return out;
+}
+
+size_t DigitInterleaveMultiplexer::TokensPerTimestamp(
+    const std::vector<int>& widths) const {
+  size_t total = 0;
+  for (int w : widths) total += static_cast<size_t>(w);
+  return total + 1;  // digits + separator comma
+}
+
+bool DigitInterleaveMultiplexer::IsSeparatorPosition(
+    size_t pos, const std::vector<int>& widths) const {
+  return pos + 1 == TokensPerTimestamp(widths);
+}
+
+int DigitInterleaveMultiplexer::DimensionAtPosition(
+    size_t pos, const std::vector<int>& widths) const {
+  if (IsSeparatorPosition(pos, widths)) return -1;
+  // Digits cycle through the dimensions: position j*d + k holds digit
+  // j+1 of dimension k.
+  return static_cast<int>(pos % widths.size());
+}
+
+}  // namespace multiplex
+}  // namespace multicast

@@ -1,0 +1,42 @@
+// Digit-interleaving (DI) multiplexer — Eq. (1) of the paper.
+
+#ifndef MULTICAST_MULTIPLEX_DIGIT_INTERLEAVE_H_
+#define MULTICAST_MULTIPLEX_DIGIT_INTERLEAVE_H_
+
+#include "multiplex/multiplexer.h"
+
+namespace multicast {
+namespace multiplex {
+
+/// Interleaves the digits of all dimensions within each timestamp: the
+/// most significant digit of every dimension first, then the second
+/// digit of every dimension, and so on (d1=17, d2=23 -> "1273"). Because
+/// the high-order digits of all dimensions lead the timestamp, a model
+/// decoding token-by-token can fix the scale of every dimension before
+/// emitting low-order digits — the property the paper argues helps on
+/// similarly scaled (e.g. z-normalized) data. Requires every dimension
+/// to share one digit width.
+class DigitInterleaveMultiplexer final : public Multiplexer {
+ public:
+  MuxKind kind() const override { return MuxKind::kDigitInterleave; }
+
+  Result<std::string> Multiplex(const MuxInput& input,
+                                const std::vector<int>& widths) const override;
+
+  Result<MuxInput> Demultiplex(const std::string& text,
+                               const std::vector<int>& widths,
+                               bool allow_partial) const override;
+
+  size_t TokensPerTimestamp(const std::vector<int>& widths) const override;
+
+  bool IsSeparatorPosition(size_t pos,
+                           const std::vector<int>& widths) const override;
+
+  int DimensionAtPosition(size_t pos,
+                          const std::vector<int>& widths) const override;
+};
+
+}  // namespace multiplex
+}  // namespace multicast
+
+#endif  // MULTICAST_MULTIPLEX_DIGIT_INTERLEAVE_H_

@@ -1,0 +1,97 @@
+#include "multiplex/multiplexer.h"
+
+#include <cctype>
+
+#include "multiplex/digit_interleave.h"
+#include "multiplex/value_concat.h"
+#include "multiplex/value_interleave.h"
+#include "util/strings.h"
+
+namespace multicast {
+namespace multiplex {
+
+const char* MuxKindName(MuxKind kind) {
+  switch (kind) {
+    case MuxKind::kDigitInterleave:
+      return "DI";
+    case MuxKind::kValueInterleave:
+      return "VI";
+    case MuxKind::kValueConcat:
+      return "VC";
+  }
+  return "?";
+}
+
+Result<MuxKind> ParseMuxKind(const std::string& name) {
+  std::string upper;
+  for (char c : name) upper.push_back(static_cast<char>(std::toupper(c)));
+  if (upper == "DI") return MuxKind::kDigitInterleave;
+  if (upper == "VI") return MuxKind::kValueInterleave;
+  if (upper == "VC") return MuxKind::kValueConcat;
+  return Status::InvalidArgument("unknown multiplexer '" + name +
+                                 "' (expected DI, VI or VC)");
+}
+
+Status Multiplexer::ValidateInput(const MuxInput& input,
+                                  const std::vector<int>& widths) {
+  if (input.values.empty()) {
+    return Status::InvalidArgument("multiplex input has no dimensions");
+  }
+  if (widths.size() != input.values.size()) {
+    return Status::InvalidArgument(
+        StrFormat("widths has %zu entries for %zu dimensions", widths.size(),
+                  input.values.size()));
+  }
+  size_t len = input.values[0].size();
+  if (len == 0) {
+    return Status::InvalidArgument("multiplex input has no timestamps");
+  }
+  for (size_t d = 0; d < input.values.size(); ++d) {
+    if (widths[d] < 1) {
+      return Status::InvalidArgument(
+          StrFormat("width of dimension %zu must be >= 1", d));
+    }
+    if (input.values[d].size() != len) {
+      return Status::InvalidArgument(
+          StrFormat("dimension %zu has %zu timestamps, expected %zu", d,
+                    input.values[d].size(), len));
+    }
+    for (size_t t = 0; t < len; ++t) {
+      const std::string& s = input.values[d][t];
+      if (static_cast<int>(s.size()) != widths[d]) {
+        return Status::InvalidArgument(
+            StrFormat("value at dim %zu time %zu has width %zu, expected %d",
+                      d, t, s.size(), widths[d]));
+      }
+      if (!IsMuxSymbols(s)) {
+        return Status::InvalidArgument(
+            StrFormat("value at dim %zu time %zu is not alphanumeric: '%s'",
+                      d, t, s.c_str()));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+bool IsMuxSymbols(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+std::unique_ptr<Multiplexer> CreateMultiplexer(MuxKind kind) {
+  switch (kind) {
+    case MuxKind::kDigitInterleave:
+      return std::make_unique<DigitInterleaveMultiplexer>();
+    case MuxKind::kValueInterleave:
+      return std::make_unique<ValueInterleaveMultiplexer>();
+    case MuxKind::kValueConcat:
+      return std::make_unique<ValueConcatMultiplexer>();
+  }
+  return nullptr;
+}
+
+}  // namespace multiplex
+}  // namespace multicast

@@ -1,0 +1,108 @@
+// Dimensional multiplexing (Sec. III-A): the paper's core contribution.
+//
+// A d-dimensional series, after per-dimension rescaling to fixed-width
+// digit strings, is flattened into the single comma-separated token
+// stream an LLM consumes. Three schemes are provided:
+//
+//   DI (digit-interleaving)  d1=17 d2=23 -> "1273"   (digits interleaved)
+//   VI (value-interleaving)  d1=17 d2=23 -> "1723"   (values abutted)
+//   VC (value-concatenation) d1=17 d2=23 -> "17,23"  (values as fields)
+//
+// Timestamps are separated by commas in every scheme. Each multiplexer
+// also exposes the *position grammar* of its stream — which positions in
+// a timestamp cycle must hold digits vs. the comma — which the forecaster
+// uses to constrain LLM decoding exactly as LLMTime restricts output to
+// [0-9,]. Demultiplexing is exact: Demultiplex(Multiplex(x)) == x.
+
+#ifndef MULTICAST_MULTIPLEX_MULTIPLEXER_H_
+#define MULTICAST_MULTIPLEX_MULTIPLEXER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace multicast {
+namespace multiplex {
+
+/// The three multiplexing schemes of the paper.
+enum class MuxKind { kDigitInterleave, kValueInterleave, kValueConcat };
+
+/// Short paper name of a scheme: "DI", "VI", "VC".
+const char* MuxKindName(MuxKind kind);
+
+/// Parses "DI"/"VI"/"VC" (case-insensitive).
+Result<MuxKind> ParseMuxKind(const std::string& name);
+
+/// Per-dimension fixed-width symbol strings: values[d][t] is the
+/// serialized value of dimension d at timestamp t — b digit characters
+/// in raw mode, one SAX symbol under quantization. All dimensions share
+/// one length; the width of dimension d's strings must be constant
+/// (widths[d]). Symbols must be alphanumeric (the comma is reserved as
+/// the stream separator).
+struct MuxInput {
+  std::vector<std::vector<std::string>> values;
+
+  size_t num_dims() const { return values.size(); }
+  size_t num_timestamps() const {
+    return values.empty() ? 0 : values[0].size();
+  }
+};
+
+/// Flattens/unflattens multivariate digit strings to/from one token
+/// stream. Implementations are stateless and thread-safe.
+class Multiplexer {
+ public:
+  virtual ~Multiplexer() = default;
+
+  virtual MuxKind kind() const = 0;
+  std::string name() const { return MuxKindName(kind()); }
+
+  /// Serializes `input` to the 1-D text stream. `widths[d]` must match
+  /// every values[d][t].size(). The stream has NO trailing comma.
+  virtual Result<std::string> Multiplex(const MuxInput& input,
+                                        const std::vector<int>& widths)
+      const = 0;
+
+  /// Exact inverse of Multiplex. When `allow_partial` is true, a
+  /// truncated final timestamp (as produced by a token-budgeted LLM) is
+  /// dropped instead of being an error.
+  virtual Result<MuxInput> Demultiplex(const std::string& text,
+                                       const std::vector<int>& widths,
+                                       bool allow_partial) const = 0;
+
+  /// Tokens one timestamp occupies in the stream, including the
+  /// separator comma(s) that follow its digits. Drives the token ledger
+  /// and the generation budget for an h-step forecast.
+  virtual size_t TokensPerTimestamp(const std::vector<int>& widths) const = 0;
+
+  /// True when position `pos` (0-based, within one timestamp cycle) must
+  /// hold the comma separator rather than a digit. Defines the decoding
+  /// grammar used to mask LLM sampling.
+  virtual bool IsSeparatorPosition(size_t pos,
+                                   const std::vector<int>& widths) const = 0;
+
+  /// Which dimension the symbol at cycle position `pos` serializes, or
+  /// -1 at separator positions. Used by the anomaly extension to
+  /// attribute per-token surprisal to dimensions.
+  virtual int DimensionAtPosition(size_t pos,
+                                  const std::vector<int>& widths) const = 0;
+
+ protected:
+  /// Shared validation: consistent dimensions, lengths and widths.
+  static Status ValidateInput(const MuxInput& input,
+                              const std::vector<int>& widths);
+};
+
+/// True when `s` is a valid multiplexed value string: non-empty and all
+/// alphanumeric (commas and whitespace are structural, never payload).
+bool IsMuxSymbols(std::string_view s);
+
+/// Instantiates the multiplexer for `kind`.
+std::unique_ptr<Multiplexer> CreateMultiplexer(MuxKind kind);
+
+}  // namespace multiplex
+}  // namespace multicast
+
+#endif  // MULTICAST_MULTIPLEX_MULTIPLEXER_H_

@@ -1,0 +1,105 @@
+#include "multiplex/value_concat.h"
+
+#include "util/strings.h"
+
+namespace multicast {
+namespace multiplex {
+
+Result<std::string> ValueConcatMultiplexer::Multiplex(
+    const MuxInput& input, const std::vector<int>& widths) const {
+  MC_RETURN_IF_ERROR(ValidateInput(input, widths));
+  const size_t dims = input.num_dims();
+  const size_t n = input.num_timestamps();
+
+  std::string out;
+  out.reserve(n * TokensPerTimestamp(widths));
+  for (size_t t = 0; t < n; ++t) {
+    for (size_t d = 0; d < dims; ++d) {
+      if (t > 0 || d > 0) out.push_back(',');
+      out.append(input.values[d][t]);
+    }
+  }
+  return out;
+}
+
+Result<MuxInput> ValueConcatMultiplexer::Demultiplex(
+    const std::string& text, const std::vector<int>& widths,
+    bool allow_partial) const {
+  if (widths.empty()) return Status::InvalidArgument("widths is empty");
+  const size_t dims = widths.size();
+
+  std::vector<std::string> fields = Split(text, ',');
+  // Only whole timestamps (groups of `dims` fields) are decodable; a
+  // trailing partial group is dropped when allow_partial is set.
+  size_t whole = fields.size() / dims;
+  size_t leftover = fields.size() % dims;
+  if (leftover != 0 && !allow_partial) {
+    return Status::InvalidArgument(
+        StrFormat("%zu fields do not form whole timestamps of %zu dimensions",
+                  fields.size(), dims));
+  }
+
+  MuxInput out;
+  out.values.resize(dims);
+  for (size_t t = 0; t < whole; ++t) {
+    // Validate the whole group before committing any dimension so a bad
+    // group never leaves ragged outputs.
+    bool group_ok = true;
+    for (size_t d = 0; d < dims; ++d) {
+      const std::string& field = fields[t * dims + d];
+      if (static_cast<int>(field.size()) != widths[d] ||
+          !IsMuxSymbols(field)) {
+        group_ok = false;
+        break;
+      }
+    }
+    if (!group_ok) {
+      bool is_last = t + 1 == whole && leftover == 0;
+      if (allow_partial && is_last) break;
+      return Status::InvalidArgument(
+          StrFormat("timestamp %zu has malformed fields", t));
+    }
+    for (size_t d = 0; d < dims; ++d) {
+      out.values[d].push_back(fields[t * dims + d]);
+    }
+  }
+  if (out.num_timestamps() == 0) {
+    return Status::InvalidArgument("no complete timestamp in VC stream");
+  }
+  return out;
+}
+
+size_t ValueConcatMultiplexer::TokensPerTimestamp(
+    const std::vector<int>& widths) const {
+  size_t total = 0;
+  for (int w : widths) total += static_cast<size_t>(w);
+  return total + widths.size();  // every value is followed by a comma
+}
+
+bool ValueConcatMultiplexer::IsSeparatorPosition(
+    size_t pos, const std::vector<int>& widths) const {
+  // Cycle layout: w0 digits, comma, w1 digits, comma, ...
+  size_t cursor = 0;
+  for (int w : widths) {
+    cursor += static_cast<size_t>(w);
+    if (pos < cursor) return false;
+    if (pos == cursor) return true;
+    ++cursor;  // the comma after this value
+  }
+  return false;
+}
+
+int ValueConcatMultiplexer::DimensionAtPosition(
+    size_t pos, const std::vector<int>& widths) const {
+  size_t cursor = 0;
+  for (size_t d = 0; d < widths.size(); ++d) {
+    cursor += static_cast<size_t>(widths[d]);
+    if (pos < cursor) return static_cast<int>(d);
+    if (pos == cursor) return -1;  // the comma after this value
+    ++cursor;
+  }
+  return -1;
+}
+
+}  // namespace multiplex
+}  // namespace multicast

@@ -1,0 +1,39 @@
+// Value-concatenation (VC) multiplexer — Eq. (3) of the paper.
+
+#ifndef MULTICAST_MULTIPLEX_VALUE_CONCAT_H_
+#define MULTICAST_MULTIPLEX_VALUE_CONCAT_H_
+
+#include "multiplex/multiplexer.h"
+
+namespace multicast {
+namespace multiplex {
+
+/// Emits every dimension's value as its own comma-separated field
+/// (d1=17, d2=23 -> "17,23"), so the stream looks like a univariate
+/// LLMTime stream whose values cycle through the dimensions. The paper
+/// expects the explicit separators to make the model's internal
+/// demultiplexing easiest of the three schemes.
+class ValueConcatMultiplexer final : public Multiplexer {
+ public:
+  MuxKind kind() const override { return MuxKind::kValueConcat; }
+
+  Result<std::string> Multiplex(const MuxInput& input,
+                                const std::vector<int>& widths) const override;
+
+  Result<MuxInput> Demultiplex(const std::string& text,
+                               const std::vector<int>& widths,
+                               bool allow_partial) const override;
+
+  size_t TokensPerTimestamp(const std::vector<int>& widths) const override;
+
+  bool IsSeparatorPosition(size_t pos,
+                           const std::vector<int>& widths) const override;
+
+  int DimensionAtPosition(size_t pos,
+                          const std::vector<int>& widths) const override;
+};
+
+}  // namespace multiplex
+}  // namespace multicast
+
+#endif  // MULTICAST_MULTIPLEX_VALUE_CONCAT_H_

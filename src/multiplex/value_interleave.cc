@@ -1,0 +1,89 @@
+#include "multiplex/value_interleave.h"
+
+#include <numeric>
+
+#include "util/strings.h"
+
+namespace multicast {
+namespace multiplex {
+
+Result<std::string> ValueInterleaveMultiplexer::Multiplex(
+    const MuxInput& input, const std::vector<int>& widths) const {
+  MC_RETURN_IF_ERROR(ValidateInput(input, widths));
+  const size_t dims = input.num_dims();
+  const size_t n = input.num_timestamps();
+
+  std::string out;
+  out.reserve(n * TokensPerTimestamp(widths));
+  for (size_t t = 0; t < n; ++t) {
+    if (t > 0) out.push_back(',');
+    for (size_t d = 0; d < dims; ++d) {
+      out.append(input.values[d][t]);
+    }
+  }
+  return out;
+}
+
+Result<MuxInput> ValueInterleaveMultiplexer::Demultiplex(
+    const std::string& text, const std::vector<int>& widths,
+    bool allow_partial) const {
+  if (widths.empty()) return Status::InvalidArgument("widths is empty");
+  size_t field_len = 0;
+  for (int w : widths) {
+    if (w < 1) return Status::InvalidArgument("widths must be >= 1");
+    field_len += static_cast<size_t>(w);
+  }
+
+  MuxInput out;
+  out.values.resize(widths.size());
+  std::vector<std::string> fields = Split(text, ',');
+  for (size_t f = 0; f < fields.size(); ++f) {
+    const std::string& field = fields[f];
+    bool bad = field.size() != field_len || !IsMuxSymbols(field);
+    if (bad) {
+      bool is_last = f + 1 == fields.size();
+      if (allow_partial && is_last) break;
+      return Status::InvalidArgument(
+          StrFormat("timestamp %zu field '%s' is not %zu digits", f,
+                    field.c_str(), field_len));
+    }
+    size_t offset = 0;
+    for (size_t d = 0; d < widths.size(); ++d) {
+      out.values[d].push_back(
+          field.substr(offset, static_cast<size_t>(widths[d])));
+      offset += static_cast<size_t>(widths[d]);
+    }
+  }
+  if (out.num_timestamps() == 0) {
+    return Status::InvalidArgument("no complete timestamp in VI stream");
+  }
+  return out;
+}
+
+size_t ValueInterleaveMultiplexer::TokensPerTimestamp(
+    const std::vector<int>& widths) const {
+  size_t total = 0;
+  for (int w : widths) total += static_cast<size_t>(w);
+  return total + 1;
+}
+
+bool ValueInterleaveMultiplexer::IsSeparatorPosition(
+    size_t pos, const std::vector<int>& widths) const {
+  return pos + 1 == TokensPerTimestamp(widths);
+}
+
+int ValueInterleaveMultiplexer::DimensionAtPosition(
+    size_t pos, const std::vector<int>& widths) const {
+  if (IsSeparatorPosition(pos, widths)) return -1;
+  // Whole values are abutted: the first widths[0] digits belong to
+  // dimension 0, the next widths[1] to dimension 1, and so on.
+  size_t cursor = 0;
+  for (size_t d = 0; d < widths.size(); ++d) {
+    cursor += static_cast<size_t>(widths[d]);
+    if (pos < cursor) return static_cast<int>(d);
+  }
+  return -1;
+}
+
+}  // namespace multiplex
+}  // namespace multicast

@@ -1,0 +1,40 @@
+// Value-interleaving (VI) multiplexer — Eq. (2) of the paper.
+
+#ifndef MULTICAST_MULTIPLEX_VALUE_INTERLEAVE_H_
+#define MULTICAST_MULTIPLEX_VALUE_INTERLEAVE_H_
+
+#include "multiplex/multiplexer.h"
+
+namespace multicast {
+namespace multiplex {
+
+/// Abuts the whole rescaled values of all dimensions within each
+/// timestamp (d1=17, d2=23 -> "1723"). The paper motivates VI for
+/// differently scaled dimensions: the model can tell dimensions apart by
+/// their distinct value ranges and "internally demultiplex" the stream.
+/// Dimensions may use different digit widths, but each width is fixed,
+/// which keeps demultiplexing exact.
+class ValueInterleaveMultiplexer final : public Multiplexer {
+ public:
+  MuxKind kind() const override { return MuxKind::kValueInterleave; }
+
+  Result<std::string> Multiplex(const MuxInput& input,
+                                const std::vector<int>& widths) const override;
+
+  Result<MuxInput> Demultiplex(const std::string& text,
+                               const std::vector<int>& widths,
+                               bool allow_partial) const override;
+
+  size_t TokensPerTimestamp(const std::vector<int>& widths) const override;
+
+  bool IsSeparatorPosition(size_t pos,
+                           const std::vector<int>& widths) const override;
+
+  int DimensionAtPosition(size_t pos,
+                          const std::vector<int>& widths) const override;
+};
+
+}  // namespace multiplex
+}  // namespace multicast
+
+#endif  // MULTICAST_MULTIPLEX_VALUE_INTERLEAVE_H_

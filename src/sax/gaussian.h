@@ -1,0 +1,28 @@
+// Standard normal distribution helpers used by SAX breakpoint tables.
+
+#ifndef MULTICAST_SAX_GAUSSIAN_H_
+#define MULTICAST_SAX_GAUSSIAN_H_
+
+namespace multicast {
+namespace sax {
+
+/// Standard normal probability density.
+double NormalPdf(double x);
+
+/// Standard normal cumulative distribution function.
+double NormalCdf(double x);
+
+/// Inverse standard normal CDF (Acklam's rational approximation with one
+/// Halley refinement step; |error| < 1e-12 on (0, 1)). p must be in
+/// (0, 1); p <= 0 or >= 1 returns -/+ infinity.
+double NormalQuantile(double p);
+
+/// Expected value of a standard normal truncated to (lo, hi):
+/// (pdf(lo) - pdf(hi)) / (cdf(hi) - cdf(lo)). Handles infinite bounds.
+/// Used to reconstruct a representative value for each SAX symbol bin.
+double TruncatedNormalMean(double lo, double hi);
+
+}  // namespace sax
+}  // namespace multicast
+
+#endif  // MULTICAST_SAX_GAUSSIAN_H_

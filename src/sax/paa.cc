@@ -1,0 +1,52 @@
+#include "sax/paa.h"
+
+#include "util/strings.h"
+
+namespace multicast {
+namespace sax {
+
+Result<std::vector<double>> Paa(const std::vector<double>& values,
+                                int segment_length) {
+  if (segment_length < 1) {
+    return Status::InvalidArgument(
+        StrFormat("segment_length must be >= 1, got %d", segment_length));
+  }
+  if (values.empty()) {
+    return Status::InvalidArgument("PAA of empty series");
+  }
+  std::vector<double> out;
+  size_t step = static_cast<size_t>(segment_length);
+  out.reserve((values.size() + step - 1) / step);
+  for (size_t begin = 0; begin < values.size(); begin += step) {
+    size_t end = std::min(begin + step, values.size());
+    double sum = 0.0;
+    for (size_t i = begin; i < end; ++i) sum += values[i];
+    out.push_back(sum / static_cast<double>(end - begin));
+  }
+  return out;
+}
+
+Result<std::vector<double>> PaaInverse(const std::vector<double>& segments,
+                                       int segment_length,
+                                       size_t original_length) {
+  if (segment_length < 1) {
+    return Status::InvalidArgument(
+        StrFormat("segment_length must be >= 1, got %d", segment_length));
+  }
+  size_t step = static_cast<size_t>(segment_length);
+  size_t needed = (original_length + step - 1) / step;
+  if (segments.size() < needed) {
+    return Status::InvalidArgument(
+        StrFormat("%zu segments cannot cover length %zu at segment length %d",
+                  segments.size(), original_length, segment_length));
+  }
+  std::vector<double> out;
+  out.reserve(original_length);
+  for (size_t i = 0; i < original_length; ++i) {
+    out.push_back(segments[i / step]);
+  }
+  return out;
+}
+
+}  // namespace sax
+}  // namespace multicast

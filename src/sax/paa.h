@@ -1,0 +1,30 @@
+// Piecewise Aggregate Approximation (Keogh et al. 2001).
+
+#ifndef MULTICAST_SAX_PAA_H_
+#define MULTICAST_SAX_PAA_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace multicast {
+namespace sax {
+
+/// Reduces `values` to one mean per block of `segment_length` consecutive
+/// points (the paper's "SAX segment length" is this block size — larger
+/// blocks mean stronger x-axis compression). A final partial block is
+/// averaged over its actual size.
+Result<std::vector<double>> Paa(const std::vector<double>& values,
+                                int segment_length);
+
+/// Inverse of Paa: repeats each segment mean `segment_length` times and
+/// truncates to `original_length`. This is the canonical step-wise
+/// reconstruction; information lost by averaging is not recoverable.
+Result<std::vector<double>> PaaInverse(const std::vector<double>& segments,
+                                       int segment_length,
+                                       size_t original_length);
+
+}  // namespace sax
+}  // namespace multicast
+
+#endif  // MULTICAST_SAX_PAA_H_

@@ -1,0 +1,126 @@
+#include "sax/sax.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sax/gaussian.h"
+#include "sax/paa.h"
+#include "ts/stats.h"
+#include "util/strings.h"
+
+namespace multicast {
+namespace sax {
+
+Result<std::vector<double>> GaussianBreakpoints(int alphabet_size) {
+  if (alphabet_size < 2) {
+    return Status::InvalidArgument(
+        StrFormat("alphabet_size must be >= 2, got %d", alphabet_size));
+  }
+  std::vector<double> breaks;
+  breaks.reserve(static_cast<size_t>(alphabet_size) - 1);
+  for (int i = 1; i < alphabet_size; ++i) {
+    breaks.push_back(
+        NormalQuantile(static_cast<double>(i) / alphabet_size));
+  }
+  return breaks;
+}
+
+Result<SaxCodec> SaxCodec::Fit(const ts::Series& train,
+                               const SaxOptions& options) {
+  if (train.empty()) {
+    return Status::InvalidArgument("cannot fit SAX codec on empty series");
+  }
+  if (options.segment_length < 1) {
+    return Status::InvalidArgument("segment_length must be >= 1");
+  }
+  int max_alpha = options.symbols == SymbolKind::kDigital ? 10 : 26;
+  if (options.alphabet_size < 2 || options.alphabet_size > max_alpha) {
+    return Status::InvalidArgument(
+        StrFormat("alphabet size %d out of range [2, %d] for this symbol "
+                  "kind",
+                  options.alphabet_size, max_alpha));
+  }
+
+  SaxCodec codec;
+  codec.options_ = options;
+  ts::Summary s = ts::Summarize(train.values());
+  codec.mean_ = s.mean;
+  codec.stddev_ = s.stddev > 1e-12 ? s.stddev : 1.0;
+  MC_ASSIGN_OR_RETURN(codec.breakpoints_,
+                      GaussianBreakpoints(options.alphabet_size));
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  codec.bin_means_.reserve(static_cast<size_t>(options.alphabet_size));
+  for (int bin = 0; bin < options.alphabet_size; ++bin) {
+    double lo = bin == 0 ? -kInf : codec.breakpoints_[bin - 1];
+    double hi = bin == options.alphabet_size - 1 ? kInf
+                                                 : codec.breakpoints_[bin];
+    codec.bin_means_.push_back(TruncatedNormalMean(lo, hi));
+  }
+  return codec;
+}
+
+Result<std::string> SaxCodec::Encode(const std::vector<double>& values) const {
+  if (values.empty()) return Status::InvalidArgument("encode of empty input");
+  std::vector<double> znormed;
+  znormed.reserve(values.size());
+  for (double v : values) znormed.push_back((v - mean_) / stddev_);
+  MC_ASSIGN_OR_RETURN(std::vector<double> segments,
+                      Paa(znormed, options_.segment_length));
+  std::string word;
+  word.reserve(segments.size());
+  for (double coeff : segments) {
+    // First breakpoint strictly greater than the coefficient gives the bin.
+    int bin = static_cast<int>(std::upper_bound(breakpoints_.begin(),
+                                                breakpoints_.end(), coeff) -
+                               breakpoints_.begin());
+    MC_ASSIGN_OR_RETURN(char symbol, SymbolForBin(bin));
+    word.push_back(symbol);
+  }
+  return word;
+}
+
+size_t SaxCodec::NumSegments(size_t num_values) const {
+  size_t step = static_cast<size_t>(options_.segment_length);
+  return (num_values + step - 1) / step;
+}
+
+Result<std::vector<double>> SaxCodec::Decode(const std::string& word,
+                                             size_t out_length) const {
+  std::vector<double> segments;
+  segments.reserve(word.size());
+  for (char symbol : word) {
+    MC_ASSIGN_OR_RETURN(int bin, BinForSymbol(symbol));
+    segments.push_back(bin_means_[static_cast<size_t>(bin)]);
+  }
+  MC_ASSIGN_OR_RETURN(
+      std::vector<double> znormed,
+      PaaInverse(segments, options_.segment_length, out_length));
+  std::vector<double> out;
+  out.reserve(znormed.size());
+  for (double z : znormed) out.push_back(z * stddev_ + mean_);
+  return out;
+}
+
+Result<char> SaxCodec::SymbolForBin(int index) const {
+  if (index < 0 || index >= options_.alphabet_size) {
+    return Status::OutOfRange(StrFormat("bin %d out of range", index));
+  }
+  char base = options_.symbols == SymbolKind::kDigital ? '0' : 'a';
+  return static_cast<char>(base + index);
+}
+
+Result<int> SaxCodec::BinForSymbol(char symbol) const {
+  char base = options_.symbols == SymbolKind::kDigital ? '0' : 'a';
+  int bin = symbol - base;
+  if (bin < 0 || bin >= options_.alphabet_size) {
+    return Status::InvalidArgument(
+        StrFormat("symbol '%c' outside SAX alphabet of size %d", symbol,
+                  options_.alphabet_size));
+  }
+  return bin;
+}
+
+}  // namespace sax
+}  // namespace multicast

@@ -1,0 +1,88 @@
+// Symbolic Aggregate approXimation (Lin/Keogh; iSAX in Shieh & Keogh 2008).
+//
+// A series is z-normalized, PAA-compressed on the x-axis, and each PAA
+// coefficient is discretized on the y-axis into one of `alphabet_size`
+// equiprobable N(0,1) bins. MultiCast uses the resulting one-symbol-per-
+// timestamp words as the LLM serialization, cutting tokens per timestamp
+// from b+1 to 1 (Sec. III-B). Two symbol encodings are supported:
+// alphabetical ('a','b',...) and digital ('0','1',...).
+
+#ifndef MULTICAST_SAX_SAX_H_
+#define MULTICAST_SAX_SAX_H_
+
+#include <string>
+#include <vector>
+
+#include "ts/series.h"
+#include "util/status.h"
+
+namespace multicast {
+namespace sax {
+
+enum class SymbolKind {
+  kAlphabetic,  ///< 'a'..'z'
+  kDigital,     ///< '0'..'9' (alphabet size capped at 10)
+};
+
+struct SaxOptions {
+  int segment_length = 6;  ///< points averaged per PAA segment (x-axis)
+  int alphabet_size = 5;   ///< number of equiprobable bins (y-axis)
+  SymbolKind symbols = SymbolKind::kAlphabetic;
+};
+
+/// Breakpoints beta_1..beta_{a-1} splitting N(0,1) into `alphabet_size`
+/// equiprobable bins. Strictly increasing.
+Result<std::vector<double>> GaussianBreakpoints(int alphabet_size);
+
+/// Fitted SAX codec for one dimension.
+///
+/// Fit() learns the z-normalization from training data; Encode()/Decode()
+/// then map between raw values and SAX symbol strings. Decoding
+/// reconstructs each symbol as the truncated-normal mean of its bin and
+/// expands PAA segments back to per-timestamp values, so
+/// Decode(Encode(x)) approximates x with quantization error bounded by
+/// the bin width and segment averaging.
+class SaxCodec {
+ public:
+  /// Fits the codec's normalization on `train` and precomputes the
+  /// breakpoint/reconstruction tables.
+  static Result<SaxCodec> Fit(const ts::Series& train,
+                              const SaxOptions& options);
+
+  /// Encodes values into a symbol string, one char per PAA segment.
+  Result<std::string> Encode(const std::vector<double>& values) const;
+
+  /// Number of symbols Encode() emits for `num_values` input points.
+  size_t NumSegments(size_t num_values) const;
+
+  /// Decodes a symbol string into `out_length` per-timestamp values in
+  /// the original units. Errors on symbols outside the alphabet.
+  Result<std::vector<double>> Decode(const std::string& word,
+                                     size_t out_length) const;
+
+  /// Symbol for bin `index` (0-based), e.g. 0 -> 'a' or '0'.
+  Result<char> SymbolForBin(int index) const;
+
+  /// Bin index for `symbol`, or InvalidArgument.
+  Result<int> BinForSymbol(char symbol) const;
+
+  const SaxOptions& options() const { return options_; }
+  const std::vector<double>& breakpoints() const { return breakpoints_; }
+
+  /// Per-bin reconstruction values in z-space (truncated-normal means).
+  const std::vector<double>& bin_means() const { return bin_means_; }
+
+ private:
+  SaxCodec() = default;
+
+  SaxOptions options_;
+  double mean_ = 0.0;
+  double stddev_ = 1.0;
+  std::vector<double> breakpoints_;
+  std::vector<double> bin_means_;
+};
+
+}  // namespace sax
+}  // namespace multicast
+
+#endif  // MULTICAST_SAX_SAX_H_

@@ -1,0 +1,80 @@
+#include "scale/scaler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ts/stats.h"
+#include "util/strings.h"
+
+namespace multicast {
+namespace scale {
+
+int64_t ScalerParams::MaxValue() const {
+  int64_t m = 1;
+  for (int i = 0; i < digits; ++i) m *= 10;
+  return m - 1;
+}
+
+Result<ScalerParams> FitScaler(const ts::Series& train,
+                               const ScalerOptions& options) {
+  if (train.empty()) {
+    return Status::InvalidArgument("cannot fit scaler on empty series");
+  }
+  if (options.digits < 1 || options.digits > 9) {
+    return Status::InvalidArgument(
+        StrFormat("digits must be in [1, 9], got %d", options.digits));
+  }
+  if (!(options.upper_percentile > 0.0 && options.upper_percentile <= 1.0)) {
+    return Status::InvalidArgument("upper_percentile must be in (0, 1]");
+  }
+  if (!(options.headroom >= 0.0 && options.headroom < 1.0)) {
+    return Status::InvalidArgument("headroom must be in [0, 1)");
+  }
+
+  ScalerParams params;
+  params.digits = options.digits;
+  double lo = *std::min_element(train.values().begin(), train.values().end());
+  double hi = ts::Quantile(train.values(), options.upper_percentile);
+  params.offset = lo;
+  double span = hi - lo;
+  double max_scaled =
+      static_cast<double>(params.MaxValue()) * (1.0 - options.headroom);
+  if (span < 1e-12) {
+    // Constant series: park it mid-range with unit resolution.
+    params.alpha = 1.0;
+    params.offset = lo - static_cast<double>(params.MaxValue()) / 2.0;
+  } else {
+    params.alpha = max_scaled / span;
+  }
+  return params;
+}
+
+std::vector<int64_t> ScaleValues(const std::vector<double>& values,
+                                 const ScalerParams& params) {
+  std::vector<int64_t> out;
+  out.reserve(values.size());
+  int64_t max_v = params.MaxValue();
+  for (double v : values) {
+    double s = (v - params.offset) * params.alpha;
+    int64_t r = static_cast<int64_t>(std::llround(s));
+    out.push_back(std::clamp<int64_t>(r, 0, max_v));
+  }
+  return out;
+}
+
+std::vector<double> DescaleValues(const std::vector<int64_t>& scaled,
+                                  const ScalerParams& params) {
+  std::vector<double> out;
+  out.reserve(scaled.size());
+  for (int64_t v : scaled) {
+    out.push_back(static_cast<double>(v) / params.alpha + params.offset);
+  }
+  return out;
+}
+
+double MaxRoundTripError(const ScalerParams& params) {
+  return 0.5 / params.alpha;
+}
+
+}  // namespace scale
+}  // namespace multicast

@@ -1,0 +1,64 @@
+// LLMTime-style numeric rescaling.
+//
+// Before serialization, each dimension is affinely mapped onto the
+// non-negative integers expressible with a fixed digit budget `b`
+// ("rescaled to avoid decimals", Sec. III-A). This both removes decimal
+// points (which fragment tokenization) and bounds the tokens per value.
+// The mapping is retained so model output can be descaled exactly.
+
+#ifndef MULTICAST_SCALE_SCALER_H_
+#define MULTICAST_SCALE_SCALER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ts/series.h"
+#include "util/status.h"
+
+namespace multicast {
+namespace scale {
+
+struct ScalerOptions {
+  /// Digits per rescaled value (paper: b). Values map into
+  /// [0, 10^digits - 1].
+  int digits = 2;
+  /// Percentile of the training values mapped to the top of the integer
+  /// range; LLMTime uses a high percentile rather than the max so a few
+  /// outliers do not crush the resolution of the bulk.
+  double upper_percentile = 0.99;
+  /// Fraction of headroom left above the upper percentile so forecasts
+  /// may exceed the historical range without clipping.
+  double headroom = 0.15;
+};
+
+/// Affine map fitted on a training series: scaled = round((x - offset) * a).
+struct ScalerParams {
+  double offset = 0.0;
+  double alpha = 1.0;
+  int digits = 2;
+
+  /// Largest representable scaled integer (10^digits - 1).
+  int64_t MaxValue() const;
+};
+
+/// Fits the affine map on `train` (min -> 0, upper percentile ->
+/// (1 - headroom) * max integer). A constant series maps to mid-range.
+Result<ScalerParams> FitScaler(const ts::Series& train,
+                               const ScalerOptions& options);
+
+/// Applies a fitted map; out-of-range values clip to [0, MaxValue].
+std::vector<int64_t> ScaleValues(const std::vector<double>& values,
+                                 const ScalerParams& params);
+
+/// Inverse map back to the original units.
+std::vector<double> DescaleValues(const std::vector<int64_t>& scaled,
+                                  const ScalerParams& params);
+
+/// Round trip error bound: |x - descale(scale(x))| <= 0.5 / alpha for
+/// in-range x. Exposed for tests and docs.
+double MaxRoundTripError(const ScalerParams& params);
+
+}  // namespace scale
+}  // namespace multicast
+
+#endif  // MULTICAST_SCALE_SCALER_H_

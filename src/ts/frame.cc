@@ -1,0 +1,87 @@
+#include "ts/frame.h"
+
+#include "util/strings.h"
+
+namespace multicast {
+namespace ts {
+
+Result<Frame> Frame::FromSeries(std::vector<Series> dims, std::string name) {
+  if (dims.empty()) {
+    return Status::InvalidArgument("frame requires at least one dimension");
+  }
+  size_t len = dims[0].size();
+  for (size_t d = 1; d < dims.size(); ++d) {
+    if (dims[d].size() != len) {
+      return Status::InvalidArgument(
+          StrFormat("dimension %zu has length %zu, expected %zu", d,
+                    dims[d].size(), len));
+    }
+  }
+  Frame f;
+  f.dims_ = std::move(dims);
+  f.name_ = std::move(name);
+  return f;
+}
+
+Result<Frame> Frame::FromCsv(const CsvTable& table, std::string name) {
+  std::vector<Series> dims;
+  dims.reserve(table.num_cols());
+  for (size_t c = 0; c < table.num_cols(); ++c) {
+    dims.emplace_back(table.columns[c], table.column_names[c]);
+  }
+  return FromSeries(std::move(dims), std::move(name));
+}
+
+std::vector<double> Frame::Row(size_t t) const {
+  std::vector<double> row;
+  row.reserve(dims_.size());
+  for (const auto& d : dims_) row.push_back(d[t]);
+  return row;
+}
+
+Result<Frame> Frame::Slice(size_t begin, size_t end) const {
+  std::vector<Series> sliced;
+  sliced.reserve(dims_.size());
+  for (const auto& d : dims_) {
+    MC_ASSIGN_OR_RETURN(Series s, d.Slice(begin, end));
+    sliced.push_back(std::move(s));
+  }
+  Frame f;
+  f.dims_ = std::move(sliced);
+  f.name_ = name_;
+  return f;
+}
+
+Frame Frame::Head(size_t n) const {
+  Frame f;
+  for (const auto& d : dims_) f.dims_.push_back(d.Head(n));
+  f.name_ = name_;
+  return f;
+}
+
+Frame Frame::Tail(size_t n) const {
+  Frame f;
+  for (const auto& d : dims_) f.dims_.push_back(d.Tail(n));
+  f.name_ = name_;
+  return f;
+}
+
+Result<size_t> Frame::DimIndex(const std::string& name) const {
+  for (size_t d = 0; d < dims_.size(); ++d) {
+    if (dims_[d].name() == name) return d;
+  }
+  return Status::NotFound("no dimension named '" + name + "'");
+}
+
+CsvTable Frame::ToCsv() const {
+  CsvTable table;
+  for (size_t d = 0; d < dims_.size(); ++d) {
+    table.column_names.push_back(
+        dims_[d].name().empty() ? StrFormat("c%zu", d) : dims_[d].name());
+    table.columns.push_back(dims_[d].values());
+  }
+  return table;
+}
+
+}  // namespace ts
+}  // namespace multicast

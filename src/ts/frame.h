@@ -1,0 +1,68 @@
+// Multivariate time series container.
+
+#ifndef MULTICAST_TS_FRAME_H_
+#define MULTICAST_TS_FRAME_H_
+
+#include <string>
+#include <vector>
+
+#include "ts/series.h"
+#include "util/csv.h"
+#include "util/status.h"
+
+namespace multicast {
+namespace ts {
+
+/// A d-dimensional time series: d equal-length `Series` sharing an
+/// implicit time axis. This is the object MultiCast multiplexes; each
+/// dimension corresponds to one physical variable (e.g. HUFL, HULL, OT).
+class Frame {
+ public:
+  Frame() = default;
+
+  /// Builds a frame from dimensions; all must share one length.
+  static Result<Frame> FromSeries(std::vector<Series> dims,
+                                  std::string name = "");
+
+  /// Builds a frame from a parsed CSV (one column per dimension).
+  static Result<Frame> FromCsv(const CsvTable& table, std::string name = "");
+
+  size_t num_dims() const { return dims_.size(); }
+  size_t length() const { return dims_.empty() ? 0 : dims_[0].size(); }
+
+  const Series& dim(size_t d) const { return dims_[d]; }
+  Series& dim(size_t d) { return dims_[d]; }
+
+  const std::vector<Series>& dims() const { return dims_; }
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Value of dimension d at timestamp t.
+  double at(size_t d, size_t t) const { return dims_[d][t]; }
+
+  /// All d values at timestamp t, in dimension order.
+  std::vector<double> Row(size_t t) const;
+
+  /// Sub-frame over timestamps [begin, end).
+  Result<Frame> Slice(size_t begin, size_t end) const;
+
+  /// First / last n timestamps (clamped).
+  Frame Head(size_t n) const;
+  Frame Tail(size_t n) const;
+
+  /// Index of the dimension named `name`, or NotFound.
+  Result<size_t> DimIndex(const std::string& name) const;
+
+  /// Converts to a CSV table (column per dimension).
+  CsvTable ToCsv() const;
+
+ private:
+  std::vector<Series> dims_;
+  std::string name_;
+};
+
+}  // namespace ts
+}  // namespace multicast
+
+#endif  // MULTICAST_TS_FRAME_H_

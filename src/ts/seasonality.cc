@@ -1,0 +1,62 @@
+#include "ts/seasonality.h"
+
+#include "ts/stats.h"
+#include "util/strings.h"
+
+namespace multicast {
+namespace ts {
+
+Result<Seasonality> DetectSeasonality(const Series& series,
+                                      const SeasonalityOptions& options) {
+  if (options.min_period < 2) {
+    return Status::InvalidArgument("min_period must be >= 2");
+  }
+  size_t max_period = options.max_period != 0 ? options.max_period
+                                              : series.size() / 3;
+  if (series.size() < 3 * options.min_period || max_period <
+      options.min_period) {
+    return Status::InvalidArgument(
+        StrFormat("series of length %zu too short for period search",
+                  series.size()));
+  }
+
+  // Remove the least-squares linear trend; a trend otherwise inflates
+  // the ACF at every large lag. (Linear detrending preserves the
+  // periodic component's signal-to-noise ratio, unlike differencing,
+  // which attenuates long periods.)
+  const std::vector<double>& values = series.values();
+  const double n = static_cast<double>(values.size());
+  double t_mean = (n - 1.0) / 2.0;
+  double y_mean = Mean(values);
+  double num = 0.0, den = 0.0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    double dt = static_cast<double>(i) - t_mean;
+    num += dt * (values[i] - y_mean);
+    den += dt * dt;
+  }
+  double slope = den > 0.0 ? num / den : 0.0;
+  std::vector<double> diffed(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    diffed[i] = values[i] - y_mean -
+                slope * (static_cast<double>(i) - t_mean);
+  }
+
+  Seasonality best;
+  for (size_t lag = options.min_period; lag <= max_period; ++lag) {
+    if (lag + 2 >= diffed.size()) break;
+    double acf = Autocorrelation(diffed, lag);
+    // Require a local peak: stronger than its immediate neighbors, so
+    // a slowly decaying ACF tail does not win.
+    double left = Autocorrelation(diffed, lag - 1);
+    double right = Autocorrelation(diffed, lag + 1);
+    if (acf >= options.min_acf && acf >= left && acf >= right &&
+        acf > best.strength) {
+      best.period = lag;
+      best.strength = acf;
+    }
+  }
+  return best;
+}
+
+}  // namespace ts
+}  // namespace multicast

@@ -1,0 +1,42 @@
+// Automatic seasonality detection via the autocorrelation function.
+
+#ifndef MULTICAST_TS_SEASONALITY_H_
+#define MULTICAST_TS_SEASONALITY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "ts/series.h"
+#include "util/status.h"
+
+namespace multicast {
+namespace ts {
+
+struct SeasonalityOptions {
+  /// Smallest candidate period.
+  size_t min_period = 2;
+  /// Largest candidate period (0 = length / 3).
+  size_t max_period = 0;
+  /// Minimum ACF value at the period for it to count as seasonal.
+  double min_acf = 0.3;
+};
+
+/// Detected dominant period of a series.
+struct Seasonality {
+  /// 0 when no significant period was found.
+  size_t period = 0;
+  /// ACF value at the detected period.
+  double strength = 0.0;
+};
+
+/// Scans lags in [min_period, max_period] for the strongest local ACF
+/// peak (detrended by first differencing so slow trends do not read as
+/// giant periods). Deterministic; errors on series shorter than
+/// 3 * min_period.
+Result<Seasonality> DetectSeasonality(const Series& series,
+                                      const SeasonalityOptions& options = {});
+
+}  // namespace ts
+}  // namespace multicast
+
+#endif  // MULTICAST_TS_SEASONALITY_H_

@@ -1,0 +1,33 @@
+#include "ts/series.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace multicast {
+namespace ts {
+
+Result<Series> Series::Slice(size_t begin, size_t end) const {
+  if (begin > end || end > values_.size()) {
+    return Status::OutOfRange(
+        StrFormat("slice [%zu, %zu) of series of length %zu", begin, end,
+                  values_.size()));
+  }
+  return Series(
+      std::vector<double>(values_.begin() + begin, values_.begin() + end),
+      name_);
+}
+
+Series Series::Head(size_t n) const {
+  n = std::min(n, values_.size());
+  return Series(std::vector<double>(values_.begin(), values_.begin() + n),
+                name_);
+}
+
+Series Series::Tail(size_t n) const {
+  n = std::min(n, values_.size());
+  return Series(std::vector<double>(values_.end() - n, values_.end()), name_);
+}
+
+}  // namespace ts
+}  // namespace multicast

@@ -1,0 +1,55 @@
+// Univariate time series container.
+
+#ifndef MULTICAST_TS_SERIES_H_
+#define MULTICAST_TS_SERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace multicast {
+namespace ts {
+
+/// A named, equally spaced sequence of real values. The container is the
+/// unit every transform (scaling, SAX, metrics) operates on; timestamps
+/// are implicit indices, matching the paper's setting of regularly sampled
+/// data.
+class Series {
+ public:
+  Series() = default;
+  explicit Series(std::vector<double> values, std::string name = "")
+      : values_(std::move(values)), name_(std::move(name)) {}
+
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  double operator[](size_t i) const { return values_[i]; }
+  double& operator[](size_t i) { return values_[i]; }
+
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& values() { return values_; }
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  void push_back(double v) { values_.push_back(v); }
+
+  /// Sub-series [begin, end). Returns an error when the range is invalid.
+  Result<Series> Slice(size_t begin, size_t end) const;
+
+  /// First `n` values (clamped to size).
+  Series Head(size_t n) const;
+
+  /// Last `n` values (clamped to size).
+  Series Tail(size_t n) const;
+
+ private:
+  std::vector<double> values_;
+  std::string name_;
+};
+
+}  // namespace ts
+}  // namespace multicast
+
+#endif  // MULTICAST_TS_SERIES_H_

@@ -1,0 +1,36 @@
+#include "ts/split.h"
+
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace multicast {
+namespace ts {
+
+Result<Split> SplitHorizon(const Frame& frame, size_t horizon) {
+  if (horizon == 0) return Status::InvalidArgument("horizon must be >= 1");
+  if (frame.length() < horizon + 2) {
+    return Status::InvalidArgument(
+        StrFormat("frame of length %zu too short for horizon %zu",
+                  frame.length(), horizon));
+  }
+  size_t cut = frame.length() - horizon;
+  Split split;
+  MC_ASSIGN_OR_RETURN(split.train, frame.Slice(0, cut));
+  MC_ASSIGN_OR_RETURN(split.test, frame.Slice(cut, frame.length()));
+  return split;
+}
+
+Result<Split> SplitFraction(const Frame& frame, double train_fraction) {
+  if (!(train_fraction > 0.0 && train_fraction < 1.0)) {
+    return Status::InvalidArgument("train_fraction must be in (0, 1)");
+  }
+  size_t cut = static_cast<size_t>(
+      std::lround(train_fraction * static_cast<double>(frame.length())));
+  if (cut >= frame.length()) cut = frame.length() - 1;
+  if (cut < 2) cut = 2;
+  return SplitHorizon(frame, frame.length() - cut);
+}
+
+}  // namespace ts
+}  // namespace multicast

@@ -1,0 +1,30 @@
+// Train/test splitting for forecasting evaluation.
+
+#ifndef MULTICAST_TS_SPLIT_H_
+#define MULTICAST_TS_SPLIT_H_
+
+#include "ts/frame.h"
+#include "util/status.h"
+
+namespace multicast {
+namespace ts {
+
+/// History/horizon pair produced by a temporal split: the model sees
+/// `train`, forecasts `test.length()` steps, and is scored against `test`.
+struct Split {
+  Frame train;
+  Frame test;
+};
+
+/// Splits the last `horizon` timestamps off as the test set. The horizon
+/// must be >= 1 and leave at least 2 training points.
+Result<Split> SplitHorizon(const Frame& frame, size_t horizon);
+
+/// Splits at `train_fraction` of the length (e.g. 0.8 -> last 20% is the
+/// test horizon).
+Result<Split> SplitFraction(const Frame& frame, double train_fraction);
+
+}  // namespace ts
+}  // namespace multicast
+
+#endif  // MULTICAST_TS_SPLIT_H_

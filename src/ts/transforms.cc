@@ -1,0 +1,119 @@
+#include "ts/transforms.h"
+
+#include <cmath>
+
+#include "ts/stats.h"
+#include "util/strings.h"
+
+namespace multicast {
+namespace ts {
+
+Series ZNormalize(const Series& s, ZNormParams* params) {
+  Summary sum = Summarize(s.values());
+  ZNormParams p;
+  p.mean = sum.mean;
+  p.stddev = sum.stddev > 1e-12 ? sum.stddev : 1.0;
+  std::vector<double> out;
+  out.reserve(s.size());
+  for (double v : s.values()) out.push_back((v - p.mean) / p.stddev);
+  if (params != nullptr) *params = p;
+  return Series(std::move(out), s.name());
+}
+
+Series ZDenormalize(const Series& s, const ZNormParams& params) {
+  std::vector<double> out;
+  out.reserve(s.size());
+  for (double v : s.values()) out.push_back(v * params.stddev + params.mean);
+  return Series(std::move(out), s.name());
+}
+
+Result<std::vector<double>> Difference(const std::vector<double>& values,
+                                       int d) {
+  std::vector<double> heads;
+  return DifferenceWithHeads(values, d, &heads);
+}
+
+Result<std::vector<double>> DifferenceWithHeads(
+    const std::vector<double>& values, int d, std::vector<double>* heads) {
+  if (d < 0) return Status::InvalidArgument("negative differencing order");
+  if (values.size() <= static_cast<size_t>(d)) {
+    return Status::InvalidArgument(
+        StrFormat("cannot difference %zu values %d times", values.size(), d));
+  }
+  heads->clear();
+  std::vector<double> cur = values;
+  for (int k = 0; k < d; ++k) {
+    heads->push_back(cur[0]);
+    std::vector<double> next;
+    next.reserve(cur.size() - 1);
+    for (size_t i = 1; i < cur.size(); ++i) next.push_back(cur[i] - cur[i - 1]);
+    cur = std::move(next);
+  }
+  return cur;
+}
+
+Result<std::vector<double>> SeasonalDifferenceWithHeads(
+    const std::vector<double>& values, size_t period, int D,
+    std::vector<double>* heads) {
+  if (period == 0) return Status::InvalidArgument("period must be >= 1");
+  if (D < 0) return Status::InvalidArgument("negative seasonal order");
+  if (values.size() <= period * static_cast<size_t>(D)) {
+    return Status::InvalidArgument(
+        StrFormat("cannot seasonally difference %zu values %d times at "
+                  "period %zu",
+                  values.size(), D, period));
+  }
+  std::vector<double> cur = values;
+  for (int k = 0; k < D; ++k) {
+    heads->insert(heads->end(), cur.begin(),
+                  cur.begin() + static_cast<long>(period));
+    std::vector<double> next;
+    next.reserve(cur.size() - period);
+    for (size_t i = period; i < cur.size(); ++i) {
+      next.push_back(cur[i] - cur[i - period]);
+    }
+    cur = std::move(next);
+  }
+  return cur;
+}
+
+Result<std::vector<double>> SeasonalUndifference(
+    const std::vector<double>& diffed, size_t period,
+    const std::vector<double>& heads) {
+  if (period == 0) return Status::InvalidArgument("period must be >= 1");
+  if (heads.size() % period != 0) {
+    return Status::InvalidArgument(
+        StrFormat("heads size %zu is not a multiple of period %zu",
+                  heads.size(), period));
+  }
+  std::vector<double> cur = diffed;
+  size_t passes = heads.size() / period;
+  for (size_t pass = passes; pass-- > 0;) {
+    std::vector<double> next(heads.begin() + static_cast<long>(pass * period),
+                             heads.begin() +
+                                 static_cast<long>((pass + 1) * period));
+    next.reserve(period + cur.size());
+    for (size_t i = 0; i < cur.size(); ++i) {
+      next.push_back(cur[i] + next[i]);
+    }
+    cur = std::move(next);
+  }
+  return cur;
+}
+
+Result<std::vector<double>> Undifference(const std::vector<double>& diffed,
+                                         const std::vector<double>& heads) {
+  std::vector<double> cur = diffed;
+  // Integrate in reverse order of the differencing passes.
+  for (auto it = heads.rbegin(); it != heads.rend(); ++it) {
+    std::vector<double> next;
+    next.reserve(cur.size() + 1);
+    next.push_back(*it);
+    for (double v : cur) next.push_back(next.back() + v);
+    cur = std::move(next);
+  }
+  return cur;
+}
+
+}  // namespace ts
+}  // namespace multicast

@@ -1,0 +1,60 @@
+// Reversible series transforms: z-normalization and differencing.
+
+#ifndef MULTICAST_TS_TRANSFORMS_H_
+#define MULTICAST_TS_TRANSFORMS_H_
+
+#include <vector>
+
+#include "ts/series.h"
+#include "util/status.h"
+
+namespace multicast {
+namespace ts {
+
+/// Parameters of a z-normalization, retained so forecasts made in
+/// normalized space can be mapped back.
+struct ZNormParams {
+  double mean = 0.0;
+  double stddev = 1.0;
+};
+
+/// Z-normalizes `s` ((x - mean) / stddev). A constant series gets
+/// stddev 1 so the transform stays invertible.
+Series ZNormalize(const Series& s, ZNormParams* params);
+
+/// Inverse of ZNormalize.
+Series ZDenormalize(const Series& s, const ZNormParams& params);
+
+/// First-order differencing d times (ARIMA's "I" component). Each pass
+/// shortens the series by one. Errors when the series is too short.
+Result<std::vector<double>> Difference(const std::vector<double>& values,
+                                       int d);
+
+/// Inverts `Difference`: integrates `diffed` back to the original scale.
+/// `heads[k]` is the first value of the series after k differencing passes
+/// (heads.size() == d), as captured during the forward transform.
+Result<std::vector<double>> Undifference(const std::vector<double>& diffed,
+                                         const std::vector<double>& heads);
+
+/// Captures the per-pass head values needed by `Undifference` and returns
+/// the d-times differenced series.
+Result<std::vector<double>> DifferenceWithHeads(
+    const std::vector<double>& values, int d, std::vector<double>* heads);
+
+/// Seasonal differencing: D passes of y_t = x_t - x_{t-period}. Each
+/// pass shortens the series by `period` and appends that pass's first
+/// `period` values to `heads` (so heads->size() grows by D * period).
+Result<std::vector<double>> SeasonalDifferenceWithHeads(
+    const std::vector<double>& values, size_t period, int D,
+    std::vector<double>* heads);
+
+/// Inverts `SeasonalDifferenceWithHeads`. `heads` must hold exactly
+/// D * period values in the order the forward pass wrote them.
+Result<std::vector<double>> SeasonalUndifference(
+    const std::vector<double>& diffed, size_t period,
+    const std::vector<double>& heads);
+
+}  // namespace ts
+}  // namespace multicast
+
+#endif  // MULTICAST_TS_TRANSFORMS_H_

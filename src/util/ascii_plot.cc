@@ -1,0 +1,62 @@
+#include "util/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/strings.h"
+
+namespace multicast {
+
+std::string RenderAsciiPlot(const std::vector<PlotSeries>& series,
+                            const PlotOptions& options) {
+  const int w = std::max(8, options.width);
+  const int h = std::max(4, options.height);
+
+  size_t n = 0;
+  double ymin = std::numeric_limits<double>::infinity();
+  double ymax = -std::numeric_limits<double>::infinity();
+  for (const auto& s : series) {
+    n = std::max(n, s.values.size());
+    for (double v : s.values) {
+      if (std::isnan(v)) continue;
+      ymin = std::min(ymin, v);
+      ymax = std::max(ymax, v);
+    }
+  }
+  std::string out;
+  if (!options.title.empty()) out += options.title + "\n";
+  if (n == 0 || !std::isfinite(ymin)) return out + "(no data)\n";
+  if (ymax - ymin < 1e-12) {
+    ymax = ymin + 1.0;
+    ymin -= 1.0;
+  }
+
+  std::vector<std::string> raster(h, std::string(w, ' '));
+  for (const auto& s : series) {
+    for (size_t i = 0; i < s.values.size(); ++i) {
+      double v = s.values[i];
+      if (std::isnan(v)) continue;
+      int col = n <= 1 ? 0
+                       : static_cast<int>(std::lround(
+                             static_cast<double>(i) * (w - 1) / (n - 1)));
+      double t = (v - ymin) / (ymax - ymin);
+      int row = (h - 1) - static_cast<int>(std::lround(t * (h - 1)));
+      raster[row][col] = s.glyph;
+    }
+  }
+
+  for (int r = 0; r < h; ++r) {
+    double y = ymax - (ymax - ymin) * r / (h - 1);
+    out += StrFormat("%9.3f |", y);
+    out += raster[r];
+    out += '\n';
+  }
+  out += std::string(10, ' ') + '+' + std::string(w, '-') + '\n';
+  for (const auto& s : series) {
+    out += StrFormat("%10c = %s\n", s.glyph, s.label.c_str());
+  }
+  return out;
+}
+
+}  // namespace multicast

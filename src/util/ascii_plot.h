@@ -1,0 +1,36 @@
+// Terminal line plots used by the figure-reproduction benches.
+//
+// Each paper figure is a forecast overlay (actual vs predicted). We render
+// the same overlay as a character raster so that `bench/*` binaries can
+// "print the figure" without a graphics stack.
+
+#ifndef MULTICAST_UTIL_ASCII_PLOT_H_
+#define MULTICAST_UTIL_ASCII_PLOT_H_
+
+#include <string>
+#include <vector>
+
+namespace multicast {
+
+/// One series of the overlay: a y-value per x index. NaN values leave gaps
+/// (used to start a forecast series at the split point).
+struct PlotSeries {
+  std::string label;
+  char glyph = '*';
+  std::vector<double> values;
+};
+
+struct PlotOptions {
+  int width = 72;    ///< raster columns
+  int height = 16;   ///< raster rows
+  std::string title;
+};
+
+/// Renders series onto a shared raster with a y-axis scale and a legend.
+/// Later series overwrite earlier ones where they collide.
+std::string RenderAsciiPlot(const std::vector<PlotSeries>& series,
+                            const PlotOptions& options);
+
+}  // namespace multicast
+
+#endif  // MULTICAST_UTIL_ASCII_PLOT_H_

@@ -1,0 +1,110 @@
+#include "util/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace multicast {
+
+namespace {
+
+// Parses one numeric field; returns false on any trailing garbage.
+bool ParseDouble(std::string_view field, double* out) {
+  std::string s(Trim(field));
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+}  // namespace
+
+Result<CsvTable> ParseCsv(const std::string& text) {
+  std::vector<std::string> lines;
+  {
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (!Trim(line).empty()) lines.push_back(line);
+    }
+  }
+  if (lines.empty()) return Status::InvalidArgument("empty CSV input");
+
+  CsvTable table;
+  auto first_fields = Split(lines[0], ',');
+  bool has_header = false;
+  for (const auto& f : first_fields) {
+    double v;
+    if (!ParseDouble(f, &v)) {
+      has_header = true;
+      break;
+    }
+  }
+  size_t ncols = first_fields.size();
+  if (has_header) {
+    for (const auto& f : first_fields) {
+      table.column_names.emplace_back(Trim(f));
+    }
+  } else {
+    for (size_t c = 0; c < ncols; ++c) {
+      table.column_names.push_back(StrFormat("c%zu", c));
+    }
+  }
+  table.columns.resize(ncols);
+
+  for (size_t r = has_header ? 1 : 0; r < lines.size(); ++r) {
+    auto fields = Split(lines[r], ',');
+    if (fields.size() != ncols) {
+      return Status::InvalidArgument(
+          StrFormat("row %zu has %zu fields, expected %zu", r, fields.size(),
+                    ncols));
+    }
+    for (size_t c = 0; c < ncols; ++c) {
+      double v;
+      if (!ParseDouble(fields[c], &v)) {
+        return Status::InvalidArgument(
+            StrFormat("row %zu column %zu is not numeric: '%s'", r, c,
+                      fields[c].c_str()));
+      }
+      table.columns[c].push_back(v);
+    }
+  }
+  if (table.num_rows() == 0) {
+    return Status::InvalidArgument("CSV has a header but no data rows");
+  }
+  return table;
+}
+
+Result<CsvTable> ReadCsvFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseCsv(buf.str());
+}
+
+std::string WriteCsv(const CsvTable& table) {
+  std::string out = Join(table.column_names, ",");
+  out += '\n';
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_cols(); ++c) {
+      if (c > 0) out += ',';
+      out += StrFormat("%.10g", table.columns[c][r]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteCsvFile(const CsvTable& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << WriteCsv(table);
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace multicast

@@ -1,0 +1,43 @@
+// Minimal CSV reader/writer for numeric time-series files.
+//
+// Supports the layout the real datasets ship in: an optional header row of
+// column names followed by rows of comma-separated numeric values.
+
+#ifndef MULTICAST_UTIL_CSV_H_
+#define MULTICAST_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace multicast {
+
+/// A parsed numeric CSV: column names (possibly synthesized) and
+/// column-major data.
+struct CsvTable {
+  std::vector<std::string> column_names;
+  /// columns[c][r] is row r of column c. All columns have equal length.
+  std::vector<std::vector<double>> columns;
+
+  size_t num_rows() const { return columns.empty() ? 0 : columns[0].size(); }
+  size_t num_cols() const { return columns.size(); }
+};
+
+/// Parses CSV text. If the first row contains any non-numeric field it is
+/// treated as a header; otherwise names "c0".."cN" are synthesized.
+/// Non-numeric body fields and ragged rows are errors.
+Result<CsvTable> ParseCsv(const std::string& text);
+
+/// Reads and parses a CSV file.
+Result<CsvTable> ReadCsvFile(const std::string& path);
+
+/// Serializes a table back to CSV text (header + "%.10g" values).
+std::string WriteCsv(const CsvTable& table);
+
+/// Writes a table to a file.
+Status WriteCsvFile(const CsvTable& table, const std::string& path);
+
+}  // namespace multicast
+
+#endif  // MULTICAST_UTIL_CSV_H_

@@ -1,0 +1,188 @@
+// Status / Result error-handling primitives (Arrow/RocksDB idiom).
+//
+// The public MultiCast API does not throw exceptions across module
+// boundaries. Fallible operations return a `Status`, or a `Result<T>`
+// which holds either a value or a `Status`. The `MC_RETURN_IF_ERROR` and
+// `MC_ASSIGN_OR_RETURN` macros keep call sites terse.
+
+#ifndef MULTICAST_UTIL_STATUS_H_
+#define MULTICAST_UTIL_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace multicast {
+
+/// Machine-readable error category carried by a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+  kIOError,
+};
+
+/// Returns a short human-readable name for a StatusCode ("InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus a context message.
+///
+/// `Status::OK()` is the success value; everything else carries a
+/// diagnostic message. Statuses are cheap to copy (small string payload)
+/// and composable via the MC_RETURN_IF_ERROR macro.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// The canonical success value.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Modeled on arrow::Result.
+///
+/// Accessing the value of an errored Result aborts; callers must check
+/// `ok()` (or use MC_ASSIGN_OR_RETURN) first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from an error status. Aborts if given an OK status, which
+  /// would otherwise silently manufacture an empty value.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      std::fprintf(stderr, "Result constructed from OK status\n");
+      std::abort();
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error (Status::OK() if this result holds a value).
+  const Status& status() const { return status_; }
+
+  /// The held value; aborts if !ok().
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return std::move(*value_);
+  }
+
+  /// Moves the value out; aborts if !ok().
+  T ValueOrDie() {
+    CheckOk();
+    return std::move(*value_);
+  }
+
+  /// Returns the value or `fallback` when errored.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::value() on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+namespace internal {
+// Helper so MC_ASSIGN_OR_RETURN can create unique temporaries.
+#define MC_CONCAT_IMPL(x, y) x##y
+#define MC_CONCAT(x, y) MC_CONCAT_IMPL(x, y)
+}  // namespace internal
+
+/// Propagates a non-OK Status to the caller.
+#define MC_RETURN_IF_ERROR(expr)              \
+  do {                                        \
+    ::multicast::Status _st = (expr);         \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+/// Evaluates a Result-returning expression; on error propagates the
+/// Status, on success assigns the value to `lhs` (which may include a
+/// declaration, e.g. `MC_ASSIGN_OR_RETURN(auto x, Foo());`).
+#define MC_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  auto MC_CONCAT(_res_, __LINE__) = (rexpr);                  \
+  if (!MC_CONCAT(_res_, __LINE__).ok())                       \
+    return MC_CONCAT(_res_, __LINE__).status();               \
+  lhs = std::move(MC_CONCAT(_res_, __LINE__)).value()
+
+/// Internal invariant check: aborts with a message when `cond` is false.
+/// Used for programmer errors, never for input validation.
+#define MC_CHECK(cond)                                                \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::fprintf(stderr, "MC_CHECK failed at %s:%d: %s\n",          \
+                   __FILE__, __LINE__, #cond);                        \
+      std::abort();                                                   \
+    }                                                                 \
+  } while (0)
+
+}  // namespace multicast
+
+#endif  // MULTICAST_UTIL_STATUS_H_

@@ -1,0 +1,35 @@
+// Small string helpers shared across modules.
+
+#ifndef MULTICAST_UTIL_STRINGS_H_
+#define MULTICAST_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace multicast {
+
+/// Splits `s` on `delim`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins `parts` with `delim`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view delim);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// True if `s` consists only of ASCII digits (and is non-empty).
+bool IsAllDigits(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Formats a double with `digits` significant decimals, trimming trailing
+/// zeros ("1.250" -> "1.25", "3.000" -> "3").
+std::string FormatDouble(double v, int digits = 3);
+
+}  // namespace multicast
+
+#endif  // MULTICAST_UTIL_STRINGS_H_

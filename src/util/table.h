@@ -1,0 +1,39 @@
+// Fixed-width text table rendering for the paper-style bench output.
+
+#ifndef MULTICAST_UTIL_TABLE_H_
+#define MULTICAST_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace multicast {
+
+/// Accumulates rows of strings and renders them as an aligned ASCII table
+/// with a header rule, e.g.
+///
+///   Model           | GasRate | CO2
+///   ----------------+---------+------
+///   MultiCast (DI)  | 0.781   | 4.639
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row. Rows shorter than the header are right-padded with "".
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table; every line ends with '\n'.
+  std::string Render() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace multicast
+
+#endif  // MULTICAST_UTIL_TABLE_H_

@@ -1,0 +1,32 @@
+// Wall-clock timing for the execution-time columns of Tables VII–IX.
+
+#ifndef MULTICAST_UTIL_TIMER_H_
+#define MULTICAST_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace multicast {
+
+/// Monotonic stopwatch, started at construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace multicast
+
+#endif  // MULTICAST_UTIL_TIMER_H_

@@ -1,0 +1,190 @@
+#include "extensions/anomaly.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace multicast {
+namespace extensions {
+namespace {
+
+ts::Frame PeriodicFrame(size_t n) {
+  std::vector<double> a(n), b(n);
+  for (size_t i = 0; i < n; ++i) {
+    double phase = 2.0 * M_PI * static_cast<double>(i) / 12.0;
+    a[i] = 10.0 + 4.0 * std::sin(phase);
+    b[i] = 30.0 + 6.0 * std::cos(phase);
+  }
+  return ts::Frame::FromSeries({ts::Series(a, "a"), ts::Series(b, "b")},
+                               "periodic")
+      .ValueOrDie();
+}
+
+TEST(AnomalyTest, ScoresEveryTimestamp) {
+  ts::Frame f = PeriodicFrame(96);
+  auto report = DetectAnomalies(f, AnomalyOptions{});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().scores.size(), 96u);
+  for (double s : report.value().scores) {
+    EXPECT_TRUE(std::isfinite(s));
+    EXPECT_GE(s, 0.0);
+  }
+}
+
+TEST(AnomalyTest, SpikeGetsFlagged) {
+  ts::Frame f = PeriodicFrame(120);
+  // Inject a hard spike well outside the signal band.
+  f.dim(0)[90] = 60.0;
+  AnomalyOptions opts;
+  opts.threshold_quantile = 0.95;
+  auto report = DetectAnomalies(f, opts);
+  ASSERT_TRUE(report.ok());
+  bool flagged = false;
+  for (size_t t : report.value().anomalies) {
+    if (t >= 89 && t <= 91) flagged = true;
+  }
+  EXPECT_TRUE(flagged);
+}
+
+TEST(AnomalyTest, SpikeScoresAboveNeighbors) {
+  ts::Frame f = PeriodicFrame(120);
+  f.dim(0)[90] = 60.0;
+  auto report = DetectAnomalies(f, AnomalyOptions{}).ValueOrDie();
+  double spike = report.scores[90];
+  double before = report.scores[80];
+  EXPECT_GT(spike, before);
+}
+
+TEST(AnomalyTest, AttributionShapesMatchFrame) {
+  ts::Frame f = PeriodicFrame(96);
+  auto report = DetectAnomalies(f, AnomalyOptions{}).ValueOrDie();
+  ASSERT_EQ(report.per_dim_scores.size(), 2u);
+  for (const auto& dim_scores : report.per_dim_scores) {
+    EXPECT_EQ(dim_scores.size(), 96u);
+    for (double s : dim_scores) {
+      EXPECT_TRUE(std::isfinite(s));
+      EXPECT_GE(s, 0.0);
+    }
+  }
+}
+
+TEST(AnomalyTest, AttributionPointsAtTheSpikedDimension) {
+  for (size_t spiked : {0u, 1u}) {
+    ts::Frame f = PeriodicFrame(120);
+    f.dim(spiked)[90] += spiked == 0 ? 40.0 : 60.0;
+    auto report = DetectAnomalies(f, AnomalyOptions{}).ValueOrDie();
+    EXPECT_EQ(report.ArgMaxDimension(90), spiked) << "dim " << spiked;
+    // The spiked dimension's own surprisal exceeds the other's at t=90.
+    EXPECT_GT(report.per_dim_scores[spiked][90],
+              report.per_dim_scores[1 - spiked][90]);
+  }
+}
+
+TEST(AnomalyTest, ArgMaxDimensionOutOfRangeSafe) {
+  ts::Frame f = PeriodicFrame(48);
+  auto report = DetectAnomalies(f, AnomalyOptions{}).ValueOrDie();
+  EXPECT_EQ(report.ArgMaxDimension(10000), 0u);
+}
+
+TEST(AnomalyTest, WarmupExcluded) {
+  ts::Frame f = PeriodicFrame(96);
+  AnomalyOptions opts;
+  opts.warmup = 20;
+  auto report = DetectAnomalies(f, opts).ValueOrDie();
+  for (size_t t : report.anomalies) EXPECT_GE(t, 20u);
+}
+
+TEST(AnomalyTest, RejectsBadOptions) {
+  ts::Frame f = PeriodicFrame(48);
+  AnomalyOptions opts;
+  opts.threshold_quantile = 1.5;
+  EXPECT_FALSE(DetectAnomalies(f, opts).ok());
+  opts = AnomalyOptions{};
+  opts.warmup = 1000;
+  EXPECT_FALSE(DetectAnomalies(f, opts).ok());
+  EXPECT_FALSE(DetectAnomalies(PeriodicFrame(2), AnomalyOptions{}).ok());
+}
+
+TEST(AnomalyTest, WorksWithEveryMultiplexer) {
+  ts::Frame f = PeriodicFrame(96);
+  f.dim(0)[60] += 30.0;
+  for (auto mux : {multiplex::MuxKind::kDigitInterleave,
+                   multiplex::MuxKind::kValueInterleave,
+                   multiplex::MuxKind::kValueConcat}) {
+    AnomalyOptions opts;
+    opts.mux = mux;
+    auto report = DetectAnomalies(f, opts);
+    ASSERT_TRUE(report.ok()) << multiplex::MuxKindName(mux);
+    EXPECT_EQ(report.value().scores.size(), 96u);
+    // The spike stands out under every serialization.
+    EXPECT_GT(report.value().scores[60], report.value().scores[50])
+        << multiplex::MuxKindName(mux);
+  }
+}
+
+TEST(AnomalyTest, DeterministicScores) {
+  ts::Frame f = PeriodicFrame(72);
+  auto a = DetectAnomalies(f, AnomalyOptions{}).ValueOrDie();
+  auto b = DetectAnomalies(f, AnomalyOptions{}).ValueOrDie();
+  EXPECT_EQ(a.scores, b.scores);
+}
+
+TEST(ChangePointTest, DetectsRegimeShift) {
+  // First half: period-12 sine; second half: different amplitude, offset
+  // and period — a sustained distribution change.
+  size_t n = 200;
+  std::vector<double> a(n), b(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (i < 120) {
+      a[i] = 10.0 + 4.0 * std::sin(2.0 * M_PI * i / 12.0);
+      b[i] = 30.0 + 6.0 * std::cos(2.0 * M_PI * i / 12.0);
+    } else {
+      a[i] = 25.0 + 1.5 * std::sin(2.0 * M_PI * i / 7.0);
+      b[i] = 5.0 + 9.0 * std::cos(2.0 * M_PI * i / 5.0);
+    }
+  }
+  ts::Frame f = ts::Frame::FromSeries({ts::Series(a, "a"),
+                                       ts::Series(b, "b")},
+                                      "shift")
+                    .ValueOrDie();
+  ChangePointOptions opts;
+  auto cps = DetectChangePoints(f, opts);
+  ASSERT_TRUE(cps.ok()) << cps.status().ToString();
+  ASSERT_FALSE(cps.value().empty());
+  // At least one change point lands near the true shift at t = 120.
+  bool near = false;
+  for (size_t cp : cps.value()) {
+    if (cp >= 115 && cp <= 140) near = true;
+  }
+  EXPECT_TRUE(near);
+}
+
+TEST(ChangePointTest, StationarySeriesMostlyQuiet) {
+  ts::Frame f = PeriodicFrame(200);
+  ChangePointOptions opts;
+  auto cps = DetectChangePoints(f, opts);
+  ASSERT_TRUE(cps.ok());
+  EXPECT_LE(cps.value().size(), 1u);
+}
+
+TEST(ChangePointTest, MinSpacingRespected) {
+  size_t n = 240;
+  std::vector<double> a(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Shift the regime every 60 steps.
+    double base = 10.0 * static_cast<double>((i / 60) % 2);
+    a[i] = base + std::sin(2.0 * M_PI * i / 10.0);
+  }
+  ts::Frame f =
+      ts::Frame::FromSeries({ts::Series(a, "a")}, "multi").ValueOrDie();
+  ChangePointOptions opts;
+  opts.min_spacing = 25;
+  auto cps = DetectChangePoints(f, opts).ValueOrDie();
+  for (size_t i = 1; i < cps.size(); ++i) {
+    EXPECT_GE(cps[i] - cps[i - 1], 25u);
+  }
+}
+
+}  // namespace
+}  // namespace extensions
+}  // namespace multicast

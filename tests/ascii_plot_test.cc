@@ -1,0 +1,67 @@
+#include "util/ascii_plot.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace multicast {
+namespace {
+
+TEST(AsciiPlotTest, RendersSeriesAndLegend) {
+  PlotSeries s{"wave", '*', {}};
+  for (int i = 0; i < 50; ++i) s.values.push_back(std::sin(i * 0.3));
+  PlotOptions opts;
+  opts.title = "test plot";
+  std::string out = RenderAsciiPlot({s}, opts);
+  EXPECT_NE(out.find("test plot"), std::string::npos);
+  EXPECT_NE(out.find("* = wave"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(AsciiPlotTest, EmptyInputSafe) {
+  std::string out = RenderAsciiPlot({}, PlotOptions{});
+  EXPECT_NE(out.find("(no data)"), std::string::npos);
+}
+
+TEST(AsciiPlotTest, AllNanSafe) {
+  PlotSeries s{"nan", '*',
+               {std::numeric_limits<double>::quiet_NaN(),
+                std::numeric_limits<double>::quiet_NaN()}};
+  std::string out = RenderAsciiPlot({s}, PlotOptions{});
+  EXPECT_NE(out.find("(no data)"), std::string::npos);
+}
+
+TEST(AsciiPlotTest, ConstantSeriesSafe) {
+  PlotSeries s{"flat", '-', std::vector<double>(20, 5.0)};
+  std::string out = RenderAsciiPlot({s}, PlotOptions{});
+  EXPECT_NE(out.find('-'), std::string::npos);
+}
+
+TEST(AsciiPlotTest, NanLeavesGaps) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  PlotSeries a{"series", 'x', {0.0, nan, 1.0}};
+  std::string out = RenderAsciiPlot({a}, PlotOptions{});
+  // Two raster glyphs plus the one 'x' in the "x = series" legend line.
+  EXPECT_EQ(std::count(out.begin(), out.end(), 'x'), 3);
+}
+
+TEST(AsciiPlotTest, MultipleSeriesShareScale) {
+  PlotSeries lo{"low", 'l', std::vector<double>(10, 0.0)};
+  PlotSeries hi{"high", 'h', std::vector<double>(10, 10.0)};
+  PlotOptions opts;
+  opts.height = 8;
+  std::string out = RenderAsciiPlot({lo, hi}, opts);
+  // y-axis labels should span 0..10.
+  EXPECT_NE(out.find("10.000"), std::string::npos);
+  EXPECT_NE(out.find("0.000"), std::string::npos);
+}
+
+TEST(AsciiPlotTest, SingleValueSeries) {
+  PlotSeries s{"pt", 'x', {3.0}};
+  std::string out = RenderAsciiPlot({s}, PlotOptions{});
+  EXPECT_NE(out.find('x'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace multicast

@@ -1,0 +1,90 @@
+#include "forecast/auto_tune.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/datasets.h"
+#include "metrics/metrics.h"
+#include "ts/split.h"
+
+namespace multicast {
+namespace forecast {
+namespace {
+
+TEST(AutoTuneTest, ReturnsAWinnerWithAllCandidatesScored) {
+  auto frame = data::MakeGasRate().ValueOrDie();
+  AutoTuneOptions opts;
+  opts.base.num_samples = 2;
+  opts.digit_choices = {2, 3};
+  auto result = AutoTuneMultiCast(frame, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().scores.size(), 6u);  // 3 muxes x 2 digit opts
+  EXPECT_GT(result.value().validation_rmse, 0.0);
+  // The winner's score is the minimum of all candidate scores.
+  double min_score = result.value().scores[0].second;
+  for (const auto& [label, score] : result.value().scores) {
+    min_score = std::min(min_score, score);
+  }
+  EXPECT_DOUBLE_EQ(result.value().validation_rmse, min_score);
+}
+
+TEST(AutoTuneTest, WinnerFieldsComeFromGrid) {
+  auto frame = data::MakeGasRate().ValueOrDie();
+  AutoTuneOptions opts;
+  opts.base.num_samples = 2;
+  opts.muxes = {multiplex::MuxKind::kValueInterleave};
+  opts.digit_choices = {3};
+  auto result = AutoTuneMultiCast(frame, opts).ValueOrDie();
+  EXPECT_EQ(result.options.mux, multiplex::MuxKind::kValueInterleave);
+  EXPECT_EQ(result.options.digits, 3);
+  // Non-swept fields inherit the base.
+  EXPECT_EQ(result.options.num_samples, 2);
+}
+
+TEST(AutoTuneTest, DeterministicGivenSeed) {
+  auto frame = data::MakeElectricity().ValueOrDie();
+  AutoTuneOptions opts;
+  opts.base.num_samples = 2;
+  opts.base.seed = 11;
+  auto r1 = AutoTuneMultiCast(frame, opts).ValueOrDie();
+  auto r2 = AutoTuneMultiCast(frame, opts).ValueOrDie();
+  EXPECT_EQ(r1.options.mux, r2.options.mux);
+  EXPECT_DOUBLE_EQ(r1.validation_rmse, r2.validation_rmse);
+}
+
+TEST(AutoTuneTest, RejectsBadInputs) {
+  auto frame = data::MakeGasRate().ValueOrDie();
+  AutoTuneOptions no_mux;
+  no_mux.muxes.clear();
+  EXPECT_FALSE(AutoTuneMultiCast(frame, no_mux).ok());
+  AutoTuneOptions no_folds;
+  no_folds.folds = 0;
+  EXPECT_FALSE(AutoTuneMultiCast(frame, no_folds).ok());
+  AutoTuneOptions huge;
+  huge.folds = 50;
+  huge.horizon = 50;
+  EXPECT_FALSE(AutoTuneMultiCast(frame, huge).ok());
+}
+
+TEST(AutoTuneTest, TunedConfigForecastsEndToEnd) {
+  // The selected configuration must run on the full history.
+  auto frame = data::MakeWeather().ValueOrDie();
+  auto split = ts::SplitHorizon(frame, 20).ValueOrDie();
+  AutoTuneOptions opts;
+  opts.base.num_samples = 2;
+  auto tuned = AutoTuneMultiCast(split.train, opts).ValueOrDie();
+  MultiCastForecaster f(tuned.options);
+  auto run = f.Forecast(split.train, 20);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  for (size_t d = 0; d < 4; ++d) {
+    double rmse = metrics::Rmse(split.test.dim(d).values(),
+                                run.value().forecast.dim(d).values())
+                      .ValueOrDie();
+    EXPECT_TRUE(std::isfinite(rmse));
+  }
+}
+
+}  // namespace
+}  // namespace forecast
+}  // namespace multicast

@@ -1,0 +1,201 @@
+#include "cli/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "data/datasets.h"
+#include "util/csv.h"
+
+namespace multicast {
+namespace cli {
+namespace {
+
+class CliTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = testing::TempDir() + "/mc_cli_feed.csv";
+    auto frame = data::MakeGasRate().ValueOrDie();
+    ASSERT_TRUE(WriteCsvFile(frame.ToCsv(), path_).ok());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  // Runs a CLI invocation and returns (exit code result, captured out).
+  Result<int> Run(const std::vector<std::string>& args, std::string* out) {
+    std::ostringstream stream;
+    Result<int> code = RunCommand(args, stream);
+    *out = stream.str();
+    return code;
+  }
+
+  std::string path_;
+};
+
+TEST_F(CliTest, HelpPrintsUsage) {
+  std::string out;
+  auto code = Run({"help"}, &out);
+  ASSERT_TRUE(code.ok());
+  EXPECT_EQ(code.value(), 0);
+  EXPECT_NE(out.find("forecast"), std::string::npos);
+  EXPECT_NE(out.find("generate"), std::string::npos);
+}
+
+TEST_F(CliTest, EmptyArgsShowUsage) {
+  std::string out;
+  auto code = Run({}, &out);
+  ASSERT_TRUE(code.ok());
+  EXPECT_NE(out.find("commands:"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownCommandErrors) {
+  std::string out;
+  EXPECT_FALSE(Run({"frobnicate"}, &out).ok());
+}
+
+TEST_F(CliTest, ForecastProducesCsvRows) {
+  std::string out;
+  auto code = Run({"forecast", "--input", path_, "--horizon", "6",
+                   "--method", "VI", "--samples", "2"},
+                  &out);
+  ASSERT_TRUE(code.ok()) << code.status().ToString();
+  EXPECT_NE(out.find("MultiCast (VI) forecast"), std::string::npos);
+  EXPECT_NE(out.find("GasRate,CO2"), std::string::npos);
+  // Header plus 6 data rows.
+  auto csv_start = out.find("GasRate,CO2");
+  std::string csv = out.substr(csv_start);
+  EXPECT_GE(std::count(csv.begin(), csv.end(), '\n'), 7);
+}
+
+TEST_F(CliTest, ForecastWithSaxAndOutputFile) {
+  std::string out_path = testing::TempDir() + "/mc_cli_forecast.csv";
+  std::string out;
+  auto code = Run({"forecast", "--input", path_, "--horizon", "12",
+                   "--method", "DI", "--samples", "2", "--sax", "digit"},
+                  &out);
+  ASSERT_TRUE(code.ok()) << code.status().ToString();
+  EXPECT_NE(out.find("tokens"), std::string::npos);
+
+  code = Run({"forecast", "--input", path_, "--horizon", "4", "--method",
+              "NAIVE", "--output", out_path},
+             &out);
+  ASSERT_TRUE(code.ok());
+  auto written = ReadCsvFile(out_path);
+  ASSERT_TRUE(written.ok());
+  EXPECT_EQ(written.value().num_rows(), 4u);
+  std::remove(out_path.c_str());
+}
+
+TEST_F(CliTest, ForecastWithQuantiles) {
+  std::string out;
+  auto code = Run({"forecast", "--input", path_, "--horizon", "5",
+                   "--method", "VI", "--samples", "4", "--quantiles",
+                   "0.1,0.9"},
+                  &out);
+  ASSERT_TRUE(code.ok()) << code.status().ToString();
+  EXPECT_NE(out.find("p10 band:"), std::string::npos);
+  EXPECT_NE(out.find("p90 band:"), std::string::npos);
+}
+
+TEST_F(CliTest, QuantilesRejectedForClassicalMethods) {
+  std::string out;
+  EXPECT_FALSE(Run({"forecast", "--input", path_, "--method", "ARIMA",
+                    "--quantiles", "0.5"},
+                   &out)
+                   .ok());
+  EXPECT_FALSE(Run({"forecast", "--input", path_, "--method", "VI",
+                    "--quantiles", "abc"},
+                   &out)
+                   .ok());
+}
+
+TEST_F(CliTest, ForecastClassicalMethods) {
+  for (const char* method : {"ARIMA", "SARIMA", "HW", "DRIFT"}) {
+    std::string out;
+    auto code = Run({"forecast", "--input", path_, "--horizon", "5",
+                     "--method", method},
+                    &out);
+    ASSERT_TRUE(code.ok()) << method << ": " << code.status().ToString();
+    EXPECT_NE(out.find("forecast, 5 steps"), std::string::npos) << method;
+  }
+}
+
+TEST_F(CliTest, ForecastRejectsBadFlags) {
+  std::string out;
+  EXPECT_FALSE(Run({"forecast", "--horizon", "5"}, &out).ok());  // no input
+  EXPECT_FALSE(Run({"forecast", "--input", path_, "--method", "XX"}, &out)
+                   .ok());
+  EXPECT_FALSE(Run({"forecast", "--input", path_, "--horizon", "0"}, &out)
+                   .ok());
+  EXPECT_FALSE(
+      Run({"forecast", "--input", path_, "--bogus", "1"}, &out).ok());
+  EXPECT_FALSE(Run({"forecast", "--input", path_, "--sax", "nope"}, &out)
+                   .ok());
+  EXPECT_FALSE(Run({"forecast", "--input", path_, "--profile", "gpt9"},
+                   &out)
+                   .ok());
+}
+
+TEST_F(CliTest, GenerateWritesDataset) {
+  std::string out_path = testing::TempDir() + "/mc_cli_gen.csv";
+  std::string out;
+  auto code = Run({"generate", "--dataset", "Electricity", "--output",
+                   out_path},
+                  &out);
+  ASSERT_TRUE(code.ok());
+  EXPECT_NE(out.find("3 x 242"), std::string::npos);
+  auto written = ReadCsvFile(out_path);
+  ASSERT_TRUE(written.ok());
+  EXPECT_EQ(written.value().num_cols(), 3u);
+  std::remove(out_path.c_str());
+}
+
+TEST_F(CliTest, GenerateToStdout) {
+  std::string out;
+  auto code = Run({"generate", "--dataset", "GasRate"}, &out);
+  ASSERT_TRUE(code.ok());
+  EXPECT_NE(out.find("GasRate,CO2"), std::string::npos);
+}
+
+TEST_F(CliTest, GenerateUnknownDatasetErrors) {
+  std::string out;
+  EXPECT_FALSE(Run({"generate", "--dataset", "Traffic"}, &out).ok());
+}
+
+TEST_F(CliTest, AnomalyReportsThresholdAndLists) {
+  std::string out;
+  auto code = Run({"anomaly", "--input", path_, "--quantile", "0.95"},
+                  &out);
+  ASSERT_TRUE(code.ok()) << code.status().ToString();
+  EXPECT_NE(out.find("threshold"), std::string::npos);
+  EXPECT_NE(out.find("anomalies:"), std::string::npos);
+  EXPECT_NE(out.find("change points:"), std::string::npos);
+}
+
+TEST_F(CliTest, ImputeFillsGaps) {
+  // Write a feed with a NaN gap (CSV loader rejects non-numeric, so
+  // build the frame and punch the gap via the CSV text "nan" is not
+  // supported — instead run impute on a gapless file and verify the
+  // no-op path, then a gapped frame through the library-level API is
+  // covered in imputation_test).
+  std::string out;
+  auto code = Run({"impute", "--input", path_, "--samples", "2"}, &out);
+  ASSERT_TRUE(code.ok()) << code.status().ToString();
+  EXPECT_NE(out.find("gaps: 0"), std::string::npos);
+}
+
+TEST_F(CliTest, EvaluateRendersTable) {
+  std::string out;
+  auto code = Run({"evaluate", "--input", path_, "--horizon", "8",
+                   "--folds", "2", "--samples", "2"},
+                  &out);
+  ASSERT_TRUE(code.ok()) << code.status().ToString();
+  EXPECT_NE(out.find("LLMTIME"), std::string::npos);
+  EXPECT_NE(out.find("ARIMA"), std::string::npos);
+  EXPECT_NE(out.find("+/-"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cli
+}  // namespace multicast

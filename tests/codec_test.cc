@@ -1,0 +1,85 @@
+#include "token/codec.h"
+
+#include <gtest/gtest.h>
+
+namespace multicast {
+namespace token {
+namespace {
+
+TEST(FixedWidthTest, PadsWithZeros) {
+  EXPECT_EQ(FixedWidthDigits(7, 3).ValueOrDie(), "007");
+  EXPECT_EQ(FixedWidthDigits(0, 2).ValueOrDie(), "00");
+  EXPECT_EQ(FixedWidthDigits(99, 2).ValueOrDie(), "99");
+}
+
+TEST(FixedWidthTest, RejectsOverflowAndNegative) {
+  EXPECT_FALSE(FixedWidthDigits(100, 2).ok());
+  EXPECT_FALSE(FixedWidthDigits(-1, 2).ok());
+  EXPECT_FALSE(FixedWidthDigits(5, 0).ok());
+  EXPECT_FALSE(FixedWidthDigits(5, 19).ok());
+}
+
+TEST(FixedWidthTest, ParseRoundTrip) {
+  for (int64_t v : {0LL, 7LL, 42LL, 999LL}) {
+    auto s = FixedWidthDigits(v, 4);
+    ASSERT_TRUE(s.ok());
+    auto back = ParseFixedWidthDigits(s.value());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), v);
+  }
+}
+
+TEST(ParseFixedWidthTest, RejectsNonDigits) {
+  EXPECT_FALSE(ParseFixedWidthDigits("").ok());
+  EXPECT_FALSE(ParseFixedWidthDigits("12a").ok());
+  EXPECT_FALSE(ParseFixedWidthDigits("-12").ok());
+}
+
+TEST(ParseFixedWidthTest, LeadingZeros) {
+  EXPECT_EQ(ParseFixedWidthDigits("007").ValueOrDie(), 7);
+  EXPECT_EQ(ParseFixedWidthDigits("000").ValueOrDie(), 0);
+}
+
+TEST(ParseFixedWidthTest, OverflowGuard) {
+  EXPECT_FALSE(ParseFixedWidthDigits("99999999999999999999999").ok());
+}
+
+TEST(EncodeDecodeTest, RoundTrip) {
+  Vocabulary v = Vocabulary::Digits();
+  std::string text = "17,23,26,31";
+  auto ids = Encode(text, v);
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(ids.value().size(), text.size());
+  auto back = Decode(ids.value(), v);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), text);
+}
+
+TEST(EncodeTest, RejectsUnknownSymbol) {
+  Vocabulary v = Vocabulary::Digits();
+  EXPECT_FALSE(Encode("12x", v).ok());
+}
+
+TEST(DecodeTest, RejectsBadId) {
+  Vocabulary v = Vocabulary::Digits();
+  EXPECT_FALSE(Decode({0, 99}, v).ok());
+}
+
+TEST(EncodeTest, SaxVocabularyWorks) {
+  auto v = Vocabulary::SaxAlphabetic(5);
+  ASSERT_TRUE(v.ok());
+  auto ids = Encode("ab,cd", v.value());
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(Decode(ids.value(), v.value()).ValueOrDie(), "ab,cd");
+}
+
+TEST(SplitFieldsTest, Behaviour) {
+  EXPECT_EQ(SplitFields("17,23"), (std::vector<std::string>{"17", "23"}));
+  EXPECT_EQ(SplitFields("17,23,"),
+            (std::vector<std::string>{"17", "23", ""}));
+  EXPECT_EQ(SplitFields("17"), (std::vector<std::string>{"17"}));
+}
+
+}  // namespace
+}  // namespace token
+}  // namespace multicast

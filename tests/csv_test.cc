@@ -1,0 +1,94 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace multicast {
+namespace {
+
+TEST(CsvTest, ParsesWithHeader) {
+  auto r = ParseCsv("a,b\n1,2\n3,4\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const CsvTable& t = r.value();
+  EXPECT_EQ(t.column_names, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(t.columns[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(t.columns[1][1], 4.0);
+}
+
+TEST(CsvTest, ParsesWithoutHeader) {
+  auto r = ParseCsv("1,2\n3,4\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().column_names, (std::vector<std::string>{"c0", "c1"}));
+  EXPECT_EQ(r.value().num_rows(), 2u);
+}
+
+TEST(CsvTest, HandlesCrlfAndBlankLines) {
+  auto r = ParseCsv("a,b\r\n1,2\r\n\n3,4\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().num_rows(), 2u);
+}
+
+TEST(CsvTest, NegativeAndScientific) {
+  auto r = ParseCsv("x\n-1.5\n2e3\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value().columns[0][0], -1.5);
+  EXPECT_DOUBLE_EQ(r.value().columns[0][1], 2000.0);
+}
+
+TEST(CsvTest, RaggedRowIsError) {
+  auto r = ParseCsv("a,b\n1,2\n3\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, NonNumericBodyIsError) {
+  auto r = ParseCsv("a,b\n1,2\n3,oops\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CsvTest, EmptyInputIsError) {
+  EXPECT_FALSE(ParseCsv("").ok());
+  EXPECT_FALSE(ParseCsv("\n\n").ok());
+}
+
+TEST(CsvTest, HeaderOnlyIsError) {
+  EXPECT_FALSE(ParseCsv("a,b\n").ok());
+}
+
+TEST(CsvTest, WriteReadRoundTrip) {
+  CsvTable t;
+  t.column_names = {"x", "y"};
+  t.columns = {{1.5, -2.25}, {3.0, 1e-4}};
+  auto r = ParseCsv(WriteCsv(t));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().column_names, t.column_names);
+  for (size_t c = 0; c < 2; ++c) {
+    for (size_t i = 0; i < 2; ++i) {
+      EXPECT_DOUBLE_EQ(r.value().columns[c][i], t.columns[c][i]);
+    }
+  }
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  CsvTable t;
+  t.column_names = {"v"};
+  t.columns = {{1.0, 2.0, 3.0}};
+  std::string path = testing::TempDir() + "/mc_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(t, path).ok());
+  auto r = ReadCsvFile(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().num_rows(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileIsIOError) {
+  auto r = ReadCsvFile("/nonexistent/path/file.csv");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace multicast

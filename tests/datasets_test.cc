@@ -1,0 +1,141 @@
+#include "data/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "ts/stats.h"
+#include "util/csv.h"
+
+namespace multicast {
+namespace data {
+namespace {
+
+TEST(DatasetsTest, CatalogMatchesTableI) {
+  auto specs = BuiltinDatasets();
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_EQ(specs[0].name, "GasRate");
+  EXPECT_EQ(specs[0].dimensions, 2u);
+  EXPECT_EQ(specs[0].length, 296u);
+  EXPECT_EQ(specs[1].name, "Electricity");
+  EXPECT_EQ(specs[1].dimensions, 3u);
+  EXPECT_EQ(specs[1].length, 242u);
+  EXPECT_EQ(specs[2].name, "Weather");
+  EXPECT_EQ(specs[2].dimensions, 4u);
+  EXPECT_EQ(specs[2].length, 217u);
+}
+
+TEST(DatasetsTest, GeneratorsMatchCatalogShapes) {
+  for (const auto& spec : BuiltinDatasets()) {
+    auto frame = LoadDataset(spec.name);
+    ASSERT_TRUE(frame.ok()) << spec.name;
+    EXPECT_EQ(frame.value().num_dims(), spec.dimensions) << spec.name;
+    EXPECT_EQ(frame.value().length(), spec.length) << spec.name;
+    EXPECT_EQ(frame.value().name(), spec.name);
+  }
+}
+
+TEST(DatasetsTest, UnknownNameRejected) {
+  EXPECT_FALSE(LoadDataset("Traffic").ok());
+}
+
+TEST(DatasetsTest, DeterministicForSeed) {
+  auto a = MakeGasRate(1);
+  auto b = MakeGasRate(1);
+  auto c = MakeGasRate(2);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(a.value().dim(0).values(), b.value().dim(0).values());
+  EXPECT_NE(a.value().dim(0).values(), c.value().dim(0).values());
+}
+
+TEST(DatasetsTest, AllValuesFinite) {
+  for (const auto& spec : BuiltinDatasets()) {
+    auto frame = LoadDataset(spec.name).ValueOrDie();
+    for (size_t d = 0; d < frame.num_dims(); ++d) {
+      for (double v : frame.dim(d).values()) {
+        ASSERT_TRUE(std::isfinite(v)) << spec.name << " dim " << d;
+      }
+    }
+  }
+}
+
+TEST(DatasetsTest, GasRateDimensionsAreCorrelated) {
+  // The CO2 output responds to the gas feed with a lag, so the absolute
+  // lagged cross-correlation must be substantial.
+  auto frame = MakeGasRate().ValueOrDie();
+  std::vector<double> gas = frame.dim(0).values();
+  std::vector<double> co2 = frame.dim(1).values();
+  double best = 0.0;
+  for (size_t lag = 0; lag <= 10; ++lag) {
+    std::vector<double> a(gas.begin(), gas.end() - lag);
+    std::vector<double> b(co2.begin() + lag, co2.end());
+    best = std::max(best, std::fabs(ts::PearsonCorrelation(a, b)));
+  }
+  EXPECT_GT(best, 0.4);
+}
+
+TEST(DatasetsTest, GasRateScalesMatchPaper) {
+  auto frame = MakeGasRate().ValueOrDie();
+  ts::Summary gas = ts::Summarize(frame.dim(0).values());
+  ts::Summary co2 = ts::Summarize(frame.dim(1).values());
+  // Feed oscillates around 0, CO2 sits in the ~45-60% band.
+  EXPECT_NEAR(gas.mean, 0.0, 1.0);
+  EXPECT_GT(co2.mean, 45.0);
+  EXPECT_LT(co2.mean, 60.0);
+  EXPECT_EQ(frame.dim(0).name(), "GasRate");
+  EXPECT_EQ(frame.dim(1).name(), "CO2");
+}
+
+TEST(DatasetsTest, ElectricityCorrelations) {
+  auto frame = MakeElectricity().ValueOrDie();
+  double hufl_hull = ts::PearsonCorrelation(frame.dim(0).values(),
+                                            frame.dim(1).values());
+  EXPECT_GT(hufl_hull, 0.6);  // HULL is a fraction of HUFL
+  EXPECT_EQ(frame.dim(2).name(), "OT");
+}
+
+TEST(DatasetsTest, ElectricityScales) {
+  auto frame = MakeElectricity().ValueOrDie();
+  ts::Summary hufl = ts::Summarize(frame.dim(0).values());
+  ts::Summary hull = ts::Summarize(frame.dim(1).values());
+  EXPECT_GT(hufl.mean, hull.mean);  // useful load dominates useless load
+  EXPECT_GT(hufl.mean, 10.0);
+  EXPECT_LT(hull.mean, 12.0);
+}
+
+TEST(DatasetsTest, WeatherAllPairsCorrelated) {
+  auto frame = MakeWeather().ValueOrDie();
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = i + 1; j < 4; ++j) {
+      double c = ts::PearsonCorrelation(frame.dim(i).values(),
+                                        frame.dim(j).values());
+      EXPECT_GT(std::fabs(c), 0.5) << "dims " << i << "," << j;
+    }
+  }
+}
+
+TEST(DatasetsTest, WeatherUnitsMatchPaper) {
+  auto frame = MakeWeather().ValueOrDie();
+  ts::Summary tlog = ts::Summarize(frame.dim(0).values());   // Celsius
+  ts::Summary tpot = ts::Summarize(frame.dim(3).values());   // Kelvin
+  EXPECT_NEAR(tpot.mean - tlog.mean, 273.15, 5.0);
+  ts::Summary vp = ts::Summarize(frame.dim(2).values());     // mbar
+  EXPECT_GT(vp.min, 0.0);  // saturation pressure is positive
+}
+
+TEST(DatasetsTest, CsvLoaderRoundTrip) {
+  auto frame = MakeGasRate().ValueOrDie();
+  std::string path = testing::TempDir() + "/mc_dataset_test.csv";
+  ASSERT_TRUE(WriteCsvFile(frame.ToCsv(), path).ok());
+  auto loaded = LoadCsvDataset(path, "GasRate");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_dims(), 2u);
+  EXPECT_EQ(loaded.value().length(), 296u);
+  EXPECT_NEAR(loaded.value().at(1, 100), frame.at(1, 100), 1e-6);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace multicast

@@ -1,0 +1,103 @@
+#include "forecast/ensemble.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/naive.h"
+#include "forecast/multicast_forecaster.h"
+
+namespace multicast {
+namespace forecast {
+namespace {
+
+ts::Frame RampFrame(size_t n) {
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = static_cast<double>(i);
+  return ts::Frame::FromSeries({ts::Series(v, "x")}, "ramp").ValueOrDie();
+}
+
+std::unique_ptr<Forecaster> Naive() {
+  return std::make_unique<baselines::NaiveLastForecaster>();
+}
+std::unique_ptr<Forecaster> Drift() {
+  return std::make_unique<baselines::DriftForecaster>();
+}
+
+TEST(EnsembleTest, NameListsMembers) {
+  std::vector<std::unique_ptr<Forecaster>> members;
+  members.push_back(Naive());
+  members.push_back(Drift());
+  EnsembleForecaster ensemble(std::move(members));
+  EXPECT_EQ(ensemble.name(), "Ensemble(NaiveLast, Drift)");
+  EXPECT_EQ(ensemble.num_members(), 2u);
+}
+
+TEST(EnsembleTest, SingleMemberIsIdentity) {
+  std::vector<std::unique_ptr<Forecaster>> members;
+  members.push_back(Drift());
+  EnsembleForecaster ensemble(std::move(members));
+  baselines::DriftForecaster drift;
+  ts::Frame frame = RampFrame(20);
+  auto e = ensemble.Forecast(frame, 4).ValueOrDie();
+  auto d = drift.Forecast(frame, 4).ValueOrDie();
+  EXPECT_EQ(e.forecast.dim(0).values(), d.forecast.dim(0).values());
+}
+
+TEST(EnsembleTest, MedianOfThreeMembers) {
+  // naive predicts last (19), drift predicts 20, 21, ...; with a third
+  // member repeating naive, the median equals naive's value.
+  std::vector<std::unique_ptr<Forecaster>> members;
+  members.push_back(Naive());
+  members.push_back(Drift());
+  members.push_back(Naive());
+  EnsembleForecaster ensemble(std::move(members));
+  auto r = ensemble.Forecast(RampFrame(20), 3).ValueOrDie();
+  for (size_t t = 0; t < 3; ++t) {
+    EXPECT_DOUBLE_EQ(r.forecast.at(0, t), 19.0);
+  }
+}
+
+TEST(EnsembleTest, MedianOfTwoIsMidpoint) {
+  std::vector<std::unique_ptr<Forecaster>> members;
+  members.push_back(Naive());   // 19
+  members.push_back(Drift());   // 20, 21, 22
+  EnsembleForecaster ensemble(std::move(members));
+  auto r = ensemble.Forecast(RampFrame(20), 3).ValueOrDie();
+  EXPECT_DOUBLE_EQ(r.forecast.at(0, 0), 19.5);
+  EXPECT_DOUBLE_EQ(r.forecast.at(0, 2), 20.5);
+}
+
+TEST(EnsembleTest, LedgerSumsAcrossLlmMembers) {
+  MultiCastOptions mc;
+  mc.num_samples = 2;
+  std::vector<std::unique_ptr<Forecaster>> members;
+  members.push_back(std::make_unique<MultiCastForecaster>(mc));
+  members.push_back(Naive());
+  EnsembleForecaster ensemble(std::move(members));
+
+  std::vector<double> v(48);
+  for (size_t i = 0; i < v.size(); ++i) v[i] = std::sin(i * 0.4) * 5 + 10;
+  ts::Frame frame =
+      ts::Frame::FromSeries({ts::Series(v, "s")}, "f").ValueOrDie();
+  auto r = ensemble.Forecast(frame, 4).ValueOrDie();
+  EXPECT_GT(r.ledger.total(), 0u);
+
+  MultiCastForecaster solo(mc);
+  auto solo_r = solo.Forecast(frame, 4).ValueOrDie();
+  EXPECT_EQ(r.ledger.total(), solo_r.ledger.total());
+}
+
+TEST(EnsembleTest, MemberFailurePropagates) {
+  std::vector<std::unique_ptr<Forecaster>> members;
+  members.push_back(Naive());
+  MultiCastOptions bad;
+  bad.num_samples = 0;  // invalid: the member will fail
+  members.push_back(std::make_unique<MultiCastForecaster>(bad));
+  EnsembleForecaster ensemble(std::move(members));
+  EXPECT_FALSE(ensemble.Forecast(RampFrame(30), 3).ok());
+}
+
+}  // namespace
+}  // namespace forecast
+}  // namespace multicast

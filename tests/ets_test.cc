@@ -1,0 +1,206 @@
+#include "baselines/ets.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/metrics.h"
+#include "ts/split.h"
+#include "util/random.h"
+
+namespace multicast {
+namespace baselines {
+namespace {
+
+TEST(EtsTest, FlatSeriesForecastsFlat) {
+  std::vector<double> v(40, 7.5);
+  auto model = EtsModel::Fit(v, EtsOptions{});
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  auto fc = model.value().Forecast(5);
+  ASSERT_TRUE(fc.ok());
+  for (double x : fc.value()) EXPECT_NEAR(x, 7.5, 1e-6);
+}
+
+TEST(EtsTest, TrendExtrapolated) {
+  std::vector<double> v;
+  for (int t = 0; t < 60; ++t) v.push_back(3.0 * t + 10.0);
+  EtsOptions opts;
+  opts.damping = 1.0;  // undamped Holt for an exact line
+  auto model = EtsModel::Fit(v, opts);
+  ASSERT_TRUE(model.ok());
+  auto fc = model.value().Forecast(5);
+  ASSERT_TRUE(fc.ok());
+  for (size_t h = 0; h < 5; ++h) {
+    EXPECT_NEAR(fc.value()[h], 3.0 * (59.0 + h + 1) + 10.0, 0.5);
+  }
+}
+
+TEST(EtsTest, DampingFlattensLongHorizon) {
+  std::vector<double> v;
+  for (int t = 0; t < 60; ++t) v.push_back(2.0 * t);
+  EtsOptions damped;
+  damped.damping = 0.8;
+  auto model = EtsModel::Fit(v, damped).ValueOrDie();
+  auto fc = model.Forecast(50).ValueOrDie();
+  // Damped trend: increments shrink geometrically.
+  double inc_early = fc[1] - fc[0];
+  double inc_late = fc[49] - fc[48];
+  EXPECT_LT(inc_late, inc_early * 0.05);
+}
+
+TEST(EtsTest, SeasonalPatternContinuesInPhase) {
+  // Period-8 square-ish wave.
+  std::vector<double> v;
+  for (int t = 0; t < 96; ++t) {
+    v.push_back(10.0 + ((t % 8) < 4 ? 3.0 : -3.0));
+  }
+  EtsOptions opts;
+  opts.season_length = 8;
+  auto model = EtsModel::Fit(v, opts);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  auto fc = model.value().Forecast(16).ValueOrDie();
+  for (size_t h = 0; h < 16; ++h) {
+    double expected = 10.0 + (((96 + h) % 8) < 4 ? 3.0 : -3.0);
+    EXPECT_NEAR(fc[h], expected, 0.8) << "h=" << h;
+  }
+}
+
+TEST(EtsTest, SineWaveTrackedWithSeason) {
+  std::vector<double> v;
+  for (int t = 0; t < 120; ++t) {
+    v.push_back(5.0 * std::sin(2.0 * M_PI * t / 12.0));
+  }
+  EtsOptions opts;
+  opts.season_length = 12;
+  auto model = EtsModel::Fit(v, opts).ValueOrDie();
+  auto fc = model.Forecast(12).ValueOrDie();
+  double ss = 0.0;
+  for (size_t h = 0; h < 12; ++h) {
+    double truth = 5.0 * std::sin(2.0 * M_PI * (120 + h) / 12.0);
+    ss += (fc[h] - truth) * (fc[h] - truth);
+  }
+  EXPECT_LT(std::sqrt(ss / 12.0), 1.0);
+}
+
+TEST(EtsTest, GridSearchReducesMse) {
+  Rng rng(3);
+  std::vector<double> v;
+  double level = 10.0;
+  for (int t = 0; t < 100; ++t) {
+    level += rng.NextGaussian(0.0, 0.5);
+    v.push_back(level);
+  }
+  EtsOptions fine;
+  fine.grid_steps = 10;
+  EtsOptions coarse;
+  coarse.grid_steps = 2;
+  double fine_mse = EtsModel::Fit(v, fine).ValueOrDie().mse();
+  double coarse_mse = EtsModel::Fit(v, coarse).ValueOrDie().mse();
+  EXPECT_LE(fine_mse, coarse_mse + 1e-9);
+}
+
+TEST(EtsTest, RejectsBadInputs) {
+  std::vector<double> v(20, 1.0);
+  EtsOptions opts;
+  opts.season_length = 15;  // needs 30 points
+  EXPECT_FALSE(EtsModel::Fit(v, opts).ok());
+  EXPECT_FALSE(EtsModel::Fit({1.0, 2.0}, EtsOptions{}).ok());
+  opts = EtsOptions{};
+  opts.damping = 0.0;
+  EXPECT_FALSE(EtsModel::Fit(v, opts).ok());
+  opts = EtsOptions{};
+  opts.grid_steps = 1;
+  EXPECT_FALSE(EtsModel::Fit(v, opts).ok());
+  auto model = EtsModel::Fit(v, EtsOptions{}).ValueOrDie();
+  EXPECT_FALSE(model.Forecast(0).ok());
+}
+
+TEST(EtsForecasterTest, MultivariateShape) {
+  std::vector<double> a, b;
+  for (int t = 0; t < 50; ++t) {
+    a.push_back(t * 0.5);
+    b.push_back(100.0 - t);
+  }
+  ts::Frame frame = ts::Frame::FromSeries(
+                        {ts::Series(a, "a"), ts::Series(b, "b")}, "f")
+                        .ValueOrDie();
+  EtsForecaster f(EtsOptions{});
+  EXPECT_EQ(f.name(), "HoltWinters");
+  auto result = f.Forecast(frame, 6);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().forecast.num_dims(), 2u);
+  EXPECT_EQ(result.value().forecast.length(), 6u);
+  // Opposite trends continue in opposite directions.
+  EXPECT_GT(result.value().forecast.at(0, 5), a.back());
+  EXPECT_LT(result.value().forecast.at(1, 5), b.back());
+}
+
+TEST(EtsForecasterTest, AutoSeasonDetectsPeriod) {
+  // Strong period-12 signal: auto-season should find it and beat the
+  // non-seasonal fit.
+  Rng rng(21);
+  std::vector<double> v;
+  for (int t = 0; t < 144; ++t) {
+    v.push_back(6.0 * std::sin(2.0 * M_PI * t / 12.0) +
+                rng.NextGaussian(0.0, 0.3));
+  }
+  ts::Frame frame =
+      ts::Frame::FromSeries({ts::Series(v, "s")}, "sine").ValueOrDie();
+  auto split = ts::SplitHorizon(frame, 12).ValueOrDie();
+
+  EtsOptions flat;  // no season
+  EtsOptions autos;
+  autos.auto_season = true;
+  auto flat_run =
+      EtsForecaster(flat).Forecast(split.train, 12).ValueOrDie();
+  auto auto_run =
+      EtsForecaster(autos).Forecast(split.train, 12).ValueOrDie();
+  double flat_rmse = metrics::Rmse(split.test.dim(0).values(),
+                                   flat_run.forecast.dim(0).values())
+                         .ValueOrDie();
+  double auto_rmse = metrics::Rmse(split.test.dim(0).values(),
+                                   auto_run.forecast.dim(0).values())
+                         .ValueOrDie();
+  EXPECT_LT(auto_rmse, flat_rmse * 0.5);
+  EXPECT_LT(auto_rmse, 1.5);
+}
+
+TEST(EtsForecasterTest, AutoSeasonFallsBackOnAperiodicData) {
+  Rng rng(22);
+  std::vector<double> v;
+  double level = 0.0;
+  for (int t = 0; t < 80; ++t) {
+    level += rng.NextGaussian(0.0, 1.0);
+    v.push_back(level);
+  }
+  ts::Frame frame =
+      ts::Frame::FromSeries({ts::Series(v, "walk")}, "rw").ValueOrDie();
+  EtsOptions autos;
+  autos.auto_season = true;
+  auto run = EtsForecaster(autos).Forecast(frame, 5);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+}
+
+TEST(EtsForecasterTest, CompetitiveOnNoisySine) {
+  Rng rng(9);
+  std::vector<double> v;
+  for (int t = 0; t < 144; ++t) {
+    v.push_back(5.0 * std::sin(2.0 * M_PI * t / 12.0) +
+                rng.NextGaussian(0.0, 0.4));
+  }
+  ts::Frame frame =
+      ts::Frame::FromSeries({ts::Series(v, "s")}, "sine").ValueOrDie();
+  auto split = ts::SplitHorizon(frame, 12).ValueOrDie();
+  EtsOptions opts;
+  opts.season_length = 12;
+  EtsForecaster f(opts);
+  auto run = f.Forecast(split.train, 12).ValueOrDie();
+  double rmse = metrics::Rmse(split.test.dim(0).values(),
+                              run.forecast.dim(0).values())
+                    .ValueOrDie();
+  EXPECT_LT(rmse, 1.2);
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace multicast

@@ -1,0 +1,55 @@
+#include "eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/naive.h"
+#include "data/datasets.h"
+
+namespace multicast {
+namespace eval {
+namespace {
+
+ts::Split GasSplit() {
+  auto frame = data::MakeGasRate().ValueOrDie();
+  return ts::SplitHorizon(frame, 24).ValueOrDie();
+}
+
+TEST(RunMethodTest, ScoresEveryDimension) {
+  baselines::NaiveLastForecaster naive;
+  auto run = RunMethod(&naive, GasSplit());
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run.value().method, "NaiveLast");
+  ASSERT_EQ(run.value().rmse_per_dim.size(), 2u);
+  for (double rmse : run.value().rmse_per_dim) {
+    EXPECT_GT(rmse, 0.0);
+    EXPECT_TRUE(std::isfinite(rmse));
+  }
+  EXPECT_EQ(run.value().forecast.length(), 24u);
+}
+
+TEST(RunMethodTest, NullForecasterRejected) {
+  EXPECT_FALSE(RunMethod(nullptr, GasSplit()).ok());
+}
+
+TEST(RunMethodsTest, RunsAll) {
+  baselines::NaiveLastForecaster naive;
+  baselines::DriftForecaster drift;
+  auto runs = RunMethods({&naive, &drift}, GasSplit());
+  ASSERT_TRUE(runs.ok());
+  ASSERT_EQ(runs.value().size(), 2u);
+  EXPECT_EQ(runs.value()[0].method, "NaiveLast");
+  EXPECT_EQ(runs.value()[1].method, "Drift");
+}
+
+TEST(ArgMinTest, Behaviour) {
+  EXPECT_EQ(ArgMin({3.0, 1.0, 2.0}), 1);
+  EXPECT_EQ(ArgMin({5.0}), 0);
+  EXPECT_EQ(ArgMin({}), -1);
+  EXPECT_EQ(ArgMin({2.0, 2.0}), 0);  // first wins ties
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace multicast

@@ -1,0 +1,83 @@
+#include "ts/frame.h"
+
+#include <gtest/gtest.h>
+
+namespace multicast {
+namespace ts {
+namespace {
+
+Frame MakeFrame() {
+  return Frame::FromSeries({Series({1.0, 2.0, 3.0}, "a"),
+                            Series({4.0, 5.0, 6.0}, "b")},
+                           "test")
+      .ValueOrDie();
+}
+
+TEST(FrameTest, Construction) {
+  Frame f = MakeFrame();
+  EXPECT_EQ(f.num_dims(), 2u);
+  EXPECT_EQ(f.length(), 3u);
+  EXPECT_EQ(f.name(), "test");
+  EXPECT_DOUBLE_EQ(f.at(1, 2), 6.0);
+}
+
+TEST(FrameTest, MismatchedLengthsRejected) {
+  auto r = Frame::FromSeries({Series({1.0}), Series({1.0, 2.0})});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(FrameTest, EmptyDimsRejected) {
+  EXPECT_FALSE(Frame::FromSeries({}).ok());
+}
+
+TEST(FrameTest, RowGathersAllDims) {
+  Frame f = MakeFrame();
+  EXPECT_EQ(f.Row(1), (std::vector<double>{2.0, 5.0}));
+}
+
+TEST(FrameTest, SliceKeepsAllDims) {
+  Frame f = MakeFrame();
+  auto r = f.Slice(1, 3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().length(), 2u);
+  EXPECT_DOUBLE_EQ(r.value().at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(r.value().at(1, 1), 6.0);
+}
+
+TEST(FrameTest, SliceOutOfRange) {
+  EXPECT_FALSE(MakeFrame().Slice(0, 4).ok());
+}
+
+TEST(FrameTest, HeadTail) {
+  Frame f = MakeFrame();
+  EXPECT_EQ(f.Head(2).length(), 2u);
+  EXPECT_DOUBLE_EQ(f.Tail(1).at(0, 0), 3.0);
+}
+
+TEST(FrameTest, DimIndexByName) {
+  Frame f = MakeFrame();
+  auto r = f.DimIndex("b");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 1u);
+  EXPECT_FALSE(f.DimIndex("zzz").ok());
+}
+
+TEST(FrameTest, CsvRoundTrip) {
+  Frame f = MakeFrame();
+  CsvTable t = f.ToCsv();
+  auto back = Frame::FromCsv(t, "test");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().num_dims(), 2u);
+  EXPECT_EQ(back.value().dim(0).name(), "a");
+  EXPECT_DOUBLE_EQ(back.value().at(1, 2), 6.0);
+}
+
+TEST(FrameTest, UnnamedDimGetsSyntheticCsvName) {
+  Frame f = Frame::FromSeries({Series({1.0, 2.0})}).ValueOrDie();
+  CsvTable t = f.ToCsv();
+  EXPECT_EQ(t.column_names[0], "c0");
+}
+
+}  // namespace
+}  // namespace ts
+}  // namespace multicast

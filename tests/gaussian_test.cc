@@ -1,0 +1,78 @@
+#include "sax/gaussian.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace multicast {
+namespace sax {
+namespace {
+
+TEST(NormalPdfTest, KnownValues) {
+  EXPECT_NEAR(NormalPdf(0.0), 0.3989422804014327, 1e-12);
+  EXPECT_NEAR(NormalPdf(1.0), 0.24197072451914337, 1e-12);
+  EXPECT_NEAR(NormalPdf(-1.0), NormalPdf(1.0), 1e-15);
+  EXPECT_DOUBLE_EQ(NormalPdf(std::numeric_limits<double>::infinity()), 0.0);
+}
+
+TEST(NormalCdfTest, KnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.959963984540054), 0.975, 1e-9);
+  EXPECT_NEAR(NormalCdf(-1.959963984540054), 0.025, 1e-9);
+  EXPECT_DOUBLE_EQ(NormalCdf(std::numeric_limits<double>::infinity()), 1.0);
+  EXPECT_DOUBLE_EQ(NormalCdf(-std::numeric_limits<double>::infinity()), 0.0);
+}
+
+TEST(NormalQuantileTest, InvertsTheCdf) {
+  for (double p : {0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    double x = NormalQuantile(p);
+    EXPECT_NEAR(NormalCdf(x), p, 1e-10) << "p=" << p;
+  }
+}
+
+TEST(NormalQuantileTest, KnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959963984540054, 1e-8);
+  EXPECT_NEAR(NormalQuantile(0.8413447460685429), 1.0, 1e-8);
+}
+
+TEST(NormalQuantileTest, Symmetry) {
+  for (double p : {0.05, 0.2, 0.35}) {
+    EXPECT_NEAR(NormalQuantile(p), -NormalQuantile(1.0 - p), 1e-10);
+  }
+}
+
+TEST(NormalQuantileTest, EdgesAreInfinite) {
+  EXPECT_TRUE(std::isinf(NormalQuantile(0.0)));
+  EXPECT_LT(NormalQuantile(0.0), 0.0);
+  EXPECT_TRUE(std::isinf(NormalQuantile(1.0)));
+  EXPECT_GT(NormalQuantile(1.0), 0.0);
+}
+
+TEST(TruncatedNormalMeanTest, FullSupportIsZero) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  EXPECT_NEAR(TruncatedNormalMean(-kInf, kInf), 0.0, 1e-12);
+}
+
+TEST(TruncatedNormalMeanTest, HalfSupport) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // E[X | X > 0] = sqrt(2/pi).
+  EXPECT_NEAR(TruncatedNormalMean(0.0, kInf), std::sqrt(2.0 / M_PI), 1e-10);
+  EXPECT_NEAR(TruncatedNormalMean(-kInf, 0.0), -std::sqrt(2.0 / M_PI),
+              1e-10);
+}
+
+TEST(TruncatedNormalMeanTest, MeanLiesInsideInterval) {
+  double m = TruncatedNormalMean(0.5, 1.5);
+  EXPECT_GT(m, 0.5);
+  EXPECT_LT(m, 1.5);
+}
+
+TEST(TruncatedNormalMeanTest, SymmetricIntervalIsZero) {
+  EXPECT_NEAR(TruncatedNormalMean(-0.7, 0.7), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace sax
+}  // namespace multicast

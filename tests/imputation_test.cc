@@ -1,0 +1,180 @@
+#include "extensions/imputation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace multicast {
+namespace extensions {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+ts::Frame PeriodicWithGap(size_t n, size_t gap_begin, size_t gap_len) {
+  std::vector<double> a(n), b(n);
+  for (size_t i = 0; i < n; ++i) {
+    double phase = 2.0 * M_PI * static_cast<double>(i) / 12.0;
+    a[i] = 10.0 + 4.0 * std::sin(phase);
+    b[i] = 30.0 + 8.0 * std::cos(phase);
+  }
+  for (size_t i = gap_begin; i < gap_begin + gap_len; ++i) {
+    a[i] = kNan;  // one NaN dimension marks the whole timestamp missing
+  }
+  return ts::Frame::FromSeries({ts::Series(a, "a"), ts::Series(b, "b")},
+                               "gappy")
+      .ValueOrDie();
+}
+
+TEST(FindGapsTest, LocatesMaximalRuns) {
+  ts::Frame f = PeriodicWithGap(48, 20, 4);
+  auto gaps = FindGaps(f);
+  ASSERT_EQ(gaps.size(), 1u);
+  EXPECT_EQ(gaps[0].begin, 20u);
+  EXPECT_EQ(gaps[0].end, 24u);
+  EXPECT_EQ(gaps[0].length(), 4u);
+}
+
+TEST(FindGapsTest, MultipleGapsAndEdges) {
+  std::vector<double> v = {kNan, 1.0, 2.0, kNan, kNan, 5.0, kNan};
+  ts::Frame f =
+      ts::Frame::FromSeries({ts::Series(v, "v")}, "f").ValueOrDie();
+  auto gaps = FindGaps(f);
+  ASSERT_EQ(gaps.size(), 3u);
+  EXPECT_EQ(gaps[0].begin, 0u);
+  EXPECT_EQ(gaps[0].end, 1u);
+  EXPECT_EQ(gaps[1].begin, 3u);
+  EXPECT_EQ(gaps[1].end, 5u);
+  EXPECT_EQ(gaps[2].begin, 6u);
+  EXPECT_EQ(gaps[2].end, 7u);
+}
+
+TEST(FindGapsTest, CleanFrameHasNone) {
+  EXPECT_TRUE(FindGaps(PeriodicWithGap(24, 0, 0)).empty());
+}
+
+TEST(ImputeTest, FillsGapReasonably) {
+  ts::Frame f = PeriodicWithGap(72, 36, 6);
+  ImputeOptions opts;
+  opts.multicast.num_samples = 3;
+  auto filled = Impute(f, opts);
+  ASSERT_TRUE(filled.ok()) << filled.status().ToString();
+  // No NaNs remain.
+  EXPECT_TRUE(FindGaps(filled.value()).empty());
+  // Imputed values stay within the signal band.
+  for (size_t t = 36; t < 42; ++t) {
+    double v = filled.value().at(0, t);
+    EXPECT_GT(v, 4.0);
+    EXPECT_LT(v, 16.0);
+    // True signal for comparison: within a couple of amplitudes.
+    double truth = 10.0 + 4.0 * std::sin(2.0 * M_PI * t / 12.0);
+    EXPECT_NEAR(v, truth, 6.0);
+  }
+}
+
+TEST(ImputeTest, ObservedValuesUntouched) {
+  ts::Frame f = PeriodicWithGap(72, 36, 6);
+  ImputeOptions opts;
+  opts.multicast.num_samples = 2;
+  auto filled = Impute(f, opts).ValueOrDie();
+  for (size_t t = 0; t < 36; ++t) {
+    EXPECT_DOUBLE_EQ(filled.at(0, t), f.at(0, t));
+    EXPECT_DOUBLE_EQ(filled.at(1, t), f.at(1, t));
+  }
+  for (size_t t = 42; t < 72; ++t) {
+    EXPECT_DOUBLE_EQ(filled.at(0, t), f.at(0, t));
+  }
+}
+
+TEST(ImputeTest, ForwardOnlyAtSeriesEnd) {
+  ts::Frame f = PeriodicWithGap(60, 54, 6);  // gap runs to the end
+  ImputeOptions opts;
+  opts.multicast.num_samples = 2;
+  auto filled = Impute(f, opts);
+  ASSERT_TRUE(filled.ok()) << filled.status().ToString();
+  EXPECT_TRUE(FindGaps(filled.value()).empty());
+}
+
+TEST(ImputeTest, BackwardOnlyAtSeriesStart) {
+  ts::Frame f = PeriodicWithGap(60, 0, 6);  // gap at the very start
+  ImputeOptions opts;
+  opts.multicast.num_samples = 2;
+  auto filled = Impute(f, opts);
+  ASSERT_TRUE(filled.ok()) << filled.status().ToString();
+  EXPECT_TRUE(FindGaps(filled.value()).empty());
+}
+
+TEST(ImputeTest, SeamAlignmentImprovesAccuracy) {
+  // Hide a window of the periodic signal and compare recovery with and
+  // without seam alignment; anchoring to the observed edges should not
+  // hurt and typically helps.
+  ts::Frame truth = PeriodicWithGap(96, 0, 0);
+  ts::Frame gappy = truth;
+  for (size_t t = 40; t < 52; ++t) gappy.dim(0)[t] = kNan;
+
+  auto gap_rmse = [&](bool align) {
+    ImputeOptions opts;
+    opts.multicast.num_samples = 3;
+    opts.align_seams = align;
+    ts::Frame filled = Impute(gappy, opts).ValueOrDie();
+    double ss = 0.0;
+    for (size_t t = 40; t < 52; ++t) {
+      double d = filled.at(0, t) - truth.at(0, t);
+      ss += d * d;
+    }
+    return std::sqrt(ss / 12.0);
+  };
+  EXPECT_LE(gap_rmse(true), gap_rmse(false) * 1.5);
+  EXPECT_LT(gap_rmse(true), 4.0);  // amplitude is 4
+}
+
+TEST(ImputeTest, SeamAlignmentOffStillFills) {
+  ts::Frame f = PeriodicWithGap(72, 30, 5);
+  ImputeOptions opts;
+  opts.multicast.num_samples = 2;
+  opts.align_seams = false;
+  auto filled = Impute(f, opts);
+  ASSERT_TRUE(filled.ok()) << filled.status().ToString();
+  EXPECT_TRUE(FindGaps(filled.value()).empty());
+}
+
+TEST(ImputeTest, UnanchoredGapRejected) {
+  // Whole series missing: nothing to prompt with.
+  std::vector<double> v(20, kNan);
+  ts::Frame f =
+      ts::Frame::FromSeries({ts::Series(v, "v")}, "f").ValueOrDie();
+  ImputeOptions opts;
+  EXPECT_FALSE(Impute(f, opts).ok());
+}
+
+TEST(ImputeTest, NoGapIsIdentity) {
+  ts::Frame f = PeriodicWithGap(36, 0, 0);
+  ImputeOptions opts;
+  auto filled = Impute(f, opts).ValueOrDie();
+  for (size_t t = 0; t < f.length(); ++t) {
+    EXPECT_DOUBLE_EQ(filled.at(0, t), f.at(0, t));
+  }
+}
+
+TEST(ImputeTest, MultipleGapsFilledInOrder) {
+  std::vector<double> a(96), b(96);
+  for (size_t i = 0; i < 96; ++i) {
+    a[i] = 10.0 + 4.0 * std::sin(2.0 * M_PI * i / 12.0);
+    b[i] = 20.0 + 4.0 * std::cos(2.0 * M_PI * i / 12.0);
+  }
+  for (size_t i = 30; i < 34; ++i) a[i] = kNan;
+  for (size_t i = 60; i < 63; ++i) b[i] = kNan;
+  ts::Frame f = ts::Frame::FromSeries({ts::Series(a, "a"),
+                                       ts::Series(b, "b")},
+                                      "multi")
+                    .ValueOrDie();
+  ImputeOptions opts;
+  opts.multicast.num_samples = 2;
+  auto filled = Impute(f, opts);
+  ASSERT_TRUE(filled.ok()) << filled.status().ToString();
+  EXPECT_TRUE(FindGaps(filled.value()).empty());
+}
+
+}  // namespace
+}  // namespace extensions
+}  // namespace multicast

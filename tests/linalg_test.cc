@@ -1,0 +1,185 @@
+#include "baselines/linalg.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace multicast {
+namespace baselines {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 1.5);
+  m.at(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m.at(0, 1), -2.0);
+}
+
+TEST(MatrixTest, IdentityProduct) {
+  Matrix i = Matrix::Identity(3);
+  Matrix m(3, 3);
+  double v = 1.0;
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) m.at(r, c) = v++;
+  }
+  auto prod = i.Multiply(m);
+  ASSERT_TRUE(prod.ok());
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(prod.value().at(r, c), m.at(r, c));
+    }
+  }
+}
+
+TEST(MatrixTest, TransposeInvolution) {
+  Matrix m(2, 3);
+  m.at(0, 2) = 5.0;
+  m.at(1, 0) = -1.0;
+  Matrix t = m.Transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t.at(2, 0), 5.0);
+  Matrix tt = t.Transpose();
+  EXPECT_DOUBLE_EQ(tt.at(1, 0), -1.0);
+}
+
+TEST(MatrixTest, KnownProduct) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 3;
+  a.at(1, 1) = 4;
+  Matrix b(2, 2);
+  b.at(0, 0) = 5;
+  b.at(0, 1) = 6;
+  b.at(1, 0) = 7;
+  b.at(1, 1) = 8;
+  auto c = a.Multiply(b);
+  ASSERT_TRUE(c.ok());
+  EXPECT_DOUBLE_EQ(c.value().at(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c.value().at(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c.value().at(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c.value().at(1, 1), 50);
+}
+
+TEST(MatrixTest, ShapeMismatchRejected) {
+  Matrix a(2, 3), b(2, 3);
+  EXPECT_FALSE(a.Multiply(b).ok());
+  EXPECT_FALSE(a.Multiply(std::vector<double>{1.0}).ok());
+}
+
+TEST(MatrixTest, MatVec) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 2;
+  a.at(1, 1) = 3;
+  auto v = a.Multiply(std::vector<double>{1.0, 2.0});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), (std::vector<double>{2.0, 6.0}));
+}
+
+TEST(SolveTest, SolvesKnownSystem) {
+  // 2x + y = 5; x - y = 1  ->  x = 2, y = 1.
+  Matrix a(2, 2);
+  a.at(0, 0) = 2;
+  a.at(0, 1) = 1;
+  a.at(1, 0) = 1;
+  a.at(1, 1) = -1;
+  auto x = SolveLinearSystem(a, {5.0, 1.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(x.value()[0], 2.0, 1e-12);
+  EXPECT_NEAR(x.value()[1], 1.0, 1e-12);
+}
+
+TEST(SolveTest, PivotingHandlesZeroDiagonal) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 0;
+  a.at(0, 1) = 1;
+  a.at(1, 0) = 1;
+  a.at(1, 1) = 0;
+  auto x = SolveLinearSystem(a, {3.0, 4.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(x.value()[0], 4.0, 1e-12);
+  EXPECT_NEAR(x.value()[1], 3.0, 1e-12);
+}
+
+TEST(SolveTest, SingularRejected) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 2;
+  a.at(1, 1) = 4;
+  EXPECT_FALSE(SolveLinearSystem(a, {1.0, 2.0}).ok());
+}
+
+TEST(SolveTest, NonSquareRejected) {
+  Matrix a(2, 3);
+  EXPECT_FALSE(SolveLinearSystem(a, {1.0, 2.0}).ok());
+}
+
+TEST(SolveTest, RandomRoundTrip) {
+  Rng rng(55);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 5;
+    Matrix a(n, n);
+    std::vector<double> x_true(n);
+    for (size_t r = 0; r < n; ++r) {
+      x_true[r] = rng.NextGaussian();
+      for (size_t c = 0; c < n; ++c) a.at(r, c) = rng.NextGaussian();
+      a.at(r, r) += 3.0;  // keep well-conditioned
+    }
+    auto b = a.Multiply(x_true).ValueOrDie();
+    auto x = SolveLinearSystem(a, b);
+    ASSERT_TRUE(x.ok());
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(x.value()[i], x_true[i], 1e-8);
+    }
+  }
+}
+
+TEST(LeastSquaresTest, RecoversExactLinearModel) {
+  // y = 3 x1 - 2 x2, no noise.
+  Rng rng(7);
+  const size_t n = 50;
+  Matrix x(n, 2);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double x1 = rng.NextGaussian();
+    double x2 = rng.NextGaussian();
+    x.at(i, 0) = x1;
+    x.at(i, 1) = x2;
+    y[i] = 3.0 * x1 - 2.0 * x2;
+  }
+  auto beta = LeastSquares(x, y);
+  ASSERT_TRUE(beta.ok());
+  EXPECT_NEAR(beta.value()[0], 3.0, 1e-5);
+  EXPECT_NEAR(beta.value()[1], -2.0, 1e-5);
+}
+
+TEST(LeastSquaresTest, NoisyRecoveryApproximate) {
+  Rng rng(9);
+  const size_t n = 2000;
+  Matrix x(n, 1);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double xi = rng.NextGaussian();
+    x.at(i, 0) = xi;
+    y[i] = 1.5 * xi + rng.NextGaussian(0.0, 0.5);
+  }
+  auto beta = LeastSquares(x, y);
+  ASSERT_TRUE(beta.ok());
+  EXPECT_NEAR(beta.value()[0], 1.5, 0.05);
+}
+
+TEST(LeastSquaresTest, RejectsBadShapes) {
+  Matrix x(3, 5);
+  EXPECT_FALSE(LeastSquares(x, {1, 2, 3}).ok());  // under-determined
+  Matrix x2(3, 1);
+  EXPECT_FALSE(LeastSquares(x2, {1, 2}).ok());  // row mismatch
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace multicast

@@ -1,0 +1,107 @@
+#include "forecast/llmtime_forecaster.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/metrics.h"
+#include "ts/split.h"
+
+namespace multicast {
+namespace forecast {
+namespace {
+
+ts::Frame PeriodicFrame(size_t n) {
+  std::vector<double> a(n), b(n);
+  for (size_t i = 0; i < n; ++i) {
+    double phase = 2.0 * M_PI * static_cast<double>(i) / 12.0;
+    a[i] = 10.0 + 5.0 * std::sin(phase);
+    b[i] = 100.0 + 30.0 * std::cos(phase);
+  }
+  return ts::Frame::FromSeries({ts::Series(a, "a"), ts::Series(b, "b")},
+                               "periodic")
+      .ValueOrDie();
+}
+
+TEST(LlmTimeTest, NameMatchesPaper) {
+  EXPECT_EQ(LlmTimeForecaster(LlmTimeOptions{}).name(), "LLMTIME");
+}
+
+TEST(LlmTimeTest, ForecastShape) {
+  LlmTimeOptions opts;
+  opts.num_samples = 3;
+  LlmTimeForecaster f(opts);
+  auto result = f.Forecast(PeriodicFrame(84), 12);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().forecast.num_dims(), 2u);
+  EXPECT_EQ(result.value().forecast.length(), 12u);
+  EXPECT_EQ(result.value().forecast.dim(0).name(), "a");
+}
+
+TEST(LlmTimeTest, TracksPeriodicSignalPerDimension) {
+  LlmTimeOptions opts;
+  opts.num_samples = 5;
+  LlmTimeForecaster f(opts);
+  ts::Frame frame = PeriodicFrame(96);
+  auto split = ts::SplitHorizon(frame, 12).ValueOrDie();
+  auto result = f.Forecast(split.train, 12);
+  ASSERT_TRUE(result.ok());
+  auto rmse0 = metrics::Rmse(split.test.dim(0).values(),
+                             result.value().forecast.dim(0).values());
+  ASSERT_TRUE(rmse0.ok());
+  EXPECT_LT(rmse0.value(), 2.5);
+}
+
+TEST(LlmTimeTest, LedgerSumsAcrossDimensions) {
+  // Ledger equals the sum of two univariate runs; each dimension's
+  // stream for horizon h and b=2 costs (history + h) * 3 tokens.
+  LlmTimeOptions opts;
+  opts.num_samples = 2;
+  LlmTimeForecaster f(opts);
+  ts::Frame frame = PeriodicFrame(60);
+  auto result = f.Forecast(frame, 6);
+  ASSERT_TRUE(result.ok());
+  // 60 values at 3 tokens each ("dd,"), no trailing comma on the last,
+  // plus the comma appended to open the forecast cycle: 60*3 - 1 + 1.
+  size_t per_dim_prompt = 60 * 3;
+  EXPECT_EQ(result.value().ledger.prompt_tokens, 2 * 2 * per_dim_prompt);
+  EXPECT_EQ(result.value().ledger.generated_tokens, 2u * 2u * 6u * 3u);
+}
+
+TEST(LlmTimeTest, IndependentOfDimensionOrderCorrelation) {
+  // LLMTIME treats dimensions independently: forecasting {a, b} then
+  // {b, a} must give the same per-dimension values when the per-
+  // dimension seeds match.
+  LlmTimeOptions opts;
+  opts.num_samples = 2;
+  ts::Frame frame = PeriodicFrame(60);
+  LlmTimeForecaster f(opts);
+  auto r1 = f.Forecast(frame, 6);
+  ASSERT_TRUE(r1.ok());
+  auto r2 = f.Forecast(frame, 6);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1.value().forecast.dim(0).values(),
+            r2.value().forecast.dim(0).values());
+}
+
+TEST(LlmTimeTest, DeterministicForSeed) {
+  LlmTimeOptions opts;
+  opts.num_samples = 2;
+  opts.seed = 7;
+  ts::Frame frame = PeriodicFrame(48);
+  auto r1 = LlmTimeForecaster(opts).Forecast(frame, 4);
+  auto r2 = LlmTimeForecaster(opts).Forecast(frame, 4);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1.value().forecast.dim(1).values(),
+            r2.value().forecast.dim(1).values());
+}
+
+TEST(LlmTimeTest, RejectsBadHorizon) {
+  LlmTimeForecaster f(LlmTimeOptions{});
+  EXPECT_FALSE(f.Forecast(PeriodicFrame(48), 0).ok());
+}
+
+}  // namespace
+}  // namespace forecast
+}  // namespace multicast

@@ -1,0 +1,82 @@
+#include "metrics/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace multicast {
+namespace metrics {
+namespace {
+
+TEST(RmseTest, KnownValue) {
+  auto r = Rmse({1.0, 2.0, 3.0}, {1.0, 2.0, 3.0});
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value(), 0.0);
+  r = Rmse({0.0, 0.0}, {3.0, 4.0});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value(), std::sqrt(12.5), 1e-12);
+}
+
+TEST(RmseTest, SymmetricInArguments) {
+  auto a = Rmse({1.0, 5.0}, {2.0, 3.0}).ValueOrDie();
+  auto b = Rmse({2.0, 3.0}, {1.0, 5.0}).ValueOrDie();
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(RmseTest, RejectsBadShapes) {
+  EXPECT_FALSE(Rmse({}, {}).ok());
+  EXPECT_FALSE(Rmse({1.0}, {1.0, 2.0}).ok());
+}
+
+TEST(MaeTest, KnownValue) {
+  auto r = Mae({1.0, 2.0, 3.0}, {2.0, 0.0, 3.0});
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value(), 1.0);
+}
+
+TEST(MaeTest, LessOrEqualRmse) {
+  // Jensen: MAE <= RMSE always.
+  std::vector<double> a = {1.0, 5.0, -2.0, 7.5};
+  std::vector<double> b = {0.5, 6.0, 1.0, 6.0};
+  EXPECT_LE(Mae(a, b).ValueOrDie(), Rmse(a, b).ValueOrDie() + 1e-12);
+}
+
+TEST(MapeTest, KnownValue) {
+  auto r = Mape({10.0, 20.0}, {11.0, 18.0});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value(), (0.1 + 0.1) / 2 * 100, 1e-9);
+}
+
+TEST(MapeTest, SkipsNearZeroActuals) {
+  auto r = Mape({0.0, 10.0}, {5.0, 11.0});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value(), 10.0, 1e-9);
+}
+
+TEST(MapeTest, AllZeroActualsRejected) {
+  EXPECT_FALSE(Mape({0.0, 0.0}, {1.0, 2.0}).ok());
+}
+
+TEST(SmapeTest, KnownValue) {
+  auto r = Smape({10.0}, {10.0});
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value(), 0.0);
+  r = Smape({10.0}, {0.0});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value(), 200.0, 1e-9);  // max of the 0..200 form
+}
+
+TEST(SmapeTest, BoundedByTwoHundred) {
+  auto r = Smape({1.0, -5.0, 100.0}, {-3.0, 5.0, 0.5});
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r.value(), 200.0 + 1e-9);
+  EXPECT_GE(r.value(), 0.0);
+}
+
+TEST(SmapeTest, AllZeroPairsRejected) {
+  EXPECT_FALSE(Smape({0.0}, {0.0}).ok());
+}
+
+}  // namespace
+}  // namespace metrics
+}  // namespace multicast

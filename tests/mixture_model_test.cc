@@ -1,0 +1,164 @@
+#include "lm/mixture_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lm/ngram_model.h"
+
+namespace multicast {
+namespace lm {
+namespace {
+
+std::vector<token::TokenId> Repeat(const std::vector<token::TokenId>& motif,
+                                   int times) {
+  std::vector<token::TokenId> out;
+  for (int i = 0; i < times; ++i) {
+    out.insert(out.end(), motif.begin(), motif.end());
+  }
+  return out;
+}
+
+TEST(MixtureModelTest, FreshModelIsUniform) {
+  MixtureLanguageModel model(5, MixtureOptions{});
+  std::vector<double> p = model.NextDistribution();
+  ASSERT_EQ(p.size(), 5u);
+  for (double v : p) EXPECT_NEAR(v, 0.2, 1e-9);
+}
+
+TEST(MixtureModelTest, DistributionNormalizedAndPositive) {
+  MixtureLanguageModel model(11, MixtureOptions{});
+  model.ObserveAll(Repeat({0, 3, 7, 10}, 30));
+  std::vector<double> p = model.NextDistribution();
+  double sum = 0.0;
+  for (double v : p) {
+    EXPECT_GT(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(MixtureModelTest, LearnsDeterministicCycle) {
+  MixtureLanguageModel model(4, MixtureOptions{});
+  model.ObserveAll(Repeat({0, 1, 2}, 40));
+  std::vector<double> p = model.NextDistribution();
+  EXPECT_GT(p[0], 0.8);
+}
+
+TEST(MixtureModelTest, DeepContextDisambiguates) {
+  // Same ambiguity as the n-gram test: after "1", the continuation
+  // depends on the symbol two back.
+  std::vector<token::TokenId> motif = {0, 1, 9, 2, 1, 7};
+  MixtureOptions opts;
+  opts.max_depth = 5;
+  MixtureLanguageModel model(10, opts);
+  model.ObserveAll(Repeat(motif, 40));
+  model.ObserveAll({0, 1, 9, 2, 1});
+  std::vector<double> p = model.NextDistribution();
+  EXPECT_GT(p[7], 0.6);
+  EXPECT_GT(p[7], p[9]);
+}
+
+TEST(MixtureModelTest, AdaptsDepthPerContext) {
+  // A sequence that is order-1 predictable except for one deep
+  // dependency. The mixture should do well on both, because weights are
+  // per-node rather than global.
+  MixtureOptions opts;
+  opts.max_depth = 6;
+  MixtureLanguageModel model(6, opts);
+  // Alternating 0/1 (order 1 suffices), punctuated every 8 tokens by a
+  // 4-5 pair (needs deeper context to predict the 5 after the 4).
+  std::vector<token::TokenId> seq;
+  for (int block = 0; block < 40; ++block) {
+    for (int i = 0; i < 3; ++i) {
+      seq.push_back(0);
+      seq.push_back(1);
+    }
+    seq.push_back(4);
+    seq.push_back(5);
+  }
+  model.ObserveAll(seq);
+  // After ...4, expect 5 strongly.
+  MixtureLanguageModel probe = model;
+  probe.Observe(0);
+  probe.Observe(1);
+  // Rebuild the real context: feed a fresh block prefix.
+  MixtureLanguageModel m2(6, opts);
+  m2.ObserveAll(seq);
+  m2.ObserveAll({0, 1, 0, 1, 0, 1, 4});
+  std::vector<double> p = m2.NextDistribution();
+  EXPECT_GT(p[5], 0.7);
+}
+
+TEST(MixtureModelTest, ResetClears) {
+  MixtureLanguageModel model(4, MixtureOptions{});
+  model.ObserveAll(Repeat({0, 1}, 20));
+  EXPECT_GT(model.num_nodes(), 0u);
+  model.Reset();
+  EXPECT_EQ(model.context_length(), 0u);
+  EXPECT_EQ(model.num_nodes(), 0u);
+  std::vector<double> p = model.NextDistribution();
+  for (double v : p) EXPECT_NEAR(v, 0.25, 1e-9);
+}
+
+TEST(MixtureModelTest, BeatsShallowNGramOnDeepPattern) {
+  // Period-9 cycle of distinct symbols: an order-2 n-gram can learn it
+  // (each bigram is unique), but an order-1 cannot; the depth mixture
+  // discovers the needed depth automatically.
+  std::vector<token::TokenId> motif = {0, 1, 2, 0, 2, 1, 2, 0, 1};
+  MixtureOptions mopts;
+  mopts.max_depth = 8;
+  MixtureLanguageModel mixture(3, mopts);
+  NGramOptions nopts;
+  nopts.max_order = 1;
+  NGramLanguageModel shallow(3, nopts);
+  auto seq = Repeat(motif, 40);
+  mixture.ObserveAll(seq);
+  shallow.ObserveAll(seq);
+  // Average probability of the true next symbol over one more cycle.
+  double mix_ll = 0.0, ngram_ll = 0.0;
+  for (token::TokenId next : motif) {
+    mix_ll += std::log(mixture.NextDistribution()[next]);
+    ngram_ll += std::log(shallow.NextDistribution()[next]);
+    mixture.Observe(next);
+    shallow.Observe(next);
+  }
+  EXPECT_GT(mix_ll, ngram_ll + 1.0);
+}
+
+TEST(MixtureModelTest, KtAlphaControlsSharpness) {
+  auto peak = [](double alpha) {
+    MixtureOptions opts;
+    opts.kt_alpha = alpha;
+    MixtureLanguageModel model(10, opts);
+    model.ObserveAll(Repeat({3, 4, 5}, 40));
+    return model.NextDistribution()[3];
+  };
+  EXPECT_GT(peak(0.1), peak(5.0));
+}
+
+TEST(MixtureModelTest, RejectsBadOptionsViaCheck) {
+  // Constructor MC_CHECKs on invalid parameters; valid edges work.
+  MixtureOptions edge;
+  edge.max_depth = 12;
+  MixtureLanguageModel ok(31, edge);
+  EXPECT_EQ(ok.vocab_size(), 31u);
+}
+
+TEST(MixtureModelTest, NodesGrowWithNovelContexts) {
+  MixtureOptions opts;
+  opts.max_depth = 4;
+  MixtureLanguageModel repeat_model(8, opts);
+  repeat_model.ObserveAll(Repeat({0, 1}, 50));
+  MixtureLanguageModel varied_model(8, opts);
+  std::vector<token::TokenId> varied;
+  for (int i = 0; i < 100; ++i) {
+    varied.push_back(static_cast<token::TokenId>((i * 3 + i / 5) % 8));
+  }
+  varied_model.ObserveAll(varied);
+  EXPECT_GT(varied_model.num_nodes(), repeat_model.num_nodes());
+}
+
+}  // namespace
+}  // namespace lm
+}  // namespace multicast

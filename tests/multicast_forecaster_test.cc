@@ -1,0 +1,302 @@
+#include "forecast/multicast_forecaster.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/metrics.h"
+#include "ts/split.h"
+
+namespace multicast {
+namespace forecast {
+namespace {
+
+// A strongly periodic, correlated 2-D frame the pattern model can nail.
+ts::Frame PeriodicFrame(size_t n) {
+  std::vector<double> a(n), b(n);
+  for (size_t i = 0; i < n; ++i) {
+    double phase = 2.0 * M_PI * static_cast<double>(i) / 12.0;
+    a[i] = 10.0 + 5.0 * std::sin(phase);
+    b[i] = 50.0 - 20.0 * std::sin(phase);  // anti-correlated twin
+  }
+  return ts::Frame::FromSeries({ts::Series(a, "a"), ts::Series(b, "b")},
+                               "periodic")
+      .ValueOrDie();
+}
+
+TEST(MedianAggregateTest, MedianPerTimestamp) {
+  auto r = MedianAggregate({{1.0, 10.0}, {3.0, 30.0}, {2.0, 20.0}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), (std::vector<double>{2.0, 20.0}));
+}
+
+TEST(MedianAggregateTest, SingleSampleIsIdentity) {
+  auto r = MedianAggregate({{5.0, 6.0}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), (std::vector<double>{5.0, 6.0}));
+}
+
+TEST(MedianAggregateTest, RejectsBadShapes) {
+  EXPECT_FALSE(MedianAggregate({}).ok());
+  EXPECT_FALSE(MedianAggregate({{1.0}, {1.0, 2.0}}).ok());
+}
+
+TEST(MedianAggregateTest, RobustToOneWildSample) {
+  auto r = MedianAggregate({{1.0}, {1.1}, {900.0}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value()[0], 1.1, 1e-12);
+}
+
+class MuxVariantTest : public testing::TestWithParam<multiplex::MuxKind> {};
+
+TEST_P(MuxVariantTest, ShapeAndNames) {
+  MultiCastOptions opts;
+  opts.mux = GetParam();
+  opts.num_samples = 3;
+  MultiCastForecaster f(opts);
+  ts::Frame frame = PeriodicFrame(96);
+  auto result = f.Forecast(frame, 12);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().forecast.num_dims(), 2u);
+  EXPECT_EQ(result.value().forecast.length(), 12u);
+  EXPECT_EQ(result.value().forecast.dim(0).name(), "a");
+  EXPECT_EQ(result.value().forecast.dim(1).name(), "b");
+  EXPECT_GT(result.value().ledger.prompt_tokens, 0u);
+  EXPECT_GT(result.value().ledger.generated_tokens, 0u);
+}
+
+TEST_P(MuxVariantTest, TracksPeriodicSignal) {
+  MultiCastOptions opts;
+  opts.mux = GetParam();
+  opts.num_samples = 5;
+  MultiCastForecaster f(opts);
+  ts::Frame frame = PeriodicFrame(96);
+  auto split = ts::SplitHorizon(frame, 12).ValueOrDie();
+  auto result = f.Forecast(split.train, 12);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // RMSE well under the signal amplitude on each dimension.
+  auto rmse0 = metrics::Rmse(split.test.dim(0).values(),
+                             result.value().forecast.dim(0).values());
+  auto rmse1 = metrics::Rmse(split.test.dim(1).values(),
+                             result.value().forecast.dim(1).values());
+  ASSERT_TRUE(rmse0.ok());
+  ASSERT_TRUE(rmse1.ok());
+  EXPECT_LT(rmse0.value(), 2.5) << "amplitude 5";
+  EXPECT_LT(rmse1.value(), 10.0) << "amplitude 20";
+}
+
+TEST_P(MuxVariantTest, DeterministicForSameSeed) {
+  MultiCastOptions opts;
+  opts.mux = GetParam();
+  opts.num_samples = 2;
+  opts.seed = 99;
+  ts::Frame frame = PeriodicFrame(60);
+  MultiCastForecaster f1(opts), f2(opts);
+  auto r1 = f1.Forecast(frame, 6);
+  auto r2 = f2.Forecast(frame, 6);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  for (size_t d = 0; d < 2; ++d) {
+    EXPECT_EQ(r1.value().forecast.dim(d).values(),
+              r2.value().forecast.dim(d).values());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, MuxVariantTest,
+    testing::Values(multiplex::MuxKind::kDigitInterleave,
+                    multiplex::MuxKind::kValueInterleave,
+                    multiplex::MuxKind::kValueConcat),
+    [](const testing::TestParamInfo<multiplex::MuxKind>& info) {
+      return multiplex::MuxKindName(info.param);
+    });
+
+TEST(MultiCastForecasterTest, NamesFollowPaper) {
+  MultiCastOptions opts;
+  opts.mux = multiplex::MuxKind::kDigitInterleave;
+  EXPECT_EQ(MultiCastForecaster(opts).name(), "MultiCast (DI)");
+  opts.mux = multiplex::MuxKind::kValueInterleave;
+  EXPECT_EQ(MultiCastForecaster(opts).name(), "MultiCast (VI)");
+  opts.quantization = Quantization::kSaxAlphabetic;
+  EXPECT_EQ(MultiCastForecaster(opts).name(), "MultiCast SAX (alphabetical)");
+  opts.quantization = Quantization::kSaxDigital;
+  EXPECT_EQ(MultiCastForecaster(opts).name(), "MultiCast SAX (digital)");
+}
+
+TEST(MultiCastForecasterTest, RejectsBadArguments) {
+  MultiCastForecaster f(MultiCastOptions{});
+  ts::Frame frame = PeriodicFrame(48);
+  EXPECT_FALSE(f.Forecast(frame, 0).ok());
+  EXPECT_FALSE(f.Forecast(frame.Head(2), 4).ok());
+  MultiCastOptions bad;
+  bad.num_samples = 0;
+  EXPECT_FALSE(MultiCastForecaster(bad).Forecast(frame, 4).ok());
+}
+
+TEST(MultiCastForecasterTest, TokenCostScalesWithSamples) {
+  ts::Frame frame = PeriodicFrame(72);
+  auto total_for = [&](int samples) {
+    MultiCastOptions opts;
+    opts.num_samples = samples;
+    MultiCastForecaster f(opts);
+    return f.Forecast(frame, 8).ValueOrDie().ledger.total();
+  };
+  size_t t5 = total_for(5);
+  size_t t10 = total_for(10);
+  EXPECT_EQ(t10, 2 * t5);  // Table VII: time doubles with samples
+}
+
+TEST(MultiCastForecasterTest, SaxUsesFarFewerTokens) {
+  ts::Frame frame = PeriodicFrame(96);
+  MultiCastOptions raw;
+  raw.num_samples = 3;
+  MultiCastOptions sax = raw;
+  sax.quantization = Quantization::kSaxAlphabetic;
+  sax.sax_segment_length = 6;
+  size_t raw_total =
+      MultiCastForecaster(raw).Forecast(frame, 12).ValueOrDie().ledger
+          .total();
+  size_t sax_total =
+      MultiCastForecaster(sax).Forecast(frame, 12).ValueOrDie().ledger
+          .total();
+  // Tables VIII/IX: SAX shrinks cost by roughly an order of magnitude
+  // (the exact factor is ~ segment_length * (b + 1) / 2 here).
+  EXPECT_LE(sax_total * 8, raw_total);
+}
+
+TEST(MultiCastForecasterTest, SaxAlphabeticForecastWorks) {
+  MultiCastOptions opts;
+  opts.quantization = Quantization::kSaxAlphabetic;
+  opts.sax_segment_length = 3;
+  opts.sax_alphabet_size = 5;
+  opts.num_samples = 3;
+  MultiCastForecaster f(opts);
+  ts::Frame frame = PeriodicFrame(96);
+  auto result = f.Forecast(frame, 12);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().forecast.length(), 12u);
+  // Forecast stays within a sane band around the signal range.
+  for (size_t t = 0; t < 12; ++t) {
+    EXPECT_GT(result.value().forecast.at(0, t), 0.0);
+    EXPECT_LT(result.value().forecast.at(0, t), 25.0);
+  }
+}
+
+TEST(MultiCastForecasterTest, SaxDigitalForecastWorks) {
+  MultiCastOptions opts;
+  opts.quantization = Quantization::kSaxDigital;
+  opts.sax_segment_length = 3;
+  opts.sax_alphabet_size = 5;
+  opts.num_samples = 3;
+  MultiCastForecaster f(opts);
+  auto result = f.Forecast(PeriodicFrame(96), 12);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().forecast.length(), 12u);
+}
+
+TEST(MultiCastForecasterTest, SaxDigitalAlphabet20Rejected) {
+  // Table IX's N/A cell.
+  MultiCastOptions opts;
+  opts.quantization = Quantization::kSaxDigital;
+  opts.sax_alphabet_size = 20;
+  MultiCastForecaster f(opts);
+  EXPECT_FALSE(f.Forecast(PeriodicFrame(96), 6).ok());
+}
+
+TEST(MultiCastForecasterTest, HorizonNotMultipleOfSegmentLength) {
+  MultiCastOptions opts;
+  opts.quantization = Quantization::kSaxAlphabetic;
+  opts.sax_segment_length = 6;
+  opts.num_samples = 2;
+  MultiCastForecaster f(opts);
+  auto result = f.Forecast(PeriodicFrame(96), 8);  // 8 % 6 != 0
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().forecast.length(), 8u);
+}
+
+TEST(QuantileAggregateTest, MatchesTsQuantile) {
+  std::vector<std::vector<double>> samples = {
+      {1.0, 10.0}, {2.0, 20.0}, {3.0, 30.0}, {4.0, 40.0}};
+  auto lo = QuantileAggregate(samples, 0.25).ValueOrDie();
+  auto hi = QuantileAggregate(samples, 0.75).ValueOrDie();
+  EXPECT_DOUBLE_EQ(lo[0], 1.75);
+  EXPECT_DOUBLE_EQ(hi[1], 32.5);
+  EXPECT_FALSE(QuantileAggregate(samples, 0.0).ok());
+  EXPECT_FALSE(QuantileAggregate(samples, 1.0).ok());
+  EXPECT_FALSE(QuantileAggregate({}, 0.5).ok());
+}
+
+TEST(MultiCastForecasterTest, QuantileBandsBracketMedian) {
+  MultiCastOptions opts;
+  opts.num_samples = 9;
+  opts.quantiles = {0.9, 0.1};  // unsorted on purpose
+  MultiCastForecaster f(opts);
+  auto result = f.Forecast(PeriodicFrame(72), 8).ValueOrDie();
+  ASSERT_EQ(result.quantile_bands.size(), 2u);
+  // Returned in ascending level order.
+  EXPECT_DOUBLE_EQ(result.quantile_bands[0].first, 0.1);
+  EXPECT_DOUBLE_EQ(result.quantile_bands[1].first, 0.9);
+  for (size_t d = 0; d < 2; ++d) {
+    for (size_t t = 0; t < 8; ++t) {
+      double lo = result.quantile_bands[0].second.at(d, t);
+      double hi = result.quantile_bands[1].second.at(d, t);
+      double mid = result.forecast.at(d, t);
+      EXPECT_LE(lo, mid + 1e-12);
+      EXPECT_LE(mid, hi + 1e-12);
+    }
+  }
+}
+
+TEST(MultiCastForecasterTest, QuantileBandsWorkUnderSax) {
+  MultiCastOptions opts;
+  opts.num_samples = 5;
+  opts.quantiles = {0.25, 0.75};
+  opts.quantization = Quantization::kSaxAlphabetic;
+  opts.sax_segment_length = 3;
+  MultiCastForecaster f(opts);
+  auto result = f.Forecast(PeriodicFrame(72), 6).ValueOrDie();
+  ASSERT_EQ(result.quantile_bands.size(), 2u);
+  EXPECT_EQ(result.quantile_bands[0].second.length(), 6u);
+}
+
+TEST(MultiCastForecasterTest, BadQuantileLevelRejected) {
+  MultiCastOptions opts;
+  opts.num_samples = 3;
+  opts.quantiles = {1.5};
+  MultiCastForecaster f(opts);
+  EXPECT_FALSE(f.Forecast(PeriodicFrame(48), 4).ok());
+}
+
+TEST(MultiCastForecasterTest, NoQuantilesByDefault) {
+  MultiCastOptions opts;
+  opts.num_samples = 2;
+  MultiCastForecaster f(opts);
+  auto result = f.Forecast(PeriodicFrame(48), 4).ValueOrDie();
+  EXPECT_TRUE(result.quantile_bands.empty());
+}
+
+TEST(MultiCastForecasterTest, SingleDimensionSupported) {
+  std::vector<double> v;
+  for (int i = 0; i < 60; ++i) v.push_back(std::sin(i * 0.5) * 3 + 5);
+  ts::Frame uni =
+      ts::Frame::FromSeries({ts::Series(v, "solo")}, "uni").ValueOrDie();
+  MultiCastOptions opts;
+  opts.num_samples = 2;
+  MultiCastForecaster f(opts);
+  auto result = f.Forecast(uni, 6);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().forecast.num_dims(), 1u);
+}
+
+TEST(MultiCastForecasterTest, FourDigitsSupported) {
+  MultiCastOptions opts;
+  opts.digits = 4;
+  opts.num_samples = 2;
+  MultiCastForecaster f(opts);
+  auto result = f.Forecast(PeriodicFrame(60), 4);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+}
+
+}  // namespace
+}  // namespace forecast
+}  // namespace multicast

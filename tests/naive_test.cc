@@ -1,0 +1,96 @@
+#include "baselines/naive.h"
+
+#include <gtest/gtest.h>
+
+namespace multicast {
+namespace baselines {
+namespace {
+
+ts::Frame RampFrame() {
+  std::vector<double> a = {1, 2, 3, 4, 5, 6};
+  std::vector<double> b = {10, 20, 30, 40, 50, 60};
+  return ts::Frame::FromSeries({ts::Series(a, "a"), ts::Series(b, "b")},
+                               "ramp")
+      .ValueOrDie();
+}
+
+TEST(NaiveLastTest, RepeatsLastValue) {
+  NaiveLastForecaster f;
+  EXPECT_EQ(f.name(), "NaiveLast");
+  auto r = f.Forecast(RampFrame(), 3);
+  ASSERT_TRUE(r.ok());
+  for (size_t t = 0; t < 3; ++t) {
+    EXPECT_DOUBLE_EQ(r.value().forecast.at(0, t), 6.0);
+    EXPECT_DOUBLE_EQ(r.value().forecast.at(1, t), 60.0);
+  }
+}
+
+TEST(NaiveLastTest, RejectsZeroHorizon) {
+  NaiveLastForecaster f;
+  EXPECT_FALSE(f.Forecast(RampFrame(), 0).ok());
+}
+
+TEST(SeasonalNaiveTest, RepeatsSeason) {
+  SeasonalNaiveForecaster f(3);
+  auto r = f.Forecast(RampFrame(), 5);
+  ASSERT_TRUE(r.ok());
+  // Last season of dim a is {4, 5, 6}.
+  EXPECT_DOUBLE_EQ(r.value().forecast.at(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(r.value().forecast.at(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(r.value().forecast.at(0, 2), 6.0);
+  EXPECT_DOUBLE_EQ(r.value().forecast.at(0, 3), 4.0);
+  EXPECT_DOUBLE_EQ(r.value().forecast.at(0, 4), 5.0);
+}
+
+TEST(SeasonalNaiveTest, ExactOnPerfectlyPeriodicData) {
+  std::vector<double> v = {1, 2, 3, 1, 2, 3, 1, 2, 3};
+  ts::Frame frame =
+      ts::Frame::FromSeries({ts::Series(v, "p")}, "per").ValueOrDie();
+  SeasonalNaiveForecaster f(3);
+  auto r = f.Forecast(frame, 6);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().forecast.dim(0).values(),
+            (std::vector<double>{1, 2, 3, 1, 2, 3}));
+}
+
+TEST(SeasonalNaiveTest, RejectsBadPeriod) {
+  SeasonalNaiveForecaster zero(0);
+  EXPECT_FALSE(zero.Forecast(RampFrame(), 2).ok());
+  SeasonalNaiveForecaster huge(100);
+  EXPECT_FALSE(huge.Forecast(RampFrame(), 2).ok());
+}
+
+TEST(DriftTest, ExtendsLine) {
+  DriftForecaster f;
+  auto r = f.Forecast(RampFrame(), 3);
+  ASSERT_TRUE(r.ok());
+  // Slope of dim a is exactly 1 per step.
+  EXPECT_DOUBLE_EQ(r.value().forecast.at(0, 0), 7.0);
+  EXPECT_DOUBLE_EQ(r.value().forecast.at(0, 2), 9.0);
+  EXPECT_DOUBLE_EQ(r.value().forecast.at(1, 2), 90.0);
+}
+
+TEST(DriftTest, FlatSeriesStaysFlat) {
+  std::vector<double> v(10, 4.5);
+  ts::Frame frame =
+      ts::Frame::FromSeries({ts::Series(v, "flat")}, "f").ValueOrDie();
+  DriftForecaster f;
+  auto r = f.Forecast(frame, 4);
+  ASSERT_TRUE(r.ok());
+  for (size_t t = 0; t < 4; ++t) {
+    EXPECT_DOUBLE_EQ(r.value().forecast.at(0, t), 4.5);
+  }
+}
+
+TEST(NaiveForecastersTest, NoTokensUsed) {
+  NaiveLastForecaster naive;
+  DriftForecaster drift;
+  auto r1 = naive.Forecast(RampFrame(), 2).ValueOrDie();
+  auto r2 = drift.Forecast(RampFrame(), 2).ValueOrDie();
+  EXPECT_EQ(r1.ledger.total(), 0u);
+  EXPECT_EQ(r2.ledger.total(), 0u);
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace multicast

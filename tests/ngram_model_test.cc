@@ -1,0 +1,165 @@
+#include "lm/ngram_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace multicast {
+namespace lm {
+namespace {
+
+std::vector<token::TokenId> Repeat(const std::vector<token::TokenId>& motif,
+                                   int times) {
+  std::vector<token::TokenId> out;
+  for (int i = 0; i < times; ++i) {
+    out.insert(out.end(), motif.begin(), motif.end());
+  }
+  return out;
+}
+
+TEST(NGramModelTest, FreshModelIsUniform) {
+  NGramLanguageModel model(4, NGramOptions{});
+  std::vector<double> p = model.NextDistribution();
+  ASSERT_EQ(p.size(), 4u);
+  for (double v : p) EXPECT_NEAR(v, 0.25, 1e-9);
+}
+
+TEST(NGramModelTest, DistributionSumsToOne) {
+  NGramLanguageModel model(11, NGramOptions{});
+  model.ObserveAll(Repeat({0, 1, 2, 3, 10}, 20));
+  std::vector<double> p = model.NextDistribution();
+  double sum = 0.0;
+  for (double v : p) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(NGramModelTest, AllProbabilitiesStrictlyPositive) {
+  // Witten–Bell + uniform floor must never zero a token out, or the
+  // constrained sampler could face an empty support.
+  NGramOptions opts;
+  opts.uniform_mix = 1e-4;
+  NGramLanguageModel model(11, opts);
+  model.ObserveAll(Repeat({5, 5, 5, 5}, 50));
+  std::vector<double> p = model.NextDistribution();
+  for (double v : p) EXPECT_GT(v, 0.0);
+}
+
+TEST(NGramModelTest, LearnsDeterministicCycle) {
+  // After seeing "0 1 2 0 1 2 ..." many times, the model should assign
+  // high probability to the cycle's continuation.
+  NGramLanguageModel model(4, NGramOptions{});
+  model.ObserveAll(Repeat({0, 1, 2}, 30));
+  // Context ends ...0 1 2; next should be 0.
+  std::vector<double> p = model.NextDistribution();
+  EXPECT_GT(p[0], 0.8);
+  model.Observe(0);
+  p = model.NextDistribution();
+  EXPECT_GT(p[1], 0.8);
+}
+
+TEST(NGramModelTest, LongerContextDisambiguates) {
+  // Motif: 0 1 9 / 2 1 7 — after "1", the next depends on the token two
+  // back, which only an order >= 2 model can capture.
+  std::vector<token::TokenId> motif = {0, 1, 9, 2, 1, 7};
+  NGramOptions deep;
+  deep.max_order = 4;
+  NGramLanguageModel model(10, deep);
+  model.ObserveAll(Repeat(motif, 30));
+  // Advance into the cycle so the context ends "... 9 2 1".
+  model.ObserveAll({0, 1, 9, 2, 1});
+  // Context ends ...2 1 -> expect 7.
+  std::vector<double> p = model.NextDistribution();
+  EXPECT_GT(p[7], 0.7);
+  EXPECT_LT(p[9], 0.3);
+}
+
+TEST(NGramModelTest, OrderOneCannotDisambiguate) {
+  std::vector<token::TokenId> motif = {0, 1, 9, 2, 1, 7};
+  NGramOptions shallow;
+  shallow.max_order = 1;
+  NGramLanguageModel model(10, shallow);
+  model.ObserveAll(Repeat(motif, 30));
+  model.ObserveAll({0, 1, 9, 2, 1});
+  std::vector<double> p = model.NextDistribution();
+  // After "1" an order-1 model sees 9 and 7 equally often.
+  EXPECT_NEAR(p[7], p[9], 0.05);
+}
+
+TEST(NGramModelTest, ResetClearsEverything) {
+  NGramLanguageModel model(4, NGramOptions{});
+  model.ObserveAll(Repeat({0, 1}, 20));
+  model.Reset();
+  EXPECT_EQ(model.context_length(), 0u);
+  std::vector<double> p = model.NextDistribution();
+  for (double v : p) EXPECT_NEAR(v, 0.25, 1e-9);
+}
+
+TEST(NGramModelTest, ContextLengthCounts) {
+  NGramLanguageModel model(4, NGramOptions{});
+  model.ObserveAll({0, 1, 2});
+  EXPECT_EQ(model.context_length(), 3u);
+}
+
+TEST(NGramModelTest, NumEntriesGrowsWithNovelty) {
+  NGramLanguageModel repeat_model(8, NGramOptions{});
+  repeat_model.ObserveAll(Repeat({0, 1}, 40));
+  NGramLanguageModel varied_model(8, NGramOptions{});
+  std::vector<token::TokenId> varied;
+  for (int i = 0; i < 80; ++i) {
+    varied.push_back(static_cast<token::TokenId>((i * 5 + i / 7) % 8));
+  }
+  varied_model.ObserveAll(varied);
+  EXPECT_GT(varied_model.num_entries(), repeat_model.num_entries());
+}
+
+TEST(NGramModelTest, BackoffBoostFlattens) {
+  auto peak_prob = [](double boost) {
+    NGramOptions opts;
+    opts.backoff_boost = boost;
+    NGramLanguageModel model(10, opts);
+    model.ObserveAll(Repeat({3, 4, 5}, 30));
+    return model.NextDistribution()[3];  // continuation of the cycle
+  };
+  EXPECT_GT(peak_prob(0.0), peak_prob(5.0));
+}
+
+TEST(NGramModelTest, UniformMixRaisesFloor) {
+  auto min_prob = [](double mix) {
+    NGramOptions opts;
+    opts.uniform_mix = mix;
+    NGramLanguageModel model(10, opts);
+    model.ObserveAll(Repeat({3, 4, 5}, 50));
+    std::vector<double> p = model.NextDistribution();
+    double lo = 1.0;
+    for (double v : p) lo = std::min(lo, v);
+    return lo;
+  };
+  EXPECT_GT(min_prob(0.05), min_prob(0.0));
+  EXPECT_GE(min_prob(0.05), 0.05 / 10 * 0.9);
+}
+
+TEST(NGramModelTest, UnseenContextFallsBackGracefully) {
+  NGramLanguageModel model(10, NGramOptions{});
+  model.ObserveAll(Repeat({1, 2, 3}, 20));
+  // Feed a context never seen: falls back toward unigram stats, which
+  // favor the motif tokens over never-seen tokens.
+  model.Observe(9);
+  model.Observe(8);
+  std::vector<double> p = model.NextDistribution();
+  double motif_mass = p[1] + p[2] + p[3];
+  double unseen_mass = p[0] + p[4] + p[5] + p[6] + p[7];
+  EXPECT_GT(motif_mass, unseen_mass);
+}
+
+TEST(NGramModelTest, MaxOrderTwelveSupported) {
+  NGramOptions opts;
+  opts.max_order = 12;
+  NGramLanguageModel model(31, opts);
+  model.ObserveAll(Repeat({0, 30, 15, 7, 22, 1, 9, 28, 4, 11, 19, 3}, 10));
+  std::vector<double> p = model.NextDistribution();
+  EXPECT_GT(p[0], 0.5);  // period-12 cycle continuation
+}
+
+}  // namespace
+}  // namespace lm
+}  // namespace multicast

@@ -1,0 +1,92 @@
+#include "sax/paa.h"
+
+#include <gtest/gtest.h>
+
+namespace multicast {
+namespace sax {
+namespace {
+
+TEST(PaaTest, AveragesBlocks) {
+  auto r = Paa({1.0, 3.0, 5.0, 7.0}, 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), (std::vector<double>{2.0, 6.0}));
+}
+
+TEST(PaaTest, PartialFinalBlock) {
+  auto r = Paa({1.0, 3.0, 5.0}, 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), (std::vector<double>{2.0, 5.0}));
+}
+
+TEST(PaaTest, SegmentLengthOneIsIdentity) {
+  std::vector<double> v = {1.0, 2.0, 3.0};
+  auto r = Paa(v, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), v);
+}
+
+TEST(PaaTest, SegmentLongerThanSeries) {
+  auto r = Paa({1.0, 2.0, 3.0}, 10);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), (std::vector<double>{2.0}));
+}
+
+TEST(PaaTest, RejectsBadInput) {
+  EXPECT_FALSE(Paa({}, 2).ok());
+  EXPECT_FALSE(Paa({1.0}, 0).ok());
+  EXPECT_FALSE(Paa({1.0}, -1).ok());
+}
+
+TEST(PaaTest, PreservesGlobalMean) {
+  std::vector<double> v;
+  for (int i = 0; i < 12; ++i) v.push_back(static_cast<double>(i));
+  auto segs = Paa(v, 3);
+  ASSERT_TRUE(segs.ok());
+  double mean_orig = 0.0, mean_seg = 0.0;
+  for (double x : v) mean_orig += x;
+  for (double x : segs.value()) mean_seg += x;
+  EXPECT_NEAR(mean_orig / v.size(), mean_seg / segs.value().size(), 1e-12);
+}
+
+TEST(PaaInverseTest, ExpandsSteps) {
+  auto r = PaaInverse({2.0, 6.0}, 2, 4);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), (std::vector<double>{2.0, 2.0, 6.0, 6.0}));
+}
+
+TEST(PaaInverseTest, TruncatesToOriginalLength) {
+  auto r = PaaInverse({2.0, 5.0}, 2, 3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), (std::vector<double>{2.0, 2.0, 5.0}));
+}
+
+TEST(PaaInverseTest, RejectsInsufficientSegments) {
+  EXPECT_FALSE(PaaInverse({1.0}, 2, 4).ok());
+  EXPECT_FALSE(PaaInverse({1.0}, 0, 1).ok());
+}
+
+TEST(PaaRoundTrip, ConstantSeriesIsExact) {
+  std::vector<double> v(10, 3.5);
+  auto segs = Paa(v, 3);
+  ASSERT_TRUE(segs.ok());
+  auto back = PaaInverse(segs.value(), 3, v.size());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), v);
+}
+
+TEST(PaaRoundTrip, ErrorBoundedByBlockVariation) {
+  // Reconstruction error per point is at most the in-block value range.
+  std::vector<double> v;
+  for (int i = 0; i < 30; ++i) v.push_back(i * 0.5);
+  auto segs = Paa(v, 3);
+  ASSERT_TRUE(segs.ok());
+  auto back = PaaInverse(segs.value(), 3, v.size());
+  ASSERT_TRUE(back.ok());
+  for (size_t i = 0; i < v.size(); ++i) {
+    EXPECT_LE(std::abs(back.value()[i] - v[i]), 1.0);  // range per block
+  }
+}
+
+}  // namespace
+}  // namespace sax
+}  // namespace multicast

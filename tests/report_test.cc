@@ -1,0 +1,75 @@
+#include "eval/report.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/naive.h"
+#include "data/datasets.h"
+
+namespace multicast {
+namespace eval {
+namespace {
+
+std::vector<MethodRun> TwoRuns() {
+  MethodRun a;
+  a.method = "MethodA";
+  a.rmse_per_dim = {0.781, 4.639};
+  MethodRun b;
+  b.method = "MethodB";
+  b.rmse_per_dim = {0.92, 2.63};
+  return {a, b};
+}
+
+TEST(RenderRmseTableTest, ContainsAllCells) {
+  std::string out = RenderRmseTable("Table X", {"GasRate", "CO2"},
+                                    TwoRuns());
+  EXPECT_NE(out.find("Table X"), std::string::npos);
+  EXPECT_NE(out.find("MethodA"), std::string::npos);
+  EXPECT_NE(out.find("0.781"), std::string::npos);
+  EXPECT_NE(out.find("2.63"), std::string::npos);
+}
+
+TEST(RenderRmseTableTest, MarksBestPerColumn) {
+  std::string out = RenderRmseTable("", {"d0", "d1"}, TwoRuns());
+  // MethodA wins d0 (0.781 < 0.92), MethodB wins d1 (2.63 < 4.639).
+  EXPECT_NE(out.find("0.781 *"), std::string::npos);
+  EXPECT_NE(out.find("2.63 *"), std::string::npos);
+  EXPECT_EQ(out.find("0.92 *"), std::string::npos);
+}
+
+TEST(RenderRmseTableTest, PaperColumnShown) {
+  std::string out = RenderRmseTable("", {"d0", "d1"}, TwoRuns(),
+                                    {{0.7, 4.0}, {0.9, 2.6}});
+  EXPECT_NE(out.find("(paper 0.7)"), std::string::npos);
+  EXPECT_NE(out.find("(paper 2.6)"), std::string::npos);
+}
+
+TEST(RenderRmseTableTest, ShortRunsPadded) {
+  MethodRun partial;
+  partial.method = "OnlyOneDim";
+  partial.rmse_per_dim = {1.0};
+  std::string out = RenderRmseTable("", {"d0", "d1"}, {partial});
+  EXPECT_NE(out.find("OnlyOneDim"), std::string::npos);
+  EXPECT_NE(out.find("-"), std::string::npos);
+}
+
+TEST(RenderForecastFigureTest, OverlayContainsAllSeries) {
+  auto frame = data::MakeGasRate().ValueOrDie();
+  auto split = ts::SplitHorizon(frame, 24).ValueOrDie();
+  baselines::DriftForecaster drift;
+  auto run = RunMethod(&drift, split).ValueOrDie();
+  std::string out = RenderForecastFigure("Fig. test", split, 0, run);
+  EXPECT_NE(out.find("Fig. test"), std::string::npos);
+  EXPECT_NE(out.find("history"), std::string::npos);
+  EXPECT_NE(out.find("actual"), std::string::npos);
+  EXPECT_NE(out.find("Drift forecast"), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(FormatLedgerTest, Format) {
+  lm::TokenLedger ledger{1320, 84};
+  EXPECT_EQ(FormatLedger(ledger), "1320+84");
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace multicast

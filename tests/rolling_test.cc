@@ -1,0 +1,97 @@
+#include "eval/rolling.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/naive.h"
+#include "data/datasets.h"
+#include "forecast/multicast_forecaster.h"
+
+namespace multicast {
+namespace eval {
+namespace {
+
+TEST(RollingTest, FoldCountAndShapes) {
+  auto frame = data::MakeGasRate().ValueOrDie();
+  baselines::NaiveLastForecaster naive;
+  RollingOptions opts;
+  opts.horizon = 10;
+  opts.stride = 20;
+  opts.folds = 4;
+  auto result = RollingOriginEvaluate(&naive, frame, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().method, "NaiveLast");
+  EXPECT_EQ(result.value().fold_rmse.size(), 4u);
+  ASSERT_EQ(result.value().mean_rmse.size(), 2u);
+  for (size_t d = 0; d < 2; ++d) {
+    EXPECT_GT(result.value().mean_rmse[d], 0.0);
+    EXPECT_GE(result.value().stddev_rmse[d], 0.0);
+  }
+}
+
+TEST(RollingTest, MeanMatchesFolds) {
+  auto frame = data::MakeElectricity().ValueOrDie();
+  baselines::DriftForecaster drift;
+  RollingOptions opts;
+  opts.horizon = 8;
+  opts.stride = 16;
+  opts.folds = 3;
+  auto result = RollingOriginEvaluate(&drift, frame, opts).ValueOrDie();
+  for (size_t d = 0; d < 3; ++d) {
+    double sum = 0.0;
+    for (const auto& fold : result.fold_rmse) sum += fold[d];
+    EXPECT_NEAR(result.mean_rmse[d], sum / 3.0, 1e-12);
+  }
+}
+
+TEST(RollingTest, SingleFoldMatchesRunMethod) {
+  auto frame = data::MakeGasRate().ValueOrDie();
+  baselines::NaiveLastForecaster naive;
+  RollingOptions opts;
+  opts.horizon = 12;
+  opts.folds = 1;
+  auto rolling = RollingOriginEvaluate(&naive, frame, opts).ValueOrDie();
+  auto split = ts::SplitHorizon(frame, 12).ValueOrDie();
+  auto single = RunMethod(&naive, split).ValueOrDie();
+  for (size_t d = 0; d < 2; ++d) {
+    EXPECT_NEAR(rolling.mean_rmse[d], single.rmse_per_dim[d], 1e-12);
+    EXPECT_NEAR(rolling.stddev_rmse[d], 0.0, 1e-12);
+  }
+}
+
+TEST(RollingTest, LedgerAccumulatesAcrossFolds) {
+  auto frame = data::MakeGasRate().ValueOrDie();
+  forecast::MultiCastOptions mc;
+  mc.num_samples = 2;
+  forecast::MultiCastForecaster f(mc);
+  RollingOptions opts;
+  opts.horizon = 6;
+  opts.stride = 12;
+  opts.folds = 2;
+  auto result = RollingOriginEvaluate(&f, frame, opts).ValueOrDie();
+  EXPECT_GT(result.ledger.prompt_tokens, 0u);
+  // Two folds of a sampled LLM run: more tokens than any single fold.
+  forecast::MultiCastForecaster single(mc);
+  auto split = ts::SplitHorizon(frame, 6).ValueOrDie();
+  auto one = RunMethod(&single, split).ValueOrDie();
+  EXPECT_GT(result.ledger.total(), one.ledger.total());
+}
+
+TEST(RollingTest, RejectsTooManyFolds) {
+  auto frame = data::MakeWeather().ValueOrDie();  // length 217
+  baselines::NaiveLastForecaster naive;
+  RollingOptions opts;
+  opts.horizon = 40;
+  opts.stride = 40;
+  opts.folds = 6;  // needs 240 + min_train
+  EXPECT_FALSE(RollingOriginEvaluate(&naive, frame, opts).ok());
+  opts.folds = 0;
+  EXPECT_FALSE(RollingOriginEvaluate(&naive, frame, opts).ok());
+  EXPECT_FALSE(
+      RollingOriginEvaluate(nullptr, frame, RollingOptions{}).ok());
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace multicast

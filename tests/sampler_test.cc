@@ -1,0 +1,202 @@
+#include "lm/sampler.h"
+
+#include <gtest/gtest.h>
+
+namespace multicast {
+namespace lm {
+namespace {
+
+TEST(GreedyTest, PicksArgmaxWithinMask) {
+  std::vector<double> p = {0.1, 0.6, 0.3};
+  std::vector<bool> all(3, true);
+  EXPECT_EQ(GreedyToken(p, all).ValueOrDie(), 1);
+  std::vector<bool> no_mid = {true, false, true};
+  EXPECT_EQ(GreedyToken(p, no_mid).ValueOrDie(), 2);
+}
+
+TEST(GreedyTest, FailsWhenMaskKillsSupport) {
+  std::vector<double> p = {0.5, 0.5, 0.0};
+  std::vector<bool> only_zero_prob = {false, false, true};
+  EXPECT_FALSE(GreedyToken(p, only_zero_prob).ok());
+  std::vector<bool> none(3, false);
+  EXPECT_FALSE(GreedyToken(p, none).ok());
+}
+
+TEST(SamplerTest, ShapeMismatchRejected) {
+  Rng rng(1);
+  SamplerOptions opts;
+  EXPECT_FALSE(SampleToken({0.5, 0.5}, {true}, opts, &rng).ok());
+  EXPECT_FALSE(SampleToken({}, {}, opts, &rng).ok());
+}
+
+TEST(SamplerTest, NeverSamplesMaskedToken) {
+  Rng rng(7);
+  SamplerOptions opts;
+  opts.temperature = 1.0;
+  std::vector<double> p = {0.3, 0.3, 0.4};
+  std::vector<bool> mask = {true, false, true};
+  for (int i = 0; i < 2000; ++i) {
+    auto t = SampleToken(p, mask, opts, &rng);
+    ASSERT_TRUE(t.ok());
+    EXPECT_NE(t.value(), 1);
+  }
+}
+
+TEST(SamplerTest, TemperatureOneMatchesDistribution) {
+  Rng rng(11);
+  SamplerOptions opts;
+  opts.temperature = 1.0;
+  std::vector<double> p = {0.2, 0.5, 0.3};
+  std::vector<bool> all(3, true);
+  std::vector<int> counts(3, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[SampleToken(p, all, opts, &rng).ValueOrDie()];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.2, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.5, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.3, 0.02);
+}
+
+TEST(SamplerTest, LowTemperatureSharpens) {
+  Rng rng(13);
+  SamplerOptions opts;
+  opts.temperature = 0.25;
+  std::vector<double> p = {0.4, 0.6};
+  std::vector<bool> all(2, true);
+  int ones = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    ones += SampleToken(p, all, opts, &rng).ValueOrDie();
+  }
+  // (0.6/0.4)^4 ~ 5x ratio -> p(1) ~ 0.835.
+  EXPECT_GT(ones / static_cast<double>(n), 0.75);
+}
+
+TEST(SamplerTest, HighTemperatureFlattens) {
+  Rng rng(17);
+  SamplerOptions opts;
+  opts.temperature = 10.0;
+  std::vector<double> p = {0.1, 0.9};
+  std::vector<bool> all(2, true);
+  int ones = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    ones += SampleToken(p, all, opts, &rng).ValueOrDie();
+  }
+  EXPECT_LT(ones / static_cast<double>(n), 0.65);
+  EXPECT_GT(ones / static_cast<double>(n), 0.45);
+}
+
+TEST(SamplerTest, ZeroTemperatureIsGreedy) {
+  Rng rng(19);
+  SamplerOptions opts;
+  opts.temperature = 0.0;
+  std::vector<double> p = {0.2, 0.5, 0.3};
+  std::vector<bool> all(3, true);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(SampleToken(p, all, opts, &rng).ValueOrDie(), 1);
+  }
+}
+
+TEST(SamplerTest, TopKRestrictsSupport) {
+  Rng rng(23);
+  SamplerOptions opts;
+  opts.temperature = 1.0;
+  opts.top_k = 2;
+  std::vector<double> p = {0.05, 0.5, 0.05, 0.4};
+  std::vector<bool> all(4, true);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 5000; ++i) {
+    ++counts[SampleToken(p, all, opts, &rng).ValueOrDie()];
+  }
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_GT(counts[1], 0);
+  EXPECT_GT(counts[3], 0);
+}
+
+TEST(SamplerTest, TopPKeepsNucleusOnly) {
+  Rng rng(41);
+  SamplerOptions opts;
+  opts.temperature = 1.0;
+  opts.top_p = 0.8;
+  // Sorted weights 0.5, 0.3, 0.15, 0.05: nucleus at 0.8 keeps {0, 1}.
+  std::vector<double> p = {0.5, 0.3, 0.15, 0.05};
+  std::vector<bool> all(4, true);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 5000; ++i) {
+    ++counts[SampleToken(p, all, opts, &rng).ValueOrDie()];
+  }
+  EXPECT_GT(counts[0], 0);
+  EXPECT_GT(counts[1], 0);
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_EQ(counts[3], 0);
+}
+
+TEST(SamplerTest, TopPOneKeepsEverything) {
+  Rng rng(43);
+  SamplerOptions opts;
+  opts.temperature = 1.0;
+  opts.top_p = 0.9999;  // nucleus covers all but a sliver
+  std::vector<double> p = {0.4, 0.3, 0.2, 0.1};
+  std::vector<bool> all(4, true);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 20000; ++i) {
+    ++counts[SampleToken(p, all, opts, &rng).ValueOrDie()];
+  }
+  for (int c : counts) EXPECT_GT(c, 0);
+}
+
+TEST(SamplerTest, TopPRespectsMask) {
+  Rng rng(47);
+  SamplerOptions opts;
+  opts.top_p = 0.5;
+  std::vector<double> p = {0.9, 0.05, 0.05};
+  std::vector<bool> mask = {false, true, true};
+  for (int i = 0; i < 500; ++i) {
+    auto t = SampleToken(p, mask, opts, &rng);
+    ASSERT_TRUE(t.ok());
+    EXPECT_NE(t.value(), 0);
+  }
+}
+
+TEST(SamplerTest, LogitBiasSkewsUp) {
+  Rng rng(53);
+  SamplerOptions biased;
+  biased.temperature = 1.0;
+  biased.logit_bias_slope = 2.0;
+  std::vector<double> p(10, 0.1);
+  std::vector<bool> all(10, true);
+  double mean = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    mean += SampleToken(p, all, biased, &rng).ValueOrDie();
+  }
+  mean /= n;
+  // Uniform would give 4.5; positive slope pushes toward 9.
+  EXPECT_GT(mean, 5.5);
+}
+
+TEST(SamplerTest, FailsWhenAllowedMassIsZero) {
+  Rng rng(29);
+  SamplerOptions opts;
+  std::vector<double> p = {1.0, 0.0};
+  std::vector<bool> only_second = {false, true};
+  EXPECT_FALSE(SampleToken(p, only_second, opts, &rng).ok());
+}
+
+TEST(SamplerTest, DeterministicGivenSeed) {
+  SamplerOptions opts;
+  std::vector<double> p = {0.25, 0.25, 0.25, 0.25};
+  std::vector<bool> all(4, true);
+  Rng a(31), b(31);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(SampleToken(p, all, opts, &a).ValueOrDie(),
+              SampleToken(p, all, opts, &b).ValueOrDie());
+  }
+}
+
+}  // namespace
+}  // namespace lm
+}  // namespace multicast

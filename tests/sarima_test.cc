@@ -1,0 +1,188 @@
+#include "baselines/sarima.h"
+
+#include "baselines/arima.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/metrics.h"
+#include "ts/split.h"
+#include "ts/transforms.h"
+#include "util/random.h"
+
+namespace multicast {
+namespace baselines {
+namespace {
+
+std::vector<double> SeasonalSeries(size_t n, size_t period, double noise,
+                                   uint64_t seed, double trend = 0.0) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = 20.0 + trend * static_cast<double>(i) +
+           6.0 * std::sin(2.0 * M_PI * static_cast<double>(i) /
+                          static_cast<double>(period)) +
+           rng.NextGaussian(0.0, noise);
+  }
+  return v;
+}
+
+TEST(SeasonalDifferenceTest, RoundTrip) {
+  std::vector<double> v = SeasonalSeries(60, 12, 1.0, 1);
+  for (int D : {1, 2}) {
+    std::vector<double> heads;
+    auto diffed = ts::SeasonalDifferenceWithHeads(v, 12, D, &heads);
+    ASSERT_TRUE(diffed.ok());
+    EXPECT_EQ(heads.size(), 12u * static_cast<size_t>(D));
+    EXPECT_EQ(diffed.value().size(), v.size() - 12 * static_cast<size_t>(D));
+    auto back = ts::SeasonalUndifference(diffed.value(), 12, heads);
+    ASSERT_TRUE(back.ok());
+    ASSERT_EQ(back.value().size(), v.size());
+    for (size_t i = 0; i < v.size(); ++i) {
+      EXPECT_NEAR(back.value()[i], v[i], 1e-9);
+    }
+  }
+}
+
+TEST(SeasonalDifferenceTest, RemovesPureSeason) {
+  // A perfectly periodic series seasonally differences to zeros.
+  std::vector<double> v;
+  for (int i = 0; i < 48; ++i) v.push_back((i % 8) * 1.5);
+  std::vector<double> heads;
+  auto diffed = ts::SeasonalDifferenceWithHeads(v, 8, 1, &heads);
+  ASSERT_TRUE(diffed.ok());
+  for (double x : diffed.value()) EXPECT_NEAR(x, 0.0, 1e-12);
+}
+
+TEST(SeasonalDifferenceTest, RejectsBadArgs) {
+  std::vector<double> v(10, 1.0);
+  std::vector<double> heads;
+  EXPECT_FALSE(ts::SeasonalDifferenceWithHeads(v, 0, 1, &heads).ok());
+  EXPECT_FALSE(ts::SeasonalDifferenceWithHeads(v, 12, 1, &heads).ok());
+  EXPECT_FALSE(ts::SeasonalDifferenceWithHeads(v, 5, -1, &heads).ok());
+  EXPECT_FALSE(ts::SeasonalUndifference(v, 0, {}).ok());
+  EXPECT_FALSE(ts::SeasonalUndifference(v, 4, {1.0, 2.0, 3.0}).ok());
+}
+
+TEST(SarimaTest, TracksSeasonalSignal) {
+  std::vector<double> v = SeasonalSeries(240, 12, 0.5, 2);
+  SarimaOptions opts;
+  opts.period = 12;
+  auto model = SarimaModel::Fit(v, opts);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  auto fc = model.value().Forecast(24).ValueOrDie();
+  double ss = 0.0;
+  for (size_t h = 0; h < 24; ++h) {
+    double truth = 20.0 + 6.0 * std::sin(2.0 * M_PI * (240.0 + h) / 12.0);
+    ss += (fc[h] - truth) * (fc[h] - truth);
+  }
+  EXPECT_LT(std::sqrt(ss / 24.0), 1.5);
+}
+
+TEST(SarimaTest, HandlesTrendPlusSeason) {
+  std::vector<double> v = SeasonalSeries(240, 12, 0.4, 3, /*trend=*/0.2);
+  SarimaOptions opts;
+  opts.period = 12;
+  opts.d = 1;  // regular differencing for the trend
+  auto model = SarimaModel::Fit(v, opts);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  auto fc = model.value().Forecast(12).ValueOrDie();
+  for (size_t h = 0; h < 12; ++h) {
+    double truth = 20.0 + 0.2 * (240.0 + h) +
+                   6.0 * std::sin(2.0 * M_PI * (240.0 + h) / 12.0);
+    EXPECT_NEAR(fc[h], truth, 3.0) << "h=" << h;
+  }
+}
+
+TEST(SarimaTest, BeatsPlainArimaOnSeasonalData) {
+  std::vector<double> v = SeasonalSeries(240, 16, 0.6, 4);
+  ts::Frame frame =
+      ts::Frame::FromSeries({ts::Series(v, "s")}, "seasonal").ValueOrDie();
+  auto split = ts::SplitHorizon(frame, 16).ValueOrDie();
+
+  SarimaOptions sopts;
+  sopts.period = 16;
+  SarimaForecaster sarima(sopts);
+  ArimaOptions aopts;  // defaults: (2,1,1), no seasonal terms
+  ArimaForecaster arima(aopts);
+
+  auto s_run = sarima.Forecast(split.train, 16).ValueOrDie();
+  auto a_run = arima.Forecast(split.train, 16).ValueOrDie();
+  double s_rmse = metrics::Rmse(split.test.dim(0).values(),
+                                s_run.forecast.dim(0).values())
+                      .ValueOrDie();
+  double a_rmse = metrics::Rmse(split.test.dim(0).values(),
+                                a_run.forecast.dim(0).values())
+                      .ValueOrDie();
+  EXPECT_LT(s_rmse, a_rmse * 0.6);
+}
+
+TEST(SarimaTest, AutoPeriodFindsSeason) {
+  std::vector<double> v = SeasonalSeries(240, 12, 0.5, 5);
+  ts::Frame frame =
+      ts::Frame::FromSeries({ts::Series(v, "s")}, "auto").ValueOrDie();
+  auto split = ts::SplitHorizon(frame, 12).ValueOrDie();
+  SarimaOptions opts;
+  opts.period = 99;  // wrong on purpose; auto detection must override
+  opts.auto_period = true;
+  SarimaForecaster f(opts);
+  auto run = f.Forecast(split.train, 12).ValueOrDie();
+  double rmse = metrics::Rmse(split.test.dim(0).values(),
+                              run.forecast.dim(0).values())
+                    .ValueOrDie();
+  EXPECT_LT(rmse, 2.0);
+}
+
+TEST(SarimaTest, AutoPeriodFallsBackOnAperiodicData) {
+  Rng rng(6);
+  std::vector<double> v;
+  double level = 10.0;
+  for (int i = 0; i < 120; ++i) {
+    level += rng.NextGaussian(0.0, 0.5);
+    v.push_back(level);
+  }
+  ts::Frame frame =
+      ts::Frame::FromSeries({ts::Series(v, "walk")}, "rw").ValueOrDie();
+  SarimaOptions opts;
+  opts.auto_period = true;
+  SarimaForecaster f(opts);
+  auto run = f.Forecast(frame, 6);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+}
+
+TEST(SarimaTest, RejectsBadInputs) {
+  std::vector<double> v = SeasonalSeries(60, 12, 0.5, 7);
+  SarimaOptions neg;
+  neg.p = -1;
+  EXPECT_FALSE(SarimaModel::Fit(v, neg).ok());
+  SarimaOptions tiny_period;
+  tiny_period.period = 1;
+  EXPECT_FALSE(SarimaModel::Fit(v, tiny_period).ok());
+  std::vector<double> small(10, 1.0);
+  EXPECT_FALSE(SarimaModel::Fit(small, SarimaOptions{}).ok());
+  auto ok = SarimaModel::Fit(v, SarimaOptions{});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_FALSE(ok.value().Forecast(0).ok());
+}
+
+TEST(SarimaForecasterTest, MultivariateShape) {
+  ts::Frame frame = ts::Frame::FromSeries(
+                        {ts::Series(SeasonalSeries(120, 12, 0.5, 8), "a"),
+                         ts::Series(SeasonalSeries(120, 12, 0.5, 9), "b")},
+                        "f")
+                        .ValueOrDie();
+  SarimaOptions opts;
+  opts.period = 12;
+  SarimaForecaster f(opts);
+  EXPECT_EQ(f.name(), "SARIMA");
+  auto run = f.Forecast(frame, 6);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run.value().forecast.num_dims(), 2u);
+  EXPECT_EQ(run.value().forecast.length(), 6u);
+  EXPECT_EQ(run.value().ledger.total(), 0u);
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace multicast

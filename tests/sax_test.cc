@@ -1,0 +1,237 @@
+#include "sax/sax.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sax/gaussian.h"
+#include "util/random.h"
+
+namespace multicast {
+namespace sax {
+namespace {
+
+ts::Series SineSeries(size_t n) {
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = 10.0 + 5.0 * std::sin(2.0 * M_PI * static_cast<double>(i) / 24.0);
+  }
+  return ts::Series(std::move(v), "sine");
+}
+
+TEST(BreakpointsTest, EquiprobableBins) {
+  auto b = GaussianBreakpoints(4);
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(b.value().size(), 3u);
+  // Each bin holds 25% probability mass.
+  EXPECT_NEAR(NormalCdf(b.value()[0]), 0.25, 1e-9);
+  EXPECT_NEAR(NormalCdf(b.value()[1]), 0.50, 1e-9);
+  EXPECT_NEAR(NormalCdf(b.value()[2]), 0.75, 1e-9);
+}
+
+TEST(BreakpointsTest, StrictlyIncreasing) {
+  for (int a : {2, 3, 5, 10, 20, 26}) {
+    auto b = GaussianBreakpoints(a);
+    ASSERT_TRUE(b.ok());
+    for (size_t i = 1; i < b.value().size(); ++i) {
+      EXPECT_LT(b.value()[i - 1], b.value()[i]);
+    }
+  }
+}
+
+TEST(BreakpointsTest, ClassicSizeThreeTable) {
+  // The canonical SAX table: a=3 -> +-0.43.
+  auto b = GaussianBreakpoints(3);
+  ASSERT_TRUE(b.ok());
+  EXPECT_NEAR(b.value()[0], -0.4307, 1e-3);
+  EXPECT_NEAR(b.value()[1], 0.4307, 1e-3);
+}
+
+TEST(BreakpointsTest, RejectsTooSmall) {
+  EXPECT_FALSE(GaussianBreakpoints(1).ok());
+  EXPECT_FALSE(GaussianBreakpoints(0).ok());
+}
+
+TEST(SaxCodecTest, EncodeLengthMatchesSegments) {
+  SaxOptions opts;
+  opts.segment_length = 6;
+  opts.alphabet_size = 5;
+  auto codec = SaxCodec::Fit(SineSeries(60), opts);
+  ASSERT_TRUE(codec.ok());
+  auto word = codec.value().Encode(SineSeries(60).values());
+  ASSERT_TRUE(word.ok());
+  EXPECT_EQ(word.value().size(), 10u);
+  EXPECT_EQ(codec.value().NumSegments(60), 10u);
+  EXPECT_EQ(codec.value().NumSegments(61), 11u);
+}
+
+TEST(SaxCodecTest, SymbolsWithinAlphabet) {
+  SaxOptions opts;
+  opts.segment_length = 3;
+  opts.alphabet_size = 5;
+  auto codec = SaxCodec::Fit(SineSeries(90), opts);
+  ASSERT_TRUE(codec.ok());
+  auto word = codec.value().Encode(SineSeries(90).values());
+  ASSERT_TRUE(word.ok());
+  for (char c : word.value()) {
+    EXPECT_GE(c, 'a');
+    EXPECT_LT(c, 'a' + 5);
+  }
+}
+
+TEST(SaxCodecTest, DigitalSymbols) {
+  SaxOptions opts;
+  opts.segment_length = 3;
+  opts.alphabet_size = 5;
+  opts.symbols = SymbolKind::kDigital;
+  auto codec = SaxCodec::Fit(SineSeries(90), opts);
+  ASSERT_TRUE(codec.ok());
+  auto word = codec.value().Encode(SineSeries(90).values());
+  ASSERT_TRUE(word.ok());
+  for (char c : word.value()) {
+    EXPECT_GE(c, '0');
+    EXPECT_LT(c, '0' + 5);
+  }
+}
+
+TEST(SaxCodecTest, DigitalCapsAtTen) {
+  SaxOptions opts;
+  opts.alphabet_size = 20;
+  opts.symbols = SymbolKind::kDigital;
+  EXPECT_FALSE(SaxCodec::Fit(SineSeries(60), opts).ok());
+  opts.symbols = SymbolKind::kAlphabetic;
+  EXPECT_TRUE(SaxCodec::Fit(SineSeries(60), opts).ok());
+}
+
+TEST(SaxCodecTest, MonotoneValueToSymbol) {
+  // Larger values never map to smaller symbols.
+  SaxOptions opts;
+  opts.segment_length = 1;
+  opts.alphabet_size = 8;
+  ts::Series train = SineSeries(100);
+  auto codec = SaxCodec::Fit(train, opts);
+  ASSERT_TRUE(codec.ok());
+  std::vector<double> ascending;
+  for (int i = 0; i <= 20; ++i) ascending.push_back(5.0 + i * 0.5);
+  auto word = codec.value().Encode(ascending);
+  ASSERT_TRUE(word.ok());
+  for (size_t i = 1; i < word.value().size(); ++i) {
+    EXPECT_LE(word.value()[i - 1], word.value()[i]);
+  }
+}
+
+TEST(SaxCodecTest, DecodeReconstructsApproximately) {
+  SaxOptions opts;
+  opts.segment_length = 1;
+  opts.alphabet_size = 20;
+  ts::Series s = SineSeries(120);
+  auto codec = SaxCodec::Fit(s, opts);
+  ASSERT_TRUE(codec.ok());
+  auto word = codec.value().Encode(s.values());
+  ASSERT_TRUE(word.ok());
+  auto back = codec.value().Decode(word.value(), s.size());
+  ASSERT_TRUE(back.ok());
+  // With 20 bins at segment 1, RMSE should be well under half the
+  // amplitude.
+  double ss = 0.0;
+  for (size_t i = 0; i < s.size(); ++i) {
+    double d = back.value()[i] - s[i];
+    ss += d * d;
+  }
+  EXPECT_LT(std::sqrt(ss / s.size()), 1.0);
+}
+
+TEST(SaxCodecTest, CoarserAlphabetLosesMore) {
+  ts::Series s = SineSeries(120);
+  auto rmse_for = [&](int alpha) {
+    SaxOptions opts;
+    opts.segment_length = 1;
+    opts.alphabet_size = alpha;
+    auto codec = SaxCodec::Fit(s, opts).ValueOrDie();
+    auto word = codec.Encode(s.values()).ValueOrDie();
+    auto back = codec.Decode(word, s.size()).ValueOrDie();
+    double ss = 0.0;
+    for (size_t i = 0; i < s.size(); ++i) {
+      double d = back[i] - s[i];
+      ss += d * d;
+    }
+    return std::sqrt(ss / s.size());
+  };
+  EXPECT_LT(rmse_for(20), rmse_for(5));
+  EXPECT_LT(rmse_for(5), rmse_for(2));
+}
+
+TEST(SaxCodecTest, DecodeRejectsForeignSymbols) {
+  SaxOptions opts;
+  opts.alphabet_size = 3;
+  auto codec = SaxCodec::Fit(SineSeries(30), opts);
+  ASSERT_TRUE(codec.ok());
+  EXPECT_FALSE(codec.value().Decode("abz", 9).ok());
+  EXPECT_FALSE(codec.value().Decode("ab9", 9).ok());
+}
+
+TEST(SaxCodecTest, BinSymbolRoundTrip) {
+  SaxOptions opts;
+  opts.alphabet_size = 7;
+  auto codec = SaxCodec::Fit(SineSeries(30), opts);
+  ASSERT_TRUE(codec.ok());
+  for (int bin = 0; bin < 7; ++bin) {
+    char sym = codec.value().SymbolForBin(bin).ValueOrDie();
+    EXPECT_EQ(codec.value().BinForSymbol(sym).ValueOrDie(), bin);
+  }
+  EXPECT_FALSE(codec.value().SymbolForBin(7).ok());
+  EXPECT_FALSE(codec.value().SymbolForBin(-1).ok());
+}
+
+TEST(SaxCodecTest, BinMeansAreOrderedAndCentered) {
+  SaxOptions opts;
+  opts.alphabet_size = 5;
+  auto codec = SaxCodec::Fit(SineSeries(30), opts);
+  ASSERT_TRUE(codec.ok());
+  const auto& means = codec.value().bin_means();
+  ASSERT_EQ(means.size(), 5u);
+  for (size_t i = 1; i < means.size(); ++i) {
+    EXPECT_LT(means[i - 1], means[i]);
+  }
+  // Symmetric alphabet -> symmetric reconstruction values.
+  EXPECT_NEAR(means[2], 0.0, 1e-9);
+  EXPECT_NEAR(means[0], -means[4], 1e-9);
+}
+
+TEST(SaxCodecTest, RejectsBadOptions) {
+  SaxOptions opts;
+  opts.segment_length = 0;
+  EXPECT_FALSE(SaxCodec::Fit(SineSeries(30), opts).ok());
+  opts = SaxOptions{};
+  opts.alphabet_size = 1;
+  EXPECT_FALSE(SaxCodec::Fit(SineSeries(30), opts).ok());
+  EXPECT_FALSE(SaxCodec::Fit(ts::Series(), SaxOptions{}).ok());
+}
+
+TEST(SaxCodecTest, EncodeRejectsEmpty) {
+  auto codec = SaxCodec::Fit(SineSeries(30), SaxOptions{});
+  ASSERT_TRUE(codec.ok());
+  EXPECT_FALSE(codec.value().Encode({}).ok());
+}
+
+TEST(SaxCodecTest, GaussianDataFillsBinsEqually) {
+  // On N(0,1) data, equiprobable bins should be hit roughly equally.
+  Rng rng(77);
+  std::vector<double> v;
+  for (int i = 0; i < 20000; ++i) v.push_back(rng.NextGaussian());
+  ts::Series s(v, "gauss");
+  SaxOptions opts;
+  opts.segment_length = 1;
+  opts.alphabet_size = 4;
+  auto codec = SaxCodec::Fit(s, opts).ValueOrDie();
+  auto word = codec.Encode(s.values()).ValueOrDie();
+  std::vector<int> counts(4, 0);
+  for (char c : word) ++counts[c - 'a'];
+  for (int c : counts) {
+    EXPECT_NEAR(c / 20000.0, 0.25, 0.02);
+  }
+}
+
+}  // namespace
+}  // namespace sax
+}  // namespace multicast

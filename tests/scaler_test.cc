@@ -1,0 +1,153 @@
+#include "scale/scaler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace multicast {
+namespace scale {
+namespace {
+
+ts::Series Ramp(size_t n, double lo, double hi) {
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = lo + (hi - lo) * static_cast<double>(i) / (n - 1);
+  }
+  return ts::Series(std::move(v), "ramp");
+}
+
+TEST(ScalerTest, FitProducesInRangeValues) {
+  ScalerOptions opts;
+  opts.digits = 2;
+  auto p = FitScaler(Ramp(100, -5.0, 5.0), opts);
+  ASSERT_TRUE(p.ok());
+  auto scaled = ScaleValues(Ramp(100, -5.0, 5.0).values(), p.value());
+  for (int64_t v : scaled) {
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 99);
+  }
+}
+
+TEST(ScalerTest, MinMapsNearZero) {
+  ScalerOptions opts;
+  opts.digits = 3;
+  ts::Series s = Ramp(50, 10.0, 20.0);
+  auto p = FitScaler(s, opts);
+  ASSERT_TRUE(p.ok());
+  auto scaled = ScaleValues({10.0}, p.value());
+  EXPECT_EQ(scaled[0], 0);
+}
+
+TEST(ScalerTest, RoundTripWithinBound) {
+  ScalerOptions opts;
+  opts.digits = 3;
+  ts::Series s = Ramp(200, -7.0, 13.0);
+  auto p = FitScaler(s, opts);
+  ASSERT_TRUE(p.ok());
+  double bound = MaxRoundTripError(p.value());
+  auto scaled = ScaleValues(s.values(), p.value());
+  auto back = DescaleValues(scaled, p.value());
+  for (size_t i = 0; i < s.size(); ++i) {
+    EXPECT_LE(std::fabs(back[i] - s[i]), bound + 1e-12);
+  }
+}
+
+TEST(ScalerTest, MoreDigitsTightenError) {
+  ts::Series s = Ramp(100, 0.0, 1.0);
+  ScalerOptions o2, o4;
+  o2.digits = 2;
+  o4.digits = 4;
+  double e2 = MaxRoundTripError(FitScaler(s, o2).ValueOrDie());
+  double e4 = MaxRoundTripError(FitScaler(s, o4).ValueOrDie());
+  EXPECT_LT(e4, e2 / 50.0);
+}
+
+TEST(ScalerTest, HeadroomLeavesSpace) {
+  ScalerOptions opts;
+  opts.digits = 2;
+  opts.headroom = 0.2;
+  opts.upper_percentile = 1.0;
+  ts::Series s = Ramp(100, 0.0, 10.0);
+  auto p = FitScaler(s, opts);
+  ASSERT_TRUE(p.ok());
+  // Max training value maps to ~80% of the range, leaving room above.
+  auto scaled = ScaleValues({10.0}, p.value());
+  EXPECT_LE(scaled[0], 80);
+  // A 20% overshoot beyond the training max still fits unclipped.
+  auto over = ScaleValues({12.0}, p.value());
+  EXPECT_LT(over[0], 99);
+}
+
+TEST(ScalerTest, OutOfRangeClips) {
+  ScalerOptions opts;
+  opts.digits = 2;
+  ts::Series s = Ramp(100, 0.0, 10.0);
+  auto p = FitScaler(s, opts);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(ScaleValues({-100.0}, p.value())[0], 0);
+  EXPECT_EQ(ScaleValues({1000.0}, p.value())[0], 99);
+}
+
+TEST(ScalerTest, ConstantSeriesMidRange) {
+  ScalerOptions opts;
+  opts.digits = 2;
+  ts::Series s(std::vector<double>(10, 5.0), "const");
+  auto p = FitScaler(s, opts);
+  ASSERT_TRUE(p.ok());
+  auto scaled = ScaleValues(s.values(), p.value());
+  EXPECT_GT(scaled[0], 30);
+  EXPECT_LT(scaled[0], 70);
+  auto back = DescaleValues(scaled, p.value());
+  EXPECT_NEAR(back[0], 5.0, 0.5);
+}
+
+TEST(ScalerTest, RejectsBadOptions) {
+  ts::Series s = Ramp(10, 0.0, 1.0);
+  ScalerOptions bad;
+  bad.digits = 0;
+  EXPECT_FALSE(FitScaler(s, bad).ok());
+  bad.digits = 10;
+  EXPECT_FALSE(FitScaler(s, bad).ok());
+  bad = ScalerOptions{};
+  bad.upper_percentile = 0.0;
+  EXPECT_FALSE(FitScaler(s, bad).ok());
+  bad = ScalerOptions{};
+  bad.headroom = 1.0;
+  EXPECT_FALSE(FitScaler(s, bad).ok());
+}
+
+TEST(ScalerTest, RejectsEmptySeries) {
+  EXPECT_FALSE(FitScaler(ts::Series(), ScalerOptions{}).ok());
+}
+
+TEST(ScalerParamsTest, MaxValueByDigits) {
+  ScalerParams p;
+  p.digits = 1;
+  EXPECT_EQ(p.MaxValue(), 9);
+  p.digits = 2;
+  EXPECT_EQ(p.MaxValue(), 99);
+  p.digits = 5;
+  EXPECT_EQ(p.MaxValue(), 99999);
+}
+
+TEST(ScalerTest, OutlierRobustPercentile) {
+  // One huge outlier should not crush the resolution of the bulk when
+  // the percentile is below 1.
+  std::vector<double> v(100, 0.0);
+  for (size_t i = 0; i < v.size(); ++i) v[i] = static_cast<double>(i % 10);
+  v[50] = 1e6;
+  ScalerOptions opts;
+  opts.digits = 2;
+  opts.upper_percentile = 0.95;
+  auto p = FitScaler(ts::Series(v, "x"), opts);
+  ASSERT_TRUE(p.ok());
+  // Values 0..9 should spread over a meaningful part of the range.
+  auto scaled = ScaleValues({0.0, 9.0}, p.value());
+  EXPECT_GT(scaled[1] - scaled[0], 20);
+}
+
+}  // namespace
+}  // namespace scale
+}  // namespace multicast

@@ -1,0 +1,68 @@
+#include "ts/series.h"
+
+#include <gtest/gtest.h>
+
+namespace multicast {
+namespace ts {
+namespace {
+
+TEST(SeriesTest, ConstructionAndAccess) {
+  Series s({1.0, 2.0, 3.0}, "temp");
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_FALSE(s.empty());
+  EXPECT_DOUBLE_EQ(s[1], 2.0);
+  EXPECT_EQ(s.name(), "temp");
+}
+
+TEST(SeriesTest, DefaultIsEmpty) {
+  Series s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(SeriesTest, MutableAccess) {
+  Series s({1.0, 2.0});
+  s[0] = 9.0;
+  s.push_back(5.0);
+  EXPECT_DOUBLE_EQ(s[0], 9.0);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s[2], 5.0);
+}
+
+TEST(SeriesTest, SliceValid) {
+  Series s({0.0, 1.0, 2.0, 3.0, 4.0}, "x");
+  auto r = s.Slice(1, 4);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().values(), (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_EQ(r.value().name(), "x");
+}
+
+TEST(SeriesTest, SliceEmptyRange) {
+  Series s({1.0, 2.0});
+  auto r = s.Slice(1, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().empty());
+}
+
+TEST(SeriesTest, SliceOutOfRange) {
+  Series s({1.0, 2.0});
+  EXPECT_FALSE(s.Slice(0, 3).ok());
+  EXPECT_FALSE(s.Slice(2, 1).ok());
+}
+
+TEST(SeriesTest, HeadAndTail) {
+  Series s({0.0, 1.0, 2.0, 3.0});
+  EXPECT_EQ(s.Head(2).values(), (std::vector<double>{0.0, 1.0}));
+  EXPECT_EQ(s.Tail(2).values(), (std::vector<double>{2.0, 3.0}));
+}
+
+TEST(SeriesTest, HeadTailClampToSize) {
+  Series s({1.0, 2.0});
+  EXPECT_EQ(s.Head(10).size(), 2u);
+  EXPECT_EQ(s.Tail(10).size(), 2u);
+  EXPECT_EQ(s.Head(0).size(), 0u);
+}
+
+}  // namespace
+}  // namespace ts
+}  // namespace multicast

@@ -1,0 +1,66 @@
+#include "ts/split.h"
+
+#include <gtest/gtest.h>
+
+namespace multicast {
+namespace ts {
+namespace {
+
+Frame MakeFrame(size_t n) {
+  std::vector<double> a(n), b(n);
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = static_cast<double>(i);
+    b[i] = static_cast<double>(i) * 2;
+  }
+  return Frame::FromSeries({Series(a, "a"), Series(b, "b")}, "f")
+      .ValueOrDie();
+}
+
+TEST(SplitTest, HorizonSplitsTail) {
+  auto r = SplitHorizon(MakeFrame(10), 3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().train.length(), 7u);
+  EXPECT_EQ(r.value().test.length(), 3u);
+  EXPECT_DOUBLE_EQ(r.value().test.at(0, 0), 7.0);
+  EXPECT_DOUBLE_EQ(r.value().train.at(1, 6), 12.0);
+}
+
+TEST(SplitTest, ZeroHorizonRejected) {
+  EXPECT_FALSE(SplitHorizon(MakeFrame(10), 0).ok());
+}
+
+TEST(SplitTest, HorizonTooLargeRejected) {
+  EXPECT_FALSE(SplitHorizon(MakeFrame(10), 9).ok());
+  EXPECT_FALSE(SplitHorizon(MakeFrame(10), 10).ok());
+}
+
+TEST(SplitTest, FractionSplit) {
+  auto r = SplitFraction(MakeFrame(100), 0.8);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().train.length(), 80u);
+  EXPECT_EQ(r.value().test.length(), 20u);
+}
+
+TEST(SplitTest, FractionBoundsRejected) {
+  EXPECT_FALSE(SplitFraction(MakeFrame(10), 0.0).ok());
+  EXPECT_FALSE(SplitFraction(MakeFrame(10), 1.0).ok());
+  EXPECT_FALSE(SplitFraction(MakeFrame(10), -0.5).ok());
+}
+
+TEST(SplitTest, TrainTestConcatenateToOriginal) {
+  Frame f = MakeFrame(20);
+  auto r = SplitHorizon(f, 5);
+  ASSERT_TRUE(r.ok());
+  for (size_t d = 0; d < f.num_dims(); ++d) {
+    for (size_t t = 0; t < f.length(); ++t) {
+      double expected = f.at(d, t);
+      double got = t < 15 ? r.value().train.at(d, t)
+                          : r.value().test.at(d, t - 15);
+      EXPECT_DOUBLE_EQ(got, expected);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ts
+}  // namespace multicast

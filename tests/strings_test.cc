@@ -1,0 +1,82 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace multicast {
+namespace {
+
+TEST(SplitTest, BasicSplit) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitTest, NoDelimiter) {
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(SplitTest, EmptyInput) {
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(SplitTest, TrailingDelimiter) {
+  EXPECT_EQ(Split("a,b,", ','), (std::vector<std::string>{"a", "b", ""}));
+}
+
+TEST(JoinTest, RoundTripsWithSplit) {
+  std::vector<std::string> parts = {"17", "23", "26"};
+  EXPECT_EQ(Join(parts, ","), "17,23,26");
+  EXPECT_EQ(Split(Join(parts, ","), ','), parts);
+}
+
+TEST(JoinTest, EmptyAndSingle) {
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"x"}, ","), "x");
+}
+
+TEST(TrimTest, StripsWhitespace) {
+  EXPECT_EQ(Trim("  abc  "), "abc");
+  EXPECT_EQ(Trim("\t x \n"), "x");
+  EXPECT_EQ(Trim("abc"), "abc");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(IsAllDigitsTest, Behaviour) {
+  EXPECT_TRUE(IsAllDigits("0123456789"));
+  EXPECT_TRUE(IsAllDigits("7"));
+  EXPECT_FALSE(IsAllDigits(""));
+  EXPECT_FALSE(IsAllDigits("12a"));
+  EXPECT_FALSE(IsAllDigits("-12"));
+  EXPECT_FALSE(IsAllDigits("1.2"));
+  EXPECT_FALSE(IsAllDigits(" 12"));
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("%05d", 42), "00042");
+}
+
+TEST(StrFormatTest, LongOutput) {
+  std::string s = StrFormat("%200d", 1);
+  EXPECT_EQ(s.size(), 200u);
+}
+
+TEST(FormatDoubleTest, TrimsTrailingZeros) {
+  EXPECT_EQ(FormatDouble(1.25, 3), "1.25");
+  EXPECT_EQ(FormatDouble(3.0, 3), "3");
+  EXPECT_EQ(FormatDouble(0.781, 3), "0.781");
+  EXPECT_EQ(FormatDouble(2.7100, 3), "2.71");
+}
+
+TEST(FormatDoubleTest, NegativeAndZero) {
+  EXPECT_EQ(FormatDouble(-1.5, 2), "-1.5");
+  EXPECT_EQ(FormatDouble(0.0, 3), "0");
+}
+
+}  // namespace
+}  // namespace multicast

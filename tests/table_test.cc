@@ -1,0 +1,52 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace multicast {
+namespace {
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t({"Model", "RMSE"});
+  t.AddRow({"MultiCast (DI)", "0.781"});
+  t.AddRow({"ARIMA", "0.92"});
+  std::string out = t.Render();
+  EXPECT_NE(out.find("Model          | RMSE"), std::string::npos);
+  EXPECT_NE(out.find("MultiCast (DI) | 0.781"), std::string::npos);
+  EXPECT_NE(out.find("ARIMA"), std::string::npos);
+}
+
+TEST(TextTableTest, HeaderRulePresent) {
+  TextTable t({"a", "b"});
+  t.AddRow({"1", "2"});
+  std::string out = t.Render();
+  EXPECT_NE(out.find("--+--"), std::string::npos);
+}
+
+TEST(TextTableTest, ShortRowsPadded) {
+  TextTable t({"a", "b", "c"});
+  t.AddRow({"only"});
+  std::string out = t.Render();
+  // Renders without crashing and includes the value.
+  EXPECT_NE(out.find("only"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TextTableTest, WideCellGrowsColumn) {
+  TextTable t({"x"});
+  t.AddRow({"very-long-cell-content"});
+  std::string out = t.Render();
+  EXPECT_NE(out.find("very-long-cell-content"), std::string::npos);
+}
+
+TEST(TextTableTest, EveryLineEndsWithNewline) {
+  TextTable t({"a"});
+  t.AddRow({"1"});
+  t.AddRow({"2"});
+  std::string out = t.Render();
+  EXPECT_EQ(out.back(), '\n');
+  // 1 header + 1 rule + 2 rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+}  // namespace
+}  // namespace multicast

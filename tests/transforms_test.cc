@@ -1,0 +1,104 @@
+#include "ts/transforms.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ts/stats.h"
+
+namespace multicast {
+namespace ts {
+namespace {
+
+TEST(ZNormTest, ZeroMeanUnitVariance) {
+  Series s({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  ZNormParams p;
+  Series z = ZNormalize(s, &p);
+  Summary sum = Summarize(z.values());
+  EXPECT_NEAR(sum.mean, 0.0, 1e-12);
+  EXPECT_NEAR(sum.stddev, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(p.mean, 5.0);
+  EXPECT_DOUBLE_EQ(p.stddev, 2.0);
+}
+
+TEST(ZNormTest, RoundTrip) {
+  Series s({1.5, -2.0, 7.25, 0.0});
+  ZNormParams p;
+  Series z = ZNormalize(s, &p);
+  Series back = ZDenormalize(z, p);
+  for (size_t i = 0; i < s.size(); ++i) {
+    EXPECT_NEAR(back[i], s[i], 1e-12);
+  }
+}
+
+TEST(ZNormTest, ConstantSeriesStaysInvertible) {
+  Series s({3.0, 3.0, 3.0});
+  ZNormParams p;
+  Series z = ZNormalize(s, &p);
+  EXPECT_DOUBLE_EQ(p.stddev, 1.0);
+  Series back = ZDenormalize(z, p);
+  EXPECT_DOUBLE_EQ(back[0], 3.0);
+}
+
+TEST(ZNormTest, NullParamsAccepted) {
+  Series s({1.0, 2.0});
+  Series z = ZNormalize(s, nullptr);
+  EXPECT_EQ(z.size(), 2u);
+}
+
+TEST(DifferenceTest, FirstOrder) {
+  auto r = Difference({1.0, 3.0, 6.0, 10.0}, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), (std::vector<double>{2.0, 3.0, 4.0}));
+}
+
+TEST(DifferenceTest, SecondOrder) {
+  auto r = Difference({1.0, 3.0, 6.0, 10.0}, 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), (std::vector<double>{1.0, 1.0}));
+}
+
+TEST(DifferenceTest, ZeroOrderIsIdentity) {
+  auto r = Difference({1.0, 2.0}, 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(DifferenceTest, ErrorsOnBadInput) {
+  EXPECT_FALSE(Difference({1.0, 2.0}, -1).ok());
+  EXPECT_FALSE(Difference({1.0, 2.0}, 2).ok());
+}
+
+TEST(DifferenceTest, RoundTripViaHeads) {
+  std::vector<double> v = {5.0, 2.0, 8.0, 8.0, -1.0, 4.0};
+  for (int d = 0; d <= 3; ++d) {
+    std::vector<double> heads;
+    auto diffed = DifferenceWithHeads(v, d, &heads);
+    ASSERT_TRUE(diffed.ok());
+    EXPECT_EQ(heads.size(), static_cast<size_t>(d));
+    auto back = Undifference(diffed.value(), heads);
+    ASSERT_TRUE(back.ok());
+    ASSERT_EQ(back.value().size(), v.size());
+    for (size_t i = 0; i < v.size(); ++i) {
+      EXPECT_NEAR(back.value()[i], v[i], 1e-9) << "d=" << d << " i=" << i;
+    }
+  }
+}
+
+TEST(UndifferenceTest, ExtendsBeyondOriginal) {
+  // Differencing a linear ramp yields constants; appending more
+  // constants and undifferencing must extend the ramp.
+  std::vector<double> heads;
+  auto diffed = DifferenceWithHeads({1.0, 2.0, 3.0}, 1, &heads);
+  ASSERT_TRUE(diffed.ok());
+  std::vector<double> extended = diffed.value();
+  extended.push_back(1.0);
+  extended.push_back(1.0);
+  auto back = Undifference(extended, heads);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), (std::vector<double>{1.0, 2.0, 3.0, 4.0, 5.0}));
+}
+
+}  // namespace
+}  // namespace ts
+}  // namespace multicast

@@ -1,0 +1,20 @@
+// Thin entry point for the `multicast` CLI; logic lives in src/cli.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  multicast::Result<int> code = multicast::cli::RunCommand(args, std::cout);
+  if (!code.ok()) {
+    std::fprintf(stderr, "error: %s\n%s",
+                 code.status().ToString().c_str(),
+                 multicast::cli::UsageText().c_str());
+    return 2;
+  }
+  return code.value();
+}
