@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_backends"
+  "../bench/ablation_backends.pdb"
+  "CMakeFiles/ablation_backends.dir/ablation_backends.cc.o"
+  "CMakeFiles/ablation_backends.dir/ablation_backends.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_imputation"
+  "../bench/ablation_imputation.pdb"
+  "CMakeFiles/ablation_imputation.dir/ablation_imputation.cc.o"
+  "CMakeFiles/ablation_imputation.dir/ablation_imputation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_imputation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

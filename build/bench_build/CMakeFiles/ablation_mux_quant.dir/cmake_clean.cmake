@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_mux_quant"
+  "../bench/ablation_mux_quant.pdb"
+  "CMakeFiles/ablation_mux_quant.dir/ablation_mux_quant.cc.o"
+  "CMakeFiles/ablation_mux_quant.dir/ablation_mux_quant.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mux_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/shape_checks"
+  "../bench/shape_checks.pdb"
+  "CMakeFiles/shape_checks.dir/shape_checks.cc.o"
+  "CMakeFiles/shape_checks.dir/shape_checks.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shape_checks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

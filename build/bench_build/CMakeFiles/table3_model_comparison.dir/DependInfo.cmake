@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table3_model_comparison.cc" "bench_build/CMakeFiles/table3_model_comparison.dir/table3_model_comparison.cc.o" "gcc" "bench_build/CMakeFiles/table3_model_comparison.dir/table3_model_comparison.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cli/CMakeFiles/mc_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/mc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/mc_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/mc_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/extensions/CMakeFiles/mc_extensions.dir/DependInfo.cmake"
+  "/root/repo/build/src/forecast/CMakeFiles/mc_forecast.dir/DependInfo.cmake"
+  "/root/repo/build/src/scale/CMakeFiles/mc_scale.dir/DependInfo.cmake"
+  "/root/repo/build/src/sax/CMakeFiles/mc_sax.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/mc_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/multiplex/CMakeFiles/mc_multiplex.dir/DependInfo.cmake"
+  "/root/repo/build/src/lm/CMakeFiles/mc_lm.dir/DependInfo.cmake"
+  "/root/repo/build/src/token/CMakeFiles/mc_token.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

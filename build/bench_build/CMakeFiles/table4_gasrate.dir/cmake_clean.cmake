@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_gasrate"
+  "../bench/table4_gasrate.pdb"
+  "CMakeFiles/table4_gasrate.dir/table4_gasrate.cc.o"
+  "CMakeFiles/table4_gasrate.dir/table4_gasrate.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_gasrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_electricity"
+  "../bench/table5_electricity.pdb"
+  "CMakeFiles/table5_electricity.dir/table5_electricity.cc.o"
+  "CMakeFiles/table5_electricity.dir/table5_electricity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_electricity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

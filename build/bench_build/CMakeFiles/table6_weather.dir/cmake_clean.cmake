@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table6_weather"
+  "../bench/table6_weather.pdb"
+  "CMakeFiles/table6_weather.dir/table6_weather.cc.o"
+  "CMakeFiles/table6_weather.dir/table6_weather.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_weather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

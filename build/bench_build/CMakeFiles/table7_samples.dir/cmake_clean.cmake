@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table7_samples"
+  "../bench/table7_samples.pdb"
+  "CMakeFiles/table7_samples.dir/table7_samples.cc.o"
+  "CMakeFiles/table7_samples.dir/table7_samples.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_samples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table8_sax_segments"
+  "../bench/table8_sax_segments.pdb"
+  "CMakeFiles/table8_sax_segments.dir/table8_sax_segments.cc.o"
+  "CMakeFiles/table8_sax_segments.dir/table8_sax_segments.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_sax_segments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

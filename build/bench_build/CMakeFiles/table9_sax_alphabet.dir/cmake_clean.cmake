@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table9_sax_alphabet"
+  "../bench/table9_sax_alphabet.pdb"
+  "CMakeFiles/table9_sax_alphabet.dir/table9_sax_alphabet.cc.o"
+  "CMakeFiles/table9_sax_alphabet.dir/table9_sax_alphabet.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_sax_alphabet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

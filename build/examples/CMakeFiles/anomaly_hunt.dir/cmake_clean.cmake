@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anomaly_hunt.dir/anomaly_hunt.cpp.o"
+  "CMakeFiles/anomaly_hunt.dir/anomaly_hunt.cpp.o.d"
+  "anomaly_hunt"
+  "anomaly_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anomaly_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

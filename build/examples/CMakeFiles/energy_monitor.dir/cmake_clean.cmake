@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_monitor.dir/energy_monitor.cpp.o"
+  "CMakeFiles/energy_monitor.dir/energy_monitor.cpp.o.d"
+  "energy_monitor"
+  "energy_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

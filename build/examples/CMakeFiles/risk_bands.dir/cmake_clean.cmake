@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/risk_bands.dir/risk_bands.cpp.o"
+  "CMakeFiles/risk_bands.dir/risk_bands.cpp.o.d"
+  "risk_bands"
+  "risk_bands.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/risk_bands.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("ts")
+subdirs("scale")
+subdirs("token")
+subdirs("sax")
+subdirs("multiplex")
+subdirs("lm")
+subdirs("forecast")
+subdirs("baselines")
+subdirs("data")
+subdirs("metrics")
+subdirs("eval")
+subdirs("extensions")
+subdirs("cli")

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/arima.cc" "src/baselines/CMakeFiles/mc_baselines.dir/arima.cc.o" "gcc" "src/baselines/CMakeFiles/mc_baselines.dir/arima.cc.o.d"
+  "/root/repo/src/baselines/ets.cc" "src/baselines/CMakeFiles/mc_baselines.dir/ets.cc.o" "gcc" "src/baselines/CMakeFiles/mc_baselines.dir/ets.cc.o.d"
+  "/root/repo/src/baselines/linalg.cc" "src/baselines/CMakeFiles/mc_baselines.dir/linalg.cc.o" "gcc" "src/baselines/CMakeFiles/mc_baselines.dir/linalg.cc.o.d"
+  "/root/repo/src/baselines/lstm.cc" "src/baselines/CMakeFiles/mc_baselines.dir/lstm.cc.o" "gcc" "src/baselines/CMakeFiles/mc_baselines.dir/lstm.cc.o.d"
+  "/root/repo/src/baselines/naive.cc" "src/baselines/CMakeFiles/mc_baselines.dir/naive.cc.o" "gcc" "src/baselines/CMakeFiles/mc_baselines.dir/naive.cc.o.d"
+  "/root/repo/src/baselines/sarima.cc" "src/baselines/CMakeFiles/mc_baselines.dir/sarima.cc.o" "gcc" "src/baselines/CMakeFiles/mc_baselines.dir/sarima.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/forecast/CMakeFiles/mc_forecast.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/mc_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/lm/CMakeFiles/mc_lm.dir/DependInfo.cmake"
+  "/root/repo/build/src/multiplex/CMakeFiles/mc_multiplex.dir/DependInfo.cmake"
+  "/root/repo/build/src/sax/CMakeFiles/mc_sax.dir/DependInfo.cmake"
+  "/root/repo/build/src/scale/CMakeFiles/mc_scale.dir/DependInfo.cmake"
+  "/root/repo/build/src/token/CMakeFiles/mc_token.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

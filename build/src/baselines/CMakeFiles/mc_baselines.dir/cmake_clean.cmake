@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_baselines.dir/arima.cc.o"
+  "CMakeFiles/mc_baselines.dir/arima.cc.o.d"
+  "CMakeFiles/mc_baselines.dir/ets.cc.o"
+  "CMakeFiles/mc_baselines.dir/ets.cc.o.d"
+  "CMakeFiles/mc_baselines.dir/linalg.cc.o"
+  "CMakeFiles/mc_baselines.dir/linalg.cc.o.d"
+  "CMakeFiles/mc_baselines.dir/lstm.cc.o"
+  "CMakeFiles/mc_baselines.dir/lstm.cc.o.d"
+  "CMakeFiles/mc_baselines.dir/naive.cc.o"
+  "CMakeFiles/mc_baselines.dir/naive.cc.o.d"
+  "CMakeFiles/mc_baselines.dir/sarima.cc.o"
+  "CMakeFiles/mc_baselines.dir/sarima.cc.o.d"
+  "libmc_baselines.a"
+  "libmc_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

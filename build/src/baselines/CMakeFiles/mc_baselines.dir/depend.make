@@ -1,0 +1,2 @@
+# Empty dependencies file for mc_baselines.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_cli.dir/cli.cc.o"
+  "CMakeFiles/mc_cli.dir/cli.cc.o.d"
+  "libmc_cli.a"
+  "libmc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

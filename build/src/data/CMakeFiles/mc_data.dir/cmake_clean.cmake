@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_data.dir/datasets.cc.o"
+  "CMakeFiles/mc_data.dir/datasets.cc.o.d"
+  "libmc_data.a"
+  "libmc_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_eval.dir/experiment.cc.o"
+  "CMakeFiles/mc_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/mc_eval.dir/report.cc.o"
+  "CMakeFiles/mc_eval.dir/report.cc.o.d"
+  "CMakeFiles/mc_eval.dir/rolling.cc.o"
+  "CMakeFiles/mc_eval.dir/rolling.cc.o.d"
+  "libmc_eval.a"
+  "libmc_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_extensions.dir/anomaly.cc.o"
+  "CMakeFiles/mc_extensions.dir/anomaly.cc.o.d"
+  "CMakeFiles/mc_extensions.dir/imputation.cc.o"
+  "CMakeFiles/mc_extensions.dir/imputation.cc.o.d"
+  "libmc_extensions.a"
+  "libmc_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_forecast.dir/auto_tune.cc.o"
+  "CMakeFiles/mc_forecast.dir/auto_tune.cc.o.d"
+  "CMakeFiles/mc_forecast.dir/ensemble.cc.o"
+  "CMakeFiles/mc_forecast.dir/ensemble.cc.o.d"
+  "CMakeFiles/mc_forecast.dir/llmtime_forecaster.cc.o"
+  "CMakeFiles/mc_forecast.dir/llmtime_forecaster.cc.o.d"
+  "CMakeFiles/mc_forecast.dir/multicast_forecaster.cc.o"
+  "CMakeFiles/mc_forecast.dir/multicast_forecaster.cc.o.d"
+  "libmc_forecast.a"
+  "libmc_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lm/generator.cc" "src/lm/CMakeFiles/mc_lm.dir/generator.cc.o" "gcc" "src/lm/CMakeFiles/mc_lm.dir/generator.cc.o.d"
+  "/root/repo/src/lm/mixture_model.cc" "src/lm/CMakeFiles/mc_lm.dir/mixture_model.cc.o" "gcc" "src/lm/CMakeFiles/mc_lm.dir/mixture_model.cc.o.d"
+  "/root/repo/src/lm/ngram_model.cc" "src/lm/CMakeFiles/mc_lm.dir/ngram_model.cc.o" "gcc" "src/lm/CMakeFiles/mc_lm.dir/ngram_model.cc.o.d"
+  "/root/repo/src/lm/profiles.cc" "src/lm/CMakeFiles/mc_lm.dir/profiles.cc.o" "gcc" "src/lm/CMakeFiles/mc_lm.dir/profiles.cc.o.d"
+  "/root/repo/src/lm/sampler.cc" "src/lm/CMakeFiles/mc_lm.dir/sampler.cc.o" "gcc" "src/lm/CMakeFiles/mc_lm.dir/sampler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/token/CMakeFiles/mc_token.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

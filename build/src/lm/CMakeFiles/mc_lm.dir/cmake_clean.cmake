@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_lm.dir/generator.cc.o"
+  "CMakeFiles/mc_lm.dir/generator.cc.o.d"
+  "CMakeFiles/mc_lm.dir/mixture_model.cc.o"
+  "CMakeFiles/mc_lm.dir/mixture_model.cc.o.d"
+  "CMakeFiles/mc_lm.dir/ngram_model.cc.o"
+  "CMakeFiles/mc_lm.dir/ngram_model.cc.o.d"
+  "CMakeFiles/mc_lm.dir/profiles.cc.o"
+  "CMakeFiles/mc_lm.dir/profiles.cc.o.d"
+  "CMakeFiles/mc_lm.dir/sampler.cc.o"
+  "CMakeFiles/mc_lm.dir/sampler.cc.o.d"
+  "libmc_lm.a"
+  "libmc_lm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_lm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

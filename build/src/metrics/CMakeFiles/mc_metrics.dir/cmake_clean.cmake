@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_metrics.dir/metrics.cc.o"
+  "CMakeFiles/mc_metrics.dir/metrics.cc.o.d"
+  "libmc_metrics.a"
+  "libmc_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/multiplex/digit_interleave.cc" "src/multiplex/CMakeFiles/mc_multiplex.dir/digit_interleave.cc.o" "gcc" "src/multiplex/CMakeFiles/mc_multiplex.dir/digit_interleave.cc.o.d"
+  "/root/repo/src/multiplex/multiplexer.cc" "src/multiplex/CMakeFiles/mc_multiplex.dir/multiplexer.cc.o" "gcc" "src/multiplex/CMakeFiles/mc_multiplex.dir/multiplexer.cc.o.d"
+  "/root/repo/src/multiplex/value_concat.cc" "src/multiplex/CMakeFiles/mc_multiplex.dir/value_concat.cc.o" "gcc" "src/multiplex/CMakeFiles/mc_multiplex.dir/value_concat.cc.o.d"
+  "/root/repo/src/multiplex/value_interleave.cc" "src/multiplex/CMakeFiles/mc_multiplex.dir/value_interleave.cc.o" "gcc" "src/multiplex/CMakeFiles/mc_multiplex.dir/value_interleave.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_multiplex.dir/digit_interleave.cc.o"
+  "CMakeFiles/mc_multiplex.dir/digit_interleave.cc.o.d"
+  "CMakeFiles/mc_multiplex.dir/multiplexer.cc.o"
+  "CMakeFiles/mc_multiplex.dir/multiplexer.cc.o.d"
+  "CMakeFiles/mc_multiplex.dir/value_concat.cc.o"
+  "CMakeFiles/mc_multiplex.dir/value_concat.cc.o.d"
+  "CMakeFiles/mc_multiplex.dir/value_interleave.cc.o"
+  "CMakeFiles/mc_multiplex.dir/value_interleave.cc.o.d"
+  "libmc_multiplex.a"
+  "libmc_multiplex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_multiplex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

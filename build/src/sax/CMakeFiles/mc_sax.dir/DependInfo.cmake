@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sax/gaussian.cc" "src/sax/CMakeFiles/mc_sax.dir/gaussian.cc.o" "gcc" "src/sax/CMakeFiles/mc_sax.dir/gaussian.cc.o.d"
+  "/root/repo/src/sax/paa.cc" "src/sax/CMakeFiles/mc_sax.dir/paa.cc.o" "gcc" "src/sax/CMakeFiles/mc_sax.dir/paa.cc.o.d"
+  "/root/repo/src/sax/sax.cc" "src/sax/CMakeFiles/mc_sax.dir/sax.cc.o" "gcc" "src/sax/CMakeFiles/mc_sax.dir/sax.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ts/CMakeFiles/mc_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

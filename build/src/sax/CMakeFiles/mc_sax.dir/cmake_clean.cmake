@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_sax.dir/gaussian.cc.o"
+  "CMakeFiles/mc_sax.dir/gaussian.cc.o.d"
+  "CMakeFiles/mc_sax.dir/paa.cc.o"
+  "CMakeFiles/mc_sax.dir/paa.cc.o.d"
+  "CMakeFiles/mc_sax.dir/sax.cc.o"
+  "CMakeFiles/mc_sax.dir/sax.cc.o.d"
+  "libmc_sax.a"
+  "libmc_sax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_sax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_scale.dir/scaler.cc.o"
+  "CMakeFiles/mc_scale.dir/scaler.cc.o.d"
+  "libmc_scale.a"
+  "libmc_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

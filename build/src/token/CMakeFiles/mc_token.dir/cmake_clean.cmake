@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_token.dir/codec.cc.o"
+  "CMakeFiles/mc_token.dir/codec.cc.o.d"
+  "CMakeFiles/mc_token.dir/vocabulary.cc.o"
+  "CMakeFiles/mc_token.dir/vocabulary.cc.o.d"
+  "libmc_token.a"
+  "libmc_token.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_token.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ts/frame.cc" "src/ts/CMakeFiles/mc_ts.dir/frame.cc.o" "gcc" "src/ts/CMakeFiles/mc_ts.dir/frame.cc.o.d"
+  "/root/repo/src/ts/seasonality.cc" "src/ts/CMakeFiles/mc_ts.dir/seasonality.cc.o" "gcc" "src/ts/CMakeFiles/mc_ts.dir/seasonality.cc.o.d"
+  "/root/repo/src/ts/series.cc" "src/ts/CMakeFiles/mc_ts.dir/series.cc.o" "gcc" "src/ts/CMakeFiles/mc_ts.dir/series.cc.o.d"
+  "/root/repo/src/ts/split.cc" "src/ts/CMakeFiles/mc_ts.dir/split.cc.o" "gcc" "src/ts/CMakeFiles/mc_ts.dir/split.cc.o.d"
+  "/root/repo/src/ts/stats.cc" "src/ts/CMakeFiles/mc_ts.dir/stats.cc.o" "gcc" "src/ts/CMakeFiles/mc_ts.dir/stats.cc.o.d"
+  "/root/repo/src/ts/transforms.cc" "src/ts/CMakeFiles/mc_ts.dir/transforms.cc.o" "gcc" "src/ts/CMakeFiles/mc_ts.dir/transforms.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_ts.dir/frame.cc.o"
+  "CMakeFiles/mc_ts.dir/frame.cc.o.d"
+  "CMakeFiles/mc_ts.dir/seasonality.cc.o"
+  "CMakeFiles/mc_ts.dir/seasonality.cc.o.d"
+  "CMakeFiles/mc_ts.dir/series.cc.o"
+  "CMakeFiles/mc_ts.dir/series.cc.o.d"
+  "CMakeFiles/mc_ts.dir/split.cc.o"
+  "CMakeFiles/mc_ts.dir/split.cc.o.d"
+  "CMakeFiles/mc_ts.dir/stats.cc.o"
+  "CMakeFiles/mc_ts.dir/stats.cc.o.d"
+  "CMakeFiles/mc_ts.dir/transforms.cc.o"
+  "CMakeFiles/mc_ts.dir/transforms.cc.o.d"
+  "libmc_ts.a"
+  "libmc_ts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_ts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

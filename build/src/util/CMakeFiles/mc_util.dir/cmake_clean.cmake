@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_util.dir/ascii_plot.cc.o"
+  "CMakeFiles/mc_util.dir/ascii_plot.cc.o.d"
+  "CMakeFiles/mc_util.dir/csv.cc.o"
+  "CMakeFiles/mc_util.dir/csv.cc.o.d"
+  "CMakeFiles/mc_util.dir/flags.cc.o"
+  "CMakeFiles/mc_util.dir/flags.cc.o.d"
+  "CMakeFiles/mc_util.dir/random.cc.o"
+  "CMakeFiles/mc_util.dir/random.cc.o.d"
+  "CMakeFiles/mc_util.dir/status.cc.o"
+  "CMakeFiles/mc_util.dir/status.cc.o.d"
+  "CMakeFiles/mc_util.dir/strings.cc.o"
+  "CMakeFiles/mc_util.dir/strings.cc.o.d"
+  "CMakeFiles/mc_util.dir/table.cc.o"
+  "CMakeFiles/mc_util.dir/table.cc.o.d"
+  "libmc_util.a"
+  "libmc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

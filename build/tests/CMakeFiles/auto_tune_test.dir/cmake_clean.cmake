@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auto_tune_test.dir/auto_tune_test.cc.o"
+  "CMakeFiles/auto_tune_test.dir/auto_tune_test.cc.o.d"
+  "auto_tune_test"
+  "auto_tune_test.pdb"
+  "auto_tune_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auto_tune_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaussian_test.dir/gaussian_test.cc.o"
+  "CMakeFiles/gaussian_test.dir/gaussian_test.cc.o.d"
+  "gaussian_test"
+  "gaussian_test.pdb"
+  "gaussian_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaussian_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llmtime_forecaster_test.dir/llmtime_forecaster_test.cc.o"
+  "CMakeFiles/llmtime_forecaster_test.dir/llmtime_forecaster_test.cc.o.d"
+  "llmtime_forecaster_test"
+  "llmtime_forecaster_test.pdb"
+  "llmtime_forecaster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llmtime_forecaster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixture_model_test.dir/mixture_model_test.cc.o"
+  "CMakeFiles/mixture_model_test.dir/mixture_model_test.cc.o.d"
+  "mixture_model_test"
+  "mixture_model_test.pdb"
+  "mixture_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixture_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicast_forecaster_test.dir/multicast_forecaster_test.cc.o"
+  "CMakeFiles/multicast_forecaster_test.dir/multicast_forecaster_test.cc.o.d"
+  "multicast_forecaster_test"
+  "multicast_forecaster_test.pdb"
+  "multicast_forecaster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicast_forecaster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiplexer_test.dir/multiplexer_test.cc.o"
+  "CMakeFiles/multiplexer_test.dir/multiplexer_test.cc.o.d"
+  "multiplexer_test"
+  "multiplexer_test.pdb"
+  "multiplexer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiplexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

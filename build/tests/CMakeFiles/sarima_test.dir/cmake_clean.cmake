@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sarima_test.dir/sarima_test.cc.o"
+  "CMakeFiles/sarima_test.dir/sarima_test.cc.o.d"
+  "sarima_test"
+  "sarima_test.pdb"
+  "sarima_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sarima_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sarima_test.
+# This may be replaced when dependencies are built.

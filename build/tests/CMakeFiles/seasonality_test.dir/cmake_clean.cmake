@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seasonality_test.dir/seasonality_test.cc.o"
+  "CMakeFiles/seasonality_test.dir/seasonality_test.cc.o.d"
+  "seasonality_test"
+  "seasonality_test.pdb"
+  "seasonality_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seasonality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicast_cli.dir/multicast_main.cc.o"
+  "CMakeFiles/multicast_cli.dir/multicast_main.cc.o.d"
+  "multicast"
+  "multicast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicast_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
