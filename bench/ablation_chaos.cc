@@ -1,0 +1,168 @@
+// Ablation: forecast quality and retry overhead under injected faults.
+//
+// Production serving sits on an LLM tier that times out, rate-limits,
+// truncates and corrupts. This bench sweeps a uniform fault rate (0%,
+// 5%, 20%) over the Gas Rate split with the resilient retry layer on,
+// reporting per-method RMSE next to the retry overhead the resilience
+// layer paid (attempts per call, virtual backoff seconds, surviving
+// samples). A second section kills the backend outright (100% outage,
+// retries off) and shows the fallback chain demoting MultiCast ->
+// LLMTime -> naive instead of erroring.
+
+#include <cmath>
+
+#include "baselines/naive.h"
+#include "bench/bench_common.h"
+#include "forecast/fallback.h"
+#include "metrics/metrics.h"
+
+namespace multicast {
+namespace bench {
+namespace {
+
+forecast::ResilienceConfig RetriesOn() {
+  forecast::ResilienceConfig r;
+  r.retries_enabled = true;
+  r.retry.max_attempts = 4;
+  r.max_redraws = 6;
+  return r;
+}
+
+struct ChaosRun {
+  std::string method;
+  double rmse = 0.0;  // mean over dimensions
+  forecast::ForecastResult result;
+  bool ok = false;
+};
+
+ChaosRun RunOne(forecast::Forecaster* method, const ts::Split& split) {
+  ChaosRun run;
+  run.method = method->name();
+  auto result_or = method->Forecast(split.train, split.test.length());
+  if (!result_or.ok()) {
+    run.method += " [" + result_or.status().ToString() + "]";
+    return run;
+  }
+  run.result = std::move(result_or).value();
+  run.ok = true;
+  double sum = 0.0;
+  for (size_t d = 0; d < split.test.num_dims(); ++d) {
+    sum += OrDie(metrics::Rmse(split.test.dim(d).values(),
+                               run.result.forecast.dim(d).values()),
+                 "rmse");
+  }
+  run.rmse = sum / static_cast<double>(split.test.num_dims());
+  return run;
+}
+
+void SweepSection(const ts::Split& split) {
+  Banner("Chaos sweep: uniform fault rate, retries + redraws enabled");
+  TextTable table({"Model", "fault rate", "RMSE (mean over dims)",
+                   "attempts/call", "retries", "backoff s", "samples",
+                   "degraded"});
+  for (double rate : {0.0, 0.05, 0.20}) {
+    forecast::MultiCastOptions di =
+        DefaultMultiCast(multiplex::MuxKind::kDigitInterleave);
+    forecast::MultiCastOptions vi =
+        DefaultMultiCast(multiplex::MuxKind::kValueInterleave);
+    forecast::MultiCastOptions vc =
+        DefaultMultiCast(multiplex::MuxKind::kValueConcat);
+    forecast::LlmTimeOptions lt = DefaultLlmTime();
+    for (forecast::MultiCastOptions* opts : {&di, &vi, &vc}) {
+      opts->faults = rate > 0.0 ? lm::FaultProfile::Chaos(rate)
+                                : lm::FaultProfile::None();
+      opts->resilience = RetriesOn();
+    }
+    lt.faults = rate > 0.0 ? lm::FaultProfile::Chaos(rate)
+                           : lm::FaultProfile::None();
+    lt.resilience = RetriesOn();
+
+    forecast::MultiCastForecaster f_di(di), f_vi(vi), f_vc(vc);
+    forecast::LlmTimeForecaster f_lt(lt);
+    std::vector<forecast::Forecaster*> methods = {&f_di, &f_vi, &f_vc, &f_lt};
+    for (forecast::Forecaster* method : methods) {
+      ChaosRun run = RunOne(method, split);
+      if (!run.ok) {
+        table.AddRow({run.method, StrFormat("%.0f%%", rate * 100.0),
+                      "ABORTED", "-", "-", "-", "-", "-"});
+        continue;
+      }
+      const lm::RetryStats& rs = run.result.retry_stats;
+      double attempts_per_call =
+          rs.calls > 0 ? static_cast<double>(rs.attempts) /
+                             static_cast<double>(rs.calls)
+                       : 1.0;
+      table.AddRow(
+          {run.method, StrFormat("%.0f%%", rate * 100.0),
+           StrFormat("%.3f", run.rmse),
+           StrFormat("%.2f", attempts_per_call),
+           StrFormat("%zu", rs.retries),
+           StrFormat("%.3f", rs.backoff_seconds),
+           StrFormat("%zu/%zu", run.result.samples_used,
+                     run.result.samples_requested),
+           run.result.degraded ? "yes" : "no"});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nShape check: every row must carry an RMSE (no ABORTED entries) — "
+      "at 20%% injected faults the retry + redraw + salvage path still "
+      "returns a full dims x horizon forecast for every method.\n");
+}
+
+void OutageSection(const ts::Split& split) {
+  Banner("Hard outage: 100% transient faults, retries OFF, fallback chain");
+
+  // Primary MultiCast on a fully dead backend, no retries.
+  forecast::MultiCastOptions dead =
+      DefaultMultiCast(multiplex::MuxKind::kValueInterleave);
+  dead.faults = lm::FaultProfile::Transient(1.0);
+  dead.resilience.retries_enabled = false;
+  dead.resilience.max_redraws = 2;
+
+  // LLMTime link on the same dead backend: also fails, demoting further.
+  forecast::LlmTimeOptions dead_lt = DefaultLlmTime();
+  dead_lt.faults = lm::FaultProfile::Transient(1.0);
+  dead_lt.resilience.retries_enabled = false;
+  dead_lt.resilience.max_redraws = 2;
+
+  std::vector<std::unique_ptr<forecast::Forecaster>> chain;
+  chain.push_back(
+      std::make_unique<forecast::MultiCastForecaster>(dead));
+  chain.push_back(std::make_unique<forecast::LlmTimeForecaster>(dead_lt));
+  chain.push_back(std::make_unique<baselines::NaiveLastForecaster>());
+  forecast::FallbackForecaster fallback(std::move(chain));
+
+  ChaosRun run = RunOne(&fallback, split);
+  if (!run.ok) {
+    std::printf("FALLBACK ABORTED: %s\n", run.method.c_str());
+    std::exit(1);
+  }
+  std::printf("chain: %s\n", fallback.name().c_str());
+  std::printf("served by: %s (link %zu)\n", fallback.last_used().c_str(),
+              fallback.last_used_index() + 1);
+  std::printf("RMSE (mean over dims): %.3f, degraded: %s\n", run.rmse,
+              run.result.degraded ? "yes" : "no");
+  for (const std::string& warning : run.result.warnings) {
+    std::printf("  %s\n", warning.c_str());
+  }
+  std::printf(
+      "\nShape check: the chain must demote to NaiveLast and still return "
+      "a full-shape forecast — a dead LLM tier degrades quality, never "
+      "availability.\n");
+}
+
+void Run() {
+  ts::Split split = LoadSplit("GasRate");
+  SweepSection(split);
+  OutageSection(split);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace multicast
+
+int main() {
+  multicast::bench::Run();
+  return 0;
+}

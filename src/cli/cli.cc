@@ -12,6 +12,7 @@
 #include "eval/rolling.h"
 #include "extensions/anomaly.h"
 #include "extensions/imputation.h"
+#include "forecast/fallback.h"
 #include "forecast/llmtime_forecaster.h"
 #include "forecast/multicast_forecaster.h"
 #include "ts/split.h"
@@ -29,8 +30,9 @@ const std::set<std::string> kMethodFlags = {
     "input",  "output",      "horizon",  "method",   "samples",
     "digits", "seed",        "sax",      "sax-segment",
     "sax-alphabet",          "profile",  "plot",     "folds",
-    "stride", "quantile",    "dataset",  "name",     "quantiles"};
-const std::set<std::string> kBoolFlags = {"plot"};
+    "stride", "quantile",    "dataset",  "name",     "quantiles",
+    "chaos",  "chaos-seed",  "retries",  "redraws",  "fallback"};
+const std::set<std::string> kBoolFlags = {"plot", "fallback"};
 
 Result<lm::ModelProfile> ProfileByName(const std::string& name) {
   if (name == "llama2") return lm::ModelProfile::Llama2_7B();
@@ -56,6 +58,24 @@ Result<MethodSpec> SpecFromFlags(const FlagSet& flags) {
   spec.sax_segment = static_cast<int>(sax_segment);
   spec.sax_alphabet = static_cast<int>(sax_alphabet);
   spec.profile = flags.GetString("profile", "llama2");
+  MC_ASSIGN_OR_RETURN(spec.chaos, flags.GetDouble("chaos", 0.0));
+  if (spec.chaos < 0.0 || spec.chaos > 1.0) {
+    return Status::InvalidArgument("--chaos expects a rate in [0, 1]");
+  }
+  MC_ASSIGN_OR_RETURN(int64_t chaos_seed,
+                      flags.GetInt("chaos-seed", 0xC0FFEE));
+  spec.chaos_seed = static_cast<uint64_t>(chaos_seed);
+  MC_ASSIGN_OR_RETURN(int64_t retries, flags.GetInt("retries", 3));
+  if (retries < 0) {
+    return Status::InvalidArgument("--retries must be >= 0");
+  }
+  spec.retries = static_cast<int>(retries);
+  MC_ASSIGN_OR_RETURN(int64_t redraws, flags.GetInt("redraws", 4));
+  if (redraws < 0) {
+    return Status::InvalidArgument("--redraws must be >= 0");
+  }
+  spec.redraws = static_cast<int>(redraws);
+  spec.fallback = flags.GetBool("fallback");
   return spec;
 }
 
@@ -123,6 +143,26 @@ Result<int> CmdForecast(const FlagSet& flags, std::ostream& out) {
     out << ", tokens " << eval::FormatLedger(result.ledger);
   }
   out << "\n";
+  if (result.retry_stats.attempts > 0) {
+    out << StrFormat(
+        "resilience: %zu calls, %zu attempts (%zu retries), "
+        "%zu circuit rejections, %.3fs virtual backoff\n",
+        result.retry_stats.calls, result.retry_stats.attempts,
+        result.retry_stats.retries, result.retry_stats.circuit_rejections,
+        result.retry_stats.backoff_seconds);
+  }
+  if (result.degraded) {
+    out << StrFormat("DEGRADED result (%zu/%zu samples)",
+                     result.samples_used, result.samples_requested);
+    if (auto* fb =
+            dynamic_cast<forecast::FallbackForecaster*>(forecaster.get())) {
+      out << ", served by " << fb->last_used();
+    }
+    out << "\n";
+    for (const std::string& warning : result.warnings) {
+      out << "  warning: " << warning << "\n";
+    }
+  }
 
   // Print the forecast as CSV rows on stdout.
   out << WriteCsv(result.forecast.ToCsv());
@@ -257,6 +297,16 @@ Result<std::unique_ptr<forecast::Forecaster>> MakeForecaster(
     const MethodSpec& spec) {
   MC_ASSIGN_OR_RETURN(lm::ModelProfile profile,
                       ProfileByName(spec.profile));
+
+  lm::FaultProfile faults = spec.chaos > 0.0
+                                ? lm::FaultProfile::Chaos(spec.chaos,
+                                                          spec.chaos_seed)
+                                : lm::FaultProfile::None();
+  forecast::ResilienceConfig resilience;
+  resilience.retries_enabled = spec.retries > 0;
+  resilience.retry.max_attempts = spec.retries + 1;
+  resilience.max_redraws = spec.redraws;
+
   auto multicast_with = [&](multiplex::MuxKind mux)
       -> Result<std::unique_ptr<forecast::Forecaster>> {
     forecast::MultiCastOptions opts;
@@ -265,6 +315,8 @@ Result<std::unique_ptr<forecast::Forecaster>> MakeForecaster(
     opts.digits = spec.digits;
     opts.seed = spec.seed;
     opts.profile = profile;
+    opts.faults = faults;
+    opts.resilience = resilience;
     if (spec.sax == "alpha") {
       opts.quantization = forecast::Quantization::kSaxAlphabetic;
     } else if (spec.sax == "digit") {
@@ -276,23 +328,51 @@ Result<std::unique_ptr<forecast::Forecaster>> MakeForecaster(
     opts.sax_alphabet_size = spec.sax_alphabet;
     return {std::make_unique<forecast::MultiCastForecaster>(opts)};
   };
-
-  if (spec.name == "DI") {
-    return multicast_with(multiplex::MuxKind::kDigitInterleave);
-  }
-  if (spec.name == "VI") {
-    return multicast_with(multiplex::MuxKind::kValueInterleave);
-  }
-  if (spec.name == "VC") {
-    return multicast_with(multiplex::MuxKind::kValueConcat);
-  }
-  if (spec.name == "LLMTIME") {
+  auto llmtime = [&]() -> std::unique_ptr<forecast::Forecaster> {
     forecast::LlmTimeOptions opts;
     opts.num_samples = spec.samples;
     opts.digits = spec.digits;
     opts.seed = spec.seed;
     opts.profile = profile;
-    return {std::make_unique<forecast::LlmTimeForecaster>(opts)};
+    opts.faults = faults;
+    opts.resilience = resilience;
+    return std::make_unique<forecast::LlmTimeForecaster>(opts);
+  };
+  // Wraps an LLM-path forecaster in the MultiCast -> LLMTime -> naive
+  // demotion chain.
+  auto with_fallback = [&](std::unique_ptr<forecast::Forecaster> primary,
+                           bool add_llmtime)
+      -> Result<std::unique_ptr<forecast::Forecaster>> {
+    if (!spec.fallback) return {std::move(primary)};
+    std::vector<std::unique_ptr<forecast::Forecaster>> chain;
+    chain.push_back(std::move(primary));
+    if (add_llmtime) chain.push_back(llmtime());
+    chain.push_back(std::make_unique<baselines::NaiveLastForecaster>());
+    return {std::make_unique<forecast::FallbackForecaster>(
+        std::move(chain))};
+  };
+
+  if (spec.name == "DI") {
+    MC_ASSIGN_OR_RETURN(
+        auto primary, multicast_with(multiplex::MuxKind::kDigitInterleave));
+    return with_fallback(std::move(primary), /*add_llmtime=*/true);
+  }
+  if (spec.name == "VI") {
+    MC_ASSIGN_OR_RETURN(
+        auto primary, multicast_with(multiplex::MuxKind::kValueInterleave));
+    return with_fallback(std::move(primary), /*add_llmtime=*/true);
+  }
+  if (spec.name == "VC") {
+    MC_ASSIGN_OR_RETURN(
+        auto primary, multicast_with(multiplex::MuxKind::kValueConcat));
+    return with_fallback(std::move(primary), /*add_llmtime=*/true);
+  }
+  if (spec.name == "LLMTIME") {
+    return with_fallback(llmtime(), /*add_llmtime=*/false);
+  }
+  if (spec.fallback) {
+    return Status::InvalidArgument(
+        "--fallback applies to the LLM methods (DI, VI, VC, LLMTIME)");
   }
   if (spec.name == "ARIMA") {
     baselines::ArimaOptions opts;
@@ -336,6 +416,8 @@ std::string UsageText() {
       "            [--sax-alphabet 5] [--profile llama2|phi2|ctw]\n"
       "            [--quantiles 0.1,0.9] [--seed 42] [--output out.csv]\n"
       "            [--plot]\n"
+      "            chaos/resilience: [--chaos 0.2] [--chaos-seed N]\n"
+      "            [--retries 3] [--redraws 4] [--fallback]\n"
       "  evaluate  --input feed.csv --horizon 12 [--folds 3] [--stride 12]\n"
       "  impute    --input feed.csv [--output out.csv]\n"
       "  anomaly   --input feed.csv [--quantile 0.98]\n"

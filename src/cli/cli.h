@@ -32,7 +32,8 @@ Result<int> RunCommand(const std::vector<std::string>& args,
 
 /// Builds a forecaster from its CLI name: DI, VI, VC, LLMTIME, ARIMA,
 /// LSTM, HW (Holt–Winters), NAIVE, DRIFT. MultiCast variants honor
-/// `samples`, `digits`, `seed` and the SAX settings.
+/// `samples`, `digits`, `seed`, the SAX settings and the chaos /
+/// resilience knobs.
 struct MethodSpec {
   std::string name = "VI";
   int samples = 5;
@@ -42,6 +43,20 @@ struct MethodSpec {
   int sax_segment = 6;
   int sax_alphabet = 5;
   std::string profile = "llama2";  // llama2 | phi2 | ctw
+  /// Injected backend fault rate in [0, 1]: every failure mode
+  /// (outage, latency spike, rate limit, truncation, corruption) fires
+  /// at this per-call probability. 0 = clean backend.
+  double chaos = 0.0;
+  /// Seed of the deterministic fault schedule.
+  uint64_t chaos_seed = 0xC0FFEE;
+  /// Retries per LLM call after the first attempt (exponential backoff
+  /// + circuit breaker). 0 disables the resilient wrapper entirely.
+  int retries = 3;
+  /// Extra sample redraws allowed when a sample's call fails terminally.
+  int redraws = 4;
+  /// Wrap the method in a fallback chain that demotes LLM-path failures
+  /// (MultiCast -> LLMTime -> NaiveLast).
+  bool fallback = false;
 };
 
 Result<std::unique_ptr<forecast::Forecaster>> MakeForecaster(

@@ -1,0 +1,58 @@
+#include "forecast/fallback.h"
+
+#include <utility>
+
+#include "util/strings.h"
+
+namespace multicast {
+namespace forecast {
+
+FallbackForecaster::FallbackForecaster(
+    std::vector<std::unique_ptr<Forecaster>> chain)
+    : chain_(std::move(chain)) {
+  MC_CHECK(!chain_.empty());
+  for (const auto& link : chain_) MC_CHECK(link != nullptr);
+}
+
+std::string FallbackForecaster::name() const {
+  std::string out = "Fallback(";
+  for (size_t i = 0; i < chain_.size(); ++i) {
+    if (i > 0) out += " -> ";
+    out += chain_[i]->name();
+  }
+  out += ")";
+  return out;
+}
+
+Result<ForecastResult> FallbackForecaster::Forecast(const ts::Frame& history,
+                                                    size_t horizon) {
+  std::vector<std::string> demotions;
+  for (size_t i = 0; i < chain_.size(); ++i) {
+    Result<ForecastResult> attempt = chain_[i]->Forecast(history, horizon);
+    if (!attempt.ok()) {
+      demotions.push_back(StrFormat(
+          "%s failed (%s)", chain_[i]->name().c_str(),
+          attempt.status().ToString().c_str()));
+      continue;
+    }
+    ForecastResult result = std::move(attempt).value();
+    last_used_ = chain_[i]->name();
+    last_used_index_ = i;
+    if (i > 0) {
+      // Anything below the primary is a degraded answer by definition.
+      result.degraded = true;
+      result.warnings.insert(result.warnings.begin(), demotions.begin(),
+                             demotions.end());
+    }
+    return result;
+  }
+  std::string summary = "every fallback link failed: ";
+  for (size_t i = 0; i < demotions.size(); ++i) {
+    if (i > 0) summary += "; ";
+    summary += demotions[i];
+  }
+  return Status::Unavailable(std::move(summary));
+}
+
+}  // namespace forecast
+}  // namespace multicast

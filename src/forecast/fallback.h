@@ -1,0 +1,51 @@
+// Fallback chain: demote to a cheaper method instead of erroring.
+//
+// A serving deployment cannot return "Unavailable" to millions of users
+// because the LLM tier is down: it demotes. FallbackForecaster tries an
+// ordered chain of forecasters (canonically MultiCast -> LLMTime ->
+// naive) and returns the first success, flagging the result degraded
+// whenever anything but the primary produced it. Only when *every* link
+// fails does Forecast() return an error.
+
+#ifndef MULTICAST_FORECAST_FALLBACK_H_
+#define MULTICAST_FORECAST_FALLBACK_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "forecast/forecaster.h"
+
+namespace multicast {
+namespace forecast {
+
+/// See file comment. The chain is ordered most- to least-preferred.
+class FallbackForecaster final : public Forecaster {
+ public:
+  /// `chain` must be non-empty; entries must be non-null.
+  explicit FallbackForecaster(
+      std::vector<std::unique_ptr<Forecaster>> chain);
+
+  /// "Fallback(MultiCast (VI) -> LLMTIME -> NaiveLast)".
+  std::string name() const override;
+
+  Result<ForecastResult> Forecast(const ts::Frame& history,
+                                  size_t horizon) override;
+
+  size_t chain_length() const { return chain_.size(); }
+
+  /// Name and chain index of the forecaster that produced the most
+  /// recent successful result ("" / 0 before the first call).
+  const std::string& last_used() const { return last_used_; }
+  size_t last_used_index() const { return last_used_index_; }
+
+ private:
+  std::vector<std::unique_ptr<Forecaster>> chain_;
+  std::string last_used_;
+  size_t last_used_index_ = 0;
+};
+
+}  // namespace forecast
+}  // namespace multicast
+
+#endif  // MULTICAST_FORECAST_FALLBACK_H_

@@ -4,13 +4,34 @@
 #define MULTICAST_FORECAST_FORECASTER_H_
 
 #include <string>
+#include <vector>
 
 #include "lm/generator.h"
+#include "lm/resilient_backend.h"
 #include "ts/frame.h"
 #include "util/status.h"
 
 namespace multicast {
 namespace forecast {
+
+/// How an LLM-backed forecaster behaves when backend calls fail or
+/// return damaged streams. Shared by MultiCastOptions / LlmTimeOptions.
+struct ResilienceConfig {
+  /// Wraps the backend in a lm::ResilientBackend (retry with exponential
+  /// backoff + jitter, per-attempt deadlines, circuit breaker). Off by
+  /// default so the clean pipeline is bit-identical to the paper runs.
+  bool retries_enabled = false;
+  lm::RetryPolicy retry;
+  lm::CircuitBreakerPolicy breaker;
+  /// Extra sample draws allowed beyond num_samples to replace samples
+  /// whose call failed or whose stream was unusable. Graceful
+  /// degradation (redraw + prefix salvage + subset aggregation) is
+  /// always active; this only caps how hard it tries.
+  int max_redraws = 4;
+  /// Minimum surviving samples for a usable forecast; fewer makes
+  /// Forecast() fail (a FallbackForecaster can then demote).
+  int min_samples = 1;
+};
 
 /// A multivariate forecast plus its cost accounting.
 struct ForecastResult {
@@ -25,6 +46,20 @@ struct ForecastResult {
   lm::TokenLedger ledger;
   /// Wall-clock seconds spent inside Forecast().
   double seconds = 0.0;
+  /// Retry/backoff accounting of the resilient LLM backend (all zeros
+  /// when resilience is disabled or the method makes no LLM calls).
+  lm::RetryStats retry_stats;
+  /// True when the result was assembled under degraded conditions: fewer
+  /// samples than requested survived, a sample was salvaged from a
+  /// truncated/corrupted stream, or a fallback method had to step in.
+  /// The forecast still always has full dims x horizon shape.
+  bool degraded = false;
+  /// Sample accounting of sampling-based methods (zeros for classical
+  /// ones): how many samples the method wanted vs. how many survived.
+  size_t samples_requested = 0;
+  size_t samples_used = 0;
+  /// Human-readable notes about what degraded and why (one per event).
+  std::vector<std::string> warnings;
 };
 
 /// A method that extends a multivariate history by `horizon` steps.

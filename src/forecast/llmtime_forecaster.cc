@@ -21,6 +21,8 @@ Result<ForecastResult> LlmTimeForecaster::Forecast(const ts::Frame& history,
   mc.num_samples = options_.num_samples;
   mc.profile = options_.profile;
   mc.scaler = options_.scaler;
+  mc.faults = options_.faults;
+  mc.resilience = options_.resilience;
 
   ForecastResult result;
   std::vector<ts::Series> out_dims;
@@ -28,12 +30,22 @@ Result<ForecastResult> LlmTimeForecaster::Forecast(const ts::Frame& history,
     MC_ASSIGN_OR_RETURN(
         ts::Frame uni,
         ts::Frame::FromSeries({history.dim(d)}, history.dim(d).name()));
-    // Decorrelated seeds per dimension keep samples independent.
+    // Decorrelated seeds per dimension keep samples independent. The
+    // fault-schedule seed shifts with the dimension too, so one noisy
+    // window does not hit every dimension identically.
     mc.seed = options_.seed + 0x9e3779b97f4a7c15ULL * (d + 1);
+    mc.faults.seed = options_.faults.seed + d;
     MultiCastForecaster forecaster(mc);
     MC_ASSIGN_OR_RETURN(ForecastResult uni_result,
                         forecaster.Forecast(uni, horizon));
     result.ledger += uni_result.ledger;
+    result.retry_stats += uni_result.retry_stats;
+    result.degraded = result.degraded || uni_result.degraded;
+    result.samples_requested += uni_result.samples_requested;
+    result.samples_used += uni_result.samples_used;
+    for (const std::string& warning : uni_result.warnings) {
+      result.warnings.push_back(history.dim(d).name() + ": " + warning);
+    }
     out_dims.push_back(uni_result.forecast.dim(0));
   }
   MC_ASSIGN_OR_RETURN(result.forecast,

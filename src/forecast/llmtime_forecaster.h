@@ -9,6 +9,7 @@
 #include <string>
 
 #include "forecast/forecaster.h"
+#include "lm/fault_injection.h"
 #include "lm/profiles.h"
 #include "scale/scaler.h"
 
@@ -23,6 +24,10 @@ struct LlmTimeOptions {
   lm::ModelProfile profile = lm::ModelProfile::Llama2_7B();
   scale::ScalerOptions scaler;
   uint64_t seed = 42;
+  /// Injected fault model and resilience behaviour, applied to every
+  /// per-dimension pipeline (same semantics as MultiCastOptions).
+  lm::FaultProfile faults;
+  ResilienceConfig resilience;
 };
 
 /// Runs a univariate serialized forecast per dimension and stitches the

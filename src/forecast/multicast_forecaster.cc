@@ -1,7 +1,9 @@
 #include "forecast/multicast_forecaster.h"
 
 #include <algorithm>
+#include <memory>
 
+#include "lm/resilient_backend.h"
 #include "token/codec.h"
 #include "ts/stats.h"
 #include "util/strings.h"
@@ -34,15 +36,25 @@ lm::GrammarMask StructuredMask(const multiplex::Multiplexer& mux,
 }
 
 // Builds the median point forecast and any requested quantile bands
-// from the per-dimension sample matrix, writing into `result`.
+// from the per-dimension sample matrix, writing into `result`. Samples
+// may be ragged (salvaged prefixes); the output is always dims x
+// `horizon`, and any hold-last fill marks the result degraded.
 Status FillAggregates(
     const std::vector<std::vector<std::vector<double>>>& samples_per_dim,
     const ts::Frame& history, const std::vector<double>& quantiles,
-    ForecastResult* result) {
+    size_t horizon, ForecastResult* result) {
   std::vector<ts::Series> out_dims;
   for (size_t d = 0; d < samples_per_dim.size(); ++d) {
+    bool held_tail = false;
     MC_ASSIGN_OR_RETURN(std::vector<double> agg,
-                        MedianAggregate(samples_per_dim[d]));
+                        QuantileAggregateRagged(samples_per_dim[d], 0.5,
+                                                horizon, &held_tail));
+    if (held_tail) {
+      result->degraded = true;
+      result->warnings.push_back(StrFormat(
+          "dimension %zu: no surviving sample covers the full horizon; "
+          "tail timestamps hold the last aggregated value", d));
+    }
     out_dims.emplace_back(std::move(agg), history.dim(d).name());
   }
   MC_ASSIGN_OR_RETURN(result->forecast,
@@ -59,13 +71,133 @@ Status FillAggregates(
     std::vector<ts::Series> band_dims;
     for (size_t d = 0; d < samples_per_dim.size(); ++d) {
       MC_ASSIGN_OR_RETURN(std::vector<double> agg,
-                          QuantileAggregate(samples_per_dim[d], level));
+                          QuantileAggregateRagged(samples_per_dim[d], level,
+                                                  horizon));
       band_dims.emplace_back(std::move(agg), history.dim(d).name());
     }
     MC_ASSIGN_OR_RETURN(ts::Frame band,
                         ts::Frame::FromSeries(std::move(band_dims),
                                               history.name()));
     result->quantile_bands.emplace_back(level, std::move(band));
+  }
+  return Status::OK();
+}
+
+// The per-forecast backend stack: simulated decoder, optionally behind
+// the fault injector, optionally behind the resilient retry layer.
+struct BackendStack {
+  std::unique_ptr<lm::SimulatedLlm> base;
+  std::unique_ptr<lm::FaultInjectingBackend> faults;
+  std::unique_ptr<lm::ResilientBackend> resilient;
+  lm::LlmBackend* top = nullptr;
+};
+
+BackendStack BuildBackendStack(const MultiCastOptions& options,
+                               size_t vocab_size) {
+  BackendStack stack;
+  stack.base = std::make_unique<lm::SimulatedLlm>(options.profile,
+                                                  vocab_size);
+  stack.top = stack.base.get();
+  if (options.faults.any()) {
+    stack.faults = std::make_unique<lm::FaultInjectingBackend>(
+        stack.top, options.faults);
+    stack.top = stack.faults.get();
+  }
+  if (options.resilience.retries_enabled) {
+    stack.resilient = std::make_unique<lm::ResilientBackend>(
+        stack.top, options.resilience.retry, options.resilience.breaker);
+    stack.top = stack.resilient.get();
+  }
+  return stack;
+}
+
+// Longest prefix of `text` that obeys the multiplexer's position
+// grammar, measured in *complete* timestamps. Corrupted generations put
+// commas at digit positions (or vice versa); everything before the first
+// violation, rounded down to a whole timestamp cycle, is salvageable.
+size_t GrammarValidTimestamps(const std::string& text,
+                              const multiplex::Multiplexer& mux,
+                              const std::vector<int>& widths) {
+  const size_t cycle = mux.TokensPerTimestamp(widths);
+  size_t complete = 0;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const bool want_comma = mux.IsSeparatorPosition(i % cycle, widths);
+    if ((text[i] == ',') != want_comma) break;
+    if (i % cycle + 1 == cycle) ++complete;
+  }
+  return complete;
+}
+
+// Outcome of drawing one sample through the backend stack: either a
+// usable (possibly shortened) generation or a reason to skip/redraw.
+struct SampleDraw {
+  bool usable = false;
+  std::string text;            // grammar-valid prefix, whole timestamps
+  size_t timestamps = 0;       // timestamps `text` covers
+  Status failure;              // why the draw was skipped (when !usable)
+};
+
+// Draws one sample and salvages the grammar-valid prefix. Terminal
+// (non-retryable) statuses propagate as errors; transient failures and
+// fully corrupted streams come back as unusable draws the caller may
+// redraw.
+Result<SampleDraw> DrawSample(lm::LlmBackend* backend,
+                              const std::vector<token::TokenId>& prompt,
+                              size_t tokens_needed,
+                              const lm::GrammarMask& mask, Rng* sample_rng,
+                              const multiplex::Multiplexer& mux,
+                              const std::vector<int>& widths,
+                              const token::Vocabulary& vocab,
+                              lm::TokenLedger* ledger) {
+  SampleDraw draw;
+  Result<lm::GenerationResult> gen_or =
+      backend->Complete(prompt, tokens_needed, mask, sample_rng);
+  if (!gen_or.ok()) {
+    if (!IsRetryable(gen_or.status().code())) return gen_or.status();
+    draw.failure = gen_or.status();
+    return draw;
+  }
+  lm::GenerationResult gen = std::move(gen_or).value();
+  *ledger += gen.ledger;
+  MC_ASSIGN_OR_RETURN(std::string text, token::Decode(gen.tokens, vocab));
+  draw.timestamps = GrammarValidTimestamps(text, mux, widths);
+  if (draw.timestamps == 0) {
+    draw.failure = Status::Unavailable(
+        "generation corrupted before the first complete timestamp");
+    return draw;
+  }
+  text.resize(draw.timestamps * mux.TokensPerTimestamp(widths));
+  draw.text = std::move(text);
+  draw.usable = true;
+  return draw;
+}
+
+// Shared post-loop bookkeeping: surviving-sample accounting, degraded
+// flag, retry stats, and the minimum-survivor check.
+Status FinishSampling(const MultiCastOptions& options, int survivors,
+                      const Status& last_failure, const BackendStack& stack,
+                      ForecastResult* result) {
+  result->samples_requested = static_cast<size_t>(options.num_samples);
+  result->samples_used = static_cast<size_t>(survivors);
+  if (stack.resilient != nullptr) {
+    result->retry_stats = stack.resilient->stats();
+  }
+  const int min_samples = std::max(1, options.resilience.min_samples);
+  if (survivors < min_samples) {
+    Status cause = last_failure.ok()
+                       ? Status::Unavailable("no failure recorded")
+                       : last_failure;
+    return Status(cause.code(),
+                  StrFormat("only %d of %d samples survived (minimum %d); "
+                            "last failure: %s",
+                            survivors, options.num_samples, min_samples,
+                            cause.ToString().c_str()));
+  }
+  if (survivors < options.num_samples) {
+    result->degraded = true;
+    result->warnings.push_back(
+        StrFormat("aggregated %d of %d requested samples", survivors,
+                  options.num_samples));
   }
   return Status::OK();
 }
@@ -148,48 +280,65 @@ Result<ForecastResult> MultiCastForecaster::ForecastRaw(
   MC_ASSIGN_OR_RETURN(std::vector<token::TokenId> prompt,
                       token::Encode(stream, vocab));
 
-  // 4. Draw n constrained continuations.
+  // 4. Draw constrained continuations through the backend stack,
+  // redrawing failed samples up to the resilience cap.
   size_t tokens_needed = horizon * mux->TokensPerTimestamp(widths);
   lm::GrammarMask mask = StructuredMask(*mux, widths, vocab);
-  lm::SimulatedLlm llm(options_.profile, vocab.size());
+  BackendStack stack = BuildBackendStack(options_, vocab.size());
   Rng rng(options_.seed, /*stream=*/7);
 
-  // samples_per_dim[d][s] is sample s of dimension d.
+  // samples_per_dim[d][s] is sample s of dimension d (possibly a
+  // salvaged prefix shorter than `horizon`).
   std::vector<std::vector<std::vector<double>>> samples_per_dim(dims);
   ForecastResult result;
-  for (int s = 0; s < options_.num_samples; ++s) {
+  const int target = options_.num_samples;
+  const int max_draws = target + std::max(0, options_.resilience.max_redraws);
+  int survivors = 0;
+  Status last_failure = Status::OK();
+  for (int s = 0; s < max_draws && survivors < target; ++s) {
     Rng sample_rng = rng.Fork();
     MC_ASSIGN_OR_RETURN(
-        lm::GenerationResult gen,
-        llm.Complete(prompt, tokens_needed, mask, &sample_rng));
-    result.ledger += gen.ledger;
-    MC_ASSIGN_OR_RETURN(std::string text, token::Decode(gen.tokens, vocab));
+        SampleDraw draw,
+        DrawSample(stack.top, prompt, tokens_needed, mask, &sample_rng,
+                   *mux, widths, vocab, &result.ledger));
+    if (!draw.usable) {
+      last_failure = draw.failure;
+      result.warnings.push_back(StrFormat(
+          "sample draw %d lost: %s", s, draw.failure.ToString().c_str()));
+      continue;
+    }
 
-    // 5. Demultiplex and descale this sample.
+    // 5. Demultiplex and descale the salvaged prefix of this sample.
     MC_ASSIGN_OR_RETURN(
         multiplex::MuxInput demuxed,
-        mux->Demultiplex(text, widths, /*allow_partial=*/true));
-    if (demuxed.num_timestamps() < horizon) {
-      return Status::Internal(
-          StrFormat("sample %d decoded %zu of %zu timestamps", s,
-                    demuxed.num_timestamps(), horizon));
+        mux->Demultiplex(draw.text, widths, /*allow_partial=*/true));
+    const size_t usable =
+        std::min<size_t>(horizon, demuxed.num_timestamps());
+    if (usable < horizon) {
+      result.degraded = true;
+      result.warnings.push_back(StrFormat(
+          "sample draw %d truncated: salvaged %zu of %zu timestamps", s,
+          usable, horizon));
     }
     for (size_t d = 0; d < dims; ++d) {
       std::vector<int64_t> scaled;
-      scaled.reserve(horizon);
-      for (size_t t = 0; t < horizon; ++t) {
+      scaled.reserve(usable);
+      for (size_t t = 0; t < usable; ++t) {
         MC_ASSIGN_OR_RETURN(int64_t v,
                             token::ParseFixedWidthDigits(demuxed.values[d][t]));
         scaled.push_back(v);
       }
       samples_per_dim[d].push_back(scale::DescaleValues(scaled, params[d]));
     }
+    ++survivors;
   }
+  MC_RETURN_IF_ERROR(
+      FinishSampling(options_, survivors, last_failure, stack, &result));
 
-  // 6. Median across samples (+ quantile bands), per dimension and
-  // timestamp.
+  // 6. Median across surviving samples (+ quantile bands), per dimension
+  // and timestamp.
   MC_RETURN_IF_ERROR(FillAggregates(samples_per_dim, history,
-                                    options_.quantiles, &result));
+                                    options_.quantiles, horizon, &result));
   result.seconds = timer.Seconds();
   return result;
 }
@@ -243,44 +392,62 @@ Result<ForecastResult> MultiCastForecaster::ForecastSax(
       static_cast<size_t>(options_.sax_segment_length);
   size_t tokens_needed = segments_needed * mux->TokensPerTimestamp(widths);
   lm::GrammarMask mask = StructuredMask(*mux, widths, vocab);
-  lm::SimulatedLlm llm(options_.profile, vocab.size());
+  BackendStack stack = BuildBackendStack(options_, vocab.size());
   Rng rng(options_.seed, /*stream=*/11);
 
+  const size_t segment_length =
+      static_cast<size_t>(options_.sax_segment_length);
   std::vector<std::vector<std::vector<double>>> samples_per_dim(dims);
   ForecastResult result;
-  for (int s = 0; s < options_.num_samples; ++s) {
+  const int target = options_.num_samples;
+  const int max_draws = target + std::max(0, options_.resilience.max_redraws);
+  int survivors = 0;
+  Status last_failure = Status::OK();
+  for (int s = 0; s < max_draws && survivors < target; ++s) {
     Rng sample_rng = rng.Fork();
     MC_ASSIGN_OR_RETURN(
-        lm::GenerationResult gen,
-        llm.Complete(prompt, tokens_needed, mask, &sample_rng));
-    result.ledger += gen.ledger;
-    MC_ASSIGN_OR_RETURN(std::string text, token::Decode(gen.tokens, vocab));
+        SampleDraw draw,
+        DrawSample(stack.top, prompt, tokens_needed, mask, &sample_rng,
+                   *mux, widths, vocab, &result.ledger));
+    if (!draw.usable) {
+      last_failure = draw.failure;
+      result.warnings.push_back(StrFormat(
+          "sample draw %d lost: %s", s, draw.failure.ToString().c_str()));
+      continue;
+    }
 
-    // 5. Demultiplex the symbol stream back into per-dimension SAX words.
+    // 5. Demultiplex the salvaged symbol stream back into per-dimension
+    // SAX words (one symbol per surviving segment).
     MC_ASSIGN_OR_RETURN(
         multiplex::MuxInput demuxed,
-        mux->Demultiplex(text, widths, /*allow_partial=*/true));
-    std::vector<std::string> words(dims);
-    for (size_t d = 0; d < dims; ++d) {
-      for (const std::string& symbol : demuxed.values[d]) {
-        words[d].push_back(symbol[0]);
-      }
+        mux->Demultiplex(draw.text, widths, /*allow_partial=*/true));
+    const size_t usable_segments =
+        std::min(segments_needed, demuxed.num_timestamps());
+    const size_t usable_steps =
+        std::min(horizon, usable_segments * segment_length);
+    if (usable_segments < segments_needed) {
+      result.degraded = true;
+      result.warnings.push_back(StrFormat(
+          "sample draw %d truncated: salvaged %zu of %zu segments", s,
+          usable_segments, segments_needed));
     }
     for (size_t d = 0; d < dims; ++d) {
-      if (words[d].size() < segments_needed) {
-        return Status::Internal(
-            StrFormat("sample %d decoded %zu of %zu segments", s,
-                      words[d].size(), segments_needed));
+      std::string word;
+      word.reserve(usable_segments);
+      for (size_t seg = 0; seg < usable_segments; ++seg) {
+        word.push_back(demuxed.values[d][seg][0]);
       }
-      words[d].resize(segments_needed);
       MC_ASSIGN_OR_RETURN(std::vector<double> values,
-                          codecs[d].Decode(words[d], horizon));
+                          codecs[d].Decode(word, usable_steps));
       samples_per_dim[d].push_back(std::move(values));
     }
+    ++survivors;
   }
+  MC_RETURN_IF_ERROR(
+      FinishSampling(options_, survivors, last_failure, stack, &result));
 
   MC_RETURN_IF_ERROR(FillAggregates(samples_per_dim, history,
-                                    options_.quantiles, &result));
+                                    options_.quantiles, horizon, &result));
   result.seconds = timer.Seconds();
   return result;
 }
@@ -309,6 +476,39 @@ Result<std::vector<double>> QuantileAggregate(
     std::vector<double> column;
     column.reserve(samples.size());
     for (const auto& s : samples) column.push_back(s[t]);
+    out.push_back(ts::Quantile(std::move(column), q));
+  }
+  return out;
+}
+
+Result<std::vector<double>> QuantileAggregateRagged(
+    const std::vector<std::vector<double>>& samples, double q,
+    size_t out_length, bool* held_tail) {
+  if (held_tail != nullptr) *held_tail = false;
+  if (samples.empty()) return Status::InvalidArgument("no samples");
+  if (!(q > 0.0 && q < 1.0)) {
+    return Status::InvalidArgument(
+        StrFormat("quantile %g outside (0, 1)", q));
+  }
+  std::vector<double> out;
+  out.reserve(out_length);
+  for (size_t t = 0; t < out_length; ++t) {
+    std::vector<double> column;
+    column.reserve(samples.size());
+    for (const auto& s : samples) {
+      if (t < s.size()) column.push_back(s[t]);
+    }
+    if (column.empty()) {
+      if (out.empty()) {
+        return Status::InvalidArgument(
+            "no sample covers the first timestamp");
+      }
+      // Hold the last aggregated value: shape is preserved even when
+      // every surviving sample was truncated short of the horizon.
+      out.push_back(out.back());
+      if (held_tail != nullptr) *held_tail = true;
+      continue;
+    }
     out.push_back(ts::Quantile(std::move(column), q));
   }
   return out;

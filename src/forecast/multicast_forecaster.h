@@ -18,6 +18,7 @@
 #include <string>
 
 #include "forecast/forecaster.h"
+#include "lm/fault_injection.h"
 #include "lm/profiles.h"
 #include "multiplex/multiplexer.h"
 #include "sax/sax.h"
@@ -58,6 +59,12 @@ struct MultiCastOptions {
   /// samples per timestamp. Empty disables bands. Levels finer than the
   /// sample count resolves are interpolated.
   std::vector<double> quantiles;
+  /// Injected fault model of the simulated backend (None = clean path,
+  /// bit-identical to the paper pipeline).
+  lm::FaultProfile faults;
+  /// Retry/fallback behaviour when backend calls fail (see
+  /// ResilienceConfig in forecaster.h).
+  ResilienceConfig resilience;
 };
 
 /// See file comment.
@@ -91,6 +98,16 @@ Result<std::vector<double>> MedianAggregate(
 /// MedianAggregate; q must be in (0, 1)).
 Result<std::vector<double>> QuantileAggregate(
     const std::vector<std::vector<double>>& samples, double q);
+
+/// Degradation-tolerant variant: samples may have differing lengths
+/// (salvaged prefixes of truncated/corrupted generations). Timestamp t
+/// aggregates over the samples that still cover t; timestamps no sample
+/// reaches hold the last aggregated value so the output always has
+/// exactly `out_length` entries. `held_tail` (optional) reports whether
+/// that hold-last fill was needed. At least one sample must cover t=0.
+Result<std::vector<double>> QuantileAggregateRagged(
+    const std::vector<std::vector<double>>& samples, double q,
+    size_t out_length, bool* held_tail = nullptr);
 
 }  // namespace forecast
 }  // namespace multicast

@@ -1,0 +1,105 @@
+// The LLM-call boundary: one stateless completion per call.
+//
+// Everything above this interface (forecasters, imputation, anomaly
+// scoring) treats the language model as a remote service that may fail:
+// a Complete() call can time out, get rate-limited, return a truncated
+// generation, or corrupt tokens in flight. `LlmBackend` is the seam the
+// resilience decorators compose over:
+//
+//   SimulatedLlm            the clean simulated decoder (lm/generator.h)
+//   FaultInjectingBackend   deterministic chaos (lm/fault_injection.h)
+//   ResilientBackend        retry/backoff + circuit breaker
+//                           (lm/resilient_backend.h)
+//
+// Decorators hold a pointer to the wrapped backend and own no model
+// state, so any stack order type-checks; the forecasters build
+// SimulatedLlm -> faults -> resilience.
+
+#ifndef MULTICAST_LM_BACKEND_H_
+#define MULTICAST_LM_BACKEND_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "token/vocabulary.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace multicast {
+namespace lm {
+
+/// Running count of tokens consumed and produced, the unit the paper's
+/// cost argument (Sec. II) and the execution-time tables are driven by.
+struct TokenLedger {
+  size_t prompt_tokens = 0;
+  size_t generated_tokens = 0;
+
+  size_t total() const { return prompt_tokens + generated_tokens; }
+
+  TokenLedger& operator+=(const TokenLedger& other) {
+    prompt_tokens += other.prompt_tokens;
+    generated_tokens += other.generated_tokens;
+    return *this;
+  }
+};
+
+/// Per-position output constraint: returns the allowed-token mask for
+/// generation step `step` (0-based). This generalizes LLMTime's "only
+/// [0-9,]" restriction to the multiplexers' position grammars.
+using GrammarMask = std::function<std::vector<bool>(size_t step)>;
+
+/// A mask allowing every token of a `vocab_size` vocabulary.
+GrammarMask AllowAll(size_t vocab_size);
+
+struct GenerationResult {
+  std::vector<token::TokenId> tokens;
+  TokenLedger ledger;
+};
+
+/// Caller-side options for one Complete() call.
+struct CallOptions {
+  /// Simulated-time budget for this call; a backend whose (simulated)
+  /// latency exceeds it answers kDeadlineExceeded. 0 disables the
+  /// deadline. The ResilientBackend fills this in per attempt.
+  double deadline_seconds = 0.0;
+};
+
+/// One stateless LLM completion service.
+///
+/// Each Complete() behaves like one API call to a hosted model: no state
+/// leaks between calls (zero-shot discipline), and the call can fail
+/// with a retryable Status (see IsRetryable) that upper layers handle.
+class LlmBackend {
+ public:
+  virtual ~LlmBackend() = default;
+
+  /// Human-readable backend identity, decorators append their own tag
+  /// ("llama2-7b-sim+faults+retry").
+  virtual std::string name() const = 0;
+
+  virtual size_t vocab_size() const = 0;
+
+  /// Generates `num_tokens` continuation tokens for `prompt` under the
+  /// grammar `mask`, drawing randomness from `rng`.
+  virtual Result<GenerationResult> Complete(
+      const std::vector<token::TokenId>& prompt, size_t num_tokens,
+      const GrammarMask& mask, Rng* rng, const CallOptions& call) = 0;
+
+  /// Simulated latency of the most recent Complete() call, for virtual-
+  /// time accounting in decorators. Backends without a latency model
+  /// report 0.
+  virtual double last_latency_seconds() const { return 0.0; }
+
+  /// Convenience overload: no deadline.
+  Result<GenerationResult> Complete(const std::vector<token::TokenId>& prompt,
+                                    size_t num_tokens, const GrammarMask& mask,
+                                    Rng* rng) {
+    return Complete(prompt, num_tokens, mask, rng, CallOptions{});
+  }
+};
+
+}  // namespace lm
+}  // namespace multicast
+
+#endif  // MULTICAST_LM_BACKEND_H_

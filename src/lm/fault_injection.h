@@ -1,0 +1,141 @@
+// Deterministic chaos for the LLM call path.
+//
+// A production MultiCast sits on a hosted-model API that times out,
+// rate-limits, truncates generations and occasionally corrupts output
+// (LLMTime itself resamples invalid completions). This decorator makes
+// those failure modes injectable and *reproducible*: every fault
+// decision is drawn from a private seeded PCG stream, so the same
+// FaultProfile seed yields the same fault schedule on every run and
+// machine — which is what lets the resilience tests assert exact
+// retry/backoff behaviour instead of flaky probabilistic ones.
+
+#ifndef MULTICAST_LM_FAULT_INJECTION_H_
+#define MULTICAST_LM_FAULT_INJECTION_H_
+
+#include <string>
+#include <vector>
+
+#include "lm/backend.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace multicast {
+namespace lm {
+
+/// Probabilities and shapes of the injected failure modes. All rates are
+/// per-call in [0, 1]; a zero-initialized profile injects nothing.
+struct FaultProfile {
+  /// Transient outage: the call fails with kUnavailable.
+  double unavailable_rate = 0.0;
+
+  /// Latency spike: the call's simulated latency jumps from
+  /// `base_latency_seconds` to `spike_latency_seconds`. Only harmful
+  /// when the caller set CallOptions::deadline_seconds below the spike,
+  /// in which case the call fails with kDeadlineExceeded.
+  double latency_spike_rate = 0.0;
+  double base_latency_seconds = 0.01;
+  double spike_latency_seconds = 5.0;
+
+  /// Rate limiting: the call fails with kResourceExhausted and the next
+  /// `rate_limit_burst - 1` calls fail the same way (quota windows
+  /// reject bursts, not single requests).
+  double rate_limit_rate = 0.0;
+  int rate_limit_burst = 2;
+
+  /// Truncated generation: the reply keeps only a uniform-random
+  /// fraction in [`truncation_keep_min`, 1) of the requested tokens
+  /// (at least one). The call itself succeeds — truncation is a data
+  /// fault the pipeline must salvage, not an error Status.
+  double truncation_rate = 0.0;
+  double truncation_keep_min = 0.25;
+
+  /// Corrupted output: each token of an affected reply is replaced by a
+  /// uniform-random vocabulary id with probability `corruption_density`,
+  /// ignoring the grammar mask — commas land mid-value and vice versa,
+  /// exactly the malformed digit streams LLMTime resamples away.
+  double corruption_rate = 0.0;
+  double corruption_density = 0.15;
+
+  /// Seed of the private fault stream. Same seed => same schedule.
+  uint64_t seed = 0xC0FFEEULL;
+
+  /// True when any fault rate is nonzero.
+  bool any() const {
+    return unavailable_rate > 0.0 || latency_spike_rate > 0.0 ||
+           rate_limit_rate > 0.0 || truncation_rate > 0.0 ||
+           corruption_rate > 0.0;
+  }
+
+  /// The all-zero profile (decorator becomes a passthrough).
+  static FaultProfile None() { return FaultProfile{}; }
+
+  /// Uniform chaos: every failure mode at rate `rate`. Transient errors
+  /// (unavailable / rate-limit / latency spikes) and data faults
+  /// (truncation / corruption) alike — the ablation_chaos sweep setting.
+  static FaultProfile Chaos(double rate, uint64_t seed = 0xC0FFEEULL);
+
+  /// Transient-only chaos: unavailable / rate-limit / latency spikes at
+  /// `rate`, clean payloads. Retries alone fully mask these.
+  static FaultProfile Transient(double rate, uint64_t seed = 0xC0FFEEULL);
+};
+
+/// Tally of what the injector actually did, for tests and benches.
+struct FaultCounts {
+  size_t calls = 0;
+  size_t clean = 0;
+  size_t unavailable = 0;
+  size_t deadline_exceeded = 0;
+  size_t rate_limited = 0;
+  size_t truncated = 0;
+  size_t corrupted = 0;
+
+  size_t faults() const {
+    return unavailable + deadline_exceeded + rate_limited + truncated +
+           corrupted;
+  }
+};
+
+/// Decorator injecting FaultProfile failures in front of `inner`.
+/// Not thread-safe (owns the fault stream and burst state).
+class FaultInjectingBackend final : public LlmBackend {
+ public:
+  /// `inner` must outlive this decorator.
+  FaultInjectingBackend(LlmBackend* inner, const FaultProfile& profile);
+
+  std::string name() const override { return inner_->name() + "+faults"; }
+  size_t vocab_size() const override { return inner_->vocab_size(); }
+
+  using LlmBackend::Complete;
+
+  Result<GenerationResult> Complete(const std::vector<token::TokenId>& prompt,
+                                    size_t num_tokens, const GrammarMask& mask,
+                                    Rng* rng,
+                                    const CallOptions& call) override;
+
+  const FaultProfile& profile() const { return profile_; }
+  const FaultCounts& counts() const { return counts_; }
+
+  /// Simulated latency of the most recent call (base or spike), whether
+  /// or not it completed. Lets the resilient layer charge call time to
+  /// its virtual clock.
+  double last_latency_seconds() const override {
+    return last_latency_seconds_;
+  }
+
+  /// Rewinds the fault stream to the start of the schedule (counts are
+  /// kept). Replaying with identical calls reproduces identical faults.
+  void RewindSchedule();
+
+ private:
+  LlmBackend* inner_;
+  FaultProfile profile_;
+  Rng fault_rng_;
+  FaultCounts counts_;
+  int rate_limit_remaining_ = 0;
+  double last_latency_seconds_ = 0.0;
+};
+
+}  // namespace lm
+}  // namespace multicast
+
+#endif  // MULTICAST_LM_FAULT_INJECTION_H_

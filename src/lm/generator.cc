@@ -19,7 +19,8 @@ SimulatedLlm::SimulatedLlm(const ModelProfile& profile, size_t vocab_size)
 
 Result<GenerationResult> SimulatedLlm::Complete(
     const std::vector<token::TokenId>& prompt, size_t num_tokens,
-    const GrammarMask& mask, Rng* rng) const {
+    const GrammarMask& mask, Rng* rng, const CallOptions& call) {
+  (void)call;  // the clean simulated decoder never misses a deadline
   if (prompt.empty()) {
     return Status::InvalidArgument("empty prompt");
   }

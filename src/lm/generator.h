@@ -3,9 +3,10 @@
 #ifndef MULTICAST_LM_GENERATOR_H_
 #define MULTICAST_LM_GENERATOR_H_
 
-#include <functional>
+#include <string>
 #include <vector>
 
+#include "lm/backend.h"
 #include "lm/language_model.h"
 #include "lm/profiles.h"
 #include "util/random.h"
@@ -14,52 +15,31 @@
 namespace multicast {
 namespace lm {
 
-/// Running count of tokens consumed and produced, the unit the paper's
-/// cost argument (Sec. II) and the execution-time tables are driven by.
-struct TokenLedger {
-  size_t prompt_tokens = 0;
-  size_t generated_tokens = 0;
-
-  size_t total() const { return prompt_tokens + generated_tokens; }
-
-  TokenLedger& operator+=(const TokenLedger& other) {
-    prompt_tokens += other.prompt_tokens;
-    generated_tokens += other.generated_tokens;
-    return *this;
-  }
-};
-
-/// Per-position output constraint: returns the allowed-token mask for
-/// generation step `step` (0-based). This generalizes LLMTime's "only
-/// [0-9,]" restriction to the multiplexers' position grammars.
-using GrammarMask = std::function<std::vector<bool>(size_t step)>;
-
-/// A mask allowing every token of a `vocab_size` vocabulary.
-GrammarMask AllowAll(size_t vocab_size);
-
-struct GenerationResult {
-  std::vector<token::TokenId> tokens;
-  TokenLedger ledger;
-};
-
 /// One simulated LLM back-end: a profile plus the decoding loop.
 ///
 /// Each Complete() call behaves like one stateless API call to a hosted
 /// model: the prompt is fed to a fresh decoding session (zero-shot — no
 /// state leaks between calls) and `num_tokens` constrained tokens are
-/// sampled autoregressively.
-class SimulatedLlm {
+/// sampled autoregressively. This is the always-healthy leaf of the
+/// backend stack; failure modes are layered on by FaultInjectingBackend.
+class SimulatedLlm final : public LlmBackend {
  public:
   /// `vocab_size` must match the vocabulary the prompt was encoded with.
   SimulatedLlm(const ModelProfile& profile, size_t vocab_size);
 
-  /// Generates `num_tokens` continuation tokens for `prompt`.
+  std::string name() const override { return profile_.name; }
+  size_t vocab_size() const override { return vocab_size_; }
+
+  using LlmBackend::Complete;
+
+  /// Generates `num_tokens` continuation tokens for `prompt`. Never
+  /// fails transiently; `call` (the deadline) is ignored here.
   Result<GenerationResult> Complete(const std::vector<token::TokenId>& prompt,
-                                    size_t num_tokens,
-                                    const GrammarMask& mask, Rng* rng) const;
+                                    size_t num_tokens, const GrammarMask& mask,
+                                    Rng* rng,
+                                    const CallOptions& call) override;
 
   const ModelProfile& profile() const { return profile_; }
-  size_t vocab_size() const { return vocab_size_; }
 
  private:
   ModelProfile profile_;

@@ -1,0 +1,155 @@
+#include "lm/resilient_backend.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace multicast {
+namespace lm {
+
+const char* CircuitStateName(CircuitState state) {
+  switch (state) {
+    case CircuitState::kClosed:
+      return "closed";
+    case CircuitState::kOpen:
+      return "open";
+    case CircuitState::kHalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
+RetryStats& RetryStats::operator+=(const RetryStats& other) {
+  calls += other.calls;
+  attempts += other.attempts;
+  retries += other.retries;
+  successes += other.successes;
+  failures += other.failures;
+  retryable_errors += other.retryable_errors;
+  terminal_errors += other.terminal_errors;
+  circuit_rejections += other.circuit_rejections;
+  budget_exhausted += other.budget_exhausted;
+  backoff_seconds += other.backoff_seconds;
+  latency_seconds += other.latency_seconds;
+  return *this;
+}
+
+ResilientBackend::ResilientBackend(LlmBackend* inner,
+                                   const RetryPolicy& retry,
+                                   const CircuitBreakerPolicy& breaker)
+    : inner_(inner),
+      retry_(retry),
+      breaker_(breaker),
+      jitter_rng_(retry.seed, /*stream=*/0xBAC0FF) {}
+
+void ResilientBackend::AdvanceClock(double seconds) {
+  if (seconds > 0.0) clock_seconds_ += seconds;
+}
+
+void ResilientBackend::OnFailure() {
+  ++consecutive_failures_;
+  if (!breaker_.enabled) return;
+  if (state_ == CircuitState::kHalfOpen) {
+    // A failed probe re-opens the breaker for another cooldown.
+    state_ = CircuitState::kOpen;
+    open_until_seconds_ = clock_seconds_ + breaker_.cooldown_seconds;
+  } else if (state_ == CircuitState::kClosed &&
+             consecutive_failures_ >= breaker_.failure_threshold) {
+    state_ = CircuitState::kOpen;
+    open_until_seconds_ = clock_seconds_ + breaker_.cooldown_seconds;
+  }
+}
+
+void ResilientBackend::OnSuccess() {
+  consecutive_failures_ = 0;
+  if (state_ == CircuitState::kHalfOpen) {
+    if (++half_open_successes_ >= breaker_.half_open_successes) {
+      state_ = CircuitState::kClosed;
+    }
+  }
+}
+
+Result<GenerationResult> ResilientBackend::Complete(
+    const std::vector<token::TokenId>& prompt, size_t num_tokens,
+    const GrammarMask& mask, Rng* rng, const CallOptions& call) {
+  ++stats_.calls;
+  const double call_start = clock_seconds_;
+  const int max_attempts = std::max(1, retry_.max_attempts);
+  double next_backoff = retry_.initial_backoff_seconds;
+  Status last = Status::Unavailable("no attempt was made");
+
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (breaker_.enabled && state_ == CircuitState::kOpen) {
+      if (clock_seconds_ < open_until_seconds_) {
+        ++stats_.circuit_rejections;
+        ++stats_.failures;
+        return Status::Unavailable(StrFormat(
+            "circuit breaker open for another %.3fs (after %d consecutive "
+            "failures); call rejected without contacting backend",
+            open_until_seconds_ - clock_seconds_, consecutive_failures_));
+      }
+      // Cooldown elapsed: let a probe attempt through.
+      state_ = CircuitState::kHalfOpen;
+      half_open_successes_ = 0;
+    }
+
+    ++stats_.attempts;
+    CallOptions attempt_call = call;
+    if (attempt_call.deadline_seconds <= 0.0) {
+      attempt_call.deadline_seconds = retry_.attempt_deadline_seconds;
+    }
+    Result<GenerationResult> result =
+        inner_->Complete(prompt, num_tokens, mask, rng, attempt_call);
+    double latency = inner_->last_latency_seconds();
+    if (latency > 0.0 && attempt_call.deadline_seconds > 0.0) {
+      // A deadline miss only costs the deadline, not the full spike.
+      latency = std::min(latency, attempt_call.deadline_seconds);
+    }
+    clock_seconds_ += latency;
+    stats_.latency_seconds += latency;
+
+    if (result.ok()) {
+      OnSuccess();
+      ++stats_.successes;
+      return result;
+    }
+
+    last = result.status();
+    if (!IsRetryable(last.code())) {
+      ++stats_.terminal_errors;
+      OnFailure();
+      ++stats_.failures;
+      return last;
+    }
+    ++stats_.retryable_errors;
+    OnFailure();
+    if (attempt == max_attempts) break;
+    if (breaker_.enabled && state_ == CircuitState::kOpen) continue;
+
+    double wait = std::min(next_backoff, retry_.max_backoff_seconds);
+    if (retry_.jitter_fraction > 0.0) {
+      wait *= jitter_rng_.NextUniform(1.0 - retry_.jitter_fraction,
+                                      1.0 + retry_.jitter_fraction);
+    }
+    if (retry_.total_budget_seconds > 0.0 &&
+        (clock_seconds_ - call_start) + wait > retry_.total_budget_seconds) {
+      ++stats_.budget_exhausted;
+      ++stats_.failures;
+      return Status::DeadlineExceeded(StrFormat(
+          "retry budget %.3fs exhausted after %d attempts; last error: %s",
+          retry_.total_budget_seconds, attempt, last.ToString().c_str()));
+    }
+    clock_seconds_ += wait;
+    stats_.backoff_seconds += wait;
+    ++stats_.retries;
+    next_backoff *= retry_.backoff_multiplier;
+  }
+
+  ++stats_.failures;
+  return Status(last.code(),
+                StrFormat("all %d attempts failed; last error: %s",
+                          max_attempts, last.ToString().c_str()));
+}
+
+}  // namespace lm
+}  // namespace multicast

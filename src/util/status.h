@@ -28,10 +28,20 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kIOError,
+  kUnavailable,         ///< transient outage; the call may be retried
+  kDeadlineExceeded,    ///< the per-call deadline elapsed before completion
+  kResourceExhausted,   ///< quota/rate limit hit; retry after backing off
 };
 
 /// Returns a short human-readable name for a StatusCode ("InvalidArgument").
+/// Values outside the enum (e.g. from casts or wire corruption) map to
+/// "UnknownStatusCode" rather than reading past the switch.
 const char* StatusCodeToString(StatusCode code);
+
+/// True for the transient failure codes a caller may retry after backoff
+/// (Unavailable, DeadlineExceeded, ResourceExhausted). Everything else —
+/// bad arguments, missing data, internal invariants — is terminal.
+bool IsRetryable(StatusCode code);
 
 /// Outcome of a fallible operation: a code plus a context message.
 ///
@@ -71,6 +81,15 @@ class Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

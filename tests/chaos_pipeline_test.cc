@@ -1,0 +1,310 @@
+// End-to-end acceptance tests of the resilience layer: the two behaviors
+// the failure model promises are asserted here, not just observed in
+// bench/ablation_chaos:
+//   1. Under a 20% injected transient-fault rate with retries enabled,
+//      every LLM-backed method still returns a full dims x horizon
+//      forecast (no aborts).
+//   2. With retries disabled and the backend fully dead, the fallback
+//      chain demotes MultiCast -> LLMTime -> naive instead of erroring.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/naive.h"
+#include "forecast/fallback.h"
+#include "forecast/llmtime_forecaster.h"
+#include "forecast/multicast_forecaster.h"
+
+namespace multicast {
+namespace forecast {
+namespace {
+
+ts::Frame PeriodicFrame(size_t n) {
+  std::vector<double> a(n), b(n);
+  for (size_t i = 0; i < n; ++i) {
+    double phase = 2.0 * M_PI * static_cast<double>(i) / 12.0;
+    a[i] = 10.0 + 5.0 * std::sin(phase);
+    b[i] = 50.0 - 20.0 * std::sin(phase);
+  }
+  return ts::Frame::FromSeries({ts::Series(a, "a"), ts::Series(b, "b")},
+                               "periodic")
+      .ValueOrDie();
+}
+
+ResilienceConfig RetriesOn() {
+  ResilienceConfig r;
+  r.retries_enabled = true;
+  r.retry.max_attempts = 4;
+  r.max_redraws = 6;
+  return r;
+}
+
+void ExpectFullShapeFinite(const ForecastResult& result, size_t dims,
+                           size_t horizon) {
+  ASSERT_EQ(result.forecast.num_dims(), dims);
+  ASSERT_EQ(result.forecast.length(), horizon);
+  for (size_t d = 0; d < dims; ++d) {
+    for (size_t t = 0; t < horizon; ++t) {
+      EXPECT_TRUE(std::isfinite(result.forecast.at(d, t)))
+          << "dim " << d << " t " << t;
+    }
+  }
+}
+
+class ChaosMuxTest : public testing::TestWithParam<multiplex::MuxKind> {};
+
+TEST_P(ChaosMuxTest, TwentyPercentTransientFaultsStillFullShape) {
+  MultiCastOptions opts;
+  opts.mux = GetParam();
+  opts.num_samples = 4;
+  opts.faults = lm::FaultProfile::Transient(0.20);
+  opts.resilience = RetriesOn();
+  MultiCastForecaster f(opts);
+  auto r = f.Forecast(PeriodicFrame(96), 12);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ExpectFullShapeFinite(r.value(), 2, 12);
+  EXPECT_EQ(r.value().samples_requested, 4u);
+  EXPECT_GE(r.value().samples_used, 1u);
+  // The retry layer actually worked for its living.
+  EXPECT_GT(r.value().retry_stats.calls, 0u);
+  EXPECT_GE(r.value().retry_stats.attempts, r.value().retry_stats.calls);
+}
+
+TEST_P(ChaosMuxTest, TwentyPercentFullChaosStillFullShape) {
+  // Adds truncation + corruption on top of the transient faults: the
+  // salvage path must keep the shape contract too.
+  MultiCastOptions opts;
+  opts.mux = GetParam();
+  opts.num_samples = 4;
+  opts.faults = lm::FaultProfile::Chaos(0.20);
+  opts.resilience = RetriesOn();
+  MultiCastForecaster f(opts);
+  auto r = f.Forecast(PeriodicFrame(96), 12);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ExpectFullShapeFinite(r.value(), 2, 12);
+}
+
+TEST_P(ChaosMuxTest, DeterministicUnderChaos) {
+  MultiCastOptions opts;
+  opts.mux = GetParam();
+  opts.num_samples = 3;
+  opts.faults = lm::FaultProfile::Chaos(0.3, 77);
+  opts.resilience = RetriesOn();
+  MultiCastForecaster f1(opts), f2(opts);
+  auto r1 = f1.Forecast(PeriodicFrame(72), 8);
+  auto r2 = f2.Forecast(PeriodicFrame(72), 8);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  for (size_t d = 0; d < 2; ++d) {
+    EXPECT_EQ(r1.value().forecast.dim(d).values(),
+              r2.value().forecast.dim(d).values());
+  }
+  EXPECT_EQ(r1.value().degraded, r2.value().degraded);
+  EXPECT_EQ(r1.value().samples_used, r2.value().samples_used);
+  EXPECT_EQ(r1.value().retry_stats.attempts, r2.value().retry_stats.attempts);
+}
+
+TEST_P(ChaosMuxTest, CleanPathBitIdenticalWithFaultFieldsDefault) {
+  // The resilience plumbing must not perturb the paper pipeline: default
+  // options (no faults, no retries) produce the same forecast as before.
+  MultiCastOptions plain;
+  plain.mux = GetParam();
+  plain.num_samples = 3;
+  MultiCastOptions with_knobs = plain;
+  with_knobs.faults = lm::FaultProfile::None();
+  with_knobs.resilience.max_redraws = 9;  // no-op while nothing fails
+  MultiCastForecaster f1(plain), f2(with_knobs);
+  auto r1 = f1.Forecast(PeriodicFrame(72), 8);
+  auto r2 = f2.Forecast(PeriodicFrame(72), 8);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  for (size_t d = 0; d < 2; ++d) {
+    EXPECT_EQ(r1.value().forecast.dim(d).values(),
+              r2.value().forecast.dim(d).values());
+  }
+  EXPECT_FALSE(r2.value().degraded);
+  EXPECT_TRUE(r2.value().warnings.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, ChaosMuxTest,
+    testing::Values(multiplex::MuxKind::kDigitInterleave,
+                    multiplex::MuxKind::kValueInterleave,
+                    multiplex::MuxKind::kValueConcat),
+    [](const testing::TestParamInfo<multiplex::MuxKind>& info) {
+      return multiplex::MuxKindName(info.param);
+    });
+
+TEST(ChaosPipelineTest, LlmTimeSurvivesTwentyPercentFaults) {
+  LlmTimeOptions opts;
+  opts.num_samples = 4;
+  opts.faults = lm::FaultProfile::Chaos(0.20);
+  opts.resilience = RetriesOn();
+  LlmTimeForecaster f(opts);
+  auto r = f.Forecast(PeriodicFrame(96), 12);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().forecast.num_dims(), 2u);
+  ASSERT_EQ(r.value().forecast.length(), 12u);
+  EXPECT_EQ(r.value().samples_requested, 8u);  // 4 per dimension
+}
+
+TEST(ChaosPipelineTest, SaxPipelineSurvivesChaos) {
+  MultiCastOptions opts;
+  opts.quantization = Quantization::kSaxAlphabetic;
+  opts.sax_segment_length = 3;
+  opts.num_samples = 4;
+  opts.faults = lm::FaultProfile::Chaos(0.20);
+  opts.resilience = RetriesOn();
+  MultiCastForecaster f(opts);
+  auto r = f.Forecast(PeriodicFrame(96), 12);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ExpectFullShapeFinite(r.value(), 2, 12);
+}
+
+TEST(ChaosPipelineTest, PureTruncationDegradesButKeepsShape) {
+  // Every generation is truncated: no transient errors to retry, only
+  // salvaged prefixes. The ragged aggregation must still deliver the
+  // full horizon and flag the result degraded.
+  MultiCastOptions opts;
+  opts.num_samples = 4;
+  opts.faults.truncation_rate = 1.0;
+  opts.faults.truncation_keep_min = 0.3;
+  MultiCastForecaster f(opts);
+  auto r = f.Forecast(PeriodicFrame(96), 12);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ExpectFullShapeFinite(r.value(), 2, 12);
+  EXPECT_TRUE(r.value().degraded);
+  EXPECT_FALSE(r.value().warnings.empty());
+}
+
+TEST(ChaosPipelineTest, DeadBackendWithoutRetriesFailsCleanly) {
+  // Acceptance behavior 2a: retries disabled + total outage => MultiCast
+  // reports a retryable error instead of crashing or fabricating data.
+  MultiCastOptions opts;
+  opts.num_samples = 3;
+  opts.faults = lm::FaultProfile::Transient(1.0);
+  opts.resilience.retries_enabled = false;
+  opts.resilience.max_redraws = 2;
+  MultiCastForecaster f(opts);
+  auto r = f.Forecast(PeriodicFrame(72), 8);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(IsRetryable(r.status().code())) << r.status().ToString();
+}
+
+TEST(ChaosPipelineTest, FallbackChainDemotesInsteadOfErroring) {
+  // Acceptance behavior 2b: the canonical chain on a dead backend serves
+  // from a lower link with full shape.
+  MultiCastOptions dead;
+  dead.num_samples = 3;
+  dead.faults = lm::FaultProfile::Transient(1.0);
+  dead.resilience.retries_enabled = false;
+  dead.resilience.max_redraws = 2;
+  LlmTimeOptions dead_lt;
+  dead_lt.num_samples = 3;
+  dead_lt.faults = lm::FaultProfile::Transient(1.0);
+  dead_lt.resilience.retries_enabled = false;
+  dead_lt.resilience.max_redraws = 2;
+
+  std::vector<std::unique_ptr<Forecaster>> chain;
+  chain.push_back(std::make_unique<MultiCastForecaster>(dead));
+  chain.push_back(std::make_unique<LlmTimeForecaster>(dead_lt));
+  chain.push_back(std::make_unique<baselines::NaiveLastForecaster>());
+  FallbackForecaster fallback(std::move(chain));
+
+  ts::Frame history = PeriodicFrame(72);
+  auto r = fallback.Forecast(history, 8);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().forecast.num_dims(), 2u);
+  ASSERT_EQ(r.value().forecast.length(), 8u);
+  EXPECT_TRUE(r.value().degraded);
+  EXPECT_EQ(fallback.last_used(), "NaiveLast");
+  EXPECT_EQ(fallback.last_used_index(), 2u);
+  ASSERT_EQ(r.value().warnings.size(), 2u);
+  // NaiveLast repeats the final observation of each dimension.
+  for (size_t d = 0; d < 2; ++d) {
+    EXPECT_DOUBLE_EQ(r.value().forecast.at(d, 0),
+                     history.at(d, history.length() - 1));
+  }
+}
+
+TEST(ChaosPipelineTest, PartialOutageRecoversOnPrimary) {
+  // With retries on, a 20% outage never reaches the fallback links.
+  MultiCastOptions flaky;
+  flaky.num_samples = 3;
+  flaky.faults = lm::FaultProfile::Transient(0.20);
+  flaky.resilience = RetriesOn();
+  std::vector<std::unique_ptr<Forecaster>> chain;
+  chain.push_back(std::make_unique<MultiCastForecaster>(flaky));
+  chain.push_back(std::make_unique<baselines::NaiveLastForecaster>());
+  FallbackForecaster fallback(std::move(chain));
+  auto r = fallback.Forecast(PeriodicFrame(72), 8);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(fallback.last_used_index(), 0u);
+}
+
+// --- ragged aggregation property tests -------------------------------
+
+TEST(QuantileAggregateRaggedTest, EqualLengthsMatchDenseAggregate) {
+  std::vector<std::vector<double>> samples = {
+      {1.0, 10.0, 100.0}, {2.0, 20.0, 200.0}, {3.0, 30.0, 300.0}};
+  auto dense = QuantileAggregate(samples, 0.5).ValueOrDie();
+  bool held = true;
+  auto ragged = QuantileAggregateRagged(samples, 0.5, 3, &held).ValueOrDie();
+  EXPECT_EQ(ragged, dense);
+  EXPECT_FALSE(held);
+}
+
+TEST(QuantileAggregateRaggedTest, ShorterSamplesDropOutOfTail) {
+  std::vector<std::vector<double>> samples = {
+      {1.0, 10.0, 100.0}, {3.0, 30.0}, {2.0}};
+  auto r = QuantileAggregateRagged(samples, 0.5, 3, nullptr).ValueOrDie();
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_DOUBLE_EQ(r[0], 2.0);   // median of {1, 3, 2}
+  EXPECT_DOUBLE_EQ(r[1], 20.0);  // median of {10, 30}
+  EXPECT_DOUBLE_EQ(r[2], 100.0);  // only sample 0 reaches t=2
+}
+
+TEST(QuantileAggregateRaggedTest, HoldsLastValueBeyondCoverage) {
+  std::vector<std::vector<double>> samples = {{5.0, 7.0}, {9.0}};
+  bool held = false;
+  auto r = QuantileAggregateRagged(samples, 0.5, 5, &held).ValueOrDie();
+  ASSERT_EQ(r.size(), 5u);
+  EXPECT_DOUBLE_EQ(r[1], 7.0);
+  for (size_t t = 2; t < 5; ++t) EXPECT_DOUBLE_EQ(r[t], 7.0);
+  EXPECT_TRUE(held);
+}
+
+TEST(QuantileAggregateRaggedTest, AlwaysReturnsRequestedLength) {
+  // Property: whatever ragged mix of lengths survives, the output length
+  // is exactly out_length — the shape guarantee degraded forecasts rely
+  // on. Deterministically enumerated length patterns stand in for random
+  // draws.
+  for (size_t out_length : {1u, 4u, 9u}) {
+    for (size_t pattern = 1; pattern < 32; ++pattern) {
+      std::vector<std::vector<double>> samples;
+      for (size_t s = 0; s < 5; ++s) {
+        size_t len = 1 + (pattern * (s + 3)) % 9;
+        std::vector<double> sample(len);
+        for (size_t t = 0; t < len; ++t) {
+          sample[t] = static_cast<double>(s * 100 + t);
+        }
+        samples.push_back(std::move(sample));
+      }
+      auto r = QuantileAggregateRagged(samples, 0.5, out_length, nullptr);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      EXPECT_EQ(r.value().size(), out_length);
+    }
+  }
+}
+
+TEST(QuantileAggregateRaggedTest, RejectsEmptyAndUncoveredStart) {
+  EXPECT_FALSE(QuantileAggregateRagged({}, 0.5, 3, nullptr).ok());
+  EXPECT_FALSE(QuantileAggregateRagged({{}, {}}, 0.5, 3, nullptr).ok());
+  EXPECT_FALSE(QuantileAggregateRagged({{1.0}}, 0.0, 3, nullptr).ok());
+  EXPECT_FALSE(QuantileAggregateRagged({{1.0}}, 1.0, 3, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace forecast
+}  // namespace multicast

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -16,7 +18,10 @@ namespace {
 class CliTest : public testing::Test {
  protected:
   void SetUp() override {
-    path_ = testing::TempDir() + "/mc_cli_feed.csv";
+    // Suffix with the pid: ctest runs each test as its own process, and
+    // concurrent tests must not share (and TearDown-delete) one feed file.
+    path_ = testing::TempDir() + "/mc_cli_feed_" + std::to_string(getpid()) +
+            ".csv";
     auto frame = data::MakeGasRate().ValueOrDie();
     ASSERT_TRUE(WriteCsvFile(frame.ToCsv(), path_).ok());
   }
@@ -69,7 +74,8 @@ TEST_F(CliTest, ForecastProducesCsvRows) {
 }
 
 TEST_F(CliTest, ForecastWithSaxAndOutputFile) {
-  std::string out_path = testing::TempDir() + "/mc_cli_forecast.csv";
+  std::string out_path = testing::TempDir() + "/mc_cli_forecast_" +
+                         std::to_string(getpid()) + ".csv";
   std::string out;
   auto code = Run({"forecast", "--input", path_, "--horizon", "12",
                    "--method", "DI", "--samples", "2", "--sax", "digit"},
@@ -138,7 +144,8 @@ TEST_F(CliTest, ForecastRejectsBadFlags) {
 }
 
 TEST_F(CliTest, GenerateWritesDataset) {
-  std::string out_path = testing::TempDir() + "/mc_cli_gen.csv";
+  std::string out_path = testing::TempDir() + "/mc_cli_gen_" +
+                         std::to_string(getpid()) + ".csv";
   std::string out;
   auto code = Run({"generate", "--dataset", "Electricity", "--output",
                    out_path},

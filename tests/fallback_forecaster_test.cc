@@ -1,0 +1,172 @@
+#include "forecast/fallback.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/naive.h"
+
+namespace multicast {
+namespace forecast {
+namespace {
+
+ts::Frame History(size_t n) {
+  std::vector<double> a(n), b(n);
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = 10.0 + std::sin(static_cast<double>(i));
+    b[i] = 42.0;
+  }
+  return ts::Frame::FromSeries({ts::Series(a, "a"), ts::Series(b, "b")},
+                               "hist")
+      .ValueOrDie();
+}
+
+/// A forecaster scripted to either fail with a given status or return a
+/// constant-valued full-shape forecast.
+class FakeForecaster final : public Forecaster {
+ public:
+  FakeForecaster(std::string name, Status status, double fill = 0.0)
+      : name_(std::move(name)), status_(std::move(status)), fill_(fill) {}
+
+  std::string name() const override { return name_; }
+
+  Result<ForecastResult> Forecast(const ts::Frame& history,
+                                  size_t horizon) override {
+    ++calls;
+    if (!status_.ok()) return status_;
+    ForecastResult result;
+    std::vector<ts::Series> dims;
+    for (size_t d = 0; d < history.num_dims(); ++d) {
+      dims.emplace_back(std::vector<double>(horizon, fill_),
+                        history.dim(d).name());
+    }
+    result.forecast =
+        ts::Frame::FromSeries(dims, "forecast").ValueOrDie();
+    return result;
+  }
+
+  size_t calls = 0;
+
+ private:
+  std::string name_;
+  Status status_;
+  double fill_;
+};
+
+std::unique_ptr<FakeForecaster> Ok(const std::string& name, double fill) {
+  return std::make_unique<FakeForecaster>(name, Status::OK(), fill);
+}
+
+std::unique_ptr<FakeForecaster> Down(const std::string& name) {
+  return std::make_unique<FakeForecaster>(name,
+                                          Status::Unavailable(name + " down"));
+}
+
+TEST(FallbackForecasterTest, PrimarySuccessIsNotDegraded) {
+  std::vector<std::unique_ptr<Forecaster>> chain;
+  chain.push_back(Ok("primary", 1.0));
+  chain.push_back(Ok("secondary", 2.0));
+  FallbackForecaster fallback(std::move(chain));
+  auto r = fallback.Forecast(History(20), 4);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r.value().degraded);
+  EXPECT_TRUE(r.value().warnings.empty());
+  EXPECT_DOUBLE_EQ(r.value().forecast.at(0, 0), 1.0);
+  EXPECT_EQ(fallback.last_used(), "primary");
+  EXPECT_EQ(fallback.last_used_index(), 0u);
+}
+
+TEST(FallbackForecasterTest, DemotesPastFailingLinks) {
+  std::vector<std::unique_ptr<Forecaster>> chain;
+  auto* primary = new FakeForecaster("primary", Status::Unavailable("down"));
+  chain.emplace_back(primary);
+  chain.push_back(Down("secondary"));
+  chain.push_back(Ok("tertiary", 3.0));
+  FallbackForecaster fallback(std::move(chain));
+  auto r = fallback.Forecast(History(20), 4);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r.value().degraded);
+  EXPECT_DOUBLE_EQ(r.value().forecast.at(0, 0), 3.0);
+  EXPECT_EQ(fallback.last_used(), "tertiary");
+  EXPECT_EQ(fallback.last_used_index(), 2u);
+  EXPECT_EQ(primary->calls, 1u);
+  // One demotion note per failed link, in chain order.
+  ASSERT_EQ(r.value().warnings.size(), 2u);
+  EXPECT_NE(r.value().warnings[0].find("primary"), std::string::npos);
+  EXPECT_NE(r.value().warnings[1].find("secondary"), std::string::npos);
+}
+
+TEST(FallbackForecasterTest, AllLinksFailingReturnsError) {
+  std::vector<std::unique_ptr<Forecaster>> chain;
+  chain.push_back(Down("primary"));
+  chain.push_back(Down("secondary"));
+  FallbackForecaster fallback(std::move(chain));
+  auto r = fallback.Forecast(History(20), 4);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(r.status().message().find("every fallback link failed"),
+            std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(FallbackForecasterTest, NameListsTheChain) {
+  std::vector<std::unique_ptr<Forecaster>> chain;
+  chain.push_back(Ok("A", 0.0));
+  chain.push_back(Ok("B", 0.0));
+  chain.push_back(std::make_unique<baselines::NaiveLastForecaster>());
+  FallbackForecaster fallback(std::move(chain));
+  EXPECT_EQ(fallback.name(), "Fallback(A -> B -> NaiveLast)");
+  EXPECT_EQ(fallback.chain_length(), 3u);
+}
+
+TEST(FallbackForecasterTest, NaiveTerminalLinkAlwaysServes) {
+  // The canonical production chain tail: even with every LLM link dead,
+  // NaiveLast answers with a full-shape forecast.
+  std::vector<std::unique_ptr<Forecaster>> chain;
+  chain.push_back(Down("MultiCast (VI)"));
+  chain.push_back(Down("LLMTIME"));
+  chain.push_back(std::make_unique<baselines::NaiveLastForecaster>());
+  FallbackForecaster fallback(std::move(chain));
+  ts::Frame history = History(20);
+  auto r = fallback.Forecast(history, 6);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r.value().degraded);
+  EXPECT_EQ(r.value().forecast.num_dims(), 2u);
+  EXPECT_EQ(r.value().forecast.length(), 6u);
+  // NaiveLast repeats the final observed value.
+  EXPECT_DOUBLE_EQ(r.value().forecast.at(1, 5), 42.0);
+  EXPECT_EQ(fallback.last_used(), "NaiveLast");
+}
+
+TEST(FallbackForecasterTest, DegradedFlagFromLinkIsPreserved) {
+  // A link that itself reports degraded keeps the flag even at index 0.
+  class DegradedForecaster final : public Forecaster {
+   public:
+    std::string name() const override { return "degraded"; }
+    Result<ForecastResult> Forecast(const ts::Frame& history,
+                                    size_t horizon) override {
+      ForecastResult result;
+      std::vector<ts::Series> dims;
+      for (size_t d = 0; d < history.num_dims(); ++d) {
+        dims.emplace_back(std::vector<double>(horizon, 0.0),
+                          history.dim(d).name());
+      }
+      result.forecast = ts::Frame::FromSeries(dims, "f").ValueOrDie();
+      result.degraded = true;
+      result.warnings.push_back("salvaged 2 samples");
+      return result;
+    }
+  };
+  std::vector<std::unique_ptr<Forecaster>> chain;
+  chain.push_back(std::make_unique<DegradedForecaster>());
+  FallbackForecaster fallback(std::move(chain));
+  auto r = fallback.Forecast(History(20), 4);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().degraded);
+  ASSERT_EQ(r.value().warnings.size(), 1u);
+  EXPECT_EQ(r.value().warnings[0], "salvaged 2 samples");
+}
+
+}  // namespace
+}  // namespace forecast
+}  // namespace multicast

@@ -1,0 +1,265 @@
+#include "lm/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include "lm/generator.h"
+#include "token/codec.h"
+
+namespace multicast {
+namespace lm {
+namespace {
+
+std::vector<token::TokenId> EncodeDigits(const std::string& text) {
+  return token::Encode(text, token::Vocabulary::Digits()).ValueOrDie();
+}
+
+constexpr size_t kVocab = 11;  // digits + comma
+
+SimulatedLlm MakeInner() {
+  return SimulatedLlm(ModelProfile::Llama2_7B(), kVocab);
+}
+
+TEST(FaultProfileTest, NoneInjectsNothing) {
+  EXPECT_FALSE(FaultProfile::None().any());
+  EXPECT_TRUE(FaultProfile::Chaos(0.1).any());
+  EXPECT_TRUE(FaultProfile::Transient(0.1).any());
+}
+
+TEST(FaultProfileTest, TransientLeavesPayloadFaultsOff) {
+  FaultProfile p = FaultProfile::Transient(0.3, 42);
+  EXPECT_DOUBLE_EQ(p.unavailable_rate, 0.3);
+  EXPECT_DOUBLE_EQ(p.latency_spike_rate, 0.3);
+  EXPECT_DOUBLE_EQ(p.rate_limit_rate, 0.3);
+  EXPECT_DOUBLE_EQ(p.truncation_rate, 0.0);
+  EXPECT_DOUBLE_EQ(p.corruption_rate, 0.0);
+  EXPECT_EQ(p.seed, 42u);
+  FaultProfile c = FaultProfile::Chaos(0.3, 42);
+  EXPECT_DOUBLE_EQ(c.truncation_rate, 0.3);
+  EXPECT_DOUBLE_EQ(c.corruption_rate, 0.3);
+}
+
+TEST(FaultInjectionTest, NoneProfileIsPassthrough) {
+  SimulatedLlm inner = MakeInner();
+  SimulatedLlm reference = MakeInner();
+  FaultInjectingBackend faulty(&inner, FaultProfile::None());
+  auto prompt = EncodeDigits("12,34,12,34,");
+  Rng a(7), b(7);
+  auto clean = reference.Complete(prompt, 12, AllowAll(kVocab), &a);
+  auto injected = faulty.Complete(prompt, 12, AllowAll(kVocab), &b);
+  ASSERT_TRUE(clean.ok());
+  ASSERT_TRUE(injected.ok());
+  EXPECT_EQ(clean.value().tokens, injected.value().tokens);
+  EXPECT_EQ(faulty.counts().calls, 1u);
+  EXPECT_EQ(faulty.counts().clean, 1u);
+  EXPECT_EQ(faulty.counts().faults(), 0u);
+}
+
+TEST(FaultInjectionTest, NameAndVocabForward) {
+  SimulatedLlm inner = MakeInner();
+  FaultInjectingBackend faulty(&inner, FaultProfile::Chaos(0.2));
+  EXPECT_EQ(faulty.name(), inner.name() + "+faults");
+  EXPECT_EQ(faulty.vocab_size(), kVocab);
+}
+
+TEST(FaultInjectionTest, SameSeedSameSchedule) {
+  // Two independently constructed stacks with the same profile seed must
+  // produce the identical call-by-call outcome sequence.
+  auto run_schedule = [](std::vector<StatusCode>* codes,
+                         std::vector<std::vector<token::TokenId>>* tokens) {
+    SimulatedLlm inner = MakeInner();
+    FaultInjectingBackend faulty(&inner, FaultProfile::Chaos(0.5, 1234));
+    auto prompt = EncodeDigits("55,66,55,66,");
+    Rng rng(99);
+    for (int i = 0; i < 30; ++i) {
+      auto r = faulty.Complete(prompt, 9, AllowAll(kVocab), &rng);
+      codes->push_back(r.status().code());
+      tokens->push_back(r.ok() ? r.value().tokens
+                               : std::vector<token::TokenId>{});
+    }
+  };
+  std::vector<StatusCode> codes_a, codes_b;
+  std::vector<std::vector<token::TokenId>> tokens_a, tokens_b;
+  run_schedule(&codes_a, &tokens_a);
+  run_schedule(&codes_b, &tokens_b);
+  EXPECT_EQ(codes_a, codes_b);
+  EXPECT_EQ(tokens_a, tokens_b);
+  // And a 50% chaos profile actually exercises both branches.
+  bool any_error = false, any_ok = false;
+  for (StatusCode c : codes_a) {
+    (c == StatusCode::kOk ? any_ok : any_error) = true;
+  }
+  EXPECT_TRUE(any_error);
+  EXPECT_TRUE(any_ok);
+}
+
+TEST(FaultInjectionTest, DifferentSeedDifferentSchedule) {
+  auto codes_for = [](uint64_t seed) {
+    SimulatedLlm inner = MakeInner();
+    FaultInjectingBackend faulty(&inner, FaultProfile::Chaos(0.5, seed));
+    auto prompt = EncodeDigits("55,66,");
+    Rng rng(99);
+    std::vector<StatusCode> codes;
+    for (int i = 0; i < 30; ++i) {
+      codes.push_back(
+          faulty.Complete(prompt, 6, AllowAll(kVocab), &rng).status().code());
+    }
+    return codes;
+  };
+  EXPECT_NE(codes_for(1), codes_for(2));
+}
+
+TEST(FaultInjectionTest, RewindScheduleReplaysFaults) {
+  SimulatedLlm inner = MakeInner();
+  FaultInjectingBackend faulty(&inner, FaultProfile::Chaos(0.5, 77));
+  auto prompt = EncodeDigits("10,20,");
+  auto run = [&] {
+    Rng rng(5);
+    std::vector<StatusCode> codes;
+    for (int i = 0; i < 20; ++i) {
+      codes.push_back(
+          faulty.Complete(prompt, 6, AllowAll(kVocab), &rng).status().code());
+    }
+    return codes;
+  };
+  std::vector<StatusCode> first = run();
+  faulty.RewindSchedule();
+  EXPECT_EQ(run(), first);
+  EXPECT_EQ(faulty.counts().calls, 40u);  // counts survive the rewind
+}
+
+TEST(FaultInjectionTest, CertainOutageAlwaysUnavailable) {
+  SimulatedLlm inner = MakeInner();
+  FaultProfile p;
+  p.unavailable_rate = 1.0;
+  FaultInjectingBackend faulty(&inner, p);
+  auto prompt = EncodeDigits("1,2,");
+  Rng rng(1);
+  for (int i = 0; i < 5; ++i) {
+    auto r = faulty.Complete(prompt, 3, AllowAll(kVocab), &rng);
+    EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  }
+  EXPECT_EQ(faulty.counts().unavailable, 5u);
+  EXPECT_EQ(faulty.counts().clean, 0u);
+}
+
+TEST(FaultInjectionTest, RateLimitBurstRejectsFollowingCalls) {
+  SimulatedLlm inner = MakeInner();
+  FaultProfile p;
+  p.rate_limit_rate = 1.0;
+  p.rate_limit_burst = 3;
+  FaultInjectingBackend faulty(&inner, p);
+  auto prompt = EncodeDigits("1,2,");
+  Rng rng(1);
+  auto first = faulty.Complete(prompt, 3, AllowAll(kVocab), &rng);
+  EXPECT_EQ(first.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(first.status().message(), "injected: rate limit exceeded");
+  for (int i = 0; i < 2; ++i) {
+    auto r = faulty.Complete(prompt, 3, AllowAll(kVocab), &rng);
+    EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+    EXPECT_EQ(r.status().message(), "injected: rate limit burst in progress");
+  }
+  EXPECT_EQ(faulty.counts().rate_limited, 3u);
+}
+
+TEST(FaultInjectionTest, LatencySpikeHarmlessWithoutDeadline) {
+  SimulatedLlm inner = MakeInner();
+  FaultProfile p;
+  p.latency_spike_rate = 1.0;
+  p.spike_latency_seconds = 5.0;
+  FaultInjectingBackend faulty(&inner, p);
+  auto prompt = EncodeDigits("12,34,");
+  Rng rng(1);
+  auto r = faulty.Complete(prompt, 6, AllowAll(kVocab), &rng);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_DOUBLE_EQ(faulty.last_latency_seconds(), 5.0);
+  EXPECT_EQ(faulty.counts().deadline_exceeded, 0u);
+}
+
+TEST(FaultInjectionTest, LatencySpikeMissesDeadline) {
+  SimulatedLlm inner = MakeInner();
+  FaultProfile p;
+  p.latency_spike_rate = 1.0;
+  p.spike_latency_seconds = 5.0;
+  FaultInjectingBackend faulty(&inner, p);
+  auto prompt = EncodeDigits("12,34,");
+  Rng rng(1);
+  CallOptions call;
+  call.deadline_seconds = 1.0;
+  auto r = faulty.Complete(prompt, 6, AllowAll(kVocab), &rng, call);
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(faulty.counts().deadline_exceeded, 1u);
+  // Base latency below the deadline sails through.
+  FaultProfile calm;
+  SimulatedLlm inner2 = MakeInner();
+  FaultInjectingBackend fine(&inner2, calm);
+  auto ok = fine.Complete(prompt, 6, AllowAll(kVocab), &rng, call);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_DOUBLE_EQ(fine.last_latency_seconds(), calm.base_latency_seconds);
+}
+
+TEST(FaultInjectionTest, TruncationShortensTokensAndLedger) {
+  SimulatedLlm inner = MakeInner();
+  FaultProfile p;
+  p.truncation_rate = 1.0;
+  p.truncation_keep_min = 0.25;
+  FaultInjectingBackend faulty(&inner, p);
+  auto prompt = EncodeDigits("12,34,12,34,");
+  Rng rng(3);
+  const size_t requested = 30;
+  bool any_shorter = false;
+  for (int i = 0; i < 10; ++i) {
+    auto r = faulty.Complete(prompt, requested, AllowAll(kVocab), &rng);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_GE(r.value().tokens.size(), 1u);
+    EXPECT_LE(r.value().tokens.size(), requested);
+    EXPECT_EQ(r.value().ledger.generated_tokens, r.value().tokens.size());
+    any_shorter |= r.value().tokens.size() < requested;
+  }
+  EXPECT_TRUE(any_shorter);
+  EXPECT_GT(faulty.counts().truncated, 0u);
+}
+
+TEST(FaultInjectionTest, CorruptionStaysInVocabButDiffers) {
+  FaultProfile p;
+  p.corruption_rate = 1.0;
+  p.corruption_density = 1.0;  // flip every token
+  SimulatedLlm inner = MakeInner();
+  SimulatedLlm reference = MakeInner();
+  FaultInjectingBackend faulty(&inner, p);
+  auto prompt = EncodeDigits("17,23,17,23,17,23,");
+  Rng a(11), b(11);
+  auto clean = reference.Complete(prompt, 12, AllowAll(kVocab), &a);
+  auto corrupt = faulty.Complete(prompt, 12, AllowAll(kVocab), &b);
+  ASSERT_TRUE(clean.ok());
+  ASSERT_TRUE(corrupt.ok());
+  EXPECT_EQ(corrupt.value().tokens.size(), 12u);
+  for (token::TokenId id : corrupt.value().tokens) {
+    EXPECT_GE(id, 0);
+    EXPECT_LT(static_cast<size_t>(id), kVocab);
+  }
+  EXPECT_NE(clean.value().tokens, corrupt.value().tokens);
+  EXPECT_EQ(faulty.counts().corrupted, 1u);
+}
+
+TEST(FaultInjectionTest, CountsSumMatchesCalls) {
+  SimulatedLlm inner = MakeInner();
+  FaultInjectingBackend faulty(&inner, FaultProfile::Transient(0.4, 9));
+  auto prompt = EncodeDigits("5,6,");
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    (void)faulty.Complete(prompt, 3, AllowAll(kVocab), &rng);
+  }
+  const FaultCounts& c = faulty.counts();
+  EXPECT_EQ(c.calls, 50u);
+  // Transient profile: no data faults, so every call is either clean or
+  // exactly one transient error.
+  EXPECT_EQ(c.truncated + c.corrupted, 0u);
+  EXPECT_EQ(c.clean + c.unavailable + c.deadline_exceeded + c.rate_limited,
+            50u);
+  EXPECT_GT(c.faults(), 0u);
+  EXPECT_GT(c.clean, 0u);
+}
+
+}  // namespace
+}  // namespace lm
+}  // namespace multicast

@@ -1,0 +1,334 @@
+#include "lm/resilient_backend.h"
+
+#include <gtest/gtest.h>
+
+#include "lm/fault_injection.h"
+#include "lm/generator.h"
+
+namespace multicast {
+namespace lm {
+namespace {
+
+constexpr size_t kVocab = 11;
+
+/// Test double whose failures are scripted: call i returns script[i]
+/// (OK -> a successful generation), calls past the script succeed.
+class ScriptedBackend final : public LlmBackend {
+ public:
+  explicit ScriptedBackend(std::vector<Status> script)
+      : script_(std::move(script)) {}
+
+  std::string name() const override { return "scripted"; }
+  size_t vocab_size() const override { return kVocab; }
+
+  using LlmBackend::Complete;
+
+  Result<GenerationResult> Complete(const std::vector<token::TokenId>&,
+                                    size_t num_tokens, const GrammarMask&,
+                                    Rng*, const CallOptions& call) override {
+    deadlines_seen.push_back(call.deadline_seconds);
+    size_t i = calls++;
+    if (i < script_.size() && !script_[i].ok()) return script_[i];
+    GenerationResult result;
+    result.tokens.assign(num_tokens, 0);
+    result.ledger.generated_tokens = num_tokens;
+    return result;
+  }
+
+  double last_latency_seconds() const override { return latency; }
+
+  size_t calls = 0;
+  double latency = 0.0;
+  std::vector<double> deadlines_seen;
+
+ private:
+  std::vector<Status> script_;
+};
+
+RetryPolicy NoJitter() {
+  RetryPolicy p;
+  p.jitter_fraction = 0.0;
+  return p;
+}
+
+std::vector<token::TokenId> Prompt() { return {1, 2, 10}; }
+
+TEST(RetryStatsTest, Accumulates) {
+  RetryStats a, b;
+  a.calls = 2;
+  a.attempts = 3;
+  a.backoff_seconds = 0.5;
+  b.calls = 1;
+  b.attempts = 4;
+  b.retries = 3;
+  b.backoff_seconds = 0.25;
+  a += b;
+  EXPECT_EQ(a.calls, 3u);
+  EXPECT_EQ(a.attempts, 7u);
+  EXPECT_EQ(a.retries, 3u);
+  EXPECT_DOUBLE_EQ(a.backoff_seconds, 0.75);
+}
+
+TEST(ResilientBackendTest, FirstAttemptSuccessNeedsNoRetry) {
+  ScriptedBackend inner({});
+  ResilientBackend resilient(&inner, NoJitter());
+  Rng rng(1);
+  auto r = resilient.Complete(Prompt(), 4, AllowAll(kVocab), &rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().tokens.size(), 4u);
+  EXPECT_EQ(resilient.stats().calls, 1u);
+  EXPECT_EQ(resilient.stats().attempts, 1u);
+  EXPECT_EQ(resilient.stats().retries, 0u);
+  EXPECT_EQ(resilient.stats().successes, 1u);
+  EXPECT_DOUBLE_EQ(resilient.stats().backoff_seconds, 0.0);
+  EXPECT_EQ(resilient.name(), "scripted+retry");
+}
+
+TEST(ResilientBackendTest, RetriesTransientErrorsUntilSuccess) {
+  ScriptedBackend inner(
+      {Status::Unavailable("down"), Status::ResourceExhausted("429")});
+  ResilientBackend resilient(&inner, NoJitter());
+  Rng rng(1);
+  auto r = resilient.Complete(Prompt(), 4, AllowAll(kVocab), &rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(inner.calls, 3u);
+  EXPECT_EQ(resilient.stats().attempts, 3u);
+  EXPECT_EQ(resilient.stats().retries, 2u);
+  EXPECT_EQ(resilient.stats().retryable_errors, 2u);
+  EXPECT_EQ(resilient.stats().successes, 1u);
+  EXPECT_EQ(resilient.stats().failures, 0u);
+}
+
+TEST(ResilientBackendTest, ExactBackoffScheduleWithoutJitter) {
+  ScriptedBackend inner({Status::Unavailable("1"), Status::Unavailable("2"),
+                         Status::Unavailable("3")});
+  RetryPolicy p = NoJitter();
+  p.max_attempts = 4;
+  p.initial_backoff_seconds = 0.05;
+  p.backoff_multiplier = 2.0;
+  p.max_backoff_seconds = 2.0;
+  ResilientBackend resilient(&inner, p);
+  Rng rng(1);
+  auto r = resilient.Complete(Prompt(), 4, AllowAll(kVocab), &rng);
+  ASSERT_TRUE(r.ok());
+  // Waits: 0.05 + 0.10 + 0.20, no latency (scripted backend reports 0).
+  EXPECT_DOUBLE_EQ(resilient.stats().backoff_seconds, 0.35);
+  EXPECT_DOUBLE_EQ(resilient.now_seconds(), 0.35);
+}
+
+TEST(ResilientBackendTest, BackoffCappedAtMax) {
+  ScriptedBackend inner({Status::Unavailable("1"), Status::Unavailable("2"),
+                         Status::Unavailable("3")});
+  RetryPolicy p = NoJitter();
+  p.max_attempts = 4;
+  p.initial_backoff_seconds = 1.0;
+  p.backoff_multiplier = 10.0;
+  p.max_backoff_seconds = 1.5;
+  p.total_budget_seconds = 100.0;
+  ResilientBackend resilient(&inner, p);
+  Rng rng(1);
+  ASSERT_TRUE(resilient.Complete(Prompt(), 4, AllowAll(kVocab), &rng).ok());
+  // Waits: 1.0, then min(10, 1.5), then min(100, 1.5).
+  EXPECT_DOUBLE_EQ(resilient.stats().backoff_seconds, 4.0);
+}
+
+TEST(ResilientBackendTest, JitterStaysWithinFraction) {
+  ScriptedBackend inner({Status::Unavailable("1")});
+  RetryPolicy p;
+  p.jitter_fraction = 0.2;
+  p.initial_backoff_seconds = 1.0;
+  ResilientBackend resilient(&inner, p);
+  Rng rng(1);
+  ASSERT_TRUE(resilient.Complete(Prompt(), 4, AllowAll(kVocab), &rng).ok());
+  EXPECT_GE(resilient.stats().backoff_seconds, 0.8);
+  EXPECT_LE(resilient.stats().backoff_seconds, 1.2);
+}
+
+TEST(ResilientBackendTest, TerminalErrorReturnsImmediately) {
+  ScriptedBackend inner({Status::InvalidArgument("bad prompt")});
+  ResilientBackend resilient(&inner, NoJitter());
+  Rng rng(1);
+  auto r = resilient.Complete(Prompt(), 4, AllowAll(kVocab), &rng);
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(inner.calls, 1u);
+  EXPECT_EQ(resilient.stats().terminal_errors, 1u);
+  EXPECT_EQ(resilient.stats().retries, 0u);
+  EXPECT_EQ(resilient.stats().failures, 1u);
+}
+
+TEST(ResilientBackendTest, GivesUpAfterMaxAttempts) {
+  ScriptedBackend inner(std::vector<Status>(10, Status::Unavailable("down")));
+  RetryPolicy p = NoJitter();
+  p.max_attempts = 3;
+  CircuitBreakerPolicy no_breaker;
+  no_breaker.enabled = false;
+  ResilientBackend resilient(&inner, p, no_breaker);
+  Rng rng(1);
+  auto r = resilient.Complete(Prompt(), 4, AllowAll(kVocab), &rng);
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(r.status().message().find("all 3 attempts failed"),
+            std::string::npos)
+      << r.status().ToString();
+  EXPECT_EQ(inner.calls, 3u);
+  EXPECT_EQ(resilient.stats().attempts, 3u);
+  EXPECT_EQ(resilient.stats().retries, 2u);
+  EXPECT_EQ(resilient.stats().failures, 1u);
+}
+
+TEST(ResilientBackendTest, FillsAttemptDeadlineWhenCallerHasNone) {
+  ScriptedBackend inner({});
+  RetryPolicy p = NoJitter();
+  p.attempt_deadline_seconds = 0.75;
+  ResilientBackend resilient(&inner, p);
+  Rng rng(1);
+  ASSERT_TRUE(resilient.Complete(Prompt(), 4, AllowAll(kVocab), &rng).ok());
+  ASSERT_EQ(inner.deadlines_seen.size(), 1u);
+  EXPECT_DOUBLE_EQ(inner.deadlines_seen[0], 0.75);
+  // A caller-provided deadline wins over the policy default.
+  CallOptions call;
+  call.deadline_seconds = 0.1;
+  ASSERT_TRUE(
+      resilient.Complete(Prompt(), 4, AllowAll(kVocab), &rng, call).ok());
+  EXPECT_DOUBLE_EQ(inner.deadlines_seen[1], 0.1);
+}
+
+TEST(ResilientBackendTest, LatencyChargedButCappedAtDeadline) {
+  ScriptedBackend inner({Status::DeadlineExceeded("spike")});
+  inner.latency = 5.0;  // simulated spike
+  RetryPolicy p = NoJitter();
+  p.attempt_deadline_seconds = 1.0;
+  p.initial_backoff_seconds = 0.0;
+  ResilientBackend resilient(&inner, p);
+  Rng rng(1);
+  ASSERT_TRUE(resilient.Complete(Prompt(), 4, AllowAll(kVocab), &rng).ok());
+  // Two attempts, each charged min(5.0, 1.0) of virtual latency.
+  EXPECT_DOUBLE_EQ(resilient.stats().latency_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(resilient.now_seconds(), 2.0);
+}
+
+TEST(ResilientBackendTest, TotalBudgetStopsRetrying) {
+  ScriptedBackend inner(std::vector<Status>(10, Status::Unavailable("down")));
+  RetryPolicy p = NoJitter();
+  p.max_attempts = 10;
+  p.initial_backoff_seconds = 0.4;
+  p.backoff_multiplier = 1.0;
+  p.total_budget_seconds = 1.0;
+  CircuitBreakerPolicy no_breaker;
+  no_breaker.enabled = false;
+  ResilientBackend resilient(&inner, p, no_breaker);
+  Rng rng(1);
+  auto r = resilient.Complete(Prompt(), 4, AllowAll(kVocab), &rng);
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(resilient.stats().budget_exhausted, 1u);
+  // Waits of 0.4 fit twice under the 1.0 budget; the third would reach
+  // 1.2 and is refused, so exactly 3 attempts went out.
+  EXPECT_EQ(inner.calls, 3u);
+  EXPECT_DOUBLE_EQ(resilient.stats().backoff_seconds, 0.8);
+}
+
+// --- circuit breaker -------------------------------------------------
+
+CircuitBreakerPolicy SmallBreaker() {
+  CircuitBreakerPolicy b;
+  b.failure_threshold = 2;
+  b.cooldown_seconds = 5.0;
+  b.half_open_successes = 1;
+  return b;
+}
+
+RetryPolicy OneAttempt() {
+  RetryPolicy p = NoJitter();
+  p.max_attempts = 1;
+  return p;
+}
+
+TEST(ResilientBackendTest, BreakerOpensAfterConsecutiveFailures) {
+  ScriptedBackend inner(std::vector<Status>(10, Status::Unavailable("down")));
+  ResilientBackend resilient(&inner, OneAttempt(), SmallBreaker());
+  Rng rng(1);
+  EXPECT_EQ(resilient.circuit_state(), CircuitState::kClosed);
+  (void)resilient.Complete(Prompt(), 4, AllowAll(kVocab), &rng);
+  EXPECT_EQ(resilient.circuit_state(), CircuitState::kClosed);
+  (void)resilient.Complete(Prompt(), 4, AllowAll(kVocab), &rng);
+  EXPECT_EQ(resilient.circuit_state(), CircuitState::kOpen);
+  EXPECT_EQ(inner.calls, 2u);
+
+  // While open, calls are rejected without touching the backend.
+  auto r = resilient.Complete(Prompt(), 4, AllowAll(kVocab), &rng);
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(r.status().message().find("circuit breaker open"),
+            std::string::npos)
+      << r.status().ToString();
+  EXPECT_EQ(inner.calls, 2u);
+  EXPECT_EQ(resilient.stats().circuit_rejections, 1u);
+}
+
+TEST(ResilientBackendTest, HalfOpenProbeClosesOnSuccess) {
+  // Two failures trip the breaker; the scripted backend then recovers.
+  ScriptedBackend inner(
+      {Status::Unavailable("down"), Status::Unavailable("down")});
+  ResilientBackend resilient(&inner, OneAttempt(), SmallBreaker());
+  Rng rng(1);
+  (void)resilient.Complete(Prompt(), 4, AllowAll(kVocab), &rng);
+  (void)resilient.Complete(Prompt(), 4, AllowAll(kVocab), &rng);
+  ASSERT_EQ(resilient.circuit_state(), CircuitState::kOpen);
+
+  // Before the cooldown elapses the probe is still refused.
+  (void)resilient.Complete(Prompt(), 4, AllowAll(kVocab), &rng);
+  EXPECT_EQ(inner.calls, 2u);
+
+  resilient.AdvanceClock(5.0);
+  auto r = resilient.Complete(Prompt(), 4, AllowAll(kVocab), &rng);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(inner.calls, 3u);  // the half-open probe reached the backend
+  EXPECT_EQ(resilient.circuit_state(), CircuitState::kClosed);
+}
+
+TEST(ResilientBackendTest, FailedProbeReopensBreaker) {
+  ScriptedBackend inner(std::vector<Status>(10, Status::Unavailable("down")));
+  ResilientBackend resilient(&inner, OneAttempt(), SmallBreaker());
+  Rng rng(1);
+  (void)resilient.Complete(Prompt(), 4, AllowAll(kVocab), &rng);
+  (void)resilient.Complete(Prompt(), 4, AllowAll(kVocab), &rng);
+  ASSERT_EQ(resilient.circuit_state(), CircuitState::kOpen);
+
+  resilient.AdvanceClock(5.0);
+  auto probe = resilient.Complete(Prompt(), 4, AllowAll(kVocab), &rng);
+  EXPECT_FALSE(probe.ok());
+  EXPECT_EQ(inner.calls, 3u);
+  EXPECT_EQ(resilient.circuit_state(), CircuitState::kOpen);
+
+  // Rejected again for a fresh cooldown window.
+  (void)resilient.Complete(Prompt(), 4, AllowAll(kVocab), &rng);
+  EXPECT_EQ(inner.calls, 3u);
+  EXPECT_EQ(resilient.stats().circuit_rejections, 1u);
+}
+
+TEST(ResilientBackendTest, CircuitStateNames) {
+  EXPECT_STREQ(CircuitStateName(CircuitState::kClosed), "closed");
+  EXPECT_STREQ(CircuitStateName(CircuitState::kOpen), "open");
+  EXPECT_STREQ(CircuitStateName(CircuitState::kHalfOpen), "half-open");
+}
+
+TEST(ResilientBackendTest, MasksDeterministicFaultSchedule) {
+  // End-to-end over the real stack: SimulatedLlm -> faults -> retry. At a
+  // 30% transient rate, four attempts nearly always find a clean slot, so
+  // retries fully mask the chaos and the output equals the fault-free run.
+  SimulatedLlm clean_llm(ModelProfile::Llama2_7B(), kVocab);
+  SimulatedLlm faulty_llm(ModelProfile::Llama2_7B(), kVocab);
+  FaultInjectingBackend faults(&faulty_llm, FaultProfile::Transient(0.3, 21));
+  RetryPolicy p = NoJitter();
+  p.max_attempts = 6;
+  ResilientBackend resilient(&faults, p);
+  std::vector<token::TokenId> prompt = {1, 7, 10, 2, 3, 10};
+  Rng a(4), b(4);
+  auto expect = clean_llm.Complete(prompt, 9, AllowAll(kVocab), &a);
+  auto got = resilient.Complete(prompt, 9, AllowAll(kVocab), &b);
+  ASSERT_TRUE(expect.ok());
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(expect.value().tokens, got.value().tokens);
+}
+
+}  // namespace
+}  // namespace lm
+}  // namespace multicast
