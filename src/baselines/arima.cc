@@ -262,8 +262,10 @@ Result<std::vector<double>> ArimaModel::Forecast(size_t horizon) const {
 }
 
 Result<forecast::ForecastResult> ArimaForecaster::Forecast(
-    const ts::Frame& history, size_t horizon) {
+    const ts::Frame& history, size_t horizon,
+    const RequestContext& ctx) {
   Timer timer;
+  MC_RETURN_IF_ERROR(ctx.Check(name().c_str()));
   std::vector<ts::Series> out_dims;
   for (size_t d = 0; d < history.num_dims(); ++d) {
     const std::vector<double>& values = history.dim(d).values();

@@ -95,8 +95,11 @@ class ArimaForecaster final : public forecast::Forecaster {
 
   std::string name() const override { return "ARIMA"; }
 
+  using forecast::Forecaster::Forecast;
   Result<forecast::ForecastResult> Forecast(const ts::Frame& history,
-                                            size_t horizon) override;
+                                            size_t horizon,
+                                            const RequestContext& ctx)
+      override;
 
  private:
   ArimaOptions options_;

@@ -132,8 +132,10 @@ Result<std::vector<double>> EtsModel::Forecast(size_t horizon) const {
 }
 
 Result<forecast::ForecastResult> EtsForecaster::Forecast(
-    const ts::Frame& history, size_t horizon) {
+    const ts::Frame& history, size_t horizon,
+    const RequestContext& ctx) {
   Timer timer;
+  MC_RETURN_IF_ERROR(ctx.Check(name().c_str()));
   std::vector<ts::Series> out_dims;
   for (size_t d = 0; d < history.num_dims(); ++d) {
     EtsOptions dim_options = options_;

@@ -74,8 +74,11 @@ class EtsForecaster final : public forecast::Forecaster {
 
   std::string name() const override { return "HoltWinters"; }
 
+  using forecast::Forecaster::Forecast;
   Result<forecast::ForecastResult> Forecast(const ts::Frame& history,
-                                            size_t horizon) override;
+                                            size_t horizon,
+                                            const RequestContext& ctx)
+      override;
 
  private:
   EtsOptions options_;

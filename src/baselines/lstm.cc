@@ -303,8 +303,10 @@ Result<double> LstmNetwork::TrainBatch(
 }
 
 Result<forecast::ForecastResult> LstmForecaster::Forecast(
-    const ts::Frame& history, size_t horizon) {
+    const ts::Frame& history, size_t horizon,
+    const RequestContext& ctx) {
   Timer timer;
+  MC_RETURN_IF_ERROR(ctx.Check(name().c_str()));
   if (horizon == 0) return Status::InvalidArgument("horizon must be >= 1");
   const size_t dims = history.num_dims();
   const size_t n = history.length();

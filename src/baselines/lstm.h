@@ -94,8 +94,11 @@ class LstmForecaster final : public forecast::Forecaster {
 
   std::string name() const override { return "LSTM"; }
 
+  using forecast::Forecaster::Forecast;
   Result<forecast::ForecastResult> Forecast(const ts::Frame& history,
-                                            size_t horizon) override;
+                                            size_t horizon,
+                                            const RequestContext& ctx)
+      override;
 
  private:
   LstmOptions options_;

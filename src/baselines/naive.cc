@@ -29,8 +29,10 @@ Result<forecast::ForecastResult> BuildResult(const ts::Frame& history,
 }  // namespace
 
 Result<forecast::ForecastResult> NaiveLastForecaster::Forecast(
-    const ts::Frame& history, size_t horizon) {
+    const ts::Frame& history, size_t horizon,
+    const RequestContext& ctx) {
   Timer timer;
+  MC_RETURN_IF_ERROR(ctx.Check(name().c_str()));
   MC_RETURN_IF_ERROR(ValidateArgs(history, horizon, 1));
   std::vector<ts::Series> dims;
   for (size_t d = 0; d < history.num_dims(); ++d) {
@@ -42,8 +44,10 @@ Result<forecast::ForecastResult> NaiveLastForecaster::Forecast(
 }
 
 Result<forecast::ForecastResult> SeasonalNaiveForecaster::Forecast(
-    const ts::Frame& history, size_t horizon) {
+    const ts::Frame& history, size_t horizon,
+    const RequestContext& ctx) {
   Timer timer;
+  MC_RETURN_IF_ERROR(ctx.Check(name().c_str()));
   if (period_ == 0) return Status::InvalidArgument("period must be >= 1");
   MC_RETURN_IF_ERROR(ValidateArgs(history, horizon, period_));
   std::vector<ts::Series> dims;
@@ -60,8 +64,10 @@ Result<forecast::ForecastResult> SeasonalNaiveForecaster::Forecast(
 }
 
 Result<forecast::ForecastResult> DriftForecaster::Forecast(
-    const ts::Frame& history, size_t horizon) {
+    const ts::Frame& history, size_t horizon,
+    const RequestContext& ctx) {
   Timer timer;
+  MC_RETURN_IF_ERROR(ctx.Check(name().c_str()));
   MC_RETURN_IF_ERROR(ValidateArgs(history, horizon, 2));
   std::vector<ts::Series> dims;
   size_t n = history.length();

@@ -16,8 +16,11 @@ namespace baselines {
 class NaiveLastForecaster final : public forecast::Forecaster {
  public:
   std::string name() const override { return "NaiveLast"; }
+  using forecast::Forecaster::Forecast;
   Result<forecast::ForecastResult> Forecast(const ts::Frame& history,
-                                            size_t horizon) override;
+                                            size_t horizon,
+                                            const RequestContext& ctx)
+      override;
 };
 
 /// Repeats the last observed season of length `period`.
@@ -25,8 +28,11 @@ class SeasonalNaiveForecaster final : public forecast::Forecaster {
  public:
   explicit SeasonalNaiveForecaster(size_t period) : period_(period) {}
   std::string name() const override { return "SeasonalNaive"; }
+  using forecast::Forecaster::Forecast;
   Result<forecast::ForecastResult> Forecast(const ts::Frame& history,
-                                            size_t horizon) override;
+                                            size_t horizon,
+                                            const RequestContext& ctx)
+      override;
 
  private:
   size_t period_;
@@ -37,8 +43,11 @@ class SeasonalNaiveForecaster final : public forecast::Forecaster {
 class DriftForecaster final : public forecast::Forecaster {
  public:
   std::string name() const override { return "Drift"; }
+  using forecast::Forecaster::Forecast;
   Result<forecast::ForecastResult> Forecast(const ts::Frame& history,
-                                            size_t horizon) override;
+                                            size_t horizon,
+                                            const RequestContext& ctx)
+      override;
 };
 
 }  // namespace baselines

@@ -71,8 +71,11 @@ class SarimaForecaster final : public forecast::Forecaster {
 
   std::string name() const override { return "SARIMA"; }
 
+  using forecast::Forecaster::Forecast;
   Result<forecast::ForecastResult> Forecast(const ts::Frame& history,
-                                            size_t horizon) override;
+                                            size_t horizon,
+                                            const RequestContext& ctx)
+      override;
 
  private:
   SarimaOptions options_;

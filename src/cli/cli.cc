@@ -15,6 +15,8 @@
 #include "forecast/fallback.h"
 #include "forecast/llmtime_forecaster.h"
 #include "forecast/multicast_forecaster.h"
+#include "serve/executor.h"
+#include "serve/trace.h"
 #include "ts/split.h"
 #include "util/flags.h"
 #include "util/strings.h"
@@ -31,7 +33,11 @@ const std::set<std::string> kMethodFlags = {
     "digits", "seed",        "sax",      "sax-segment",
     "sax-alphabet",          "profile",  "plot",     "folds",
     "stride", "quantile",    "dataset",  "name",     "quantiles",
-    "chaos",  "chaos-seed",  "retries",  "redraws",  "fallback"};
+    "chaos",  "chaos-seed",  "retries",  "redraws",  "fallback",
+    // serve-sim trace and serving-policy flags.
+    "requests",   "arrival-rate", "deadline",  "queue-capacity",
+    "queue-order", "hedge-delay", "burst-factor", "burst-every",
+    "burst-duration", "drain",    "drain-mode"};
 const std::set<std::string> kBoolFlags = {"plot", "fallback"};
 
 Result<lm::ModelProfile> ProfileByName(const std::string& name) {
@@ -84,7 +90,16 @@ Result<ts::Frame> LoadInput(const FlagSet& flags) {
   if (path.empty()) {
     return Status::InvalidArgument("--input <csv> is required");
   }
-  return data::LoadCsvDataset(path, flags.GetString("name", path));
+  Result<ts::Frame> frame =
+      data::LoadCsvDataset(path, flags.GetString("name", path));
+  if (!frame.ok() &&
+      frame.status().message().find("not finite") != std::string::npos) {
+    return Status(frame.status().code(),
+                  frame.status().message() +
+                      " — repair the gap first (see the imputation "
+                      "extension: `multicast impute`)");
+  }
+  return frame;
 }
 
 Status SaveIfRequested(const FlagSet& flags, const ts::Frame& frame,
@@ -273,6 +288,145 @@ Result<int> CmdAnomaly(const FlagSet& flags, std::ostream& out) {
   return 0;
 }
 
+// Replays a seeded Poisson-burst arrival trace against the serving
+// executor, one run per LLM method, and prints the fleet summary.
+Result<int> CmdServeSim(const FlagSet& flags, std::ostream& out) {
+  MC_ASSIGN_OR_RETURN(ts::Frame frame, LoadInput(flags));
+  MC_ASSIGN_OR_RETURN(int64_t horizon, flags.GetInt("horizon", 12));
+  if (horizon < 1) return Status::InvalidArgument("--horizon must be >= 1");
+  MC_ASSIGN_OR_RETURN(MethodSpec base, SpecFromFlags(flags));
+
+  serve::TraceOptions trace;
+  MC_ASSIGN_OR_RETURN(int64_t requests, flags.GetInt("requests", 32));
+  if (requests < 1) {
+    return Status::InvalidArgument("--requests must be >= 1");
+  }
+  trace.num_requests = static_cast<size_t>(requests);
+  MC_ASSIGN_OR_RETURN(trace.arrival_rate,
+                      flags.GetDouble("arrival-rate", 4.0));
+  if (trace.arrival_rate <= 0.0) {
+    return Status::InvalidArgument("--arrival-rate must be > 0");
+  }
+  MC_ASSIGN_OR_RETURN(trace.burst_factor,
+                      flags.GetDouble("burst-factor", 4.0));
+  MC_ASSIGN_OR_RETURN(trace.burst_every_seconds,
+                      flags.GetDouble("burst-every", 10.0));
+  MC_ASSIGN_OR_RETURN(trace.burst_duration_seconds,
+                      flags.GetDouble("burst-duration", 2.0));
+  MC_ASSIGN_OR_RETURN(trace.deadline_seconds,
+                      flags.GetDouble("deadline", 2.0));
+  trace.seed = base.seed;
+  std::vector<serve::Arrival> arrivals = serve::GenerateTrace(trace);
+
+  serve::ServeOptions serve_options;
+  MC_ASSIGN_OR_RETURN(int64_t capacity, flags.GetInt("queue-capacity", 8));
+  if (capacity < 1) {
+    return Status::InvalidArgument("--queue-capacity must be >= 1");
+  }
+  serve_options.queue.capacity = static_cast<size_t>(capacity);
+  std::string order = flags.GetString("queue-order", "fifo");
+  if (order == "edf") {
+    serve_options.queue.order = serve::QueueOrder::kEarliestDeadlineFirst;
+  } else if (order != "fifo") {
+    return Status::InvalidArgument(
+        "--queue-order expects 'fifo' or 'edf'");
+  }
+  MC_ASSIGN_OR_RETURN(double hedge_delay,
+                      flags.GetDouble("hedge-delay", 0.0));
+  serve_options.hedge.enabled = hedge_delay > 0.0;
+  serve_options.hedge.delay_seconds = hedge_delay;
+  MC_ASSIGN_OR_RETURN(double drain_at, flags.GetDouble("drain", 0.0));
+  if (drain_at > 0.0) serve_options.drain_at_seconds = drain_at;
+  std::string drain_mode = flags.GetString("drain-mode", "finish");
+  if (drain_mode == "cancel") {
+    serve_options.drain_mode = serve::DrainMode::kCancelQueued;
+  } else if (drain_mode != "finish") {
+    return Status::InvalidArgument(
+        "--drain-mode expects 'finish' or 'cancel'");
+  }
+
+  std::vector<std::string> methods = {"DI", "VI", "VC", "LLMTIME"};
+  if (flags.Has("method")) methods = {base.name};
+
+  out << StrFormat(
+      "serve-sim: %zu requests at %.3g req/s (burst x%.3g every %.3gs "
+      "for %.3gs), deadline %.3gs, queue %zu (%s), hedge %s, seed %llu\n",
+      trace.num_requests, trace.arrival_rate, trace.burst_factor,
+      trace.burst_every_seconds, trace.burst_duration_seconds,
+      trace.deadline_seconds, serve_options.queue.capacity, order.c_str(),
+      serve_options.hedge.enabled
+          ? StrFormat("after %.3gs", hedge_delay).c_str()
+          : "off",
+      static_cast<unsigned long long>(base.seed));
+  if (drain_at > 0.0) {
+    out << StrFormat("drain at %.3gs (%s)\n", drain_at,
+                     drain_mode.c_str());
+  }
+
+  TextTable table({"Method", "Served", "Degraded", "Shed(full)",
+                   "Shed(expired)", "Drained", "Failed", "Hedged",
+                   "HedgeWins", "p50(s)", "p99(s)", "Wait(s)", "Attempts",
+                   "Retries", "Cancelled", "Preempted"});
+  for (const std::string& name : methods) {
+    MethodSpec spec = base;
+    spec.name = name;
+    // Validate the spec once so the per-request factories cannot fail.
+    MC_RETURN_IF_ERROR(MakeForecaster(spec).status());
+    MethodSpec hedge_spec = spec;
+    hedge_spec.fallback = true;  // hedge runs the demotion chain
+    MC_RETURN_IF_ERROR(MakeForecaster(hedge_spec).status());
+
+    // Per-request construction decorrelates sampling across requests:
+    // request i forecasts with seed base+i, so a retried or hedged run
+    // is not a token-for-token replay of its sibling.
+    auto factory_for = [](MethodSpec s) {
+      return [s](const serve::ForecastRequest& req) {
+        MethodSpec per = s;
+        per.seed = s.seed + req.id;
+        return MakeForecaster(per).ValueOrDie();
+      };
+    };
+    serve::ServeExecutor executor(
+        factory_for(spec),
+        serve_options.hedge.enabled ? factory_for(hedge_spec)
+                                    : serve::ForecasterFactory(),
+        serve_options);
+
+    std::vector<serve::ForecastRequest> reqs;
+    reqs.reserve(arrivals.size());
+    for (size_t i = 0; i < arrivals.size(); ++i) {
+      serve::ForecastRequest req;
+      req.id = i;
+      req.arrival_seconds = arrivals[i].arrival_seconds;
+      req.deadline_seconds = arrivals[i].deadline_seconds;
+      req.history = &frame;
+      req.horizon = static_cast<size_t>(horizon);
+      reqs.push_back(req);
+    }
+    MC_ASSIGN_OR_RETURN(std::vector<serve::ServeStats> stats,
+                        executor.Run(std::move(reqs)));
+    serve::ServeSummary summary = serve::Summarize(stats);
+    table.AddRow(
+        {name, StrFormat("%zu", summary.served),
+         StrFormat("%zu", summary.served_degraded),
+         StrFormat("%zu", summary.shed_queue_full),
+         StrFormat("%zu", summary.shed_expired),
+         StrFormat("%zu", summary.cancelled_drain),
+         StrFormat("%zu", summary.failed),
+         StrFormat("%zu", summary.hedges_fired),
+         StrFormat("%zu", summary.hedge_wins),
+         StrFormat("%.3f", summary.p50_latency_seconds),
+         StrFormat("%.3f", summary.p99_latency_seconds),
+         StrFormat("%.3f", summary.mean_queue_wait_seconds),
+         StrFormat("%zu", summary.retry.attempts),
+         StrFormat("%zu", summary.retry.retries),
+         StrFormat("%zu", summary.retry.cancelled_calls),
+         StrFormat("%zu", summary.retry.deadline_preempted)});
+  }
+  out << table.Render();
+  return 0;
+}
+
 Result<int> CmdGenerate(const FlagSet& flags, std::ostream& out) {
   std::string dataset = flags.GetString("dataset", "GasRate");
   MC_ASSIGN_OR_RETURN(int64_t seed,
@@ -423,6 +577,13 @@ std::string UsageText() {
       "  anomaly   --input feed.csv [--quantile 0.98]\n"
       "  generate  [--dataset GasRate|Electricity|Weather] [--seed N]\n"
       "            [--output out.csv]\n"
+      "  serve-sim --input feed.csv [--horizon 12] [--method VI]\n"
+      "            trace: [--requests 32] [--arrival-rate 4]\n"
+      "            [--deadline 2.0] [--burst-factor 4] [--burst-every 10]\n"
+      "            [--burst-duration 2] [--seed 42]\n"
+      "            serving: [--queue-capacity 8] [--queue-order fifo|edf]\n"
+      "            [--hedge-delay 0.5] [--drain T] [--drain-mode\n"
+      "            finish|cancel] plus the chaos/resilience flags above\n"
       "  help\n";
 }
 
@@ -441,6 +602,9 @@ Result<int> RunCommand(const std::vector<std::string>& args,
   if (command == "impute") return CmdImpute(flags, out);
   if (command == "anomaly") return CmdAnomaly(flags, out);
   if (command == "generate") return CmdGenerate(flags, out);
+  if (command == "serve-sim" || command == "--serve-sim") {
+    return CmdServeSim(flags, out);
+  }
   return Status::InvalidArgument("unknown command '" + command +
                                  "'; run 'multicast help'");
 }

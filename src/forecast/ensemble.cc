@@ -21,14 +21,17 @@ std::string EnsembleForecaster::name() const {
 }
 
 Result<ForecastResult> EnsembleForecaster::Forecast(const ts::Frame& history,
-                                                    size_t horizon) {
+                                                    size_t horizon,
+                                                    const RequestContext& ctx) {
   Timer timer;
   std::vector<ForecastResult> member_results;
   ForecastResult result;
   for (const auto& member : members_) {
+    MC_RETURN_IF_ERROR(ctx.Check(member->name().c_str()));
     MC_ASSIGN_OR_RETURN(ForecastResult r,
-                        member->Forecast(history, horizon));
+                        member->Forecast(history, horizon, ctx));
     result.ledger += r.ledger;
+    result.virtual_seconds += r.virtual_seconds;
     member_results.push_back(std::move(r));
   }
 

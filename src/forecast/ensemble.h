@@ -31,8 +31,9 @@ class EnsembleForecaster final : public Forecaster {
   /// Runs every member; token ledgers are summed. Fails if any member
   /// fails (an ensemble with silently missing members would mis-report
   /// what it aggregated).
-  Result<ForecastResult> Forecast(const ts::Frame& history,
-                                  size_t horizon) override;
+  using Forecaster::Forecast;
+  Result<ForecastResult> Forecast(const ts::Frame& history, size_t horizon,
+                                  const RequestContext& ctx) override;
 
   size_t num_members() const { return members_.size(); }
 

@@ -25,10 +25,21 @@ std::string FallbackForecaster::name() const {
 }
 
 Result<ForecastResult> FallbackForecaster::Forecast(const ts::Frame& history,
-                                                    size_t horizon) {
+                                                    size_t horizon,
+                                                    const RequestContext& ctx) {
   std::vector<std::string> demotions;
   for (size_t i = 0; i < chain_.size(); ++i) {
-    Result<ForecastResult> attempt = chain_[i]->Forecast(history, horizon);
+    Status active = ctx.Check(chain_[i]->name().c_str());
+    if (!active.ok()) {
+      // Don't start the next link on behalf of a dead request; report
+      // why the chain stopped where it did.
+      demotions.push_back(StrFormat("chain stopped before %s (%s)",
+                                    chain_[i]->name().c_str(),
+                                    active.ToString().c_str()));
+      break;
+    }
+    Result<ForecastResult> attempt =
+        chain_[i]->Forecast(history, horizon, ctx);
     if (!attempt.ok()) {
       demotions.push_back(StrFormat(
           "%s failed (%s)", chain_[i]->name().c_str(),
@@ -51,6 +62,10 @@ Result<ForecastResult> FallbackForecaster::Forecast(const ts::Frame& history,
     if (i > 0) summary += "; ";
     summary += demotions[i];
   }
+  // A chain that stopped because the request died reports the request's
+  // status code, not a backend outage.
+  Status active = ctx.Check("fallback chain");
+  if (!active.ok()) return Status(active.code(), std::move(summary));
   return Status::Unavailable(std::move(summary));
 }
 

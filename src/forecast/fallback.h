@@ -29,8 +29,11 @@ class FallbackForecaster final : public Forecaster {
   /// "Fallback(MultiCast (VI) -> LLMTIME -> NaiveLast)".
   std::string name() const override;
 
-  Result<ForecastResult> Forecast(const ts::Frame& history,
-                                  size_t horizon) override;
+  /// Demotion stops once `ctx` is cancelled or past its deadline — a
+  /// dead request is not worth serving from the cheapest link either.
+  using Forecaster::Forecast;
+  Result<ForecastResult> Forecast(const ts::Frame& history, size_t horizon,
+                                  const RequestContext& ctx) override;
 
   size_t chain_length() const { return chain_.size(); }
 

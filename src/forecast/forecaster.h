@@ -46,6 +46,10 @@ struct ForecastResult {
   lm::TokenLedger ledger;
   /// Wall-clock seconds spent inside Forecast().
   double seconds = 0.0;
+  /// Virtual seconds the forecast consumed on the request clock (LLM
+  /// latency + retry backoff; zeros for classical methods, which are
+  /// negligible next to an LLM call at serving granularity).
+  double virtual_seconds = 0.0;
   /// Retry/backoff accounting of the resilient LLM backend (all zeros
   /// when resilience is disabled or the method makes no LLM calls).
   lm::RetryStats retry_stats;
@@ -72,9 +76,23 @@ class Forecaster {
   /// Display name used in the result tables ("MultiCast (DI)", "ARIMA"...).
   virtual std::string name() const = 0;
 
-  /// Forecasts `horizon` future timestamps of every dimension.
+  /// Forecasts `horizon` future timestamps of every dimension under a
+  /// request context: implementations making LLM calls must stop
+  /// issuing them once `ctx` is cancelled or past its deadline
+  /// (returning a degraded result when enough samples already
+  /// survived, the context's Status otherwise). Classical methods check
+  /// the context at entry and are otherwise instantaneous in virtual
+  /// time. Derived classes override this and re-export the convenience
+  /// overload with `using Forecaster::Forecast;`.
   virtual Result<ForecastResult> Forecast(const ts::Frame& history,
-                                          size_t horizon) = 0;
+                                          size_t horizon,
+                                          const RequestContext& ctx) = 0;
+
+  /// Context-free convenience: no deadline, no cancellation — the
+  /// standalone evaluation pipeline.
+  Result<ForecastResult> Forecast(const ts::Frame& history, size_t horizon) {
+    return Forecast(history, horizon, RequestContext{});
+  }
 };
 
 }  // namespace forecast

@@ -10,7 +10,8 @@ LlmTimeForecaster::LlmTimeForecaster(const LlmTimeOptions& options)
     : options_(options) {}
 
 Result<ForecastResult> LlmTimeForecaster::Forecast(const ts::Frame& history,
-                                                   size_t horizon) {
+                                                   size_t horizon,
+                                                   const RequestContext& ctx) {
   Timer timer;
   // A univariate stream is the degenerate multiplex (d = 1; VI and VC
   // coincide with LLMTime's "v1,v2,..." serialization), so each
@@ -23,10 +24,12 @@ Result<ForecastResult> LlmTimeForecaster::Forecast(const ts::Frame& history,
   mc.scaler = options_.scaler;
   mc.faults = options_.faults;
   mc.resilience = options_.resilience;
+  mc.backend = options_.backend;
 
   ForecastResult result;
   std::vector<ts::Series> out_dims;
   for (size_t d = 0; d < history.num_dims(); ++d) {
+    MC_RETURN_IF_ERROR(ctx.Check("LLMTIME dimension loop"));
     MC_ASSIGN_OR_RETURN(
         ts::Frame uni,
         ts::Frame::FromSeries({history.dim(d)}, history.dim(d).name()));
@@ -37,9 +40,10 @@ Result<ForecastResult> LlmTimeForecaster::Forecast(const ts::Frame& history,
     mc.faults.seed = options_.faults.seed + d;
     MultiCastForecaster forecaster(mc);
     MC_ASSIGN_OR_RETURN(ForecastResult uni_result,
-                        forecaster.Forecast(uni, horizon));
+                        forecaster.Forecast(uni, horizon, ctx));
     result.ledger += uni_result.ledger;
     result.retry_stats += uni_result.retry_stats;
+    result.virtual_seconds += uni_result.virtual_seconds;
     result.degraded = result.degraded || uni_result.degraded;
     result.samples_requested += uni_result.samples_requested;
     result.samples_used += uni_result.samples_used;

@@ -28,6 +28,9 @@ struct LlmTimeOptions {
   /// per-dimension pipeline (same semantics as MultiCastOptions).
   lm::FaultProfile faults;
   ResilienceConfig resilience;
+  /// External base backend shared by every per-dimension pipeline (not
+  /// owned; same contract as MultiCastOptions::backend).
+  lm::LlmBackend* backend = nullptr;
 };
 
 /// Runs a univariate serialized forecast per dimension and stitches the
@@ -40,8 +43,13 @@ class LlmTimeForecaster final : public Forecaster {
 
   std::string name() const override { return "LLMTIME"; }
 
-  Result<ForecastResult> Forecast(const ts::Frame& history,
-                                  size_t horizon) override;
+  /// The per-dimension loop checks `ctx` between dimensions and threads
+  /// it into every underlying MultiCast pipeline; a request that dies
+  /// partway fails with the context's status rather than finishing the
+  /// remaining dimensions.
+  using Forecaster::Forecast;
+  Result<ForecastResult> Forecast(const ts::Frame& history, size_t horizon,
+                                  const RequestContext& ctx) override;
 
   const LlmTimeOptions& options() const { return options_; }
 

@@ -83,21 +83,33 @@ Status FillAggregates(
   return Status::OK();
 }
 
-// The per-forecast backend stack: simulated decoder, optionally behind
-// the fault injector, optionally behind the resilient retry layer.
+// The per-forecast backend stack: simulated decoder (or an external
+// base backend), optionally behind the fault injector, optionally
+// behind the resilient retry layer. All virtual time lands on `clock`.
 struct BackendStack {
   std::unique_ptr<lm::SimulatedLlm> base;
   std::unique_ptr<lm::FaultInjectingBackend> faults;
   std::unique_ptr<lm::ResilientBackend> resilient;
   lm::LlmBackend* top = nullptr;
+
+  // Charges one completed call's latency to `clock`. The resilient
+  // layer accounts latency itself; without it the stack's reported
+  // latency is charged here so deadlines bite either way.
+  void ChargeLatency(VirtualClock* clock) const {
+    if (resilient == nullptr) clock->Advance(top->last_latency_seconds());
+  }
 };
 
 BackendStack BuildBackendStack(const MultiCastOptions& options,
-                               size_t vocab_size) {
+                               size_t vocab_size, VirtualClock* clock) {
   BackendStack stack;
-  stack.base = std::make_unique<lm::SimulatedLlm>(options.profile,
-                                                  vocab_size);
-  stack.top = stack.base.get();
+  if (options.backend != nullptr) {
+    stack.top = options.backend;
+  } else {
+    stack.base = std::make_unique<lm::SimulatedLlm>(options.profile,
+                                                    vocab_size);
+    stack.top = stack.base.get();
+  }
   if (options.faults.any()) {
     stack.faults = std::make_unique<lm::FaultInjectingBackend>(
         stack.top, options.faults);
@@ -105,7 +117,8 @@ BackendStack BuildBackendStack(const MultiCastOptions& options,
   }
   if (options.resilience.retries_enabled) {
     stack.resilient = std::make_unique<lm::ResilientBackend>(
-        stack.top, options.resilience.retry, options.resilience.breaker);
+        stack.top, options.resilience.retry, options.resilience.breaker,
+        clock);
     stack.top = stack.resilient.get();
   }
   return stack;
@@ -138,9 +151,10 @@ struct SampleDraw {
 };
 
 // Draws one sample and salvages the grammar-valid prefix. Terminal
-// (non-retryable) statuses propagate as errors; transient failures and
-// fully corrupted streams come back as unusable draws the caller may
-// redraw.
+// (non-retryable) statuses propagate as errors; transient failures,
+// fully corrupted streams, and cancellation/deadline stops come back as
+// unusable draws — the caller's context check decides whether to redraw
+// or wind down with what already survived.
 Result<SampleDraw> DrawSample(lm::LlmBackend* backend,
                               const std::vector<token::TokenId>& prompt,
                               size_t tokens_needed,
@@ -148,12 +162,18 @@ Result<SampleDraw> DrawSample(lm::LlmBackend* backend,
                               const multiplex::Multiplexer& mux,
                               const std::vector<int>& widths,
                               const token::Vocabulary& vocab,
+                              const RequestContext& ctx,
                               lm::TokenLedger* ledger) {
   SampleDraw draw;
+  lm::CallOptions call;
+  call.context = ctx;
   Result<lm::GenerationResult> gen_or =
-      backend->Complete(prompt, tokens_needed, mask, sample_rng);
+      backend->Complete(prompt, tokens_needed, mask, sample_rng, call);
   if (!gen_or.ok()) {
-    if (!IsRetryable(gen_or.status().code())) return gen_or.status();
+    StatusCode code = gen_or.status().code();
+    if (code != StatusCode::kCancelled && !IsRetryable(code)) {
+      return gen_or.status();
+    }
     draw.failure = gen_or.status();
     return draw;
   }
@@ -231,7 +251,8 @@ std::string MultiCastForecaster::name() const {
 }
 
 Result<ForecastResult> MultiCastForecaster::Forecast(const ts::Frame& history,
-                                                     size_t horizon) {
+                                                     size_t horizon,
+                                                     const RequestContext& ctx) {
   if (horizon == 0) return Status::InvalidArgument("horizon must be >= 1");
   if (history.length() < 4) {
     return Status::InvalidArgument("history too short to forecast from");
@@ -239,14 +260,15 @@ Result<ForecastResult> MultiCastForecaster::Forecast(const ts::Frame& history,
   if (options_.num_samples < 1) {
     return Status::InvalidArgument("num_samples must be >= 1");
   }
+  MC_RETURN_IF_ERROR(ctx.Check(name().c_str()));
   if (options_.quantization == Quantization::kNone) {
-    return ForecastRaw(history, horizon);
+    return ForecastRaw(history, horizon, ctx);
   }
-  return ForecastSax(history, horizon);
+  return ForecastSax(history, horizon, ctx);
 }
 
 Result<ForecastResult> MultiCastForecaster::ForecastRaw(
-    const ts::Frame& history, size_t horizon) {
+    const ts::Frame& history, size_t horizon, const RequestContext& ctx) {
   Timer timer;
   const size_t dims = history.num_dims();
 
@@ -284,7 +306,17 @@ Result<ForecastResult> MultiCastForecaster::ForecastRaw(
   // redrawing failed samples up to the resilience cap.
   size_t tokens_needed = horizon * mux->TokensPerTimestamp(widths);
   lm::GrammarMask mask = StructuredMask(*mux, widths, vocab);
-  BackendStack stack = BuildBackendStack(options_, vocab.size());
+  if (options_.backend != nullptr &&
+      options_.backend->vocab_size() != vocab.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "external backend vocabulary size %zu does not match the "
+        "pipeline's %zu",
+        options_.backend->vocab_size(), vocab.size()));
+  }
+  VirtualClock local_clock;
+  VirtualClock* clock = ctx.clock != nullptr ? ctx.clock : &local_clock;
+  const double virtual_start = clock->now();
+  BackendStack stack = BuildBackendStack(options_, vocab.size(), clock);
   Rng rng(options_.seed, /*stream=*/7);
 
   // samples_per_dim[d][s] is sample s of dimension d (possibly a
@@ -296,11 +328,22 @@ Result<ForecastResult> MultiCastForecaster::ForecastRaw(
   int survivors = 0;
   Status last_failure = Status::OK();
   for (int s = 0; s < max_draws && survivors < target; ++s) {
+    Status active = ctx.Check("sample loop");
+    if (!active.ok()) {
+      // The request died mid-pipeline: stop issuing LLM calls and wind
+      // down with whatever already survived.
+      last_failure = active;
+      result.warnings.push_back(StrFormat(
+          "stopped issuing LLM calls after %d surviving samples: %s",
+          survivors, active.ToString().c_str()));
+      break;
+    }
     Rng sample_rng = rng.Fork();
     MC_ASSIGN_OR_RETURN(
         SampleDraw draw,
         DrawSample(stack.top, prompt, tokens_needed, mask, &sample_rng,
-                   *mux, widths, vocab, &result.ledger));
+                   *mux, widths, vocab, ctx, &result.ledger));
+    stack.ChargeLatency(clock);
     if (!draw.usable) {
       last_failure = draw.failure;
       result.warnings.push_back(StrFormat(
@@ -340,11 +383,12 @@ Result<ForecastResult> MultiCastForecaster::ForecastRaw(
   MC_RETURN_IF_ERROR(FillAggregates(samples_per_dim, history,
                                     options_.quantiles, horizon, &result));
   result.seconds = timer.Seconds();
+  result.virtual_seconds = clock->now() - virtual_start;
   return result;
 }
 
 Result<ForecastResult> MultiCastForecaster::ForecastSax(
-    const ts::Frame& history, size_t horizon) {
+    const ts::Frame& history, size_t horizon, const RequestContext& ctx) {
   Timer timer;
   const size_t dims = history.num_dims();
   const bool digital = options_.quantization == Quantization::kSaxDigital;
@@ -392,7 +436,17 @@ Result<ForecastResult> MultiCastForecaster::ForecastSax(
       static_cast<size_t>(options_.sax_segment_length);
   size_t tokens_needed = segments_needed * mux->TokensPerTimestamp(widths);
   lm::GrammarMask mask = StructuredMask(*mux, widths, vocab);
-  BackendStack stack = BuildBackendStack(options_, vocab.size());
+  if (options_.backend != nullptr &&
+      options_.backend->vocab_size() != vocab.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "external backend vocabulary size %zu does not match the "
+        "pipeline's %zu",
+        options_.backend->vocab_size(), vocab.size()));
+  }
+  VirtualClock local_clock;
+  VirtualClock* clock = ctx.clock != nullptr ? ctx.clock : &local_clock;
+  const double virtual_start = clock->now();
+  BackendStack stack = BuildBackendStack(options_, vocab.size(), clock);
   Rng rng(options_.seed, /*stream=*/11);
 
   const size_t segment_length =
@@ -404,11 +458,20 @@ Result<ForecastResult> MultiCastForecaster::ForecastSax(
   int survivors = 0;
   Status last_failure = Status::OK();
   for (int s = 0; s < max_draws && survivors < target; ++s) {
+    Status active = ctx.Check("sample loop");
+    if (!active.ok()) {
+      last_failure = active;
+      result.warnings.push_back(StrFormat(
+          "stopped issuing LLM calls after %d surviving samples: %s",
+          survivors, active.ToString().c_str()));
+      break;
+    }
     Rng sample_rng = rng.Fork();
     MC_ASSIGN_OR_RETURN(
         SampleDraw draw,
         DrawSample(stack.top, prompt, tokens_needed, mask, &sample_rng,
-                   *mux, widths, vocab, &result.ledger));
+                   *mux, widths, vocab, ctx, &result.ledger));
+    stack.ChargeLatency(clock);
     if (!draw.usable) {
       last_failure = draw.failure;
       result.warnings.push_back(StrFormat(
@@ -449,6 +512,7 @@ Result<ForecastResult> MultiCastForecaster::ForecastSax(
   MC_RETURN_IF_ERROR(FillAggregates(samples_per_dim, history,
                                     options_.quantiles, horizon, &result));
   result.seconds = timer.Seconds();
+  result.virtual_seconds = clock->now() - virtual_start;
   return result;
 }
 
@@ -470,6 +534,11 @@ Result<std::vector<double>> QuantileAggregate(
       return Status::InvalidArgument("samples have differing horizons");
     }
   }
+  if (h == 0) {
+    return Status::InvalidArgument(
+        StrFormat("all %zu samples are empty: nothing to aggregate",
+                  samples.size()));
+  }
   std::vector<double> out;
   out.reserve(h);
   for (size_t t = 0; t < h; ++t) {
@@ -485,10 +554,28 @@ Result<std::vector<double>> QuantileAggregateRagged(
     const std::vector<std::vector<double>>& samples, double q,
     size_t out_length, bool* held_tail) {
   if (held_tail != nullptr) *held_tail = false;
-  if (samples.empty()) return Status::InvalidArgument("no samples");
+  if (samples.empty()) {
+    return Status::InvalidArgument("no surviving samples to aggregate");
+  }
   if (!(q > 0.0 && q < 1.0)) {
     return Status::InvalidArgument(
         StrFormat("quantile %g outside (0, 1)", q));
+  }
+  if (out_length == 0) {
+    return Status::InvalidArgument("requested aggregate length is zero");
+  }
+  bool any_nonempty = false;
+  for (const auto& s : samples) {
+    if (!s.empty()) {
+      any_nonempty = true;
+      break;
+    }
+  }
+  if (!any_nonempty) {
+    return Status::InvalidArgument(
+        StrFormat("all %zu surviving samples are empty: nothing to "
+                  "aggregate",
+                  samples.size()));
   }
   std::vector<double> out;
   out.reserve(out_length);

@@ -65,6 +65,12 @@ struct MultiCastOptions {
   /// Retry/fallback behaviour when backend calls fail (see
   /// ResilienceConfig in forecaster.h).
   ResilienceConfig resilience;
+  /// External base backend (not owned; must outlive the forecaster and
+  /// accept this pipeline's vocabulary size). Null builds the usual
+  /// internal SimulatedLlm from `profile`. Lets the serving layer share
+  /// one backend (and breaker) across requests, and lets tests interpose
+  /// call-counting or cancelling decorators under the fault/retry stack.
+  lm::LlmBackend* backend = nullptr;
 };
 
 /// See file comment.
@@ -75,16 +81,22 @@ class MultiCastForecaster final : public Forecaster {
   /// "MultiCast (DI)", or "MultiCast SAX (alphabetical)" under SAX.
   std::string name() const override;
 
-  Result<ForecastResult> Forecast(const ts::Frame& history,
-                                  size_t horizon) override;
+  /// The sample loop observes `ctx` between LLM calls and threads it
+  /// into every backend call: once the request is cancelled or past its
+  /// deadline no further calls are issued — the forecast degrades to
+  /// the samples already drawn when at least `resilience.min_samples`
+  /// survived, and fails with the context's status otherwise.
+  using Forecaster::Forecast;
+  Result<ForecastResult> Forecast(const ts::Frame& history, size_t horizon,
+                                  const RequestContext& ctx) override;
 
   const MultiCastOptions& options() const { return options_; }
 
  private:
-  Result<ForecastResult> ForecastRaw(const ts::Frame& history,
-                                     size_t horizon);
-  Result<ForecastResult> ForecastSax(const ts::Frame& history,
-                                     size_t horizon);
+  Result<ForecastResult> ForecastRaw(const ts::Frame& history, size_t horizon,
+                                     const RequestContext& ctx);
+  Result<ForecastResult> ForecastSax(const ts::Frame& history, size_t horizon,
+                                     const RequestContext& ctx);
 
   MultiCastOptions options_;
 };
@@ -104,7 +116,9 @@ Result<std::vector<double>> QuantileAggregate(
 /// aggregates over the samples that still cover t; timestamps no sample
 /// reaches hold the last aggregated value so the output always has
 /// exactly `out_length` entries. `held_tail` (optional) reports whether
-/// that hold-last fill was needed. At least one sample must cover t=0.
+/// that hold-last fill was needed. Zero samples, an all-empty sample
+/// set, and a zero `out_length` are all clean InvalidArgument errors —
+/// never a silent empty or garbage forecast.
 Result<std::vector<double>> QuantileAggregateRagged(
     const std::vector<std::vector<double>>& samples, double q,
     size_t out_length, bool* held_tail = nullptr);

@@ -25,6 +25,7 @@
 #include "token/vocabulary.h"
 #include "util/random.h"
 #include "util/status.h"
+#include "util/virtual_time.h"
 
 namespace multicast {
 namespace lm {
@@ -63,6 +64,12 @@ struct CallOptions {
   /// latency exceeds it answers kDeadlineExceeded. 0 disables the
   /// deadline. The ResilientBackend fills this in per attempt.
   double deadline_seconds = 0.0;
+  /// Request-scoped context (absolute deadline + cancellation) threaded
+  /// down from the serving layer. A default context never expires, so
+  /// standalone pipelines behave exactly as before. The deadline is
+  /// interpreted against the resilient layer's clock, which the serving
+  /// executor shares with the context.
+  RequestContext context;
 };
 
 /// One stateless LLM completion service.

@@ -29,6 +29,8 @@ RetryStats& RetryStats::operator+=(const RetryStats& other) {
   terminal_errors += other.terminal_errors;
   circuit_rejections += other.circuit_rejections;
   budget_exhausted += other.budget_exhausted;
+  cancelled_calls += other.cancelled_calls;
+  deadline_preempted += other.deadline_preempted;
   backoff_seconds += other.backoff_seconds;
   latency_seconds += other.latency_seconds;
   return *this;
@@ -36,14 +38,16 @@ RetryStats& RetryStats::operator+=(const RetryStats& other) {
 
 ResilientBackend::ResilientBackend(LlmBackend* inner,
                                    const RetryPolicy& retry,
-                                   const CircuitBreakerPolicy& breaker)
+                                   const CircuitBreakerPolicy& breaker,
+                                   VirtualClock* clock)
     : inner_(inner),
       retry_(retry),
       breaker_(breaker),
-      jitter_rng_(retry.seed, /*stream=*/0xBAC0FF) {}
+      jitter_rng_(retry.seed, /*stream=*/0xBAC0FF),
+      clock_(clock != nullptr ? clock : &own_clock_) {}
 
 void ResilientBackend::AdvanceClock(double seconds) {
-  if (seconds > 0.0) clock_seconds_ += seconds;
+  clock_->Advance(seconds);
 }
 
 void ResilientBackend::OnFailure() {
@@ -52,11 +56,11 @@ void ResilientBackend::OnFailure() {
   if (state_ == CircuitState::kHalfOpen) {
     // A failed probe re-opens the breaker for another cooldown.
     state_ = CircuitState::kOpen;
-    open_until_seconds_ = clock_seconds_ + breaker_.cooldown_seconds;
+    open_until_seconds_ = clock_->now() + breaker_.cooldown_seconds;
   } else if (state_ == CircuitState::kClosed &&
              consecutive_failures_ >= breaker_.failure_threshold) {
     state_ = CircuitState::kOpen;
-    open_until_seconds_ = clock_seconds_ + breaker_.cooldown_seconds;
+    open_until_seconds_ = clock_->now() + breaker_.cooldown_seconds;
   }
 }
 
@@ -73,20 +77,49 @@ Result<GenerationResult> ResilientBackend::Complete(
     const std::vector<token::TokenId>& prompt, size_t num_tokens,
     const GrammarMask& mask, Rng* rng, const CallOptions& call) {
   ++stats_.calls;
-  const double call_start = clock_seconds_;
+  const RequestContext& ctx = call.context;
+  const double call_start = clock_->now();
   const int max_attempts = std::max(1, retry_.max_attempts);
   double next_backoff = retry_.initial_backoff_seconds;
   Status last = Status::Unavailable("no attempt was made");
 
+  // A request that is already cancelled or past its deadline fails
+  // without contacting the backend (and without touching the breaker —
+  // the backend did nothing wrong).
+  if (ctx.cancelled()) {
+    ++stats_.cancelled_calls;
+    ++stats_.failures;
+    return Status::Cancelled(
+        "request cancelled before the first attempt (" + ctx.cancel.reason() +
+        ")");
+  }
+  if (ctx.deadline.ExpiredAt(clock_->now())) {
+    ++stats_.deadline_preempted;
+    ++stats_.failures;
+    return Status::DeadlineExceeded(StrFormat(
+        "request deadline %.3fs already passed at call entry (now %.3fs)",
+        ctx.deadline.at_seconds, clock_->now()));
+  }
+
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    // Cancellation can race the half-open probe: it is checked before
+    // any breaker transition, so an open breaker stays open and the
+    // probe is never issued on behalf of a dead request.
+    if (ctx.cancelled()) {
+      ++stats_.cancelled_calls;
+      ++stats_.failures;
+      return Status::Cancelled(StrFormat(
+          "request cancelled before attempt %d (%s)", attempt,
+          ctx.cancel.reason().c_str()));
+    }
     if (breaker_.enabled && state_ == CircuitState::kOpen) {
-      if (clock_seconds_ < open_until_seconds_) {
+      if (clock_->now() < open_until_seconds_) {
         ++stats_.circuit_rejections;
         ++stats_.failures;
         return Status::Unavailable(StrFormat(
             "circuit breaker open for another %.3fs (after %d consecutive "
             "failures); call rejected without contacting backend",
-            open_until_seconds_ - clock_seconds_, consecutive_failures_));
+            open_until_seconds_ - clock_->now(), consecutive_failures_));
       }
       // Cooldown elapsed: let a probe attempt through.
       state_ = CircuitState::kHalfOpen;
@@ -98,6 +131,21 @@ Result<GenerationResult> ResilientBackend::Complete(
     if (attempt_call.deadline_seconds <= 0.0) {
       attempt_call.deadline_seconds = retry_.attempt_deadline_seconds;
     }
+    // The attempt never gets more budget than the request has left, so a
+    // latency spike near the deadline surfaces as kDeadlineExceeded
+    // instead of silently overshooting it.
+    if (!ctx.deadline.never()) {
+      double remaining = ctx.deadline.RemainingAt(clock_->now());
+      if (remaining <= 0.0) {
+        ++stats_.deadline_preempted;
+        ++stats_.failures;
+        return Status::DeadlineExceeded(StrFormat(
+            "request deadline %.3fs passed before attempt %d",
+            ctx.deadline.at_seconds, attempt));
+      }
+      attempt_call.deadline_seconds =
+          std::min(attempt_call.deadline_seconds, remaining);
+    }
     Result<GenerationResult> result =
         inner_->Complete(prompt, num_tokens, mask, rng, attempt_call);
     double latency = inner_->last_latency_seconds();
@@ -105,7 +153,7 @@ Result<GenerationResult> ResilientBackend::Complete(
       // A deadline miss only costs the deadline, not the full spike.
       latency = std::min(latency, attempt_call.deadline_seconds);
     }
-    clock_seconds_ += latency;
+    clock_->Advance(latency);
     stats_.latency_seconds += latency;
 
     if (result.ok()) {
@@ -115,6 +163,13 @@ Result<GenerationResult> ResilientBackend::Complete(
     }
 
     last = result.status();
+    if (last.code() == StatusCode::kCancelled) {
+      // The inner layer observed the cancellation first; terminal, and
+      // not the backend's fault, so the breaker is left alone.
+      ++stats_.cancelled_calls;
+      ++stats_.failures;
+      return last;
+    }
     if (!IsRetryable(last.code())) {
       ++stats_.terminal_errors;
       OnFailure();
@@ -132,14 +187,25 @@ Result<GenerationResult> ResilientBackend::Complete(
                                       1.0 + retry_.jitter_fraction);
     }
     if (retry_.total_budget_seconds > 0.0 &&
-        (clock_seconds_ - call_start) + wait > retry_.total_budget_seconds) {
+        (clock_->now() - call_start) + wait > retry_.total_budget_seconds) {
       ++stats_.budget_exhausted;
       ++stats_.failures;
       return Status::DeadlineExceeded(StrFormat(
           "retry budget %.3fs exhausted after %d attempts; last error: %s",
           retry_.total_budget_seconds, attempt, last.ToString().c_str()));
     }
-    clock_seconds_ += wait;
+    // Never sleep past the request deadline: a wait that would overshoot
+    // it fails now, with the clock still on the near side.
+    if (!ctx.deadline.never() &&
+        clock_->now() + wait > ctx.deadline.at_seconds) {
+      ++stats_.deadline_preempted;
+      ++stats_.failures;
+      return Status::DeadlineExceeded(StrFormat(
+          "request deadline %.3fs would pass during the %.3fs backoff "
+          "after attempt %d; last error: %s",
+          ctx.deadline.at_seconds, wait, attempt, last.ToString().c_str()));
+    }
+    clock_->Advance(wait);
     stats_.backoff_seconds += wait;
     ++stats_.retries;
     next_backoff *= retry_.backoff_multiplier;

@@ -21,6 +21,7 @@
 #include "lm/backend.h"
 #include "util/random.h"
 #include "util/status.h"
+#include "util/virtual_time.h"
 
 namespace multicast {
 namespace lm {
@@ -75,6 +76,8 @@ struct RetryStats {
   size_t terminal_errors = 0;   ///< non-retryable inner errors observed
   size_t circuit_rejections = 0;  ///< calls refused by the open breaker
   size_t budget_exhausted = 0;  ///< calls stopped by total_budget_seconds
+  size_t cancelled_calls = 0;   ///< calls stopped by request cancellation
+  size_t deadline_preempted = 0;  ///< calls stopped by the request deadline
   double backoff_seconds = 0.0;   ///< virtual time spent waiting
   double latency_seconds = 0.0;   ///< virtual time spent inside attempts
 
@@ -86,9 +89,15 @@ struct RetryStats {
 /// worker).
 class ResilientBackend final : public LlmBackend {
  public:
-  /// `inner` must outlive this decorator.
+  /// `inner` must outlive this decorator. `clock` (optional, not owned)
+  /// makes the decorator account time on a shared virtual clock — the
+  /// serving executor passes the request's clock so queue waits, backend
+  /// latency and backoff all land on one timeline; when null, the
+  /// decorator owns a private clock starting at zero. Deadlines carried
+  /// by CallOptions::context are checked against this clock.
   ResilientBackend(LlmBackend* inner, const RetryPolicy& retry,
-                   const CircuitBreakerPolicy& breaker = {});
+                   const CircuitBreakerPolicy& breaker = {},
+                   VirtualClock* clock = nullptr);
 
   std::string name() const override { return inner_->name() + "+retry"; }
   size_t vocab_size() const override { return inner_->vocab_size(); }
@@ -103,8 +112,9 @@ class ResilientBackend final : public LlmBackend {
   const RetryStats& stats() const { return stats_; }
   CircuitState circuit_state() const { return state_; }
 
-  /// Current virtual time (seconds since construction).
-  double now_seconds() const { return clock_seconds_; }
+  /// Current virtual time (of the shared clock, or seconds since
+  /// construction on the private one).
+  double now_seconds() const { return clock_->now(); }
 
   /// Advances virtual time, e.g. to let an open breaker cool down.
   void AdvanceClock(double seconds);
@@ -119,10 +129,12 @@ class ResilientBackend final : public LlmBackend {
   Rng jitter_rng_;
   RetryStats stats_;
 
+  VirtualClock own_clock_;
+  VirtualClock* clock_;  // own_clock_ or the caller-supplied shared clock
+
   CircuitState state_ = CircuitState::kClosed;
   int consecutive_failures_ = 0;
   int half_open_successes_ = 0;
-  double clock_seconds_ = 0.0;
   double open_until_seconds_ = 0.0;
 };
 

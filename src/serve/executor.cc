@@ -1,0 +1,367 @@
+#include "serve/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/strings.h"
+#include "util/virtual_time.h"
+
+namespace multicast {
+namespace serve {
+
+namespace {
+
+/// Nearest-rank quantile of an already-sorted latency list.
+double SortedQuantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  if (rank == 0) rank = 1;
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank - 1];
+}
+
+Deadline RequestDeadline(const ForecastRequest& request) {
+  return std::isfinite(request.deadline_seconds)
+             ? Deadline::At(request.deadline_seconds)
+             : Deadline::Never();
+}
+
+}  // namespace
+
+const char* OutcomeName(RequestOutcome outcome) {
+  switch (outcome) {
+    case RequestOutcome::kServed:
+      return "served";
+    case RequestOutcome::kServedDegraded:
+      return "served-degraded";
+    case RequestOutcome::kShedQueueFull:
+      return "shed-queue-full";
+    case RequestOutcome::kShedExpired:
+      return "shed-expired";
+    case RequestOutcome::kCancelledDrain:
+      return "cancelled-drain";
+    case RequestOutcome::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+ServeSummary Summarize(const std::vector<ServeStats>& stats) {
+  ServeSummary s;
+  s.total = stats.size();
+  std::vector<double> latencies;
+  double queue_wait = 0.0;
+  size_t started = 0;
+  for (const ServeStats& st : stats) {
+    switch (st.outcome) {
+      case RequestOutcome::kServed:
+        ++s.served;
+        break;
+      case RequestOutcome::kServedDegraded:
+        ++s.served_degraded;
+        break;
+      case RequestOutcome::kShedQueueFull:
+        ++s.shed_queue_full;
+        break;
+      case RequestOutcome::kShedExpired:
+        ++s.shed_expired;
+        break;
+      case RequestOutcome::kCancelledDrain:
+        ++s.cancelled_drain;
+        break;
+      case RequestOutcome::kFailed:
+        ++s.failed;
+        break;
+    }
+    if (st.hedge_fired) ++s.hedges_fired;
+    if (st.hedge_won) ++s.hedge_wins;
+    if (st.outcome == RequestOutcome::kServed ||
+        st.outcome == RequestOutcome::kServedDegraded) {
+      latencies.push_back(st.latency_seconds);
+    }
+    if (st.attempts > 0) {
+      queue_wait += st.queue_wait_seconds;
+      ++started;
+    }
+    s.retry += st.retry;
+    s.ledger += st.ledger;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  s.p50_latency_seconds = SortedQuantile(latencies, 0.50);
+  s.p99_latency_seconds = SortedQuantile(latencies, 0.99);
+  s.mean_queue_wait_seconds =
+      started > 0 ? queue_wait / static_cast<double>(started) : 0.0;
+  return s;
+}
+
+ServeExecutor::ServeExecutor(ForecasterFactory primary,
+                             ForecasterFactory hedge,
+                             const ServeOptions& options)
+    : primary_(std::move(primary)),
+      hedge_(std::move(hedge)),
+      options_(options) {
+  MC_CHECK(primary_ != nullptr);
+}
+
+ServeStats ServeExecutor::ServeOne(const ForecastRequest& request,
+                                   double start) {
+  ServeStats st;
+  st.id = request.id;
+  st.arrival_seconds = request.arrival_seconds;
+  st.start_seconds = start;
+  st.queue_wait_seconds = start - request.arrival_seconds;
+  const Deadline deadline = RequestDeadline(request);
+  const bool cancel_on_drain =
+      options_.drain_mode == DrainMode::kCancelQueued &&
+      std::isfinite(options_.drain_at_seconds);
+
+  // Primary branch: its clock starts where the worker picked the
+  // request up and is advanced by every cost the pipeline models.
+  VirtualClock primary_clock;
+  primary_clock.AdvanceTo(start);
+  RequestContext primary_ctx;
+  primary_ctx.clock = &primary_clock;
+  primary_ctx.deadline = deadline;
+  if (cancel_on_drain) {
+    primary_ctx.cancel.CancelAtTime(&primary_clock,
+                                    options_.drain_at_seconds,
+                                    "server draining");
+  }
+  Result<forecast::ForecastResult> primary_result =
+      primary_(request)->Forecast(*request.history, request.horizon,
+                                  primary_ctx);
+  double primary_finish = primary_clock.now();
+  st.attempts = 1;
+
+  // Hedge decision: fire when the primary was still running at
+  // start + delay, or failed outright (fail-fast hedging launches the
+  // backup at the failure instant instead of waiting out the delay).
+  bool fire = options_.hedge.enabled && hedge_ != nullptr;
+  double hedge_start = start + options_.hedge.delay_seconds;
+  if (fire && primary_result.ok() && primary_finish <= hedge_start) {
+    fire = false;  // primary fast enough; hedge never launches
+  }
+  if (fire && !primary_result.ok() && primary_finish < hedge_start) {
+    hedge_start = primary_finish;
+  }
+  if (fire && deadline.ExpiredAt(hedge_start)) fire = false;
+  if (fire && cancel_on_drain &&
+      hedge_start >= options_.drain_at_seconds) {
+    fire = false;
+  }
+
+  Result<forecast::ForecastResult> hedge_result =
+      Status::Unavailable("hedge not fired");
+  double hedge_finish = 0.0;
+  if (fire) {
+    st.hedge_fired = true;
+    st.attempts = 2;
+    VirtualClock hedge_clock;
+    hedge_clock.AdvanceTo(hedge_start);
+    RequestContext hedge_ctx;
+    hedge_ctx.clock = &hedge_clock;
+    hedge_ctx.deadline = deadline;
+    // First success cancels the loser: a hedge still running when the
+    // primary finished successfully is cancelled at that instant.
+    double cancel_at = std::numeric_limits<double>::infinity();
+    std::string cancel_reason;
+    if (primary_result.ok()) {
+      cancel_at = primary_finish;
+      cancel_reason = "hedge lost: primary finished first";
+    }
+    if (cancel_on_drain && options_.drain_at_seconds < cancel_at) {
+      cancel_at = options_.drain_at_seconds;
+      cancel_reason = "server draining";
+    }
+    if (std::isfinite(cancel_at)) {
+      hedge_ctx.cancel.CancelAtTime(&hedge_clock, cancel_at,
+                                    std::move(cancel_reason));
+    }
+    hedge_result = hedge_(request)->Forecast(*request.history,
+                                             request.horizon, hedge_ctx);
+    hedge_finish = hedge_clock.now();
+  }
+
+  // Reconcile the race by virtual finish time: earliest success wins.
+  const bool primary_ok = primary_result.ok();
+  const bool hedge_ok = fire && hedge_result.ok();
+  bool won = false;
+  bool winner_is_primary = false;
+  double finish = primary_finish;
+  if (primary_ok && (!hedge_ok || primary_finish <= hedge_finish)) {
+    won = true;
+    winner_is_primary = true;
+  } else if (hedge_ok) {
+    won = true;
+    finish = hedge_finish;
+    st.hedge_won = true;
+  } else if (fire) {
+    // Both failed: the request's fate is only known once the later
+    // branch gave up.
+    finish = std::max(primary_finish, hedge_finish);
+  }
+
+  if (st.hedge_won && primary_ok) {
+    // The primary "succeeded" only because the sequential simulation
+    // ran it to completion; in the race it was cancelled the moment the
+    // hedge won. Replay it with that cancellation — identical seeds
+    // reproduce its behaviour up to the cancel point — so the accounting
+    // charges what a concurrent server would actually have spent.
+    VirtualClock replay_clock;
+    replay_clock.AdvanceTo(start);
+    RequestContext replay_ctx;
+    replay_ctx.clock = &replay_clock;
+    replay_ctx.deadline = deadline;
+    replay_ctx.cancel.CancelAtTime(&replay_clock, hedge_finish,
+                                   "primary lost: hedge finished first");
+    primary_result = primary_(request)->Forecast(*request.history,
+                                                 request.horizon,
+                                                 replay_ctx);
+  }
+
+  // Charge accounting from whichever branch runs actually "happened".
+  if (primary_result.ok()) {
+    st.retry += primary_result.value().retry_stats;
+    st.ledger += primary_result.value().ledger;
+  }
+  if (fire && hedge_result.ok()) {
+    st.retry += hedge_result.value().retry_stats;
+    st.ledger += hedge_result.value().ledger;
+  }
+
+  st.finish_seconds = finish;
+  if (won && !deadline.ExpiredAt(finish)) {
+    st.result = std::make_shared<forecast::ForecastResult>(
+        winner_is_primary ? std::move(primary_result).value()
+                          : std::move(hedge_result).value());
+    st.degraded = st.result->degraded;
+    st.outcome = st.degraded ? RequestOutcome::kServedDegraded
+                             : RequestOutcome::kServed;
+    st.status = Status::OK();
+    st.latency_seconds = finish - request.arrival_seconds;
+    return st;
+  }
+
+  Status failure;
+  if (won) {
+    // A pipeline without virtual-time metering (retries disabled) can
+    // overrun: the answer exists but arrived after the client gave up.
+    failure = Status::DeadlineExceeded(StrFormat(
+        "request %zu finished at %.3fs, past its deadline %.3fs",
+        request.id, finish, request.deadline_seconds));
+  } else if (fire && !primary_result.ok() && !hedge_result.ok()) {
+    failure = Status(primary_result.status().code(),
+                     StrFormat("primary: %s; hedge: %s",
+                               primary_result.status().ToString().c_str(),
+                               hedge_result.status().ToString().c_str()));
+  } else {
+    failure = primary_result.status();
+  }
+  st.status = failure;
+  st.outcome = failure.code() == StatusCode::kCancelled
+                   ? RequestOutcome::kCancelledDrain
+                   : RequestOutcome::kFailed;
+  return st;
+}
+
+Result<std::vector<ServeStats>> ServeExecutor::Run(
+    std::vector<ForecastRequest> requests) {
+  for (const ForecastRequest& r : requests) {
+    if (r.history == nullptr) {
+      return Status::InvalidArgument(
+          StrFormat("request %zu has no history frame", r.id));
+    }
+    if (r.horizon == 0) {
+      return Status::InvalidArgument(
+          StrFormat("request %zu has horizon 0", r.id));
+    }
+  }
+  std::stable_sort(requests.begin(), requests.end(),
+                   [](const ForecastRequest& a, const ForecastRequest& b) {
+                     return a.arrival_seconds < b.arrival_seconds;
+                   });
+
+  AdmissionQueue queue(options_.queue);
+  std::vector<ServeStats> stats;
+  stats.reserve(requests.size());
+
+  auto record_rejection = [&stats](const ForecastRequest& r,
+                                   RequestOutcome outcome, Status status) {
+    ServeStats st;
+    st.id = r.id;
+    st.arrival_seconds = r.arrival_seconds;
+    st.outcome = outcome;
+    st.status = std::move(status);
+    stats.push_back(std::move(st));
+  };
+
+  auto admit = [&](const ForecastRequest& r) {
+    if (r.arrival_seconds >= options_.drain_at_seconds) queue.Close();
+    Status s = queue.Offer(r);
+    if (s.ok()) return;
+    record_rejection(r,
+                     s.code() == StatusCode::kResourceExhausted
+                         ? RequestOutcome::kShedQueueFull
+                         : RequestOutcome::kCancelledDrain,
+                     std::move(s));
+  };
+
+  double now = 0.0;
+  size_t next = 0;
+  while (next < requests.size() || !queue.empty()) {
+    // Admit everything that arrived while the worker was busy, in
+    // arrival order, so queue-full shedding sees the true queue state.
+    while (next < requests.size() &&
+           requests[next].arrival_seconds <= now) {
+      admit(requests[next++]);
+    }
+    if (queue.empty()) {
+      if (next >= requests.size()) break;
+      // Idle until the next arrival.
+      now = std::max(now, requests[next].arrival_seconds);
+      continue;
+    }
+    if (now >= options_.drain_at_seconds) {
+      queue.Close();
+      if (options_.drain_mode == DrainMode::kCancelQueued) {
+        for (const ForecastRequest& r : queue.Flush()) {
+          record_rejection(
+              r, RequestOutcome::kCancelledDrain,
+              Status::Cancelled(StrFormat(
+                  "request %zu cancelled in queue: server drained at "
+                  "%.3fs",
+                  r.id, options_.drain_at_seconds)));
+        }
+        continue;
+      }
+    }
+    std::vector<ForecastRequest> expired;
+    ForecastRequest job;
+    bool popped = queue.Pop(now, &job, &expired);
+    for (const ForecastRequest& r : expired) {
+      record_rejection(
+          r, RequestOutcome::kShedExpired,
+          Status::DeadlineExceeded(StrFormat(
+              "request %zu expired in queue: deadline %.3fs passed "
+              "after %.3fs waiting",
+              r.id, r.deadline_seconds, now - r.arrival_seconds)));
+    }
+    if (!popped) continue;
+    ServeStats st = ServeOne(job, now);
+    now = std::max(now, st.finish_seconds);
+    stats.push_back(std::move(st));
+  }
+
+  end_seconds_ = now;
+  queue_stats_ = queue.stats();
+  std::sort(stats.begin(), stats.end(),
+            [](const ServeStats& a, const ServeStats& b) {
+              return a.id < b.id;
+            });
+  return stats;
+}
+
+}  // namespace serve
+}  // namespace multicast

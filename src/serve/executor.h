@@ -1,0 +1,161 @@
+// Deterministic virtual-time executor for forecast serving.
+//
+// One simulated worker drains an AdmissionQueue of ForecastRequests:
+//
+//   arrivals ──▶ AdmissionQueue ──▶ worker ──▶ primary pipeline
+//                 (bounded,           │          │ RequestContext
+//                  shed on full,      │          ▼ {clock, deadline,
+//                  drop expired       │        hedge after delay      cancel}
+//                  at dequeue)        │          (first success
+//                                     │           cancels the loser)
+//                                     ▼
+//                               per-request ServeStats
+//
+// Every request runs under a RequestContext carrying the request's
+// absolute deadline and a CancelToken on a branch VirtualClock, so the
+// pipeline itself stops issuing LLM calls the moment the request dies.
+// Concurrency (the hedge racing the primary) is simulated sequentially
+// on branch clocks and reconciled by virtual finish times, which keeps
+// every run bit-reproducible: the same trace, seeds and options give
+// the same shed counts, latencies and ledgers on every machine.
+
+#ifndef MULTICAST_SERVE_EXECUTOR_H_
+#define MULTICAST_SERVE_EXECUTOR_H_
+
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "forecast/forecaster.h"
+#include "serve/queue.h"
+#include "serve/request.h"
+
+namespace multicast {
+namespace serve {
+
+/// Builds the pipeline serving one request. Called per request (and per
+/// hedge attempt), which is what lets callers decorrelate seeds per
+/// request id and lets tests interpose instrumented backends.
+using ForecasterFactory =
+    std::function<std::unique_ptr<forecast::Forecaster>(
+        const ForecastRequest&)>;
+
+/// Hedged requests: when the primary has not finished `delay_seconds`
+/// after its start (or failed outright), a backup pipeline is launched
+/// and the first success wins; the loser is cancelled at the winner's
+/// finish time via its CancelToken.
+struct HedgePolicy {
+  bool enabled = false;
+  double delay_seconds = 0.5;
+};
+
+/// What happens to work still waiting when the server drains.
+enum class DrainMode {
+  kFinishQueued,  ///< stop admitting, serve out everything queued
+  kCancelQueued,  ///< stop admitting, cancel queued AND in-flight work
+};
+
+struct ServeOptions {
+  QueuePolicy queue;
+  HedgePolicy hedge;
+  /// Virtual time at which the server begins draining: admission closes
+  /// and `drain_mode` decides the fate of waiting work (+inf = never).
+  double drain_at_seconds = std::numeric_limits<double>::infinity();
+  DrainMode drain_mode = DrainMode::kFinishQueued;
+};
+
+enum class RequestOutcome {
+  kServed,          ///< full-quality forecast within deadline
+  kServedDegraded,  ///< served, but degraded (fewer samples / fallback)
+  kShedQueueFull,   ///< rejected at admission: queue at capacity
+  kShedExpired,     ///< dropped at dequeue: deadline passed waiting
+  kCancelledDrain,  ///< rejected or cancelled because the server drained
+  kFailed,          ///< ran but produced no servable forecast
+};
+
+const char* OutcomeName(RequestOutcome outcome);
+
+/// Everything the serving layer knows about one request's fate.
+struct ServeStats {
+  size_t id = 0;
+  RequestOutcome outcome = RequestOutcome::kFailed;
+  /// OK for served outcomes; the shedding/failing status otherwise.
+  Status status;
+  double arrival_seconds = 0.0;
+  /// Virtual times; zero when the request never reached a worker.
+  double start_seconds = 0.0;
+  double finish_seconds = 0.0;
+  double queue_wait_seconds = 0.0;
+  /// Arrival-to-finish, the client-observed number (served only).
+  double latency_seconds = 0.0;
+  /// Pipelines launched for this request (1, or 2 when hedged).
+  int attempts = 0;
+  bool hedge_fired = false;
+  bool hedge_won = false;
+  bool degraded = false;
+  /// Accounting summed over this request's successful pipeline runs.
+  lm::RetryStats retry;
+  lm::TokenLedger ledger;
+  /// The served forecast (null unless served) — benches score RMSE of
+  /// what clients actually received, shed requests included by absence.
+  std::shared_ptr<const forecast::ForecastResult> result;
+};
+
+/// Fleet-level rollup of one executor run.
+struct ServeSummary {
+  size_t total = 0;
+  size_t served = 0;
+  size_t served_degraded = 0;
+  size_t shed_queue_full = 0;
+  size_t shed_expired = 0;
+  size_t cancelled_drain = 0;
+  size_t failed = 0;
+  size_t hedges_fired = 0;
+  size_t hedge_wins = 0;
+  /// Latency quantiles over served requests (0 when none served).
+  double p50_latency_seconds = 0.0;
+  double p99_latency_seconds = 0.0;
+  double mean_queue_wait_seconds = 0.0;
+  lm::RetryStats retry;
+  lm::TokenLedger ledger;
+
+  size_t shed() const { return shed_queue_full + shed_expired; }
+};
+
+ServeSummary Summarize(const std::vector<ServeStats>& stats);
+
+/// See file comment.
+class ServeExecutor {
+ public:
+  /// `primary` builds the pipeline of record; `hedge` (may be null,
+  /// disabling hedging) builds the cheaper backup raced after the hedge
+  /// delay.
+  ServeExecutor(ForecasterFactory primary, ForecasterFactory hedge,
+                const ServeOptions& options);
+
+  /// Replays `requests` (sorted by arrival internally) through
+  /// admission, queueing and service; returns one ServeStats per
+  /// request, in request-id order.
+  Result<std::vector<ServeStats>> Run(std::vector<ForecastRequest> requests);
+
+  /// Queue counters of the most recent Run().
+  const QueueStats& queue_stats() const { return queue_stats_; }
+  /// Virtual time at which the most recent Run() went idle.
+  double end_seconds() const { return end_seconds_; }
+
+ private:
+  ServeStats ServeOne(const ForecastRequest& request, double start);
+
+  ForecasterFactory primary_;
+  ForecasterFactory hedge_;
+  ServeOptions options_;
+  QueueStats queue_stats_;
+  double end_seconds_ = 0.0;
+};
+
+}  // namespace serve
+}  // namespace multicast
+
+#endif  // MULTICAST_SERVE_EXECUTOR_H_

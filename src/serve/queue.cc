@@ -1,0 +1,74 @@
+#include "serve/queue.h"
+
+#include "util/strings.h"
+
+namespace multicast {
+namespace serve {
+
+const char* QueueOrderName(QueueOrder order) {
+  switch (order) {
+    case QueueOrder::kFifo:
+      return "fifo";
+    case QueueOrder::kEarliestDeadlineFirst:
+      return "edf";
+  }
+  return "?";
+}
+
+Status AdmissionQueue::Offer(const ForecastRequest& request) {
+  ++stats_.offered;
+  if (closed_) {
+    ++stats_.rejected_closed;
+    return Status::Unavailable(StrFormat(
+        "request %zu rejected: queue closed (draining)", request.id));
+  }
+  if (items_.size() >= policy_.capacity) {
+    ++stats_.rejected_full;
+    return Status::ResourceExhausted(StrFormat(
+        "request %zu shed: queue at capacity %zu", request.id,
+        policy_.capacity));
+  }
+  items_.push_back(request);
+  ++stats_.admitted;
+  if (items_.size() > stats_.max_depth) stats_.max_depth = items_.size();
+  return Status::OK();
+}
+
+size_t AdmissionQueue::NextIndex() const {
+  if (policy_.order == QueueOrder::kFifo) return 0;
+  // Earliest deadline first; arrival order breaks ties (strict < keeps
+  // the earliest-pushed of equal deadlines).
+  size_t best = 0;
+  for (size_t i = 1; i < items_.size(); ++i) {
+    if (items_[i].deadline_seconds < items_[best].deadline_seconds) best = i;
+  }
+  return best;
+}
+
+bool AdmissionQueue::Pop(double now, ForecastRequest* out,
+                         std::vector<ForecastRequest>* expired) {
+  while (!items_.empty()) {
+    size_t idx = NextIndex();
+    ForecastRequest candidate = items_[idx];
+    items_.erase(items_.begin() + static_cast<ptrdiff_t>(idx));
+    if (policy_.drop_expired_at_dequeue &&
+        now > candidate.deadline_seconds) {
+      ++stats_.dropped_expired;
+      if (expired != nullptr) expired->push_back(candidate);
+      continue;
+    }
+    ++stats_.popped;
+    *out = candidate;
+    return true;
+  }
+  return false;
+}
+
+std::vector<ForecastRequest> AdmissionQueue::Flush() {
+  std::vector<ForecastRequest> flushed = std::move(items_);
+  items_.clear();
+  return flushed;
+}
+
+}  // namespace serve
+}  // namespace multicast

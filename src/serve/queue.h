@@ -1,0 +1,93 @@
+// Bounded admission queue with load shedding.
+//
+// The first thing an overloaded server must do is say no *cheaply*:
+// rejecting at admission costs nothing, while timing out after queueing
+// burns queue slots and client patience. AdmissionQueue is that front
+// door — a bounded buffer that rejects when full (kResourceExhausted),
+// optionally drops requests whose deadline already passed at dequeue
+// time (they would be served dead), and orders waiting work either
+// FIFO or earliest-deadline-first.
+
+#ifndef MULTICAST_SERVE_QUEUE_H_
+#define MULTICAST_SERVE_QUEUE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "serve/request.h"
+#include "util/status.h"
+
+namespace multicast {
+namespace serve {
+
+enum class QueueOrder {
+  kFifo,                   ///< serve in arrival order
+  kEarliestDeadlineFirst,  ///< serve the most urgent request first
+};
+
+const char* QueueOrderName(QueueOrder order);
+
+struct QueuePolicy {
+  /// Maximum requests waiting; offers beyond this are shed.
+  size_t capacity = 8;
+  QueueOrder order = QueueOrder::kFifo;
+  /// Drop requests whose deadline has passed while they waited instead
+  /// of handing them to a worker that cannot serve them in time.
+  bool drop_expired_at_dequeue = true;
+};
+
+/// Monotonic counters of everything that crossed the front door.
+struct QueueStats {
+  size_t offered = 0;          ///< every Offer() call
+  size_t admitted = 0;         ///< accepted into the buffer
+  size_t rejected_full = 0;    ///< shed: queue at capacity
+  size_t rejected_closed = 0;  ///< shed: queue closed (draining)
+  size_t dropped_expired = 0;  ///< dropped at dequeue: deadline passed
+  size_t popped = 0;           ///< handed to a worker
+  size_t max_depth = 0;        ///< high-water mark of the buffer
+};
+
+/// See file comment. Deterministic and single-threaded, like the rest
+/// of the serving simulation.
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(const QueuePolicy& policy) : policy_(policy) {}
+
+  /// Admits `request` or rejects it: kResourceExhausted when the buffer
+  /// is at capacity, kUnavailable once the queue is closed for drain.
+  Status Offer(const ForecastRequest& request);
+
+  /// Pops the next request per the configured order at virtual time
+  /// `now`. Under drop_expired_at_dequeue, requests already past their
+  /// deadline are moved to `expired` (never returned). Returns false
+  /// when nothing poppable remains; `out` is untouched then.
+  bool Pop(double now, ForecastRequest* out,
+           std::vector<ForecastRequest>* expired);
+
+  /// Empties the buffer and returns everything that was waiting — the
+  /// cancel-queued drain path.
+  std::vector<ForecastRequest> Flush();
+
+  /// Stops admitting; waiting requests are unaffected. Idempotent.
+  void Close() { closed_ = true; }
+  bool closed() const { return closed_; }
+
+  size_t depth() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  const QueuePolicy& policy() const { return policy_; }
+  const QueueStats& stats() const { return stats_; }
+
+ private:
+  /// Index of the next request to pop per the configured order.
+  size_t NextIndex() const;
+
+  QueuePolicy policy_;
+  QueueStats stats_;
+  std::vector<ForecastRequest> items_;  ///< arrival order
+  bool closed_ = false;
+};
+
+}  // namespace serve
+}  // namespace multicast
+
+#endif  // MULTICAST_SERVE_QUEUE_H_

@@ -1,0 +1,35 @@
+// A forecast job as the serving layer sees it: who asked, when, with
+// how much deadline budget, and what to forecast. The payload frame is
+// borrowed — one dataset history typically backs thousands of simulated
+// requests.
+
+#ifndef MULTICAST_SERVE_REQUEST_H_
+#define MULTICAST_SERVE_REQUEST_H_
+
+#include <cstddef>
+#include <limits>
+
+#include "ts/frame.h"
+
+namespace multicast {
+namespace serve {
+
+struct ForecastRequest {
+  /// Caller-assigned identifier; executor results are reported per id.
+  size_t id = 0;
+  /// Virtual time at which the request reaches admission.
+  double arrival_seconds = 0.0;
+  /// Absolute virtual-time deadline (+inf = no deadline). Note this is
+  /// *absolute*, matching Deadline::At — a trace generator that wants
+  /// "2 s of budget" stores arrival + 2.
+  double deadline_seconds = std::numeric_limits<double>::infinity();
+  /// History to forecast from. Not owned; must outlive the executor run.
+  const ts::Frame* history = nullptr;
+  /// Steps to forecast.
+  size_t horizon = 0;
+};
+
+}  // namespace serve
+}  // namespace multicast
+
+#endif  // MULTICAST_SERVE_REQUEST_H_

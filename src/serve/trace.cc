@@ -1,0 +1,47 @@
+#include "serve/trace.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace multicast {
+namespace serve {
+
+namespace {
+
+bool InBurst(const TraceOptions& o, double t) {
+  if (o.burst_every_seconds <= 0.0 || o.burst_duration_seconds <= 0.0 ||
+      o.burst_factor <= 1.0) {
+    return false;
+  }
+  return std::fmod(t, o.burst_every_seconds) < o.burst_duration_seconds;
+}
+
+}  // namespace
+
+std::vector<Arrival> GenerateTrace(const TraceOptions& options) {
+  MC_CHECK(options.arrival_rate > 0.0);
+  Rng rng(options.seed, /*stream=*/77);
+  std::vector<Arrival> trace;
+  trace.reserve(options.num_requests);
+  double t = 0.0;
+  for (size_t i = 0; i < options.num_requests; ++i) {
+    double rate = options.arrival_rate *
+                  (InBurst(options, t) ? options.burst_factor : 1.0);
+    // Inverse-CDF exponential gap; NextDouble() < 1 keeps log() finite.
+    double gap = -std::log(1.0 - rng.NextDouble()) / rate;
+    t += gap;
+    Arrival a;
+    a.arrival_seconds = t;
+    a.deadline_seconds = options.deadline_seconds > 0.0
+                             ? t + options.deadline_seconds
+                             : std::numeric_limits<double>::infinity();
+    trace.push_back(a);
+  }
+  return trace;
+}
+
+}  // namespace serve
+}  // namespace multicast

@@ -1,0 +1,49 @@
+// Seeded synthetic arrival traces for the serving simulation.
+//
+// Arrivals are a Poisson process (exponential inter-arrival gaps) whose
+// rate multiplies by `burst_factor` inside periodic burst windows — the
+// "quiet baseline punctuated by thundering herds" shape that actually
+// stresses admission control. Everything is drawn from one seeded PCG
+// stream, so a (options, seed) pair names one exact trace on every
+// machine: benches and tests assert exact shed counts against it.
+
+#ifndef MULTICAST_SERVE_TRACE_H_
+#define MULTICAST_SERVE_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace multicast {
+namespace serve {
+
+struct TraceOptions {
+  size_t num_requests = 64;
+  /// Baseline arrival rate, requests per virtual second.
+  double arrival_rate = 10.0;
+  /// Rate multiplier inside burst windows (1 = no bursts).
+  double burst_factor = 4.0;
+  /// A burst window opens every this many seconds (0 disables bursts)...
+  double burst_every_seconds = 10.0;
+  /// ...and stays open this long.
+  double burst_duration_seconds = 2.0;
+  /// Per-request deadline budget, seconds after arrival (0 or negative
+  /// = no deadline).
+  double deadline_seconds = 2.0;
+  uint64_t seed = 1;
+};
+
+/// One arrival: when it shows up and its absolute deadline (+inf when
+/// the trace grants no deadline).
+struct Arrival {
+  double arrival_seconds = 0.0;
+  double deadline_seconds = 0.0;
+};
+
+/// See file comment. Arrivals are strictly increasing in time.
+std::vector<Arrival> GenerateTrace(const TraceOptions& options);
+
+}  // namespace serve
+}  // namespace multicast
+
+#endif  // MULTICAST_SERVE_TRACE_H_

@@ -1,5 +1,6 @@
 #include "util/csv.h"
 
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -10,13 +11,23 @@ namespace multicast {
 
 namespace {
 
-// Parses one numeric field; returns false on any trailing garbage.
-bool ParseDouble(std::string_view field, double* out) {
+enum class FieldParse {
+  kOk,
+  kNotNumeric,  ///< empty, garbage, or trailing characters after the number
+  kNotFinite,   ///< strtod accepted it, but it is nan/inf — a data gap
+};
+
+// Parses one numeric field. strtod happily accepts "nan", "inf" and
+// "1e999" (overflowing to inf); those are sensor gaps, not values, and
+// get their own verdict so the caller can point the user at imputation.
+FieldParse ParseDouble(std::string_view field, double* out) {
   std::string s(Trim(field));
-  if (s.empty()) return false;
+  if (s.empty()) return FieldParse::kNotNumeric;
   char* end = nullptr;
   *out = std::strtod(s.c_str(), &end);
-  return end == s.c_str() + s.size();
+  if (end != s.c_str() + s.size()) return FieldParse::kNotNumeric;
+  if (!std::isfinite(*out)) return FieldParse::kNotFinite;
+  return FieldParse::kOk;
 }
 
 }  // namespace
@@ -38,7 +49,7 @@ Result<CsvTable> ParseCsv(const std::string& text) {
   bool has_header = false;
   for (const auto& f : first_fields) {
     double v;
-    if (!ParseDouble(f, &v)) {
+    if (ParseDouble(f, &v) != FieldParse::kOk) {
       has_header = true;
       break;
     }
@@ -64,10 +75,18 @@ Result<CsvTable> ParseCsv(const std::string& text) {
     }
     for (size_t c = 0; c < ncols; ++c) {
       double v;
-      if (!ParseDouble(fields[c], &v)) {
-        return Status::InvalidArgument(
-            StrFormat("row %zu column %zu is not numeric: '%s'", r, c,
-                      fields[c].c_str()));
+      switch (ParseDouble(fields[c], &v)) {
+        case FieldParse::kNotNumeric:
+          return Status::InvalidArgument(
+              StrFormat("row %zu column %zu is not numeric: '%s'", r, c,
+                        fields[c].c_str()));
+        case FieldParse::kNotFinite:
+          return Status::InvalidArgument(StrFormat(
+              "row %zu column %zu is not finite: '%s' (gappy feeds "
+              "must be repaired before forecasting)",
+              r, c, fields[c].c_str()));
+        case FieldParse::kOk:
+          break;
       }
       table.columns[c].push_back(v);
     }

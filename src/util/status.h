@@ -31,6 +31,7 @@ enum class StatusCode {
   kUnavailable,         ///< transient outage; the call may be retried
   kDeadlineExceeded,    ///< the per-call deadline elapsed before completion
   kResourceExhausted,   ///< quota/rate limit hit; retry after backing off
+  kCancelled,           ///< the caller gave up; terminal, never retried
 };
 
 /// Returns a short human-readable name for a StatusCode ("InvalidArgument").
@@ -90,6 +91,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

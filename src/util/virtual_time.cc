@@ -1,0 +1,21 @@
+#include "util/virtual_time.h"
+
+#include "util/strings.h"
+
+namespace multicast {
+
+Status RequestContext::Check(const char* what) const {
+  if (cancel.cancelled()) {
+    return Status::Cancelled(StrFormat(
+        "%s: request cancelled (%s)", what,
+        cancel.reason().empty() ? "no reason given" : cancel.reason().c_str()));
+  }
+  if (clock != nullptr && deadline.ExpiredAt(clock->now())) {
+    return Status::DeadlineExceeded(StrFormat(
+        "%s: request deadline %.3fs passed at virtual time %.3fs", what,
+        deadline.at_seconds, clock->now()));
+  }
+  return Status::OK();
+}
+
+}  // namespace multicast

@@ -1,0 +1,142 @@
+// Virtual time, deadlines and cooperative cancellation.
+//
+// The serving layer reasons about time without ever sleeping: a
+// VirtualClock is advanced by whoever models a cost (backend latency,
+// retry backoff, queue waits), so tests and benches assert exact
+// schedules. A RequestContext bundles the clock with an absolute
+// Deadline and a shared CancelToken and is threaded from request
+// admission through the forecaster sample loops down into each
+// lm::CallOptions — an expired or cancelled request stops issuing LLM
+// calls mid-pipeline instead of running to completion.
+
+#ifndef MULTICAST_UTIL_VIRTUAL_TIME_H_
+#define MULTICAST_UTIL_VIRTUAL_TIME_H_
+
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "util/status.h"
+
+namespace multicast {
+
+/// Monotone simulated clock (seconds). Never runs backwards; negative
+/// advances are ignored so accounting bugs cannot rewind history.
+class VirtualClock {
+ public:
+  double now() const { return now_seconds_; }
+
+  void Advance(double seconds) {
+    if (seconds > 0.0) now_seconds_ += seconds;
+  }
+
+  /// Jumps forward to `seconds` if it is in the future (queue idling).
+  void AdvanceTo(double seconds) {
+    if (seconds > now_seconds_) now_seconds_ = seconds;
+  }
+
+ private:
+  double now_seconds_ = 0.0;
+};
+
+/// Absolute virtual-time deadline. Default-constructed = never expires.
+struct Deadline {
+  double at_seconds = std::numeric_limits<double>::infinity();
+
+  static Deadline Never() { return Deadline{}; }
+  static Deadline At(double seconds) { return Deadline{seconds}; }
+
+  bool never() const {
+    return at_seconds == std::numeric_limits<double>::infinity();
+  }
+  /// Expired once `now` has reached the deadline; finishing exactly at
+  /// the deadline still counts as meeting it.
+  bool ExpiredAt(double now) const { return !never() && now > at_seconds; }
+  /// Seconds left at `now` (may be negative once expired; +inf if never).
+  double RemainingAt(double now) const { return at_seconds - now; }
+};
+
+/// Shared cooperative cancellation flag. Copies alias the same state, so
+/// a token handed down a pipeline can be fired from above (hedging, load
+/// shedding, drain) and observed below between LLM calls. Not
+/// thread-safe — the executor is a deterministic single-threaded
+/// simulation; production sharding would make the flag atomic.
+class CancelToken {
+ public:
+  CancelToken() : state_(std::make_shared<State>()) {}
+
+  void Cancel(std::string reason) {
+    if (state_->cancelled) return;
+    state_->cancelled = true;
+    state_->reason = std::move(reason);
+  }
+
+  /// Arms the token to fire automatically once `clock` reaches
+  /// `at_seconds` (inclusive). This is how the deterministic executor
+  /// models "cancel the loser at the moment the winner finished" and
+  /// "cancel in-flight work at drain time": the flag flips exactly when
+  /// the simulated work crosses the mark, with no real-time racing.
+  /// `clock` is not owned and must outlive the token's users.
+  void CancelAtTime(const VirtualClock* clock, double at_seconds,
+                    std::string reason) {
+    state_->auto_clock = clock;
+    state_->auto_at_seconds = at_seconds;
+    state_->auto_reason = std::move(reason);
+  }
+
+  bool cancelled() const {
+    if (state_->cancelled) return true;
+    if (state_->auto_clock != nullptr &&
+        state_->auto_clock->now() >= state_->auto_at_seconds) {
+      state_->cancelled = true;
+      state_->reason = state_->auto_reason;
+      return true;
+    }
+    return false;
+  }
+  const std::string& reason() const { return state_->reason; }
+
+ private:
+  struct State {
+    bool cancelled = false;
+    std::string reason;
+    const VirtualClock* auto_clock = nullptr;
+    double auto_at_seconds = std::numeric_limits<double>::infinity();
+    std::string auto_reason;
+  };
+  std::shared_ptr<State> state_;
+};
+
+/// Per-request execution context: the time authority, the request's
+/// absolute deadline on that clock, and its cancellation flag. A
+/// default-constructed context has no clock, never expires and is never
+/// cancelled — the standalone (non-serving) pipeline runs unchanged.
+struct RequestContext {
+  /// Time authority for deadline checks; may be null (no virtual time).
+  /// Not owned; must outlive every call the context is passed to.
+  VirtualClock* clock = nullptr;
+  Deadline deadline;
+  CancelToken cancel;
+
+  /// Current virtual time, 0 when the context carries no clock.
+  double now() const { return clock != nullptr ? clock->now() : 0.0; }
+
+  bool cancelled() const { return cancel.cancelled(); }
+  bool expired() const {
+    return clock != nullptr && deadline.ExpiredAt(clock->now());
+  }
+
+  /// Seconds of deadline budget left (+inf without a clock or deadline).
+  double RemainingSeconds() const {
+    if (clock == nullptr) return std::numeric_limits<double>::infinity();
+    return deadline.RemainingAt(clock->now());
+  }
+
+  /// OK while the request should keep working; kCancelled or
+  /// kDeadlineExceeded (mentioning `what`) once it should stop.
+  Status Check(const char* what) const;
+};
+
+}  // namespace multicast
+
+#endif  // MULTICAST_UTIL_VIRTUAL_TIME_H_

@@ -192,6 +192,75 @@ TEST_F(CliTest, ImputeFillsGaps) {
   EXPECT_NE(out.find("gaps: 0"), std::string::npos);
 }
 
+TEST_F(CliTest, NonFiniteCellPointsAtImpute) {
+  std::string gappy = testing::TempDir() + "/mc_cli_gappy_" +
+                      std::to_string(getpid()) + ".csv";
+  std::ofstream(gappy) << "a,b\n1,2\n3,nan\n";
+  std::string out;
+  auto code = Run({"forecast", "--input", gappy, "--horizon", "4"}, &out);
+  ASSERT_FALSE(code.ok());
+  EXPECT_EQ(code.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(code.status().message().find("multicast impute"),
+            std::string::npos);
+  std::remove(gappy.c_str());
+}
+
+TEST_F(CliTest, ServeSimRendersSummaryTable) {
+  std::string out;
+  auto code = Run({"serve-sim", "--input", path_, "--horizon", "6",
+                   "--method", "VI", "--samples", "2", "--requests", "10",
+                   "--arrival-rate", "6", "--deadline", "1.5",
+                   "--queue-capacity", "3", "--chaos", "0.2",
+                   "--hedge-delay", "0.4"},
+                  &out);
+  ASSERT_TRUE(code.ok()) << code.status().ToString();
+  EXPECT_NE(out.find("serve-sim: 10 requests"), std::string::npos);
+  for (const char* column : {"Served", "Degraded", "Shed(full)",
+                             "Shed(expired)", "Hedged", "p99(s)",
+                             "Retries", "Preempted"}) {
+    EXPECT_NE(out.find(column), std::string::npos) << column;
+  }
+  EXPECT_NE(out.find("VI"), std::string::npos);
+  // Same flags, same virtual-time story: the run is deterministic.
+  std::string again;
+  ASSERT_TRUE(Run({"serve-sim", "--input", path_, "--horizon", "6",
+                   "--method", "VI", "--samples", "2", "--requests", "10",
+                   "--arrival-rate", "6", "--deadline", "1.5",
+                   "--queue-capacity", "3", "--chaos", "0.2",
+                   "--hedge-delay", "0.4"},
+                  &again)
+                  .ok());
+  EXPECT_EQ(out, again);
+}
+
+TEST_F(CliTest, ServeSimDrainCancelStopsAdmission) {
+  std::string out;
+  auto code = Run({"serve-sim", "--input", path_, "--horizon", "4",
+                   "--method", "LLMTIME", "--samples", "2", "--requests",
+                   "12", "--arrival-rate", "4", "--drain", "1.0",
+                   "--drain-mode", "cancel"},
+                  &out);
+  ASSERT_TRUE(code.ok()) << code.status().ToString();
+  EXPECT_NE(out.find("drain at 1s (cancel)"), std::string::npos);
+  EXPECT_NE(out.find("Drained"), std::string::npos);
+}
+
+TEST_F(CliTest, ServeSimRejectsBadPolicyFlags) {
+  std::string out;
+  EXPECT_FALSE(Run({"serve-sim", "--input", path_, "--queue-order",
+                    "random"},
+                   &out)
+                   .ok());
+  EXPECT_FALSE(Run({"serve-sim", "--input", path_, "--queue-capacity",
+                    "0"},
+                   &out)
+                   .ok());
+  EXPECT_FALSE(Run({"serve-sim", "--input", path_, "--drain-mode",
+                    "explode"},
+                   &out)
+                   .ok());
+}
+
 TEST_F(CliTest, EvaluateRendersTable) {
   std::string out;
   auto code = Run({"evaluate", "--input", path_, "--horizon", "8",

@@ -49,6 +49,40 @@ TEST(CsvTest, NonNumericBodyIsError) {
   EXPECT_FALSE(r.ok());
 }
 
+TEST(CsvTest, NanCellIsRejectedWithLocation) {
+  auto r = ParseCsv("a,b\n1,2\n3,nan\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  // The error names the cell (0-based column, matching "not numeric")
+  // and flags the gap as repairable.
+  EXPECT_NE(r.status().message().find("row 2"), std::string::npos);
+  EXPECT_NE(r.status().message().find("column 1"), std::string::npos);
+  EXPECT_NE(r.status().message().find("not finite"), std::string::npos);
+}
+
+TEST(CsvTest, InfCellIsRejected) {
+  EXPECT_FALSE(ParseCsv("a\n1\ninf\n").ok());
+  EXPECT_FALSE(ParseCsv("a\n1\n-inf\n").ok());
+  // Overflowing literals parse to +inf under strtod: same rejection.
+  auto r = ParseCsv("a\n1\n1e999\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("not finite"), std::string::npos);
+}
+
+TEST(CsvTest, NanInFirstRowIsTreatedAsHeader) {
+  // A non-finite token in row 1 reads as a column name, exactly like any
+  // other non-numeric token there.
+  auto r = ParseCsv("nan,b\n1,2\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().column_names,
+            (std::vector<std::string>{"nan", "b"}));
+  EXPECT_EQ(r.value().num_rows(), 1u);
+}
+
+TEST(CsvTest, TrailingGarbageStillRejected) {
+  EXPECT_FALSE(ParseCsv("a\n1\n2.5x\n").ok());
+}
+
 TEST(CsvTest, EmptyInputIsError) {
   EXPECT_FALSE(ParseCsv("").ok());
   EXPECT_FALSE(ParseCsv("\n\n").ok());

@@ -30,8 +30,10 @@ class FakeForecaster final : public Forecaster {
 
   std::string name() const override { return name_; }
 
-  Result<ForecastResult> Forecast(const ts::Frame& history,
-                                  size_t horizon) override {
+  using Forecaster::Forecast;
+  Result<ForecastResult> Forecast(const ts::Frame& history, size_t horizon,
+                                  const RequestContext& ctx) override {
+    (void)ctx;
     ++calls;
     if (!status_.ok()) return status_;
     ForecastResult result;
@@ -143,8 +145,9 @@ TEST(FallbackForecasterTest, DegradedFlagFromLinkIsPreserved) {
   class DegradedForecaster final : public Forecaster {
    public:
     std::string name() const override { return "degraded"; }
-    Result<ForecastResult> Forecast(const ts::Frame& history,
-                                    size_t horizon) override {
+    using Forecaster::Forecast;
+    Result<ForecastResult> Forecast(const ts::Frame& history, size_t horizon,
+                                    const RequestContext&) override {
       ForecastResult result;
       std::vector<ts::Series> dims;
       for (size_t d = 0; d < history.num_dims(); ++d) {

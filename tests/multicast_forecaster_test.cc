@@ -226,6 +226,53 @@ TEST(QuantileAggregateTest, MatchesTsQuantile) {
   EXPECT_FALSE(QuantileAggregate({}, 0.5).ok());
 }
 
+TEST(QuantileAggregateTest, AllEmptySamplesRejected) {
+  std::vector<std::vector<double>> samples = {{}, {}, {}};
+  auto r = QuantileAggregate(samples, 0.5);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("empty"), std::string::npos);
+}
+
+TEST(QuantileAggregateRaggedTest, ZeroSamplesRejected) {
+  auto r = QuantileAggregateRagged({}, 0.5, 4);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("no surviving samples"),
+            std::string::npos);
+}
+
+TEST(QuantileAggregateRaggedTest, AllEmptySamplesRejected) {
+  std::vector<std::vector<double>> samples = {{}, {}};
+  auto r = QuantileAggregateRagged(samples, 0.5, 4);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("empty"), std::string::npos);
+}
+
+TEST(QuantileAggregateRaggedTest, ZeroOutLengthRejected) {
+  std::vector<std::vector<double>> samples = {{1.0, 2.0}};
+  auto r = QuantileAggregateRagged(samples, 0.5, 0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("length is zero"), std::string::npos);
+}
+
+TEST(QuantileAggregateRaggedTest, HoldsLastValueBeyondCoverage) {
+  // One sample reaches t=2, the other stops at t=1; t=3 has no coverage
+  // at all and must hold the last aggregated value.
+  std::vector<std::vector<double>> samples = {{1.0, 3.0, 5.0}, {3.0, 5.0}};
+  bool held = false;
+  auto r = QuantileAggregateRagged(samples, 0.5, 4, &held);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().size(), 4u);
+  EXPECT_DOUBLE_EQ(r.value()[0], 2.0);  // median of {1, 3}
+  EXPECT_DOUBLE_EQ(r.value()[1], 4.0);  // median of {3, 5}
+  EXPECT_DOUBLE_EQ(r.value()[2], 5.0);  // only sample 0 covers t=2
+  EXPECT_DOUBLE_EQ(r.value()[3], 5.0);  // hold-last fill
+  EXPECT_TRUE(held);
+}
+
 TEST(MultiCastForecasterTest, QuantileBandsBracketMedian) {
   MultiCastOptions opts;
   opts.num_samples = 9;

@@ -329,6 +329,138 @@ TEST(ResilientBackendTest, MasksDeterministicFaultSchedule) {
   EXPECT_EQ(expect.value().tokens, got.value().tokens);
 }
 
+// ---------------------------------------------------------------------
+// Request-context deadline and cancellation edges.
+// ---------------------------------------------------------------------
+
+TEST(ResilientBackendTest, AlreadyExpiredDeadlineFailsWithoutAnyAttempt) {
+  ScriptedBackend inner({});
+  VirtualClock clock;
+  ResilientBackend resilient(&inner, NoJitter(), {}, &clock);
+  clock.Advance(5.0);
+  CallOptions call;
+  call.context.clock = &clock;
+  call.context.deadline = Deadline::At(2.0);  // already 3 s in the past
+  Rng rng(1);
+  auto r = resilient.Complete(Prompt(), 4, AllowAll(kVocab), &rng, call);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(inner.calls, 0u);  // backend never contacted
+  EXPECT_EQ(resilient.stats().attempts, 0u);
+  EXPECT_EQ(resilient.stats().deadline_preempted, 1u);
+  EXPECT_EQ(resilient.stats().failures, 1u);
+  // The breaker is untouched: the backend did nothing wrong.
+  EXPECT_EQ(resilient.circuit_state(), CircuitState::kClosed);
+}
+
+TEST(ResilientBackendTest, NeverSleepsPastTheRequestDeadline) {
+  // Two transient failures would normally trigger two backoff waits
+  // (0.05 then 0.1). The request deadline falls inside the second wait:
+  // the call must fail *at* the decision point with the clock still on
+  // the near side of the deadline, not sleep through it.
+  ScriptedBackend inner({Status::Unavailable("1"), Status::Unavailable("2"),
+                         Status::Unavailable("3")});
+  VirtualClock clock;
+  RetryPolicy p = NoJitter();
+  p.max_attempts = 4;
+  p.initial_backoff_seconds = 0.05;
+  p.backoff_multiplier = 2.0;
+  ResilientBackend resilient(&inner, p, {}, &clock);
+  CallOptions call;
+  call.context.clock = &clock;
+  call.context.deadline = Deadline::At(0.12);  // inside the 2nd backoff
+  Rng rng(1);
+  auto r = resilient.Complete(Prompt(), 4, AllowAll(kVocab), &rng, call);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  // Attempt 1 (latency 0) -> wait 0.05 -> attempt 2 -> wait 0.10 would
+  // end at 0.15 > 0.12, so only the first wait was taken.
+  EXPECT_EQ(inner.calls, 2u);
+  EXPECT_DOUBLE_EQ(resilient.stats().backoff_seconds, 0.05);
+  EXPECT_DOUBLE_EQ(clock.now(), 0.05);  // never advanced past the deadline
+  EXPECT_LE(clock.now(), 0.12);
+  EXPECT_EQ(resilient.stats().deadline_preempted, 1u);
+}
+
+TEST(ResilientBackendTest, AttemptDeadlineIsCappedToRemainingBudget) {
+  ScriptedBackend inner({});
+  inner.latency = 0.2;
+  VirtualClock clock;
+  RetryPolicy p = NoJitter();
+  p.attempt_deadline_seconds = 1.0;
+  ResilientBackend resilient(&inner, p, {}, &clock);
+  CallOptions call;
+  call.context.clock = &clock;
+  call.context.deadline = Deadline::At(0.3);
+  Rng rng(1);
+  auto r = resilient.Complete(Prompt(), 4, AllowAll(kVocab), &rng, call);
+  ASSERT_TRUE(r.ok());
+  // The attempt saw min(1.0, remaining 0.3), not the policy default.
+  ASSERT_EQ(inner.deadlines_seen.size(), 1u);
+  EXPECT_DOUBLE_EQ(inner.deadlines_seen[0], 0.3);
+  EXPECT_DOUBLE_EQ(clock.now(), 0.2);
+}
+
+TEST(ResilientBackendTest, HalfOpenProbeRacingCancellationNeverFires) {
+  // Trip the breaker open with a no-retry policy, cool it down, then
+  // issue a call whose request is already cancelled. The cancellation
+  // must win the race: the breaker stays open (no half-open
+  // transition) and the probe never contacts the backend.
+  ScriptedBackend inner({Status::Unavailable("down"),
+                         Status::Unavailable("down"),
+                         Status::Unavailable("down")});
+  VirtualClock clock;
+  RetryPolicy p = NoJitter();
+  p.max_attempts = 1;
+  CircuitBreakerPolicy breaker;
+  breaker.failure_threshold = 3;
+  breaker.cooldown_seconds = 5.0;
+  ResilientBackend resilient(&inner, p, breaker, &clock);
+  Rng rng(1);
+  for (int i = 0; i < 3; ++i) {
+    auto r = resilient.Complete(Prompt(), 4, AllowAll(kVocab), &rng);
+    ASSERT_FALSE(r.ok());
+  }
+  ASSERT_EQ(resilient.circuit_state(), CircuitState::kOpen);
+  clock.Advance(10.0);  // cooldown elapsed: next call would probe
+
+  CallOptions call;
+  call.context.clock = &clock;
+  call.context.cancel.Cancel("caller gave up");
+  size_t calls_before = inner.calls;
+  auto r = resilient.Complete(Prompt(), 4, AllowAll(kVocab), &rng, call);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(inner.calls, calls_before);  // probe never issued
+  EXPECT_EQ(resilient.circuit_state(), CircuitState::kOpen);  // still open
+  EXPECT_EQ(resilient.stats().cancelled_calls, 1u);
+
+  // A live request after the cancelled one still gets the probe, and a
+  // successful probe closes the breaker — cancellation did not wedge it.
+  auto probe = resilient.Complete(Prompt(), 4, AllowAll(kVocab), &rng);
+  ASSERT_TRUE(probe.ok());
+  EXPECT_EQ(resilient.circuit_state(), CircuitState::kClosed);
+}
+
+TEST(ResilientBackendTest, CancellationMidBackoffStopsBeforeNextAttempt) {
+  // The token fires while the first backoff elapses (auto-cancel at
+  // t=0.03, inside the 0.05 s wait): attempt 2 must never be issued.
+  ScriptedBackend inner({Status::Unavailable("1")});
+  VirtualClock clock;
+  RetryPolicy p = NoJitter();
+  p.initial_backoff_seconds = 0.05;
+  ResilientBackend resilient(&inner, p, {}, &clock);
+  CallOptions call;
+  call.context.clock = &clock;
+  call.context.cancel.CancelAtTime(&clock, 0.03, "client went away");
+  Rng rng(1);
+  auto r = resilient.Complete(Prompt(), 4, AllowAll(kVocab), &rng, call);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(inner.calls, 1u);  // first attempt only
+  EXPECT_EQ(resilient.stats().cancelled_calls, 1u);
+}
+
 }  // namespace
 }  // namespace lm
 }  // namespace multicast

@@ -1,0 +1,128 @@
+#include "serve/queue.h"
+
+#include <gtest/gtest.h>
+
+namespace multicast {
+namespace serve {
+namespace {
+
+ForecastRequest Req(size_t id, double arrival, double deadline) {
+  ForecastRequest r;
+  r.id = id;
+  r.arrival_seconds = arrival;
+  r.deadline_seconds = deadline;
+  return r;
+}
+
+TEST(AdmissionQueueTest, ShedsExactlyBeyondCapacity) {
+  QueuePolicy policy;
+  policy.capacity = 2;
+  AdmissionQueue queue(policy);
+  EXPECT_TRUE(queue.Offer(Req(0, 0.0, 10.0)).ok());
+  EXPECT_TRUE(queue.Offer(Req(1, 0.1, 10.0)).ok());
+  Status shed = queue.Offer(Req(2, 0.2, 10.0));
+  EXPECT_EQ(shed.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(shed.message().find("request 2"), std::string::npos);
+  EXPECT_EQ(queue.stats().offered, 3u);
+  EXPECT_EQ(queue.stats().admitted, 2u);
+  EXPECT_EQ(queue.stats().rejected_full, 1u);
+  EXPECT_EQ(queue.stats().max_depth, 2u);
+}
+
+TEST(AdmissionQueueTest, FifoPopsInArrivalOrder) {
+  AdmissionQueue queue(QueuePolicy{});
+  ASSERT_TRUE(queue.Offer(Req(0, 0.0, 9.0)).ok());
+  ASSERT_TRUE(queue.Offer(Req(1, 0.1, 5.0)).ok());  // tighter deadline
+  ForecastRequest out;
+  ASSERT_TRUE(queue.Pop(0.2, &out, nullptr));
+  EXPECT_EQ(out.id, 0u);  // FIFO ignores urgency
+}
+
+TEST(AdmissionQueueTest, EdfPopsMostUrgentFirst) {
+  QueuePolicy policy;
+  policy.order = QueueOrder::kEarliestDeadlineFirst;
+  AdmissionQueue queue(policy);
+  ASSERT_TRUE(queue.Offer(Req(0, 0.0, 9.0)).ok());
+  ASSERT_TRUE(queue.Offer(Req(1, 0.1, 5.0)).ok());
+  ASSERT_TRUE(queue.Offer(Req(2, 0.2, 7.0)).ok());
+  ForecastRequest out;
+  ASSERT_TRUE(queue.Pop(0.3, &out, nullptr));
+  EXPECT_EQ(out.id, 1u);
+  ASSERT_TRUE(queue.Pop(0.3, &out, nullptr));
+  EXPECT_EQ(out.id, 2u);
+  ASSERT_TRUE(queue.Pop(0.3, &out, nullptr));
+  EXPECT_EQ(out.id, 0u);
+}
+
+TEST(AdmissionQueueTest, EdfBreaksDeadlineTiesByArrival) {
+  QueuePolicy policy;
+  policy.order = QueueOrder::kEarliestDeadlineFirst;
+  AdmissionQueue queue(policy);
+  ASSERT_TRUE(queue.Offer(Req(7, 0.0, 5.0)).ok());
+  ASSERT_TRUE(queue.Offer(Req(8, 0.1, 5.0)).ok());
+  ForecastRequest out;
+  ASSERT_TRUE(queue.Pop(0.2, &out, nullptr));
+  EXPECT_EQ(out.id, 7u);
+}
+
+TEST(AdmissionQueueTest, DropsExpiredAtDequeue) {
+  AdmissionQueue queue(QueuePolicy{});  // drop_expired_at_dequeue on
+  ASSERT_TRUE(queue.Offer(Req(0, 0.0, 1.0)).ok());
+  ASSERT_TRUE(queue.Offer(Req(1, 0.1, 9.0)).ok());
+  std::vector<ForecastRequest> expired;
+  ForecastRequest out;
+  // Worker frees up at t=2: request 0's deadline already passed.
+  ASSERT_TRUE(queue.Pop(2.0, &out, &expired));
+  EXPECT_EQ(out.id, 1u);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0].id, 0u);
+  EXPECT_EQ(queue.stats().dropped_expired, 1u);
+  EXPECT_EQ(queue.stats().popped, 1u);
+}
+
+TEST(AdmissionQueueTest, ExpiredExactlyAtDeadlineIsStillServed) {
+  AdmissionQueue queue(QueuePolicy{});
+  ASSERT_TRUE(queue.Offer(Req(0, 0.0, 2.0)).ok());
+  ForecastRequest out;
+  // now == deadline: still worth serving (meets-at-deadline rule).
+  ASSERT_TRUE(queue.Pop(2.0, &out, nullptr));
+  EXPECT_EQ(out.id, 0u);
+}
+
+TEST(AdmissionQueueTest, KeepExpiredWhenPolicyDisablesDropping) {
+  QueuePolicy policy;
+  policy.drop_expired_at_dequeue = false;
+  AdmissionQueue queue(policy);
+  ASSERT_TRUE(queue.Offer(Req(0, 0.0, 1.0)).ok());
+  ForecastRequest out;
+  ASSERT_TRUE(queue.Pop(5.0, &out, nullptr));
+  EXPECT_EQ(out.id, 0u);
+}
+
+TEST(AdmissionQueueTest, ClosedQueueRejectsButStillDrains) {
+  AdmissionQueue queue(QueuePolicy{});
+  ASSERT_TRUE(queue.Offer(Req(0, 0.0, 9.0)).ok());
+  queue.Close();
+  Status rejected = queue.Offer(Req(1, 0.1, 9.0));
+  EXPECT_EQ(rejected.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(queue.stats().rejected_closed, 1u);
+  // Waiting work is unaffected by Close().
+  ForecastRequest out;
+  ASSERT_TRUE(queue.Pop(0.2, &out, nullptr));
+  EXPECT_EQ(out.id, 0u);
+}
+
+TEST(AdmissionQueueTest, FlushEmptiesTheBuffer) {
+  AdmissionQueue queue(QueuePolicy{});
+  ASSERT_TRUE(queue.Offer(Req(0, 0.0, 9.0)).ok());
+  ASSERT_TRUE(queue.Offer(Req(1, 0.1, 9.0)).ok());
+  std::vector<ForecastRequest> flushed = queue.Flush();
+  ASSERT_EQ(flushed.size(), 2u);
+  EXPECT_TRUE(queue.empty());
+  ForecastRequest out;
+  EXPECT_FALSE(queue.Pop(0.2, &out, nullptr));
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace multicast

@@ -1,0 +1,120 @@
+#include "util/virtual_time.h"
+
+#include <gtest/gtest.h>
+
+namespace multicast {
+namespace {
+
+TEST(VirtualClockTest, AdvancesMonotonically) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.now(), 0.0);
+  clock.Advance(1.5);
+  EXPECT_EQ(clock.now(), 1.5);
+  clock.Advance(-3.0);  // ignored: time never rewinds
+  EXPECT_EQ(clock.now(), 1.5);
+  clock.AdvanceTo(1.0);  // ignored: already past
+  EXPECT_EQ(clock.now(), 1.5);
+  clock.AdvanceTo(4.0);
+  EXPECT_EQ(clock.now(), 4.0);
+}
+
+TEST(DeadlineTest, NeverAndAt) {
+  Deadline never = Deadline::Never();
+  EXPECT_TRUE(never.never());
+  EXPECT_FALSE(never.ExpiredAt(1e18));
+
+  Deadline d = Deadline::At(2.0);
+  EXPECT_FALSE(d.never());
+  EXPECT_FALSE(d.ExpiredAt(1.999));
+  // Finishing exactly at the deadline still meets it.
+  EXPECT_FALSE(d.ExpiredAt(2.0));
+  EXPECT_TRUE(d.ExpiredAt(2.001));
+  EXPECT_DOUBLE_EQ(d.RemainingAt(0.5), 1.5);
+  EXPECT_LT(d.RemainingAt(3.0), 0.0);
+}
+
+TEST(CancelTokenTest, CopiesShareState) {
+  CancelToken a;
+  CancelToken b = a;
+  EXPECT_FALSE(b.cancelled());
+  a.Cancel("client hung up");
+  EXPECT_TRUE(b.cancelled());
+  EXPECT_EQ(b.reason(), "client hung up");
+  // First reason wins.
+  b.Cancel("second");
+  EXPECT_EQ(a.reason(), "client hung up");
+}
+
+TEST(CancelTokenTest, AutoCancelFiresWhenClockReachesMark) {
+  VirtualClock clock;
+  CancelToken token;
+  token.CancelAtTime(&clock, 5.0, "hedge lost");
+  EXPECT_FALSE(token.cancelled());
+  clock.Advance(4.999);
+  EXPECT_FALSE(token.cancelled());
+  clock.Advance(0.001);  // exactly at the mark: cancelled
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), "hedge lost");
+}
+
+TEST(CancelTokenTest, ExplicitCancelBeatsAutoCancel) {
+  VirtualClock clock;
+  CancelToken token;
+  token.CancelAtTime(&clock, 5.0, "auto");
+  token.Cancel("explicit");
+  clock.Advance(10.0);
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), "explicit");
+}
+
+TEST(RequestContextTest, DefaultContextNeverStops) {
+  RequestContext ctx;
+  EXPECT_FALSE(ctx.cancelled());
+  EXPECT_FALSE(ctx.expired());
+  EXPECT_TRUE(ctx.Check("anything").ok());
+  EXPECT_EQ(ctx.RemainingSeconds(),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(RequestContextTest, CheckReportsCancellation) {
+  VirtualClock clock;
+  RequestContext ctx;
+  ctx.clock = &clock;
+  ctx.cancel.Cancel("drain");
+  Status s = ctx.Check("sample loop");
+  EXPECT_EQ(s.code(), StatusCode::kCancelled);
+  EXPECT_NE(s.message().find("sample loop"), std::string::npos);
+  EXPECT_NE(s.message().find("drain"), std::string::npos);
+}
+
+TEST(RequestContextTest, CheckReportsDeadline) {
+  VirtualClock clock;
+  RequestContext ctx;
+  ctx.clock = &clock;
+  ctx.deadline = Deadline::At(1.0);
+  EXPECT_TRUE(ctx.Check("call").ok());
+  clock.Advance(2.0);
+  Status s = ctx.Check("call");
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_DOUBLE_EQ(ctx.RemainingSeconds(), -1.0);
+}
+
+TEST(RequestContextTest, CancellationOutranksDeadline) {
+  // A request that is both cancelled and expired reports kCancelled:
+  // the explicit signal is more informative than the passive one.
+  VirtualClock clock;
+  RequestContext ctx;
+  ctx.clock = &clock;
+  ctx.deadline = Deadline::At(0.5);
+  clock.Advance(1.0);
+  ctx.cancel.Cancel("shutdown");
+  EXPECT_EQ(ctx.Check("x").code(), StatusCode::kCancelled);
+}
+
+TEST(StatusTest, CancelledIsNotRetryable) {
+  EXPECT_FALSE(IsRetryable(StatusCode::kCancelled));
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+}
+
+}  // namespace
+}  // namespace multicast

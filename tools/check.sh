@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Pre-merge gate: tier-1 build + tests, then an ASan+UBSan pass over the
+# serving and LLM tiers (the layers doing pointer-heavy virtual-time and
+# cancellation work, where a sanitizer earns its keep).
+#
+# Usage: tools/check.sh [--no-asan]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "==== tier-1: configure + build + ctest ===="
+cmake -B build -S . > /dev/null
+cmake --build build -j "${JOBS}"
+(cd build && ctest --output-on-failure -j "${JOBS}")
+
+if [[ "${1:-}" == "--no-asan" ]]; then
+  echo "==== skipping sanitizer pass (--no-asan) ===="
+  exit 0
+fi
+
+echo "==== sanitizer pass: ASan + UBSan on serve/lm tests ===="
+cmake -B build-asan -S . -DMC_SANITIZE=ON > /dev/null
+ASAN_TESTS=(
+  virtual_time_test
+  serve_queue_test
+  serve_executor_test
+  resilient_backend_test
+  fault_injection_test
+  backend_contract_test
+)
+cmake --build build-asan -j "${JOBS}" --target "${ASAN_TESTS[@]}"
+for t in "${ASAN_TESTS[@]}"; do
+  echo "---- ${t} (asan) ----"
+  "build-asan/tests/${t}" --gtest_brief=1
+done
+
+echo "==== all checks passed ===="
