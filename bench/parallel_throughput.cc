@@ -1,0 +1,195 @@
+// Wall-clock throughput of the parallel sampling runtime.
+//
+// The serial sample loop pays n x (call latency) per forecast; against a
+// latency-bound backend (every hosted LLM API) the thread pool overlaps
+// the in-flight calls, so wall-clock drops toward ceil(n / threads) x
+// latency while the forecast stays bit-identical. This bench drives the
+// real MultiCast pipeline against a thread-safe backend with genuine
+// (slept) per-call latency — the remote-API shape — at 1/2/4/8 threads,
+// asserts every thread count reproduces the serial forecast exactly,
+// and writes BENCH_parallel.json next to the working directory.
+//
+// Run from the repo root: ./build/bench/parallel_throughput
+
+#include <chrono>
+#include <thread>
+
+#include "bench/bench_common.h"
+#include "lm/generator.h"
+#include "metrics/metrics.h"
+#include "token/vocabulary.h"
+#include "util/timer.h"
+
+namespace multicast {
+namespace bench {
+namespace {
+
+// A stand-in for a remote LLM API: delegates to the stateless simulated
+// decoder (SimulatedLlm keeps no per-call state, so concurrent calls
+// are safe) and then *actually sleeps* the per-call latency, like a
+// network round-trip. Deterministic: the result depends only on the
+// call arguments.
+class RemoteLlm final : public lm::LlmBackend {
+ public:
+  RemoteLlm(size_t vocab_size, double call_seconds)
+      : inner_(lm::ModelProfile::Llama2_7B(), vocab_size),
+        call_seconds_(call_seconds) {}
+
+  std::string name() const override { return "remote-sim"; }
+  size_t vocab_size() const override { return inner_.vocab_size(); }
+
+  using lm::LlmBackend::Complete;
+  Result<lm::GenerationResult> Complete(
+      const std::vector<token::TokenId>& prompt, size_t num_tokens,
+      const lm::GrammarMask& mask, Rng* rng,
+      const lm::CallOptions& call) override {
+    MC_ASSIGN_OR_RETURN(lm::GenerationResult result,
+                        inner_.Complete(prompt, num_tokens, mask, rng, call));
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(call_seconds_));
+    result.latency_seconds = call_seconds_;
+    return result;
+  }
+
+ private:
+  lm::SimulatedLlm inner_;
+  const double call_seconds_;
+};
+
+struct RunStats {
+  int threads = 0;
+  double wall_seconds = 0.0;
+  double forecasts_per_second = 0.0;
+  double speedup = 1.0;
+  double mean_rmse = 0.0;
+  bool identical_to_serial = true;
+};
+
+}  // namespace
+
+int Main() {
+  constexpr double kCallSeconds = 0.02;  // 20 ms per simulated API call
+  constexpr int kSamples = 8;
+  constexpr int kRepetitions = 3;
+  const int kThreadCounts[] = {1, 2, 4, 8};
+
+  ts::Split split = LoadSplit("GasRate");
+  const size_t horizon = split.test.length();
+  RemoteLlm backend(token::Vocabulary::Digits().size(), kCallSeconds);
+
+  std::printf("parallel sampling throughput: MultiCast (VI), GasRate, "
+              "%d samples, %.0f ms/call, %d repetitions\n\n",
+              kSamples, kCallSeconds * 1000.0, kRepetitions);
+
+  std::vector<RunStats> runs;
+  ts::Frame serial_forecast;
+  TextTable table({"Threads", "Wall (s)", "Forecasts/s", "Speedup",
+                   "Mean RMSE", "Identical"});
+  for (int threads : kThreadCounts) {
+    forecast::MultiCastOptions opts =
+        DefaultMultiCast(multiplex::MuxKind::kValueInterleave);
+    opts.num_samples = kSamples;
+    opts.backend = &backend;
+    opts.backend_thread_safe = true;  // RemoteLlm is stateless
+    opts.threads = threads;
+    forecast::MultiCastForecaster forecaster(opts);
+
+    RunStats stats;
+    stats.threads = threads;
+    Timer timer;
+    forecast::ForecastResult last;
+    for (int rep = 0; rep < kRepetitions; ++rep) {
+      last = OrDie(forecaster.Forecast(split.train, horizon), "forecast");
+    }
+    stats.wall_seconds = timer.Seconds();
+    stats.forecasts_per_second = kRepetitions / stats.wall_seconds;
+
+    if (threads == 1) {
+      serial_forecast = last.forecast;
+    } else {
+      for (size_t d = 0; d < serial_forecast.num_dims(); ++d) {
+        stats.identical_to_serial =
+            stats.identical_to_serial &&
+            serial_forecast.dim(d).values() == last.forecast.dim(d).values();
+      }
+    }
+    double rmse_sum = 0.0;
+    for (size_t d = 0; d < split.test.num_dims(); ++d) {
+      rmse_sum += OrDie(metrics::Rmse(split.test.dim(d).values(),
+                                      last.forecast.dim(d).values()),
+                        "rmse");
+    }
+    stats.mean_rmse = rmse_sum / static_cast<double>(split.test.num_dims());
+    stats.speedup = runs.empty()
+                        ? 1.0
+                        : runs.front().wall_seconds / stats.wall_seconds;
+    table.AddRow({StrFormat("%d", threads),
+                  StrFormat("%.3f", stats.wall_seconds),
+                  StrFormat("%.2f", stats.forecasts_per_second),
+                  StrFormat("%.2fx", stats.speedup),
+                  StrFormat("%.4f", stats.mean_rmse),
+                  stats.identical_to_serial ? "yes" : "NO"});
+    runs.push_back(stats);
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  double speedup_at_4 = 0.0;
+  bool all_identical = true;
+  for (const RunStats& stats : runs) {
+    if (stats.threads == 4) speedup_at_4 = stats.speedup;
+    all_identical = all_identical && stats.identical_to_serial;
+  }
+
+  std::FILE* json = std::fopen("BENCH_parallel.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_parallel.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n"
+               "  \"bench\": \"parallel_throughput\",\n"
+               "  \"dataset\": \"GasRate\",\n"
+               "  \"method\": \"MultiCast (VI)\",\n"
+               "  \"num_samples\": %d,\n"
+               "  \"call_latency_seconds\": %g,\n"
+               "  \"repetitions\": %d,\n"
+               "  \"results\": [\n",
+               kSamples, kCallSeconds, kRepetitions);
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const RunStats& stats = runs[i];
+    std::fprintf(json,
+                 "    {\"threads\": %d, \"wall_seconds\": %.4f, "
+                 "\"forecasts_per_second\": %.3f, \"speedup\": %.3f, "
+                 "\"mean_rmse\": %.6f, \"identical_to_serial\": %s}%s\n",
+                 stats.threads, stats.wall_seconds,
+                 stats.forecasts_per_second, stats.speedup, stats.mean_rmse,
+                 stats.identical_to_serial ? "true" : "false",
+                 i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(json,
+               "  ],\n"
+               "  \"speedup_at_4_threads\": %.3f,\n"
+               "  \"all_identical_to_serial\": %s\n"
+               "}\n",
+               speedup_at_4, all_identical ? "true" : "false");
+  std::fclose(json);
+  std::printf("wrote BENCH_parallel.json\n");
+
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: parallel forecast diverged from serial output\n");
+    return 1;
+  }
+  if (speedup_at_4 < 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: speedup at 4 threads %.2fx is below the 2x floor\n",
+                 speedup_at_4);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace multicast
+
+int main() { return multicast::bench::Main(); }

@@ -34,6 +34,7 @@ const std::set<std::string> kMethodFlags = {
     "sax-alphabet",          "profile",  "plot",     "folds",
     "stride", "quantile",    "dataset",  "name",     "quantiles",
     "chaos",  "chaos-seed",  "retries",  "redraws",  "fallback",
+    "threads",
     // serve-sim trace and serving-policy flags.
     "requests",   "arrival-rate", "deadline",  "queue-capacity",
     "queue-order", "hedge-delay", "burst-factor", "burst-every",
@@ -82,6 +83,11 @@ Result<MethodSpec> SpecFromFlags(const FlagSet& flags) {
   }
   spec.redraws = static_cast<int>(redraws);
   spec.fallback = flags.GetBool("fallback");
+  MC_ASSIGN_OR_RETURN(int64_t threads, flags.GetInt("threads", 1));
+  if (threads < 1) {
+    return Status::InvalidArgument("--threads must be >= 1");
+  }
+  spec.threads = static_cast<int>(threads);
   return spec;
 }
 
@@ -480,6 +486,7 @@ Result<std::unique_ptr<forecast::Forecaster>> MakeForecaster(
     }
     opts.sax_segment_length = spec.sax_segment;
     opts.sax_alphabet_size = spec.sax_alphabet;
+    opts.threads = spec.threads;
     return {std::make_unique<forecast::MultiCastForecaster>(opts)};
   };
   auto llmtime = [&]() -> std::unique_ptr<forecast::Forecaster> {
@@ -490,6 +497,7 @@ Result<std::unique_ptr<forecast::Forecaster>> MakeForecaster(
     opts.profile = profile;
     opts.faults = faults;
     opts.resilience = resilience;
+    opts.threads = spec.threads;
     return std::make_unique<forecast::LlmTimeForecaster>(opts);
   };
   // Wraps an LLM-path forecaster in the MultiCast -> LLMTime -> naive
@@ -569,7 +577,7 @@ std::string UsageText() {
       "            [--digits 2] [--sax alpha|digit] [--sax-segment 6]\n"
       "            [--sax-alphabet 5] [--profile llama2|phi2|ctw]\n"
       "            [--quantiles 0.1,0.9] [--seed 42] [--output out.csv]\n"
-      "            [--plot]\n"
+      "            [--plot] [--threads 4]\n"
       "            chaos/resilience: [--chaos 0.2] [--chaos-seed N]\n"
       "            [--retries 3] [--redraws 4] [--fallback]\n"
       "  evaluate  --input feed.csv --horizon 12 [--folds 3] [--stride 12]\n"
@@ -583,7 +591,8 @@ std::string UsageText() {
       "            [--burst-duration 2] [--seed 42]\n"
       "            serving: [--queue-capacity 8] [--queue-order fifo|edf]\n"
       "            [--hedge-delay 0.5] [--drain T] [--drain-mode\n"
-      "            finish|cancel] plus the chaos/resilience flags above\n"
+      "            finish|cancel] [--threads 4] plus the chaos/resilience\n"
+      "            flags above\n"
       "  help\n";
 }
 

@@ -57,6 +57,10 @@ struct MethodSpec {
   /// Wrap the method in a fallback chain that demotes LLM-path failures
   /// (MultiCast -> LLMTime -> NaiveLast).
   bool fallback = false;
+  /// Worker threads for the sample loop (MultiCast) or per-dimension
+  /// loop (LLMTime). 1 = serial; higher counts change wall-clock time
+  /// only — forecasts stay bit-identical.
+  int threads = 1;
 };
 
 Result<std::unique_ptr<forecast::Forecaster>> MakeForecaster(

@@ -6,12 +6,14 @@
 #ifndef MULTICAST_FORECAST_LLMTIME_FORECASTER_H_
 #define MULTICAST_FORECAST_LLMTIME_FORECASTER_H_
 
+#include <memory>
 #include <string>
 
 #include "forecast/forecaster.h"
 #include "lm/fault_injection.h"
 #include "lm/profiles.h"
 #include "scale/scaler.h"
+#include "util/thread_pool.h"
 
 namespace multicast {
 namespace forecast {
@@ -31,6 +33,16 @@ struct LlmTimeOptions {
   /// External base backend shared by every per-dimension pipeline (not
   /// owned; same contract as MultiCastOptions::backend).
   lm::LlmBackend* backend = nullptr;
+  /// Same contract as MultiCastOptions::backend_thread_safe: skip the
+  /// serializing wrapper for a backend that is safe to call from
+  /// several dimension workers at once.
+  bool backend_thread_safe = false;
+  /// Worker threads across the per-dimension forecasts. 1 (the default)
+  /// runs dimensions serially; > 1 forecasts dimensions concurrently
+  /// (each inner pipeline samples serially) with outcomes merged in
+  /// dimension order, so the result is bit-identical at every thread
+  /// count. Threads change wall-clock time only.
+  int threads = 1;
 };
 
 /// Runs a univariate serialized forecast per dimension and stitches the
@@ -40,6 +52,7 @@ struct LlmTimeOptions {
 class LlmTimeForecaster final : public Forecaster {
  public:
   explicit LlmTimeForecaster(const LlmTimeOptions& options);
+  ~LlmTimeForecaster() override;
 
   std::string name() const override { return "LLMTIME"; }
 
@@ -54,7 +67,12 @@ class LlmTimeForecaster final : public Forecaster {
   const LlmTimeOptions& options() const { return options_; }
 
  private:
+  /// The per-dimension pool, created lazily on the first parallel
+  /// forecast; null while options_.threads <= 1.
+  ThreadPool* Pool();
+
   LlmTimeOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace forecast

@@ -1,7 +1,11 @@
 #include "forecast/multicast_forecaster.h"
 
 #include <algorithm>
+#include <functional>
+#include <future>
 #include <memory>
+#include <optional>
+#include <utility>
 
 #include "lm/resilient_backend.h"
 #include "token/codec.h"
@@ -61,13 +65,21 @@ Status FillAggregates(
                       ts::Frame::FromSeries(std::move(out_dims),
                                             history.name()));
 
-  std::vector<double> sorted_levels = quantiles;
-  std::sort(sorted_levels.begin(), sorted_levels.end());
-  for (double level : sorted_levels) {
+  // Validate every level before computing any band (an invalid level
+  // must not leave the bands half-built), then dedupe: repeated levels
+  // would emit identical bands under one level twice.
+  for (double level : quantiles) {
     if (!(level > 0.0 && level < 1.0)) {
       return Status::InvalidArgument(
           StrFormat("quantile level %g outside (0, 1)", level));
     }
+  }
+  std::vector<double> sorted_levels = quantiles;
+  std::sort(sorted_levels.begin(), sorted_levels.end());
+  sorted_levels.erase(
+      std::unique(sorted_levels.begin(), sorted_levels.end()),
+      sorted_levels.end());
+  for (double level : sorted_levels) {
     std::vector<ts::Series> band_dims;
     for (size_t d = 0; d < samples_per_dim.size(); ++d) {
       MC_ASSIGN_OR_RETURN(std::vector<double> agg,
@@ -83,42 +95,52 @@ Status FillAggregates(
   return Status::OK();
 }
 
-// The per-forecast backend stack: simulated decoder (or an external
-// base backend), optionally behind the fault injector, optionally
-// behind the resilient retry layer. All virtual time lands on `clock`.
+// Splitmix-style decorrelation of a base seed per draw (or dimension)
+// index; the golden-ratio stride keeps nearby indices far apart in seed
+// space.
+uint64_t MixSeed(uint64_t seed, uint64_t index) {
+  return seed + 0x9e3779b97f4a7c15ULL * (index + 1);
+}
+
+// One draw's private backend stack: simulated decoder (or the shared
+// serialized external backend), optionally behind a fault injector,
+// optionally behind the resilient retry layer. Each draw owns the whole
+// stack, so per-call mutable state (fault schedules, breaker counters,
+// latency accessors) is never shared across worker threads. All virtual
+// time lands on the draw's branch `clock`.
 struct BackendStack {
   std::unique_ptr<lm::SimulatedLlm> base;
   std::unique_ptr<lm::FaultInjectingBackend> faults;
   std::unique_ptr<lm::ResilientBackend> resilient;
   lm::LlmBackend* top = nullptr;
-
-  // Charges one completed call's latency to `clock`. The resilient
-  // layer accounts latency itself; without it the stack's reported
-  // latency is charged here so deadlines bite either way.
-  void ChargeLatency(VirtualClock* clock) const {
-    if (resilient == nullptr) clock->Advance(top->last_latency_seconds());
-  }
 };
 
-BackendStack BuildBackendStack(const MultiCastOptions& options,
-                               size_t vocab_size, VirtualClock* clock) {
+BackendStack BuildDrawStack(const MultiCastOptions& options,
+                            size_t vocab_size, VirtualClock* clock,
+                            lm::LlmBackend* external, uint64_t draw_index) {
   BackendStack stack;
-  if (options.backend != nullptr) {
-    stack.top = options.backend;
+  if (external != nullptr) {
+    stack.top = external;
   } else {
     stack.base = std::make_unique<lm::SimulatedLlm>(options.profile,
                                                     vocab_size);
     stack.top = stack.base.get();
   }
   if (options.faults.any()) {
+    // Per-draw fault schedule: decorrelated from the other draws and a
+    // pure function of the draw index, so the faults a draw sees do not
+    // depend on the thread count or on which other draws ran first.
+    lm::FaultProfile profile = options.faults;
+    profile.seed = MixSeed(options.faults.seed, draw_index);
     stack.faults = std::make_unique<lm::FaultInjectingBackend>(
-        stack.top, options.faults);
+        stack.top, profile);
     stack.top = stack.faults.get();
   }
   if (options.resilience.retries_enabled) {
+    lm::RetryPolicy retry = options.resilience.retry;
+    retry.seed = MixSeed(retry.seed, draw_index);
     stack.resilient = std::make_unique<lm::ResilientBackend>(
-        stack.top, options.resilience.retry, options.resilience.breaker,
-        clock);
+        stack.top, retry, options.resilience.breaker, clock);
     stack.top = stack.resilient.get();
   }
   return stack;
@@ -148,13 +170,14 @@ struct SampleDraw {
   std::string text;            // grammar-valid prefix, whole timestamps
   size_t timestamps = 0;       // timestamps `text` covers
   Status failure;              // why the draw was skipped (when !usable)
+  double latency_seconds = 0.0;  // simulated cost of the backend call
 };
 
 // Draws one sample and salvages the grammar-valid prefix. Terminal
 // (non-retryable) statuses propagate as errors; transient failures,
 // fully corrupted streams, and cancellation/deadline stops come back as
-// unusable draws — the caller's context check decides whether to redraw
-// or wind down with what already survived.
+// unusable draws — the caller decides whether to redraw or wind down
+// with what already survived.
 Result<SampleDraw> DrawSample(lm::LlmBackend* backend,
                               const std::vector<token::TokenId>& prompt,
                               size_t tokens_needed,
@@ -175,10 +198,12 @@ Result<SampleDraw> DrawSample(lm::LlmBackend* backend,
       return gen_or.status();
     }
     draw.failure = gen_or.status();
+    draw.latency_seconds = backend->last_latency_seconds();
     return draw;
   }
   lm::GenerationResult gen = std::move(gen_or).value();
   *ledger += gen.ledger;
+  draw.latency_seconds = gen.latency_seconds;
   MC_ASSIGN_OR_RETURN(std::string text, token::Decode(gen.tokens, vocab));
   draw.timestamps = GrammarValidTimestamps(text, mux, widths);
   if (draw.timestamps == 0) {
@@ -192,17 +217,105 @@ Result<SampleDraw> DrawSample(lm::LlmBackend* backend,
   return draw;
 }
 
+// Everything one draw produced, returned by value to the merge loop so
+// no accounting ever flows through shared mutable state.
+struct DrawOutcome {
+  bool usable = false;
+  bool terminal = false;  // failure ends the whole forecast
+  Status failure;
+  lm::TokenLedger ledger;
+  lm::RetryStats retry_stats;
+  /// Virtual seconds this draw consumed on its branch clock; the merge
+  /// replays these onto the shared clock in draw-index order, so the
+  /// virtual-time accounting is identical at every thread count.
+  double virtual_cost = 0.0;
+  std::vector<std::vector<double>> values;  // [dim][t]
+  size_t salvaged = 0;       // timestamps (raw) / segments (SAX) kept
+  size_t salvage_total = 0;  // what a full draw would have covered
+};
+
+// Everything a draw worker needs that is shared — read-only — across
+// all draws of one forecast. `parse` turns a salvaged grammar-valid
+// text into per-dimension value rows and must be thread-safe (the raw
+// and SAX pipelines capture only const state).
+struct SampleLoopState {
+  const MultiCastOptions* options = nullptr;
+  const std::vector<token::TokenId>* prompt = nullptr;
+  size_t tokens_needed = 0;
+  const lm::GrammarMask* mask = nullptr;
+  const multiplex::Multiplexer* mux = nullptr;
+  const std::vector<int>* widths = nullptr;
+  const token::Vocabulary* vocab = nullptr;
+  /// Shared serialized wrapper over an injected external backend; null
+  /// when the forecast builds its own simulated base per draw.
+  lm::LlmBackend* external = nullptr;
+  std::function<Status(const std::string& text, DrawOutcome* out)> parse;
+  const char* salvage_noun = "timestamps";
+};
+
+// Runs one complete draw — backend stack construction, the LLM call,
+// salvage, parse — in isolation on a branch clock starting at `t0` (the
+// sample loop's start time). The draw's result is a pure function of
+// (draw_index, rng, t0, deadline) and the shared read-only state, which
+// is what makes parallel output bit-identical to serial.
+DrawOutcome RunDraw(const SampleLoopState& st, int draw_index, Rng rng,
+                    double t0, const Deadline& deadline) {
+  DrawOutcome out;
+  VirtualClock branch;
+  branch.AdvanceTo(t0);
+  RequestContext draw_ctx;
+  draw_ctx.clock = &branch;
+  draw_ctx.deadline = deadline;
+  // draw_ctx.cancel is a fresh token: the shared token is not
+  // thread-safe (reads mutate auto-cancel state), so cancellation is
+  // observed at draw granularity by the merge loop instead.
+  BackendStack stack =
+      BuildDrawStack(*st.options, st.vocab->size(), &branch, st.external,
+                     static_cast<uint64_t>(draw_index));
+  Result<SampleDraw> draw_or =
+      DrawSample(stack.top, *st.prompt, st.tokens_needed, *st.mask, &rng,
+                 *st.mux, *st.widths, *st.vocab, draw_ctx, &out.ledger);
+  if (stack.resilient != nullptr) {
+    out.retry_stats = stack.resilient->stats();
+  }
+  if (!draw_or.ok()) {
+    out.terminal = true;
+    out.failure = draw_or.status();
+    out.virtual_cost = branch.now() - t0;
+    return out;
+  }
+  SampleDraw draw = std::move(draw_or).value();
+  // The resilient layer charges latency (and backoff) to the branch
+  // clock itself; a bare stack charges the call latency reported by
+  // value on the result here.
+  if (stack.resilient == nullptr) branch.Advance(draw.latency_seconds);
+  if (!draw.usable) {
+    out.failure = draw.failure;
+    out.virtual_cost = branch.now() - t0;
+    return out;
+  }
+  Status parsed = st.parse(draw.text, &out);
+  out.virtual_cost = branch.now() - t0;
+  if (!parsed.ok()) {
+    out.terminal = true;
+    out.failure = parsed;
+    return out;
+  }
+  out.usable = true;
+  return out;
+}
+
 // Shared post-loop bookkeeping: surviving-sample accounting, degraded
-// flag, retry stats, and the minimum-survivor check.
+// flag, and the minimum-survivor check. `min_samples` is clamped to the
+// requested sample count — a fully successful forecast must never fail
+// its own survivor floor just because the floor was configured above
+// num_samples.
 Status FinishSampling(const MultiCastOptions& options, int survivors,
-                      const Status& last_failure, const BackendStack& stack,
-                      ForecastResult* result) {
+                      const Status& last_failure, ForecastResult* result) {
   result->samples_requested = static_cast<size_t>(options.num_samples);
   result->samples_used = static_cast<size_t>(survivors);
-  if (stack.resilient != nullptr) {
-    result->retry_stats = stack.resilient->stats();
-  }
-  const int min_samples = std::max(1, options.resilience.min_samples);
+  const int min_samples = std::min(
+      std::max(1, options.resilience.min_samples), options.num_samples);
   if (survivors < min_samples) {
     Status cause = last_failure.ok()
                        ? Status::Unavailable("no failure recorded")
@@ -220,6 +333,122 @@ Status FinishSampling(const MultiCastOptions& options, int survivors,
                   options.num_samples));
   }
   return Status::OK();
+}
+
+// The sample loop shared by the raw and SAX pipelines: pre-forks one
+// RNG per prospective draw, dispatches draws in waves (of at most the
+// pool width), and merges outcomes in draw-index order. Because every
+// draw is a pure function of its index and the pre-forked RNG, and the
+// merge replays virtual costs and gate checks in index order, the
+// result — forecasts, bands, warnings, ledgers, samples_used — is
+// bit-identical for every thread count; threads only change wall-clock.
+// Draws dispatched speculatively past a stop (target reached, context
+// dead, terminal error) are discarded unmerged, exactly as if a serial
+// loop had never issued them.
+Status RunSampleLoop(const MultiCastOptions& options,
+                     const SampleLoopState& st, const RequestContext& ctx,
+                     VirtualClock* clock, uint64_t rng_stream,
+                     ThreadPool* pool, size_t dims,
+                     std::vector<std::vector<std::vector<double>>>*
+                         samples_per_dim,
+                     ForecastResult* result) {
+  Rng rng(options.seed, rng_stream);
+  const int target = options.num_samples;
+  const int max_draws =
+      target + std::max(0, options.resilience.max_redraws);
+  // Pre-fork every prospective draw's RNG before any dispatch: the k-th
+  // fork of a PCG stream is the same generator whether the forks happen
+  // lazily or up front, so per-draw randomness does not depend on the
+  // thread count or on how many draws actually run.
+  std::vector<Rng> draw_rngs;
+  draw_rngs.reserve(static_cast<size_t>(max_draws));
+  for (int s = 0; s < max_draws; ++s) draw_rngs.push_back(rng.Fork());
+
+  const int threads = pool != nullptr ? pool->size() : 1;
+  const double t0 = clock->now();
+  const Deadline deadline = ctx.deadline;
+  int survivors = 0;
+  Status last_failure = Status::OK();
+  Status terminal = Status::OK();
+  bool stopped = false;
+  int s = 0;
+  while (s < max_draws && survivors < target && !stopped &&
+         terminal.ok()) {
+    Status active = ctx.Check("sample loop");
+    if (!active.ok()) {
+      // The request died mid-pipeline: stop issuing LLM calls and wind
+      // down with whatever already survived.
+      last_failure = active;
+      result->warnings.push_back(StrFormat(
+          "stopped issuing LLM calls after %d surviving samples: %s",
+          survivors, active.ToString().c_str()));
+      break;
+    }
+    const int wave = std::min(std::min(threads, max_draws - s),
+                              target - survivors);
+    std::vector<std::future<DrawOutcome>> inflight;
+    if (pool != nullptr && wave > 1) {
+      inflight.reserve(static_cast<size_t>(wave));
+      for (int k = 0; k < wave; ++k) {
+        const int idx = s + k;
+        Rng draw_rng = draw_rngs[static_cast<size_t>(idx)];
+        inflight.push_back(pool->Submit([&st, idx, draw_rng, t0,
+                                         deadline]() {
+          return RunDraw(st, idx, draw_rng, t0, deadline);
+        }));
+      }
+    }
+    for (int k = 0; k < wave; ++k) {
+      const int idx = s + k;
+      DrawOutcome out =
+          inflight.empty()
+              ? RunDraw(st, idx, draw_rngs[static_cast<size_t>(idx)], t0,
+                        deadline)
+              : inflight[static_cast<size_t>(k)].get();
+      if (stopped || !terminal.ok() || survivors >= target) continue;
+      if (k > 0) {
+        // Merging earlier draws advanced the shared clock; re-check the
+        // context before each later draw of the wave, exactly where the
+        // serial loop would have checked before issuing it.
+        Status mid = ctx.Check("sample loop");
+        if (!mid.ok()) {
+          last_failure = mid;
+          result->warnings.push_back(StrFormat(
+              "stopped issuing LLM calls after %d surviving samples: %s",
+              survivors, mid.ToString().c_str()));
+          stopped = true;
+          continue;
+        }
+      }
+      clock->Advance(out.virtual_cost);
+      if (out.terminal) {
+        terminal = out.failure;
+        continue;
+      }
+      result->ledger += out.ledger;
+      result->retry_stats += out.retry_stats;
+      if (!out.usable) {
+        last_failure = out.failure;
+        result->warnings.push_back(StrFormat(
+            "sample draw %d lost: %s", idx,
+            out.failure.ToString().c_str()));
+        continue;
+      }
+      if (out.salvaged < out.salvage_total) {
+        result->degraded = true;
+        result->warnings.push_back(StrFormat(
+            "sample draw %d truncated: salvaged %zu of %zu %s", idx,
+            out.salvaged, out.salvage_total, st.salvage_noun));
+      }
+      for (size_t d = 0; d < dims; ++d) {
+        (*samples_per_dim)[d].push_back(std::move(out.values[d]));
+      }
+      ++survivors;
+    }
+    s += wave;
+  }
+  MC_RETURN_IF_ERROR(terminal);
+  return FinishSampling(options, survivors, last_failure, result);
 }
 
 }  // namespace
@@ -241,6 +470,8 @@ MultiCastForecaster::MultiCastForecaster(const MultiCastOptions& options)
   options_.scaler.digits = options_.digits;
 }
 
+MultiCastForecaster::~MultiCastForecaster() = default;
+
 std::string MultiCastForecaster::name() const {
   if (options_.quantization == Quantization::kNone) {
     return StrFormat("MultiCast (%s)",
@@ -248,6 +479,14 @@ std::string MultiCastForecaster::name() const {
   }
   return StrFormat("MultiCast SAX (%s)",
                    QuantizationName(options_.quantization));
+}
+
+ThreadPool* MultiCastForecaster::Pool() {
+  if (options_.threads <= 1) return nullptr;
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(options_.threads);
+  }
+  return pool_.get();
 }
 
 Result<ForecastResult> MultiCastForecaster::Forecast(const ts::Frame& history,
@@ -302,7 +541,7 @@ Result<ForecastResult> MultiCastForecaster::ForecastRaw(
   MC_ASSIGN_OR_RETURN(std::vector<token::TokenId> prompt,
                       token::Encode(stream, vocab));
 
-  // 4. Draw constrained continuations through the backend stack,
+  // 4. Draw constrained continuations through per-draw backend stacks,
   // redrawing failed samples up to the resilience cap.
   size_t tokens_needed = horizon * mux->TokensPerTimestamp(widths);
   lm::GrammarMask mask = StructuredMask(*mux, widths, vocab);
@@ -316,53 +555,38 @@ Result<ForecastResult> MultiCastForecaster::ForecastRaw(
   VirtualClock local_clock;
   VirtualClock* clock = ctx.clock != nullptr ? ctx.clock : &local_clock;
   const double virtual_start = clock->now();
-  BackendStack stack = BuildBackendStack(options_, vocab.size(), clock);
-  Rng rng(options_.seed, /*stream=*/7);
+  std::optional<lm::SerializedBackend> serialized;
+  lm::LlmBackend* external = options_.backend;
+  if (external != nullptr && !options_.backend_thread_safe) {
+    serialized.emplace(external);
+    external = &*serialized;
+  }
 
   // samples_per_dim[d][s] is sample s of dimension d (possibly a
   // salvaged prefix shorter than `horizon`).
   std::vector<std::vector<std::vector<double>>> samples_per_dim(dims);
   ForecastResult result;
-  const int target = options_.num_samples;
-  const int max_draws = target + std::max(0, options_.resilience.max_redraws);
-  int survivors = 0;
-  Status last_failure = Status::OK();
-  for (int s = 0; s < max_draws && survivors < target; ++s) {
-    Status active = ctx.Check("sample loop");
-    if (!active.ok()) {
-      // The request died mid-pipeline: stop issuing LLM calls and wind
-      // down with whatever already survived.
-      last_failure = active;
-      result.warnings.push_back(StrFormat(
-          "stopped issuing LLM calls after %d surviving samples: %s",
-          survivors, active.ToString().c_str()));
-      break;
-    }
-    Rng sample_rng = rng.Fork();
-    MC_ASSIGN_OR_RETURN(
-        SampleDraw draw,
-        DrawSample(stack.top, prompt, tokens_needed, mask, &sample_rng,
-                   *mux, widths, vocab, ctx, &result.ledger));
-    stack.ChargeLatency(clock);
-    if (!draw.usable) {
-      last_failure = draw.failure;
-      result.warnings.push_back(StrFormat(
-          "sample draw %d lost: %s", s, draw.failure.ToString().c_str()));
-      continue;
-    }
-
+  SampleLoopState st;
+  st.options = &options_;
+  st.prompt = &prompt;
+  st.tokens_needed = tokens_needed;
+  st.mask = &mask;
+  st.mux = mux.get();
+  st.widths = &widths;
+  st.vocab = &vocab;
+  st.external = external;
+  st.salvage_noun = "timestamps";
+  st.parse = [&mux, &widths, &params, dims, horizon](
+                 const std::string& text, DrawOutcome* out) -> Status {
     // 5. Demultiplex and descale the salvaged prefix of this sample.
     MC_ASSIGN_OR_RETURN(
         multiplex::MuxInput demuxed,
-        mux->Demultiplex(draw.text, widths, /*allow_partial=*/true));
+        mux->Demultiplex(text, widths, /*allow_partial=*/true));
     const size_t usable =
         std::min<size_t>(horizon, demuxed.num_timestamps());
-    if (usable < horizon) {
-      result.degraded = true;
-      result.warnings.push_back(StrFormat(
-          "sample draw %d truncated: salvaged %zu of %zu timestamps", s,
-          usable, horizon));
-    }
+    out->salvaged = usable;
+    out->salvage_total = horizon;
+    out->values.resize(dims);
     for (size_t d = 0; d < dims; ++d) {
       std::vector<int64_t> scaled;
       scaled.reserve(usable);
@@ -371,12 +595,13 @@ Result<ForecastResult> MultiCastForecaster::ForecastRaw(
                             token::ParseFixedWidthDigits(demuxed.values[d][t]));
         scaled.push_back(v);
       }
-      samples_per_dim[d].push_back(scale::DescaleValues(scaled, params[d]));
+      out->values[d] = scale::DescaleValues(scaled, params[d]);
     }
-    ++survivors;
-  }
-  MC_RETURN_IF_ERROR(
-      FinishSampling(options_, survivors, last_failure, stack, &result));
+    return Status::OK();
+  };
+  MC_RETURN_IF_ERROR(RunSampleLoop(options_, st, ctx, clock,
+                                   /*rng_stream=*/7, Pool(), dims,
+                                   &samples_per_dim, &result));
 
   // 6. Median across surviving samples (+ quantile bands), per dimension
   // and timestamp.
@@ -446,68 +671,56 @@ Result<ForecastResult> MultiCastForecaster::ForecastSax(
   VirtualClock local_clock;
   VirtualClock* clock = ctx.clock != nullptr ? ctx.clock : &local_clock;
   const double virtual_start = clock->now();
-  BackendStack stack = BuildBackendStack(options_, vocab.size(), clock);
-  Rng rng(options_.seed, /*stream=*/11);
+  std::optional<lm::SerializedBackend> serialized;
+  lm::LlmBackend* external = options_.backend;
+  if (external != nullptr && !options_.backend_thread_safe) {
+    serialized.emplace(external);
+    external = &*serialized;
+  }
 
   const size_t segment_length =
       static_cast<size_t>(options_.sax_segment_length);
   std::vector<std::vector<std::vector<double>>> samples_per_dim(dims);
   ForecastResult result;
-  const int target = options_.num_samples;
-  const int max_draws = target + std::max(0, options_.resilience.max_redraws);
-  int survivors = 0;
-  Status last_failure = Status::OK();
-  for (int s = 0; s < max_draws && survivors < target; ++s) {
-    Status active = ctx.Check("sample loop");
-    if (!active.ok()) {
-      last_failure = active;
-      result.warnings.push_back(StrFormat(
-          "stopped issuing LLM calls after %d surviving samples: %s",
-          survivors, active.ToString().c_str()));
-      break;
-    }
-    Rng sample_rng = rng.Fork();
-    MC_ASSIGN_OR_RETURN(
-        SampleDraw draw,
-        DrawSample(stack.top, prompt, tokens_needed, mask, &sample_rng,
-                   *mux, widths, vocab, ctx, &result.ledger));
-    stack.ChargeLatency(clock);
-    if (!draw.usable) {
-      last_failure = draw.failure;
-      result.warnings.push_back(StrFormat(
-          "sample draw %d lost: %s", s, draw.failure.ToString().c_str()));
-      continue;
-    }
-
+  SampleLoopState st;
+  st.options = &options_;
+  st.prompt = &prompt;
+  st.tokens_needed = tokens_needed;
+  st.mask = &mask;
+  st.mux = mux.get();
+  st.widths = &widths;
+  st.vocab = &vocab;
+  st.external = external;
+  st.salvage_noun = "segments";
+  st.parse = [&mux, &widths, &codecs, dims, horizon, segments_needed,
+              segment_length](const std::string& text,
+                              DrawOutcome* out) -> Status {
     // 5. Demultiplex the salvaged symbol stream back into per-dimension
     // SAX words (one symbol per surviving segment).
     MC_ASSIGN_OR_RETURN(
         multiplex::MuxInput demuxed,
-        mux->Demultiplex(draw.text, widths, /*allow_partial=*/true));
+        mux->Demultiplex(text, widths, /*allow_partial=*/true));
     const size_t usable_segments =
         std::min(segments_needed, demuxed.num_timestamps());
     const size_t usable_steps =
         std::min(horizon, usable_segments * segment_length);
-    if (usable_segments < segments_needed) {
-      result.degraded = true;
-      result.warnings.push_back(StrFormat(
-          "sample draw %d truncated: salvaged %zu of %zu segments", s,
-          usable_segments, segments_needed));
-    }
+    out->salvaged = usable_segments;
+    out->salvage_total = segments_needed;
+    out->values.resize(dims);
     for (size_t d = 0; d < dims; ++d) {
       std::string word;
       word.reserve(usable_segments);
       for (size_t seg = 0; seg < usable_segments; ++seg) {
         word.push_back(demuxed.values[d][seg][0]);
       }
-      MC_ASSIGN_OR_RETURN(std::vector<double> values,
+      MC_ASSIGN_OR_RETURN(out->values[d],
                           codecs[d].Decode(word, usable_steps));
-      samples_per_dim[d].push_back(std::move(values));
     }
-    ++survivors;
-  }
-  MC_RETURN_IF_ERROR(
-      FinishSampling(options_, survivors, last_failure, stack, &result));
+    return Status::OK();
+  };
+  MC_RETURN_IF_ERROR(RunSampleLoop(options_, st, ctx, clock,
+                                   /*rng_stream=*/11, Pool(), dims,
+                                   &samples_per_dim, &result));
 
   MC_RETURN_IF_ERROR(FillAggregates(samples_per_dim, history,
                                     options_.quantiles, horizon, &result));

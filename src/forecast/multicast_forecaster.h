@@ -15,6 +15,7 @@
 #ifndef MULTICAST_FORECAST_MULTICAST_FORECASTER_H_
 #define MULTICAST_FORECAST_MULTICAST_FORECASTER_H_
 
+#include <memory>
 #include <string>
 
 #include "forecast/forecaster.h"
@@ -23,6 +24,7 @@
 #include "multiplex/multiplexer.h"
 #include "sax/sax.h"
 #include "scale/scaler.h"
+#include "util/thread_pool.h"
 
 namespace multicast {
 namespace forecast {
@@ -68,15 +70,34 @@ struct MultiCastOptions {
   /// External base backend (not owned; must outlive the forecaster and
   /// accept this pipeline's vocabulary size). Null builds the usual
   /// internal SimulatedLlm from `profile`. Lets the serving layer share
-  /// one backend (and breaker) across requests, and lets tests interpose
-  /// call-counting or cancelling decorators under the fault/retry stack.
+  /// one backend across requests, and lets tests interpose call-counting
+  /// or cancelling decorators under the fault/retry stack. The sample
+  /// loop serializes calls to it (see lm::SerializedBackend), so a
+  /// stateful external backend stays race-free under threads > 1.
   lm::LlmBackend* backend = nullptr;
+  /// Declares `backend` safe to call from several sampler threads at
+  /// once (e.g. a stateless remote-API client whose result depends only
+  /// on the call arguments). When set, the sample loop skips the
+  /// lm::SerializedBackend wrapper, so concurrent draws overlap their
+  /// backend calls instead of queueing on a mutex — this is where
+  /// threads > 1 buys wall-clock time against a latency-bound backend.
+  /// Leave false for any backend with per-call mutable state.
+  bool backend_thread_safe = false;
+  /// Worker threads for the sample loop. 1 (the default) runs draws
+  /// inline; > 1 draws samples concurrently on an internal ThreadPool.
+  /// The output is bit-identical at every thread count: per-draw RNGs
+  /// are pre-forked before dispatch, each draw runs on an isolated
+  /// backend stack and branch clock, and outcomes merge in draw-index
+  /// order. Threads change wall-clock time only — virtual-time
+  /// accounting always models the serial schedule.
+  int threads = 1;
 };
 
 /// See file comment.
 class MultiCastForecaster final : public Forecaster {
  public:
   explicit MultiCastForecaster(const MultiCastOptions& options);
+  ~MultiCastForecaster() override;
 
   /// "MultiCast (DI)", or "MultiCast SAX (alphabetical)" under SAX.
   std::string name() const override;
@@ -98,7 +119,12 @@ class MultiCastForecaster final : public Forecaster {
   Result<ForecastResult> ForecastSax(const ts::Frame& history, size_t horizon,
                                      const RequestContext& ctx);
 
+  /// The sampling pool, created lazily on the first parallel forecast;
+  /// null while options_.threads <= 1 (draws then run inline).
+  ThreadPool* Pool();
+
   MultiCastOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 /// Aggregates `samples[s][t]` (s samples of an h-step forecast) into the

@@ -1,5 +1,9 @@
 #include "serve/queue.h"
 
+#include <algorithm>
+#include <tuple>
+#include <utility>
+
 #include "util/strings.h"
 
 namespace multicast {
@@ -15,6 +19,13 @@ const char* QueueOrderName(QueueOrder order) {
   return "?";
 }
 
+bool AdmissionQueue::EdfAfter(const EdfEntry& a, const EdfEntry& b) {
+  // std::push_heap keeps the *largest* element on top under this
+  // comparator, so "a pops after b" yields a min-heap on (deadline, seq).
+  return std::tie(a.deadline_seconds, a.seq) >
+         std::tie(b.deadline_seconds, b.seq);
+}
+
 Status AdmissionQueue::Offer(const ForecastRequest& request) {
   ++stats_.offered;
   if (closed_) {
@@ -22,35 +33,40 @@ Status AdmissionQueue::Offer(const ForecastRequest& request) {
     return Status::Unavailable(StrFormat(
         "request %zu rejected: queue closed (draining)", request.id));
   }
-  if (items_.size() >= policy_.capacity) {
+  if (depth() >= policy_.capacity) {
     ++stats_.rejected_full;
     return Status::ResourceExhausted(StrFormat(
         "request %zu shed: queue at capacity %zu", request.id,
         policy_.capacity));
   }
-  items_.push_back(request);
+  if (policy_.order == QueueOrder::kFifo) {
+    fifo_.push_back(request);
+  } else {
+    heap_.push_back(
+        EdfEntry{request.deadline_seconds, next_seq_++, request});
+    std::push_heap(heap_.begin(), heap_.end(), EdfAfter);
+  }
   ++stats_.admitted;
-  if (items_.size() > stats_.max_depth) stats_.max_depth = items_.size();
+  if (depth() > stats_.max_depth) stats_.max_depth = depth();
   return Status::OK();
 }
 
-size_t AdmissionQueue::NextIndex() const {
-  if (policy_.order == QueueOrder::kFifo) return 0;
-  // Earliest deadline first; arrival order breaks ties (strict < keeps
-  // the earliest-pushed of equal deadlines).
-  size_t best = 0;
-  for (size_t i = 1; i < items_.size(); ++i) {
-    if (items_[i].deadline_seconds < items_[best].deadline_seconds) best = i;
+ForecastRequest AdmissionQueue::TakeNext() {
+  if (policy_.order == QueueOrder::kFifo) {
+    ForecastRequest next = std::move(fifo_.front());
+    fifo_.pop_front();
+    return next;
   }
-  return best;
+  std::pop_heap(heap_.begin(), heap_.end(), EdfAfter);
+  ForecastRequest next = std::move(heap_.back().request);
+  heap_.pop_back();
+  return next;
 }
 
 bool AdmissionQueue::Pop(double now, ForecastRequest* out,
                          std::vector<ForecastRequest>* expired) {
-  while (!items_.empty()) {
-    size_t idx = NextIndex();
-    ForecastRequest candidate = items_[idx];
-    items_.erase(items_.begin() + static_cast<ptrdiff_t>(idx));
+  while (!empty()) {
+    ForecastRequest candidate = TakeNext();
     if (policy_.drop_expired_at_dequeue &&
         now > candidate.deadline_seconds) {
       ++stats_.dropped_expired;
@@ -65,8 +81,25 @@ bool AdmissionQueue::Pop(double now, ForecastRequest* out,
 }
 
 std::vector<ForecastRequest> AdmissionQueue::Flush() {
-  std::vector<ForecastRequest> flushed = std::move(items_);
-  items_.clear();
+  std::vector<ForecastRequest> flushed;
+  flushed.reserve(depth());
+  if (policy_.order == QueueOrder::kFifo) {
+    for (ForecastRequest& request : fifo_) {
+      flushed.push_back(std::move(request));
+    }
+    fifo_.clear();
+  } else {
+    // The drain path reports waiting requests in arrival order, exactly
+    // as the old arrival-ordered buffer did.
+    std::sort(heap_.begin(), heap_.end(),
+              [](const EdfEntry& a, const EdfEntry& b) {
+                return a.seq < b.seq;
+              });
+    for (EdfEntry& entry : heap_) {
+      flushed.push_back(std::move(entry.request));
+    }
+    heap_.clear();
+  }
   return flushed;
 }
 

@@ -12,6 +12,8 @@
 #define MULTICAST_SERVE_QUEUE_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <deque>
 #include <vector>
 
 #include "serve/request.h"
@@ -48,7 +50,10 @@ struct QueueStats {
 };
 
 /// See file comment. Deterministic and single-threaded, like the rest
-/// of the serving simulation.
+/// of the serving simulation. Pops are O(1) under FIFO (a deque) and
+/// O(log n) under EDF (a binary heap keyed on (deadline, push order)),
+/// so drains stay O(n log n) under load instead of the O(n^2) a linear
+/// scan plus mid-vector erase would cost.
 class AdmissionQueue {
  public:
   explicit AdmissionQueue(const QueuePolicy& policy) : policy_(policy) {}
@@ -72,18 +77,33 @@ class AdmissionQueue {
   void Close() { closed_ = true; }
   bool closed() const { return closed_; }
 
-  size_t depth() const { return items_.size(); }
-  bool empty() const { return items_.empty(); }
+  size_t depth() const { return fifo_.size() + heap_.size(); }
+  bool empty() const { return depth() == 0; }
   const QueuePolicy& policy() const { return policy_; }
   const QueueStats& stats() const { return stats_; }
 
  private:
-  /// Index of the next request to pop per the configured order.
-  size_t NextIndex() const;
+  /// One waiting request in the EDF heap. `seq` is the admission order
+  /// and breaks deadline ties — the earliest-pushed of equal deadlines
+  /// pops first, matching the documented FIFO tie-break of the old
+  /// linear scan.
+  struct EdfEntry {
+    double deadline_seconds = 0.0;
+    uint64_t seq = 0;
+    ForecastRequest request;
+  };
+  /// Min-heap order on (deadline, seq) for std::push_heap/pop_heap.
+  static bool EdfAfter(const EdfEntry& a, const EdfEntry& b);
+
+  /// Removes and returns the next request per the configured order.
+  /// Callers must check !empty() first.
+  ForecastRequest TakeNext();
 
   QueuePolicy policy_;
   QueueStats stats_;
-  std::vector<ForecastRequest> items_;  ///< arrival order
+  std::deque<ForecastRequest> fifo_;  ///< arrival order (FIFO mode)
+  std::vector<EdfEntry> heap_;        ///< (deadline, seq) heap (EDF mode)
+  uint64_t next_seq_ = 0;
   bool closed_ = false;
 };
 

@@ -1,0 +1,74 @@
+// Fixed-size worker pool for real-thread parallelism.
+//
+// The forecasters' sample loops are embarrassingly parallel — n
+// independent constrained generations whose RNGs are pre-forked before
+// dispatch — so a plain fixed pool with a locked task queue is all the
+// runtime they need. Determinism is the callers' contract, not the
+// pool's: work is submitted as value-returning tasks and the caller
+// merges the futures in submission (draw-index) order, so scheduling
+// jitter inside the pool can never reorder observable results.
+
+#ifndef MULTICAST_UTIL_THREAD_POOL_H_
+#define MULTICAST_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace multicast {
+
+/// Fixed set of worker threads draining one FIFO task queue. Submission
+/// is thread-safe; the destructor drains every queued task and joins the
+/// workers, so tasks may safely reference state owned by the submitting
+/// scope as long as that scope outlives the pool (or waits on the
+/// returned futures, as the forecasters do).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs every queued task, then joins all workers.
+  ~ThreadPool();
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `fn` and returns a future for its result. `fn` must not
+  /// submit to (or otherwise block on) this same pool — workers are a
+  /// fixed set and nested waits can deadlock.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    wake_.notify_one();
+    return future;
+  }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;  // guarded by mu_
+  bool shutdown_ = false;                    // guarded by mu_
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace multicast
+
+#endif  // MULTICAST_UTIL_THREAD_POOL_H_

@@ -1,0 +1,381 @@
+// Property tests of the parallel sampling runtime: at any thread count
+// the pipeline must produce the same ForecastResult, bit for bit, that
+// the serial loop produces — under clean backends, chaos + retries,
+// quantile bands, SAX quantization, deadlines and mid-flight
+// cancellation. Threads are allowed to change wall-clock time only.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "forecast/llmtime_forecaster.h"
+#include "forecast/multicast_forecaster.h"
+#include "lm/generator.h"
+#include "token/vocabulary.h"
+#include "ts/frame.h"
+
+namespace multicast {
+namespace forecast {
+namespace {
+
+ts::Frame PeriodicFrame(size_t n) {
+  std::vector<double> a(n), b(n);
+  for (size_t i = 0; i < n; ++i) {
+    double phase = 2.0 * M_PI * static_cast<double>(i) / 12.0;
+    a[i] = 10.0 + 5.0 * std::sin(phase);
+    b[i] = 50.0 - 20.0 * std::sin(phase);
+  }
+  return ts::Frame::FromSeries({ts::Series(a, "a"), ts::Series(b, "b")},
+                               "periodic")
+      .ValueOrDie();
+}
+
+// Asserts every deterministic field of two ForecastResults matches
+// exactly (wall-clock `seconds` excluded, it is the one field threads
+// may change).
+void ExpectIdentical(const ForecastResult& a, const ForecastResult& b,
+                     const std::string& label) {
+  SCOPED_TRACE(label);
+  ASSERT_EQ(a.forecast.num_dims(), b.forecast.num_dims());
+  for (size_t d = 0; d < a.forecast.num_dims(); ++d) {
+    EXPECT_EQ(a.forecast.dim(d).values(), b.forecast.dim(d).values())
+        << "dimension " << d;
+  }
+  ASSERT_EQ(a.quantile_bands.size(), b.quantile_bands.size());
+  for (size_t i = 0; i < a.quantile_bands.size(); ++i) {
+    EXPECT_EQ(a.quantile_bands[i].first, b.quantile_bands[i].first);
+    for (size_t d = 0; d < a.quantile_bands[i].second.num_dims(); ++d) {
+      EXPECT_EQ(a.quantile_bands[i].second.dim(d).values(),
+                b.quantile_bands[i].second.dim(d).values())
+          << "band " << i << " dimension " << d;
+    }
+  }
+  EXPECT_EQ(a.ledger.prompt_tokens, b.ledger.prompt_tokens);
+  EXPECT_EQ(a.ledger.generated_tokens, b.ledger.generated_tokens);
+  EXPECT_EQ(a.virtual_seconds, b.virtual_seconds);
+  EXPECT_EQ(a.degraded, b.degraded);
+  EXPECT_EQ(a.samples_requested, b.samples_requested);
+  EXPECT_EQ(a.samples_used, b.samples_used);
+  EXPECT_EQ(a.warnings, b.warnings);
+  EXPECT_EQ(a.retry_stats.calls, b.retry_stats.calls);
+  EXPECT_EQ(a.retry_stats.attempts, b.retry_stats.attempts);
+  EXPECT_EQ(a.retry_stats.retries, b.retry_stats.retries);
+  EXPECT_EQ(a.retry_stats.circuit_rejections,
+            b.retry_stats.circuit_rejections);
+  EXPECT_EQ(a.retry_stats.backoff_seconds, b.retry_stats.backoff_seconds);
+}
+
+struct VariantParam {
+  multiplex::MuxKind mux;
+  Quantization quantization;
+};
+
+class ParallelIdentityTest : public testing::TestWithParam<VariantParam> {};
+
+// The headline property: clean pipeline + quantile bands, threads
+// 1/2/8 — bit-identical output.
+TEST_P(ParallelIdentityTest, CleanPipelineIsThreadCountInvariant) {
+  ts::Frame frame = PeriodicFrame(96);
+  MultiCastOptions opts;
+  opts.mux = GetParam().mux;
+  opts.quantization = GetParam().quantization;
+  opts.num_samples = 6;
+  opts.seed = 1234;
+  opts.quantiles = {0.1, 0.9};
+
+  opts.threads = 1;
+  auto serial = MultiCastForecaster(opts).Forecast(frame, 12);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  for (int threads : {2, 8}) {
+    opts.threads = threads;
+    auto parallel = MultiCastForecaster(opts).Forecast(frame, 12);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    ExpectIdentical(serial.value(), parallel.value(),
+                    "threads=" + std::to_string(threads));
+  }
+}
+
+// Same property under chaos + retries: fault schedules, redraws, retry
+// accounting and salvage warnings must all be draw-indexed, never
+// thread-schedule-dependent.
+TEST_P(ParallelIdentityTest, ChaosPipelineIsThreadCountInvariant) {
+  ts::Frame frame = PeriodicFrame(96);
+  MultiCastOptions opts;
+  opts.mux = GetParam().mux;
+  opts.quantization = GetParam().quantization;
+  opts.num_samples = 5;
+  opts.seed = 77;
+  opts.faults = lm::FaultProfile::Chaos(0.2, 4242);
+  opts.resilience.retries_enabled = true;
+
+  opts.threads = 1;
+  auto serial = MultiCastForecaster(opts).Forecast(frame, 12);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  for (int threads : {2, 8}) {
+    opts.threads = threads;
+    auto parallel = MultiCastForecaster(opts).Forecast(frame, 12);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    ExpectIdentical(serial.value(), parallel.value(),
+                    "threads=" + std::to_string(threads));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, ParallelIdentityTest,
+    testing::Values(
+        VariantParam{multiplex::MuxKind::kDigitInterleave,
+                     Quantization::kNone},
+        VariantParam{multiplex::MuxKind::kValueInterleave,
+                     Quantization::kNone},
+        VariantParam{multiplex::MuxKind::kValueConcat, Quantization::kNone},
+        VariantParam{multiplex::MuxKind::kValueInterleave,
+                     Quantization::kSaxAlphabetic},
+        VariantParam{multiplex::MuxKind::kValueInterleave,
+                     Quantization::kSaxDigital}),
+    [](const testing::TestParamInfo<VariantParam>& info) {
+      std::string name = multiplex::MuxKindName(info.param.mux);
+      switch (info.param.quantization) {
+        case Quantization::kNone:
+          return name + "Raw";
+        case Quantization::kSaxAlphabetic:
+          return name + "SaxAlpha";
+        case Quantization::kSaxDigital:
+          return name + "SaxDigit";
+      }
+      return name;
+    });
+
+// A deadline that stops the loop partway must degrade to the *same*
+// surviving samples at every thread count: merge-order gating replays
+// the serial schedule even when speculative draws ran.
+TEST(ParallelDegradationTest, DeadlineDegradationIsThreadCountInvariant) {
+  ts::Frame frame = PeriodicFrame(48);
+  auto run = [&](int threads, double deadline) {
+    MultiCastOptions opts;
+    opts.num_samples = 8;
+    opts.seed = 5;
+    opts.threads = threads;
+    // The fault injector owns the latency model, so virtual time only
+    // accrues (and deadlines only bite) with a fault profile active.
+    opts.faults = lm::FaultProfile::Chaos(0.1, 88);
+    opts.resilience.retries_enabled = true;
+    MultiCastForecaster forecaster(opts);
+    VirtualClock clock;
+    RequestContext ctx;
+    ctx.clock = &clock;
+    if (deadline > 0.0) ctx.deadline = Deadline::At(deadline);
+    return forecaster.Forecast(frame, 6, ctx);
+  };
+  // Probe the clean run's total virtual cost, then budget half of it:
+  // the first draw always fits (the gate at t=0 passes) and the last
+  // never does, so the loop degrades partway through.
+  auto probe = run(1, 0.0);
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  const double deadline = probe.value().virtual_seconds * 0.5;
+  ASSERT_GT(deadline, 0.0);
+  auto run_deadline = [&](int threads) { return run(threads, deadline); };
+  auto serial = run_deadline(1);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  EXPECT_TRUE(serial.value().degraded);
+  EXPECT_LT(serial.value().samples_used, 8u);
+  EXPECT_GE(serial.value().samples_used, 1u);
+  for (int threads : {2, 8}) {
+    auto parallel = run_deadline(threads);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    ExpectIdentical(serial.value(), parallel.value(),
+                    "threads=" + std::to_string(threads));
+  }
+}
+
+// Mid-flight cancellation: an auto-cancel token firing partway through
+// the loop produces the same degraded result at every thread count —
+// cancellation is observed at draw granularity on the shared clock.
+TEST(ParallelDegradationTest, MidFlightCancelIsThreadCountInvariant) {
+  ts::Frame frame = PeriodicFrame(48);
+  auto run = [&](int threads, double cancel_at) {
+    MultiCastOptions opts;
+    opts.num_samples = 8;
+    opts.seed = 5;
+    opts.threads = threads;
+    opts.faults = lm::FaultProfile::Chaos(0.1, 88);
+    opts.resilience.retries_enabled = true;
+    MultiCastForecaster forecaster(opts);
+    VirtualClock clock;
+    RequestContext ctx;
+    ctx.clock = &clock;
+    if (cancel_at > 0.0) ctx.cancel.CancelAtTime(&clock, cancel_at, "drain");
+    return forecaster.Forecast(frame, 6, ctx);
+  };
+  auto probe = run(1, 0.0);
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  const double cancel_at = probe.value().virtual_seconds * 0.5;
+  ASSERT_GT(cancel_at, 0.0);
+  auto run_cancel = [&](int threads) { return run(threads, cancel_at); };
+  auto serial = run_cancel(1);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  EXPECT_TRUE(serial.value().degraded);
+  EXPECT_LT(serial.value().samples_used, 8u);
+  for (int threads : {2, 8}) {
+    auto parallel = run_cancel(threads);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    ExpectIdentical(serial.value(), parallel.value(),
+                    "threads=" + std::to_string(threads));
+  }
+}
+
+// LLMTime parallelizes across dimensions; same invariance contract,
+// including under chaos + retries.
+TEST(ParallelLlmTimeTest, DimensionLoopIsThreadCountInvariant) {
+  ts::Frame frame = PeriodicFrame(96);
+  LlmTimeOptions opts;
+  opts.num_samples = 4;
+  opts.seed = 9;
+  opts.faults = lm::FaultProfile::Chaos(0.15, 31);
+  opts.resilience.retries_enabled = true;
+
+  opts.threads = 1;
+  auto serial = LlmTimeForecaster(opts).Forecast(frame, 12);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  for (int threads : {2, 8}) {
+    opts.threads = threads;
+    auto parallel = LlmTimeForecaster(opts).Forecast(frame, 12);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    ExpectIdentical(serial.value(), parallel.value(),
+                    "threads=" + std::to_string(threads));
+  }
+}
+
+// ---------------------------------------------------------------------
+// Satellite regressions that ride with the parallel runtime.
+// ---------------------------------------------------------------------
+
+// min_samples larger than num_samples used to make every forecast fail
+// ("needed at least 50 of 3"); it now clamps to num_samples, so a clean
+// run at full strength succeeds.
+TEST(MinSamplesClampTest, MinSamplesAboveNumSamplesClampsInsteadOfFailing) {
+  ts::Frame frame = PeriodicFrame(48);
+  MultiCastOptions opts;
+  opts.num_samples = 3;
+  opts.resilience.min_samples = 50;
+  auto result = MultiCastForecaster(opts).Forecast(frame, 6);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result.value().degraded);
+  EXPECT_EQ(result.value().samples_used, 3u);
+}
+
+// Repeated quantile levels used to emit identical duplicate bands;
+// they now dedupe to one band per distinct level, in ascending order.
+TEST(QuantileBandTest, DuplicateLevelsAreDeduped) {
+  ts::Frame frame = PeriodicFrame(48);
+  MultiCastOptions opts;
+  opts.num_samples = 3;
+  opts.quantiles = {0.8, 0.2, 0.2, 0.8};
+  auto result = MultiCastForecaster(opts).Forecast(frame, 6);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result.value().quantile_bands.size(), 2u);
+  EXPECT_EQ(result.value().quantile_bands[0].first, 0.2);
+  EXPECT_EQ(result.value().quantile_bands[1].first, 0.8);
+}
+
+// An out-of-range level fails the whole forecast up front — no bands
+// are computed for the valid levels before the bad one is noticed.
+TEST(QuantileBandTest, InvalidLevelFailsBeforeAnyBandIsBuilt) {
+  ts::Frame frame = PeriodicFrame(48);
+  MultiCastOptions opts;
+  opts.num_samples = 3;
+  opts.quantiles = {0.2, 1.5};
+  auto result = MultiCastForecaster(opts).Forecast(frame, 6);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("quantile level"),
+            std::string::npos);
+}
+
+// An external backend that reports latency only by value on the
+// GenerationResult (no last_latency_seconds() override — the accessor
+// stays 0) must still advance virtual time, so deadlines bite. Before
+// latency moved onto the result, such a backend ran free of charge and
+// deadlines never fired.
+class ByValueLatencyBackend final : public lm::LlmBackend {
+ public:
+  ByValueLatencyBackend(size_t vocab_size, double call_seconds)
+      : inner_(lm::ModelProfile::Llama2_7B(), vocab_size),
+        call_seconds_(call_seconds) {}
+
+  std::string name() const override { return "by-value-latency"; }
+  size_t vocab_size() const override { return inner_.vocab_size(); }
+  // Deliberately no last_latency_seconds() override: the base class
+  // reports 0, exactly like a plain injected backend.
+
+  using LlmBackend::Complete;
+  Result<lm::GenerationResult> Complete(
+      const std::vector<token::TokenId>& prompt, size_t num_tokens,
+      const lm::GrammarMask& mask, Rng* rng,
+      const lm::CallOptions& call) override {
+    ++calls;
+    MC_ASSIGN_OR_RETURN(lm::GenerationResult result,
+                        inner_.Complete(prompt, num_tokens, mask, rng, call));
+    result.latency_seconds = call_seconds_;
+    return result;
+  }
+
+  size_t calls = 0;
+
+ private:
+  lm::SimulatedLlm inner_;
+  double call_seconds_;
+};
+
+// A stateless external backend declared thread-safe skips the
+// serializing wrapper; its overlapping calls must still produce the
+// serial result bit for bit (the result depends only on call
+// arguments, and the merge replays draw order).
+TEST(ThreadSafeBackendTest, UnserializedBackendIsThreadCountInvariant) {
+  ts::Frame frame = PeriodicFrame(96);
+  lm::SimulatedLlm backend(lm::ModelProfile::Llama2_7B(),
+                           token::Vocabulary::Digits().size());
+  auto run = [&](int threads) {
+    MultiCastOptions opts;
+    opts.num_samples = 6;
+    opts.seed = 21;
+    opts.backend = &backend;
+    opts.backend_thread_safe = true;  // SimulatedLlm keeps no call state
+    opts.threads = threads;
+    return MultiCastForecaster(opts).Forecast(frame, 12);
+  };
+  auto serial = run(1);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  for (int threads : {2, 8}) {
+    auto parallel = run(threads);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    ExpectIdentical(serial.value(), parallel.value(),
+                    "threads=" + std::to_string(threads));
+  }
+}
+
+TEST(ByValueLatencyTest, DeadlineBitesOnResultReportedLatency) {
+  ts::Frame frame = PeriodicFrame(48);
+  ByValueLatencyBackend backend(token::Vocabulary::Digits().size(), 0.05);
+  MultiCastOptions opts;
+  opts.num_samples = 5;
+  opts.backend = &backend;
+  MultiCastForecaster forecaster(opts);
+  VirtualClock clock;
+  RequestContext ctx;
+  ctx.clock = &clock;
+  // 0.12 s at 0.05 s/call: draws at t=0, 0.05, 0.10 fit; the fourth
+  // finds the clock at 0.15 and the loop stops, degraded 3/5.
+  ctx.deadline = Deadline::At(0.12);
+  auto result = forecaster.Forecast(frame, 6, ctx);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(backend.calls, 3u);
+  EXPECT_TRUE(result.value().degraded);
+  EXPECT_EQ(result.value().samples_used, 3u);
+  EXPECT_NEAR(result.value().virtual_seconds, 0.15, 1e-12);
+}
+
+}  // namespace
+}  // namespace forecast
+}  // namespace multicast

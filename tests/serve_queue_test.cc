@@ -65,6 +65,44 @@ TEST(AdmissionQueueTest, EdfBreaksDeadlineTiesByArrival) {
   EXPECT_EQ(out.id, 7u);
 }
 
+TEST(AdmissionQueueTest, EdfTieBreakSurvivesManyTiesAndInterleavedPops) {
+  // A binary heap is not stable by itself; the (deadline, seq) key must
+  // keep equal-deadline requests in push order even as pops reshuffle
+  // the heap and new ties arrive in between.
+  QueuePolicy policy;
+  policy.order = QueueOrder::kEarliestDeadlineFirst;
+  policy.capacity = 16;
+  AdmissionQueue queue(policy);
+  for (size_t id = 0; id < 5; ++id) {
+    ASSERT_TRUE(queue.Offer(Req(id, 0.1 * static_cast<double>(id), 5.0))
+                    .ok());
+  }
+  ForecastRequest out;
+  ASSERT_TRUE(queue.Pop(0.5, &out, nullptr));
+  EXPECT_EQ(out.id, 0u);
+  // A more urgent request and another 5.0-deadline tie arrive mid-drain.
+  ASSERT_TRUE(queue.Offer(Req(100, 0.6, 1.0)).ok());
+  ASSERT_TRUE(queue.Offer(Req(101, 0.7, 5.0)).ok());
+  std::vector<size_t> order;
+  while (queue.Pop(0.8, &out, nullptr)) order.push_back(out.id);
+  EXPECT_EQ(order, (std::vector<size_t>{100, 1, 2, 3, 4, 101}));
+}
+
+TEST(AdmissionQueueTest, EdfFlushReturnsArrivalOrder) {
+  QueuePolicy policy;
+  policy.order = QueueOrder::kEarliestDeadlineFirst;
+  AdmissionQueue queue(policy);
+  ASSERT_TRUE(queue.Offer(Req(0, 0.0, 9.0)).ok());
+  ASSERT_TRUE(queue.Offer(Req(1, 0.1, 3.0)).ok());  // most urgent
+  ASSERT_TRUE(queue.Offer(Req(2, 0.2, 6.0)).ok());
+  std::vector<ForecastRequest> flushed = queue.Flush();
+  ASSERT_EQ(flushed.size(), 3u);
+  EXPECT_EQ(flushed[0].id, 0u);  // drain reports arrival order,
+  EXPECT_EQ(flushed[1].id, 1u);  // not urgency order
+  EXPECT_EQ(flushed[2].id, 2u);
+  EXPECT_TRUE(queue.empty());
+}
+
 TEST(AdmissionQueueTest, DropsExpiredAtDequeue) {
   AdmissionQueue queue(QueuePolicy{});  // drop_expired_at_dequeue on
   ASSERT_TRUE(queue.Offer(Req(0, 0.0, 1.0)).ok());

@@ -1,0 +1,90 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace multicast {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasksAndReturnsValues) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.Submit([i]() { return i * i; }));
+  }
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, ClampsThreadCountToAtLeastOne) {
+  ThreadPool zero(0);
+  EXPECT_EQ(zero.size(), 1);
+  ThreadPool negative(-3);
+  EXPECT_EQ(negative.size(), 1);
+  ThreadPool four(4);
+  EXPECT_EQ(four.size(), 4);
+  EXPECT_EQ(zero.Submit([]() { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, TasksActuallyRunConcurrently) {
+  // Two tasks that each wait for the other prove two workers ran at
+  // once; with one worker this rendezvous would deadlock (guarded by
+  // the wait_for timeout below).
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::condition_variable cv;
+  int arrived = 0;
+  auto rendezvous = [&]() {
+    std::unique_lock<std::mutex> lock(mu);
+    ++arrived;
+    cv.notify_all();
+    return cv.wait_for(lock, std::chrono::seconds(30),
+                       [&]() { return arrived == 2; });
+  };
+  auto a = pool.Submit(rendezvous);
+  auto b = pool.Submit(rendezvous);
+  EXPECT_TRUE(a.get());
+  EXPECT_TRUE(b.get());
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> completed{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&completed]() { ++completed; });
+    }
+  }  // destructor must run every queued task before joining
+  EXPECT_EQ(completed.load(), 64);
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateThroughTheFuture) {
+  ThreadPool pool(1);
+  auto future = pool.Submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  // The worker survives a throwing task.
+  EXPECT_EQ(pool.Submit([]() { return 5; }).get(), 5);
+}
+
+TEST(ThreadPoolTest, ManyTasksAcrossFewWorkersAllComplete) {
+  ThreadPool pool(3);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 500; ++i) {
+    futures.push_back(pool.Submit([i]() { return i; }));
+  }
+  int sum = 0;
+  for (auto& f : futures) sum += f.get();
+  EXPECT_EQ(sum, 500 * 499 / 2);
+}
+
+}  // namespace
+}  // namespace multicast

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Pre-merge gate: tier-1 build + tests, then an ASan+UBSan pass over the
 # serving and LLM tiers (the layers doing pointer-heavy virtual-time and
-# cancellation work, where a sanitizer earns its keep).
+# cancellation work, where a sanitizer earns its keep), then a TSan pass
+# over the same tiers plus the parallel sampling runtime.
 #
-# Usage: tools/check.sh [--no-asan]
+# Usage: tools/check.sh [--no-asan] [--no-tsan]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,25 +15,55 @@ cmake -B build -S . > /dev/null
 cmake --build build -j "${JOBS}"
 (cd build && ctest --output-on-failure -j "${JOBS}")
 
-if [[ "${1:-}" == "--no-asan" ]]; then
-  echo "==== skipping sanitizer pass (--no-asan) ===="
-  exit 0
+run_asan=1
+run_tsan=1
+for arg in "$@"; do
+  case "${arg}" in
+    --no-asan) run_asan=0 ;;
+    --no-tsan) run_tsan=0 ;;
+    *) echo "unknown flag: ${arg}" >&2; exit 2 ;;
+  esac
+done
+
+if [[ "${run_asan}" == "1" ]]; then
+  echo "==== sanitizer pass: ASan + UBSan on serve/lm tests ===="
+  cmake -B build-asan -S . -DMC_SANITIZE=ON > /dev/null
+  ASAN_TESTS=(
+    virtual_time_test
+    serve_queue_test
+    serve_executor_test
+    resilient_backend_test
+    fault_injection_test
+    backend_contract_test
+  )
+  cmake --build build-asan -j "${JOBS}" --target "${ASAN_TESTS[@]}"
+  for t in "${ASAN_TESTS[@]}"; do
+    echo "---- ${t} (asan) ----"
+    "build-asan/tests/${t}" --gtest_brief=1
+  done
+else
+  echo "==== skipping ASan pass (--no-asan) ===="
 fi
 
-echo "==== sanitizer pass: ASan + UBSan on serve/lm tests ===="
-cmake -B build-asan -S . -DMC_SANITIZE=ON > /dev/null
-ASAN_TESTS=(
-  virtual_time_test
-  serve_queue_test
-  serve_executor_test
-  resilient_backend_test
-  fault_injection_test
-  backend_contract_test
-)
-cmake --build build-asan -j "${JOBS}" --target "${ASAN_TESTS[@]}"
-for t in "${ASAN_TESTS[@]}"; do
-  echo "---- ${t} (asan) ----"
-  "build-asan/tests/${t}" --gtest_brief=1
-done
+if [[ "${run_tsan}" == "1" ]]; then
+  echo "==== sanitizer pass: TSan on lm/forecast/serve tests ===="
+  cmake -B build-tsan -S . -DMC_SANITIZE_THREAD=ON > /dev/null
+  TSAN_TESTS=(
+    thread_pool_test
+    parallel_sampling_test
+    multicast_forecaster_test
+    llmtime_forecaster_test
+    serve_executor_test
+    resilient_backend_test
+    fault_injection_test
+  )
+  cmake --build build-tsan -j "${JOBS}" --target "${TSAN_TESTS[@]}"
+  for t in "${TSAN_TESTS[@]}"; do
+    echo "---- ${t} (tsan) ----"
+    "build-tsan/tests/${t}" --gtest_brief=1
+  done
+else
+  echo "==== skipping TSan pass (--no-tsan) ===="
+fi
 
 echo "==== all checks passed ===="
