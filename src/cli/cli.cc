@@ -34,7 +34,7 @@ const std::set<std::string> kMethodFlags = {
     "sax-alphabet",          "profile",  "plot",     "folds",
     "stride", "quantile",    "dataset",  "name",     "quantiles",
     "chaos",  "chaos-seed",  "retries",  "redraws",  "fallback",
-    "threads",
+    "threads", "prefix-cache", "prefix-cache-capacity",
     // serve-sim trace and serving-policy flags.
     "requests",   "arrival-rate", "deadline",  "queue-capacity",
     "queue-order", "hedge-delay", "burst-factor", "burst-every",
@@ -88,6 +88,14 @@ Result<MethodSpec> SpecFromFlags(const FlagSet& flags) {
     return Status::InvalidArgument("--threads must be >= 1");
   }
   spec.threads = static_cast<int>(threads);
+  MC_ASSIGN_OR_RETURN(int64_t prefix_cache, flags.GetInt("prefix-cache", 1));
+  spec.prefix_cache = prefix_cache != 0;
+  MC_ASSIGN_OR_RETURN(int64_t cache_capacity,
+                      flags.GetInt("prefix-cache-capacity", 64));
+  if (cache_capacity < 1) {
+    return Status::InvalidArgument("--prefix-cache-capacity must be >= 1");
+  }
+  spec.prefix_cache_capacity = static_cast<int>(cache_capacity);
   return spec;
 }
 
@@ -373,9 +381,21 @@ Result<int> CmdServeSim(const FlagSet& flags, std::ostream& out) {
                    "Shed(expired)", "Drained", "Failed", "Hedged",
                    "HedgeWins", "p50(s)", "p99(s)", "Wait(s)", "Attempts",
                    "Retries", "Cancelled", "Preempted"});
+  std::vector<std::string> cache_lines;
   for (const std::string& name : methods) {
     MethodSpec spec = base;
     spec.name = name;
+    // One prefix cache per method, shared by every request (and hedge)
+    // of that method: requests over the same feed present the same
+    // prompt, so later requests fork the cached state instead of
+    // re-observing it. The executor only snapshots its counters.
+    std::shared_ptr<lm::PrefixCache> method_cache;
+    if (spec.prefix_cache) {
+      method_cache = std::make_shared<lm::PrefixCache>(
+          static_cast<size_t>(spec.prefix_cache_capacity));
+      spec.shared_prefix_cache = method_cache;
+    }
+    serve_options.prefix_cache = method_cache;
     // Validate the spec once so the per-request factories cannot fail.
     MC_RETURN_IF_ERROR(MakeForecaster(spec).status());
     MethodSpec hedge_spec = spec;
@@ -428,8 +448,17 @@ Result<int> CmdServeSim(const FlagSet& flags, std::ostream& out) {
          StrFormat("%zu", summary.retry.retries),
          StrFormat("%zu", summary.retry.cancelled_calls),
          StrFormat("%zu", summary.retry.deadline_preempted)});
+    if (method_cache != nullptr) {
+      const lm::PrefixCacheStats& pc = summary.prefix_cache;
+      cache_lines.push_back(StrFormat(
+          "prefix-cache %s: %zu/%zu hits (%zu full), "
+          "%zu/%zu prompt tokens reused, %zu evictions",
+          name.c_str(), pc.hits(), pc.lookups, pc.full_hits,
+          pc.prompt_tokens_reused, pc.prompt_tokens_seen, pc.evictions));
+    }
   }
   out << table.Render();
+  for (const std::string& line : cache_lines) out << line << "\n";
   return 0;
 }
 
@@ -487,6 +516,10 @@ Result<std::unique_ptr<forecast::Forecaster>> MakeForecaster(
     opts.sax_segment_length = spec.sax_segment;
     opts.sax_alphabet_size = spec.sax_alphabet;
     opts.threads = spec.threads;
+    opts.prefix_cache = spec.prefix_cache;
+    opts.prefix_cache_capacity =
+        static_cast<size_t>(spec.prefix_cache_capacity);
+    opts.shared_prefix_cache = spec.shared_prefix_cache;
     return {std::make_unique<forecast::MultiCastForecaster>(opts)};
   };
   auto llmtime = [&]() -> std::unique_ptr<forecast::Forecaster> {
@@ -498,6 +531,10 @@ Result<std::unique_ptr<forecast::Forecaster>> MakeForecaster(
     opts.faults = faults;
     opts.resilience = resilience;
     opts.threads = spec.threads;
+    opts.prefix_cache = spec.prefix_cache;
+    opts.prefix_cache_capacity =
+        static_cast<size_t>(spec.prefix_cache_capacity);
+    opts.shared_prefix_cache = spec.shared_prefix_cache;
     return std::make_unique<forecast::LlmTimeForecaster>(opts);
   };
   // Wraps an LLM-path forecaster in the MultiCast -> LLMTime -> naive
@@ -577,7 +614,8 @@ std::string UsageText() {
       "            [--digits 2] [--sax alpha|digit] [--sax-segment 6]\n"
       "            [--sax-alphabet 5] [--profile llama2|phi2|ctw]\n"
       "            [--quantiles 0.1,0.9] [--seed 42] [--output out.csv]\n"
-      "            [--plot] [--threads 4]\n"
+      "            [--plot] [--threads 4] [--prefix-cache 0|1]\n"
+      "            [--prefix-cache-capacity 64]\n"
       "            chaos/resilience: [--chaos 0.2] [--chaos-seed N]\n"
       "            [--retries 3] [--redraws 4] [--fallback]\n"
       "  evaluate  --input feed.csv --horizon 12 [--folds 3] [--stride 12]\n"
@@ -591,8 +629,10 @@ std::string UsageText() {
       "            [--burst-duration 2] [--seed 42]\n"
       "            serving: [--queue-capacity 8] [--queue-order fifo|edf]\n"
       "            [--hedge-delay 0.5] [--drain T] [--drain-mode\n"
-      "            finish|cancel] [--threads 4] plus the chaos/resilience\n"
-      "            flags above\n"
+      "            finish|cancel] [--threads 4] [--prefix-cache 0|1]\n"
+      "            [--prefix-cache-capacity 64] plus the chaos/resilience\n"
+      "            flags above (one cache is shared per method, across\n"
+      "            requests)\n"
       "  help\n";
 }
 

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "forecast/forecaster.h"
+#include "lm/prefix_cache.h"
 #include "util/status.h"
 
 namespace multicast {
@@ -61,6 +62,15 @@ struct MethodSpec {
   /// loop (LLMTime). 1 = serial; higher counts change wall-clock time
   /// only — forecasts stay bit-identical.
   int threads = 1;
+  /// Prefix-cached decoding (--prefix-cache 0|1): observe each prompt
+  /// once, fork per draw. Forecasts stay bit-identical; only redundant
+  /// prompt replay work is removed.
+  bool prefix_cache = true;
+  /// LRU entry capacity of the cache (--prefix-cache-capacity).
+  int prefix_cache_capacity = 64;
+  /// Externally shared cache (serve-sim wires one across all requests of
+  /// a method); overrides per-forecaster cache creation when set.
+  std::shared_ptr<lm::PrefixCache> shared_prefix_cache;
 };
 
 Result<std::unique_ptr<forecast::Forecaster>> MakeForecaster(

@@ -13,7 +13,14 @@ namespace multicast {
 namespace forecast {
 
 LlmTimeForecaster::LlmTimeForecaster(const LlmTimeOptions& options)
-    : options_(options) {}
+    : options_(options) {
+  if (options_.shared_prefix_cache != nullptr) {
+    prefix_cache_ = options_.shared_prefix_cache;
+  } else if (options_.prefix_cache) {
+    prefix_cache_ =
+        std::make_shared<lm::PrefixCache>(options_.prefix_cache_capacity);
+  }
+}
 
 LlmTimeForecaster::~LlmTimeForecaster() = default;
 
@@ -57,6 +64,11 @@ Result<ForecastResult> LlmTimeForecaster::Forecast(const ts::Frame& history,
   // Parallelism lives at the dimension level here; the inner pipelines
   // sample serially so the pool is never waited on from inside itself.
   base.threads = 1;
+  // One cache across all dimensions and Forecast calls: the inner
+  // pipelines never build their own. PrefixCache is thread-safe, so
+  // concurrent dimension workers share it directly.
+  base.prefix_cache = false;
+  base.shared_prefix_cache = prefix_cache_;
 
   const size_t dims = history.num_dims();
   const double t0 = ctx.now();

@@ -11,6 +11,7 @@
 
 #include "forecast/forecaster.h"
 #include "lm/fault_injection.h"
+#include "lm/prefix_cache.h"
 #include "lm/profiles.h"
 #include "scale/scaler.h"
 #include "util/thread_pool.h"
@@ -43,6 +44,15 @@ struct LlmTimeOptions {
   /// dimension order, so the result is bit-identical at every thread
   /// count. Threads change wall-clock time only.
   int threads = 1;
+  /// Prefix-cached decoding, same semantics as
+  /// MultiCastOptions::prefix_cache. One cache is shared by all
+  /// per-dimension pipelines (and across Forecast calls), so dimensions
+  /// with equal serialized prompts — and rolling windows — reuse frozen
+  /// prompt states. Bit-identical output either way.
+  bool prefix_cache = true;
+  size_t prefix_cache_capacity = 64;
+  /// Externally shared cache; overrides `prefix_cache` when set.
+  std::shared_ptr<lm::PrefixCache> shared_prefix_cache;
 };
 
 /// Runs a univariate serialized forecast per dimension and stitches the
@@ -66,6 +76,12 @@ class LlmTimeForecaster final : public Forecaster {
 
   const LlmTimeOptions& options() const { return options_; }
 
+  /// The cache shared by every per-dimension pipeline; null when
+  /// disabled. Exposed for benches, serving stats and tests.
+  const std::shared_ptr<lm::PrefixCache>& prefix_cache() const {
+    return prefix_cache_;
+  }
+
  private:
   /// The per-dimension pool, created lazily on the first parallel
   /// forecast; null while options_.threads <= 1.
@@ -73,6 +89,7 @@ class LlmTimeForecaster final : public Forecaster {
 
   LlmTimeOptions options_;
   std::unique_ptr<ThreadPool> pool_;
+  std::shared_ptr<lm::PrefixCache> prefix_cache_;
 };
 
 }  // namespace forecast

@@ -25,18 +25,23 @@ lm::GrammarMask StructuredMask(const multiplex::Multiplexer& mux,
                                const std::vector<int>& widths,
                                const token::Vocabulary& vocab) {
   size_t cycle = mux.TokensPerTimestamp(widths);
-  std::vector<bool> separator_positions(cycle);
-  for (size_t p = 0; p < cycle; ++p) {
-    separator_positions[p] = mux.IsSeparatorPosition(p, widths);
-  }
   token::TokenId comma = vocab.CommaId().ValueOrDie();
   size_t vocab_size = vocab.size();
-  return [=](size_t step) {
-    bool want_comma = separator_positions[step % cycle];
+  // One shared immutable mask per cycle position, built once; declaring
+  // the period lets the decode loop stop calling the functor entirely.
+  std::vector<lm::GrammarMask::Shared> positions(cycle);
+  for (size_t p = 0; p < cycle; ++p) {
+    bool want_comma = mux.IsSeparatorPosition(p, widths);
     std::vector<bool> allowed(vocab_size, !want_comma);
     allowed[static_cast<size_t>(comma)] = want_comma;
-    return allowed;
-  };
+    positions[p] =
+        std::make_shared<const std::vector<bool>>(std::move(allowed));
+  }
+  return lm::GrammarMask(
+      [positions = std::move(positions), cycle](size_t step) {
+        return positions[step % cycle];
+      },
+      /*period=*/cycle);
 }
 
 // Builds the median point forecast and any requested quantile bands
@@ -117,13 +122,18 @@ struct BackendStack {
 
 BackendStack BuildDrawStack(const MultiCastOptions& options,
                             size_t vocab_size, VirtualClock* clock,
-                            lm::LlmBackend* external, uint64_t draw_index) {
+                            lm::LlmBackend* external, uint64_t draw_index,
+                            const std::shared_ptr<lm::PrefixCache>& cache) {
   BackendStack stack;
   if (external != nullptr) {
     stack.top = external;
   } else {
+    // The shared prefix cache is the one deliberate exception to
+    // "nothing shared across draws": it is internally synchronized and
+    // only ever hands out forks of immutable state, so draws stay
+    // isolated and bit-identical (see lm/prefix_cache.h).
     stack.base = std::make_unique<lm::SimulatedLlm>(options.profile,
-                                                    vocab_size);
+                                                    vocab_size, cache);
     stack.top = stack.base.get();
   }
   if (options.faults.any()) {
@@ -249,6 +259,10 @@ struct SampleLoopState {
   /// Shared serialized wrapper over an injected external backend; null
   /// when the forecast builds its own simulated base per draw.
   lm::LlmBackend* external = nullptr;
+  /// Shared prefix cache for the per-draw simulated backends, pre-warmed
+  /// with this forecast's prompt; null when caching is off or an
+  /// external backend is in play.
+  std::shared_ptr<lm::PrefixCache> cache;
   std::function<Status(const std::string& text, DrawOutcome* out)> parse;
   const char* salvage_noun = "timestamps";
 };
@@ -271,7 +285,7 @@ DrawOutcome RunDraw(const SampleLoopState& st, int draw_index, Rng rng,
   // observed at draw granularity by the merge loop instead.
   BackendStack stack =
       BuildDrawStack(*st.options, st.vocab->size(), &branch, st.external,
-                     static_cast<uint64_t>(draw_index));
+                     static_cast<uint64_t>(draw_index), st.cache);
   Result<SampleDraw> draw_or =
       DrawSample(stack.top, *st.prompt, st.tokens_needed, *st.mask, &rng,
                  *st.mux, *st.widths, *st.vocab, draw_ctx, &out.ledger);
@@ -468,6 +482,12 @@ const char* QuantizationName(Quantization q) {
 MultiCastForecaster::MultiCastForecaster(const MultiCastOptions& options)
     : options_(options) {
   options_.scaler.digits = options_.digits;
+  if (options_.shared_prefix_cache != nullptr) {
+    prefix_cache_ = options_.shared_prefix_cache;
+  } else if (options_.prefix_cache) {
+    prefix_cache_ =
+        std::make_shared<lm::PrefixCache>(options_.prefix_cache_capacity);
+  }
 }
 
 MultiCastForecaster::~MultiCastForecaster() = default;
@@ -575,6 +595,15 @@ Result<ForecastResult> MultiCastForecaster::ForecastRaw(
   st.widths = &widths;
   st.vocab = &vocab;
   st.external = external;
+  // Pre-warm the prompt's frozen state once before any draws fan out:
+  // every draw — serial or parallel — then forks the same full cache
+  // hit instead of racing to build it. External backends own their own
+  // state and are never cached here.
+  if (options_.backend == nullptr && prefix_cache_ != nullptr) {
+    st.cache = prefix_cache_;
+    lm::SimulatedLlm warmer(options_.profile, vocab.size(), st.cache);
+    MC_RETURN_IF_ERROR(warmer.WarmPrefix(prompt));
+  }
   st.salvage_noun = "timestamps";
   st.parse = [&mux, &widths, &params, dims, horizon](
                  const std::string& text, DrawOutcome* out) -> Status {
@@ -691,6 +720,12 @@ Result<ForecastResult> MultiCastForecaster::ForecastSax(
   st.widths = &widths;
   st.vocab = &vocab;
   st.external = external;
+  // Same pre-warm as the raw pipeline (see ForecastRaw).
+  if (options_.backend == nullptr && prefix_cache_ != nullptr) {
+    st.cache = prefix_cache_;
+    lm::SimulatedLlm warmer(options_.profile, vocab.size(), st.cache);
+    MC_RETURN_IF_ERROR(warmer.WarmPrefix(prompt));
+  }
   st.salvage_noun = "segments";
   st.parse = [&mux, &widths, &codecs, dims, horizon, segments_needed,
               segment_length](const std::string& text,

@@ -20,6 +20,7 @@
 
 #include "forecast/forecaster.h"
 #include "lm/fault_injection.h"
+#include "lm/prefix_cache.h"
 #include "lm/profiles.h"
 #include "multiplex/multiplexer.h"
 #include "sax/sax.h"
@@ -91,6 +92,23 @@ struct MultiCastOptions {
   /// order. Threads change wall-clock time only — virtual-time
   /// accounting always models the serial schedule.
   int threads = 1;
+  /// Prefix-cached decoding (lm/prefix_cache.h): the pipeline observes
+  /// each prompt once into a frozen model state and every draw forks a
+  /// copy-on-write session off it, instead of replaying the prompt
+  /// token-by-token per sample. Output is bit-identical with the cache
+  /// on or off at any thread count — only redundant replay work
+  /// disappears. Applies to the internally built SimulatedLlm only; an
+  /// externally injected `backend` owns its own state and is never
+  /// cached here.
+  bool prefix_cache = true;
+  /// Entry capacity of the internally owned cache (LRU beyond it). With
+  /// rolling-origin evaluation each window's prompt lands in one entry,
+  /// so the default comfortably covers a sweep.
+  size_t prefix_cache_capacity = 64;
+  /// Externally shared cache (one cache across serving requests, or
+  /// LLMTime's per-dimension pipelines). When set it is used regardless
+  /// of `prefix_cache` and the forecaster owns no cache of its own.
+  std::shared_ptr<lm::PrefixCache> shared_prefix_cache;
 };
 
 /// See file comment.
@@ -113,6 +131,13 @@ class MultiCastForecaster final : public Forecaster {
 
   const MultiCastOptions& options() const { return options_; }
 
+  /// The prefix cache in use (owned or shared); null when disabled.
+  /// Persists across Forecast() calls, so rolling windows reuse warmed
+  /// prompt states. Exposed for benches, serving stats and tests.
+  const std::shared_ptr<lm::PrefixCache>& prefix_cache() const {
+    return prefix_cache_;
+  }
+
  private:
   Result<ForecastResult> ForecastRaw(const ts::Frame& history, size_t horizon,
                                      const RequestContext& ctx);
@@ -125,6 +150,7 @@ class MultiCastForecaster final : public Forecaster {
 
   MultiCastOptions options_;
   std::unique_ptr<ThreadPool> pool_;
+  std::shared_ptr<lm::PrefixCache> prefix_cache_;
 };
 
 /// Aggregates `samples[s][t]` (s samples of an h-step forecast) into the

@@ -18,9 +18,13 @@
 #ifndef MULTICAST_LM_BACKEND_H_
 #define MULTICAST_LM_BACKEND_H_
 
+#include <cstddef>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "token/vocabulary.h"
@@ -46,10 +50,56 @@ struct TokenLedger {
   }
 };
 
-/// Per-position output constraint: returns the allowed-token mask for
+/// Per-position output constraint: yields the allowed-token mask for
 /// generation step `step` (0-based). This generalizes LLMTime's "only
 /// [0-9,]" restriction to the multiplexers' position grammars.
-using GrammarMask = std::function<std::vector<bool>(size_t step)>;
+///
+/// Masks are returned as shared immutable vectors so producers can hand
+/// out one precomputed mask per grammar position instead of copying a
+/// `vector<bool>` on every decode step. A `period()` of p > 0 declares
+/// the grammar cyclic — mask(step) == mask(step % p) — which lets
+/// decode loops evaluate one cycle up front and never call the mask
+/// functor again. period() == 0 means "unknown; query every step"
+/// (the behaviour of every pre-existing callable).
+class GrammarMask {
+ public:
+  using Mask = std::vector<bool>;
+  using Shared = std::shared_ptr<const Mask>;
+
+  GrammarMask() = default;
+
+  /// From a callable returning a Shared mask; `period` as documented
+  /// above (0 = unknown).
+  template <typename F,
+            std::enable_if_t<
+                std::is_invocable_r_v<Shared, F&, size_t> &&
+                    !std::is_same_v<std::decay_t<F>, GrammarMask>,
+                int> = 0>
+  GrammarMask(F fn, size_t period = 0)  // NOLINT(google-explicit-constructor)
+      : fn_(std::move(fn)), period_(period) {}
+
+  /// Legacy adapter: a callable returning the mask by value (the old
+  /// `std::function<std::vector<bool>(size_t)>` shape). Wrapped into a
+  /// per-call shared copy; period is unknown.
+  template <typename F,
+            std::enable_if_t<
+                !std::is_invocable_r_v<Shared, F&, size_t> &&
+                    std::is_invocable_r_v<Mask, F&, size_t> &&
+                    !std::is_same_v<std::decay_t<F>, GrammarMask>,
+                int> = 0>
+  GrammarMask(F fn)  // NOLINT(google-explicit-constructor)
+      : fn_([f = std::move(fn)](size_t step) mutable {
+          return std::make_shared<const Mask>(f(step));
+        }) {}
+
+  Shared operator()(size_t step) const { return fn_(step); }
+  explicit operator bool() const { return static_cast<bool>(fn_); }
+  size_t period() const { return period_; }
+
+ private:
+  std::function<Shared(size_t)> fn_;
+  size_t period_ = 0;
+};
 
 /// A mask allowing every token of a `vocab_size` vocabulary.
 GrammarMask AllowAll(size_t vocab_size);

@@ -1,6 +1,8 @@
 #include "lm/generator.h"
 
+#include <algorithm>
 #include <memory>
+#include <utility>
 
 #include "lm/mixture_model.h"
 #include "lm/ngram_model.h"
@@ -10,17 +12,33 @@ namespace multicast {
 namespace lm {
 
 GrammarMask AllowAll(size_t vocab_size) {
-  std::vector<bool> mask(vocab_size, true);
-  return [mask](size_t) { return mask; };
+  // One shared immutable mask, handed out by reference on every step —
+  // never copied per invocation. Period 1: the grammar is constant.
+  auto mask = std::make_shared<const std::vector<bool>>(vocab_size, true);
+  return GrammarMask([mask](size_t) { return mask; }, /*period=*/1);
 }
 
-SimulatedLlm::SimulatedLlm(const ModelProfile& profile, size_t vocab_size)
-    : profile_(profile), vocab_size_(vocab_size) {}
+SimulatedLlm::SimulatedLlm(const ModelProfile& profile, size_t vocab_size,
+                           std::shared_ptr<PrefixCache> prefix_cache)
+    : profile_(profile),
+      vocab_size_(vocab_size),
+      cache_(std::move(prefix_cache)),
+      fingerprint_(ModelFingerprint(profile_, vocab_size_)) {}
 
-Result<GenerationResult> SimulatedLlm::Complete(
-    const std::vector<token::TokenId>& prompt, size_t num_tokens,
-    const GrammarMask& mask, Rng* rng, const CallOptions& call) {
-  (void)call;  // the clean simulated decoder never misses a deadline
+std::unique_ptr<LanguageModel> SimulatedLlm::NewModel() const {
+  switch (profile_.backend) {
+    case BackendKind::kNGram:
+      return std::make_unique<NGramLanguageModel>(vocab_size_,
+                                                  profile_.ngram);
+    case BackendKind::kMixture:
+      return std::make_unique<MixtureLanguageModel>(vocab_size_,
+                                                    profile_.mixture);
+  }
+  return nullptr;
+}
+
+Status SimulatedLlm::ValidatePrompt(
+    const std::vector<token::TokenId>& prompt) const {
   if (prompt.empty()) {
     return Status::InvalidArgument("empty prompt");
   }
@@ -31,33 +49,66 @@ Result<GenerationResult> SimulatedLlm::Complete(
                     vocab_size_));
     }
   }
+  return Status::OK();
+}
+
+Status SimulatedLlm::WarmPrefix(const std::vector<token::TokenId>& prompt) {
+  if (cache_ == nullptr) return Status::OK();
+  MC_RETURN_IF_ERROR(ValidatePrompt(prompt));
+  cache_->Warm(fingerprint_, prompt, [this] { return NewModel(); });
+  return Status::OK();
+}
+
+Result<GenerationResult> SimulatedLlm::Complete(
+    const std::vector<token::TokenId>& prompt, size_t num_tokens,
+    const GrammarMask& mask, Rng* rng, const CallOptions& call) {
+  (void)call;  // the clean simulated decoder never misses a deadline
+  MC_RETURN_IF_ERROR(ValidatePrompt(prompt));
 
   std::unique_ptr<LanguageModel> model;
-  switch (profile_.backend) {
-    case BackendKind::kNGram:
-      model = std::make_unique<NGramLanguageModel>(vocab_size_,
-                                                   profile_.ngram);
-      break;
-    case BackendKind::kMixture:
-      model = std::make_unique<MixtureLanguageModel>(vocab_size_,
-                                                     profile_.mixture);
-      break;
+  if (cache_ != nullptr) {
+    model = cache_->AcquireSession(fingerprint_, prompt,
+                                   [this] { return NewModel(); });
+  } else {
+    model = NewModel();
+    for (token::TokenId id : prompt) model->Observe(id);
   }
-  for (token::TokenId id : prompt) model->Observe(id);
 
   GenerationResult result;
+  // The logical prompt size, cached or not: the ledger counts what the
+  // call conditioned on, so resilience/serving accounting is identical
+  // with the cache on or off. Replay savings live in PrefixCacheStats.
   result.ledger.prompt_tokens = prompt.size();
   result.tokens.reserve(num_tokens);
+
+  // Hoist the grammar: a periodic mask is evaluated once per cycle
+  // position up front instead of once per generated token.
+  const size_t period = mask.period();
+  std::vector<GrammarMask::Shared> cycle;
+  if (period > 0) {
+    cycle.reserve(std::min(period, num_tokens));
+    for (size_t p = 0; p < period && p < num_tokens; ++p) {
+      cycle.push_back(mask(p));
+      if (cycle.back()->size() != vocab_size_) {
+        return Status::InvalidArgument(
+            StrFormat("grammar mask has %zu entries for vocabulary of %zu",
+                      cycle.back()->size(), vocab_size_));
+      }
+    }
+  }
+
+  std::vector<double> probs;
   for (size_t step = 0; step < num_tokens; ++step) {
-    std::vector<bool> allowed = mask(step);
-    if (allowed.size() != vocab_size_) {
+    GrammarMask::Shared allowed =
+        period > 0 ? cycle[step % period] : mask(step);
+    if (period == 0 && allowed->size() != vocab_size_) {
       return Status::InvalidArgument(
           StrFormat("grammar mask has %zu entries for vocabulary of %zu",
-                    allowed.size(), vocab_size_));
+                    allowed->size(), vocab_size_));
     }
-    std::vector<double> probs = model->NextDistribution();
+    model->NextDistribution(&probs);
     MC_ASSIGN_OR_RETURN(token::TokenId next,
-                        SampleToken(probs, allowed, profile_.sampler, rng));
+                        SampleToken(probs, *allowed, profile_.sampler, rng));
     result.tokens.push_back(next);
     // Sampled tokens become context, exactly as in KV-cached decoding.
     model->Observe(next);

@@ -3,11 +3,13 @@
 #ifndef MULTICAST_LM_GENERATOR_H_
 #define MULTICAST_LM_GENERATOR_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "lm/backend.h"
 #include "lm/language_model.h"
+#include "lm/prefix_cache.h"
 #include "lm/profiles.h"
 #include "util/random.h"
 #include "util/status.h"
@@ -22,10 +24,20 @@ namespace lm {
 /// state leaks between calls) and `num_tokens` constrained tokens are
 /// sampled autoregressively. This is the always-healthy leaf of the
 /// backend stack; failure modes are layered on by FaultInjectingBackend.
+///
+/// With a PrefixCache attached, "fresh decoding session" is implemented
+/// as a copy-on-write fork of a cached frozen prompt state instead of a
+/// full prompt replay — bit-identical output (the zero-shot contract is
+/// preserved: forks never see each other's tokens), minus the redundant
+/// ingestion work. The cache may be shared across SimulatedLlm instances
+/// and threads.
 class SimulatedLlm final : public LlmBackend {
  public:
   /// `vocab_size` must match the vocabulary the prompt was encoded with.
-  SimulatedLlm(const ModelProfile& profile, size_t vocab_size);
+  /// `prefix_cache` may be null (every call then replays its prompt) and
+  /// is not owned exclusively: any number of backends can share one.
+  SimulatedLlm(const ModelProfile& profile, size_t vocab_size,
+               std::shared_ptr<PrefixCache> prefix_cache = nullptr);
 
   std::string name() const override { return profile_.name; }
   size_t vocab_size() const override { return vocab_size_; }
@@ -39,11 +51,24 @@ class SimulatedLlm final : public LlmBackend {
                                     Rng* rng,
                                     const CallOptions& call) override;
 
+  /// Builds the cache entry for `prompt` ahead of time, so subsequent
+  /// Complete() calls (from any thread) fork it instead of racing to
+  /// build it. No-op without a cache.
+  Status WarmPrefix(const std::vector<token::TokenId>& prompt);
+
   const ModelProfile& profile() const { return profile_; }
+  const std::shared_ptr<PrefixCache>& prefix_cache() const { return cache_; }
 
  private:
+  /// Empty decode model for this profile.
+  std::unique_ptr<LanguageModel> NewModel() const;
+  Status ValidatePrompt(const std::vector<token::TokenId>& prompt) const;
+
   ModelProfile profile_;
   size_t vocab_size_;
+  std::shared_ptr<PrefixCache> cache_;
+  /// Cache-key namespace; see ModelFingerprint in lm/profiles.h.
+  uint64_t fingerprint_ = 0;
 };
 
 }  // namespace lm

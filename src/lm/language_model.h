@@ -7,10 +7,18 @@
 // Observe for each generated token. Implementations are *zero-shot* in
 // the paper's sense: they carry no weights trained on the evaluation
 // horizon; all conditioning comes from the observed context.
+//
+// Freeze()/Fork() are the simulated analogue of KV/prefix caching: a
+// model that has observed a prompt can be frozen into an immutable,
+// shareable base state, and each decode session forks a cheap
+// copy-on-write overlay on top of it. A fork fed the same tokens as a
+// fresh model produces bit-identical distributions — caching removes
+// redundant prompt replay, never changes output (see lm/prefix_cache.h).
 
 #ifndef MULTICAST_LM_LANGUAGE_MODEL_H_
 #define MULTICAST_LM_LANGUAGE_MODEL_H_
 
+#include <memory>
 #include <vector>
 
 #include "token/vocabulary.h"
@@ -23,20 +31,49 @@ class LanguageModel {
  public:
   virtual ~LanguageModel() = default;
 
-  /// Clears all context (start of a fresh prompt).
+  /// Clears all context (start of a fresh prompt). On a frozen model
+  /// this also drops the frozen base: the model becomes empty & mutable.
   virtual void Reset() = 0;
 
-  /// Consumes one token of context (prompt or previously sampled output).
+  /// Consumes one token of context (prompt or previously sampled
+  /// output). Calling Observe on a frozen model is a programming error.
   virtual void Observe(token::TokenId id) = 0;
 
   /// Probability of each vocabulary token following the observed context.
   /// The returned vector has vocab_size() entries summing to 1.
   virtual std::vector<double> NextDistribution() const = 0;
 
+  /// In-place variant: writes the distribution into `*out` (resized to
+  /// vocab_size()), letting decode loops reuse one buffer across steps
+  /// instead of allocating per token. Bit-identical to the allocating
+  /// overload. The default adapter funnels through it.
+  virtual void NextDistribution(std::vector<double>* out) const {
+    *out = NextDistribution();
+  }
+
   virtual size_t vocab_size() const = 0;
 
   /// Number of tokens observed since the last Reset().
   virtual size_t context_length() const = 0;
+
+  /// True when this implementation supports Freeze()/Fork(). Models
+  /// that do not are simply never cached by a PrefixCache.
+  virtual bool SupportsFork() const { return false; }
+
+  /// Makes the current state immutable and shareable: all accumulated
+  /// context becomes a frozen base that any number of Fork() sessions
+  /// (and threads) may read concurrently. Idempotent. Observe() after
+  /// Freeze() is a checked error; Reset() un-freezes into an empty
+  /// model.
+  virtual void Freeze() {}
+
+  virtual bool frozen() const { return false; }
+
+  /// Returns a new mutable decode session layered copy-on-write over
+  /// this model's frozen state: the fork starts with exactly this
+  /// model's context and records only what it observes itself. Requires
+  /// Freeze() first. Null when SupportsFork() is false.
+  virtual std::unique_ptr<LanguageModel> Fork() const { return nullptr; }
 };
 
 }  // namespace lm

@@ -11,6 +11,8 @@ namespace lm {
 namespace {
 constexpr int kBitsPerToken = 5;
 constexpr int kMaxSupportedDepth = 12;
+// See ngram_model.cc: compaction bound for long fork chains.
+constexpr size_t kMaxBaseLayers = 4;
 }  // namespace
 
 MixtureLanguageModel::MixtureLanguageModel(size_t vocab_size,
@@ -23,15 +25,17 @@ MixtureLanguageModel::MixtureLanguageModel(size_t vocab_size,
   MC_CHECK(options_.prior_self_weight > 0.0 &&
            options_.prior_self_weight < 1.0);
   MC_CHECK(options_.uniform_mix >= 0.0 && options_.uniform_mix < 1.0);
-  nodes_.resize(static_cast<size_t>(options_.max_depth) + 1);
-  depth_log_odds_.assign(nodes_.size(), 0.0);
+  local_.nodes.resize(static_cast<size_t>(options_.max_depth) + 1);
+  depth_log_odds_.assign(local_.nodes.size(), 0.0);
 }
 
 void MixtureLanguageModel::Reset() {
   observed_ = 0;
   recent_.clear();
-  for (auto& table : nodes_) table.clear();
-  depth_log_odds_.assign(nodes_.size(), 0.0);
+  base_.clear();
+  for (auto& table : local_.nodes) table.clear();
+  depth_log_odds_.assign(local_.nodes.size(), 0.0);
+  frozen_ = false;
 }
 
 uint64_t MixtureLanguageModel::PackContext(int depth) const {
@@ -54,36 +58,67 @@ double MixtureLanguageModel::KtProb(const Node& node, size_t symbol) const {
   return num / den;
 }
 
-std::vector<double> MixtureLanguageModel::MixturePath(
-    std::vector<uint64_t>* keys) const {
+const MixtureLanguageModel::Node* MixtureLanguageModel::FindFrozen(
+    size_t depth, uint64_t key) const {
+  for (auto it = base_.rbegin(); it != base_.rend(); ++it) {
+    const Table& table = (*it)->nodes[depth];
+    auto found = table.find(key);
+    if (found != table.end()) return &found->second;
+  }
+  return nullptr;
+}
+
+const MixtureLanguageModel::Node* MixtureLanguageModel::FindNode(
+    size_t depth, uint64_t key) const {
+  const Table& table = local_.nodes[depth];
+  auto found = table.find(key);
+  if (found != table.end()) return &found->second;
+  return FindFrozen(depth, key);
+}
+
+std::pair<MixtureLanguageModel::Node*, bool> MixtureLanguageModel::MutableNode(
+    size_t depth, uint64_t key) {
+  auto [it, inserted] = local_.nodes[depth].try_emplace(key);
+  if (inserted) {
+    // Copy-on-first-touch: an existing frozen node is copied into the
+    // overlay, making this an update of an existing node, not a fresh
+    // one — identical to the monolithic model's behaviour.
+    if (const Node* under = FindFrozen(depth, key)) {
+      it->second = *under;
+      return {&it->second, false};
+    }
+    return {&it->second, true};
+  }
+  return {&it->second, false};
+}
+
+void MixtureLanguageModel::MixturePath(std::vector<double>* mix,
+                                       std::vector<uint64_t>* keys) const {
   if (keys != nullptr) keys->clear();
-  std::vector<double> mix(vocab_size_,
-                          1.0 / static_cast<double>(vocab_size_));
+  mix->assign(vocab_size_, 1.0 / static_cast<double>(vocab_size_));
   int max_depth = static_cast<int>(
-      std::min<size_t>(recent_.size(), nodes_.size() - 1));
+      std::min<size_t>(recent_.size(), local_.nodes.size() - 1));
   for (int d = 0; d <= max_depth; ++d) {
     uint64_t key = PackContext(d);
     if (keys != nullptr) keys->push_back(key);
-    const auto& table = nodes_[static_cast<size_t>(d)];
-    auto it = table.find(key);
-    if (it == table.end()) continue;  // unseen context: defer to shallower
-    const Node& node = it->second;
+    const Node* node = FindNode(static_cast<size_t>(d), key);
+    if (node == nullptr) continue;  // unseen context: defer to shallower
     double odds = std::exp(std::clamp(
-        node.log_self_odds + depth_log_odds_[static_cast<size_t>(d)],
+        node->log_self_odds + depth_log_odds_[static_cast<size_t>(d)],
         -30.0, 30.0));
     double w = odds / (1.0 + odds);
     for (size_t s = 0; s < vocab_size_; ++s) {
-      mix[s] = w * KtProb(node, s) + (1.0 - w) * mix[s];
+      (*mix)[s] = w * KtProb(*node, s) + (1.0 - w) * (*mix)[s];
     }
   }
-  return mix;
 }
 
 void MixtureLanguageModel::Observe(token::TokenId id) {
+  MC_CHECK(!frozen_);  // Fork() a session instead of mutating a frozen base.
   MC_CHECK(id >= 0 && static_cast<size_t>(id) < vocab_size_);
   const size_t symbol = static_cast<size_t>(id);
   int max_depth = static_cast<int>(
-      std::min<size_t>(recent_.size(), nodes_.size() - 1));
+      std::min<size_t>(recent_.size(), local_.nodes.size() - 1));
 
   // 1. Pre-update predictive probabilities of `symbol` at every depth:
   // shallow[d] is the full mixture up to depth d, own[d] the node's KT.
@@ -95,14 +130,12 @@ void MixtureLanguageModel::Observe(token::TokenId id) {
                                    (1.0 - options_.prior_self_weight));
   for (int d = 0; d <= max_depth; ++d) {
     keys[d] = PackContext(d);
-    auto& table = nodes_[static_cast<size_t>(d)];
-    auto it = table.find(keys[d]);
+    const Node* node = FindNode(static_cast<size_t>(d), keys[d]);
     mix_below[d] = running;  // mixture of depths < d at `symbol`
-    if (it != table.end()) {
-      const Node& node = it->second;
-      own[d] = KtProb(node, symbol);
+    if (node != nullptr) {
+      own[d] = KtProb(*node, symbol);
       double odds = std::exp(std::clamp(
-          node.log_self_odds + depth_log_odds_[static_cast<size_t>(d)],
+          node->log_self_odds + depth_log_odds_[static_cast<size_t>(d)],
           -30.0, 30.0));
       double w = odds / (1.0 + odds);
       running = w * own[d] + (1.0 - w) * running;
@@ -116,23 +149,21 @@ void MixtureLanguageModel::Observe(token::TokenId id) {
   // likelihood ratio of "my estimator" vs "the shallower mixture"),
   // then count updates.
   for (int d = 0; d <= max_depth; ++d) {
-    auto& table = nodes_[static_cast<size_t>(d)];
-    auto [it, inserted] = table.try_emplace(keys[d]);
-    Node& node = it->second;
-    if (inserted) {
-      node.counts.assign(vocab_size_, 0);
-      node.log_self_odds = prior_log_odds;
+    auto [node, fresh] = MutableNode(static_cast<size_t>(d), keys[d]);
+    if (fresh) {
+      node->counts.assign(vocab_size_, 0);
+      node->log_self_odds = prior_log_odds;
     }
     double llr = std::log(own[d]) - std::log(mix_below[d]);
-    node.log_self_odds += llr;
+    node->log_self_odds += llr;
     // Clamp so a long stretch of wins cannot freeze the weight forever.
-    node.log_self_odds = std::clamp(node.log_self_odds, -30.0, 30.0);
+    node->log_self_odds = std::clamp(node->log_self_odds, -30.0, 30.0);
     depth_log_odds_[static_cast<size_t>(d)] = std::clamp(
         depth_log_odds_[static_cast<size_t>(d)] +
             options_.depth_learning_rate * llr,
         -30.0, 30.0);
-    ++node.counts[symbol];
-    ++node.total;
+    ++node->counts[symbol];
+    ++node->total;
   }
 
   recent_.push_back(id);
@@ -147,8 +178,9 @@ void MixtureLanguageModel::ObserveAll(
   for (token::TokenId id : ids) Observe(id);
 }
 
-std::vector<double> MixtureLanguageModel::NextDistribution() const {
-  std::vector<double> probs = MixturePath(nullptr);
+void MixtureLanguageModel::NextDistribution(std::vector<double>* out) const {
+  MixturePath(out, nullptr);
+  std::vector<double>& probs = *out;
   if (options_.uniform_mix > 0.0) {
     double u = options_.uniform_mix / static_cast<double>(vocab_size_);
     for (double& p : probs) {
@@ -158,12 +190,71 @@ std::vector<double> MixtureLanguageModel::NextDistribution() const {
   double sum = 0.0;
   for (double p : probs) sum += p;
   for (double& p : probs) p /= sum;
+}
+
+std::vector<double> MixtureLanguageModel::NextDistribution() const {
+  std::vector<double> probs;
+  NextDistribution(&probs);
   return probs;
+}
+
+void MixtureLanguageModel::Freeze() {
+  if (frozen_) return;
+  frozen_ = true;
+  bool local_nonempty = false;
+  for (const Table& table : local_.nodes) {
+    if (!table.empty()) {
+      local_nonempty = true;
+      break;
+    }
+  }
+  if (local_nonempty) {
+    auto frozen = std::make_shared<Layer>(std::move(local_));
+    local_ = Layer{};
+    local_.nodes.resize(static_cast<size_t>(options_.max_depth) + 1);
+    base_.push_back(std::move(frozen));
+  }
+  if (base_.size() > kMaxBaseLayers) {
+    // Compact bottom-up so newest entries win; live forks keep their
+    // own shared_ptrs to the old layers.
+    auto merged = std::make_shared<Layer>();
+    merged->nodes.resize(static_cast<size_t>(options_.max_depth) + 1);
+    for (const auto& layer : base_) {
+      for (size_t d = 0; d < layer->nodes.size(); ++d) {
+        for (const auto& [key, node] : layer->nodes[d]) {
+          merged->nodes[d][key] = node;
+        }
+      }
+    }
+    base_.clear();
+    base_.push_back(std::move(merged));
+  }
+}
+
+std::unique_ptr<LanguageModel> MixtureLanguageModel::Fork() const {
+  MC_CHECK(frozen_);  // Freeze() before forking decode sessions.
+  auto fork = std::make_unique<MixtureLanguageModel>(vocab_size_, options_);
+  fork->observed_ = observed_;
+  fork->recent_ = recent_;
+  fork->base_ = base_;
+  fork->depth_log_odds_ = depth_log_odds_;
+  return fork;
 }
 
 size_t MixtureLanguageModel::num_nodes() const {
   size_t n = 0;
-  for (const auto& table : nodes_) n += table.size();
+  for (size_t d = 0; d < local_.nodes.size(); ++d) {
+    std::unordered_map<uint64_t, const Node*> effective;
+    for (const auto& layer : base_) {
+      for (const auto& [key, node] : layer->nodes[d]) {
+        effective[key] = &node;
+      }
+    }
+    for (const auto& [key, node] : local_.nodes[d]) {
+      effective[key] = &node;
+    }
+    n += effective.size();
+  }
   return n;
 }
 

@@ -11,13 +11,20 @@
 // Weighting (Willems–Shtarkov–Tjalkens) evaluated on the context path,
 // and adapts the effective context length per position instead of
 // globally.
+//
+// Node tables are layered for Freeze()/Fork() exactly like the n-gram
+// model (see ngram_model.h): frozen layers shared by reference, one
+// private overlay per session, copy-on-first-touch per context key. The
+// shared per-depth log-odds vector is tiny and copied whole on fork.
 
 #ifndef MULTICAST_LM_MIXTURE_MODEL_H_
 #define MULTICAST_LM_MIXTURE_MODEL_H_
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "lm/language_model.h"
@@ -51,13 +58,23 @@ class MixtureLanguageModel final : public LanguageModel {
   void Reset() override;
   void Observe(token::TokenId id) override;
   std::vector<double> NextDistribution() const override;
+  void NextDistribution(std::vector<double>* out) const override;
   size_t vocab_size() const override { return vocab_size_; }
   size_t context_length() const override { return observed_; }
 
+  bool SupportsFork() const override { return true; }
+  void Freeze() override;
+  bool frozen() const override { return frozen_; }
+  std::unique_ptr<LanguageModel> Fork() const override;
+
   void ObserveAll(const std::vector<token::TokenId>& ids);
 
-  /// Number of context nodes materialized so far.
+  /// Number of context nodes materialized so far, in the effective
+  /// (layer-merged) view.
   size_t num_nodes() const;
+
+  /// Number of frozen base layers under this session (tests only).
+  size_t num_base_layers() const { return base_.size(); }
 
  private:
   struct Node {
@@ -67,6 +84,14 @@ class MixtureLanguageModel final : public LanguageModel {
     /// mixture at its depth (log-domain odds vs the shallower mixture).
     double log_self_odds = 0.0;
   };
+  using Table = std::unordered_map<uint64_t, Node>;
+
+  // One copy-on-write level: nodes[d] maps packed depth-d contexts to
+  // their node. Overlay entries shadow frozen ones (copied on first
+  // touch, so always complete).
+  struct Layer {
+    std::vector<Table> nodes;
+  };
 
   // Packs the most recent `depth` tokens into a 64-bit key (5 bits per
   // token, depth tag disambiguates).
@@ -75,18 +100,30 @@ class MixtureLanguageModel final : public LanguageModel {
   // KT predictive probability of `symbol` at `node`.
   double KtProb(const Node& node, size_t symbol) const;
 
-  // Walks the context path computing the mixture distribution; also
-  // returns the per-depth node keys so Observe can update them.
-  std::vector<double> MixturePath(std::vector<uint64_t>* keys) const;
+  // Topmost frozen-layer node for a key, or null.
+  const Node* FindFrozen(size_t depth, uint64_t key) const;
+  // Effective node (overlay first, then frozen), or null.
+  const Node* FindNode(size_t depth, uint64_t key) const;
+  // Writable overlay node; `second` is true when the node is logically
+  // fresh (absent from overlay *and* every frozen layer).
+  std::pair<Node*, bool> MutableNode(size_t depth, uint64_t key);
+
+  // Walks the context path computing the mixture distribution in-place;
+  // also returns the per-depth node keys so Observe can update them.
+  void MixturePath(std::vector<double>* mix, std::vector<uint64_t>* keys) const;
 
   size_t vocab_size_;
   MixtureOptions options_;
   size_t observed_ = 0;
   std::deque<token::TokenId> recent_;
-  // nodes_[d] maps packed depth-d contexts to their node.
-  std::vector<std::unordered_map<uint64_t, Node>> nodes_;
+  // Frozen base layers, bottom to top; shared read-only with every fork.
+  std::vector<std::shared_ptr<const Layer>> base_;
+  // This session's private overlay.
+  Layer local_;
   // Shared log-odds component per depth (see depth_learning_rate).
+  // Per-session state: copied, not shared, on fork.
   std::vector<double> depth_log_odds_;
+  bool frozen_ = false;
 };
 
 }  // namespace lm

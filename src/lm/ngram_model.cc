@@ -1,5 +1,6 @@
 #include "lm/ngram_model.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/status.h"
@@ -10,6 +11,10 @@ namespace lm {
 namespace {
 constexpr int kBitsPerToken = 5;
 constexpr int kMaxSupportedOrder = 12;
+// Frozen layers a fork chain may accumulate before Freeze() compacts
+// them into one; bounds the per-lookup layer walk for long chains
+// (e.g. rolling windows forked off forked prefixes).
+constexpr size_t kMaxBaseLayers = 4;
 }  // namespace
 
 NGramLanguageModel::NGramLanguageModel(size_t vocab_size,
@@ -20,13 +25,15 @@ NGramLanguageModel::NGramLanguageModel(size_t vocab_size,
            options_.max_order <= kMaxSupportedOrder);
   MC_CHECK(options_.backoff_boost >= 0.0);
   MC_CHECK(options_.uniform_mix >= 0.0 && options_.uniform_mix < 1.0);
-  counts_.resize(static_cast<size_t>(options_.max_order) + 1);
+  local_.counts.resize(static_cast<size_t>(options_.max_order) + 1);
 }
 
 void NGramLanguageModel::Reset() {
   observed_ = 0;
   recent_.clear();
-  for (auto& table : counts_) table.clear();
+  base_.clear();
+  for (auto& table : local_.counts) table.clear();
+  frozen_ = false;
 }
 
 uint64_t NGramLanguageModel::PackContext(int order) const {
@@ -41,14 +48,47 @@ uint64_t NGramLanguageModel::PackContext(int order) const {
   return key;
 }
 
+const NGramLanguageModel::ContextCounts* NGramLanguageModel::FindFrozen(
+    size_t order, uint64_t key) const {
+  for (auto it = base_.rbegin(); it != base_.rend(); ++it) {
+    const Table& table = (*it)->counts[order];
+    auto found = table.find(key);
+    if (found != table.end()) return &found->second;
+  }
+  return nullptr;
+}
+
+const NGramLanguageModel::ContextCounts* NGramLanguageModel::FindEntry(
+    size_t order, uint64_t key) const {
+  const Table& table = local_.counts[order];
+  auto found = table.find(key);
+  if (found != table.end()) return &found->second;
+  return FindFrozen(order, key);
+}
+
+NGramLanguageModel::ContextCounts& NGramLanguageModel::MutableEntry(
+    size_t order, uint64_t key) {
+  auto [it, inserted] = local_.counts[order].try_emplace(key);
+  if (inserted) {
+    // Copy-on-first-touch: seed the overlay entry with the frozen view
+    // so its counters equal what a monolithic model would hold.
+    if (const ContextCounts* under = FindFrozen(order, key)) {
+      it->second = *under;
+    }
+  }
+  return it->second;
+}
+
 void NGramLanguageModel::Observe(token::TokenId id) {
+  MC_CHECK(!frozen_);  // Fork() a session instead of mutating a frozen base.
   MC_CHECK(id >= 0 && static_cast<size_t>(id) < vocab_size_);
   // Record `id` as the continuation of every context order that is fully
   // available in the window (order 0 = unigram always is).
   int max_ctx = static_cast<int>(
-      std::min<size_t>(recent_.size(), counts_.size() - 1));
+      std::min<size_t>(recent_.size(), local_.counts.size() - 1));
   for (int order = 0; order <= max_ctx; ++order) {
-    auto& entry = counts_[static_cast<size_t>(order)][PackContext(order)];
+    ContextCounts& entry =
+        MutableEntry(static_cast<size_t>(order), PackContext(order));
     if (entry.next.empty()) entry.next.assign(vocab_size_, 0);
     if (entry.next[static_cast<size_t>(id)] == 0) ++entry.types;
     ++entry.next[static_cast<size_t>(id)];
@@ -65,23 +105,23 @@ void NGramLanguageModel::ObserveAll(const std::vector<token::TokenId>& ids) {
   for (token::TokenId id : ids) Observe(id);
 }
 
-std::vector<double> NGramLanguageModel::NextDistribution() const {
+void NGramLanguageModel::NextDistribution(std::vector<double>* out) const {
   // Interpolated Witten–Bell, built bottom-up: start from uniform, then
   // for each order k with counts, blend
   //   P_k(w) = (c(h_k, w) + (T(h_k) + boost) * P_{k-1}(w))
   //            / (c(h_k) + T(h_k) + boost).
-  std::vector<double> probs(vocab_size_, 1.0 / static_cast<double>(vocab_size_));
+  std::vector<double>& probs = *out;
+  probs.assign(vocab_size_, 1.0 / static_cast<double>(vocab_size_));
   int max_ctx = static_cast<int>(
-      std::min<size_t>(recent_.size(), counts_.size() - 1));
+      std::min<size_t>(recent_.size(), local_.counts.size() - 1));
   for (int order = 0; order <= max_ctx; ++order) {
-    const auto& table = counts_[static_cast<size_t>(order)];
-    auto it = table.find(PackContext(order));
-    if (it == table.end() || it->second.total == 0) continue;
-    const ContextCounts& cc = it->second;
-    double lambda = static_cast<double>(cc.types) + options_.backoff_boost;
-    double denom = static_cast<double>(cc.total) + lambda;
+    const ContextCounts* cc =
+        FindEntry(static_cast<size_t>(order), PackContext(order));
+    if (cc == nullptr || cc->total == 0) continue;
+    double lambda = static_cast<double>(cc->types) + options_.backoff_boost;
+    double denom = static_cast<double>(cc->total) + lambda;
     for (size_t w = 0; w < vocab_size_; ++w) {
-      probs[w] = (static_cast<double>(cc.next[w]) + lambda * probs[w]) / denom;
+      probs[w] = (static_cast<double>(cc->next[w]) + lambda * probs[w]) / denom;
     }
   }
 
@@ -96,15 +136,73 @@ std::vector<double> NGramLanguageModel::NextDistribution() const {
   double sum = 0.0;
   for (double p : probs) sum += p;
   for (double& p : probs) p /= sum;
+}
+
+std::vector<double> NGramLanguageModel::NextDistribution() const {
+  std::vector<double> probs;
+  NextDistribution(&probs);
   return probs;
+}
+
+void NGramLanguageModel::Freeze() {
+  if (frozen_) return;
+  frozen_ = true;
+  bool local_nonempty = false;
+  for (const Table& table : local_.counts) {
+    if (!table.empty()) {
+      local_nonempty = true;
+      break;
+    }
+  }
+  if (local_nonempty) {
+    auto frozen = std::make_shared<Layer>(std::move(local_));
+    local_ = Layer{};
+    local_.counts.resize(static_cast<size_t>(options_.max_order) + 1);
+    base_.push_back(std::move(frozen));
+  }
+  if (base_.size() > kMaxBaseLayers) {
+    // Compact: merge bottom-up so topmost (newest) entries win. Forks
+    // taken before this point keep their own shared_ptrs to the old
+    // layers, so compaction never invalidates live sessions.
+    auto merged = std::make_shared<Layer>();
+    merged->counts.resize(static_cast<size_t>(options_.max_order) + 1);
+    for (const auto& layer : base_) {
+      for (size_t order = 0; order < layer->counts.size(); ++order) {
+        for (const auto& [key, cc] : layer->counts[order]) {
+          merged->counts[order][key] = cc;
+        }
+      }
+    }
+    base_.clear();
+    base_.push_back(std::move(merged));
+  }
+}
+
+std::unique_ptr<LanguageModel> NGramLanguageModel::Fork() const {
+  MC_CHECK(frozen_);  // Freeze() before forking decode sessions.
+  auto fork = std::make_unique<NGramLanguageModel>(vocab_size_, options_);
+  fork->observed_ = observed_;
+  fork->recent_ = recent_;
+  fork->base_ = base_;
+  return fork;
 }
 
 size_t NGramLanguageModel::num_entries() const {
   size_t n = 0;
-  for (const auto& table : counts_) {
-    for (const auto& [key, cc] : table) {
+  for (size_t order = 0; order < local_.counts.size(); ++order) {
+    // Effective view: topmost layer wins per key.
+    std::unordered_map<uint64_t, const ContextCounts*> effective;
+    for (const auto& layer : base_) {
+      for (const auto& [key, cc] : layer->counts[order]) {
+        effective[key] = &cc;
+      }
+    }
+    for (const auto& [key, cc] : local_.counts[order]) {
+      effective[key] = &cc;
+    }
+    for (const auto& [key, cc] : effective) {
       (void)key;
-      n += cc.types;
+      n += cc->types;
     }
   }
   return n;

@@ -9,12 +9,22 @@
 // distribution, which keeps every token's probability strictly positive
 // (required for constrained sampling — masking must never zero out the
 // entire support).
+//
+// Count tables are layered to support Freeze()/Fork() (the prefix-cache
+// contract in language_model.h): frozen layers are immutable and shared
+// by reference between forks; each live session writes only its own
+// overlay layer. The first write to a context key copies that key's
+// full entry from the frozen view into the overlay (vocab <= 31, so a
+// copy is at most 31 counters), after which reads and increments hit
+// the overlay copy — byte-for-byte the same integers a monolithic model
+// would hold, so every downstream float op is bit-identical.
 
 #ifndef MULTICAST_LM_NGRAM_MODEL_H_
 #define MULTICAST_LM_NGRAM_MODEL_H_
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -45,8 +55,14 @@ class NGramLanguageModel final : public LanguageModel {
   void Reset() override;
   void Observe(token::TokenId id) override;
   std::vector<double> NextDistribution() const override;
+  void NextDistribution(std::vector<double>* out) const override;
   size_t vocab_size() const override { return vocab_size_; }
   size_t context_length() const override { return observed_; }
+
+  bool SupportsFork() const override { return true; }
+  void Freeze() override;
+  bool frozen() const override { return frozen_; }
+  std::unique_ptr<LanguageModel> Fork() const override;
 
   /// Convenience: observes a whole token sequence.
   void ObserveAll(const std::vector<token::TokenId>& ids);
@@ -54,8 +70,12 @@ class NGramLanguageModel final : public LanguageModel {
   const NGramOptions& options() const { return options_; }
 
   /// Number of distinct (context, next) pairs currently counted, across
-  /// all orders. Exposed for tests and capacity diagnostics.
+  /// all orders, in the effective (layer-merged) view. Exposed for tests
+  /// and capacity diagnostics.
   size_t num_entries() const;
+
+  /// Number of frozen base layers under this session (tests only).
+  size_t num_base_layers() const { return base_.size(); }
 
  private:
   // Per-context counts: next-token counts, their total, and the number of
@@ -65,20 +85,40 @@ class NGramLanguageModel final : public LanguageModel {
     uint32_t total = 0;
     uint32_t types = 0;
   };
+  using Table = std::unordered_map<uint64_t, ContextCounts>;
+
+  // One copy-on-write level: counts[k] holds order-k contexts
+  // (k = 0 .. max_order; order 0 is the unigram table under the single
+  // empty-context key). An entry shadows any entry with the same key in
+  // lower layers — it was copied from the effective view when first
+  // touched, so it is always the complete, current state of its key.
+  struct Layer {
+    std::vector<Table> counts;
+  };
 
   // Packs the last `order` tokens of the recent-context window into a
   // 64-bit key. Keys of different orders cannot collide because the
   // order is encoded in the key.
   uint64_t PackContext(int order) const;
 
+  // Topmost frozen-layer entry for a key, or null.
+  const ContextCounts* FindFrozen(size_t order, uint64_t key) const;
+  // Effective entry for a key (overlay first, then frozen), or null.
+  const ContextCounts* FindEntry(size_t order, uint64_t key) const;
+  // Writable overlay entry for a key, copied from the frozen view on
+  // first touch.
+  ContextCounts& MutableEntry(size_t order, uint64_t key);
+
   size_t vocab_size_;
   NGramOptions options_;
   size_t observed_ = 0;
   // Most recent max_order tokens (the sliding conditioning window).
   std::deque<token::TokenId> recent_;
-  // counts_[k] holds order-k contexts (k = 0 .. max_order), where order
-  // 0 is the unigram table under the single empty-context key.
-  std::vector<std::unordered_map<uint64_t, ContextCounts>> counts_;
+  // Frozen base layers, bottom to top; shared read-only with every fork.
+  std::vector<std::shared_ptr<const Layer>> base_;
+  // This session's private overlay.
+  Layer local_;
+  bool frozen_ = false;
 };
 
 }  // namespace lm

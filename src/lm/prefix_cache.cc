@@ -1,0 +1,222 @@
+#include "lm/prefix_cache.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace multicast {
+namespace lm {
+
+namespace {
+// FNV-1a over token ids, computed incrementally so every prefix hash of
+// a prompt falls out of one left-to-right pass.
+constexpr uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t FoldToken(uint64_t hash, token::TokenId id) {
+  // +1 so token 0 still perturbs the hash.
+  return (hash ^ (static_cast<uint64_t>(id) + 1)) * kFnvPrime;
+}
+
+size_t Saturating(size_t a, size_t b) { return a > b ? a - b : 0; }
+}  // namespace
+
+PrefixCacheStats& PrefixCacheStats::operator+=(const PrefixCacheStats& other) {
+  lookups += other.lookups;
+  full_hits += other.full_hits;
+  prefix_hits += other.prefix_hits;
+  misses += other.misses;
+  insertions += other.insertions;
+  evictions += other.evictions;
+  prompt_tokens_seen += other.prompt_tokens_seen;
+  prompt_tokens_reused += other.prompt_tokens_reused;
+  prompt_tokens_replayed += other.prompt_tokens_replayed;
+  return *this;
+}
+
+PrefixCacheStats PrefixCacheStats::operator-(
+    const PrefixCacheStats& other) const {
+  PrefixCacheStats d;
+  d.lookups = Saturating(lookups, other.lookups);
+  d.full_hits = Saturating(full_hits, other.full_hits);
+  d.prefix_hits = Saturating(prefix_hits, other.prefix_hits);
+  d.misses = Saturating(misses, other.misses);
+  d.insertions = Saturating(insertions, other.insertions);
+  d.evictions = Saturating(evictions, other.evictions);
+  d.prompt_tokens_seen = Saturating(prompt_tokens_seen,
+                                    other.prompt_tokens_seen);
+  d.prompt_tokens_reused = Saturating(prompt_tokens_reused,
+                                      other.prompt_tokens_reused);
+  d.prompt_tokens_replayed = Saturating(prompt_tokens_replayed,
+                                        other.prompt_tokens_replayed);
+  return d;
+}
+
+size_t PrefixCache::KeyHasher::operator()(const Key& key) const {
+  uint64_t h = key.fingerprint;
+  h = (h ^ key.hash) * kFnvPrime;
+  h = (h ^ static_cast<uint64_t>(key.length)) * kFnvPrime;
+  return static_cast<size_t>(h);
+}
+
+PrefixCache::PrefixCache(size_t capacity)
+    : capacity_(std::max<size_t>(capacity, 1)) {}
+
+std::vector<uint64_t> PrefixCache::PrefixHashes(
+    const std::vector<token::TokenId>& prompt) {
+  std::vector<uint64_t> hashes(prompt.size() + 1);
+  hashes[0] = kFnvOffset;
+  for (size_t i = 0; i < prompt.size(); ++i) {
+    hashes[i + 1] = FoldToken(hashes[i], prompt[i]);
+  }
+  return hashes;
+}
+
+PrefixCache::Entry* PrefixCache::LookupLocked(
+    uint64_t fingerprint, const std::vector<token::TokenId>& prompt,
+    const std::vector<uint64_t>& hashes) {
+  auto lens = lengths_.find(fingerprint);
+  if (lens == lengths_.end()) return nullptr;
+  // Probe stored lengths longest-first; each length needs exactly one
+  // hash lookup because the only entry that could match carries the
+  // prompt's own prefix hash at that length.
+  for (auto it = lens->second.rbegin(); it != lens->second.rend(); ++it) {
+    size_t len = it->first;
+    if (len > prompt.size() || len == 0) continue;
+    Key key{fingerprint, hashes[len], len};
+    auto found = entries_.find(key);
+    if (found == entries_.end()) continue;
+    // Byte-exact verification: 64-bit hashes index, tokens decide.
+    const std::vector<token::TokenId>& stored = found->second.prompt;
+    if (!std::equal(stored.begin(), stored.end(), prompt.begin())) continue;
+    TouchLocked(&found->second);
+    return &found->second;
+  }
+  return nullptr;
+}
+
+std::shared_ptr<const LanguageModel> PrefixCache::EnsureLocked(
+    uint64_t fingerprint, const std::vector<token::TokenId>& prompt,
+    const ModelFactory& fresh, std::unique_ptr<LanguageModel>* uncached) {
+  ++stats_.lookups;
+  stats_.prompt_tokens_seen += prompt.size();
+  std::vector<uint64_t> hashes = PrefixHashes(prompt);
+  Entry* match = LookupLocked(fingerprint, prompt, hashes);
+  if (match != nullptr && match->prompt.size() == prompt.size()) {
+    ++stats_.full_hits;
+    stats_.prompt_tokens_reused += prompt.size();
+    return match->model;
+  }
+
+  std::unique_ptr<LanguageModel> model;
+  size_t matched = 0;
+  if (match != nullptr) {
+    ++stats_.prefix_hits;
+    matched = match->prompt.size();
+    stats_.prompt_tokens_reused += matched;
+    model = match->model->Fork();
+  } else {
+    ++stats_.misses;
+    model = fresh();
+  }
+  MC_CHECK(model != nullptr);
+  if (!model->SupportsFork()) {
+    // Not cacheable: hand back an uncached session (counted as a miss
+    // with a full replay). Null return signals "use *uncached".
+    stats_.prompt_tokens_replayed += prompt.size();
+    for (token::TokenId id : prompt) model->Observe(id);
+    if (uncached != nullptr) *uncached = std::move(model);
+    return nullptr;
+  }
+  for (size_t i = matched; i < prompt.size(); ++i) model->Observe(prompt[i]);
+  stats_.prompt_tokens_replayed += prompt.size() - matched;
+  model->Freeze();
+  std::shared_ptr<const LanguageModel> shared = std::move(model);
+  InsertLocked(fingerprint, prompt, hashes[prompt.size()], shared);
+  return shared;
+}
+
+std::unique_ptr<LanguageModel> PrefixCache::AcquireSession(
+    uint64_t fingerprint, const std::vector<token::TokenId>& prompt,
+    const ModelFactory& fresh) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<LanguageModel> uncached;
+  std::shared_ptr<const LanguageModel> base =
+      EnsureLocked(fingerprint, prompt, fresh, &uncached);
+  if (base == nullptr) return uncached;
+  return base->Fork();
+}
+
+void PrefixCache::Warm(uint64_t fingerprint,
+                       const std::vector<token::TokenId>& prompt,
+                       const ModelFactory& fresh) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EnsureLocked(fingerprint, prompt, fresh, nullptr);
+}
+
+void PrefixCache::InsertLocked(uint64_t fingerprint,
+                               const std::vector<token::TokenId>& prompt,
+                               uint64_t full_hash,
+                               std::shared_ptr<const LanguageModel> model) {
+  Key key{fingerprint, full_hash, prompt.size()};
+  auto [it, inserted] = entries_.try_emplace(key);
+  if (!inserted) {
+    // Same key but the lookup missed: a 64-bit hash collision between
+    // different prompts of equal length. Astronomically unlikely;
+    // newest wins (byte-exact verify keeps reads correct either way).
+    ++stats_.evictions;
+    it->second.prompt = prompt;
+    it->second.model = std::move(model);
+    TouchLocked(&it->second);
+    return;
+  }
+  lru_.push_front(key);
+  it->second.prompt = prompt;
+  it->second.model = std::move(model);
+  it->second.lru = lru_.begin();
+  ++lengths_[fingerprint][prompt.size()];
+  ++stats_.insertions;
+  while (entries_.size() > capacity_) EvictLocked();
+}
+
+void PrefixCache::EvictLocked() {
+  MC_CHECK(!lru_.empty());
+  Key victim = lru_.back();
+  lru_.pop_back();
+  entries_.erase(victim);
+  EraseIndexLocked(victim);
+  ++stats_.evictions;
+}
+
+void PrefixCache::TouchLocked(Entry* entry) {
+  lru_.splice(lru_.begin(), lru_, entry->lru);
+}
+
+void PrefixCache::EraseIndexLocked(const Key& key) {
+  auto lens = lengths_.find(key.fingerprint);
+  if (lens == lengths_.end()) return;
+  auto it = lens->second.find(key.length);
+  if (it == lens->second.end()) return;
+  if (--it->second == 0) lens->second.erase(it);
+  if (lens->second.empty()) lengths_.erase(lens);
+}
+
+size_t PrefixCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+PrefixCacheStats PrefixCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void PrefixCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+  lengths_.clear();
+}
+
+}  // namespace lm
+}  // namespace multicast

@@ -1,7 +1,45 @@
 #include "lm/profiles.h"
 
+#include <cstring>
+
 namespace multicast {
 namespace lm {
+
+namespace {
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t Fold(uint64_t hash, uint64_t value) {
+  return (hash ^ value) * kFnvPrime;
+}
+
+uint64_t FoldDouble(uint64_t hash, double value) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value), "double must be 64-bit");
+  std::memcpy(&bits, &value, sizeof(bits));
+  return Fold(hash, bits);
+}
+}  // namespace
+
+uint64_t ModelFingerprint(const ModelProfile& profile, size_t vocab_size) {
+  uint64_t h = 14695981039346656037ULL;
+  h = Fold(h, static_cast<uint64_t>(profile.backend));
+  h = Fold(h, static_cast<uint64_t>(vocab_size));
+  switch (profile.backend) {
+    case BackendKind::kNGram:
+      h = Fold(h, static_cast<uint64_t>(profile.ngram.max_order));
+      h = FoldDouble(h, profile.ngram.backoff_boost);
+      h = FoldDouble(h, profile.ngram.uniform_mix);
+      break;
+    case BackendKind::kMixture:
+      h = Fold(h, static_cast<uint64_t>(profile.mixture.max_depth));
+      h = FoldDouble(h, profile.mixture.kt_alpha);
+      h = FoldDouble(h, profile.mixture.prior_self_weight);
+      h = FoldDouble(h, profile.mixture.depth_learning_rate);
+      h = FoldDouble(h, profile.mixture.uniform_mix);
+      break;
+  }
+  return h;
+}
 
 ModelProfile ModelProfile::Llama2_7B() {
   ModelProfile p;

@@ -9,6 +9,7 @@
 #ifndef MULTICAST_LM_PROFILES_H_
 #define MULTICAST_LM_PROFILES_H_
 
+#include <cstdint>
 #include <string>
 
 #include "lm/mixture_model.h"
@@ -49,6 +50,15 @@ struct ModelProfile {
   /// EXPERIMENTS.md.
   static ModelProfile CtwMixture();
 };
+
+/// Stable 64-bit fingerprint of the *decode-state semantics* of a
+/// profile over a vocabulary: two (profile, vocab_size) pairs with equal
+/// fingerprints build interchangeable model states for the same prompt.
+/// Sampler settings are deliberately excluded — they shape token
+/// *selection*, not the conditioning state a PrefixCache shares. Used as
+/// the cache-key namespace so caches shared across forecasters (serving,
+/// LLMTime dimensions) never mix states from different model families.
+uint64_t ModelFingerprint(const ModelProfile& profile, size_t vocab_size);
 
 }  // namespace lm
 }  // namespace multicast

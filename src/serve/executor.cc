@@ -87,6 +87,7 @@ ServeSummary Summarize(const std::vector<ServeStats>& stats) {
     }
     s.retry += st.retry;
     s.ledger += st.ledger;
+    s.prefix_cache += st.prefix_cache;
   }
   std::sort(latencies.begin(), latencies.end());
   s.p50_latency_seconds = SortedQuantile(latencies, 0.50);
@@ -349,7 +350,17 @@ Result<std::vector<ServeStats>> ServeExecutor::Run(
               r.id, r.deadline_seconds, now - r.arrival_seconds)));
     }
     if (!popped) continue;
+    // Attribute cache activity to this request by snapshotting the
+    // shared cache's counters around its service (the worker serves one
+    // request at a time, so the delta is exact).
+    lm::PrefixCacheStats cache_before;
+    if (options_.prefix_cache != nullptr) {
+      cache_before = options_.prefix_cache->stats();
+    }
     ServeStats st = ServeOne(job, now);
+    if (options_.prefix_cache != nullptr) {
+      st.prefix_cache = options_.prefix_cache->stats() - cache_before;
+    }
     now = std::max(now, st.finish_seconds);
     stats.push_back(std::move(st));
   }

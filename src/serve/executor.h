@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "forecast/forecaster.h"
+#include "lm/prefix_cache.h"
 #include "serve/queue.h"
 #include "serve/request.h"
 
@@ -64,6 +65,12 @@ struct ServeOptions {
   /// and `drain_mode` decides the fate of waiting work (+inf = never).
   double drain_at_seconds = std::numeric_limits<double>::infinity();
   DrainMode drain_mode = DrainMode::kFinishQueued;
+  /// The prefix cache shared by the served pipelines, when the caller
+  /// wired one into its forecaster factories (see lm/prefix_cache.h).
+  /// The executor only *observes* it — snapshotting stats around each
+  /// request so ServeStats carries that request's cache activity. Null
+  /// disables the accounting; serving behaviour is identical either way.
+  std::shared_ptr<lm::PrefixCache> prefix_cache;
 };
 
 enum class RequestOutcome {
@@ -98,6 +105,10 @@ struct ServeStats {
   /// Accounting summed over this request's successful pipeline runs.
   lm::RetryStats retry;
   lm::TokenLedger ledger;
+  /// Prefix-cache activity attributed to this request (delta of the
+  /// shared cache's counters across its service; empty without a cache
+  /// in ServeOptions).
+  lm::PrefixCacheStats prefix_cache;
   /// The served forecast (null unless served) — benches score RMSE of
   /// what clients actually received, shed requests included by absence.
   std::shared_ptr<const forecast::ForecastResult> result;
@@ -120,6 +131,7 @@ struct ServeSummary {
   double mean_queue_wait_seconds = 0.0;
   lm::RetryStats retry;
   lm::TokenLedger ledger;
+  lm::PrefixCacheStats prefix_cache;
 
   size_t shed() const { return shed_queue_full + shed_expired; }
 };

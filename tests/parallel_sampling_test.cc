@@ -7,12 +7,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "forecast/llmtime_forecaster.h"
 #include "forecast/multicast_forecaster.h"
 #include "lm/generator.h"
+#include "lm/prefix_cache.h"
 #include "token/vocabulary.h"
 #include "ts/frame.h"
 
@@ -245,6 +247,156 @@ TEST(ParallelLlmTimeTest, DimensionLoopIsThreadCountInvariant) {
     ExpectIdentical(serial.value(), parallel.value(),
                     "threads=" + std::to_string(threads));
   }
+}
+
+// ---------------------------------------------------------------------
+// Prefix-cache identity: enabling the cache must never change output.
+// The uncached serial run is the reference; cache-on runs at 1/2/8
+// threads must reproduce it bit for bit — same forecasts, bands,
+// ledgers, virtual time, degradation and warnings.
+// ---------------------------------------------------------------------
+
+// Clean pipeline, every mux/quantization variant.
+TEST_P(ParallelIdentityTest, PrefixCacheIsOutputInvariant) {
+  ts::Frame frame = PeriodicFrame(96);
+  MultiCastOptions opts;
+  opts.mux = GetParam().mux;
+  opts.quantization = GetParam().quantization;
+  opts.num_samples = 6;
+  opts.seed = 1234;
+  opts.quantiles = {0.1, 0.9};
+
+  opts.prefix_cache = false;
+  opts.threads = 1;
+  auto uncached = MultiCastForecaster(opts).Forecast(frame, 12);
+  ASSERT_TRUE(uncached.ok()) << uncached.status().ToString();
+  opts.prefix_cache = true;
+  for (int threads : {1, 2, 8}) {
+    opts.threads = threads;
+    MultiCastForecaster forecaster(opts);
+    auto cached = forecaster.Forecast(frame, 12);
+    ASSERT_TRUE(cached.ok()) << cached.status().ToString();
+    ExpectIdentical(uncached.value(), cached.value(),
+                    "cached threads=" + std::to_string(threads));
+    // The cache actually engaged: the prompt was reused, not replayed.
+    ASSERT_NE(forecaster.prefix_cache(), nullptr);
+    EXPECT_GT(forecaster.prefix_cache()->stats().hits(), 0u);
+  }
+}
+
+// Same under chaos + retries: faulted calls redraw with fresh prompts,
+// and the cache must not perturb the fault schedule or accounting.
+TEST_P(ParallelIdentityTest, PrefixCacheIsOutputInvariantUnderChaos) {
+  ts::Frame frame = PeriodicFrame(96);
+  MultiCastOptions opts;
+  opts.mux = GetParam().mux;
+  opts.quantization = GetParam().quantization;
+  opts.num_samples = 5;
+  opts.seed = 77;
+  opts.faults = lm::FaultProfile::Chaos(0.2, 4242);
+  opts.resilience.retries_enabled = true;
+
+  opts.prefix_cache = false;
+  opts.threads = 1;
+  auto uncached = MultiCastForecaster(opts).Forecast(frame, 12);
+  ASSERT_TRUE(uncached.ok()) << uncached.status().ToString();
+  opts.prefix_cache = true;
+  for (int threads : {1, 2, 8}) {
+    opts.threads = threads;
+    auto cached = MultiCastForecaster(opts).Forecast(frame, 12);
+    ASSERT_TRUE(cached.ok()) << cached.status().ToString();
+    ExpectIdentical(uncached.value(), cached.value(),
+                    "cached threads=" + std::to_string(threads));
+  }
+}
+
+// Deadline degradation with the cache on: the surviving-sample set must
+// match the uncached run exactly (the cache must not shift virtual
+// time — fault latency is modeled per call, not per token replayed).
+TEST(PrefixCacheDegradationTest, DeadlineDegradationMatchesUncached) {
+  ts::Frame frame = PeriodicFrame(48);
+  auto run = [&](bool cache, int threads, double deadline) {
+    MultiCastOptions opts;
+    opts.num_samples = 8;
+    opts.seed = 5;
+    opts.prefix_cache = cache;
+    opts.threads = threads;
+    opts.faults = lm::FaultProfile::Chaos(0.1, 88);
+    opts.resilience.retries_enabled = true;
+    MultiCastForecaster forecaster(opts);
+    VirtualClock clock;
+    RequestContext ctx;
+    ctx.clock = &clock;
+    if (deadline > 0.0) ctx.deadline = Deadline::At(deadline);
+    return forecaster.Forecast(frame, 6, ctx);
+  };
+  auto probe = run(false, 1, 0.0);
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  const double deadline = probe.value().virtual_seconds * 0.5;
+  ASSERT_GT(deadline, 0.0);
+  auto uncached = run(false, 1, deadline);
+  ASSERT_TRUE(uncached.ok()) << uncached.status().ToString();
+  EXPECT_TRUE(uncached.value().degraded);
+  for (int threads : {1, 2, 8}) {
+    auto cached = run(true, threads, deadline);
+    ASSERT_TRUE(cached.ok()) << cached.status().ToString();
+    ExpectIdentical(uncached.value(), cached.value(),
+                    "cached threads=" + std::to_string(threads));
+  }
+}
+
+// LLMTime shares one cache across its per-dimension pipelines; output
+// must still match the uncached run at every thread count.
+TEST(PrefixCacheLlmTimeTest, SharedDimensionCacheIsOutputInvariant) {
+  ts::Frame frame = PeriodicFrame(96);
+  LlmTimeOptions opts;
+  opts.num_samples = 4;
+  opts.seed = 9;
+  opts.faults = lm::FaultProfile::Chaos(0.15, 31);
+  opts.resilience.retries_enabled = true;
+
+  opts.prefix_cache = false;
+  opts.threads = 1;
+  auto uncached = LlmTimeForecaster(opts).Forecast(frame, 12);
+  ASSERT_TRUE(uncached.ok()) << uncached.status().ToString();
+  opts.prefix_cache = true;
+  for (int threads : {1, 2, 8}) {
+    opts.threads = threads;
+    LlmTimeForecaster forecaster(opts);
+    auto cached = forecaster.Forecast(frame, 12);
+    ASSERT_TRUE(cached.ok()) << cached.status().ToString();
+    ExpectIdentical(uncached.value(), cached.value(),
+                    "cached threads=" + std::to_string(threads));
+    ASSERT_NE(forecaster.prefix_cache(), nullptr);
+    EXPECT_GT(forecaster.prefix_cache()->stats().hits(), 0u);
+  }
+}
+
+// A caller-supplied shared cache (the serve-sim wiring) behaves like
+// the forecaster-owned one — reused across Forecast calls, output
+// invariant.
+TEST(PrefixCacheSharingTest, ExternallySharedCacheIsOutputInvariant) {
+  ts::Frame frame = PeriodicFrame(96);
+  MultiCastOptions opts;
+  opts.num_samples = 4;
+  opts.seed = 11;
+  opts.prefix_cache = false;
+  auto uncached = MultiCastForecaster(opts).Forecast(frame, 12);
+  ASSERT_TRUE(uncached.ok()) << uncached.status().ToString();
+
+  auto shared = std::make_shared<lm::PrefixCache>(16);
+  opts.shared_prefix_cache = shared;
+  for (int i = 0; i < 3; ++i) {
+    auto cached = MultiCastForecaster(opts).Forecast(frame, 12);
+    ASSERT_TRUE(cached.ok()) << cached.status().ToString();
+    ExpectIdentical(uncached.value(), cached.value(),
+                    "shared-cache call " + std::to_string(i));
+  }
+  // Later forecasters full-hit the entries built by the first.
+  EXPECT_GT(shared->stats().full_hits, 0u);
+  EXPECT_EQ(shared->stats().prompt_tokens_seen,
+            shared->stats().prompt_tokens_reused +
+                shared->stats().prompt_tokens_replayed);
 }
 
 // ---------------------------------------------------------------------

@@ -15,6 +15,10 @@ cmake -B build -S . > /dev/null
 cmake --build build -j "${JOBS}"
 (cd build && ctest --output-on-failure -j "${JOBS}")
 
+echo "==== bench smoke: prefix cache identity + replay gates ===="
+cmake --build build -j "${JOBS}" --target prefix_cache
+./build/bench/prefix_cache --smoke
+
 run_asan=1
 run_tsan=1
 for arg in "$@"; do
@@ -35,6 +39,7 @@ if [[ "${run_asan}" == "1" ]]; then
     resilient_backend_test
     fault_injection_test
     backend_contract_test
+    prefix_cache_test
   )
   cmake --build build-asan -j "${JOBS}" --target "${ASAN_TESTS[@]}"
   for t in "${ASAN_TESTS[@]}"; do
@@ -50,6 +55,7 @@ if [[ "${run_tsan}" == "1" ]]; then
   cmake -B build-tsan -S . -DMC_SANITIZE_THREAD=ON > /dev/null
   TSAN_TESTS=(
     thread_pool_test
+    prefix_cache_test
     parallel_sampling_test
     multicast_forecaster_test
     llmtime_forecaster_test
