@@ -1,0 +1,227 @@
+// Continuous-batching throughput on a latency-bound decode backend.
+//
+// When each decode step costs real time (a GPU forward pass, a network
+// round-trip), run-to-completion decode pays that cost once per *token*,
+// while continuous batching pays it once per *step* shared by every
+// active session. This bench models the forward pass with a fixed sleep
+// in BatchPolicy::on_step, offers 1..8 concurrent MultiCast requests on
+// GasRate (each request's sample draws decoding through one shared
+// scheduler), and compares run-to-completion (max_batch = 1) against a
+// 16-slot continuous batch at every offered load. Forecasts must be
+// bit-identical across the two schedules — batching changes when tokens
+// decode, never which tokens.
+//
+// Run from the repo root: ./build/bench/batch_throughput [--smoke]
+// Writes BENCH_batch.json. Exits non-zero when any batched forecast
+// diverges from its run-to-completion twin, or the batched speedup at
+// offered load >= 4 falls below the 2x acceptance floor.
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "batch/batch_scheduler.h"
+#include "bench/bench_common.h"
+#include "util/timer.h"
+
+namespace multicast {
+namespace bench {
+namespace {
+
+struct LoadResult {
+  double wall_seconds = 0.0;
+  double throughput_rps = 0.0;
+  /// Per-request forecast values, flattened in request order.
+  std::vector<std::vector<double>> values;
+  batch::BatchStats stats;
+};
+
+// Serves `concurrent` requests at once, every sample draw decoding
+// through one shared scheduler whose forward pass costs `step_sleep` of
+// wall time. Each request runs the Table II MultiCast (VI) pipeline with
+// a request-decorrelated seed, exactly the serve-sim wiring.
+LoadResult RunLoad(const ts::Split& split, size_t horizon, size_t concurrent,
+                   size_t max_batch, int samples, int draw_threads,
+                   std::chrono::microseconds step_sleep) {
+  batch::BatchPolicy policy;
+  policy.max_batch = max_batch;
+  policy.on_step = [step_sleep](size_t) {
+    std::this_thread::sleep_for(step_sleep);
+  };
+  auto scheduler = std::make_shared<batch::BatchScheduler>(policy);
+
+  LoadResult out;
+  out.values.resize(concurrent);
+  std::vector<std::thread> workers;
+  Timer timer;
+  for (size_t r = 0; r < concurrent; ++r) {
+    workers.emplace_back([&, r]() {
+      forecast::MultiCastOptions opts =
+          DefaultMultiCast(multiplex::MuxKind::kValueInterleave);
+      opts.num_samples = samples;
+      opts.seed = 42 + r;
+      opts.threads = draw_threads;
+      opts.batch_scheduler = scheduler;
+      forecast::MultiCastForecaster forecaster(opts);
+      forecast::ForecastResult result =
+          OrDie(forecaster.Forecast(split.train, horizon), "forecast");
+      std::vector<double>& flat = out.values[r];
+      for (size_t d = 0; d < result.forecast.num_dims(); ++d) {
+        const std::vector<double>& vals = result.forecast.dim(d).values();
+        flat.insert(flat.end(), vals.begin(), vals.end());
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  out.wall_seconds = timer.Seconds();
+  out.throughput_rps =
+      static_cast<double>(concurrent) / out.wall_seconds;
+  out.stats = scheduler->stats();
+  return out;
+}
+
+}  // namespace
+
+int Main(bool smoke) {
+  const size_t kHorizon = 12;
+  const size_t kMaxBatch = 16;
+  const int samples = 4;
+  const int draw_threads = 4;
+  const std::chrono::microseconds step_sleep(smoke ? 150 : 250);
+  const std::vector<size_t> loads =
+      smoke ? std::vector<size_t>{1, 4} : std::vector<size_t>{1, 2, 4, 8};
+
+  ts::Split split = LoadSplit("GasRate");
+
+  std::printf(
+      "continuous batching vs run-to-completion: MultiCast (VI) on "
+      "GasRate, horizon %zu, %d samples/request, %d draw threads, "
+      "%lldus/step forward pass, %zu-slot batch\n\n",
+      kHorizon, samples, draw_threads,
+      static_cast<long long>(step_sleep.count()), kMaxBatch);
+
+  struct Row {
+    size_t concurrent = 0;
+    double rtc_seconds = 0.0;
+    double batched_seconds = 0.0;
+    double rtc_rps = 0.0;
+    double batched_rps = 0.0;
+    double speedup = 0.0;
+    double mean_batch = 0.0;
+    size_t peak_batch = 0;
+    bool identical = false;
+  };
+  std::vector<Row> rows;
+  TextTable table({"Requests", "RTC (s)", "Batched (s)", "RTC req/s",
+                   "Batched req/s", "Speedup", "Mean batch", "Peak",
+                   "Identical"});
+  for (size_t load : loads) {
+    LoadResult rtc = RunLoad(split, kHorizon, load, 1, samples,
+                             draw_threads, step_sleep);
+    LoadResult batched = RunLoad(split, kHorizon, load, kMaxBatch, samples,
+                                 draw_threads, step_sleep);
+    Row row;
+    row.concurrent = load;
+    row.rtc_seconds = rtc.wall_seconds;
+    row.batched_seconds = batched.wall_seconds;
+    row.rtc_rps = rtc.throughput_rps;
+    row.batched_rps = batched.throughput_rps;
+    row.speedup = rtc.wall_seconds / batched.wall_seconds;
+    row.mean_batch = batched.stats.mean_batch();
+    row.peak_batch = batched.stats.peak_batch;
+    row.identical = rtc.values == batched.values;
+    table.AddRow({StrFormat("%zu", row.concurrent),
+                  StrFormat("%.3f", row.rtc_seconds),
+                  StrFormat("%.3f", row.batched_seconds),
+                  StrFormat("%.2f", row.rtc_rps),
+                  StrFormat("%.2f", row.batched_rps),
+                  StrFormat("%.2fx", row.speedup),
+                  StrFormat("%.2f", row.mean_batch),
+                  StrFormat("%zu", row.peak_batch),
+                  row.identical ? "yes" : "NO"});
+    rows.push_back(row);
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  double speedup_at_4 = 0.0;
+  for (const Row& row : rows) {
+    if (row.concurrent >= 4 && speedup_at_4 == 0.0) {
+      speedup_at_4 = row.speedup;
+    }
+  }
+  bool all_identical = true;
+  for (const Row& row : rows) all_identical = all_identical && row.identical;
+
+  std::FILE* json = std::fopen("BENCH_batch.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_batch.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n"
+               "  \"bench\": \"batch_throughput\",\n"
+               "  \"dataset\": \"GasRate\",\n"
+               "  \"method\": \"MultiCast (VI)\",\n"
+               "  \"horizon\": %zu,\n"
+               "  \"samples_per_request\": %d,\n"
+               "  \"draw_threads\": %d,\n"
+               "  \"step_micros\": %lld,\n"
+               "  \"max_batch\": %zu,\n"
+               "  \"smoke\": %s,\n"
+               "  \"results\": [\n",
+               kHorizon, samples, draw_threads,
+               static_cast<long long>(step_sleep.count()), kMaxBatch,
+               smoke ? "true" : "false");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(
+        json,
+        "    {\"concurrent_requests\": %zu, "
+        "\"run_to_completion_seconds\": %.4f, \"batched_seconds\": %.4f, "
+        "\"run_to_completion_rps\": %.3f, \"batched_rps\": %.3f, "
+        "\"speedup\": %.3f, \"mean_batch\": %.3f, \"peak_batch\": %zu, "
+        "\"identical_to_run_to_completion\": %s}%s\n",
+        row.concurrent, row.rtc_seconds, row.batched_seconds, row.rtc_rps,
+        row.batched_rps, row.speedup, row.mean_batch, row.peak_batch,
+        row.identical ? "true" : "false", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(json,
+               "  ],\n"
+               "  \"speedup_at_load_4\": %.3f,\n"
+               "  \"all_identical\": %s\n"
+               "}\n",
+               speedup_at_4, all_identical ? "true" : "false");
+  std::fclose(json);
+  std::printf("wrote BENCH_batch.json\n");
+
+  int status = 0;
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: batched forecasts diverged from run-to-completion\n");
+    status = 1;
+  }
+  // Unlike wall-clock-sensitive benches, this gate holds in smoke mode
+  // too: the sleeps dominate both schedules, so the step-count ratio —
+  // not CPU contention — decides the outcome.
+  if (speedup_at_4 < 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: batched speedup %.2fx at offered load >= 4 is "
+                 "below the 2x floor\n",
+                 speedup_at_4);
+    status = 1;
+  }
+  return status;
+}
+
+}  // namespace bench
+}  // namespace multicast
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  return multicast::bench::Main(smoke);
+}

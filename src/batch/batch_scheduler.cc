@@ -1,0 +1,234 @@
+#include "batch/batch_scheduler.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "util/strings.h"
+
+namespace multicast {
+namespace batch {
+
+namespace {
+size_t SaturatingSub(size_t a, size_t b) { return a > b ? a - b : 0; }
+}  // namespace
+
+BatchStats& BatchStats::operator+=(const BatchStats& other) {
+  steps += other.steps;
+  slot_steps += other.slot_steps;
+  submitted += other.submitted;
+  admitted += other.admitted;
+  retired += other.retired;
+  backfills += other.backfills;
+  preemptions += other.preemptions;
+  peak_batch = std::max(peak_batch, other.peak_batch);
+  if (occupancy.size() < other.occupancy.size()) {
+    occupancy.resize(other.occupancy.size(), 0);
+  }
+  for (size_t k = 0; k < other.occupancy.size(); ++k) {
+    occupancy[k] += other.occupancy[k];
+  }
+  return *this;
+}
+
+BatchStats BatchStats::operator-(const BatchStats& before) const {
+  BatchStats delta;
+  delta.steps = SaturatingSub(steps, before.steps);
+  delta.slot_steps = SaturatingSub(slot_steps, before.slot_steps);
+  delta.submitted = SaturatingSub(submitted, before.submitted);
+  delta.admitted = SaturatingSub(admitted, before.admitted);
+  delta.retired = SaturatingSub(retired, before.retired);
+  delta.backfills = SaturatingSub(backfills, before.backfills);
+  delta.preemptions = SaturatingSub(preemptions, before.preemptions);
+  // Peak batch size is a high-water mark, not a counter; the delta keeps
+  // the later snapshot's value.
+  delta.peak_batch = peak_batch;
+  delta.occupancy.resize(occupancy.size(), 0);
+  for (size_t k = 0; k < occupancy.size(); ++k) {
+    const size_t prior = k < before.occupancy.size() ? before.occupancy[k] : 0;
+    delta.occupancy[k] = SaturatingSub(occupancy[k], prior);
+  }
+  return delta;
+}
+
+BatchScheduler::BatchScheduler(const BatchPolicy& policy) : policy_(policy) {
+  slots_.resize(std::max<size_t>(1, policy_.max_batch), 0);
+}
+
+BatchTicket BatchScheduler::Submit(DecodeJobSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t id = next_ticket_++;
+  Job job;
+  job.spec = std::move(spec);
+  ++stats_.submitted;
+  if (job.spec.num_tokens == 0) {
+    // Nothing to decode: complete immediately without touching a slot,
+    // mirroring the sequential decode loop's empty-generation case.
+    job.done = true;
+  } else {
+    MC_CHECK(job.spec.session != nullptr);
+    MC_CHECK(job.spec.rng != nullptr);
+    MC_CHECK(!job.spec.masks.empty());
+    waiting_.push(WaitKey{job.spec.deadline_seconds, id});
+  }
+  jobs_.emplace(id, std::move(job));
+  return BatchTicket{id};
+}
+
+Status BatchScheduler::JobAlive(Job& job) const {
+  if (job.spec.cancel.cancelled()) {
+    return Status::Cancelled(StrFormat("decode preempted: %s",
+                                       job.spec.cancel.reason().c_str()));
+  }
+  if (job.spec.clock != nullptr &&
+      Deadline::At(job.spec.deadline_seconds)
+          .ExpiredAt(job.spec.clock->now())) {
+    return Status::DeadlineExceeded(
+        StrFormat("decode preempted at %.3fs, past its deadline %.3fs",
+                  job.spec.clock->now(), job.spec.deadline_seconds));
+  }
+  return Status::OK();
+}
+
+void BatchScheduler::FinishLocked(Job* job, Status status) {
+  job->status = std::move(status);
+  job->done = true;
+}
+
+bool BatchScheduler::StepLocked() {
+  bool work = false;
+
+  // Phase 1 — preemption: a session whose request died is evicted before
+  // it can consume another decode step.
+  size_t active_before = 0;
+  for (uint64_t& slot : slots_) {
+    if (slot == 0) continue;
+    Job& job = jobs_.at(slot);
+    Status alive = JobAlive(job);
+    if (!alive.ok()) {
+      ++stats_.preemptions;
+      FinishLocked(&job, std::move(alive));
+      slot = 0;
+      work = true;
+      continue;
+    }
+    ++active_before;
+  }
+
+  // Phase 2 — admission: fill free slots from the waiting queue in EDF
+  // order. Continuous back-fill joins a running batch; gang scheduling
+  // only refills once the batch has fully drained. Jobs already dead at
+  // admission are preempted without ever occupying a slot.
+  if (active_before == 0 || policy_.backfill) {
+    for (uint64_t& slot : slots_) {
+      if (slot != 0 || waiting_.empty()) continue;
+      while (!waiting_.empty()) {
+        const WaitKey key = waiting_.top();
+        waiting_.pop();
+        work = true;
+        Job& job = jobs_.at(key.ticket);
+        Status alive = JobAlive(job);
+        if (!alive.ok()) {
+          ++stats_.preemptions;
+          FinishLocked(&job, std::move(alive));
+          continue;
+        }
+        slot = key.ticket;
+        ++stats_.admitted;
+        if (active_before > 0) ++stats_.backfills;
+        break;
+      }
+    }
+  }
+
+  // Phase 3 — decode: one token for every active session, the step-level
+  // forward pass continuous batching amortizes.
+  size_t active = 0;
+  for (uint64_t slot : slots_) {
+    if (slot != 0) ++active;
+  }
+  if (active == 0) return work;
+
+  ++stats_.steps;
+  const size_t step_index = stats_.steps;
+  stats_.slot_steps += active;
+  stats_.peak_batch = std::max(stats_.peak_batch, active);
+  if (stats_.occupancy.size() <= active) stats_.occupancy.resize(active + 1, 0);
+  ++stats_.occupancy[active];
+  if (policy_.on_step) policy_.on_step(active);
+
+  for (uint64_t& slot : slots_) {
+    if (slot == 0) continue;
+    Job& job = jobs_.at(slot);
+    if (job.admitted_step == 0) job.admitted_step = step_index;
+    job.spec.session->NextDistribution(&probs_);
+    const size_t pos = job.tokens.size();
+    const lm::GrammarMask::Shared& allowed =
+        job.spec.masks[pos % job.spec.masks.size()];
+    Result<token::TokenId> next =
+        lm::SampleToken(probs_, *allowed, job.spec.sampler, job.spec.rng);
+    if (!next.ok()) {
+      FinishLocked(&job, next.status());
+      slot = 0;
+      continue;
+    }
+    job.tokens.push_back(next.value());
+    job.spec.session->Observe(next.value());
+    if (policy_.step_seconds > 0.0 && job.spec.clock != nullptr) {
+      job.spec.clock->Advance(policy_.step_seconds);
+    }
+    if (job.tokens.size() == job.spec.num_tokens) {
+      ++stats_.retired;
+      job.retired_step = step_index;
+      FinishLocked(&job, Status::OK());
+      slot = 0;
+    }
+  }
+  return true;
+}
+
+bool BatchScheduler::Step() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return StepLocked();
+}
+
+Result<DecodeOutput> BatchScheduler::Await(BatchTicket ticket) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = jobs_.find(ticket.id);
+  if (it == jobs_.end()) {
+    return Status::InvalidArgument(
+        StrFormat("unknown batch ticket %llu",
+                  static_cast<unsigned long long>(ticket.id)));
+  }
+  while (!it->second.done) {
+    // Cooperative driving: whoever is blocked makes the batch progress.
+    // A pending job is always either active (it decodes) or waiting (it
+    // is admittable once the policy allows), so every step makes
+    // progress toward it.
+    MC_CHECK(StepLocked());
+    if (it->second.done) break;
+    // Yield the lock so concurrent submitters can join the batch and
+    // other awaiters can take a driving turn.
+    lock.unlock();
+    std::this_thread::yield();
+    lock.lock();
+    it = jobs_.find(ticket.id);
+    MC_CHECK(it != jobs_.end());
+  }
+  Job job = std::move(it->second);
+  jobs_.erase(it);
+  if (!job.status.ok()) return job.status;
+  DecodeOutput out;
+  out.tokens = std::move(job.tokens);
+  out.admitted_step = job.admitted_step;
+  out.retired_step = job.retired_step;
+  return out;
+}
+
+BatchStats BatchScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace batch
+}  // namespace multicast

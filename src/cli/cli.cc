@@ -35,11 +35,12 @@ const std::set<std::string> kMethodFlags = {
     "stride", "quantile",    "dataset",  "name",     "quantiles",
     "chaos",  "chaos-seed",  "retries",  "redraws",  "fallback",
     "threads", "prefix-cache", "prefix-cache-capacity",
+    "batch",  "batch-size",  "batch-backfill",
     // serve-sim trace and serving-policy flags.
     "requests",   "arrival-rate", "deadline",  "queue-capacity",
     "queue-order", "hedge-delay", "burst-factor", "burst-every",
     "burst-duration", "drain",    "drain-mode"};
-const std::set<std::string> kBoolFlags = {"plot", "fallback"};
+const std::set<std::string> kBoolFlags = {"plot", "fallback", "batch"};
 
 Result<lm::ModelProfile> ProfileByName(const std::string& name) {
   if (name == "llama2") return lm::ModelProfile::Llama2_7B();
@@ -96,6 +97,14 @@ Result<MethodSpec> SpecFromFlags(const FlagSet& flags) {
     return Status::InvalidArgument("--prefix-cache-capacity must be >= 1");
   }
   spec.prefix_cache_capacity = static_cast<int>(cache_capacity);
+  spec.batch = flags.GetBool("batch");
+  MC_ASSIGN_OR_RETURN(int64_t batch_size, flags.GetInt("batch-size", 8));
+  if (batch_size < 1) {
+    return Status::InvalidArgument("--batch-size must be >= 1");
+  }
+  spec.batch_size = static_cast<int>(batch_size);
+  MC_ASSIGN_OR_RETURN(int64_t backfill, flags.GetInt("batch-backfill", 1));
+  spec.batch_backfill = backfill != 0;
   return spec;
 }
 
@@ -359,17 +368,32 @@ Result<int> CmdServeSim(const FlagSet& flags, std::ostream& out) {
         "--drain-mode expects 'finish' or 'cancel'");
   }
 
+  serve_options.batch.enabled = base.batch;
+  serve_options.batch.size = static_cast<size_t>(base.batch_size);
+  serve_options.batch.backfill = base.batch_backfill;
+  if (serve_options.batch.enabled && serve_options.hedge.enabled) {
+    return Status::InvalidArgument(
+        "--batch does not compose with --hedge-delay (a batched slot "
+        "cannot race a second pipeline for the same request)");
+  }
+
   std::vector<std::string> methods = {"DI", "VI", "VC", "LLMTIME"};
   if (flags.Has("method")) methods = {base.name};
 
   out << StrFormat(
       "serve-sim: %zu requests at %.3g req/s (burst x%.3g every %.3gs "
-      "for %.3gs), deadline %.3gs, queue %zu (%s), hedge %s, seed %llu\n",
+      "for %.3gs), deadline %.3gs, queue %zu (%s), hedge %s, batch %s, "
+      "seed %llu\n",
       trace.num_requests, trace.arrival_rate, trace.burst_factor,
       trace.burst_every_seconds, trace.burst_duration_seconds,
       trace.deadline_seconds, serve_options.queue.capacity, order.c_str(),
       serve_options.hedge.enabled
           ? StrFormat("after %.3gs", hedge_delay).c_str()
+          : "off",
+      serve_options.batch.enabled
+          ? StrFormat("%zu (%s)", serve_options.batch.size,
+                      serve_options.batch.backfill ? "backfill" : "gang")
+                .c_str()
           : "off",
       static_cast<unsigned long long>(base.seed));
   if (drain_at > 0.0) {
@@ -379,9 +403,14 @@ Result<int> CmdServeSim(const FlagSet& flags, std::ostream& out) {
 
   TextTable table({"Method", "Served", "Degraded", "Shed(full)",
                    "Shed(expired)", "Drained", "Failed", "Hedged",
-                   "HedgeWins", "p50(s)", "p99(s)", "Wait(s)", "Attempts",
+                   "HedgeWins", "p50(s)", "p99(s)",
+                   "Wait p50/p95/p99", "Svc p50/p95/p99", "Attempts",
                    "Retries", "Cancelled", "Preempted"});
+  // Optional-subsystem stats, one line per method each, printed after
+  // the table. Disabled subsystems still get an explicit "off" line so
+  // two runs compare line-by-line.
   std::vector<std::string> cache_lines;
+  std::vector<std::string> batch_lines;
   for (const std::string& name : methods) {
     MethodSpec spec = base;
     spec.name = name;
@@ -396,6 +425,17 @@ Result<int> CmdServeSim(const FlagSet& flags, std::ostream& out) {
       spec.shared_prefix_cache = method_cache;
     }
     serve_options.prefix_cache = method_cache;
+    // One decode scheduler per method, shared the same way: every
+    // in-flight request's sample draws join one step-level batch.
+    std::shared_ptr<batch::BatchScheduler> method_scheduler;
+    if (spec.batch) {
+      batch::BatchPolicy policy;
+      policy.max_batch = static_cast<size_t>(spec.batch_size);
+      policy.backfill = spec.batch_backfill;
+      method_scheduler = std::make_shared<batch::BatchScheduler>(policy);
+      spec.batch_scheduler = method_scheduler;
+    }
+    serve_options.batch.scheduler = method_scheduler;
     // Validate the spec once so the per-request factories cannot fail.
     MC_RETURN_IF_ERROR(MakeForecaster(spec).status());
     MethodSpec hedge_spec = spec;
@@ -443,7 +483,12 @@ Result<int> CmdServeSim(const FlagSet& flags, std::ostream& out) {
          StrFormat("%zu", summary.hedge_wins),
          StrFormat("%.3f", summary.p50_latency_seconds),
          StrFormat("%.3f", summary.p99_latency_seconds),
-         StrFormat("%.3f", summary.mean_queue_wait_seconds),
+         StrFormat("%.3f/%.3f/%.3f", summary.p50_queue_wait_seconds,
+                   summary.p95_queue_wait_seconds,
+                   summary.p99_queue_wait_seconds),
+         StrFormat("%.3f/%.3f/%.3f", summary.p50_service_seconds,
+                   summary.p95_service_seconds,
+                   summary.p99_service_seconds),
          StrFormat("%zu", summary.retry.attempts),
          StrFormat("%zu", summary.retry.retries),
          StrFormat("%zu", summary.retry.cancelled_calls),
@@ -455,10 +500,23 @@ Result<int> CmdServeSim(const FlagSet& flags, std::ostream& out) {
           "%zu/%zu prompt tokens reused, %zu evictions",
           name.c_str(), pc.hits(), pc.lookups, pc.full_hits,
           pc.prompt_tokens_reused, pc.prompt_tokens_seen, pc.evictions));
+    } else {
+      cache_lines.push_back(StrFormat("prefix-cache %s: off", name.c_str()));
+    }
+    if (method_scheduler != nullptr) {
+      const batch::BatchStats& bs = summary.batch;
+      batch_lines.push_back(StrFormat(
+          "batch %s: %zu steps, %zu decode jobs, mean occupancy %.2f "
+          "(peak %zu), %zu backfills, %zu preemptions",
+          name.c_str(), bs.steps, bs.admitted, bs.mean_batch(),
+          bs.peak_batch, bs.backfills, bs.preemptions));
+    } else {
+      batch_lines.push_back(StrFormat("batch %s: off", name.c_str()));
     }
   }
   out << table.Render();
   for (const std::string& line : cache_lines) out << line << "\n";
+  for (const std::string& line : batch_lines) out << line << "\n";
   return 0;
 }
 
@@ -496,6 +554,16 @@ Result<std::unique_ptr<forecast::Forecaster>> MakeForecaster(
   resilience.retry.max_attempts = spec.retries + 1;
   resilience.max_redraws = spec.redraws;
 
+  // Shared scheduler when the caller wired one (serve-sim), else a
+  // private scheduler per forecaster when batching was asked for.
+  std::shared_ptr<batch::BatchScheduler> scheduler = spec.batch_scheduler;
+  if (spec.batch && scheduler == nullptr) {
+    batch::BatchPolicy policy;
+    policy.max_batch = static_cast<size_t>(spec.batch_size);
+    policy.backfill = spec.batch_backfill;
+    scheduler = std::make_shared<batch::BatchScheduler>(policy);
+  }
+
   auto multicast_with = [&](multiplex::MuxKind mux)
       -> Result<std::unique_ptr<forecast::Forecaster>> {
     forecast::MultiCastOptions opts;
@@ -520,6 +588,7 @@ Result<std::unique_ptr<forecast::Forecaster>> MakeForecaster(
     opts.prefix_cache_capacity =
         static_cast<size_t>(spec.prefix_cache_capacity);
     opts.shared_prefix_cache = spec.shared_prefix_cache;
+    opts.batch_scheduler = scheduler;
     return {std::make_unique<forecast::MultiCastForecaster>(opts)};
   };
   auto llmtime = [&]() -> std::unique_ptr<forecast::Forecaster> {
@@ -535,6 +604,7 @@ Result<std::unique_ptr<forecast::Forecaster>> MakeForecaster(
     opts.prefix_cache_capacity =
         static_cast<size_t>(spec.prefix_cache_capacity);
     opts.shared_prefix_cache = spec.shared_prefix_cache;
+    opts.batch_scheduler = scheduler;
     return std::make_unique<forecast::LlmTimeForecaster>(opts);
   };
   // Wraps an LLM-path forecaster in the MultiCast -> LLMTime -> naive
@@ -615,7 +685,8 @@ std::string UsageText() {
       "            [--sax-alphabet 5] [--profile llama2|phi2|ctw]\n"
       "            [--quantiles 0.1,0.9] [--seed 42] [--output out.csv]\n"
       "            [--plot] [--threads 4] [--prefix-cache 0|1]\n"
-      "            [--prefix-cache-capacity 64]\n"
+      "            [--prefix-cache-capacity 64] [--batch]\n"
+      "            [--batch-size 8] [--batch-backfill 0|1]\n"
       "            chaos/resilience: [--chaos 0.2] [--chaos-seed N]\n"
       "            [--retries 3] [--redraws 4] [--fallback]\n"
       "  evaluate  --input feed.csv --horizon 12 [--folds 3] [--stride 12]\n"
@@ -630,9 +701,11 @@ std::string UsageText() {
       "            serving: [--queue-capacity 8] [--queue-order fifo|edf]\n"
       "            [--hedge-delay 0.5] [--drain T] [--drain-mode\n"
       "            finish|cancel] [--threads 4] [--prefix-cache 0|1]\n"
-      "            [--prefix-cache-capacity 64] plus the chaos/resilience\n"
-      "            flags above (one cache is shared per method, across\n"
-      "            requests)\n"
+      "            [--prefix-cache-capacity 64] [--batch] [--batch-size 8]\n"
+      "            [--batch-backfill 0|1] plus the chaos/resilience flags\n"
+      "            above (one cache and one decode scheduler are shared\n"
+      "            per method, across requests; --batch also serves up to\n"
+      "            batch-size requests concurrently)\n"
       "  help\n";
 }
 

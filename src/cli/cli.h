@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "batch/batch_scheduler.h"
 #include "forecast/forecaster.h"
 #include "lm/prefix_cache.h"
 #include "util/status.h"
@@ -71,6 +72,21 @@ struct MethodSpec {
   /// Externally shared cache (serve-sim wires one across all requests of
   /// a method); overrides per-forecaster cache creation when set.
   std::shared_ptr<lm::PrefixCache> shared_prefix_cache;
+  /// Continuous-batching decode (--batch): route every sample draw
+  /// through a step-level BatchScheduler so concurrent draws decode one
+  /// token per step together. Forecasts stay bit-identical; only the
+  /// decode schedule changes.
+  bool batch = false;
+  /// Decode slots in the batch (--batch-size); in serve-sim this also
+  /// bounds concurrently served requests.
+  int batch_size = 8;
+  /// Refill freed slots immediately (--batch-backfill 1, continuous
+  /// batching) or only when the whole batch drains (0, gang batches).
+  bool batch_backfill = true;
+  /// Externally shared scheduler (serve-sim wires one across all
+  /// requests of a method); when unset and `batch` is true,
+  /// MakeForecaster creates a private per-forecaster scheduler.
+  std::shared_ptr<batch::BatchScheduler> batch_scheduler;
 };
 
 Result<std::unique_ptr<forecast::Forecaster>> MakeForecaster(

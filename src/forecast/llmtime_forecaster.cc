@@ -69,6 +69,10 @@ Result<ForecastResult> LlmTimeForecaster::Forecast(const ts::Frame& history,
   // concurrent dimension workers share it directly.
   base.prefix_cache = false;
   base.shared_prefix_cache = prefix_cache_;
+  // One scheduler across all dimensions (and whoever else shares it):
+  // the scheduler is thread-safe and each decode job is independent, so
+  // dimension workers batch their draws without affecting outputs.
+  base.batch_scheduler = options_.batch_scheduler;
 
   const size_t dims = history.num_dims();
   const double t0 = ctx.now();

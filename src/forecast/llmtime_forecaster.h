@@ -9,6 +9,7 @@
 #include <memory>
 #include <string>
 
+#include "batch/batch_scheduler.h"
 #include "forecast/forecaster.h"
 #include "lm/fault_injection.h"
 #include "lm/prefix_cache.h"
@@ -53,6 +54,12 @@ struct LlmTimeOptions {
   size_t prefix_cache_capacity = 64;
   /// Externally shared cache; overrides `prefix_cache` when set.
   std::shared_ptr<lm::PrefixCache> shared_prefix_cache;
+  /// Shared continuous-batching scheduler, forwarded into every
+  /// per-dimension pipeline (same semantics as
+  /// MultiCastOptions::batch_scheduler): all dimensions' draws — and any
+  /// other pipelines on the same scheduler — decode one token per step
+  /// together. Bit-identical output either way.
+  std::shared_ptr<batch::BatchScheduler> batch_scheduler;
 };
 
 /// Runs a univariate serialized forecast per dimension and stitches the

@@ -7,6 +7,8 @@
 #include <optional>
 #include <utility>
 
+#include "batch/batch_llm.h"
+#include "lm/generator.h"
 #include "lm/resilient_backend.h"
 #include "token/codec.h"
 #include "ts/stats.h"
@@ -114,7 +116,7 @@ uint64_t MixSeed(uint64_t seed, uint64_t index) {
 // latency accessors) is never shared across worker threads. All virtual
 // time lands on the draw's branch `clock`.
 struct BackendStack {
-  std::unique_ptr<lm::SimulatedLlm> base;
+  std::unique_ptr<lm::LlmBackend> base;
   std::unique_ptr<lm::FaultInjectingBackend> faults;
   std::unique_ptr<lm::ResilientBackend> resilient;
   lm::LlmBackend* top = nullptr;
@@ -132,8 +134,17 @@ BackendStack BuildDrawStack(const MultiCastOptions& options,
     // "nothing shared across draws": it is internally synchronized and
     // only ever hands out forks of immutable state, so draws stay
     // isolated and bit-identical (see lm/prefix_cache.h).
-    stack.base = std::make_unique<lm::SimulatedLlm>(options.profile,
-                                                    vocab_size, cache);
+    if (options.batch_scheduler != nullptr) {
+      // Same validation/session/grammar front-end as SimulatedLlm, but
+      // the token loop runs inside the shared continuous-batching
+      // scheduler — draws from every pipeline on this scheduler decode
+      // one token per step together. Bit-identical output either way.
+      stack.base = std::make_unique<batch::BatchLlm>(
+          options.profile, vocab_size, options.batch_scheduler, cache);
+    } else {
+      stack.base = std::make_unique<lm::SimulatedLlm>(options.profile,
+                                                      vocab_size, cache);
+    }
     stack.top = stack.base.get();
   }
   if (options.faults.any()) {

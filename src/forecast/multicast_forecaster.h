@@ -18,6 +18,7 @@
 #include <memory>
 #include <string>
 
+#include "batch/batch_scheduler.h"
 #include "forecast/forecaster.h"
 #include "lm/fault_injection.h"
 #include "lm/prefix_cache.h"
@@ -109,6 +110,16 @@ struct MultiCastOptions {
   /// LLMTime's per-dimension pipelines). When set it is used regardless
   /// of `prefix_cache` and the forecaster owns no cache of its own.
   std::shared_ptr<lm::PrefixCache> shared_prefix_cache;
+  /// Continuous-batching decode scheduler (batch/batch_scheduler.h).
+  /// When set (and no external `backend` is injected), every draw's
+  /// backend stack bottoms out in a batch::BatchLlm that submits its
+  /// decode session to this shared scheduler instead of running its own
+  /// token loop — draws from this forecast, concurrent forecasts and
+  /// other in-flight serving requests sharing the scheduler advance one
+  /// token per step together. Output is bit-identical to the unbatched
+  /// path at any batch size and thread count; only the execution
+  /// schedule (and wall-clock against a latency-bound step) changes.
+  std::shared_ptr<batch::BatchScheduler> batch_scheduler;
 };
 
 /// See file comment.

@@ -4,8 +4,6 @@
 #include <memory>
 #include <utility>
 
-#include "lm/mixture_model.h"
-#include "lm/ngram_model.h"
 #include "util/strings.h"
 
 namespace multicast {
@@ -18,6 +16,39 @@ GrammarMask AllowAll(size_t vocab_size) {
   return GrammarMask([mask](size_t) { return mask; }, /*period=*/1);
 }
 
+Status ValidatePromptTokens(const std::vector<token::TokenId>& prompt,
+                            size_t vocab_size) {
+  if (prompt.empty()) {
+    return Status::InvalidArgument("empty prompt");
+  }
+  for (token::TokenId id : prompt) {
+    if (id < 0 || static_cast<size_t>(id) >= vocab_size) {
+      return Status::InvalidArgument(
+          StrFormat("prompt token id %d outside vocabulary of size %zu", id,
+                    vocab_size));
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<GrammarMask::Shared>> HoistGrammarCycle(
+    const GrammarMask& mask, size_t num_tokens, size_t vocab_size) {
+  const size_t period = mask.period();
+  const size_t count =
+      period > 0 ? std::min(period, num_tokens) : num_tokens;
+  std::vector<GrammarMask::Shared> cycle;
+  cycle.reserve(count);
+  for (size_t p = 0; p < count; ++p) {
+    cycle.push_back(mask(p));
+    if (cycle.back()->size() != vocab_size) {
+      return Status::InvalidArgument(
+          StrFormat("grammar mask has %zu entries for vocabulary of %zu",
+                    cycle.back()->size(), vocab_size));
+    }
+  }
+  return cycle;
+}
+
 SimulatedLlm::SimulatedLlm(const ModelProfile& profile, size_t vocab_size,
                            std::shared_ptr<PrefixCache> prefix_cache)
     : profile_(profile),
@@ -26,30 +57,12 @@ SimulatedLlm::SimulatedLlm(const ModelProfile& profile, size_t vocab_size,
       fingerprint_(ModelFingerprint(profile_, vocab_size_)) {}
 
 std::unique_ptr<LanguageModel> SimulatedLlm::NewModel() const {
-  switch (profile_.backend) {
-    case BackendKind::kNGram:
-      return std::make_unique<NGramLanguageModel>(vocab_size_,
-                                                  profile_.ngram);
-    case BackendKind::kMixture:
-      return std::make_unique<MixtureLanguageModel>(vocab_size_,
-                                                    profile_.mixture);
-  }
-  return nullptr;
+  return NewDecoderModel(profile_, vocab_size_);
 }
 
 Status SimulatedLlm::ValidatePrompt(
     const std::vector<token::TokenId>& prompt) const {
-  if (prompt.empty()) {
-    return Status::InvalidArgument("empty prompt");
-  }
-  for (token::TokenId id : prompt) {
-    if (id < 0 || static_cast<size_t>(id) >= vocab_size_) {
-      return Status::InvalidArgument(
-          StrFormat("prompt token id %d outside vocabulary of size %zu", id,
-                    vocab_size_));
-    }
-  }
-  return Status::OK();
+  return ValidatePromptTokens(prompt, vocab_size_);
 }
 
 Status SimulatedLlm::WarmPrefix(const std::vector<token::TokenId>& prompt) {
@@ -82,30 +95,15 @@ Result<GenerationResult> SimulatedLlm::Complete(
   result.tokens.reserve(num_tokens);
 
   // Hoist the grammar: a periodic mask is evaluated once per cycle
-  // position up front instead of once per generated token.
-  const size_t period = mask.period();
-  std::vector<GrammarMask::Shared> cycle;
-  if (period > 0) {
-    cycle.reserve(std::min(period, num_tokens));
-    for (size_t p = 0; p < period && p < num_tokens; ++p) {
-      cycle.push_back(mask(p));
-      if (cycle.back()->size() != vocab_size_) {
-        return Status::InvalidArgument(
-            StrFormat("grammar mask has %zu entries for vocabulary of %zu",
-                      cycle.back()->size(), vocab_size_));
-      }
-    }
-  }
+  // position up front instead of once per generated token; an aperiodic
+  // mask is evaluated for every position it will be consulted at. The
+  // masks are pure, so eager evaluation is observably identical.
+  MC_ASSIGN_OR_RETURN(std::vector<GrammarMask::Shared> cycle,
+                      HoistGrammarCycle(mask, num_tokens, vocab_size_));
 
   std::vector<double> probs;
   for (size_t step = 0; step < num_tokens; ++step) {
-    GrammarMask::Shared allowed =
-        period > 0 ? cycle[step % period] : mask(step);
-    if (period == 0 && allowed->size() != vocab_size_) {
-      return Status::InvalidArgument(
-          StrFormat("grammar mask has %zu entries for vocabulary of %zu",
-                    allowed->size(), vocab_size_));
-    }
+    const GrammarMask::Shared& allowed = cycle[step % cycle.size()];
     model->NextDistribution(&probs);
     MC_ASSIGN_OR_RETURN(token::TokenId next,
                         SampleToken(probs, *allowed, profile_.sampler, rng));

@@ -17,6 +17,21 @@
 namespace multicast {
 namespace lm {
 
+/// Rejects an empty prompt or one containing token ids outside the
+/// vocabulary. Shared by every decode front-end so the error strings a
+/// caller observes are identical whichever path served the call.
+Status ValidatePromptTokens(const std::vector<token::TokenId>& prompt,
+                            size_t vocab_size);
+
+/// Evaluates the grammar masks a `num_tokens`-step decode will consult:
+/// one full cycle for a periodic mask, all `num_tokens` positions for an
+/// aperiodic one. Each mask is size-validated against `vocab_size`.
+/// Decode loops index the result as `cycle[step % cycle.size()]` (exact
+/// for every case: full cycle, cycle truncated by num_tokens, aperiodic).
+/// Returns an empty vector when num_tokens is 0.
+Result<std::vector<GrammarMask::Shared>> HoistGrammarCycle(
+    const GrammarMask& mask, size_t num_tokens, size_t vocab_size);
+
 /// One simulated LLM back-end: a profile plus the decoding loop.
 ///
 /// Each Complete() call behaves like one stateless API call to a hosted

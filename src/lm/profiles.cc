@@ -1,6 +1,7 @@
 #include "lm/profiles.h"
 
 #include <cstring>
+#include <memory>
 
 namespace multicast {
 namespace lm {
@@ -19,6 +20,18 @@ uint64_t FoldDouble(uint64_t hash, double value) {
   return Fold(hash, bits);
 }
 }  // namespace
+
+std::unique_ptr<LanguageModel> NewDecoderModel(const ModelProfile& profile,
+                                               size_t vocab_size) {
+  switch (profile.backend) {
+    case BackendKind::kNGram:
+      return std::make_unique<NGramLanguageModel>(vocab_size, profile.ngram);
+    case BackendKind::kMixture:
+      return std::make_unique<MixtureLanguageModel>(vocab_size,
+                                                    profile.mixture);
+  }
+  return nullptr;
+}
 
 uint64_t ModelFingerprint(const ModelProfile& profile, size_t vocab_size) {
   uint64_t h = 14695981039346656037ULL;

@@ -10,8 +10,10 @@
 #define MULTICAST_LM_PROFILES_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
+#include "lm/language_model.h"
 #include "lm/mixture_model.h"
 #include "lm/ngram_model.h"
 #include "lm/sampler.h"
@@ -59,6 +61,13 @@ struct ModelProfile {
 /// the cache-key namespace so caches shared across forecasters (serving,
 /// LLMTime dimensions) never mix states from different model families.
 uint64_t ModelFingerprint(const ModelProfile& profile, size_t vocab_size);
+
+/// Fresh empty decode session for `profile` over a `vocab_size`
+/// vocabulary. The single construction point every decode front-end
+/// (SimulatedLlm, the batch scheduler's session intake) goes through, so
+/// a profile maps to exactly one model family everywhere.
+std::unique_ptr<LanguageModel> NewDecoderModel(const ModelProfile& profile,
+                                               size_t vocab_size);
 
 }  // namespace lm
 }  // namespace multicast

@@ -52,6 +52,8 @@ ServeSummary Summarize(const std::vector<ServeStats>& stats) {
   ServeSummary s;
   s.total = stats.size();
   std::vector<double> latencies;
+  std::vector<double> queue_waits;
+  std::vector<double> service_times;
   double queue_wait = 0.0;
   size_t started = 0;
   for (const ServeStats& st : stats) {
@@ -80,6 +82,9 @@ ServeSummary Summarize(const std::vector<ServeStats>& stats) {
     if (st.outcome == RequestOutcome::kServed ||
         st.outcome == RequestOutcome::kServedDegraded) {
       latencies.push_back(st.latency_seconds);
+      // The end-to-end split: latency = queue wait + service time.
+      queue_waits.push_back(st.queue_wait_seconds);
+      service_times.push_back(st.finish_seconds - st.start_seconds);
     }
     if (st.attempts > 0) {
       queue_wait += st.queue_wait_seconds;
@@ -88,10 +93,19 @@ ServeSummary Summarize(const std::vector<ServeStats>& stats) {
     s.retry += st.retry;
     s.ledger += st.ledger;
     s.prefix_cache += st.prefix_cache;
+    s.batch += st.batch;
   }
   std::sort(latencies.begin(), latencies.end());
+  std::sort(queue_waits.begin(), queue_waits.end());
+  std::sort(service_times.begin(), service_times.end());
   s.p50_latency_seconds = SortedQuantile(latencies, 0.50);
   s.p99_latency_seconds = SortedQuantile(latencies, 0.99);
+  s.p50_queue_wait_seconds = SortedQuantile(queue_waits, 0.50);
+  s.p95_queue_wait_seconds = SortedQuantile(queue_waits, 0.95);
+  s.p99_queue_wait_seconds = SortedQuantile(queue_waits, 0.99);
+  s.p50_service_seconds = SortedQuantile(service_times, 0.50);
+  s.p95_service_seconds = SortedQuantile(service_times, 0.95);
+  s.p99_service_seconds = SortedQuantile(service_times, 0.99);
   s.mean_queue_wait_seconds =
       started > 0 ? queue_wait / static_cast<double>(started) : 0.0;
   return s;
@@ -267,8 +281,38 @@ ServeStats ServeExecutor::ServeOne(const ForecastRequest& request,
   return st;
 }
 
+ServeStats ServeExecutor::ServeInstrumented(const ForecastRequest& request,
+                                            double start) {
+  // Attribute shared-subsystem activity to this request by snapshotting
+  // counters around its service. Pipelines run one at a time even in
+  // batched mode (the slot lifecycle is simulated in virtual time), so
+  // the deltas are exact.
+  lm::PrefixCacheStats cache_before;
+  if (options_.prefix_cache != nullptr) {
+    cache_before = options_.prefix_cache->stats();
+  }
+  batch::BatchStats batch_before;
+  if (options_.batch.scheduler != nullptr) {
+    batch_before = options_.batch.scheduler->stats();
+  }
+  ServeStats st = ServeOne(request, start);
+  if (options_.prefix_cache != nullptr) {
+    st.prefix_cache = options_.prefix_cache->stats() - cache_before;
+  }
+  if (options_.batch.scheduler != nullptr) {
+    st.batch = options_.batch.scheduler->stats() - batch_before;
+  }
+  return st;
+}
+
 Result<std::vector<ServeStats>> ServeExecutor::Run(
     std::vector<ForecastRequest> requests) {
+  if (options_.batch.enabled && options_.hedge.enabled) {
+    return Status::InvalidArgument(
+        "batched serving does not compose with hedging: a hedge is a "
+        "second in-flight copy of the request, which the slot "
+        "accounting cannot attribute; disable one of them");
+  }
   for (const ForecastRequest& r : requests) {
     if (r.history == nullptr) {
       return Status::InvalidArgument(
@@ -283,6 +327,7 @@ Result<std::vector<ServeStats>> ServeExecutor::Run(
                    [](const ForecastRequest& a, const ForecastRequest& b) {
                      return a.arrival_seconds < b.arrival_seconds;
                    });
+  if (options_.batch.enabled) return RunBatched(std::move(requests));
 
   AdmissionQueue queue(options_.queue);
   std::vector<ServeStats> stats;
@@ -350,19 +395,122 @@ Result<std::vector<ServeStats>> ServeExecutor::Run(
               r.id, r.deadline_seconds, now - r.arrival_seconds)));
     }
     if (!popped) continue;
-    // Attribute cache activity to this request by snapshotting the
-    // shared cache's counters around its service (the worker serves one
-    // request at a time, so the delta is exact).
-    lm::PrefixCacheStats cache_before;
-    if (options_.prefix_cache != nullptr) {
-      cache_before = options_.prefix_cache->stats();
-    }
-    ServeStats st = ServeOne(job, now);
-    if (options_.prefix_cache != nullptr) {
-      st.prefix_cache = options_.prefix_cache->stats() - cache_before;
-    }
+    ServeStats st = ServeInstrumented(job, now);
     now = std::max(now, st.finish_seconds);
     stats.push_back(std::move(st));
+  }
+
+  end_seconds_ = now;
+  queue_stats_ = queue.stats();
+  std::sort(stats.begin(), stats.end(),
+            [](const ServeStats& a, const ServeStats& b) {
+              return a.id < b.id;
+            });
+  return stats;
+}
+
+Result<std::vector<ServeStats>> ServeExecutor::RunBatched(
+    std::vector<ForecastRequest> requests) {
+  // Event-driven N-slot server: up to `size` requests are in service at
+  // once, each started the moment a slot was free (continuous back-fill)
+  // or the moment the whole batch drained (gang mode). Service itself is
+  // simulated sequentially on branch clocks — exactly like hedging — so
+  // the run stays bit-reproducible: each request's forecast is a pure
+  // function of (request, start time), and batching only changes the
+  // start times.
+  AdmissionQueue queue(options_.queue);
+  std::vector<ServeStats> stats;
+  stats.reserve(requests.size());
+
+  auto record_rejection = [&stats](const ForecastRequest& r,
+                                   RequestOutcome outcome, Status status) {
+    ServeStats st;
+    st.id = r.id;
+    st.arrival_seconds = r.arrival_seconds;
+    st.outcome = outcome;
+    st.status = std::move(status);
+    stats.push_back(std::move(st));
+  };
+
+  auto admit = [&](const ForecastRequest& r) {
+    if (r.arrival_seconds >= options_.drain_at_seconds) queue.Close();
+    Status s = queue.Offer(r);
+    if (s.ok()) return;
+    record_rejection(r,
+                     s.code() == StatusCode::kResourceExhausted
+                         ? RequestOutcome::kShedQueueFull
+                         : RequestOutcome::kCancelledDrain,
+                     std::move(s));
+  };
+
+  struct InFlight {
+    double finish_seconds;
+    ServeStats st;
+  };
+  std::vector<InFlight> flying;
+  const size_t slots = std::max<size_t>(1, options_.batch.size);
+  const double inf = std::numeric_limits<double>::infinity();
+
+  double now = 0.0;
+  size_t next = 0;
+  while (next < requests.size() || !queue.empty() || !flying.empty()) {
+    while (next < requests.size() &&
+           requests[next].arrival_seconds <= now) {
+      admit(requests[next++]);
+    }
+    if (now >= options_.drain_at_seconds) {
+      queue.Close();
+      if (options_.drain_mode == DrainMode::kCancelQueued) {
+        for (const ForecastRequest& r : queue.Flush()) {
+          record_rejection(
+              r, RequestOutcome::kCancelledDrain,
+              Status::Cancelled(StrFormat(
+                  "request %zu cancelled in queue: server drained at "
+                  "%.3fs",
+                  r.id, options_.drain_at_seconds)));
+        }
+      }
+    }
+    // Fill free slots from the queue at the current instant. Gang mode
+    // only refills once every in-flight request has landed.
+    if (options_.batch.backfill || flying.empty()) {
+      while (flying.size() < slots && !queue.empty()) {
+        std::vector<ForecastRequest> expired;
+        ForecastRequest job;
+        const bool popped = queue.Pop(now, &job, &expired);
+        for (const ForecastRequest& r : expired) {
+          record_rejection(
+              r, RequestOutcome::kShedExpired,
+              Status::DeadlineExceeded(StrFormat(
+                  "request %zu expired in queue: deadline %.3fs passed "
+                  "after %.3fs waiting",
+                  r.id, r.deadline_seconds, now - r.arrival_seconds)));
+        }
+        if (!popped) break;
+        ServeStats st = ServeInstrumented(job, now);
+        const double finish = std::max(now, st.finish_seconds);
+        flying.push_back(InFlight{finish, std::move(st)});
+      }
+    }
+    // Advance to the next event: an arrival joining the queue or an
+    // in-flight request landing (freeing its slot for back-fill).
+    double next_arrival =
+        next < requests.size() ? requests[next].arrival_seconds : inf;
+    double next_finish = inf;
+    for (const InFlight& f : flying) {
+      next_finish = std::min(next_finish, f.finish_seconds);
+    }
+    const double event = std::min(next_arrival, next_finish);
+    if (event == inf) break;  // nothing flying, no arrivals left
+    now = std::max(now, event);
+    for (auto it = flying.begin(); it != flying.end();) {
+      if (it->finish_seconds <= now) {
+        stats.push_back(std::move(it->st));
+        it = flying.erase(it);
+      } else {
+        ++it;
+      }
+    }
   }
 
   end_seconds_ = now;

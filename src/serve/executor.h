@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "batch/batch_scheduler.h"
 #include "forecast/forecaster.h"
 #include "lm/prefix_cache.h"
 #include "serve/queue.h"
@@ -52,6 +53,34 @@ struct HedgePolicy {
   double delay_seconds = 0.5;
 };
 
+/// Batched service mode: instead of one simulated worker running each
+/// request to completion before touching the next, up to `size` requests
+/// are in service at once, each on its own branch clock from the moment
+/// a slot frees — the serving-level face of continuous batching. The
+/// caller wires the shared batch::BatchScheduler into its forecaster
+/// factories (as it does the prefix cache), so all in-flight requests'
+/// sample draws decode through one scheduler; the executor simulates the
+/// slot lifecycle and *observes* the scheduler for per-request
+/// BatchStats. Each request's forecast stays bit-identical to the
+/// sequential path — batching changes when requests start, never what
+/// they compute. Does not compose with hedging (Run rejects the combo).
+struct BatchServePolicy {
+  bool enabled = false;
+  /// Concurrent in-service requests (also the decode batch bound the
+  /// caller should configure the scheduler with).
+  size_t size = 8;
+  /// true: a freed slot is refilled from the queue immediately
+  /// (continuous batching); false: slots refill only when every
+  /// in-flight request finished (gang / run-to-completion batches).
+  bool backfill = true;
+  /// The scheduler shared by the served pipelines, when the caller
+  /// wired one into its factories. Observed only — stats are
+  /// snapshotted around each request, like the prefix cache. May be
+  /// null (no batch accounting); may also be set with `enabled` false
+  /// to account per-request decode batching under the sequential loop.
+  std::shared_ptr<batch::BatchScheduler> scheduler;
+};
+
 /// What happens to work still waiting when the server drains.
 enum class DrainMode {
   kFinishQueued,  ///< stop admitting, serve out everything queued
@@ -71,6 +100,8 @@ struct ServeOptions {
   /// request so ServeStats carries that request's cache activity. Null
   /// disables the accounting; serving behaviour is identical either way.
   std::shared_ptr<lm::PrefixCache> prefix_cache;
+  /// Batched service mode + scheduler observation (see BatchServePolicy).
+  BatchServePolicy batch;
 };
 
 enum class RequestOutcome {
@@ -109,6 +140,10 @@ struct ServeStats {
   /// shared cache's counters across its service; empty without a cache
   /// in ServeOptions).
   lm::PrefixCacheStats prefix_cache;
+  /// Batch-scheduler activity attributed to this request (delta of the
+  /// shared scheduler's counters; empty without a scheduler in
+  /// ServeOptions).
+  batch::BatchStats batch;
   /// The served forecast (null unless served) — benches score RMSE of
   /// what clients actually received, shed requests included by absence.
   std::shared_ptr<const forecast::ForecastResult> result;
@@ -129,9 +164,21 @@ struct ServeSummary {
   double p50_latency_seconds = 0.0;
   double p99_latency_seconds = 0.0;
   double mean_queue_wait_seconds = 0.0;
+  /// End-to-end latency split over served requests: time spent waiting
+  /// for a worker slot (queue wait) vs time in service (start to
+  /// finish). Queue wait is where batching/hedging/shedding policies
+  /// show up; service time is the pipeline's own cost — comparing the
+  /// two tells which one a config actually moved.
+  double p50_queue_wait_seconds = 0.0;
+  double p95_queue_wait_seconds = 0.0;
+  double p99_queue_wait_seconds = 0.0;
+  double p50_service_seconds = 0.0;
+  double p95_service_seconds = 0.0;
+  double p99_service_seconds = 0.0;
   lm::RetryStats retry;
   lm::TokenLedger ledger;
   lm::PrefixCacheStats prefix_cache;
+  batch::BatchStats batch;
 
   size_t shed() const { return shed_queue_full + shed_expired; }
 };
@@ -159,6 +206,12 @@ class ServeExecutor {
 
  private:
   ServeStats ServeOne(const ForecastRequest& request, double start);
+  /// ServeOne plus prefix-cache / batch-scheduler stat attribution.
+  ServeStats ServeInstrumented(const ForecastRequest& request, double start);
+  /// The batched service loop (options_.batch.enabled); `requests` are
+  /// already validated and sorted by arrival.
+  Result<std::vector<ServeStats>> RunBatched(
+      std::vector<ForecastRequest> requests);
 
   ForecasterFactory primary_;
   ForecasterFactory hedge_;

@@ -1,0 +1,632 @@
+// Tests of the continuous-batching decode scheduler, in three layers:
+//
+//  1. Scheduler mechanics — slot lifecycle, EDF admission, back-fill vs
+//     gang refill, deadline/cancel preemption, stats accounting — driven
+//     directly through Submit/Await with hand-built decode jobs.
+//  2. The transparency contract: routing a pipeline's draws through a
+//     shared BatchScheduler must produce the run-to-completion result
+//     bit for bit, at every batch size and thread count, clean and under
+//     chaos, deadline degradation and mid-flight cancellation included
+//     (the batched sibling of parallel_sampling_test's invariance
+//     suite).
+//  3. Serving integration: the executor's batched service mode serves
+//     the same forecasts the sequential loop serves, and composes with
+//     the shared-scheduler stats plumbing.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "batch/batch_llm.h"
+#include "batch/batch_scheduler.h"
+#include "forecast/llmtime_forecaster.h"
+#include "forecast/multicast_forecaster.h"
+#include "lm/generator.h"
+#include "lm/profiles.h"
+#include "serve/executor.h"
+#include "token/vocabulary.h"
+#include "ts/frame.h"
+
+namespace multicast {
+namespace batch {
+namespace {
+
+// ---------------------------------------------------------------------
+// Layer 1: scheduler mechanics with hand-built jobs.
+// ---------------------------------------------------------------------
+
+constexpr uint64_t kSeed = 0x5eed;
+
+// A decode job over the digit vocabulary: fresh model, short fixed
+// prompt, allow-all grammar. `rng` must outlive the job's Await.
+DecodeJobSpec MakeJob(size_t num_tokens, Rng* rng) {
+  const size_t vocab = token::Vocabulary::Digits().size();
+  DecodeJobSpec spec;
+  spec.session = lm::NewDecoderModel(lm::ModelProfile::Llama2_7B(), vocab);
+  for (token::TokenId t : {1, 2, 3}) spec.session->Observe(t);
+  spec.num_tokens = num_tokens;
+  spec.masks =
+      lm::HoistGrammarCycle(lm::AllowAll(vocab), num_tokens, vocab)
+          .ValueOrDie();
+  spec.rng = rng;
+  return spec;
+}
+
+TEST(BatchSchedulerTest, LifecycleRetiresEveryJobAndCountsSteps) {
+  BatchPolicy policy;
+  policy.max_batch = 2;
+  BatchScheduler scheduler(policy);
+  Rng r1(kSeed, 1), r2(kSeed, 2), r3(kSeed, 3);
+  BatchTicket t1 = scheduler.Submit(MakeJob(4, &r1));
+  BatchTicket t2 = scheduler.Submit(MakeJob(6, &r2));
+  BatchTicket t3 = scheduler.Submit(MakeJob(2, &r3));
+
+  auto o1 = scheduler.Await(t1);
+  auto o2 = scheduler.Await(t2);
+  auto o3 = scheduler.Await(t3);
+  ASSERT_TRUE(o1.ok()) << o1.status().ToString();
+  ASSERT_TRUE(o2.ok()) << o2.status().ToString();
+  ASSERT_TRUE(o3.ok()) << o3.status().ToString();
+  EXPECT_EQ(o1.value().tokens.size(), 4u);
+  EXPECT_EQ(o2.value().tokens.size(), 6u);
+  EXPECT_EQ(o3.value().tokens.size(), 2u);
+
+  BatchStats stats = scheduler.stats();
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.admitted, 3u);
+  EXPECT_EQ(stats.retired, 3u);
+  EXPECT_EQ(stats.preemptions, 0u);
+  // 12 tokens over 2 slots: at least 6 steps, and every token decoded
+  // in exactly one slot-step.
+  EXPECT_EQ(stats.slot_steps, 12u);
+  EXPECT_GE(stats.steps, 6u);
+  EXPECT_EQ(stats.peak_batch, 2u);
+  EXPECT_GT(stats.mean_batch(), 1.0);
+}
+
+TEST(BatchSchedulerTest, TokensAreBatchSizeInvariant) {
+  // The same jobs (same prompts, same RNG streams) must decode the same
+  // token sequences whether they run alone or share a batch.
+  auto decode_all = [](size_t max_batch) {
+    BatchPolicy policy;
+    policy.max_batch = max_batch;
+    BatchScheduler scheduler(policy);
+    std::vector<std::unique_ptr<Rng>> rngs;
+    std::vector<BatchTicket> tickets;
+    for (uint64_t i = 0; i < 5; ++i) {
+      rngs.push_back(std::make_unique<Rng>(kSeed, i + 1));
+      tickets.push_back(scheduler.Submit(MakeJob(8, rngs.back().get())));
+    }
+    std::vector<std::vector<token::TokenId>> out;
+    for (BatchTicket t : tickets) {
+      out.push_back(scheduler.Await(t).ValueOrDie().tokens);
+    }
+    return out;
+  };
+  auto solo = decode_all(1);
+  for (size_t max_batch : {4, 16}) {
+    EXPECT_EQ(solo, decode_all(max_batch)) << "max_batch=" << max_batch;
+  }
+}
+
+TEST(BatchSchedulerTest, EdfAdmissionOrdersByDeadlineThenTicket) {
+  BatchPolicy policy;
+  policy.max_batch = 1;  // one slot: admission order == decode order
+  BatchScheduler scheduler(policy);
+  Rng r1(kSeed, 1), r2(kSeed, 2), r3(kSeed, 3), r4(kSeed, 4);
+  DecodeJobSpec a = MakeJob(2, &r1);
+  a.deadline_seconds = 3.0;
+  DecodeJobSpec b = MakeJob(2, &r2);
+  b.deadline_seconds = 1.0;
+  DecodeJobSpec c = MakeJob(2, &r3);
+  c.deadline_seconds = 2.0;
+  DecodeJobSpec d = MakeJob(2, &r4);
+  d.deadline_seconds = 2.0;  // ties break by submission order: after c
+  BatchTicket ta = scheduler.Submit(std::move(a));
+  BatchTicket tb = scheduler.Submit(std::move(b));
+  BatchTicket tc = scheduler.Submit(std::move(c));
+  BatchTicket td = scheduler.Submit(std::move(d));
+
+  auto oa = scheduler.Await(ta).ValueOrDie();
+  auto ob = scheduler.Await(tb).ValueOrDie();
+  auto oc = scheduler.Await(tc).ValueOrDie();
+  auto od = scheduler.Await(td).ValueOrDie();
+  EXPECT_LT(ob.admitted_step, oc.admitted_step);
+  EXPECT_LT(oc.admitted_step, od.admitted_step);
+  EXPECT_LT(od.admitted_step, oa.admitted_step);
+}
+
+TEST(BatchSchedulerTest, BackfillRefillsMidBatchGangWaitsForDrain) {
+  // Two slots, jobs of 1/1/6 tokens. With back-fill the long job joins
+  // at step 2 while a short job still runs (a back-fill admission);
+  // gang scheduling admits it only after the first batch fully drains.
+  auto run = [](bool backfill) {
+    BatchPolicy policy;
+    policy.max_batch = 2;
+    policy.backfill = backfill;
+    BatchScheduler scheduler(policy);
+    Rng r1(kSeed, 1), r2(kSeed, 2), r3(kSeed, 3);
+    BatchTicket t1 = scheduler.Submit(MakeJob(1, &r1));
+    BatchTicket t2 = scheduler.Submit(MakeJob(6, &r2));
+    BatchTicket t3 = scheduler.Submit(MakeJob(1, &r3));
+    scheduler.Await(t1).ValueOrDie();
+    scheduler.Await(t2).ValueOrDie();
+    DecodeOutput late = scheduler.Await(t3).ValueOrDie();
+    BatchStats stats = scheduler.stats();
+    return std::make_pair(late.admitted_step, stats.backfills);
+  };
+  auto [continuous_step, continuous_backfills] = run(true);
+  // Step 1 decodes jobs 1+2; job 1 retires, job 3 back-fills into the
+  // freed slot at step 2 alongside the still-running job 2.
+  EXPECT_EQ(continuous_step, 2u);
+  EXPECT_EQ(continuous_backfills, 1u);
+  auto [gang_step, gang_backfills] = run(false);
+  // Gang: job 3 waits for job 2's full 6 steps before a new batch forms.
+  EXPECT_EQ(gang_step, 7u);
+  EXPECT_EQ(gang_backfills, 0u);
+}
+
+TEST(BatchSchedulerTest, OverDeadlineJobIsPreemptedOthersUnaffected) {
+  BatchPolicy policy;
+  policy.max_batch = 2;
+  policy.step_seconds = 0.1;
+  BatchScheduler scheduler(policy);
+  VirtualClock clock;
+  Rng r1(kSeed, 1), r2(kSeed, 2);
+  DecodeJobSpec doomed = MakeJob(50, &r1);
+  doomed.clock = &clock;
+  doomed.deadline_seconds = 0.25;
+  BatchTicket td = scheduler.Submit(std::move(doomed));
+  BatchTicket th = scheduler.Submit(MakeJob(10, &r2));
+
+  auto dead = scheduler.Await(td);
+  ASSERT_FALSE(dead.ok());
+  EXPECT_EQ(dead.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(dead.status().message().find("preempted"), std::string::npos);
+  // The dead request provably stopped consuming decode steps: its clock
+  // froze just past the deadline, far short of its 50-token budget.
+  EXPECT_LT(clock.now(), 0.5);
+
+  auto healthy = scheduler.Await(th);
+  ASSERT_TRUE(healthy.ok()) << healthy.status().ToString();
+  EXPECT_EQ(healthy.value().tokens.size(), 10u);
+  EXPECT_EQ(scheduler.stats().preemptions, 1u);
+  EXPECT_EQ(scheduler.stats().retired, 1u);
+}
+
+TEST(BatchSchedulerTest, AutoCancelPreemptsMidDecode) {
+  BatchPolicy policy;
+  policy.max_batch = 1;
+  policy.step_seconds = 0.1;
+  BatchScheduler scheduler(policy);
+  VirtualClock clock;
+  Rng rng(kSeed);
+  DecodeJobSpec spec = MakeJob(50, &rng);
+  spec.clock = &clock;
+  spec.cancel.CancelAtTime(&clock, 0.15, "drain");
+  BatchTicket ticket = scheduler.Submit(std::move(spec));
+  auto out = scheduler.Await(ticket);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kCancelled);
+  EXPECT_NE(out.status().message().find("drain"), std::string::npos);
+  EXPECT_EQ(scheduler.stats().preemptions, 1u);
+}
+
+TEST(BatchSchedulerTest, DeadOnArrivalJobNeverTakesASlot) {
+  BatchScheduler scheduler;
+  Rng rng(kSeed);
+  DecodeJobSpec spec = MakeJob(5, &rng);
+  spec.cancel.Cancel("shed before service");
+  BatchTicket ticket = scheduler.Submit(std::move(spec));
+  auto out = scheduler.Await(ticket);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kCancelled);
+  BatchStats stats = scheduler.stats();
+  EXPECT_EQ(stats.preemptions, 1u);
+  EXPECT_EQ(stats.admitted, 0u);
+  EXPECT_EQ(stats.steps, 0u);
+}
+
+TEST(BatchSchedulerTest, ZeroTokenJobCompletesWithoutDecoding) {
+  BatchScheduler scheduler;
+  DecodeJobSpec spec;  // no session/rng needed for an empty generation
+  BatchTicket ticket = scheduler.Submit(std::move(spec));
+  auto out = scheduler.Await(ticket);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_TRUE(out.value().tokens.empty());
+  EXPECT_EQ(out.value().admitted_step, 0u);
+  EXPECT_EQ(scheduler.stats().steps, 0u);
+}
+
+TEST(BatchSchedulerTest, UnknownTicketIsAnError) {
+  BatchScheduler scheduler;
+  auto out = scheduler.Await(BatchTicket{42});
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BatchStatsTest, DeltaAndSumRoundTrip) {
+  BatchStats before;
+  before.steps = 10;
+  before.slot_steps = 25;
+  before.occupancy = {0, 5, 5};
+  BatchStats after = before;
+  after.steps = 14;
+  after.slot_steps = 37;
+  after.peak_batch = 3;
+  after.occupancy = {0, 6, 7, 1};
+  BatchStats delta = after - before;
+  EXPECT_EQ(delta.steps, 4u);
+  EXPECT_EQ(delta.slot_steps, 12u);
+  EXPECT_EQ(delta.peak_batch, 3u);
+  ASSERT_EQ(delta.occupancy.size(), 4u);
+  EXPECT_EQ(delta.occupancy[1], 1u);
+  EXPECT_EQ(delta.occupancy[2], 2u);
+  EXPECT_EQ(delta.occupancy[3], 1u);
+  BatchStats sum = before;
+  sum += delta;
+  EXPECT_EQ(sum.steps, after.steps);
+  EXPECT_EQ(sum.slot_steps, after.slot_steps);
+  EXPECT_EQ(sum.occupancy, after.occupancy);
+}
+
+// ---------------------------------------------------------------------
+// Layer 2: pipeline transparency — batched decode must reproduce the
+// run-to-completion forecast bit for bit.
+// ---------------------------------------------------------------------
+
+using forecast::ForecastResult;
+using forecast::LlmTimeForecaster;
+using forecast::LlmTimeOptions;
+using forecast::MultiCastForecaster;
+using forecast::MultiCastOptions;
+using forecast::Quantization;
+
+ts::Frame PeriodicFrame(size_t n) {
+  std::vector<double> a(n), b(n);
+  for (size_t i = 0; i < n; ++i) {
+    double phase = 2.0 * M_PI * static_cast<double>(i) / 12.0;
+    a[i] = 10.0 + 5.0 * std::sin(phase);
+    b[i] = 50.0 - 20.0 * std::sin(phase);
+  }
+  return ts::Frame::FromSeries({ts::Series(a, "a"), ts::Series(b, "b")},
+                               "periodic")
+      .ValueOrDie();
+}
+
+// Asserts every deterministic field of two ForecastResults matches
+// exactly (wall-clock `seconds` excluded).
+void ExpectIdentical(const ForecastResult& a, const ForecastResult& b,
+                     const std::string& label) {
+  SCOPED_TRACE(label);
+  ASSERT_EQ(a.forecast.num_dims(), b.forecast.num_dims());
+  for (size_t d = 0; d < a.forecast.num_dims(); ++d) {
+    EXPECT_EQ(a.forecast.dim(d).values(), b.forecast.dim(d).values())
+        << "dimension " << d;
+  }
+  ASSERT_EQ(a.quantile_bands.size(), b.quantile_bands.size());
+  for (size_t i = 0; i < a.quantile_bands.size(); ++i) {
+    EXPECT_EQ(a.quantile_bands[i].first, b.quantile_bands[i].first);
+    for (size_t d = 0; d < a.quantile_bands[i].second.num_dims(); ++d) {
+      EXPECT_EQ(a.quantile_bands[i].second.dim(d).values(),
+                b.quantile_bands[i].second.dim(d).values())
+          << "band " << i << " dimension " << d;
+    }
+  }
+  EXPECT_EQ(a.ledger.prompt_tokens, b.ledger.prompt_tokens);
+  EXPECT_EQ(a.ledger.generated_tokens, b.ledger.generated_tokens);
+  EXPECT_EQ(a.virtual_seconds, b.virtual_seconds);
+  EXPECT_EQ(a.degraded, b.degraded);
+  EXPECT_EQ(a.samples_requested, b.samples_requested);
+  EXPECT_EQ(a.samples_used, b.samples_used);
+  EXPECT_EQ(a.warnings, b.warnings);
+  EXPECT_EQ(a.retry_stats.calls, b.retry_stats.calls);
+  EXPECT_EQ(a.retry_stats.attempts, b.retry_stats.attempts);
+  EXPECT_EQ(a.retry_stats.retries, b.retry_stats.retries);
+  EXPECT_EQ(a.retry_stats.backoff_seconds, b.retry_stats.backoff_seconds);
+}
+
+std::shared_ptr<BatchScheduler> Scheduler(size_t max_batch) {
+  BatchPolicy policy;
+  policy.max_batch = max_batch;
+  return std::make_shared<BatchScheduler>(policy);
+}
+
+struct VariantParam {
+  multiplex::MuxKind mux;
+  Quantization quantization;
+};
+
+class BatchIdentityTest : public testing::TestWithParam<VariantParam> {};
+
+// The headline property: clean pipeline + quantile bands, batch sizes
+// 1/4/16 × threads 1/2/8 — bit-identical to the unbatched serial run.
+TEST_P(BatchIdentityTest, CleanPipelineIsBatchInvariant) {
+  ts::Frame frame = PeriodicFrame(96);
+  MultiCastOptions opts;
+  opts.mux = GetParam().mux;
+  opts.quantization = GetParam().quantization;
+  opts.num_samples = 6;
+  opts.seed = 1234;
+  opts.quantiles = {0.1, 0.9};
+
+  auto reference = MultiCastForecaster(opts).Forecast(frame, 12);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  for (size_t max_batch : {1, 4, 16}) {
+    for (int threads : {1, 2, 8}) {
+      opts.threads = threads;
+      opts.batch_scheduler = Scheduler(max_batch);
+      auto batched = MultiCastForecaster(opts).Forecast(frame, 12);
+      ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+      ExpectIdentical(reference.value(), batched.value(),
+                      "batch=" + std::to_string(max_batch) +
+                          " threads=" + std::to_string(threads));
+      // The scheduler actually decoded the draws.
+      EXPECT_GT(opts.batch_scheduler->stats().retired, 0u);
+    }
+  }
+}
+
+// Same property under chaos + retries: the fault schedule keys on draw
+// index and the batch leaf reports the bare profile name, so retry
+// accounting and salvage warnings survive the swap bit for bit.
+TEST_P(BatchIdentityTest, ChaosPipelineIsBatchInvariant) {
+  ts::Frame frame = PeriodicFrame(96);
+  MultiCastOptions opts;
+  opts.mux = GetParam().mux;
+  opts.quantization = GetParam().quantization;
+  opts.num_samples = 5;
+  opts.seed = 77;
+  opts.faults = lm::FaultProfile::Chaos(0.2, 4242);
+  opts.resilience.retries_enabled = true;
+
+  auto reference = MultiCastForecaster(opts).Forecast(frame, 12);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  for (size_t max_batch : {1, 4, 16}) {
+    for (int threads : {1, 8}) {
+      opts.threads = threads;
+      opts.batch_scheduler = Scheduler(max_batch);
+      auto batched = MultiCastForecaster(opts).Forecast(frame, 12);
+      ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+      ExpectIdentical(reference.value(), batched.value(),
+                      "batch=" + std::to_string(max_batch) +
+                          " threads=" + std::to_string(threads));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, BatchIdentityTest,
+    testing::Values(
+        VariantParam{multiplex::MuxKind::kDigitInterleave,
+                     Quantization::kNone},
+        VariantParam{multiplex::MuxKind::kValueInterleave,
+                     Quantization::kNone},
+        VariantParam{multiplex::MuxKind::kValueConcat, Quantization::kNone},
+        VariantParam{multiplex::MuxKind::kValueInterleave,
+                     Quantization::kSaxAlphabetic},
+        VariantParam{multiplex::MuxKind::kValueInterleave,
+                     Quantization::kSaxDigital}),
+    [](const testing::TestParamInfo<VariantParam>& info) {
+      std::string name = multiplex::MuxKindName(info.param.mux);
+      switch (info.param.quantization) {
+        case Quantization::kNone:
+          return name + "Raw";
+        case Quantization::kSaxAlphabetic:
+          return name + "SaxAlpha";
+        case Quantization::kSaxDigital:
+          return name + "SaxDigit";
+      }
+      return name;
+    });
+
+// Deadline degradation with batched decode: the surviving-sample set
+// must match the unbatched run exactly at every batch size and thread
+// count (draw gating happens above the leaf; the batch adds no virtual
+// time of its own).
+TEST(BatchDegradationTest, DeadlineDegradationIsBatchInvariant) {
+  ts::Frame frame = PeriodicFrame(48);
+  auto run = [&](std::shared_ptr<BatchScheduler> scheduler, int threads,
+                 double deadline) {
+    MultiCastOptions opts;
+    opts.num_samples = 8;
+    opts.seed = 5;
+    opts.threads = threads;
+    opts.batch_scheduler = std::move(scheduler);
+    opts.faults = lm::FaultProfile::Chaos(0.1, 88);
+    opts.resilience.retries_enabled = true;
+    MultiCastForecaster forecaster(opts);
+    VirtualClock clock;
+    RequestContext ctx;
+    ctx.clock = &clock;
+    if (deadline > 0.0) ctx.deadline = Deadline::At(deadline);
+    return forecaster.Forecast(frame, 6, ctx);
+  };
+  auto probe = run(nullptr, 1, 0.0);
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  const double deadline = probe.value().virtual_seconds * 0.5;
+  ASSERT_GT(deadline, 0.0);
+  auto reference = run(nullptr, 1, deadline);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  EXPECT_TRUE(reference.value().degraded);
+  for (size_t max_batch : {1, 4, 16}) {
+    for (int threads : {1, 8}) {
+      auto batched = run(Scheduler(max_batch), threads, deadline);
+      ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+      ExpectIdentical(reference.value(), batched.value(),
+                      "batch=" + std::to_string(max_batch) +
+                          " threads=" + std::to_string(threads));
+    }
+  }
+}
+
+// Mid-flight cancellation, same contract.
+TEST(BatchDegradationTest, MidFlightCancelIsBatchInvariant) {
+  ts::Frame frame = PeriodicFrame(48);
+  auto run = [&](std::shared_ptr<BatchScheduler> scheduler, int threads,
+                 double cancel_at) {
+    MultiCastOptions opts;
+    opts.num_samples = 8;
+    opts.seed = 5;
+    opts.threads = threads;
+    opts.batch_scheduler = std::move(scheduler);
+    opts.faults = lm::FaultProfile::Chaos(0.1, 88);
+    opts.resilience.retries_enabled = true;
+    MultiCastForecaster forecaster(opts);
+    VirtualClock clock;
+    RequestContext ctx;
+    ctx.clock = &clock;
+    if (cancel_at > 0.0) ctx.cancel.CancelAtTime(&clock, cancel_at, "drain");
+    return forecaster.Forecast(frame, 6, ctx);
+  };
+  auto probe = run(nullptr, 1, 0.0);
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  const double cancel_at = probe.value().virtual_seconds * 0.5;
+  ASSERT_GT(cancel_at, 0.0);
+  auto reference = run(nullptr, 1, cancel_at);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  EXPECT_TRUE(reference.value().degraded);
+  for (size_t max_batch : {4, 16}) {
+    for (int threads : {1, 8}) {
+      auto batched = run(Scheduler(max_batch), threads, cancel_at);
+      ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+      ExpectIdentical(reference.value(), batched.value(),
+                      "batch=" + std::to_string(max_batch) +
+                          " threads=" + std::to_string(threads));
+    }
+  }
+}
+
+// LLMTime shares one scheduler across its per-dimension pipelines.
+TEST(BatchLlmTimeTest, SharedDimensionSchedulerIsOutputInvariant) {
+  ts::Frame frame = PeriodicFrame(96);
+  LlmTimeOptions opts;
+  opts.num_samples = 4;
+  opts.seed = 9;
+  opts.faults = lm::FaultProfile::Chaos(0.15, 31);
+  opts.resilience.retries_enabled = true;
+
+  auto reference = LlmTimeForecaster(opts).Forecast(frame, 12);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  for (size_t max_batch : {1, 8}) {
+    for (int threads : {1, 2, 8}) {
+      opts.threads = threads;
+      opts.batch_scheduler = Scheduler(max_batch);
+      auto batched = LlmTimeForecaster(opts).Forecast(frame, 12);
+      ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+      ExpectIdentical(reference.value(), batched.value(),
+                      "batch=" + std::to_string(max_batch) +
+                          " threads=" + std::to_string(threads));
+      EXPECT_GT(opts.batch_scheduler->stats().retired, 0u);
+    }
+  }
+}
+
+// The batch leaf must report the same identity and the same prompt
+// errors as the sequential leaf it replaces, so decorator-produced
+// warning and error strings stay bit-identical.
+TEST(BatchLlmTest, ErrorAndNameParityWithSimulatedLlm) {
+  const size_t vocab = token::Vocabulary::Digits().size();
+  const lm::ModelProfile profile = lm::ModelProfile::Llama2_7B();
+  lm::SimulatedLlm sequential(profile, vocab);
+  BatchLlm batched(profile, vocab, Scheduler(4));
+  EXPECT_EQ(batched.name(), sequential.name());
+  EXPECT_EQ(batched.vocab_size(), sequential.vocab_size());
+
+  Rng rng(kSeed);
+  lm::GrammarMask mask = lm::AllowAll(vocab);
+  auto seq_empty = sequential.Complete({}, 4, mask, &rng);
+  auto bat_empty = batched.Complete({}, 4, mask, &rng);
+  ASSERT_FALSE(seq_empty.ok());
+  ASSERT_FALSE(bat_empty.ok());
+  EXPECT_EQ(bat_empty.status().code(), seq_empty.status().code());
+  EXPECT_EQ(bat_empty.status().message(), seq_empty.status().message());
+
+  const token::TokenId bad = static_cast<token::TokenId>(vocab + 7);
+  auto seq_bad = sequential.Complete({bad}, 4, mask, &rng);
+  auto bat_bad = batched.Complete({bad}, 4, mask, &rng);
+  ASSERT_FALSE(seq_bad.ok());
+  ASSERT_FALSE(bat_bad.ok());
+  EXPECT_EQ(bat_bad.status().code(), seq_bad.status().code());
+  EXPECT_EQ(bat_bad.status().message(), seq_bad.status().message());
+}
+
+// ---------------------------------------------------------------------
+// Layer 3: the serving executor's batched service mode.
+// ---------------------------------------------------------------------
+
+TEST(BatchServeTest, BatchedRunServesTheSequentialForecasts) {
+  ts::Frame frame = PeriodicFrame(64);
+  auto make_requests = [&]() {
+    std::vector<serve::ForecastRequest> reqs;
+    for (size_t i = 0; i < 8; ++i) {
+      serve::ForecastRequest r;
+      r.id = i;
+      r.arrival_seconds = 0.25 * static_cast<double>(i);
+      r.deadline_seconds = r.arrival_seconds + 60.0;
+      r.history = &frame;
+      r.horizon = 6;
+      reqs.push_back(r);
+    }
+    return reqs;
+  };
+  auto run = [&](bool batched) {
+    std::shared_ptr<BatchScheduler> scheduler;
+    if (batched) scheduler = Scheduler(4);
+    serve::ServeOptions options;
+    options.queue.capacity = 16;
+    options.batch.enabled = batched;
+    options.batch.size = 4;
+    options.batch.scheduler = scheduler;
+    serve::ForecasterFactory factory =
+        [scheduler](const serve::ForecastRequest& req) {
+          MultiCastOptions opts;
+          opts.num_samples = 3;
+          opts.seed = 42 + req.id;
+          opts.batch_scheduler = scheduler;
+          return std::make_unique<MultiCastForecaster>(opts);
+        };
+    serve::ServeExecutor executor(factory, serve::ForecasterFactory(),
+                                  options);
+    return executor.Run(make_requests()).ValueOrDie();
+  };
+  std::vector<serve::ServeStats> sequential = run(false);
+  std::vector<serve::ServeStats> batched = run(true);
+  ASSERT_EQ(sequential.size(), batched.size());
+  for (size_t i = 0; i < sequential.size(); ++i) {
+    SCOPED_TRACE("request " + std::to_string(i));
+    EXPECT_EQ(sequential[i].outcome, batched[i].outcome);
+    ASSERT_NE(sequential[i].result, nullptr);
+    ASSERT_NE(batched[i].result, nullptr);
+    const ts::Frame& a = sequential[i].result->forecast;
+    const ts::Frame& b = batched[i].result->forecast;
+    ASSERT_EQ(a.num_dims(), b.num_dims());
+    for (size_t d = 0; d < a.num_dims(); ++d) {
+      EXPECT_EQ(a.dim(d).values(), b.dim(d).values());
+    }
+  }
+  // The batched run attributed scheduler activity to its requests.
+  serve::ServeSummary summary = serve::Summarize(batched);
+  EXPECT_GT(summary.batch.retired, 0u);
+  EXPECT_GT(summary.batch.steps, 0u);
+}
+
+TEST(BatchServeTest, BatchedModeRejectsHedging) {
+  serve::ServeOptions options;
+  options.batch.enabled = true;
+  options.hedge.enabled = true;
+  serve::ForecasterFactory factory = [](const serve::ForecastRequest&) {
+    return std::make_unique<MultiCastForecaster>(MultiCastOptions());
+  };
+  serve::ServeExecutor executor(factory, factory, options);
+  auto result = executor.Run({});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace batch
+}  // namespace multicast

@@ -19,6 +19,10 @@ echo "==== bench smoke: prefix cache identity + replay gates ===="
 cmake --build build -j "${JOBS}" --target prefix_cache
 ./build/bench/prefix_cache --smoke
 
+echo "==== bench smoke: continuous batching identity + speedup gates ===="
+cmake --build build -j "${JOBS}" --target batch_throughput
+./build/bench/batch_throughput --smoke
+
 run_asan=1
 run_tsan=1
 for arg in "$@"; do
@@ -40,6 +44,7 @@ if [[ "${run_asan}" == "1" ]]; then
     fault_injection_test
     backend_contract_test
     prefix_cache_test
+    batch_scheduler_test
   )
   cmake --build build-asan -j "${JOBS}" --target "${ASAN_TESTS[@]}"
   for t in "${ASAN_TESTS[@]}"; do
@@ -62,6 +67,7 @@ if [[ "${run_tsan}" == "1" ]]; then
     serve_executor_test
     resilient_backend_test
     fault_injection_test
+    batch_scheduler_test
   )
   cmake --build build-tsan -j "${JOBS}" --target "${TSAN_TESTS[@]}"
   for t in "${TSAN_TESTS[@]}"; do
