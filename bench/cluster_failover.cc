@@ -1,0 +1,338 @@
+// Cluster failover cost: goodput and tail latency of a replica fleet
+// under scripted crash schedules.
+//
+// Sweeps replica count x crash schedule over one fixed open-loop trace
+// of MultiCast (VI) requests on GasRate, all in virtual time: arrivals
+// are deterministic, every pipeline's virtual duration comes from the
+// seeded latency-fault stream, and each crash schedule is an explicit
+// list of fault windows — so every cell of the matrix is reproducible
+// bit-for-bit. Reported per cell: goodput (served / offered), p99
+// latency, failovers, re-dispatched draws and wasted virtual seconds
+// (the failover bill), and fleet occupancy.
+//
+// Run from the repo root: ./build/bench/cluster_failover [--smoke]
+// Writes BENCH_cluster.json. Exits non-zero when losing 1 of 4
+// replicas mid-run drops goodput below 90% of the same fleet's
+// no-fault goodput — the resilience floor the cluster layer promises —
+// or when any served forecast deviates from the single-replica
+// no-fault reference (failover must cost time, never bits).
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "cluster/fault_plan.h"
+#include "cluster/replica_set.h"
+#include "serve/executor.h"
+#include "serve/request.h"
+
+namespace multicast {
+namespace bench {
+namespace {
+
+cluster::ReplicaForecasterFactory MakeFactory(uint64_t base_seed) {
+  return [base_seed](const serve::ForecastRequest& req,
+                     const cluster::Replica& rep) {
+    forecast::MultiCastOptions opts =
+        DefaultMultiCast(multiplex::MuxKind::kValueInterleave);
+    opts.num_samples = 2;
+    // Request-derived seeds, never replica-derived: the failover
+    // determinism contract.
+    opts.seed = base_seed + req.id;
+    // Latency faults (never errors) give each pipeline a nonzero,
+    // request-seeded virtual duration, so crashes can actually
+    // interrupt flights.
+    opts.faults.latency_spike_rate = 0.25;
+    opts.faults.base_latency_seconds = 0.02;
+    opts.faults.spike_latency_seconds = 1.0;
+    opts.faults.seed = base_seed + req.id * 7919;
+    opts.shared_prefix_cache = rep.prefix_cache;
+    return std::make_unique<forecast::MultiCastForecaster>(opts);
+  };
+}
+
+std::vector<serve::ForecastRequest> MakeTrace(const ts::Frame* history,
+                                              size_t horizon,
+                                              size_t requests,
+                                              double arrival_rate,
+                                              double deadline_budget) {
+  std::vector<serve::ForecastRequest> trace;
+  trace.reserve(requests);
+  for (size_t i = 0; i < requests; ++i) {
+    serve::ForecastRequest r;
+    r.id = i;
+    r.arrival_seconds = static_cast<double>(i) / arrival_rate;
+    r.deadline_seconds = r.arrival_seconds + deadline_budget;
+    r.history = history;
+    r.horizon = horizon;
+    r.session_key = i % 4;  // a few recurring prompt families
+    trace.push_back(r);
+  }
+  return trace;
+}
+
+/// A named crash schedule, parameterized by fleet size.
+struct Scenario {
+  std::string name;
+  /// Crash windows for replica r of n (empty = healthy).
+  std::function<std::vector<cluster::FaultWindow>(size_t r, size_t n)>
+      crashes;
+};
+
+/// `span` is the virtual-time spread of arrivals — crash windows are
+/// placed relative to it so the sweep stresses the busy middle of the
+/// trace at every request count.
+std::vector<Scenario> Scenarios(double span) {
+  return {
+      {"no-fault",
+       [](size_t, size_t) { return std::vector<cluster::FaultWindow>{}; }},
+      // One replica flaps — three crash/recover cycles across the busy
+      // part of the trace: the 1-of-N resilience floor the acceptance
+      // gate reads at N = 4.
+      {"crash-1-of-n",
+       [span](size_t r, size_t) {
+         if (r != 0) return std::vector<cluster::FaultWindow>{};
+         return std::vector<cluster::FaultWindow>{
+             {0.15 * span, 0.30 * span},
+             {0.40 * span, 0.55 * span},
+             {0.65 * span, 0.80 * span}};
+       }},
+      // Every replica crashes once, staggered so the fleet is never
+      // all-dead: rolling-failure worst case with full recovery.
+      {"crash-all-staggered",
+       [span](size_t r, size_t n) {
+         double start =
+             (0.1 + 0.7 * static_cast<double>(r) / static_cast<double>(n)) *
+             span;
+         return std::vector<cluster::FaultWindow>{
+             {start, start + 0.15 * span}};
+       }},
+  };
+}
+
+struct Cell {
+  size_t replicas = 0;
+  std::string scenario;
+  size_t offered = 0;
+  size_t served = 0;
+  double goodput = 0.0;  ///< served / offered
+  double p50_seconds = 0.0;
+  double p99_seconds = 0.0;
+  size_t failovers = 0;
+  size_t redispatched_draws = 0;
+  double wasted_seconds = 0.0;
+  size_t misroutes = 0;
+  size_t ejections = 0;
+  double mean_occupancy = 0.0;
+  bool identical_to_reference = true;
+};
+
+Cell RunCell(const std::vector<serve::ForecastRequest>& trace,
+             size_t replicas, const Scenario& scenario,
+             const std::vector<std::vector<double>>* reference,
+             std::vector<std::vector<double>>* forecasts_out) {
+  std::vector<cluster::Replica> fleet = cluster::MakeUniformReplicas(
+      {.replicas = replicas, .slots = 1, .prefix_cache_capacity = 32});
+  for (size_t r = 0; r < fleet.size(); ++r) {
+    fleet[r].plan.crashes = scenario.crashes(r, replicas);
+  }
+  cluster::ClusterOptions options;
+  options.queue.capacity = 64;
+  options.router = cluster::RouterPolicy::kLeastLoaded;
+  options.router_seed = 42;
+  cluster::ClusterExecutor executor(MakeFactory(1234), nullptr,
+                                    std::move(fleet), options);
+  std::vector<serve::ServeStats> stats =
+      OrDie(executor.Run(trace), "cluster run");
+  serve::ServeSummary summary = serve::Summarize(stats);
+  const cluster::ClusterReport& report = executor.report();
+
+  Cell cell;
+  cell.replicas = replicas;
+  cell.scenario = scenario.name;
+  cell.offered = stats.size();
+  cell.served = summary.served + summary.served_degraded;
+  cell.goodput = static_cast<double>(cell.served) /
+                 static_cast<double>(cell.offered);
+  cell.p50_seconds = summary.p50_latency_seconds;
+  cell.p99_seconds = summary.p99_latency_seconds;
+  cell.failovers = report.failovers;
+  cell.redispatched_draws = report.redispatched_draws;
+  cell.wasted_seconds = report.wasted_seconds;
+  cell.misroutes = report.health.misroutes;
+  cell.ejections = report.health.ejections;
+  double occupancy = 0.0;
+  for (const cluster::ReplicaReport& r : report.replicas) {
+    occupancy += r.occupancy;
+  }
+  cell.mean_occupancy = occupancy / static_cast<double>(replicas);
+
+  // Flatten served forecasts for the bit-identity check; shed requests
+  // participate as empty slots (absence must match too — a request
+  // served here but shed in the reference, or vice versa, is a real
+  // difference in client-visible output, though not a correctness bug,
+  // so only *value* divergence fails the gate).
+  std::vector<std::vector<double>> flat(stats.size());
+  for (size_t i = 0; i < stats.size(); ++i) {
+    if (stats[i].result == nullptr) continue;
+    const ts::Frame& f = stats[i].result->forecast;
+    for (size_t d = 0; d < f.num_dims(); ++d) {
+      const std::vector<double>& vals = f.dim(d).values();
+      flat[i].insert(flat[i].end(), vals.begin(), vals.end());
+    }
+  }
+  if (reference != nullptr) {
+    for (size_t i = 0; i < flat.size(); ++i) {
+      if (flat[i].empty() || (*reference)[i].empty()) continue;
+      if (flat[i] != (*reference)[i]) {
+        cell.identical_to_reference = false;
+        break;
+      }
+    }
+  }
+  if (forecasts_out != nullptr) *forecasts_out = std::move(flat);
+  return cell;
+}
+
+}  // namespace
+
+int Main(bool smoke) {
+  const size_t kHorizon = 12;
+  const size_t kRequests = smoke ? 24 : 64;
+  const double kArrivalRate = smoke ? 2.0 : 4.0;
+  const double kDeadlineBudget = 8.0;
+  const std::vector<size_t> fleets =
+      smoke ? std::vector<size_t>{1, 4} : std::vector<size_t>{1, 2, 3, 4};
+
+  ts::Split split = LoadSplit("GasRate");
+  std::vector<serve::ForecastRequest> trace = MakeTrace(
+      &split.train, kHorizon, kRequests, kArrivalRate, kDeadlineBudget);
+  const double span =
+      static_cast<double>(kRequests) / kArrivalRate + kDeadlineBudget;
+  const std::vector<Scenario> scenarios = Scenarios(span);
+
+  std::printf(
+      "cluster failover: MultiCast (VI) on GasRate, %zu requests at "
+      "%.1f req/s, deadline budget %.1fs, horizon %zu, least-loaded "
+      "router, 1 slot/replica\n\n",
+      kRequests, kArrivalRate, kDeadlineBudget, kHorizon);
+
+  // Reference output: one healthy replica, no faults — the values every
+  // served forecast must reproduce regardless of fleet size or crashes.
+  std::vector<std::vector<double>> reference;
+  RunCell(trace, 1, scenarios[0], nullptr, &reference);
+
+  TextTable table({"Replicas", "Scenario", "Served", "Goodput", "p50(s)",
+                   "p99(s)", "Failovers", "Redisp.draws", "Wasted(s)",
+                   "Ejections", "Occupancy", "Identical"});
+  std::vector<Cell> cells;
+  std::map<std::pair<size_t, std::string>, double> goodput_by_cell;
+  for (size_t replicas : fleets) {
+    for (const Scenario& scenario : scenarios) {
+      Cell cell = RunCell(trace, replicas, scenario, &reference, nullptr);
+      table.AddRow({StrFormat("%zu", cell.replicas), cell.scenario,
+                    StrFormat("%zu/%zu", cell.served, cell.offered),
+                    StrFormat("%.3f", cell.goodput),
+                    StrFormat("%.3f", cell.p50_seconds),
+                    StrFormat("%.3f", cell.p99_seconds),
+                    StrFormat("%zu", cell.failovers),
+                    StrFormat("%zu", cell.redispatched_draws),
+                    StrFormat("%.3f", cell.wasted_seconds),
+                    StrFormat("%zu", cell.ejections),
+                    StrFormat("%.2f", cell.mean_occupancy),
+                    cell.identical_to_reference ? "yes" : "NO"});
+      goodput_by_cell[{cell.replicas, cell.scenario}] = cell.goodput;
+      cells.push_back(cell);
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  // Acceptance gate: losing 1 of 4 replicas mid-run keeps goodput at
+  // >= 90% of the same fleet's no-fault goodput.
+  double no_fault = goodput_by_cell[{size_t{4}, "no-fault"}];
+  double one_crash = goodput_by_cell[{size_t{4}, "crash-1-of-n"}];
+  double floor = 0.9 * no_fault;
+  bool all_identical = true;
+  for (const Cell& cell : cells) {
+    all_identical = all_identical && cell.identical_to_reference;
+  }
+
+  std::FILE* json = std::fopen("BENCH_cluster.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_cluster.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n"
+               "  \"bench\": \"cluster_failover\",\n"
+               "  \"dataset\": \"GasRate\",\n"
+               "  \"method\": \"MultiCast (VI)\",\n"
+               "  \"requests\": %zu,\n"
+               "  \"arrival_rate_rps\": %.1f,\n"
+               "  \"deadline_budget_seconds\": %.1f,\n"
+               "  \"horizon\": %zu,\n"
+               "  \"router\": \"least-loaded\",\n"
+               "  \"smoke\": %s,\n"
+               "  \"results\": [\n",
+               kRequests, kArrivalRate, kDeadlineBudget, kHorizon,
+               smoke ? "true" : "false");
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    std::fprintf(
+        json,
+        "    {\"replicas\": %zu, \"scenario\": \"%s\", \"offered\": %zu, "
+        "\"served\": %zu, \"goodput\": %.4f, \"p50_seconds\": %.4f, "
+        "\"p99_seconds\": %.4f, \"failovers\": %zu, "
+        "\"redispatched_draws\": %zu, \"wasted_seconds\": %.4f, "
+        "\"misroutes\": %zu, \"ejections\": %zu, "
+        "\"mean_occupancy\": %.4f, \"identical_to_reference\": %s}%s\n",
+        cell.replicas, cell.scenario.c_str(), cell.offered, cell.served,
+        cell.goodput, cell.p50_seconds, cell.p99_seconds, cell.failovers,
+        cell.redispatched_draws, cell.wasted_seconds, cell.misroutes,
+        cell.ejections, cell.mean_occupancy,
+        cell.identical_to_reference ? "true" : "false",
+        i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(json,
+               "  ],\n"
+               "  \"goodput_no_fault_4_replicas\": %.4f,\n"
+               "  \"goodput_crash_1_of_4\": %.4f,\n"
+               "  \"goodput_floor\": %.4f,\n"
+               "  \"all_identical_to_reference\": %s\n"
+               "}\n",
+               no_fault, one_crash, floor, all_identical ? "true" : "false");
+  std::fclose(json);
+  std::printf("wrote BENCH_cluster.json\n");
+
+  int status = 0;
+  // This gate holds in smoke mode too: everything is virtual time, so
+  // the matrix is schedule-exact regardless of host speed.
+  if (one_crash < floor) {
+    std::fprintf(stderr,
+                 "FAIL: goodput %.3f after losing 1 of 4 replicas is "
+                 "below the floor %.3f (90%% of no-fault %.3f)\n",
+                 one_crash, floor, no_fault);
+    status = 1;
+  }
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: a served forecast diverged from the no-fault "
+                 "reference — failover must cost time, never bits\n");
+    status = 1;
+  }
+  return status;
+}
+
+}  // namespace bench
+}  // namespace multicast
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  return multicast::bench::Main(smoke);
+}

@@ -3,6 +3,9 @@
 #include <set>
 
 #include "baselines/arima.h"
+#include "cluster/fault_plan.h"
+#include "cluster/replica_set.h"
+#include "cluster/router.h"
 #include "baselines/ets.h"
 #include "baselines/sarima.h"
 #include "baselines/lstm.h"
@@ -39,7 +42,10 @@ const std::set<std::string> kMethodFlags = {
     // serve-sim trace and serving-policy flags.
     "requests",   "arrival-rate", "deadline",  "queue-capacity",
     "queue-order", "hedge-delay", "burst-factor", "burst-every",
-    "burst-duration", "drain",    "drain-mode"};
+    "burst-duration", "drain",    "drain-mode",
+    // cluster-sim fleet flags.
+    "replicas", "replica-slots", "router", "replica-chaos",
+    "replica-chaos-seed"};
 const std::set<std::string> kBoolFlags = {"plot", "fallback", "batch"};
 
 Result<lm::ModelProfile> ProfileByName(const std::string& name) {
@@ -311,6 +317,73 @@ Result<int> CmdAnomaly(const FlagSet& flags, std::ostream& out) {
   return 0;
 }
 
+// Trace + serving-policy options shared by serve-sim and cluster-sim.
+struct SimConfig {
+  serve::TraceOptions trace;
+  serve::QueuePolicy queue;
+  std::string queue_order = "fifo";
+  serve::HedgePolicy hedge;
+  double hedge_delay = 0.0;
+  double drain_at = 0.0;  // 0 = never
+  serve::DrainMode drain_mode = serve::DrainMode::kFinishQueued;
+  std::string drain_mode_name = "finish";
+};
+
+Result<SimConfig> ParseSimFlags(const FlagSet& flags, uint64_t seed) {
+  SimConfig cfg;
+  MC_ASSIGN_OR_RETURN(int64_t requests, flags.GetInt("requests", 32));
+  if (requests < 1) {
+    return Status::InvalidArgument("--requests must be >= 1");
+  }
+  cfg.trace.num_requests = static_cast<size_t>(requests);
+  MC_ASSIGN_OR_RETURN(cfg.trace.arrival_rate,
+                      flags.GetDouble("arrival-rate", 4.0));
+  if (cfg.trace.arrival_rate <= 0.0) {
+    return Status::InvalidArgument("--arrival-rate must be > 0");
+  }
+  MC_ASSIGN_OR_RETURN(cfg.trace.burst_factor,
+                      flags.GetDouble("burst-factor", 4.0));
+  MC_ASSIGN_OR_RETURN(cfg.trace.burst_every_seconds,
+                      flags.GetDouble("burst-every", 10.0));
+  MC_ASSIGN_OR_RETURN(cfg.trace.burst_duration_seconds,
+                      flags.GetDouble("burst-duration", 2.0));
+  MC_ASSIGN_OR_RETURN(cfg.trace.deadline_seconds,
+                      flags.GetDouble("deadline", 2.0));
+  cfg.trace.seed = seed;
+
+  MC_ASSIGN_OR_RETURN(int64_t capacity, flags.GetInt("queue-capacity", 8));
+  if (capacity < 1) {
+    return Status::InvalidArgument("--queue-capacity must be >= 1");
+  }
+  cfg.queue.capacity = static_cast<size_t>(capacity);
+  cfg.queue_order = flags.GetString("queue-order", "fifo");
+  if (cfg.queue_order == "edf") {
+    cfg.queue.order = serve::QueueOrder::kEarliestDeadlineFirst;
+  } else if (cfg.queue_order != "fifo") {
+    return Status::InvalidArgument(
+        "--queue-order expects 'fifo' or 'edf'");
+  }
+  MC_ASSIGN_OR_RETURN(cfg.hedge_delay, flags.GetDouble("hedge-delay", 0.0));
+  cfg.hedge.enabled = cfg.hedge_delay > 0.0;
+  cfg.hedge.delay_seconds = cfg.hedge_delay;
+  MC_ASSIGN_OR_RETURN(cfg.drain_at, flags.GetDouble("drain", 0.0));
+  cfg.drain_mode_name = flags.GetString("drain-mode", "finish");
+  if (cfg.drain_mode_name == "cancel") {
+    cfg.drain_mode = serve::DrainMode::kCancelQueued;
+  } else if (cfg.drain_mode_name != "finish") {
+    return Status::InvalidArgument(
+        "--drain-mode expects 'finish' or 'cancel'");
+  }
+  return cfg;
+}
+
+// The rejection-reason column group: why the non-served requests were
+// turned away, as queue-full/deadline/unavailable/cancelled counts.
+std::string FormatRejections(const serve::RejectionBreakdown& r) {
+  return StrFormat("%zu/%zu/%zu/%zu", r.queue_full, r.deadline_expired,
+                   r.backend_unavailable, r.cancelled + r.other);
+}
+
 // Replays a seeded Poisson-burst arrival trace against the serving
 // executor, one run per LLM method, and prints the fleet summary.
 Result<int> CmdServeSim(const FlagSet& flags, std::ostream& out) {
@@ -318,55 +391,19 @@ Result<int> CmdServeSim(const FlagSet& flags, std::ostream& out) {
   MC_ASSIGN_OR_RETURN(int64_t horizon, flags.GetInt("horizon", 12));
   if (horizon < 1) return Status::InvalidArgument("--horizon must be >= 1");
   MC_ASSIGN_OR_RETURN(MethodSpec base, SpecFromFlags(flags));
-
-  serve::TraceOptions trace;
-  MC_ASSIGN_OR_RETURN(int64_t requests, flags.GetInt("requests", 32));
-  if (requests < 1) {
-    return Status::InvalidArgument("--requests must be >= 1");
-  }
-  trace.num_requests = static_cast<size_t>(requests);
-  MC_ASSIGN_OR_RETURN(trace.arrival_rate,
-                      flags.GetDouble("arrival-rate", 4.0));
-  if (trace.arrival_rate <= 0.0) {
-    return Status::InvalidArgument("--arrival-rate must be > 0");
-  }
-  MC_ASSIGN_OR_RETURN(trace.burst_factor,
-                      flags.GetDouble("burst-factor", 4.0));
-  MC_ASSIGN_OR_RETURN(trace.burst_every_seconds,
-                      flags.GetDouble("burst-every", 10.0));
-  MC_ASSIGN_OR_RETURN(trace.burst_duration_seconds,
-                      flags.GetDouble("burst-duration", 2.0));
-  MC_ASSIGN_OR_RETURN(trace.deadline_seconds,
-                      flags.GetDouble("deadline", 2.0));
-  trace.seed = base.seed;
+  MC_ASSIGN_OR_RETURN(SimConfig cfg, ParseSimFlags(flags, base.seed));
+  serve::TraceOptions& trace = cfg.trace;
   std::vector<serve::Arrival> arrivals = serve::GenerateTrace(trace);
 
   serve::ServeOptions serve_options;
-  MC_ASSIGN_OR_RETURN(int64_t capacity, flags.GetInt("queue-capacity", 8));
-  if (capacity < 1) {
-    return Status::InvalidArgument("--queue-capacity must be >= 1");
-  }
-  serve_options.queue.capacity = static_cast<size_t>(capacity);
-  std::string order = flags.GetString("queue-order", "fifo");
-  if (order == "edf") {
-    serve_options.queue.order = serve::QueueOrder::kEarliestDeadlineFirst;
-  } else if (order != "fifo") {
-    return Status::InvalidArgument(
-        "--queue-order expects 'fifo' or 'edf'");
-  }
-  MC_ASSIGN_OR_RETURN(double hedge_delay,
-                      flags.GetDouble("hedge-delay", 0.0));
-  serve_options.hedge.enabled = hedge_delay > 0.0;
-  serve_options.hedge.delay_seconds = hedge_delay;
-  MC_ASSIGN_OR_RETURN(double drain_at, flags.GetDouble("drain", 0.0));
+  serve_options.queue = cfg.queue;
+  const std::string& order = cfg.queue_order;
+  const double hedge_delay = cfg.hedge_delay;
+  serve_options.hedge = cfg.hedge;
+  const double drain_at = cfg.drain_at;
   if (drain_at > 0.0) serve_options.drain_at_seconds = drain_at;
-  std::string drain_mode = flags.GetString("drain-mode", "finish");
-  if (drain_mode == "cancel") {
-    serve_options.drain_mode = serve::DrainMode::kCancelQueued;
-  } else if (drain_mode != "finish") {
-    return Status::InvalidArgument(
-        "--drain-mode expects 'finish' or 'cancel'");
-  }
+  serve_options.drain_mode = cfg.drain_mode;
+  const std::string& drain_mode = cfg.drain_mode_name;
 
   serve_options.batch.enabled = base.batch;
   serve_options.batch.size = static_cast<size_t>(base.batch_size);
@@ -402,7 +439,8 @@ Result<int> CmdServeSim(const FlagSet& flags, std::ostream& out) {
   }
 
   TextTable table({"Method", "Served", "Degraded", "Shed(full)",
-                   "Shed(expired)", "Drained", "Failed", "Hedged",
+                   "Shed(expired)", "Drained", "Failed",
+                   "Rej full/ddl/unav/cxl", "Hedged",
                    "HedgeWins", "p50(s)", "p99(s)",
                    "Wait p50/p95/p99", "Svc p50/p95/p99", "Attempts",
                    "Retries", "Cancelled", "Preempted"});
@@ -479,6 +517,7 @@ Result<int> CmdServeSim(const FlagSet& flags, std::ostream& out) {
          StrFormat("%zu", summary.shed_expired),
          StrFormat("%zu", summary.cancelled_drain),
          StrFormat("%zu", summary.failed),
+         FormatRejections(summary.rejections),
          StrFormat("%zu", summary.hedges_fired),
          StrFormat("%zu", summary.hedge_wins),
          StrFormat("%.3f", summary.p50_latency_seconds),
@@ -517,6 +556,181 @@ Result<int> CmdServeSim(const FlagSet& flags, std::ostream& out) {
   out << table.Render();
   for (const std::string& line : cache_lines) out << line << "\n";
   for (const std::string& line : batch_lines) out << line << "\n";
+  return 0;
+}
+
+// Replays the serve-sim trace against a multi-replica fleet with
+// health-checked routing, scripted replica chaos and in-flight
+// failover.
+Result<int> CmdClusterSim(const FlagSet& flags, std::ostream& out) {
+  MC_ASSIGN_OR_RETURN(ts::Frame frame, LoadInput(flags));
+  MC_ASSIGN_OR_RETURN(int64_t horizon, flags.GetInt("horizon", 12));
+  if (horizon < 1) return Status::InvalidArgument("--horizon must be >= 1");
+  MC_ASSIGN_OR_RETURN(MethodSpec base, SpecFromFlags(flags));
+  MC_ASSIGN_OR_RETURN(SimConfig cfg, ParseSimFlags(flags, base.seed));
+  std::vector<serve::Arrival> arrivals = serve::GenerateTrace(cfg.trace);
+
+  MC_ASSIGN_OR_RETURN(int64_t replicas, flags.GetInt("replicas", 3));
+  if (replicas < 1) {
+    return Status::InvalidArgument("--replicas must be >= 1");
+  }
+  MC_ASSIGN_OR_RETURN(int64_t slots, flags.GetInt("replica-slots", 1));
+  if (slots < 1) {
+    return Status::InvalidArgument("--replica-slots must be >= 1");
+  }
+  MC_ASSIGN_OR_RETURN(
+      cluster::RouterPolicy router_policy,
+      cluster::RouterPolicyFromName(flags.GetString("router", "least")));
+  MC_ASSIGN_OR_RETURN(double replica_chaos,
+                      flags.GetDouble("replica-chaos", 0.0));
+  if (replica_chaos < 0.0) {
+    return Status::InvalidArgument("--replica-chaos must be >= 0");
+  }
+  MC_ASSIGN_OR_RETURN(int64_t chaos_seed,
+                      flags.GetInt("replica-chaos-seed", 0xF1EE7));
+
+  // Script the fleet chaos over the span the trace actually covers.
+  cluster::FleetChaosOptions chaos;
+  chaos.replicas = static_cast<size_t>(replicas);
+  chaos.horizon_seconds =
+      arrivals.empty() ? 60.0
+                       : arrivals.back().arrival_seconds +
+                             cfg.trace.deadline_seconds;
+  chaos.crash_rate = replica_chaos;
+  chaos.seed = static_cast<uint64_t>(chaos_seed);
+  std::vector<cluster::ReplicaFaultPlan> plans =
+      cluster::GenerateFleetChaos(chaos);
+
+  cluster::ClusterOptions options;
+  options.queue = cfg.queue;
+  options.router = router_policy;
+  options.router_seed = base.seed;
+  options.hedge = cfg.hedge;
+  if (cfg.drain_at > 0.0) options.drain_at_seconds = cfg.drain_at;
+  options.drain_mode = cfg.drain_mode;
+
+  const std::string name = base.name;
+  MethodSpec spec = base;
+  // Every replica gets its own prompt cache and decode scheduler —
+  // node-local state the chaos harness can crash away.
+  std::vector<cluster::Replica> fleet;
+  for (int64_t r = 0; r < replicas; ++r) {
+    cluster::Replica rep;
+    rep.id = static_cast<int>(r);
+    rep.slots = static_cast<size_t>(slots);
+    if (spec.prefix_cache) {
+      rep.prefix_cache = std::make_shared<lm::PrefixCache>(
+          static_cast<size_t>(spec.prefix_cache_capacity));
+    }
+    if (spec.batch) {
+      batch::BatchPolicy policy;
+      policy.max_batch = static_cast<size_t>(spec.batch_size);
+      policy.backfill = spec.batch_backfill;
+      rep.scheduler = std::make_shared<batch::BatchScheduler>(policy);
+    }
+    rep.plan = plans[static_cast<size_t>(r)];
+    fleet.push_back(std::move(rep));
+  }
+
+  // Validate the spec once so the per-request factories cannot fail.
+  MC_RETURN_IF_ERROR(MakeForecaster(spec).status());
+  MethodSpec hedge_spec = spec;
+  hedge_spec.fallback = true;  // hedge runs the demotion chain
+  MC_RETURN_IF_ERROR(MakeForecaster(hedge_spec).status());
+
+  // Per-request seeds decorrelate sampling; per-replica wiring keeps
+  // cache/scheduler state node-local. Seeds never depend on the
+  // replica, which is what makes failover output-identical.
+  auto factory_for = [](MethodSpec s) {
+    return [s](const serve::ForecastRequest& req,
+               const cluster::Replica& rep) {
+      MethodSpec per = s;
+      per.seed = s.seed + req.id;
+      per.shared_prefix_cache = rep.prefix_cache;
+      per.batch_scheduler = rep.scheduler;
+      return MakeForecaster(per).ValueOrDie();
+    };
+  };
+  cluster::ClusterExecutor executor(
+      factory_for(spec),
+      options.hedge.enabled ? factory_for(hedge_spec)
+                            : cluster::ReplicaForecasterFactory(),
+      std::move(fleet), options);
+
+  std::vector<serve::ForecastRequest> reqs;
+  reqs.reserve(arrivals.size());
+  for (size_t i = 0; i < arrivals.size(); ++i) {
+    serve::ForecastRequest req;
+    req.id = i;
+    req.arrival_seconds = arrivals[i].arrival_seconds;
+    req.deadline_seconds = arrivals[i].deadline_seconds;
+    req.history = &frame;
+    req.horizon = static_cast<size_t>(horizon);
+    reqs.push_back(req);
+  }
+
+  out << StrFormat(
+      "cluster-sim: %zu requests at %.3g req/s, deadline %.3gs, "
+      "%lld replicas x %lld slots, router %s, chaos %.3g crashes/replica "
+      "(seed %lld), queue %zu (%s), hedge %s, seed %llu\n",
+      cfg.trace.num_requests, cfg.trace.arrival_rate,
+      cfg.trace.deadline_seconds, static_cast<long long>(replicas),
+      static_cast<long long>(slots),
+      cluster::RouterPolicyName(router_policy), replica_chaos,
+      static_cast<long long>(chaos_seed), options.queue.capacity,
+      cfg.queue_order.c_str(),
+      options.hedge.enabled
+          ? StrFormat("after %.3gs", cfg.hedge_delay).c_str()
+          : "off",
+      static_cast<unsigned long long>(base.seed));
+  if (cfg.drain_at > 0.0) {
+    out << StrFormat("drain at %.3gs (%s)\n", cfg.drain_at,
+                     cfg.drain_mode_name.c_str());
+  }
+
+  MC_ASSIGN_OR_RETURN(std::vector<serve::ServeStats> stats,
+                      executor.Run(std::move(reqs)));
+  serve::ServeSummary summary = serve::Summarize(stats);
+  const cluster::ClusterReport& report = executor.report();
+
+  TextTable table({"Method", "Served", "Degraded", "Shed(full)",
+                   "Shed(expired)", "Drained", "Failed",
+                   "Rej full/ddl/unav/cxl", "Failovers", "Redisp.draws",
+                   "Wasted(s)", "Hedged", "HedgeWins", "p50(s)",
+                   "p99(s)"});
+  table.AddRow({name, StrFormat("%zu", summary.served),
+                StrFormat("%zu", summary.served_degraded),
+                StrFormat("%zu", summary.shed_queue_full),
+                StrFormat("%zu", summary.shed_expired),
+                StrFormat("%zu", summary.cancelled_drain),
+                StrFormat("%zu", summary.failed),
+                FormatRejections(summary.rejections),
+                StrFormat("%zu", summary.cluster.failovers),
+                StrFormat("%zu", summary.cluster.redispatched_draws),
+                StrFormat("%.3f", summary.cluster.wasted_seconds),
+                StrFormat("%zu", summary.hedges_fired),
+                StrFormat("%zu", summary.hedge_wins),
+                StrFormat("%.3f", summary.p50_latency_seconds),
+                StrFormat("%.3f", summary.p99_latency_seconds)});
+  out << table.Render();
+
+  out << StrFormat(
+      "health: %zu probes (%zu failed), %zu ejections, %zu readmissions, "
+      "%zu misroutes; fleet-unavailable %zu\n",
+      report.health.probes, report.health.failed_probes,
+      report.health.ejections, report.health.readmissions,
+      report.health.misroutes, report.fleet_unavailable);
+  for (const cluster::ReplicaReport& rep : report.replicas) {
+    const size_t served_here =
+        static_cast<size_t>(rep.id) < summary.served_per_replica.size()
+            ? summary.served_per_replica[static_cast<size_t>(rep.id)]
+            : 0;
+    out << StrFormat(
+        "replica %d: %zu dispatched, %zu completed, %zu served, "
+        "%zu failovers, %zu misroutes, occupancy %.2f\n",
+        rep.id, rep.dispatched, rep.completed, served_here, rep.failovers,
+        rep.misroutes, rep.occupancy);
+  }
   return 0;
 }
 
@@ -706,6 +920,16 @@ std::string UsageText() {
       "            above (one cache and one decode scheduler are shared\n"
       "            per method, across requests; --batch also serves up to\n"
       "            batch-size requests concurrently)\n"
+      "  cluster-sim --input feed.csv [--horizon 12] [--method VI]\n"
+      "            fleet: [--replicas 3] [--replica-slots 1]\n"
+      "            [--router rr|least|p2c|affinity]\n"
+      "            chaos: [--replica-chaos 1.0 (expected crashes per\n"
+      "            replica over the trace)] [--replica-chaos-seed N]\n"
+      "            plus every serve-sim trace/queue/drain/hedge flag;\n"
+      "            each replica gets its own prefix cache and decode\n"
+      "            scheduler, crashes fail running work over to\n"
+      "            surviving replicas, and health probes eject/readmit\n"
+      "            replicas from routing\n"
       "  help\n";
 }
 
@@ -726,6 +950,9 @@ Result<int> RunCommand(const std::vector<std::string>& args,
   if (command == "generate") return CmdGenerate(flags, out);
   if (command == "serve-sim" || command == "--serve-sim") {
     return CmdServeSim(flags, out);
+  }
+  if (command == "cluster-sim" || command == "--cluster-sim") {
+    return CmdClusterSim(flags, out);
   }
   return Status::InvalidArgument("unknown command '" + command +
                                  "'; run 'multicast help'");

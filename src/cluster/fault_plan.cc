@@ -1,0 +1,177 @@
+#include "cluster/fault_plan.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+
+namespace multicast {
+namespace cluster {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void SortAndMerge(std::vector<FaultWindow>* windows) {
+  if (windows->size() < 2) return;
+  std::sort(windows->begin(), windows->end(),
+            [](const FaultWindow& a, const FaultWindow& b) {
+              return a.start_seconds < b.start_seconds;
+            });
+  std::vector<FaultWindow> merged;
+  merged.push_back((*windows)[0]);
+  for (size_t i = 1; i < windows->size(); ++i) {
+    FaultWindow& last = merged.back();
+    const FaultWindow& next = (*windows)[i];
+    if (next.start_seconds <= last.end_seconds) {
+      last.end_seconds = std::max(last.end_seconds, next.end_seconds);
+    } else {
+      merged.push_back(next);
+    }
+  }
+  *windows = std::move(merged);
+}
+
+bool AnyContains(const std::vector<FaultWindow>& windows, double t) {
+  for (const FaultWindow& w : windows) {
+    if (w.Contains(t)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void ReplicaFaultPlan::Normalize() {
+  SortAndMerge(&crashes);
+  SortAndMerge(&partitions);
+  SortAndMerge(&slow);
+}
+
+bool ReplicaFaultPlan::UpAt(double t) const {
+  return !AnyContains(crashes, t) && !AnyContains(partitions, t);
+}
+
+bool ReplicaFaultPlan::CrashedAt(double t) const {
+  return AnyContains(crashes, t);
+}
+
+double ReplicaFaultPlan::NextOutageIn(double from, double until) const {
+  double next = kInf;
+  for (const std::vector<FaultWindow>* list : {&crashes, &partitions}) {
+    for (const FaultWindow& w : *list) {
+      if (w.start_seconds > from && w.start_seconds < until) {
+        next = std::min(next, w.start_seconds);
+      }
+    }
+  }
+  return next;
+}
+
+double ReplicaFaultPlan::NextUpAt(double t) const {
+  // The replica is down at `t` while some window contains the probe
+  // point; each hop lands at the end of a containing window, so the
+  // loop terminates after at most crashes+partitions hops.
+  double probe = t;
+  for (size_t hops = 0; hops <= crashes.size() + partitions.size();
+       ++hops) {
+    if (UpAt(probe)) return probe;
+    double earliest_end = kInf;
+    for (const std::vector<FaultWindow>* list : {&crashes, &partitions}) {
+      for (const FaultWindow& w : *list) {
+        if (w.Contains(probe)) {
+          earliest_end = std::min(earliest_end, w.end_seconds);
+        }
+      }
+    }
+    if (earliest_end == kInf) return kInf;  // a forever outage
+    probe = earliest_end;
+  }
+  return probe;
+}
+
+double ReplicaFaultPlan::StretchedFinish(double start,
+                                         double duration) const {
+  if (duration <= 0.0) return start;
+  if (slow_factor <= 1.0) return start + duration;
+  if (slow.empty()) return start + duration * slow_factor;
+  // Walk the slow-window boundaries, spending `duration` units of work
+  // at speed 1 outside windows and 1/slow_factor inside.
+  double now = start;
+  double work = duration;
+  // Windows are normalized (sorted, disjoint) by the executor; walk in
+  // order, skipping windows already behind `now`.
+  for (const FaultWindow& w : slow) {
+    if (w.end_seconds <= now) continue;
+    if (now < w.start_seconds) {
+      double span = w.start_seconds - now;
+      if (work <= span) return now + work;
+      work -= span;
+      now = w.start_seconds;
+    }
+    double slow_span = w.end_seconds - now;  // may be +inf
+    double slow_work = slow_span / slow_factor;
+    if (work <= slow_work) return now + work * slow_factor;
+    work -= slow_work;
+    now = w.end_seconds;
+  }
+  return now + work;
+}
+
+std::vector<ReplicaFaultPlan> GenerateFleetChaos(
+    const FleetChaosOptions& options) {
+  std::vector<ReplicaFaultPlan> plans(options.replicas);
+  for (size_t r = 0; r < options.replicas; ++r) {
+    Rng rng(options.seed, /*stream=*/r + 1);
+    ReplicaFaultPlan& plan = plans[r];
+
+    auto draw_count = [&rng](double rate) {
+      // Deterministic Poisson via inversion on one uniform draw.
+      if (rate <= 0.0) return 0;
+      double u = rng.NextDouble();
+      double p = std::exp(-rate);
+      double cdf = p;
+      int k = 0;
+      while (u > cdf && k < 64) {
+        ++k;
+        p *= rate / static_cast<double>(k);
+        cdf += p;
+      }
+      return k;
+    };
+    auto draw_downtime = [&rng](double mean) {
+      // Exponential with the given mean, floored away from zero so a
+      // window is never degenerate.
+      double u = rng.NextDouble();
+      return std::max(1e-3, -mean * std::log1p(-u));
+    };
+
+    int crashes = draw_count(options.crash_rate);
+    for (int i = 0; i < crashes; ++i) {
+      FaultWindow w;
+      w.start_seconds = rng.NextUniform(0.0, options.horizon_seconds);
+      w.end_seconds =
+          options.recover
+              ? w.start_seconds +
+                    draw_downtime(options.mean_downtime_seconds)
+              : std::numeric_limits<double>::infinity();
+      plan.crashes.push_back(w);
+    }
+    int partitions = draw_count(options.partition_rate);
+    for (int i = 0; i < partitions; ++i) {
+      FaultWindow w;
+      w.start_seconds = rng.NextUniform(0.0, options.horizon_seconds);
+      w.end_seconds =
+          w.start_seconds + draw_downtime(options.mean_partition_seconds);
+      plan.partitions.push_back(w);
+    }
+    if (options.slow_replica_fraction > 0.0 &&
+        rng.NextDouble() < options.slow_replica_fraction) {
+      plan.slow_factor = std::max(1.0, options.slow_factor);
+    }
+    plan.Normalize();
+  }
+  return plans;
+}
+
+}  // namespace cluster
+}  // namespace multicast

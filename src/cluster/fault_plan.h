@@ -1,0 +1,101 @@
+// Deterministic per-replica fault schedules for the cluster simulation.
+//
+// A ReplicaFaultPlan scripts everything that can go wrong with one
+// simulated accelerator node, in virtual time: crash windows (the
+// process dies, losing its prefix-cache state, and recovers at the
+// window end), partition windows (the node is unreachable but keeps its
+// state), and slow windows (service runs at 1/slow_factor speed — the
+// straggler replica hedging exists for). Plans are plain data, so a
+// (chaos options, seed) pair names one exact fleet-wide failure
+// schedule on every machine — the cluster chaos tests assert exact
+// failover counts against it.
+
+#ifndef MULTICAST_CLUSTER_FAULT_PLAN_H_
+#define MULTICAST_CLUSTER_FAULT_PLAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace multicast {
+namespace cluster {
+
+/// Half-open virtual-time window [start, end). end = +inf never closes.
+struct FaultWindow {
+  double start_seconds = 0.0;
+  double end_seconds = std::numeric_limits<double>::infinity();
+
+  bool Contains(double t) const {
+    return t >= start_seconds && t < end_seconds;
+  }
+};
+
+/// See file comment. Window lists need not be sorted or disjoint;
+/// Normalize() (called by the executor before a run) sorts and merges.
+struct ReplicaFaultPlan {
+  /// The replica process dies at each window start and restarts at the
+  /// window end — in-flight work is lost and its prefix cache is wiped.
+  std::vector<FaultWindow> crashes;
+  /// The replica is unreachable (routing and health probes fail) but
+  /// keeps its state; in-flight work is still failed over, because its
+  /// results cannot be delivered.
+  std::vector<FaultWindow> partitions;
+  /// Service inside these windows progresses at 1/slow_factor speed.
+  /// Empty with slow_factor > 1 means "always slow".
+  std::vector<FaultWindow> slow;
+  double slow_factor = 1.0;
+
+  /// Sorts and merges each overlapping window list in place.
+  void Normalize();
+
+  /// True when the replica is neither crashed nor partitioned at `t`.
+  bool UpAt(double t) const;
+
+  /// True when `t` falls inside a crash window (state-losing outage).
+  bool CrashedAt(double t) const;
+
+  /// Start of the first outage (crash or partition) strictly inside
+  /// (from, until); +inf when the span is outage-free.
+  double NextOutageIn(double from, double until) const;
+
+  /// Earliest time >= t at which the replica is up; +inf when every
+  /// remaining outage lasts forever.
+  double NextUpAt(double t) const;
+
+  /// Virtual completion time of work dispatched at `start` that needs
+  /// `duration` full-speed seconds, stretched through slow windows.
+  double StretchedFinish(double start, double duration) const;
+};
+
+/// Seeded generator of a fleet-wide chaos schedule: every rate is an
+/// expectation over `horizon_seconds`, drawn independently per replica
+/// from Rng(seed, stream = replica).
+struct FleetChaosOptions {
+  size_t replicas = 2;
+  /// Faults are scheduled inside [0, horizon_seconds).
+  double horizon_seconds = 60.0;
+  /// Expected crashes per replica over the horizon.
+  double crash_rate = 1.0;
+  /// Mean crash downtime (exponential); ignored when !recover.
+  double mean_downtime_seconds = 2.0;
+  /// false makes every crash permanent (the replica never restarts).
+  bool recover = true;
+  /// Expected partitions per replica over the horizon.
+  double partition_rate = 0.0;
+  double mean_partition_seconds = 1.0;
+  /// Probability that a replica is a straggler for the whole run...
+  double slow_replica_fraction = 0.0;
+  /// ...serving at 1/slow_factor speed when it is.
+  double slow_factor = 3.0;
+  uint64_t seed = 1;
+};
+
+/// One plan per replica; deterministic in (options, seed).
+std::vector<ReplicaFaultPlan> GenerateFleetChaos(
+    const FleetChaosOptions& options);
+
+}  // namespace cluster
+}  // namespace multicast
+
+#endif  // MULTICAST_CLUSTER_FAULT_PLAN_H_

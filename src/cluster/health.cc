@@ -1,0 +1,89 @@
+#include "cluster/health.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace multicast {
+namespace cluster {
+
+const char* ReplicaHealthName(ReplicaHealth health) {
+  switch (health) {
+    case ReplicaHealth::kHealthy:
+      return "healthy";
+    case ReplicaHealth::kEjected:
+      return "ejected";
+    case ReplicaHealth::kProbation:
+      return "probation";
+  }
+  return "?";
+}
+
+HealthMonitor::HealthMonitor(const HealthPolicy& policy,
+                             size_t num_replicas)
+    : policy_(policy), states_(num_replicas) {
+  MC_CHECK(policy_.probe_interval_seconds > 0.0);
+  policy_.eject_after_failures = std::max(1, policy_.eject_after_failures);
+  policy_.readmit_after_successes =
+      std::max(1, policy_.readmit_after_successes);
+}
+
+void HealthMonitor::RecordOutcome(State* state, bool up) {
+  if (up) {
+    state->consecutive_failures = 0;
+    ++state->consecutive_successes;
+    if (state->health == ReplicaHealth::kEjected) {
+      state->health = ReplicaHealth::kProbation;
+      state->consecutive_successes = 1;
+    }
+    if (state->health == ReplicaHealth::kProbation &&
+        state->consecutive_successes >= policy_.readmit_after_successes) {
+      state->health = ReplicaHealth::kHealthy;
+      ++stats_.readmissions;
+    }
+    return;
+  }
+  state->consecutive_successes = 0;
+  ++state->consecutive_failures;
+  if (state->health == ReplicaHealth::kProbation) {
+    // A relapse during probation goes straight back to ejected.
+    state->health = ReplicaHealth::kEjected;
+    return;
+  }
+  if (state->health == ReplicaHealth::kHealthy &&
+      state->consecutive_failures >= policy_.eject_after_failures) {
+    state->health = ReplicaHealth::kEjected;
+    ++stats_.ejections;
+  }
+}
+
+void HealthMonitor::AdvanceTo(double now, const UpFn& up) {
+  for (;;) {
+    double tick = static_cast<double>(ticks_done_ + 1) *
+                  policy_.probe_interval_seconds;
+    if (tick > now) return;
+    ++ticks_done_;
+    for (size_t r = 0; r < states_.size(); ++r) {
+      bool alive = up(static_cast<int>(r), tick);
+      ++stats_.probes;
+      if (!alive) ++stats_.failed_probes;
+      RecordOutcome(&states_[r], alive);
+    }
+  }
+}
+
+void HealthMonitor::RecordMisroute(int replica) {
+  ++stats_.misroutes;
+  if (!policy_.passive_misroute_feedback) return;
+  RecordOutcome(&states_[static_cast<size_t>(replica)], /*up=*/false);
+}
+
+double HealthMonitor::NextProbeAfter(double now) const {
+  double interval = policy_.probe_interval_seconds;
+  double tick = static_cast<double>(ticks_done_ + 1) * interval;
+  while (tick <= now) tick += interval;
+  return tick;
+}
+
+}  // namespace cluster
+}  // namespace multicast

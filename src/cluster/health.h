@@ -1,0 +1,103 @@
+// Virtual-time replica health monitoring: heartbeat probes, ejection
+// and probation readmission.
+//
+// The router must not need to know the fault plans — it asks the
+// monitor, and the monitor only knows what its probes observed. Every
+// `probe_interval_seconds` each replica is probed; `eject_after`
+// consecutive failures eject it from the routable set, and once probes
+// succeed again it walks through probation (`readmit_after` consecutive
+// successes) before taking traffic. Failed dispatches ("misroutes":
+// the router picked a replica the monitor still believed healthy, but
+// the connection refused) feed back as passive failures, so detection
+// is not limited to probe ticks.
+//
+// The monitor is advanced lazily: AdvanceTo(now) replays every probe
+// tick up to `now`, which keeps the event-driven cluster simulation
+// exact and deterministic.
+
+#ifndef MULTICAST_CLUSTER_HEALTH_H_
+#define MULTICAST_CLUSTER_HEALTH_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace multicast {
+namespace cluster {
+
+struct HealthPolicy {
+  /// Heartbeat period; the first probe fires one period in.
+  double probe_interval_seconds = 0.25;
+  /// Consecutive failed probes (or misroutes) that eject a replica.
+  int eject_after_failures = 2;
+  /// Consecutive successful probes that readmit an ejected replica.
+  int readmit_after_successes = 2;
+  /// Count failed dispatches as failed probes (passive health signal).
+  bool passive_misroute_feedback = true;
+};
+
+enum class ReplicaHealth {
+  kHealthy,    ///< routable
+  kEjected,    ///< out of the routable set
+  kProbation,  ///< probes succeed again; not yet routable
+};
+
+const char* ReplicaHealthName(ReplicaHealth health);
+
+struct HealthStats {
+  size_t probes = 0;
+  size_t failed_probes = 0;
+  size_t ejections = 0;
+  size_t readmissions = 0;
+  size_t misroutes = 0;
+};
+
+/// See file comment.
+class HealthMonitor {
+ public:
+  /// Probes ask this: is replica `r` reachable at time `t`?
+  using UpFn = std::function<bool(int replica, double at_seconds)>;
+
+  HealthMonitor(const HealthPolicy& policy, size_t num_replicas);
+
+  /// Replays every probe tick in (last, now]; `up` answers each probe.
+  void AdvanceTo(double now, const UpFn& up);
+
+  /// Passive feedback: a dispatch to `replica` found it dead.
+  void RecordMisroute(int replica);
+
+  /// True when the router may send new work to `replica`.
+  bool Routable(int replica) const {
+    return states_[static_cast<size_t>(replica)].health ==
+           ReplicaHealth::kHealthy;
+  }
+  ReplicaHealth state(int replica) const {
+    return states_[static_cast<size_t>(replica)].health;
+  }
+
+  /// Time of the first probe tick strictly after `now`.
+  double NextProbeAfter(double now) const;
+
+  const HealthStats& stats() const { return stats_; }
+  const HealthPolicy& policy() const { return policy_; }
+
+ private:
+  struct State {
+    ReplicaHealth health = ReplicaHealth::kHealthy;
+    int consecutive_failures = 0;
+    int consecutive_successes = 0;
+  };
+
+  void RecordOutcome(State* state, bool up);
+
+  HealthPolicy policy_;
+  std::vector<State> states_;
+  HealthStats stats_;
+  /// Probe ticks fired so far (tick k probes at time k * interval).
+  size_t ticks_done_ = 0;
+};
+
+}  // namespace cluster
+}  // namespace multicast
+
+#endif  // MULTICAST_CLUSTER_HEALTH_H_

@@ -1,0 +1,127 @@
+#include "cluster/router.h"
+
+#include <algorithm>
+
+namespace multicast {
+namespace cluster {
+
+namespace {
+
+// splitmix64 finalizer: cheap, well-mixed 64-bit hash for rendezvous
+// scores.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* RouterPolicyName(RouterPolicy policy) {
+  switch (policy) {
+    case RouterPolicy::kRoundRobin:
+      return "round-robin";
+    case RouterPolicy::kLeastLoaded:
+      return "least-loaded";
+    case RouterPolicy::kPowerOfTwo:
+      return "power-of-two";
+    case RouterPolicy::kAffinity:
+      return "affinity";
+  }
+  return "?";
+}
+
+Result<RouterPolicy> RouterPolicyFromName(const std::string& name) {
+  if (name == "rr" || name == "round-robin") {
+    return RouterPolicy::kRoundRobin;
+  }
+  if (name == "least" || name == "least-loaded") {
+    return RouterPolicy::kLeastLoaded;
+  }
+  if (name == "p2c" || name == "power-of-two") {
+    return RouterPolicy::kPowerOfTwo;
+  }
+  if (name == "affinity") return RouterPolicy::kAffinity;
+  return Status::InvalidArgument(
+      "unknown router policy '" + name +
+      "' (expected rr, least, p2c or affinity)");
+}
+
+Router::Router(RouterPolicy policy, size_t num_replicas, uint64_t seed)
+    : policy_(policy), num_replicas_(std::max<size_t>(1, num_replicas)),
+      rng_(seed, /*stream=*/0x707C) {
+  Rng salt_rng(seed, /*stream=*/0x5A17);
+  salts_.reserve(num_replicas_);
+  for (size_t r = 0; r < num_replicas_; ++r) {
+    salts_.push_back((static_cast<uint64_t>(salt_rng.NextUint32()) << 32) |
+                     salt_rng.NextUint32());
+  }
+}
+
+int Router::Pick(const std::vector<int>& candidates,
+                 const std::vector<size_t>& loads, uint64_t session_key) {
+  MC_CHECK(!candidates.empty());
+  auto least_of = [&loads](const std::vector<int>& ids) {
+    int best = ids[0];
+    for (int id : ids) {
+      if (loads[static_cast<size_t>(id)] <
+          loads[static_cast<size_t>(best)]) {
+        best = id;
+      }
+    }
+    return best;
+  };
+
+  switch (policy_) {
+    case RouterPolicy::kRoundRobin: {
+      // Advance the cursor over the full id space until it lands on a
+      // candidate, so each replica gets its turn when routable.
+      for (size_t step = 0; step < num_replicas_; ++step) {
+        int id = static_cast<int>(rr_next_);
+        rr_next_ = (rr_next_ + 1) % num_replicas_;
+        if (std::binary_search(candidates.begin(), candidates.end(), id)) {
+          return id;
+        }
+      }
+      return candidates[0];
+    }
+    case RouterPolicy::kLeastLoaded:
+      return least_of(candidates);
+    case RouterPolicy::kPowerOfTwo: {
+      if (candidates.size() == 1) return candidates[0];
+      uint32_t n = static_cast<uint32_t>(candidates.size());
+      int a = candidates[rng_.NextBounded(n)];
+      int b = candidates[rng_.NextBounded(n)];
+      if (a == b) return a;
+      // Less loaded wins; lowest id breaks the tie.
+      size_t la = loads[static_cast<size_t>(a)];
+      size_t lb = loads[static_cast<size_t>(b)];
+      if (la != lb) return la < lb ? a : b;
+      return std::min(a, b);
+    }
+    case RouterPolicy::kAffinity: {
+      // Rendezvous hash: the candidate with the highest (key, salt)
+      // score wins. With the preferred replica busy or unhealthy it is
+      // simply absent from `candidates`, so traffic spills to the
+      // next-highest score deterministically.
+      int best = candidates[0];
+      uint64_t best_score = 0;
+      bool first = true;
+      for (int id : candidates) {
+        uint64_t score =
+            Mix64(session_key ^ salts_[static_cast<size_t>(id)]);
+        if (first || score > best_score) {
+          first = false;
+          best = id;
+          best_score = score;
+        }
+      }
+      return best;
+    }
+  }
+  return candidates[0];
+}
+
+}  // namespace cluster
+}  // namespace multicast

@@ -1,0 +1,68 @@
+// Request routing across replicas, with pluggable policies.
+//
+//   round-robin    — cycle through replicas, skipping unroutable ones
+//   least-loaded   — fewest in-flight requests, lowest id breaking ties
+//   power-of-two   — sample two candidates from a seeded stream, keep
+//                    the less loaded (Mitzenmacher's d=2 trick: almost
+//                    least-loaded balance at O(1) state per decision)
+//   affinity       — rendezvous (highest-random-weight) hash of the
+//                    request's session key over the candidate set, so
+//                    repeat prompts land on the replica whose prefix
+//                    cache is warm, and key placement survives replica
+//                    ejections with minimal reshuffling
+//
+// The router is purely deterministic: round-robin state and the
+// power-of-two stream advance only on Pick(), so a (policy, seed,
+// request sequence) triple names one exact routing on every machine.
+
+#ifndef MULTICAST_CLUSTER_ROUTER_H_
+#define MULTICAST_CLUSTER_ROUTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace multicast {
+namespace cluster {
+
+enum class RouterPolicy {
+  kRoundRobin,
+  kLeastLoaded,
+  kPowerOfTwo,
+  kAffinity,
+};
+
+const char* RouterPolicyName(RouterPolicy policy);
+Result<RouterPolicy> RouterPolicyFromName(const std::string& name);
+
+/// See file comment.
+class Router {
+ public:
+  Router(RouterPolicy policy, size_t num_replicas, uint64_t seed);
+
+  /// Picks a replica id from `candidates` (non-empty, strictly
+  /// ascending ids, all with a free slot and believed healthy).
+  /// `loads[r]` is replica r's current in-flight count; `session_key`
+  /// identifies the request's prompt/session for affinity.
+  int Pick(const std::vector<int>& candidates,
+           const std::vector<size_t>& loads, uint64_t session_key);
+
+  RouterPolicy policy() const { return policy_; }
+
+ private:
+  RouterPolicy policy_;
+  size_t num_replicas_;
+  size_t rr_next_ = 0;  ///< round-robin cursor over replica id space
+  Rng rng_;             ///< power-of-two candidate stream
+  /// Per-replica salts for rendezvous hashing (seeded, stable).
+  std::vector<uint64_t> salts_;
+};
+
+}  // namespace cluster
+}  // namespace multicast
+
+#endif  // MULTICAST_CLUSTER_ROUTER_H_

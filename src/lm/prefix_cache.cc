@@ -59,8 +59,7 @@ size_t PrefixCache::KeyHasher::operator()(const Key& key) const {
   return static_cast<size_t>(h);
 }
 
-PrefixCache::PrefixCache(size_t capacity)
-    : capacity_(std::max<size_t>(capacity, 1)) {}
+PrefixCache::PrefixCache(size_t capacity) : capacity_(capacity) {}
 
 std::vector<uint64_t> PrefixCache::PrefixHashes(
     const std::vector<token::TokenId>& prompt) {
@@ -100,6 +99,17 @@ std::shared_ptr<const LanguageModel> PrefixCache::EnsureLocked(
     const ModelFactory& fresh, std::unique_ptr<LanguageModel>* uncached) {
   ++stats_.lookups;
   stats_.prompt_tokens_seen += prompt.size();
+  if (capacity_ == 0) {
+    // Disabled cache: every session is a miss served fresh with a full
+    // prompt replay; nothing is stored, nothing is evicted.
+    ++stats_.misses;
+    std::unique_ptr<LanguageModel> model = fresh();
+    MC_CHECK(model != nullptr);
+    stats_.prompt_tokens_replayed += prompt.size();
+    for (token::TokenId id : prompt) model->Observe(id);
+    if (uncached != nullptr) *uncached = std::move(model);
+    return nullptr;
+  }
   std::vector<uint64_t> hashes = PrefixHashes(prompt);
   Entry* match = LookupLocked(fingerprint, prompt, hashes);
   if (match != nullptr && match->prompt.size() == prompt.size()) {

@@ -75,7 +75,10 @@ class PrefixCache {
   using ModelFactory = std::function<std::unique_ptr<LanguageModel>()>;
 
   /// `capacity` is the maximum number of cached frozen states (LRU
-  /// beyond that); clamped to >= 1.
+  /// beyond that). 0 disables the cache entirely: every AcquireSession
+  /// is a counted miss served by a fresh full-replay session, Warm is a
+  /// no-op, and nothing is ever stored — the off switch for A/B runs
+  /// and for cacheless cluster replicas.
   explicit PrefixCache(size_t capacity = 64);
 
   /// Returns a mutable decode session whose state equals a fresh model

@@ -90,10 +90,38 @@ ServeSummary Summarize(const std::vector<ServeStats>& stats) {
       queue_wait += st.queue_wait_seconds;
       ++started;
     }
+    if (st.outcome != RequestOutcome::kServed &&
+        st.outcome != RequestOutcome::kServedDegraded) {
+      // Rejection-reason breakdown keyed on the terminal status code.
+      switch (st.status.code()) {
+        case StatusCode::kResourceExhausted:
+          ++s.rejections.queue_full;
+          break;
+        case StatusCode::kDeadlineExceeded:
+          ++s.rejections.deadline_expired;
+          break;
+        case StatusCode::kUnavailable:
+          ++s.rejections.backend_unavailable;
+          break;
+        case StatusCode::kCancelled:
+          ++s.rejections.cancelled;
+          break;
+        default:
+          ++s.rejections.other;
+          break;
+      }
+    } else if (st.cluster.replica >= 0) {
+      size_t r = static_cast<size_t>(st.cluster.replica);
+      if (s.served_per_replica.size() <= r) {
+        s.served_per_replica.resize(r + 1, 0);
+      }
+      ++s.served_per_replica[r];
+    }
     s.retry += st.retry;
     s.ledger += st.ledger;
     s.prefix_cache += st.prefix_cache;
     s.batch += st.batch;
+    s.cluster += st.cluster;
   }
   std::sort(latencies.begin(), latencies.end());
   std::sort(queue_waits.begin(), queue_waits.end());

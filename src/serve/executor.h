@@ -115,6 +115,51 @@ enum class RequestOutcome {
 
 const char* OutcomeName(RequestOutcome outcome);
 
+/// Cluster-layer accounting for one request: which replica served it
+/// and what its failovers cost. Filled by cluster::ClusterExecutor;
+/// the single-node ServeExecutor leaves it defaulted (replica -1).
+struct ClusterStats {
+  /// Replica that produced the final outcome; -1 when the request
+  /// never reached one (or the run was not clustered).
+  int replica = -1;
+  /// In-flight replica deaths this request survived (each one aborted
+  /// a running pipeline attempt).
+  size_t failovers = 0;
+  /// Sample draws whose work was re-dispatched to a surviving replica
+  /// after a mid-service crash.
+  size_t redispatched_draws = 0;
+  /// Virtual service seconds burnt on attempts that died with their
+  /// replica (or lost a hedge race) — the price of failover, kept out
+  /// of the ledger so served results stay bit-identical to a
+  /// fault-free run.
+  double wasted_seconds = 0.0;
+
+  ClusterStats& operator+=(const ClusterStats& other) {
+    failovers += other.failovers;
+    redispatched_draws += other.redispatched_draws;
+    wasted_seconds += other.wasted_seconds;
+    return *this;
+  }
+};
+
+/// Terminal-status breakdown of every request that was not served:
+/// *why* the serving layer said no, not just how often. Keyed on the
+/// final Status code, so queue shedding, deadline losses (queued or
+/// in-service), dead backends/fleets and drain cancellations stay
+/// distinguishable in one summary.
+struct RejectionBreakdown {
+  size_t queue_full = 0;           ///< kResourceExhausted at admission
+  size_t deadline_expired = 0;     ///< kDeadlineExceeded (queue or service)
+  size_t backend_unavailable = 0;  ///< kUnavailable (backend / fleet down)
+  size_t cancelled = 0;            ///< kCancelled (drain, hedge loser)
+  size_t other = 0;                ///< any other terminal status
+
+  size_t total() const {
+    return queue_full + deadline_expired + backend_unavailable +
+           cancelled + other;
+  }
+};
+
 /// Everything the serving layer knows about one request's fate.
 struct ServeStats {
   size_t id = 0;
@@ -144,6 +189,9 @@ struct ServeStats {
   /// shared scheduler's counters; empty without a scheduler in
   /// ServeOptions).
   batch::BatchStats batch;
+  /// Cluster routing/failover accounting (defaulted outside cluster
+  /// runs; see ClusterStats).
+  ClusterStats cluster;
   /// The served forecast (null unless served) — benches score RMSE of
   /// what clients actually received, shed requests included by absence.
   std::shared_ptr<const forecast::ForecastResult> result;
@@ -179,6 +227,12 @@ struct ServeSummary {
   lm::TokenLedger ledger;
   lm::PrefixCacheStats prefix_cache;
   batch::BatchStats batch;
+  /// Why the non-served requests were rejected, by terminal status.
+  RejectionBreakdown rejections;
+  /// Cluster rollup: failover totals plus served counts per replica
+  /// (`served_per_replica[r]` — empty outside cluster runs).
+  ClusterStats cluster;
+  std::vector<size_t> served_per_replica;
 
   size_t shed() const { return shed_queue_full + shed_expired; }
 };

@@ -27,6 +27,11 @@ struct ForecastRequest {
   const ts::Frame* history = nullptr;
   /// Steps to forecast.
   size_t horizon = 0;
+  /// Session/prompt identity for affinity routing: requests sharing a
+  /// key present (near-)identical prompts, so the cluster router can
+  /// pin them to the replica whose prefix cache is already warm.
+  /// 0 (the default) is itself a valid shared key.
+  uint64_t session_key = 0;
 };
 
 }  // namespace serve

@@ -12,9 +12,12 @@ ThreadPool::ThreadPool(int num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;  // idempotent; workers already joined
     shutdown_ = true;
   }
   wake_.notify_all();

@@ -17,12 +17,23 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
 namespace multicast {
+
+/// Thrown (via the returned future) by Submit() calls that race a
+/// shutdown: the task was never enqueued and will never run. Carries
+/// kUnavailable semantics — the pool is a resource that has gone away.
+class ThreadPoolShutdownError : public std::runtime_error {
+ public:
+  explicit ThreadPoolShutdownError(const std::string& what)
+      : std::runtime_error(what) {}
+};
 
 /// Fixed set of worker threads draining one FIFO task queue. Submission
 /// is thread-safe; the destructor drains every queued task and joins the
@@ -37,14 +48,23 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Runs every queued task, then joins all workers.
+  /// Runs every queued task, then joins all workers (via Shutdown()).
   ~ThreadPool();
+
+  /// Drains every already-queued task, joins all workers, and fails any
+  /// later Submit() with ThreadPoolShutdownError (kUnavailable
+  /// semantics). Idempotent; safe to call concurrently with Submit —
+  /// a racing submission either runs before the drain completes or gets
+  /// the failed future, never a silently dropped task.
+  void Shutdown();
 
   int size() const { return static_cast<int>(workers_.size()); }
 
   /// Enqueues `fn` and returns a future for its result. `fn` must not
   /// submit to (or otherwise block on) this same pool — workers are a
-  /// fixed set and nested waits can deadlock.
+  /// fixed set and nested waits can deadlock. After Shutdown() the task
+  /// is NOT enqueued and the returned future holds a
+  /// ThreadPoolShutdownError instead.
   template <typename F>
   auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
@@ -53,6 +73,13 @@ class ThreadPool {
     std::future<R> future = task->get_future();
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (shutdown_) {
+        std::promise<R> failed;
+        failed.set_exception(std::make_exception_ptr(ThreadPoolShutdownError(
+            "ThreadPool::Submit after Shutdown: pool unavailable "
+            "(kUnavailable), task not enqueued")));
+        return failed.get_future();
+      }
       queue_.emplace_back([task]() { (*task)(); });
     }
     wake_.notify_one();

@@ -217,7 +217,8 @@ TEST_F(CliTest, ServeSimRendersSummaryTable) {
   EXPECT_NE(out.find("serve-sim: 10 requests"), std::string::npos);
   for (const char* column : {"Served", "Degraded", "Shed(full)",
                              "Shed(expired)", "Hedged", "p99(s)",
-                             "Retries", "Preempted"}) {
+                             "Retries", "Preempted",
+                             "Rej full/ddl/unav/cxl"}) {
     EXPECT_NE(out.find(column), std::string::npos) << column;
   }
   EXPECT_NE(out.find("VI"), std::string::npos);
@@ -243,6 +244,56 @@ TEST_F(CliTest, ServeSimDrainCancelStopsAdmission) {
   ASSERT_TRUE(code.ok()) << code.status().ToString();
   EXPECT_NE(out.find("drain at 1s (cancel)"), std::string::npos);
   EXPECT_NE(out.find("Drained"), std::string::npos);
+}
+
+TEST_F(CliTest, ClusterSimRendersFleetTableAndIsDeterministic) {
+  std::vector<std::string> args = {
+      "cluster-sim", "--input", path_, "--horizon", "4", "--method", "VI",
+      "--samples", "2", "--requests", "12", "--arrival-rate", "4",
+      "--deadline", "20", "--chaos", "0.15", "--replicas", "3",
+      "--replica-chaos", "1.5", "--replica-chaos-seed", "99"};
+  std::string out;
+  auto code = Run(args, &out);
+  ASSERT_TRUE(code.ok()) << code.status().ToString();
+  EXPECT_EQ(code.value(), 0);
+  EXPECT_NE(out.find("cluster-sim: 12 requests"), std::string::npos);
+  EXPECT_NE(out.find("3 replicas"), std::string::npos);
+  for (const char* marker :
+       {"Served", "Failovers", "Redisp.draws", "Wasted(s)",
+        "Rej full/ddl/unav/cxl", "health:", "replica 0:", "replica 1:",
+        "replica 2:", "occupancy"}) {
+    EXPECT_NE(out.find(marker), std::string::npos) << marker;
+  }
+  // One seeded chaos schedule, one exact story: byte-identical reruns.
+  std::string again;
+  ASSERT_TRUE(Run(args, &again).ok());
+  EXPECT_EQ(out, again);
+}
+
+TEST_F(CliTest, ClusterSimRouterPoliciesAllRun) {
+  for (const char* router : {"rr", "least", "p2c", "affinity"}) {
+    std::string out;
+    auto code = Run({"cluster-sim", "--input", path_, "--horizon", "4",
+                     "--method", "VI", "--samples", "2", "--requests", "6",
+                     "--replicas", "2", "--router", router},
+                    &out);
+    ASSERT_TRUE(code.ok()) << router << ": " << code.status().ToString();
+    EXPECT_NE(out.find("router"), std::string::npos) << router;
+  }
+}
+
+TEST_F(CliTest, ClusterSimRejectsBadFleetFlags) {
+  std::string out;
+  EXPECT_FALSE(Run({"cluster-sim", "--input", path_, "--replicas", "0"},
+                   &out)
+                   .ok());
+  EXPECT_FALSE(Run({"cluster-sim", "--input", path_, "--router", "bogus"},
+                   &out)
+                   .ok());
+  EXPECT_FALSE(Run({"cluster-sim", "--input", path_, "--replica-chaos",
+                    "-1"},
+                   &out)
+                   .ok());
 }
 
 TEST_F(CliTest, ServeSimRejectsBadPolicyFlags) {

@@ -1,0 +1,621 @@
+// Cluster chaos harness: end-to-end failover behaviour of
+// cluster::ClusterExecutor under scripted and seeded fleet failures.
+//
+// The two invariants the cluster layer promises are asserted here:
+//   1. Full-shape-or-correct-status: every admitted request either
+//      completes with a full dims x horizon forecast or terminates
+//      with kDeadlineExceeded / kCancelled / kUnavailable — never a
+//      partial result, never a hang (the virtual event loop returning
+//      at all proves no livelock).
+//   2. Failover determinism: with recovery and deadline budget, the
+//      surviving fleet's output is bit-identical to a fault-free run
+//      at any replica count — crashes cost time, never bits.
+
+#include "cluster/replica_set.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "cluster/fault_plan.h"
+#include "forecast/multicast_forecaster.h"
+#include "lm/ngram_model.h"
+#include "lm/prefix_cache.h"
+#include "serve/executor.h"
+#include "ts/frame.h"
+
+namespace multicast {
+namespace cluster {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+ts::Frame History(size_t n) {
+  std::vector<double> a, b;
+  for (size_t i = 0; i < n; ++i) {
+    a.push_back(10.0 + static_cast<double>(i % 7));
+    b.push_back(50.0 - static_cast<double>(i % 5));
+  }
+  return ts::Frame::FromSeries({ts::Series(a, "a"), ts::Series(b, "b")},
+                               "hist")
+      .ValueOrDie();
+}
+
+/// A scripted replica pipeline: burns `service_seconds` of virtual time
+/// on the request's branch clock, then emits a forecast whose every
+/// value is a pure function of (request id, dim, step) — exactly the
+/// replica-independence the real pipelines earn via request-derived
+/// seeds, so any cross-run bit difference is an executor bug
+/// (mis-delivered result, state leaked across a failover).
+class ScriptedWork final : public forecast::Forecaster {
+ public:
+  ScriptedWork(size_t request_id, double service_seconds, size_t draws)
+      : request_id_(request_id),
+        service_seconds_(service_seconds),
+        draws_(draws) {}
+
+  std::string name() const override { return "scripted"; }
+
+  using Forecaster::Forecast;
+  Result<forecast::ForecastResult> Forecast(
+      const ts::Frame& history, size_t horizon,
+      const RequestContext& ctx) override {
+    // Service in four slices with a cancellation check between each, so
+    // a drain arriving mid-flight is actually observed (as the real
+    // pipelines observe it between backend calls).
+    for (int slice = 0; slice < 4; ++slice) {
+      MC_RETURN_IF_ERROR(ctx.Check("scripted"));
+      if (ctx.clock != nullptr) ctx.clock->Advance(service_seconds_ / 4.0);
+    }
+    forecast::ForecastResult result;
+    std::vector<ts::Series> dims;
+    for (size_t d = 0; d < history.num_dims(); ++d) {
+      std::vector<double> values(horizon);
+      for (size_t t = 0; t < horizon; ++t) {
+        values[t] = static_cast<double>(request_id_) * 100.0 +
+                    static_cast<double>(d) * 10.0 + static_cast<double>(t);
+      }
+      dims.emplace_back(values, history.dim(d).name());
+    }
+    result.forecast = ts::Frame::FromSeries(dims, "f").ValueOrDie();
+    result.samples_requested = draws_;
+    result.samples_used = draws_;
+    return result;
+  }
+
+ private:
+  size_t request_id_;
+  double service_seconds_;
+  size_t draws_;
+};
+
+ReplicaForecasterFactory ScriptedFactory(double service_seconds,
+                                         size_t draws = 3) {
+  return [service_seconds, draws](const serve::ForecastRequest& req,
+                                  const Replica&) {
+    return std::make_unique<ScriptedWork>(req.id, service_seconds, draws);
+  };
+}
+
+serve::ForecastRequest Req(size_t id, double arrival, double deadline,
+                           const ts::Frame* history) {
+  serve::ForecastRequest r;
+  r.id = id;
+  r.arrival_seconds = arrival;
+  r.deadline_seconds = deadline;
+  r.history = history;
+  r.horizon = 4;
+  return r;
+}
+
+void ExpectScriptedShape(const serve::ServeStats& st, size_t dims,
+                         size_t horizon) {
+  ASSERT_NE(st.result, nullptr) << "request " << st.id;
+  ASSERT_EQ(st.result->forecast.num_dims(), dims);
+  ASSERT_EQ(st.result->forecast.length(), horizon);
+  for (size_t d = 0; d < dims; ++d) {
+    for (size_t t = 0; t < horizon; ++t) {
+      EXPECT_DOUBLE_EQ(st.result->forecast.at(d, t),
+                       static_cast<double>(st.id) * 100.0 +
+                           static_cast<double>(d) * 10.0 +
+                           static_cast<double>(t))
+          << "request " << st.id << " dim " << d << " t " << t;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Crash during service: exact failover schedule.
+// ---------------------------------------------------------------------
+
+TEST(ClusterChaosTest, CrashDuringServiceFailsOverWithExactSchedule) {
+  ts::Frame history = History(24);
+  std::vector<Replica> fleet = MakeUniformReplicas(
+      {.replicas = 2, .slots = 1, .prefix_cache_capacity = 0});
+  // Replica 0 dies at t=1 mid-service and recovers at t=5.
+  fleet[0].plan.crashes = {{1.0, 5.0}};
+  ClusterOptions options;
+  options.router = RouterPolicy::kLeastLoaded;
+  ClusterExecutor executor(ScriptedFactory(/*service_seconds=*/2.0),
+                           nullptr, std::move(fleet), options);
+
+  auto stats_or = executor.Run({Req(0, 0.0, kInf, &history)});
+  ASSERT_TRUE(stats_or.ok()) << stats_or.status().ToString();
+  const std::vector<serve::ServeStats>& stats = stats_or.value();
+  ASSERT_EQ(stats.size(), 1u);
+  const serve::ServeStats& st = stats[0];
+
+  // Dispatched to replica 0 at t=0 (least-loaded tie -> lowest id),
+  // killed at the crash instant t=1, re-dispatched to replica 1 and
+  // served there: finish 1 + 2 = 3, one wasted second on the corpse.
+  EXPECT_EQ(st.outcome, serve::RequestOutcome::kServed);
+  EXPECT_EQ(st.cluster.replica, 1);
+  EXPECT_EQ(st.cluster.failovers, 1u);
+  EXPECT_EQ(st.cluster.redispatched_draws, 3u);
+  EXPECT_DOUBLE_EQ(st.cluster.wasted_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(st.finish_seconds, 3.0);
+  EXPECT_EQ(st.attempts, 2);
+  ExpectScriptedShape(st, 2, 4);
+
+  const ClusterReport& report = executor.report();
+  EXPECT_EQ(report.failovers, 1u);
+  EXPECT_EQ(report.redispatched_draws, 3u);
+  EXPECT_DOUBLE_EQ(report.wasted_seconds, 1.0);
+  EXPECT_EQ(report.replicas[0].failovers, 1u);
+  EXPECT_EQ(report.replicas[0].completed, 0u);
+  EXPECT_EQ(report.replicas[1].completed, 1u);
+}
+
+TEST(ClusterChaosTest, RedispatchDelayChargesDetectionCost) {
+  ts::Frame history = History(24);
+  std::vector<Replica> fleet = MakeUniformReplicas(
+      {.replicas = 2, .slots = 1, .prefix_cache_capacity = 0});
+  fleet[0].plan.crashes = {{1.0, 5.0}};
+  ClusterOptions options;
+  options.redispatch_delay_seconds = 0.5;
+  ClusterExecutor executor(ScriptedFactory(2.0), nullptr, std::move(fleet),
+                           options);
+  auto stats_or = executor.Run({Req(0, 0.0, kInf, &history)});
+  ASSERT_TRUE(stats_or.ok());
+  // Crash at 1, detection/re-dispatch tax 0.5, service 2 -> finish 3.5.
+  EXPECT_DOUBLE_EQ(stats_or.value()[0].finish_seconds, 3.5);
+  EXPECT_EQ(stats_or.value()[0].cluster.failovers, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Crash wipes the prefix cache; partitions keep it warm.
+// ---------------------------------------------------------------------
+
+std::shared_ptr<lm::PrefixCache> WarmCache() {
+  auto cache = std::make_shared<lm::PrefixCache>(8);
+  std::vector<token::TokenId> prompt = {1, 2, 3, 4, 5};
+  cache->Warm(/*fingerprint=*/42, prompt, []() {
+    return std::make_unique<lm::NGramLanguageModel>(11, lm::NGramOptions{});
+  });
+  EXPECT_EQ(cache->size(), 1u);
+  return cache;
+}
+
+TEST(ClusterChaosTest, CrashWipesPrefixCachePartitionKeepsIt) {
+  ts::Frame history = History(24);
+  std::vector<Replica> fleet = MakeUniformReplicas(
+      {.replicas = 2, .slots = 1, .prefix_cache_capacity = 0});
+  fleet[0].prefix_cache = WarmCache();
+  fleet[1].prefix_cache = WarmCache();
+  fleet[0].plan.crashes = {{1.0, 2.0}};     // state-losing outage
+  fleet[1].plan.partitions = {{1.0, 2.0}};  // unreachable, state kept
+  ClusterExecutor executor(ScriptedFactory(0.5), nullptr, std::move(fleet),
+                           ClusterOptions{});
+  auto stats_or = executor.Run({Req(0, 0.0, kInf, &history),
+                                Req(1, 3.0, kInf, &history)});
+  ASSERT_TRUE(stats_or.ok());
+  EXPECT_EQ(executor.replica(0).prefix_cache->size(), 0u)
+      << "crash must wipe the node-local cache";
+  EXPECT_EQ(executor.replica(1).prefix_cache->size(), 1u)
+      << "partition must keep the node-local cache warm";
+}
+
+TEST(ClusterChaosTest, CacheWipeCanBeDisabledForExternalTier) {
+  ts::Frame history = History(24);
+  std::vector<Replica> fleet = MakeUniformReplicas(
+      {.replicas = 1, .slots = 1, .prefix_cache_capacity = 0});
+  fleet[0].prefix_cache = WarmCache();
+  fleet[0].plan.crashes = {{1.0, 2.0}};
+  ClusterOptions options;
+  options.wipe_cache_on_crash = false;
+  ClusterExecutor executor(ScriptedFactory(0.1), nullptr, std::move(fleet),
+                           options);
+  auto stats_or = executor.Run({Req(0, 3.0, kInf, &history)});
+  ASSERT_TRUE(stats_or.ok());
+  EXPECT_EQ(executor.replica(0).prefix_cache->size(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Correlated failure: k of N replicas die, the fleet keeps serving.
+// ---------------------------------------------------------------------
+
+TEST(ClusterChaosTest, CorrelatedPermanentFailureKLessThanNStillServes) {
+  ts::Frame history = History(24);
+  std::vector<Replica> fleet = MakeUniformReplicas(
+      {.replicas = 3, .slots = 1, .prefix_cache_capacity = 0});
+  // Replicas 0 and 1 die together at t=1.5 and never come back.
+  fleet[0].plan.crashes = {{1.5, kInf}};
+  fleet[1].plan.crashes = {{1.5, kInf}};
+  ClusterOptions options;
+  options.queue.capacity = 16;
+  ClusterExecutor executor(ScriptedFactory(1.0), nullptr, std::move(fleet),
+                           options);
+
+  std::vector<serve::ForecastRequest> requests;
+  for (size_t i = 0; i < 8; ++i) {
+    requests.push_back(Req(i, 0.5 * static_cast<double>(i), kInf, &history));
+  }
+  auto stats_or = executor.Run(requests);
+  ASSERT_TRUE(stats_or.ok()) << stats_or.status().ToString();
+  for (const serve::ServeStats& st : stats_or.value()) {
+    EXPECT_EQ(st.outcome, serve::RequestOutcome::kServed)
+        << "request " << st.id << ": " << st.status.ToString();
+    ExpectScriptedShape(st, 2, 4);
+  }
+  // Everything after the correlated failure lands on the survivor.
+  serve::ServeSummary summary = serve::Summarize(stats_or.value());
+  ASSERT_EQ(summary.served_per_replica.size(), 3u);
+  EXPECT_EQ(summary.served, 8u);
+  EXPECT_GE(summary.served_per_replica[2], 6u);
+  EXPECT_GE(executor.report().health.ejections, 2u);
+}
+
+// ---------------------------------------------------------------------
+// Slow replica + hedging: the backup on a healthy node wins.
+// ---------------------------------------------------------------------
+
+TEST(ClusterChaosTest, SlowReplicaHedgeWinsOnHealthyNode) {
+  ts::Frame history = History(24);
+  std::vector<Replica> fleet = MakeUniformReplicas(
+      {.replicas = 2, .slots = 1, .prefix_cache_capacity = 0});
+  fleet[0].plan.slow_factor = 4.0;  // permanent straggler
+  ClusterOptions options;
+  options.hedge.enabled = true;
+  options.hedge.delay_seconds = 1.0;
+  ClusterExecutor executor(ScriptedFactory(2.0), nullptr, std::move(fleet),
+                           options);
+  auto stats_or = executor.Run({Req(0, 0.0, kInf, &history)});
+  ASSERT_TRUE(stats_or.ok());
+  const serve::ServeStats& st = stats_or.value()[0];
+
+  // Primary on replica 0 would finish at 8 (2 s of work at 1/4 speed);
+  // the hedge fires at 1 on replica 1 and lands at 3. Hedge wins, and
+  // the straggler burnt 3 seconds of slot occupancy (0 -> 3) for
+  // nothing — that occupancy is the wasted work failover accounts.
+  EXPECT_EQ(st.outcome, serve::RequestOutcome::kServed);
+  EXPECT_TRUE(st.hedge_fired);
+  EXPECT_TRUE(st.hedge_won);
+  EXPECT_EQ(st.cluster.replica, 1);
+  EXPECT_DOUBLE_EQ(st.finish_seconds, 3.0);
+  EXPECT_DOUBLE_EQ(st.cluster.wasted_seconds, 3.0);
+  ExpectScriptedShape(st, 2, 4);
+  EXPECT_EQ(executor.report().replicas[0].completed, 0u);
+  EXPECT_EQ(executor.report().replicas[1].completed, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Partition then heal: traffic returns after probation.
+// ---------------------------------------------------------------------
+
+TEST(ClusterChaosTest, PartitionThenHealReadmitsAfterProbation) {
+  ts::Frame history = History(24);
+  std::vector<Replica> fleet = MakeUniformReplicas(
+      {.replicas = 2, .slots = 1, .prefix_cache_capacity = 0});
+  fleet[0].plan.partitions = {{0.9, 3.0}};
+  ClusterOptions options;
+  options.health.probe_interval_seconds = 0.25;
+  options.health.eject_after_failures = 2;
+  options.health.readmit_after_successes = 2;
+  options.queue.capacity = 32;
+  ClusterExecutor executor(ScriptedFactory(0.25), nullptr, std::move(fleet),
+                           options);
+
+  std::vector<serve::ForecastRequest> requests;
+  for (size_t i = 0; i < 20; ++i) {
+    requests.push_back(Req(i, 0.5 * static_cast<double>(i), kInf, &history));
+  }
+  auto stats_or = executor.Run(requests);
+  ASSERT_TRUE(stats_or.ok());
+  for (const serve::ServeStats& st : stats_or.value()) {
+    EXPECT_EQ(st.outcome, serve::RequestOutcome::kServed);
+  }
+  const ClusterReport& report = executor.report();
+  EXPECT_GE(report.health.ejections, 1u);
+  EXPECT_GE(report.health.readmissions, 1u);
+  // The healed replica takes traffic again after probation: arrivals
+  // from t=10 on land long after readmission (~t=3.75).
+  serve::ServeSummary summary = serve::Summarize(stats_or.value());
+  EXPECT_GT(summary.served_per_replica[0], 0u);
+  EXPECT_GT(summary.served_per_replica[1], 0u);
+}
+
+// ---------------------------------------------------------------------
+// Drain under fire.
+// ---------------------------------------------------------------------
+
+TEST(ClusterChaosTest, ClusterDrainCancelsQueuedAndInFlight) {
+  ts::Frame history = History(24);
+  std::vector<Replica> fleet = MakeUniformReplicas(
+      {.replicas = 2, .slots = 1, .prefix_cache_capacity = 0});
+  ClusterOptions options;
+  options.queue.capacity = 16;
+  options.drain_at_seconds = 2.5;
+  options.drain_mode = serve::DrainMode::kCancelQueued;
+  ClusterExecutor executor(ScriptedFactory(2.0), nullptr, std::move(fleet),
+                           options);
+
+  std::vector<serve::ForecastRequest> requests;
+  for (size_t i = 0; i < 10; ++i) {
+    requests.push_back(Req(i, 0.4 * static_cast<double>(i), kInf, &history));
+  }
+  auto stats_or = executor.Run(requests);
+  ASSERT_TRUE(stats_or.ok());
+  // Three distinct drain fates, all kCancelledDrain: in-flight work is
+  // cancelled mid-service (kCancelled, from the armed token), queued
+  // work is flushed (kCancelled), and late arrivals bounce off the
+  // closed admission door (kUnavailable, the queue's own status — the
+  // same convention ServeExecutor uses).
+  size_t served = 0, drained = 0;
+  size_t cancelled_status = 0, unavailable_status = 0;
+  for (const serve::ServeStats& st : stats_or.value()) {
+    if (st.outcome == serve::RequestOutcome::kServed) {
+      ++served;
+      EXPECT_LE(st.finish_seconds, 2.5);
+    } else {
+      ++drained;
+      EXPECT_EQ(st.outcome, serve::RequestOutcome::kCancelledDrain)
+          << "request " << st.id << ": " << st.status.ToString();
+      if (st.status.code() == StatusCode::kCancelled) {
+        ++cancelled_status;
+      } else {
+        EXPECT_EQ(st.status.code(), StatusCode::kUnavailable)
+            << "request " << st.id << ": " << st.status.ToString();
+        ++unavailable_status;
+      }
+    }
+  }
+  EXPECT_EQ(served, 2u);  // requests 0 and 1 finish before the drain
+  EXPECT_EQ(drained, 8u);
+  EXPECT_GT(cancelled_status, 0u);
+  EXPECT_GT(unavailable_status, 0u);
+  serve::ServeSummary summary = serve::Summarize(stats_or.value());
+  EXPECT_EQ(summary.cancelled_drain, drained);
+  EXPECT_EQ(summary.rejections.cancelled, cancelled_status);
+  EXPECT_EQ(summary.rejections.backend_unavailable, unavailable_status);
+}
+
+TEST(ClusterChaosTest, PerReplicaDrainShiftsTrafficWithoutLoss) {
+  ts::Frame history = History(24);
+  std::vector<Replica> fleet = MakeUniformReplicas(
+      {.replicas = 2, .slots = 1, .prefix_cache_capacity = 0});
+  // Rolling restart: replica 0 drains from t=1, back at t=4.
+  fleet[0].drain = FaultWindow{1.0, 4.0};
+  ClusterOptions options;
+  options.queue.capacity = 32;
+  ClusterExecutor executor(ScriptedFactory(0.5), nullptr, std::move(fleet),
+                           options);
+  std::vector<serve::ForecastRequest> requests;
+  for (size_t i = 0; i < 12; ++i) {
+    requests.push_back(Req(i, 0.5 * static_cast<double>(i), kInf, &history));
+  }
+  auto stats_or = executor.Run(requests);
+  ASSERT_TRUE(stats_or.ok());
+  for (const serve::ServeStats& st : stats_or.value()) {
+    EXPECT_EQ(st.outcome, serve::RequestOutcome::kServed)
+        << "request " << st.id << ": " << st.status.ToString();
+    // Inside the drain window nothing is dispatched to replica 0.
+    if (st.start_seconds >= 1.0 && st.start_seconds < 4.0) {
+      EXPECT_EQ(st.cluster.replica, 1) << "request " << st.id;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Fleet death: permanent unavailability is reported, not hung.
+// ---------------------------------------------------------------------
+
+TEST(ClusterChaosTest, AllReplicasPermanentlyDeadFailsUnavailable) {
+  ts::Frame history = History(24);
+  std::vector<Replica> fleet = MakeUniformReplicas(
+      {.replicas = 2, .slots = 1, .prefix_cache_capacity = 0});
+  fleet[0].plan.crashes = {{0.5, kInf}};
+  fleet[1].plan.crashes = {{0.5, kInf}};
+  ClusterOptions options;
+  options.queue.capacity = 16;
+  ClusterExecutor executor(ScriptedFactory(1.0), nullptr, std::move(fleet),
+                           options);
+  std::vector<serve::ForecastRequest> requests;
+  for (size_t i = 0; i < 4; ++i) {
+    requests.push_back(Req(i, static_cast<double>(i), kInf, &history));
+  }
+  auto stats_or = executor.Run(requests);
+  ASSERT_TRUE(stats_or.ok()) << stats_or.status().ToString();
+  size_t unavailable = 0;
+  for (const serve::ServeStats& st : stats_or.value()) {
+    if (st.outcome == serve::RequestOutcome::kServed) {
+      // Request 0 starts at t=0 and finishes at t=1? No: its replica
+      // dies at 0.5 mid-flight and the fleet is dead. Nothing may be
+      // served after the correlated death; only pre-crash completions
+      // would be legitimate, and service takes 1 s > 0.5 s.
+      ADD_FAILURE() << "request " << st.id << " served by a dead fleet";
+    } else {
+      EXPECT_EQ(st.status.code(), StatusCode::kUnavailable)
+          << "request " << st.id << ": " << st.status.ToString();
+      ++unavailable;
+    }
+  }
+  EXPECT_EQ(unavailable, 4u);
+  EXPECT_EQ(executor.report().fleet_unavailable, 4u);
+  serve::ServeSummary summary = serve::Summarize(stats_or.value());
+  EXPECT_EQ(summary.rejections.backend_unavailable, 4u);
+}
+
+// ---------------------------------------------------------------------
+// Invariant 1: full shape or correct terminal status, over seeded
+// fleet-wide chaos schedules.
+// ---------------------------------------------------------------------
+
+TEST(ClusterChaosTest, SeededChaosFullShapeOrCorrectStatusInvariant) {
+  ts::Frame history = History(24);
+  for (uint64_t seed : {1ULL, 7ULL, 23ULL, 99ULL}) {
+    SCOPED_TRACE("chaos seed " + std::to_string(seed));
+    FleetChaosOptions chaos;
+    chaos.replicas = 3;
+    chaos.horizon_seconds = 12.0;
+    chaos.crash_rate = 2.0;
+    chaos.partition_rate = 1.0;
+    chaos.mean_downtime_seconds = 1.5;
+    chaos.slow_replica_fraction = 0.3;
+    chaos.seed = seed;
+    std::vector<ReplicaFaultPlan> plans = GenerateFleetChaos(chaos);
+
+    std::vector<Replica> fleet = MakeUniformReplicas(
+        {.replicas = 3, .slots = 1, .prefix_cache_capacity = 0});
+    for (size_t r = 0; r < fleet.size(); ++r) fleet[r].plan = plans[r];
+    ClusterOptions options;
+    options.queue.capacity = 6;
+    ClusterExecutor executor(ScriptedFactory(0.75), nullptr,
+                             std::move(fleet), options);
+
+    std::vector<serve::ForecastRequest> requests;
+    for (size_t i = 0; i < 24; ++i) {
+      // Tight-ish budgets so deadline outcomes genuinely occur.
+      double arrival = 0.4 * static_cast<double>(i);
+      requests.push_back(Req(i, arrival, arrival + 3.0, &history));
+    }
+    auto stats_or = executor.Run(requests);
+    ASSERT_TRUE(stats_or.ok()) << stats_or.status().ToString();
+    ASSERT_EQ(stats_or.value().size(), 24u);
+    for (const serve::ServeStats& st : stats_or.value()) {
+      switch (st.outcome) {
+        case serve::RequestOutcome::kServed:
+        case serve::RequestOutcome::kServedDegraded:
+          ExpectScriptedShape(st, 2, 4);
+          EXPECT_LE(st.finish_seconds, st.arrival_seconds + 3.0);
+          break;
+        case serve::RequestOutcome::kShedQueueFull:
+          EXPECT_EQ(st.status.code(), StatusCode::kResourceExhausted);
+          break;
+        case serve::RequestOutcome::kShedExpired:
+          EXPECT_EQ(st.status.code(), StatusCode::kDeadlineExceeded);
+          break;
+        case serve::RequestOutcome::kCancelledDrain:
+          EXPECT_EQ(st.status.code(), StatusCode::kCancelled);
+          break;
+        case serve::RequestOutcome::kFailed:
+          EXPECT_TRUE(st.status.code() == StatusCode::kDeadlineExceeded ||
+                      st.status.code() == StatusCode::kCancelled ||
+                      st.status.code() == StatusCode::kUnavailable)
+              << "request " << st.id << ": " << st.status.ToString();
+          break;
+      }
+    }
+    // Bookkeeping closes: every request has exactly one terminal fate.
+    serve::ServeSummary summary = serve::Summarize(stats_or.value());
+    EXPECT_EQ(summary.total, 24u);
+    EXPECT_EQ(summary.served + summary.served_degraded + summary.shed() +
+                  summary.cancelled_drain + summary.failed,
+              24u);
+    EXPECT_EQ(summary.rejections.total(),
+              24u - summary.served - summary.served_degraded);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Invariant 2: bit-identical output vs the fault-free run, real
+// pipelines, any replica count.
+// ---------------------------------------------------------------------
+
+ReplicaForecasterFactory RealFactory(uint64_t base_seed) {
+  return [base_seed](const serve::ForecastRequest& req, const Replica& rep) {
+    forecast::MultiCastOptions opts;
+    opts.num_samples = 2;
+    // Seeds derive from the request only — never the replica — which is
+    // the whole determinism argument.
+    opts.seed = base_seed + req.id;
+    // Latency faults give flights nonzero virtual duration (so crashes
+    // actually interrupt them) without ever failing a call; the fault
+    // stream is seeded per request, so a re-run replays it exactly.
+    opts.faults.latency_spike_rate = 0.2;
+    opts.faults.base_latency_seconds = 0.02;
+    opts.faults.spike_latency_seconds = 0.2;
+    opts.faults.seed = base_seed + req.id * 7919;
+    opts.shared_prefix_cache = rep.prefix_cache;
+    return std::make_unique<forecast::MultiCastForecaster>(opts);
+  };
+}
+
+TEST(ClusterChaosTest, FailoverOutputBitIdenticalToFaultFreeRun) {
+  ts::Frame history = History(48);
+  std::vector<serve::ForecastRequest> requests;
+  for (size_t i = 0; i < 6; ++i) {
+    serve::ForecastRequest r = Req(i, 0.3 * static_cast<double>(i), kInf,
+                                   &history);
+    r.horizon = 6;
+    requests.push_back(r);
+  }
+
+  // Reference: single healthy replica, no faults.
+  auto run = [&](size_t replicas, bool chaos) {
+    std::vector<Replica> fleet = MakeUniformReplicas(
+        {.replicas = replicas, .slots = 1, .prefix_cache_capacity = 16});
+    if (chaos) {
+      // Every replica crashes somewhere inside the run; staggered so
+      // the fleet is never all-dead.
+      for (size_t r = 0; r < fleet.size(); ++r) {
+        double at = 0.4 + 0.9 * static_cast<double>(r);
+        fleet[r].plan.crashes = {{at, at + 0.8}};
+      }
+    }
+    ClusterOptions options;
+    options.queue.capacity = 16;
+    ClusterExecutor executor(RealFactory(1234), nullptr, std::move(fleet),
+                             options);
+    auto stats_or = executor.Run(requests);
+    EXPECT_TRUE(stats_or.ok());
+    return std::make_pair(stats_or.ValueOrDie(), executor.report());
+  };
+
+  auto [reference, ref_report] = run(1, /*chaos=*/false);
+  EXPECT_EQ(ref_report.failovers, 0u);
+  for (size_t replicas : {1u, 2u, 3u}) {
+    SCOPED_TRACE(std::to_string(replicas) + " replicas under chaos");
+    auto [chaotic, chaos_report] = run(replicas, /*chaos=*/true);
+    ASSERT_EQ(chaotic.size(), reference.size());
+    for (size_t i = 0; i < reference.size(); ++i) {
+      const serve::ServeStats& a = reference[i];
+      const serve::ServeStats& b = chaotic[i];
+      ASSERT_EQ(a.outcome, serve::RequestOutcome::kServed);
+      ASSERT_EQ(b.outcome, serve::RequestOutcome::kServed)
+          << "request " << b.id << ": " << b.status.ToString();
+      ASSERT_NE(a.result, nullptr);
+      ASSERT_NE(b.result, nullptr);
+      // Bit-for-bit: the forecast, its bands, the ledger, the warnings.
+      ASSERT_EQ(a.result->forecast.num_dims(), b.result->forecast.num_dims());
+      ASSERT_EQ(a.result->forecast.length(), b.result->forecast.length());
+      for (size_t d = 0; d < a.result->forecast.num_dims(); ++d) {
+        for (size_t t = 0; t < a.result->forecast.length(); ++t) {
+          EXPECT_EQ(a.result->forecast.at(d, t), b.result->forecast.at(d, t))
+              << "request " << i << " dim " << d << " t " << t;
+        }
+      }
+      EXPECT_EQ(a.result->samples_used, b.result->samples_used);
+      EXPECT_EQ(a.ledger.prompt_tokens, b.ledger.prompt_tokens);
+      EXPECT_EQ(a.ledger.generated_tokens, b.ledger.generated_tokens);
+      EXPECT_EQ(a.result->warnings, b.result->warnings);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cluster
+}  // namespace multicast

@@ -1,0 +1,418 @@
+// Mechanics of the cluster building blocks: fault plans (windows,
+// outage arithmetic, slow-motion stretching, seeded fleet chaos),
+// health monitoring (ejection / probation / readmission, passive
+// misroute feedback) and the router policies. The end-to-end failover
+// behaviour these compose into is covered by cluster_chaos_test.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <vector>
+
+#include "cluster/fault_plan.h"
+#include "cluster/health.h"
+#include "cluster/replica_set.h"
+#include "cluster/router.h"
+
+namespace multicast {
+namespace cluster {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// ---------------------------------------------------------------------
+// FaultWindow / ReplicaFaultPlan
+// ---------------------------------------------------------------------
+
+TEST(FaultWindowTest, ContainsIsHalfOpen) {
+  FaultWindow w{1.0, 3.0};
+  EXPECT_FALSE(w.Contains(0.999));
+  EXPECT_TRUE(w.Contains(1.0));  // closed at the start...
+  EXPECT_TRUE(w.Contains(2.999));
+  EXPECT_FALSE(w.Contains(3.0));  // ...open at the end
+}
+
+TEST(FaultWindowTest, DefaultWindowNeverEnds) {
+  FaultWindow w;
+  w.start_seconds = 5.0;
+  EXPECT_FALSE(w.Contains(4.0));
+  EXPECT_TRUE(w.Contains(5.0));
+  EXPECT_TRUE(w.Contains(1e12));
+}
+
+TEST(FaultPlanTest, NormalizeSortsAndMergesOverlaps) {
+  ReplicaFaultPlan plan;
+  plan.crashes = {{5.0, 7.0}, {1.0, 3.0}, {2.0, 4.0}, {7.0, 8.0}};
+  plan.Normalize();
+  // [1,3) + [2,4) merge; [5,7) + [7,8) touch (start == end) and merge.
+  ASSERT_EQ(plan.crashes.size(), 2u);
+  EXPECT_DOUBLE_EQ(plan.crashes[0].start_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(plan.crashes[0].end_seconds, 4.0);
+  EXPECT_DOUBLE_EQ(plan.crashes[1].start_seconds, 5.0);
+  EXPECT_DOUBLE_EQ(plan.crashes[1].end_seconds, 8.0);
+}
+
+TEST(FaultPlanTest, UpAtSeesCrashesAndPartitions) {
+  ReplicaFaultPlan plan;
+  plan.crashes = {{1.0, 2.0}};
+  plan.partitions = {{3.0, 4.0}};
+  plan.Normalize();
+  EXPECT_TRUE(plan.UpAt(0.5));
+  EXPECT_FALSE(plan.UpAt(1.5));  // crashed
+  EXPECT_TRUE(plan.CrashedAt(1.5));
+  EXPECT_TRUE(plan.UpAt(2.5));
+  EXPECT_FALSE(plan.UpAt(3.5));  // partitioned, not crashed
+  EXPECT_FALSE(plan.CrashedAt(3.5));
+  EXPECT_TRUE(plan.UpAt(4.0));
+}
+
+TEST(FaultPlanTest, NextOutageIsStrictlyInsideTheSpan) {
+  ReplicaFaultPlan plan;
+  plan.crashes = {{2.0, 3.0}};
+  plan.partitions = {{5.0, 6.0}};
+  plan.Normalize();
+  // An outage exactly at `from` does not interrupt work dispatched at
+  // `from` (the dispatcher already checked UpAt), and one at `until`
+  // cannot interrupt a flight that finished there.
+  EXPECT_DOUBLE_EQ(plan.NextOutageIn(0.0, 10.0), 2.0);
+  EXPECT_DOUBLE_EQ(plan.NextOutageIn(2.0, 10.0), 5.0);
+  EXPECT_DOUBLE_EQ(plan.NextOutageIn(0.0, 2.0), kInf);
+  EXPECT_DOUBLE_EQ(plan.NextOutageIn(3.0, 5.0), kInf);
+  EXPECT_DOUBLE_EQ(plan.NextOutageIn(6.0, kInf), kInf);
+}
+
+TEST(FaultPlanTest, NextUpAtHopsChainedWindows) {
+  ReplicaFaultPlan plan;
+  // A partition that begins the instant the crash ends: recovery has to
+  // hop both windows.
+  plan.crashes = {{1.0, 3.0}};
+  plan.partitions = {{3.0, 4.5}};
+  plan.Normalize();
+  EXPECT_DOUBLE_EQ(plan.NextUpAt(0.0), 0.0);  // already up
+  EXPECT_DOUBLE_EQ(plan.NextUpAt(1.0), 4.5);
+  EXPECT_DOUBLE_EQ(plan.NextUpAt(2.9), 4.5);
+  EXPECT_DOUBLE_EQ(plan.NextUpAt(4.5), 4.5);
+}
+
+TEST(FaultPlanTest, NextUpAtPermanentOutageIsNever) {
+  ReplicaFaultPlan plan;
+  plan.crashes = {{2.0, kInf}};
+  plan.Normalize();
+  EXPECT_DOUBLE_EQ(plan.NextUpAt(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(plan.NextUpAt(2.0), kInf);
+  EXPECT_DOUBLE_EQ(plan.NextUpAt(100.0), kInf);
+}
+
+TEST(FaultPlanTest, StretchedFinishFullSpeedOutsideSlowWindows) {
+  ReplicaFaultPlan plan;
+  EXPECT_DOUBLE_EQ(plan.StretchedFinish(1.0, 2.0), 3.0);
+  plan.slow_factor = 3.0;  // always slow: no windows listed
+  EXPECT_DOUBLE_EQ(plan.StretchedFinish(1.0, 2.0), 7.0);
+}
+
+TEST(FaultPlanTest, StretchedFinishWalksSlowWindows) {
+  ReplicaFaultPlan plan;
+  plan.slow_factor = 2.0;
+  plan.slow = {{2.0, 4.0}};
+  plan.Normalize();
+  // 1 s of work starting at 0: done at 1, before the window.
+  EXPECT_DOUBLE_EQ(plan.StretchedFinish(0.0, 1.0), 1.0);
+  // 3 s of work starting at 0: 2 s full speed, then the last 1 s runs
+  // at half speed inside [2,4) -> finishes at 4.
+  EXPECT_DOUBLE_EQ(plan.StretchedFinish(0.0, 3.0), 4.0);
+  // 4 s of work starting at 0: 2 s fast, 1 s stretched to 2, then 1 s
+  // fast after the window -> 5.
+  EXPECT_DOUBLE_EQ(plan.StretchedFinish(0.0, 4.0), 5.0);
+  // Starting inside the window.
+  EXPECT_DOUBLE_EQ(plan.StretchedFinish(3.0, 1.0), 4.5);
+}
+
+TEST(FleetChaosTest, DeterministicInOptionsAndSeed) {
+  FleetChaosOptions options;
+  options.replicas = 4;
+  options.horizon_seconds = 30.0;
+  options.crash_rate = 2.0;
+  options.partition_rate = 1.0;
+  options.slow_replica_fraction = 0.5;
+  options.seed = 7;
+  std::vector<ReplicaFaultPlan> a = GenerateFleetChaos(options);
+  std::vector<ReplicaFaultPlan> b = GenerateFleetChaos(options);
+  ASSERT_EQ(a.size(), 4u);
+  ASSERT_EQ(b.size(), 4u);
+  for (size_t r = 0; r < a.size(); ++r) {
+    ASSERT_EQ(a[r].crashes.size(), b[r].crashes.size());
+    for (size_t i = 0; i < a[r].crashes.size(); ++i) {
+      EXPECT_DOUBLE_EQ(a[r].crashes[i].start_seconds,
+                       b[r].crashes[i].start_seconds);
+      EXPECT_DOUBLE_EQ(a[r].crashes[i].end_seconds,
+                       b[r].crashes[i].end_seconds);
+    }
+    ASSERT_EQ(a[r].partitions.size(), b[r].partitions.size());
+    EXPECT_DOUBLE_EQ(a[r].slow_factor, b[r].slow_factor);
+  }
+  // Replicas draw from independent streams: schedules differ.
+  options.seed = 8;
+  std::vector<ReplicaFaultPlan> c = GenerateFleetChaos(options);
+  bool any_difference = false;
+  for (size_t r = 0; r < a.size() && !any_difference; ++r) {
+    if (a[r].crashes.size() != c[r].crashes.size()) {
+      any_difference = true;
+      break;
+    }
+    for (size_t i = 0; i < a[r].crashes.size(); ++i) {
+      if (a[r].crashes[i].start_seconds != c[r].crashes[i].start_seconds) {
+        any_difference = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(FleetChaosTest, WindowsStartInsideHorizonAndNoRecoverIsForever) {
+  FleetChaosOptions options;
+  options.replicas = 6;
+  options.horizon_seconds = 20.0;
+  options.crash_rate = 3.0;
+  options.recover = false;
+  options.seed = 11;
+  std::vector<ReplicaFaultPlan> plans = GenerateFleetChaos(options);
+  size_t total_crashes = 0;
+  for (const ReplicaFaultPlan& plan : plans) {
+    for (const FaultWindow& w : plan.crashes) {
+      ++total_crashes;
+      EXPECT_GE(w.start_seconds, 0.0);
+      EXPECT_LT(w.start_seconds, options.horizon_seconds);
+      EXPECT_DOUBLE_EQ(w.end_seconds, kInf);
+    }
+  }
+  EXPECT_GT(total_crashes, 0u);
+}
+
+// ---------------------------------------------------------------------
+// HealthMonitor
+// ---------------------------------------------------------------------
+
+HealthPolicy TightPolicy() {
+  HealthPolicy policy;
+  policy.probe_interval_seconds = 1.0;
+  policy.eject_after_failures = 2;
+  policy.readmit_after_successes = 2;
+  return policy;
+}
+
+TEST(HealthMonitorTest, EjectsAfterConsecutiveFailuresThenReadmits) {
+  HealthMonitor monitor(TightPolicy(), 2);
+  // Replica 1 is down in [0.5, 4.5): probes at 1..4 fail, 5.. succeed.
+  auto up = [](int replica, double at) {
+    if (replica == 0) return true;
+    return !(at >= 0.5 && at < 4.5);
+  };
+  monitor.AdvanceTo(1.0, up);  // one failure: still healthy
+  EXPECT_TRUE(monitor.Routable(1));
+  monitor.AdvanceTo(2.0, up);  // second consecutive failure: ejected
+  EXPECT_FALSE(monitor.Routable(1));
+  EXPECT_EQ(monitor.state(1), ReplicaHealth::kEjected);
+  EXPECT_TRUE(monitor.Routable(0));
+
+  monitor.AdvanceTo(5.0, up);  // probes 3,4 fail; 5 succeeds: probation
+  EXPECT_EQ(monitor.state(1), ReplicaHealth::kProbation);
+  EXPECT_FALSE(monitor.Routable(1));
+  monitor.AdvanceTo(6.0, up);  // second success: readmitted
+  EXPECT_EQ(monitor.state(1), ReplicaHealth::kHealthy);
+  EXPECT_TRUE(monitor.Routable(1));
+
+  const HealthStats& stats = monitor.stats();
+  EXPECT_EQ(stats.probes, 12u);  // 6 ticks x 2 replicas
+  EXPECT_EQ(stats.failed_probes, 4u);
+  EXPECT_EQ(stats.ejections, 1u);
+  EXPECT_EQ(stats.readmissions, 1u);
+}
+
+TEST(HealthMonitorTest, ProbationRelapseGoesStraightBackToEjected) {
+  HealthMonitor monitor(TightPolicy(), 1);
+  // Down in [0.5, 2.5), up for one probe at 3, down again at [3.5, inf).
+  auto up = [](int, double at) {
+    if (at >= 0.5 && at < 2.5) return false;
+    if (at >= 3.5) return false;
+    return true;
+  };
+  monitor.AdvanceTo(3.0, up);  // fail, fail (eject), success (probation)
+  EXPECT_EQ(monitor.state(0), ReplicaHealth::kProbation);
+  monitor.AdvanceTo(4.0, up);  // one relapse suffices
+  EXPECT_EQ(monitor.state(0), ReplicaHealth::kEjected);
+  // Readmission still requires the full streak afterwards.
+  EXPECT_EQ(monitor.stats().readmissions, 0u);
+}
+
+TEST(HealthMonitorTest, MisrouteFeedbackEjectsBetweenProbes) {
+  HealthMonitor monitor(TightPolicy(), 2);
+  EXPECT_TRUE(monitor.Routable(0));
+  monitor.RecordMisroute(0);
+  EXPECT_TRUE(monitor.Routable(0));  // one strike
+  monitor.RecordMisroute(0);
+  EXPECT_FALSE(monitor.Routable(0));  // two strikes: ejected, no probe ran
+  EXPECT_EQ(monitor.stats().misroutes, 2u);
+  EXPECT_EQ(monitor.stats().ejections, 1u);
+  EXPECT_EQ(monitor.stats().probes, 0u);
+}
+
+TEST(HealthMonitorTest, PassiveFeedbackCanBeDisabled) {
+  HealthPolicy policy = TightPolicy();
+  policy.passive_misroute_feedback = false;
+  HealthMonitor monitor(policy, 1);
+  monitor.RecordMisroute(0);
+  monitor.RecordMisroute(0);
+  monitor.RecordMisroute(0);
+  EXPECT_TRUE(monitor.Routable(0));
+  EXPECT_EQ(monitor.stats().misroutes, 3u);
+  EXPECT_EQ(monitor.stats().ejections, 0u);
+}
+
+TEST(HealthMonitorTest, NextProbeAfterIsStrictlyLater) {
+  HealthMonitor monitor(TightPolicy(), 1);
+  EXPECT_DOUBLE_EQ(monitor.NextProbeAfter(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(monitor.NextProbeAfter(0.999), 1.0);
+  EXPECT_DOUBLE_EQ(monitor.NextProbeAfter(1.0), 2.0);
+  auto up = [](int, double) { return true; };
+  monitor.AdvanceTo(2.5, up);  // ticks 1 and 2 replayed
+  EXPECT_DOUBLE_EQ(monitor.NextProbeAfter(2.5), 3.0);
+  EXPECT_DOUBLE_EQ(monitor.NextProbeAfter(7.2), 8.0);
+}
+
+// ---------------------------------------------------------------------
+// Router
+// ---------------------------------------------------------------------
+
+TEST(RouterTest, PolicyNamesRoundTrip) {
+  for (RouterPolicy policy :
+       {RouterPolicy::kRoundRobin, RouterPolicy::kLeastLoaded,
+        RouterPolicy::kPowerOfTwo, RouterPolicy::kAffinity}) {
+    auto parsed = RouterPolicyFromName(RouterPolicyName(policy));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), policy);
+  }
+  EXPECT_TRUE(RouterPolicyFromName("rr").ok());
+  EXPECT_TRUE(RouterPolicyFromName("least").ok());
+  EXPECT_TRUE(RouterPolicyFromName("p2c").ok());
+  EXPECT_FALSE(RouterPolicyFromName("bogus").ok());
+}
+
+TEST(RouterTest, RoundRobinRotatesAndSkipsMissingReplicas) {
+  Router router(RouterPolicy::kRoundRobin, 3, /*seed=*/1);
+  std::vector<size_t> loads(3, 0);
+  std::vector<int> all = {0, 1, 2};
+  EXPECT_EQ(router.Pick(all, loads, 0), 0);
+  EXPECT_EQ(router.Pick(all, loads, 0), 1);
+  EXPECT_EQ(router.Pick(all, loads, 0), 2);
+  EXPECT_EQ(router.Pick(all, loads, 0), 0);
+  // Replica 2 ejected: the cursor passes over it without stalling.
+  std::vector<int> survivors = {0, 1};
+  EXPECT_EQ(router.Pick(survivors, loads, 0), 1);
+  EXPECT_EQ(router.Pick(survivors, loads, 0), 0);
+  EXPECT_EQ(router.Pick(survivors, loads, 0), 1);
+}
+
+TEST(RouterTest, LeastLoadedPicksMinLoadLowestIdTieBreak) {
+  Router router(RouterPolicy::kLeastLoaded, 3, /*seed=*/1);
+  std::vector<int> all = {0, 1, 2};
+  EXPECT_EQ(router.Pick(all, {2, 0, 1}, 0), 1);
+  EXPECT_EQ(router.Pick(all, {1, 1, 0}, 0), 2);
+  EXPECT_EQ(router.Pick(all, {1, 1, 1}, 0), 0);  // tie: lowest id
+  EXPECT_EQ(router.Pick({1, 2}, {0, 3, 2}, 0), 2);
+}
+
+TEST(RouterTest, PowerOfTwoIsSeedDeterministicAndPrefersLessLoaded) {
+  Router a(RouterPolicy::kPowerOfTwo, 4, /*seed=*/9);
+  Router b(RouterPolicy::kPowerOfTwo, 4, /*seed=*/9);
+  std::vector<int> all = {0, 1, 2, 3};
+  std::vector<size_t> loads = {3, 1, 2, 0};
+  for (int i = 0; i < 64; ++i) {
+    int pa = a.Pick(all, loads, 0);
+    int pb = b.Pick(all, loads, 0);
+    EXPECT_EQ(pa, pb) << "draw " << i;
+    loads[static_cast<size_t>(pa)] += 1;
+  }
+  // d=2 balance: after 64 picks no replica hoards the fleet.
+  size_t max_load = *std::max_element(loads.begin(), loads.end());
+  size_t min_load = *std::min_element(loads.begin(), loads.end());
+  EXPECT_LE(max_load - min_load, 24u);
+}
+
+TEST(RouterTest, AffinityPinsKeysAndSurvivesEjectionsMinimally) {
+  Router router(RouterPolicy::kAffinity, 4, /*seed=*/3);
+  std::vector<int> all = {0, 1, 2, 3};
+  std::vector<size_t> loads(4, 0);
+  // A key always lands on the same replica, independent of load.
+  int home7 = router.Pick(all, loads, 7);
+  EXPECT_EQ(router.Pick(all, {9, 9, 9, 9}, 7), home7);
+  // Keys spread: over many keys at least two replicas get traffic.
+  std::vector<int> homes;
+  for (uint64_t key = 0; key < 32; ++key) {
+    homes.push_back(router.Pick(all, loads, key));
+  }
+  EXPECT_GT(std::set<int>(homes.begin(), homes.end()).size(), 1u);
+  // Ejecting an unrelated replica never moves a key (rendezvous
+  // minimal-disruption property); ejecting the home spills it.
+  for (uint64_t key = 0; key < 32; ++key) {
+    int home = homes[static_cast<size_t>(key)];
+    for (int gone : all) {
+      std::vector<int> rest;
+      for (int id : all) {
+        if (id != gone) rest.push_back(id);
+      }
+      int rerouted = router.Pick(rest, loads, key);
+      if (gone != home) {
+        EXPECT_EQ(rerouted, home) << "key " << key << " lost its home "
+                                  << home << " when " << gone << " left";
+      } else {
+        EXPECT_NE(rerouted, home);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// MakeUniformReplicas
+// ---------------------------------------------------------------------
+
+TEST(MakeUniformReplicasTest, BuildsTheRequestedFleet) {
+  UniformReplicaOptions options;
+  options.replicas = 3;
+  options.slots = 2;
+  options.prefix_cache_capacity = 16;
+  options.batch_slots = 4;
+  std::vector<Replica> fleet = MakeUniformReplicas(options);
+  ASSERT_EQ(fleet.size(), 3u);
+  for (size_t r = 0; r < fleet.size(); ++r) {
+    EXPECT_EQ(fleet[r].id, static_cast<int>(r));
+    EXPECT_EQ(fleet[r].slots, 2u);
+    ASSERT_NE(fleet[r].prefix_cache, nullptr);
+    EXPECT_EQ(fleet[r].prefix_cache->capacity(), 16u);
+    EXPECT_NE(fleet[r].scheduler, nullptr);
+    // Node-local state: distinct instances per replica.
+    for (size_t other = 0; other < r; ++other) {
+      EXPECT_NE(fleet[r].prefix_cache, fleet[other].prefix_cache);
+      EXPECT_NE(fleet[r].scheduler, fleet[other].scheduler);
+    }
+  }
+}
+
+TEST(MakeUniformReplicasTest, ZeroCapacitiesDisableNodeState) {
+  UniformReplicaOptions options;
+  options.replicas = 2;
+  options.prefix_cache_capacity = 0;
+  options.batch_slots = 0;
+  std::vector<Replica> fleet = MakeUniformReplicas(options);
+  ASSERT_EQ(fleet.size(), 2u);
+  for (const Replica& replica : fleet) {
+    EXPECT_EQ(replica.prefix_cache, nullptr);
+    EXPECT_EQ(replica.scheduler, nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace cluster
+}  // namespace multicast

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -359,15 +360,96 @@ TEST(PrefixCacheTest, EvictionIsLeastRecentlyUsed) {
   EXPECT_EQ(cache.stats().misses, before.misses + 1);
 }
 
-TEST(PrefixCacheTest, CapacityIsClampedToOne) {
+TEST(PrefixCacheTest, CapacityZeroDisablesTheCacheEntirely) {
   PrefixCache cache(0);
-  EXPECT_EQ(cache.capacity(), 1u);
-  std::vector<token::TokenId> p1 = TokenSeq(16, 1);
-  std::vector<token::TokenId> p2 = TokenSeq(16, 2);
-  cache.Warm(1, p1, NGramFactory());
-  cache.Warm(1, p2, NGramFactory());
+  EXPECT_EQ(cache.capacity(), 0u);
+  std::vector<token::TokenId> prompt = TokenSeq(16, 1);
+  // Warm is a counted no-op: nothing is ever stored.
+  cache.Warm(1, prompt, NGramFactory());
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().insertions, 0u);
+
+  // Every acquisition is a miss served by a fresh full-replay session —
+  // bit-identical to the cached path, just without the reuse.
+  for (int round = 0; round < 3; ++round) {
+    std::unique_ptr<LanguageModel> session =
+        cache.AcquireSession(1, prompt, NGramFactory());
+    ASSERT_NE(session, nullptr);
+    EXPECT_EQ(session->context_length(), prompt.size());
+    NGramLanguageModel fresh(kVocab, NGramOptions{});
+    for (token::TokenId id : prompt) fresh.Observe(id);
+    EXPECT_EQ(session->NextDistribution(), fresh.NextDistribution());
+  }
+  PrefixCacheStats s = cache.stats();
+  EXPECT_EQ(s.lookups, 4u);  // warm + 3 acquires
+  EXPECT_EQ(s.misses, 4u);
+  EXPECT_EQ(s.hits(), 0u);
+  EXPECT_EQ(s.evictions, 0u);
+  EXPECT_EQ(s.prompt_tokens_replayed, 4 * prompt.size());
+  EXPECT_EQ(s.prompt_tokens_reused, 0u);
+  EXPECT_EQ(cache.size(), 0u);
+  // Clear on a disabled cache is harmless too.
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(PrefixCacheTest, EvictedBaseStaysValidForLiveForkedSessions) {
+  PrefixCache cache(1);
+  std::vector<token::TokenId> p1 = TokenSeq(24, 1);
+  std::vector<token::TokenId> p2 = TokenSeq(24, 2);
+  // The session forked off p1's frozen base keeps the base alive via
+  // shared ownership even after the LRU slot is stolen.
+  std::unique_ptr<LanguageModel> session =
+      cache.AcquireSession(1, p1, NGramFactory());
+  ASSERT_NE(session, nullptr);
+  cache.Warm(1, p2, NGramFactory());  // capacity 1: evicts p1's entry
   EXPECT_EQ(cache.size(), 1u);
   EXPECT_EQ(cache.stats().evictions, 1u);
+
+  // The orphaned session still decodes bit-exactly.
+  NGramLanguageModel fresh(kVocab, NGramOptions{});
+  for (token::TokenId id : p1) fresh.Observe(id);
+  ExpectLockstep(&fresh, session.get(), TokenSeq(8, 5));
+
+  // And p1 is genuinely gone from the index: a re-acquire misses.
+  PrefixCacheStats before = cache.stats();
+  cache.AcquireSession(1, p1, NGramFactory());
+  EXPECT_EQ(cache.stats().misses, before.misses + 1);
+}
+
+TEST(PrefixCacheTest, ReplicasSharingOneCacheStayFingerprintIsolated) {
+  // Cluster replicas may share one cache object (an external cache
+  // tier); per-replica fingerprints must then namespace the entries so
+  // one node's state is never served as another's.
+  PrefixCache cache(8);
+  constexpr uint64_t kReplicaA = 0xA;
+  constexpr uint64_t kReplicaB = 0xB;
+  std::vector<token::TokenId> prompt = TokenSeq(24, 3);
+
+  cache.Warm(kReplicaA, prompt, NGramFactory());
+  EXPECT_EQ(cache.size(), 1u);
+  // Replica B sees a cold cache for the identical prompt.
+  cache.AcquireSession(kReplicaB, prompt, NGramFactory());
+  EXPECT_EQ(cache.stats().hits(), 0u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.size(), 2u);
+
+  // After both warmed, each replica full-hits its own namespace only.
+  PrefixCacheStats before = cache.stats();
+  cache.AcquireSession(kReplicaA, prompt, NGramFactory());
+  cache.AcquireSession(kReplicaB, prompt, NGramFactory());
+  EXPECT_EQ(cache.stats().full_hits, before.full_hits + 2);
+  EXPECT_EQ(cache.stats().misses, before.misses);
+
+  // A prefix of the prompt cached under A must not shorten B's replay:
+  // B's longest-prefix lookup stays inside its own namespace.
+  std::vector<token::TokenId> longer = TokenSeq(32, 3);
+  ASSERT_TRUE(std::equal(prompt.begin(), prompt.end(), longer.begin()));
+  before = cache.stats();
+  cache.AcquireSession(kReplicaB, longer, NGramFactory());
+  EXPECT_EQ(cache.stats().prefix_hits, before.prefix_hits + 1);
+  EXPECT_EQ(cache.stats().prompt_tokens_reused,
+            before.prompt_tokens_reused + prompt.size());
 }
 
 TEST(PrefixCacheTest, ClearDropsEntriesKeepsCounters) {

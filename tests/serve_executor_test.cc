@@ -614,6 +614,54 @@ TEST(ServePipelineTest, EndToEndServeSimIsDeterministic) {
   EXPECT_EQ(first.retry.calls, second.retry.calls);
 }
 
+TEST(ServeSummaryTest, RejectionBreakdownBucketsByTerminalStatus) {
+  ts::Frame history = History(24);
+  FakeSpec spec;
+  spec.calls = 1;
+  spec.call_seconds = 1.0;
+  FakeFactory primary(spec);
+  ServeOptions options;
+  options.queue.capacity = 1;
+  ServeExecutor executor(primary.factory(), nullptr, options);
+
+  // A burst against capacity 1: request 0 serves (0 -> 1), request 1
+  // takes the only queue slot but expires waiting (deadline 0.5 < 1),
+  // and requests 2 and 3 find the queue full and shed at admission.
+  std::vector<ForecastRequest> requests;
+  requests.push_back(Req(0, 0.0, 100.0, &history));
+  requests.push_back(Req(1, 0.1, 0.5, &history));
+  requests.push_back(Req(2, 0.2, 100.0, &history));
+  requests.push_back(Req(3, 0.3, 100.0, &history));
+  auto stats_or = executor.Run(requests);
+  ASSERT_TRUE(stats_or.ok());
+  ServeSummary summary = Summarize(stats_or.value());
+  EXPECT_EQ(summary.served, 1u);
+  EXPECT_EQ(summary.rejections.queue_full, 2u);
+  EXPECT_EQ(summary.rejections.deadline_expired, 1u);
+  EXPECT_EQ(summary.rejections.backend_unavailable, 0u);
+  EXPECT_EQ(summary.rejections.cancelled, 0u);
+  EXPECT_EQ(summary.rejections.other, 0u);
+  EXPECT_EQ(summary.rejections.total(),
+            summary.total - summary.served - summary.served_degraded);
+}
+
+TEST(ServeSummaryTest, RejectionBreakdownSeesUnavailableBackends) {
+  ts::Frame history = History(24);
+  FakeSpec spec;
+  spec.calls = 1;
+  spec.call_seconds = 0.1;
+  spec.fail = true;  // every pipeline run dies kUnavailable
+  FakeFactory primary(spec);
+  ServeExecutor executor(primary.factory(), nullptr, ServeOptions{});
+  auto stats_or = executor.Run({Req(0, 0.0, 100.0, &history),
+                                Req(1, 0.5, 100.0, &history)});
+  ASSERT_TRUE(stats_or.ok());
+  ServeSummary summary = Summarize(stats_or.value());
+  EXPECT_EQ(summary.failed, 2u);
+  EXPECT_EQ(summary.rejections.backend_unavailable, 2u);
+  EXPECT_EQ(summary.rejections.total(), 2u);
+}
+
 }  // namespace
 }  // namespace serve
 }  // namespace multicast

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace multicast {
@@ -73,6 +74,46 @@ TEST(ThreadPoolTest, ExceptionsPropagateThroughTheFuture) {
   EXPECT_THROW(future.get(), std::runtime_error);
   // The worker survives a throwing task.
   EXPECT_EQ(pool.Submit([]() { return 5; }).get(), 5);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownReturnsFailedFuture) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([&completed]() { ++completed; });
+  }
+  pool.Shutdown();
+  EXPECT_EQ(completed.load(), 16);  // drained before the doors closed
+
+  // The pool is gone: a late submission is never enqueued and its
+  // future fails fast with the kUnavailable-flavored exception instead
+  // of hanging forever on a worker that no longer exists.
+  std::atomic<bool> ran{false};
+  auto future = pool.Submit([&ran]() {
+    ran = true;
+    return 1;
+  });
+  EXPECT_THROW(future.get(), ThreadPoolShutdownError);
+  EXPECT_FALSE(ran.load());
+
+  // Shutdown is idempotent and later submissions keep failing cleanly.
+  pool.Shutdown();
+  EXPECT_THROW(pool.Submit([]() { return 2; }).get(),
+               ThreadPoolShutdownError);
+}
+
+TEST(ThreadPoolTest, ShutdownErrorCarriesAnActionableMessage) {
+  ThreadPool pool(1);
+  pool.Shutdown();
+  auto future = pool.Submit([]() { return 3; });
+  try {
+    future.get();
+    FAIL() << "expected ThreadPoolShutdownError";
+  } catch (const ThreadPoolShutdownError& e) {
+    EXPECT_NE(std::string(e.what()).find("Shutdown"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("kUnavailable"),
+              std::string::npos);
+  }
 }
 
 TEST(ThreadPoolTest, ManyTasksAcrossFewWorkersAllComplete) {

@@ -23,6 +23,13 @@ echo "==== bench smoke: continuous batching identity + speedup gates ===="
 cmake --build build -j "${JOBS}" --target batch_throughput
 ./build/bench/batch_throughput --smoke
 
+echo "==== bench smoke: cluster failover goodput + identity gates ===="
+# Exits non-zero when losing 1 of 4 replicas mid-run drops goodput below
+# 90% of the same fleet's no-fault goodput, or when any failed-over
+# forecast deviates from the fault-free reference.
+cmake --build build -j "${JOBS}" --target cluster_failover
+./build/bench/cluster_failover --smoke
+
 run_asan=1
 run_tsan=1
 for arg in "$@"; do
@@ -45,6 +52,8 @@ if [[ "${run_asan}" == "1" ]]; then
     backend_contract_test
     prefix_cache_test
     batch_scheduler_test
+    cluster_test
+    cluster_chaos_test
   )
   cmake --build build-asan -j "${JOBS}" --target "${ASAN_TESTS[@]}"
   for t in "${ASAN_TESTS[@]}"; do
@@ -68,6 +77,8 @@ if [[ "${run_tsan}" == "1" ]]; then
     resilient_backend_test
     fault_injection_test
     batch_scheduler_test
+    cluster_test
+    cluster_chaos_test
   )
   cmake --build build-tsan -j "${JOBS}" --target "${TSAN_TESTS[@]}"
   for t in "${TSAN_TESTS[@]}"; do
