@@ -13,7 +13,8 @@ namespace baselines {
 double EtsModel::Smooth(const std::vector<double>& series,
                         const EtsOptions& options, double alpha, double beta,
                         double gamma, double* level, double* trend,
-                        std::vector<double>* season) {
+                        std::vector<double>* season,
+                        std::vector<double>* residuals) {
   const size_t m = options.season_length;
   const double phi = options.damping;
 
@@ -43,6 +44,7 @@ double EtsModel::Smooth(const std::vector<double>& series,
     double error = series[t] - forecast;
     sse += error * error;
     ++count;
+    if (residuals != nullptr) residuals->push_back(error);
 
     double l_prev = l;
     l = alpha * (series[t] - seasonal) + (1.0 - alpha) * (l + phi * b);
@@ -104,6 +106,12 @@ Result<EtsModel> EtsModel::Fit(const std::vector<double>& series,
       }
     }
   }
+  // One more pass with the winning parameters to collect the one-step
+  // residuals the classical tier needs for empirical bands.
+  double level, trend;
+  std::vector<double> season;
+  Smooth(series, options, best.alpha_, best.beta_, best.gamma_, &level,
+         &trend, &season, &best.residuals_);
   return best;
 }
 

@@ -48,16 +48,22 @@ class EtsModel {
   double gamma() const { return gamma_; }
   /// In-sample one-step-ahead mean squared error of the chosen fit.
   double mse() const { return mse_; }
+  /// In-sample one-step-ahead residuals (actual - forecast) of the
+  /// chosen fit, in time order. The classical serving tier turns these
+  /// into empirical forecast bands.
+  const std::vector<double>& residuals() const { return residuals_; }
 
  private:
   EtsModel() = default;
 
   // Runs the smoothing recursion; returns one-step SSE and leaves the
-  // final states in the out-params.
+  // final states in the out-params. When `residuals` is non-null, the
+  // one-step errors are appended to it in time order.
   static double Smooth(const std::vector<double>& series,
                        const EtsOptions& options, double alpha, double beta,
                        double gamma, double* level, double* trend,
-                       std::vector<double>* season);
+                       std::vector<double>* season,
+                       std::vector<double>* residuals = nullptr);
 
   EtsOptions options_;
   double alpha_ = 0.5, beta_ = 0.1, gamma_ = 0.1;
@@ -65,6 +71,7 @@ class EtsModel {
   std::vector<double> season_;  // indexed by absolute time modulo m
   size_t train_length_ = 0;     // keeps the seasonal phase for Forecast
   double mse_ = 0.0;
+  std::vector<double> residuals_;
 };
 
 /// Forecaster adapter: independent Holt–Winters per dimension.

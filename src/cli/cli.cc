@@ -1,5 +1,6 @@
 #include "cli/cli.h"
 
+#include <algorithm>
 #include <set>
 
 #include "baselines/arima.h"
@@ -15,6 +16,7 @@
 #include "eval/rolling.h"
 #include "extensions/anomaly.h"
 #include "extensions/imputation.h"
+#include "forecast/classical.h"
 #include "forecast/fallback.h"
 #include "forecast/llmtime_forecaster.h"
 #include "forecast/multicast_forecaster.h"
@@ -43,10 +45,13 @@ const std::set<std::string> kMethodFlags = {
     "requests",   "arrival-rate", "deadline",  "queue-capacity",
     "queue-order", "hedge-delay", "burst-factor", "burst-every",
     "burst-duration", "drain",    "drain-mode",
+    // overload-ladder flags.
+    "slo-class", "overload-ladder", "classical-fallback",
     // cluster-sim fleet flags.
     "replicas", "replica-slots", "router", "replica-chaos",
     "replica-chaos-seed"};
-const std::set<std::string> kBoolFlags = {"plot", "fallback", "batch"};
+const std::set<std::string> kBoolFlags = {
+    "plot", "fallback", "batch", "overload-ladder", "classical-fallback"};
 
 Result<lm::ModelProfile> ProfileByName(const std::string& name) {
   if (name == "llama2") return lm::ModelProfile::Llama2_7B();
@@ -90,6 +95,7 @@ Result<MethodSpec> SpecFromFlags(const FlagSet& flags) {
   }
   spec.redraws = static_cast<int>(redraws);
   spec.fallback = flags.GetBool("fallback");
+  spec.classical_fallback = flags.GetBool("classical-fallback");
   MC_ASSIGN_OR_RETURN(int64_t threads, flags.GetInt("threads", 1));
   if (threads < 1) {
     return Status::InvalidArgument("--threads must be >= 1");
@@ -327,7 +333,26 @@ struct SimConfig {
   double drain_at = 0.0;  // 0 = never
   serve::DrainMode drain_mode = serve::DrainMode::kFinishQueued;
   std::string drain_mode_name = "finish";
+  /// SLO class of every trace request: interactive | standard | batch,
+  /// or "mixed" — rotate the three classes by request id.
+  std::string slo_class = "standard";
+  /// Brownout ladder + AIMD admission (--overload-ladder).
+  serve::OverloadPolicy overload;
 };
+
+serve::SloClass SloForRequest(const std::string& mode, size_t id) {
+  if (mode == "interactive") return serve::SloClass::kInteractive;
+  if (mode == "batch") return serve::SloClass::kBatch;
+  if (mode == "standard") return serve::SloClass::kStandard;
+  switch (id % 3) {  // mixed
+    case 0:
+      return serve::SloClass::kInteractive;
+    case 1:
+      return serve::SloClass::kStandard;
+    default:
+      return serve::SloClass::kBatch;
+  }
+}
 
 Result<SimConfig> ParseSimFlags(const FlagSet& flags, uint64_t seed) {
   SimConfig cfg;
@@ -374,14 +399,57 @@ Result<SimConfig> ParseSimFlags(const FlagSet& flags, uint64_t seed) {
     return Status::InvalidArgument(
         "--drain-mode expects 'finish' or 'cancel'");
   }
+  cfg.slo_class = flags.GetString("slo-class", "standard");
+  if (cfg.slo_class != "interactive" && cfg.slo_class != "standard" &&
+      cfg.slo_class != "batch" && cfg.slo_class != "mixed") {
+    return Status::InvalidArgument(
+        "--slo-class expects 'interactive', 'standard', 'batch' or "
+        "'mixed'");
+  }
+  if (flags.GetBool("overload-ladder")) {
+    cfg.overload.ladder.enabled = true;
+    cfg.overload.aimd.enabled = true;
+    // Budget the ladder against the trace's own deadline: waits near
+    // the deadline are a saturation signal regardless of its scale.
+    cfg.overload.ladder.wait_budget_seconds =
+        0.5 * cfg.trace.deadline_seconds;
+    cfg.overload.aimd.initial_limit =
+        static_cast<double>(cfg.queue.capacity);
+  }
   return cfg;
 }
 
 // The rejection-reason column group: why the non-served requests were
-// turned away, as queue-full/deadline/unavailable/cancelled counts.
+// turned away, as queue-full/deadline/unavailable/cancelled counts,
+// plus the mean retry-after hint handed to the shed callers.
 std::string FormatRejections(const serve::RejectionBreakdown& r) {
-  return StrFormat("%zu/%zu/%zu/%zu", r.queue_full, r.deadline_expired,
-                   r.backend_unavailable, r.cancelled + r.other);
+  std::string text =
+      StrFormat("%zu/%zu/%zu/%zu", r.queue_full, r.deadline_expired,
+                r.backend_unavailable, r.cancelled + r.other);
+  if (r.mean_retry_after_seconds > 0.0) {
+    text += StrFormat(" ra=%.2fs", r.mean_retry_after_seconds);
+  }
+  return text;
+}
+
+// The service-tier column group: how many requests landed on each rung
+// of the degradation ladder (full LLM / reduced draws / classical /
+// shed).
+std::string FormatTiers(const serve::ServeSummary& s) {
+  return StrFormat("%zu/%zu/%zu/%zu", s.tier_llm_full, s.tier_llm_reduced,
+                   s.tier_classical, s.tier_shed);
+}
+
+// One-line rollup of the ladder/limiter decisions in a run.
+std::string FormatOverload(const std::string& name,
+                           const serve::OverloadStats& o) {
+  return StrFormat(
+      "overload %s: %zu aimd-shed, %zu ladder-shed, demoted %zu reduced "
+      "+ %zu classical, %zu escalations, %zu recoveries, peak level %d, "
+      "final limit %.1f",
+      name.c_str(), o.aimd_rejected, o.ladder_rejected, o.demoted_reduced,
+      o.demoted_classical, o.escalations, o.recoveries, o.peak_level,
+      o.final_limit);
 }
 
 // Replays a seeded Poisson-burst arrival trace against the serving
@@ -413,6 +481,7 @@ Result<int> CmdServeSim(const FlagSet& flags, std::ostream& out) {
         "--batch does not compose with --hedge-delay (a batched slot "
         "cannot race a second pipeline for the same request)");
   }
+  serve_options.overload = cfg.overload;
 
   std::vector<std::string> methods = {"DI", "VI", "VC", "LLMTIME"};
   if (flags.Has("method")) methods = {base.name};
@@ -437,10 +506,19 @@ Result<int> CmdServeSim(const FlagSet& flags, std::ostream& out) {
     out << StrFormat("drain at %.3gs (%s)\n", drain_at,
                      drain_mode.c_str());
   }
+  if (serve_options.overload.any_enabled()) {
+    out << StrFormat(
+        "overload ladder: on (reduced %d draws, wait budget %.3gs, aimd "
+        "%.3g..%.3g), slo %s\n",
+        serve_options.overload.ladder.reduced_samples,
+        serve_options.overload.ladder.wait_budget_seconds,
+        serve_options.overload.aimd.initial_limit,
+        serve_options.overload.aimd.max_limit, cfg.slo_class.c_str());
+  }
 
   TextTable table({"Method", "Served", "Degraded", "Shed(full)",
                    "Shed(expired)", "Drained", "Failed",
-                   "Rej full/ddl/unav/cxl", "Hedged",
+                   "Rej full/ddl/unav/cxl", "Tier F/R/C/S", "Hedged",
                    "HedgeWins", "p50(s)", "p99(s)",
                    "Wait p50/p95/p99", "Svc p50/p95/p99", "Attempts",
                    "Retries", "Cancelled", "Preempted"});
@@ -449,6 +527,7 @@ Result<int> CmdServeSim(const FlagSet& flags, std::ostream& out) {
   // two runs compare line-by-line.
   std::vector<std::string> cache_lines;
   std::vector<std::string> batch_lines;
+  std::vector<std::string> overload_lines;
   for (const std::string& name : methods) {
     MethodSpec spec = base;
     spec.name = name;
@@ -482,19 +561,44 @@ Result<int> CmdServeSim(const FlagSet& flags, std::ostream& out) {
 
     // Per-request construction decorrelates sampling across requests:
     // request i forecasts with seed base+i, so a retried or hedged run
-    // is not a token-for-token replay of its sibling.
-    auto factory_for = [](MethodSpec s) {
-      return [s](const serve::ForecastRequest& req) {
+    // is not a token-for-token replay of its sibling. The ladder's rung
+    // (stamped in req.tier at dispatch) picks the pipeline: the reduced
+    // rung clamps the draw count, the classical rung swaps in the
+    // statistical tier.
+    const int reduced_samples = cfg.overload.ladder.reduced_samples;
+    auto factory_for = [reduced_samples](MethodSpec s) {
+      return [s, reduced_samples](const serve::ForecastRequest& req)
+               -> std::unique_ptr<forecast::Forecaster> {
+        if (req.tier == serve::ServiceTier::kClassical) {
+          forecast::ClassicalOptions copts;
+          copts.demotion_note =
+              "overload ladder demoted request to the classical tier";
+          return std::make_unique<forecast::ClassicalForecaster>(copts);
+        }
         MethodSpec per = s;
         per.seed = s.seed + req.id;
+        if (req.tier == serve::ServiceTier::kLlmReduced) {
+          per.samples = std::min(per.samples, reduced_samples);
+        }
         return MakeForecaster(per).ValueOrDie();
       };
     };
-    serve::ServeExecutor executor(
-        factory_for(spec),
-        serve_options.hedge.enabled ? factory_for(hedge_spec)
-                                    : serve::ForecasterFactory(),
-        serve_options);
+    serve::ForecasterFactory hedge_factory;
+    if (serve_options.hedge.enabled) {
+      if (spec.classical_fallback) {
+        // --classical-fallback races the hedge against the classical
+        // tier: a deterministic, token-free backup for a slow LLM run.
+        hedge_factory = [](const serve::ForecastRequest&) {
+          forecast::ClassicalOptions copts;
+          copts.demotion_note = "hedge backup served by the classical tier";
+          return std::make_unique<forecast::ClassicalForecaster>(copts);
+        };
+      } else {
+        hedge_factory = factory_for(hedge_spec);
+      }
+    }
+    serve::ServeExecutor executor(factory_for(spec), hedge_factory,
+                                  serve_options);
 
     std::vector<serve::ForecastRequest> reqs;
     reqs.reserve(arrivals.size());
@@ -505,6 +609,7 @@ Result<int> CmdServeSim(const FlagSet& flags, std::ostream& out) {
       req.deadline_seconds = arrivals[i].deadline_seconds;
       req.history = &frame;
       req.horizon = static_cast<size_t>(horizon);
+      req.slo = SloForRequest(cfg.slo_class, i);
       reqs.push_back(req);
     }
     MC_ASSIGN_OR_RETURN(std::vector<serve::ServeStats> stats,
@@ -517,7 +622,7 @@ Result<int> CmdServeSim(const FlagSet& flags, std::ostream& out) {
          StrFormat("%zu", summary.shed_expired),
          StrFormat("%zu", summary.cancelled_drain),
          StrFormat("%zu", summary.failed),
-         FormatRejections(summary.rejections),
+         FormatRejections(summary.rejections), FormatTiers(summary),
          StrFormat("%zu", summary.hedges_fired),
          StrFormat("%zu", summary.hedge_wins),
          StrFormat("%.3f", summary.p50_latency_seconds),
@@ -552,10 +657,18 @@ Result<int> CmdServeSim(const FlagSet& flags, std::ostream& out) {
     } else {
       batch_lines.push_back(StrFormat("batch %s: off", name.c_str()));
     }
+    if (serve_options.overload.any_enabled()) {
+      overload_lines.push_back(
+          FormatOverload(name, executor.overload_stats()));
+    } else {
+      overload_lines.push_back(
+          StrFormat("overload %s: off", name.c_str()));
+    }
   }
   out << table.Render();
   for (const std::string& line : cache_lines) out << line << "\n";
   for (const std::string& line : batch_lines) out << line << "\n";
+  for (const std::string& line : overload_lines) out << line << "\n";
   return 0;
 }
 
@@ -608,6 +721,7 @@ Result<int> CmdClusterSim(const FlagSet& flags, std::ostream& out) {
   options.hedge = cfg.hedge;
   if (cfg.drain_at > 0.0) options.drain_at_seconds = cfg.drain_at;
   options.drain_mode = cfg.drain_mode;
+  options.overload = cfg.overload;
 
   const std::string name = base.name;
   MethodSpec spec = base;
@@ -640,22 +754,48 @@ Result<int> CmdClusterSim(const FlagSet& flags, std::ostream& out) {
 
   // Per-request seeds decorrelate sampling; per-replica wiring keeps
   // cache/scheduler state node-local. Seeds never depend on the
-  // replica, which is what makes failover output-identical.
-  auto factory_for = [](MethodSpec s) {
-    return [s](const serve::ForecastRequest& req,
-               const cluster::Replica& rep) {
+  // replica, which is what makes failover output-identical — and the
+  // ladder rung rides in req.tier, assigned once per request, so a
+  // failed-over re-run rebuilds the identical pipeline.
+  const int reduced_samples = cfg.overload.ladder.reduced_samples;
+  auto factory_for = [reduced_samples](MethodSpec s) {
+    return [s, reduced_samples](const serve::ForecastRequest& req,
+                                const cluster::Replica& rep)
+             -> std::unique_ptr<forecast::Forecaster> {
+      if (req.tier == serve::ServiceTier::kClassical) {
+        forecast::ClassicalOptions copts;
+        copts.demotion_note =
+            "overload ladder demoted request to the classical tier";
+        return std::make_unique<forecast::ClassicalForecaster>(copts);
+      }
       MethodSpec per = s;
       per.seed = s.seed + req.id;
+      if (req.tier == serve::ServiceTier::kLlmReduced) {
+        per.samples = std::min(per.samples, reduced_samples);
+      }
       per.shared_prefix_cache = rep.prefix_cache;
       per.batch_scheduler = rep.scheduler;
       return MakeForecaster(per).ValueOrDie();
     };
   };
-  cluster::ClusterExecutor executor(
-      factory_for(spec),
-      options.hedge.enabled ? factory_for(hedge_spec)
-                            : cluster::ReplicaForecasterFactory(),
-      std::move(fleet), options);
+  cluster::ReplicaForecasterFactory hedge_factory;
+  if (options.hedge.enabled) {
+    if (spec.classical_fallback) {
+      // --classical-fallback hedges against the classical tier: the
+      // backup replica answers instantly with a statistical forecast
+      // instead of re-running the LLM chain.
+      hedge_factory = [](const serve::ForecastRequest&,
+                         const cluster::Replica&) {
+        forecast::ClassicalOptions copts;
+        copts.demotion_note = "hedge backup served by the classical tier";
+        return std::make_unique<forecast::ClassicalForecaster>(copts);
+      };
+    } else {
+      hedge_factory = factory_for(hedge_spec);
+    }
+  }
+  cluster::ClusterExecutor executor(factory_for(spec), hedge_factory,
+                                    std::move(fleet), options);
 
   std::vector<serve::ForecastRequest> reqs;
   reqs.reserve(arrivals.size());
@@ -666,6 +806,7 @@ Result<int> CmdClusterSim(const FlagSet& flags, std::ostream& out) {
     req.deadline_seconds = arrivals[i].deadline_seconds;
     req.history = &frame;
     req.horizon = static_cast<size_t>(horizon);
+    req.slo = SloForRequest(cfg.slo_class, i);
     reqs.push_back(req);
   }
 
@@ -687,6 +828,15 @@ Result<int> CmdClusterSim(const FlagSet& flags, std::ostream& out) {
     out << StrFormat("drain at %.3gs (%s)\n", cfg.drain_at,
                      cfg.drain_mode_name.c_str());
   }
+  if (options.overload.any_enabled()) {
+    out << StrFormat(
+        "overload ladder: on (reduced %d draws, wait budget %.3gs, aimd "
+        "%.3g..%.3g), slo %s\n",
+        options.overload.ladder.reduced_samples,
+        options.overload.ladder.wait_budget_seconds,
+        options.overload.aimd.initial_limit,
+        options.overload.aimd.max_limit, cfg.slo_class.c_str());
+  }
 
   MC_ASSIGN_OR_RETURN(std::vector<serve::ServeStats> stats,
                       executor.Run(std::move(reqs)));
@@ -695,16 +845,16 @@ Result<int> CmdClusterSim(const FlagSet& flags, std::ostream& out) {
 
   TextTable table({"Method", "Served", "Degraded", "Shed(full)",
                    "Shed(expired)", "Drained", "Failed",
-                   "Rej full/ddl/unav/cxl", "Failovers", "Redisp.draws",
-                   "Wasted(s)", "Hedged", "HedgeWins", "p50(s)",
-                   "p99(s)"});
+                   "Rej full/ddl/unav/cxl", "Tier F/R/C/S", "Failovers",
+                   "Redisp.draws", "Wasted(s)", "Hedged", "HedgeWins",
+                   "p50(s)", "p99(s)"});
   table.AddRow({name, StrFormat("%zu", summary.served),
                 StrFormat("%zu", summary.served_degraded),
                 StrFormat("%zu", summary.shed_queue_full),
                 StrFormat("%zu", summary.shed_expired),
                 StrFormat("%zu", summary.cancelled_drain),
                 StrFormat("%zu", summary.failed),
-                FormatRejections(summary.rejections),
+                FormatRejections(summary.rejections), FormatTiers(summary),
                 StrFormat("%zu", summary.cluster.failovers),
                 StrFormat("%zu", summary.cluster.redispatched_draws),
                 StrFormat("%.3f", summary.cluster.wasted_seconds),
@@ -720,6 +870,9 @@ Result<int> CmdClusterSim(const FlagSet& flags, std::ostream& out) {
       report.health.probes, report.health.failed_probes,
       report.health.ejections, report.health.readmissions,
       report.health.misroutes, report.fleet_unavailable);
+  if (options.overload.any_enabled()) {
+    out << FormatOverload(name, report.overload) << "\n";
+  }
   for (const cluster::ReplicaReport& rep : report.replicas) {
     const size_t served_here =
         static_cast<size_t>(rep.id) < summary.served_per_replica.size()
@@ -822,15 +975,26 @@ Result<std::unique_ptr<forecast::Forecaster>> MakeForecaster(
     return std::make_unique<forecast::LlmTimeForecaster>(opts);
   };
   // Wraps an LLM-path forecaster in the MultiCast -> LLMTime -> naive
-  // demotion chain.
+  // demotion chain; --classical-fallback ends the chain on the
+  // classical tier (residual-quantile bands) instead of bare NaiveLast.
   auto with_fallback = [&](std::unique_ptr<forecast::Forecaster> primary,
                            bool add_llmtime)
       -> Result<std::unique_ptr<forecast::Forecaster>> {
-    if (!spec.fallback) return {std::move(primary)};
+    if (!spec.fallback && !spec.classical_fallback) {
+      return {std::move(primary)};
+    }
     std::vector<std::unique_ptr<forecast::Forecaster>> chain;
     chain.push_back(std::move(primary));
     if (add_llmtime) chain.push_back(llmtime());
-    chain.push_back(std::make_unique<baselines::NaiveLastForecaster>());
+    if (spec.classical_fallback) {
+      forecast::ClassicalOptions copts;
+      copts.demotion_note =
+          "fallback chain demoted request to the classical tier";
+      chain.push_back(
+          std::make_unique<forecast::ClassicalForecaster>(copts));
+    } else {
+      chain.push_back(std::make_unique<baselines::NaiveLastForecaster>());
+    }
     return {std::make_unique<forecast::FallbackForecaster>(
         std::move(chain))};
   };
@@ -853,9 +1017,13 @@ Result<std::unique_ptr<forecast::Forecaster>> MakeForecaster(
   if (spec.name == "LLMTIME") {
     return with_fallback(llmtime(), /*add_llmtime=*/false);
   }
-  if (spec.fallback) {
+  if (spec.fallback || spec.classical_fallback) {
     return Status::InvalidArgument(
-        "--fallback applies to the LLM methods (DI, VI, VC, LLMTIME)");
+        "--fallback/--classical-fallback apply to the LLM methods "
+        "(DI, VI, VC, LLMTIME)");
+  }
+  if (spec.name == "CLASSICAL") {
+    return {std::make_unique<forecast::ClassicalForecaster>()};
   }
   if (spec.name == "ARIMA") {
     baselines::ArimaOptions opts;
@@ -885,8 +1053,8 @@ Result<std::unique_ptr<forecast::Forecaster>> MakeForecaster(
   }
   return Status::InvalidArgument(
       "unknown method '" + spec.name +
-      "' (expected DI, VI, VC, LLMTIME, ARIMA, SARIMA, LSTM, HW, NAIVE or "
-      "DRIFT)");
+      "' (expected DI, VI, VC, LLMTIME, ARIMA, SARIMA, LSTM, HW, NAIVE, "
+      "DRIFT or CLASSICAL)");
 }
 
 std::string UsageText() {
@@ -903,6 +1071,8 @@ std::string UsageText() {
       "            [--batch-size 8] [--batch-backfill 0|1]\n"
       "            chaos/resilience: [--chaos 0.2] [--chaos-seed N]\n"
       "            [--retries 3] [--redraws 4] [--fallback]\n"
+      "            [--classical-fallback (end the chain on the classical\n"
+      "            tier; --method CLASSICAL serves it directly)]\n"
       "  evaluate  --input feed.csv --horizon 12 [--folds 3] [--stride 12]\n"
       "  impute    --input feed.csv [--output out.csv]\n"
       "  anomaly   --input feed.csv [--quantile 0.98]\n"
@@ -920,14 +1090,18 @@ std::string UsageText() {
       "            above (one cache and one decode scheduler are shared\n"
       "            per method, across requests; --batch also serves up to\n"
       "            batch-size requests concurrently)\n"
+      "            overload: [--overload-ladder (brownout ladder + AIMD\n"
+      "            admission)] [--slo-class interactive|standard|batch|\n"
+      "            mixed] [--classical-fallback (classical-tier hedge\n"
+      "            backup and fallback terminal)]\n"
       "  cluster-sim --input feed.csv [--horizon 12] [--method VI]\n"
       "            fleet: [--replicas 3] [--replica-slots 1]\n"
       "            [--router rr|least|p2c|affinity]\n"
       "            chaos: [--replica-chaos 1.0 (expected crashes per\n"
       "            replica over the trace)] [--replica-chaos-seed N]\n"
-      "            plus every serve-sim trace/queue/drain/hedge flag;\n"
-      "            each replica gets its own prefix cache and decode\n"
-      "            scheduler, crashes fail running work over to\n"
+      "            plus every serve-sim trace/queue/drain/hedge/overload\n"
+      "            flag; each replica gets its own prefix cache and\n"
+      "            decode scheduler, crashes fail running work over to\n"
       "            surviving replicas, and health probes eject/readmit\n"
       "            replicas from routing\n"
       "  help\n";

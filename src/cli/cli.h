@@ -33,7 +33,8 @@ Result<int> RunCommand(const std::vector<std::string>& args,
                        std::ostream& out);
 
 /// Builds a forecaster from its CLI name: DI, VI, VC, LLMTIME, ARIMA,
-/// LSTM, HW (Holt–Winters), NAIVE, DRIFT. MultiCast variants honor
+/// LSTM, HW (Holt–Winters), NAIVE, DRIFT, CLASSICAL. MultiCast
+/// variants honor
 /// `samples`, `digits`, `seed`, the SAX settings and the chaos /
 /// resilience knobs.
 struct MethodSpec {
@@ -59,6 +60,11 @@ struct MethodSpec {
   /// Wrap the method in a fallback chain that demotes LLM-path failures
   /// (MultiCast -> LLMTime -> NaiveLast).
   bool fallback = false;
+  /// End the fallback chain on the classical tier (ClassicalForecaster:
+  /// residual-quantile bands, auto engine) instead of bare NaiveLast,
+  /// and — in the sims — serve hedge backups from the classical tier.
+  /// Implies the chain for LLM methods even without `fallback`.
+  bool classical_fallback = false;
   /// Worker threads for the sample loop (MultiCast) or per-dimension
   /// loop (LLMTime). 1 = serial; higher counts change wall-clock time
   /// only — forecasts stay bit-identical.

@@ -134,6 +134,8 @@ Result<std::vector<serve::ServeStats>> ClusterExecutor::Run(
   }
 
   serve::AdmissionQueue queue(options_.queue);
+  serve::OverloadController overload(options_.overload,
+                                     options_.queue.capacity);
   Router router(options_.router, replicas_.size(), options_.router_seed);
   HealthMonitor monitor(options_.health, replicas_.size());
   const HealthMonitor::UpFn up_fn = [this](int replica, double at) {
@@ -155,24 +157,49 @@ Result<std::vector<serve::ServeStats>> ClusterExecutor::Run(
 
   auto record_rejection = [&rejected](const serve::ForecastRequest& r,
                                       serve::RequestOutcome outcome,
-                                      Status status) {
+                                      Status status,
+                                      double retry_after = 0.0) {
     serve::ServeStats st;
     st.id = r.id;
     st.arrival_seconds = r.arrival_seconds;
+    st.slo = r.slo;
     st.outcome = outcome;
     st.status = std::move(status);
+    st.retry_after_seconds = retry_after;
     rejected.push_back(std::move(st));
+  };
+
+  // Admitted-but-unfinished requests, the fleet-level in-flight count
+  // the AIMD limiter bounds (queued work is counted separately).
+  auto live_units = [&units]() {
+    size_t n = 0;
+    for (const LiveRequest& u : units) {
+      if (!u.done) ++n;
+    }
+    return n;
   };
 
   auto admit = [&](const serve::ForecastRequest& r) {
     if (r.arrival_seconds >= options_.drain_at_seconds) queue.Close();
+    if (!queue.closed()) {
+      Status shed = overload.Admit(r, r.arrival_seconds, queue.depth(),
+                                   live_units());
+      if (!shed.ok()) {
+        record_rejection(r, serve::RequestOutcome::kShedQueueFull,
+                         std::move(shed), queue.RetryAfterSeconds());
+        return;
+      }
+    }
     Status s = queue.Offer(r);
     if (s.ok()) return;
-    record_rejection(r,
-                     s.code() == StatusCode::kResourceExhausted
-                         ? serve::RequestOutcome::kShedQueueFull
-                         : serve::RequestOutcome::kCancelledDrain,
-                     std::move(s));
+    if (s.code() == StatusCode::kResourceExhausted) {
+      overload.OnShed(r.arrival_seconds);
+      record_rejection(r, serve::RequestOutcome::kShedQueueFull,
+                       std::move(s), queue.RetryAfterSeconds());
+    } else {
+      record_rejection(r, serve::RequestOutcome::kCancelledDrain,
+                       std::move(s));
+    }
   };
 
   // Can `r` take one more dispatch at `now`, as far as the *router*
@@ -259,6 +286,7 @@ Result<std::vector<serve::ServeStats>> ClusterExecutor::Run(
       unit.ever_started = true;
       unit.st.start_seconds = now;
       unit.st.queue_wait_seconds = now - unit.req.arrival_seconds;
+      overload.OnQueueWait(now, unit.st.queue_wait_seconds);
     }
     ++unit.st.attempts;
     ++loads[r];
@@ -324,6 +352,7 @@ Result<std::vector<serve::ServeStats>> ClusterExecutor::Run(
                           : serve::RequestOutcome::kFailed;
     unit.done = true;
     unit.waiting = false;
+    overload.OnCompletion(now, /*on_deadline=*/false);
   };
 
   // The losing half of a hedge race is cancelled at the winner's
@@ -419,8 +448,13 @@ Result<std::vector<serve::ServeStats>> ClusterExecutor::Run(
       unit.st.outcome = unit.st.degraded
                             ? serve::RequestOutcome::kServedDegraded
                             : serve::RequestOutcome::kServed;
+      unit.st.tier =
+          unit.st.result->tier == forecast::ForecastTier::kClassical
+              ? serve::ServiceTier::kClassical
+              : unit.req.tier;
       unit.st.status = Status::OK();
       unit.done = true;
+      overload.OnCompletion(now, /*on_deadline=*/true);
       return;
     }
 
@@ -638,6 +672,7 @@ Result<std::vector<serve::ServeStats>> ClusterExecutor::Run(
       serve::ForecastRequest job;
       const bool popped = queue.Pop(now, &job, &expired);
       for (const serve::ForecastRequest& r : expired) {
+        overload.OnShed(now);
         record_rejection(
             r, serve::RequestOutcome::kShedExpired,
             Status::DeadlineExceeded(StrFormat(
@@ -646,10 +681,25 @@ Result<std::vector<serve::ServeStats>> ClusterExecutor::Run(
                 r.id, r.deadline_seconds, now - r.arrival_seconds)));
       }
       if (!popped) continue;
+      // Dispatch-time rung: decided once per request, at its first pop,
+      // and kept through failover re-dispatches so a crashed-and-retried
+      // request re-runs the exact same pipeline.
+      job.tier = overload.Rung(job.slo, now, queue.depth());
+      if (job.tier == serve::ServiceTier::kShed) {
+        record_rejection(
+            job, serve::RequestOutcome::kShedQueueFull,
+            Status::ResourceExhausted(StrFormat(
+                "request %zu shed at dispatch: overload ladder escalated "
+                "past class %s while it waited",
+                job.id, serve::SloClassName(job.slo))),
+            queue.RetryAfterSeconds());
+        continue;
+      }
       LiveRequest unit;
       unit.req = job;
       unit.st.id = job.id;
       unit.st.arrival_seconds = job.arrival_seconds;
+      unit.st.slo = job.slo;
       unit.deadline = RequestDeadline(job);
       unit.waiting = true;
       unit.ready_at = now;
@@ -729,6 +779,7 @@ Result<std::vector<serve::ServeStats>> ClusterExecutor::Run(
   end_seconds_ = now;
   queue_stats_ = queue.stats();
   report_.health = monitor.stats();
+  report_.overload = overload.stats();
   for (size_t r = 0; r < replicas_.size(); ++r) {
     const double span =
         end_seconds_ * static_cast<double>(replicas_[r].slots);

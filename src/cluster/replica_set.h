@@ -119,6 +119,11 @@ struct ClusterOptions {
   /// Crashes wipe the dead replica's prefix cache (partitions never
   /// do). Disable to model an external/persistent cache tier.
   bool wipe_cache_on_crash = true;
+  /// Overload-aware degradation (brownout ladder + AIMD admission),
+  /// identical to ServeOptions::overload: the fleet sheds load the same
+  /// way a single node does. Factories see the assigned rung in
+  /// ForecastRequest::tier. Off by default.
+  serve::OverloadPolicy overload;
 };
 
 /// Fleet-side rollup of one run (per-request fates live in the
@@ -143,6 +148,9 @@ struct ClusterReport {
   /// Requests failed with kUnavailable because no replica could ever
   /// serve them again (fleet permanently down).
   size_t fleet_unavailable = 0;
+  /// Ladder/limiter counters (all zero when ClusterOptions::overload is
+  /// disabled).
+  serve::OverloadStats overload;
 };
 
 /// See file comment.

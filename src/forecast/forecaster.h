@@ -33,6 +33,28 @@ struct ResilienceConfig {
   int min_samples = 1;
 };
 
+/// Which quality tier produced a forecast. The serving layer's overload
+/// ladder demotes requests down this list under pressure; results carry
+/// the tag so clients (and the per-tier serve counters) can tell a full
+/// LLM answer from a draw-clamped one from a classical-engine stand-in.
+enum class ForecastTier {
+  kLlmFull,     ///< full LLM pipeline at the requested sample count
+  kLlmReduced,  ///< LLM pipeline with num_samples clamped by the ladder
+  kClassical,   ///< classical statistical engine, no token stream
+};
+
+inline const char* ForecastTierName(ForecastTier tier) {
+  switch (tier) {
+    case ForecastTier::kLlmFull:
+      return "llm-full";
+    case ForecastTier::kLlmReduced:
+      return "llm-reduced";
+    case ForecastTier::kClassical:
+      return "classical";
+  }
+  return "?";
+}
+
 /// A multivariate forecast plus its cost accounting.
 struct ForecastResult {
   /// One series per input dimension, `horizon` values each, in the
@@ -64,6 +86,11 @@ struct ForecastResult {
   size_t samples_used = 0;
   /// Human-readable notes about what degraded and why (one per event).
   std::vector<std::string> warnings;
+  /// Quality tier that produced this result (see ForecastTier). LLM
+  /// pipelines leave the default; ClassicalForecaster tags kClassical,
+  /// and serving-layer factories tag kLlmReduced when the overload
+  /// ladder clamped the draw count.
+  ForecastTier tier = ForecastTier::kLlmFull;
 };
 
 /// A method that extends a multivariate history by `horizon` steps.

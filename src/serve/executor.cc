@@ -56,6 +56,8 @@ ServeSummary Summarize(const std::vector<ServeStats>& stats) {
   std::vector<double> service_times;
   double queue_wait = 0.0;
   size_t started = 0;
+  double retry_after_sum = 0.0;
+  size_t retry_after_count = 0;
   for (const ServeStats& st : stats) {
     switch (st.outcome) {
       case RequestOutcome::kServed:
@@ -79,6 +81,20 @@ ServeSummary Summarize(const std::vector<ServeStats>& stats) {
     }
     if (st.hedge_fired) ++s.hedges_fired;
     if (st.hedge_won) ++s.hedge_wins;
+    switch (st.tier) {
+      case ServiceTier::kLlmFull:
+        ++s.tier_llm_full;
+        break;
+      case ServiceTier::kLlmReduced:
+        ++s.tier_llm_reduced;
+        break;
+      case ServiceTier::kClassical:
+        ++s.tier_classical;
+        break;
+      case ServiceTier::kShed:
+        ++s.tier_shed;
+        break;
+    }
     if (st.outcome == RequestOutcome::kServed ||
         st.outcome == RequestOutcome::kServedDegraded) {
       latencies.push_back(st.latency_seconds);
@@ -96,6 +112,10 @@ ServeSummary Summarize(const std::vector<ServeStats>& stats) {
       switch (st.status.code()) {
         case StatusCode::kResourceExhausted:
           ++s.rejections.queue_full;
+          if (st.retry_after_seconds > 0.0) {
+            retry_after_sum += st.retry_after_seconds;
+            ++retry_after_count;
+          }
           break;
         case StatusCode::kDeadlineExceeded:
           ++s.rejections.deadline_expired;
@@ -136,6 +156,10 @@ ServeSummary Summarize(const std::vector<ServeStats>& stats) {
   s.p99_service_seconds = SortedQuantile(service_times, 0.99);
   s.mean_queue_wait_seconds =
       started > 0 ? queue_wait / static_cast<double>(started) : 0.0;
+  s.rejections.mean_retry_after_seconds =
+      retry_after_count > 0
+          ? retry_after_sum / static_cast<double>(retry_after_count)
+          : 0.0;
   return s;
 }
 
@@ -153,6 +177,7 @@ ServeStats ServeExecutor::ServeOne(const ForecastRequest& request,
   ServeStats st;
   st.id = request.id;
   st.arrival_seconds = request.arrival_seconds;
+  st.slo = request.slo;
   st.start_seconds = start;
   st.queue_wait_seconds = start - request.arrival_seconds;
   const Deadline deadline = RequestDeadline(request);
@@ -282,6 +307,12 @@ ServeStats ServeExecutor::ServeOne(const ForecastRequest& request,
     st.degraded = st.result->degraded;
     st.outcome = st.degraded ? RequestOutcome::kServedDegraded
                              : RequestOutcome::kServed;
+    // What quality the client actually got: the classical engine tags
+    // its results (also when a fallback chain or hedge demoted to it);
+    // otherwise the rung the ladder dispatched the request at.
+    st.tier = st.result->tier == forecast::ForecastTier::kClassical
+                  ? ServiceTier::kClassical
+                  : request.tier;
     st.status = Status::OK();
     st.latency_seconds = finish - request.arrival_seconds;
     return st;
@@ -358,28 +389,45 @@ Result<std::vector<ServeStats>> ServeExecutor::Run(
   if (options_.batch.enabled) return RunBatched(std::move(requests));
 
   AdmissionQueue queue(options_.queue);
+  OverloadController overload(options_.overload, options_.queue.capacity);
   std::vector<ServeStats> stats;
   stats.reserve(requests.size());
 
   auto record_rejection = [&stats](const ForecastRequest& r,
-                                   RequestOutcome outcome, Status status) {
+                                   RequestOutcome outcome, Status status,
+                                   double retry_after = 0.0) {
     ServeStats st;
     st.id = r.id;
     st.arrival_seconds = r.arrival_seconds;
+    st.slo = r.slo;
     st.outcome = outcome;
     st.status = std::move(status);
+    st.retry_after_seconds = retry_after;
     stats.push_back(std::move(st));
   };
 
   auto admit = [&](const ForecastRequest& r) {
     if (r.arrival_seconds >= options_.drain_at_seconds) queue.Close();
+    if (!queue.closed()) {
+      // Ladder/limiter gate in front of the queue; the worker is idle
+      // at admission time in the sequential loop, so in_flight is 0.
+      Status shed = overload.Admit(r, r.arrival_seconds, queue.depth(),
+                                   /*in_flight=*/0);
+      if (!shed.ok()) {
+        record_rejection(r, RequestOutcome::kShedQueueFull,
+                         std::move(shed), queue.RetryAfterSeconds());
+        return;
+      }
+    }
     Status s = queue.Offer(r);
     if (s.ok()) return;
-    record_rejection(r,
-                     s.code() == StatusCode::kResourceExhausted
-                         ? RequestOutcome::kShedQueueFull
-                         : RequestOutcome::kCancelledDrain,
-                     std::move(s));
+    if (s.code() == StatusCode::kResourceExhausted) {
+      overload.OnShed(r.arrival_seconds);
+      record_rejection(r, RequestOutcome::kShedQueueFull, std::move(s),
+                       queue.RetryAfterSeconds());
+    } else {
+      record_rejection(r, RequestOutcome::kCancelledDrain, std::move(s));
+    }
   };
 
   double now = 0.0;
@@ -415,6 +463,7 @@ Result<std::vector<ServeStats>> ServeExecutor::Run(
     ForecastRequest job;
     bool popped = queue.Pop(now, &job, &expired);
     for (const ForecastRequest& r : expired) {
+      overload.OnShed(now);
       record_rejection(
           r, RequestOutcome::kShedExpired,
           Status::DeadlineExceeded(StrFormat(
@@ -423,13 +472,31 @@ Result<std::vector<ServeStats>> ServeExecutor::Run(
               r.id, r.deadline_seconds, now - r.arrival_seconds)));
     }
     if (!popped) continue;
+    // Dispatch-time rung: pressure may have moved while the request
+    // waited, so the ladder decides quality at the last moment.
+    job.tier = overload.Rung(job.slo, now, queue.depth());
+    if (job.tier == ServiceTier::kShed) {
+      record_rejection(
+          job, RequestOutcome::kShedQueueFull,
+          Status::ResourceExhausted(StrFormat(
+              "request %zu shed at dispatch: overload ladder escalated "
+              "past class %s while it waited",
+              job.id, SloClassName(job.slo))),
+          queue.RetryAfterSeconds());
+      continue;
+    }
+    overload.OnQueueWait(now, now - job.arrival_seconds);
     ServeStats st = ServeInstrumented(job, now);
+    overload.OnCompletion(st.finish_seconds,
+                          st.outcome == RequestOutcome::kServed ||
+                              st.outcome == RequestOutcome::kServedDegraded);
     now = std::max(now, st.finish_seconds);
     stats.push_back(std::move(st));
   }
 
   end_seconds_ = now;
   queue_stats_ = queue.stats();
+  overload_stats_ = overload.stats();
   std::sort(stats.begin(), stats.end(),
             [](const ServeStats& a, const ServeStats& b) {
               return a.id < b.id;
@@ -447,29 +514,9 @@ Result<std::vector<ServeStats>> ServeExecutor::RunBatched(
   // function of (request, start time), and batching only changes the
   // start times.
   AdmissionQueue queue(options_.queue);
+  OverloadController overload(options_.overload, options_.queue.capacity);
   std::vector<ServeStats> stats;
   stats.reserve(requests.size());
-
-  auto record_rejection = [&stats](const ForecastRequest& r,
-                                   RequestOutcome outcome, Status status) {
-    ServeStats st;
-    st.id = r.id;
-    st.arrival_seconds = r.arrival_seconds;
-    st.outcome = outcome;
-    st.status = std::move(status);
-    stats.push_back(std::move(st));
-  };
-
-  auto admit = [&](const ForecastRequest& r) {
-    if (r.arrival_seconds >= options_.drain_at_seconds) queue.Close();
-    Status s = queue.Offer(r);
-    if (s.ok()) return;
-    record_rejection(r,
-                     s.code() == StatusCode::kResourceExhausted
-                         ? RequestOutcome::kShedQueueFull
-                         : RequestOutcome::kCancelledDrain,
-                     std::move(s));
-  };
 
   struct InFlight {
     double finish_seconds;
@@ -478,6 +525,41 @@ Result<std::vector<ServeStats>> ServeExecutor::RunBatched(
   std::vector<InFlight> flying;
   const size_t slots = std::max<size_t>(1, options_.batch.size);
   const double inf = std::numeric_limits<double>::infinity();
+
+  auto record_rejection = [&stats](const ForecastRequest& r,
+                                   RequestOutcome outcome, Status status,
+                                   double retry_after = 0.0) {
+    ServeStats st;
+    st.id = r.id;
+    st.arrival_seconds = r.arrival_seconds;
+    st.slo = r.slo;
+    st.outcome = outcome;
+    st.status = std::move(status);
+    st.retry_after_seconds = retry_after;
+    stats.push_back(std::move(st));
+  };
+
+  auto admit = [&](const ForecastRequest& r) {
+    if (r.arrival_seconds >= options_.drain_at_seconds) queue.Close();
+    if (!queue.closed()) {
+      Status shed = overload.Admit(r, r.arrival_seconds, queue.depth(),
+                                   flying.size());
+      if (!shed.ok()) {
+        record_rejection(r, RequestOutcome::kShedQueueFull,
+                         std::move(shed), queue.RetryAfterSeconds());
+        return;
+      }
+    }
+    Status s = queue.Offer(r);
+    if (s.ok()) return;
+    if (s.code() == StatusCode::kResourceExhausted) {
+      overload.OnShed(r.arrival_seconds);
+      record_rejection(r, RequestOutcome::kShedQueueFull, std::move(s),
+                       queue.RetryAfterSeconds());
+    } else {
+      record_rejection(r, RequestOutcome::kCancelledDrain, std::move(s));
+    }
+  };
 
   double now = 0.0;
   size_t next = 0;
@@ -507,6 +589,7 @@ Result<std::vector<ServeStats>> ServeExecutor::RunBatched(
         ForecastRequest job;
         const bool popped = queue.Pop(now, &job, &expired);
         for (const ForecastRequest& r : expired) {
+          overload.OnShed(now);
           record_rejection(
               r, RequestOutcome::kShedExpired,
               Status::DeadlineExceeded(StrFormat(
@@ -515,6 +598,18 @@ Result<std::vector<ServeStats>> ServeExecutor::RunBatched(
                   r.id, r.deadline_seconds, now - r.arrival_seconds)));
         }
         if (!popped) break;
+        job.tier = overload.Rung(job.slo, now, queue.depth());
+        if (job.tier == ServiceTier::kShed) {
+          record_rejection(
+              job, RequestOutcome::kShedQueueFull,
+              Status::ResourceExhausted(StrFormat(
+                  "request %zu shed at dispatch: overload ladder "
+                  "escalated past class %s while it waited",
+                  job.id, SloClassName(job.slo))),
+              queue.RetryAfterSeconds());
+          continue;
+        }
+        overload.OnQueueWait(now, now - job.arrival_seconds);
         ServeStats st = ServeInstrumented(job, now);
         const double finish = std::max(now, st.finish_seconds);
         flying.push_back(InFlight{finish, std::move(st)});
@@ -533,6 +628,10 @@ Result<std::vector<ServeStats>> ServeExecutor::RunBatched(
     now = std::max(now, event);
     for (auto it = flying.begin(); it != flying.end();) {
       if (it->finish_seconds <= now) {
+        overload.OnCompletion(
+            it->finish_seconds,
+            it->st.outcome == RequestOutcome::kServed ||
+                it->st.outcome == RequestOutcome::kServedDegraded);
         stats.push_back(std::move(it->st));
         it = flying.erase(it);
       } else {
@@ -543,6 +642,7 @@ Result<std::vector<ServeStats>> ServeExecutor::RunBatched(
 
   end_seconds_ = now;
   queue_stats_ = queue.stats();
+  overload_stats_ = overload.stats();
   std::sort(stats.begin(), stats.end(),
             [](const ServeStats& a, const ServeStats& b) {
               return a.id < b.id;

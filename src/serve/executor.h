@@ -31,6 +31,7 @@
 #include "batch/batch_scheduler.h"
 #include "forecast/forecaster.h"
 #include "lm/prefix_cache.h"
+#include "serve/overload.h"
 #include "serve/queue.h"
 #include "serve/request.h"
 
@@ -102,6 +103,11 @@ struct ServeOptions {
   std::shared_ptr<lm::PrefixCache> prefix_cache;
   /// Batched service mode + scheduler observation (see BatchServePolicy).
   BatchServePolicy batch;
+  /// Overload-aware degradation: the brownout ladder and/or the AIMD
+  /// admission limiter (see serve/overload.h). Both off by default, so
+  /// existing runs are untouched. Factories see the assigned rung in
+  /// ForecastRequest::tier and must build the matching pipeline.
+  OverloadPolicy overload;
 };
 
 enum class RequestOutcome {
@@ -153,6 +159,10 @@ struct RejectionBreakdown {
   size_t backend_unavailable = 0;  ///< kUnavailable (backend / fleet down)
   size_t cancelled = 0;            ///< kCancelled (drain, hedge loser)
   size_t other = 0;                ///< any other terminal status
+  /// Mean retry-after hint attached to the queue_full rejections that
+  /// carried one (0 when none did) — what a well-behaved client was
+  /// told to back off by, on average.
+  double mean_retry_after_seconds = 0.0;
 
   size_t total() const {
     return queue_full + deadline_expired + backend_unavailable +
@@ -166,6 +176,15 @@ struct ServeStats {
   RequestOutcome outcome = RequestOutcome::kFailed;
   /// OK for served outcomes; the shedding/failing status otherwise.
   Status status;
+  /// The request's SLO class, copied through for per-class rollups.
+  SloClass slo = SloClass::kStandard;
+  /// Quality tier the request actually got: the ladder rung it was
+  /// served at (kClassical also when a fallback chain demoted it to the
+  /// classical engine), kShed for every non-served outcome.
+  ServiceTier tier = ServiceTier::kShed;
+  /// Back-off hint attached to a queue-full rejection (0 otherwise):
+  /// the admission queue's drain-rate estimate of when a slot frees.
+  double retry_after_seconds = 0.0;
   double arrival_seconds = 0.0;
   /// Virtual times; zero when the request never reached a worker.
   double start_seconds = 0.0;
@@ -208,6 +227,13 @@ struct ServeSummary {
   size_t failed = 0;
   size_t hedges_fired = 0;
   size_t hedge_wins = 0;
+  /// Per-tier outcome counters: what quality each request actually got
+  /// (tier_shed counts every non-served outcome; the four sum to
+  /// `total`).
+  size_t tier_llm_full = 0;
+  size_t tier_llm_reduced = 0;
+  size_t tier_classical = 0;
+  size_t tier_shed = 0;
   /// Latency quantiles over served requests (0 when none served).
   double p50_latency_seconds = 0.0;
   double p99_latency_seconds = 0.0;
@@ -255,6 +281,9 @@ class ServeExecutor {
 
   /// Queue counters of the most recent Run().
   const QueueStats& queue_stats() const { return queue_stats_; }
+  /// Ladder/limiter counters of the most recent Run() (all zero when
+  /// ServeOptions::overload is disabled).
+  const OverloadStats& overload_stats() const { return overload_stats_; }
   /// Virtual time at which the most recent Run() went idle.
   double end_seconds() const { return end_seconds_; }
 
@@ -271,6 +300,7 @@ class ServeExecutor {
   ForecasterFactory hedge_;
   ServeOptions options_;
   QueueStats queue_stats_;
+  OverloadStats overload_stats_;
   double end_seconds_ = 0.0;
 };
 

@@ -36,8 +36,8 @@ Status AdmissionQueue::Offer(const ForecastRequest& request) {
   if (depth() >= policy_.capacity) {
     ++stats_.rejected_full;
     return Status::ResourceExhausted(StrFormat(
-        "request %zu shed: queue at capacity %zu", request.id,
-        policy_.capacity));
+        "request %zu shed: queue at capacity %zu; retry after %.3fs",
+        request.id, policy_.capacity, RetryAfterSeconds()));
   }
   if (policy_.order == QueueOrder::kFifo) {
     fifo_.push_back(request);
@@ -74,10 +74,21 @@ bool AdmissionQueue::Pop(double now, ForecastRequest* out,
       continue;
     }
     ++stats_.popped;
+    pop_times_.push_back(now);
+    if (pop_times_.size() > 16) pop_times_.pop_front();
     *out = candidate;
     return true;
   }
   return false;
+}
+
+double AdmissionQueue::RetryAfterSeconds() const {
+  if (pop_times_.size() < 2) return policy_.retry_after_default_seconds;
+  // Mean inter-pop gap over the recent drain history: one pop frees one
+  // slot, so a shed caller can expect room in about one gap.
+  const double span = pop_times_.back() - pop_times_.front();
+  if (span <= 0.0) return policy_.retry_after_default_seconds;
+  return span / static_cast<double>(pop_times_.size() - 1);
 }
 
 std::vector<ForecastRequest> AdmissionQueue::Flush() {

@@ -36,6 +36,9 @@ struct QueuePolicy {
   /// Drop requests whose deadline has passed while they waited instead
   /// of handing them to a worker that cannot serve them in time.
   bool drop_expired_at_dequeue = true;
+  /// Retry-after hint attached to queue-full rejections before the
+  /// queue has drained enough to measure its own rate (< 2 pops).
+  double retry_after_default_seconds = 1.0;
 };
 
 /// Monotonic counters of everything that crossed the front door.
@@ -73,6 +76,14 @@ class AdmissionQueue {
   /// cancel-queued drain path.
   std::vector<ForecastRequest> Flush();
 
+  /// Retry-after hint for shed work: the queue's mean inter-pop gap
+  /// over its recent drain history — roughly when the next slot frees.
+  /// Attached to kResourceExhausted rejection messages and surfaced in
+  /// ServeStats so clients can back off for a grounded interval
+  /// instead of guessing. Falls back to
+  /// `policy.retry_after_default_seconds` before two pops happened.
+  double RetryAfterSeconds() const;
+
   /// Stops admitting; waiting requests are unaffected. Idempotent.
   void Close() { closed_ = true; }
   bool closed() const { return closed_; }
@@ -105,6 +116,9 @@ class AdmissionQueue {
   std::vector<EdfEntry> heap_;        ///< (deadline, seq) heap (EDF mode)
   uint64_t next_seq_ = 0;
   bool closed_ = false;
+  /// Recent pop instants (bounded), the drain-rate sample behind
+  /// RetryAfterSeconds().
+  std::deque<double> pop_times_;
 };
 
 }  // namespace serve

@@ -14,6 +14,52 @@
 namespace multicast {
 namespace serve {
 
+/// Service-level objective class of a request: how much quality the
+/// overload ladder may trade away, and in what order. Interactive
+/// traffic keeps full quality the longest; batch traffic is demoted
+/// (and ultimately shed) first.
+enum class SloClass {
+  kInteractive,  ///< latency-sensitive, protected longest
+  kStandard,     ///< the default
+  kBatch,        ///< throughput traffic, first to degrade
+};
+
+inline const char* SloClassName(SloClass slo) {
+  switch (slo) {
+    case SloClass::kInteractive:
+      return "interactive";
+    case SloClass::kStandard:
+      return "standard";
+    case SloClass::kBatch:
+      return "batch";
+  }
+  return "?";
+}
+
+/// Quality rung the serving layer assigned to a request (and, in
+/// ServeStats, what the request ultimately got). Ordered from best to
+/// worst — the overload ladder walks it downward under pressure.
+enum class ServiceTier {
+  kLlmFull,     ///< full LLM pipeline at the requested draw count
+  kLlmReduced,  ///< LLM pipeline with num_samples clamped
+  kClassical,   ///< classical statistical engine, no token stream
+  kShed,        ///< not served (rejected, expired, cancelled, failed)
+};
+
+inline const char* ServiceTierName(ServiceTier tier) {
+  switch (tier) {
+    case ServiceTier::kLlmFull:
+      return "llm-full";
+    case ServiceTier::kLlmReduced:
+      return "llm-reduced";
+    case ServiceTier::kClassical:
+      return "classical";
+    case ServiceTier::kShed:
+      return "shed";
+  }
+  return "?";
+}
+
 struct ForecastRequest {
   /// Caller-assigned identifier; executor results are reported per id.
   size_t id = 0;
@@ -32,6 +78,14 @@ struct ForecastRequest {
   /// pin them to the replica whose prefix cache is already warm.
   /// 0 (the default) is itself a valid shared key.
   uint64_t session_key = 0;
+  /// Service-level objective class (see SloClass).
+  SloClass slo = SloClass::kStandard;
+  /// Quality rung assigned by the overload ladder at dispatch time.
+  /// Executors stamp it on the request copy handed to the forecaster
+  /// factory, which builds the matching pipeline (full LLM, clamped
+  /// draws, or classical engine). kLlmFull when no ladder is active.
+  /// Never kShed — a request shed by the ladder is not dispatched.
+  ServiceTier tier = ServiceTier::kLlmFull;
 };
 
 }  // namespace serve

@@ -1,0 +1,179 @@
+#include "forecast/classical.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "forecast/forecaster.h"
+#include "ts/frame.h"
+
+namespace multicast {
+namespace forecast {
+namespace {
+
+ts::Frame Linear(size_t n, double slope = 1.0, double intercept = 3.0) {
+  std::vector<double> a(n), b(n);
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = intercept + slope * static_cast<double>(i);
+    b[i] = 42.0;  // constant second dimension
+  }
+  return ts::Frame::FromSeries({ts::Series(a, "a"), ts::Series(b, "b")},
+                               "hist")
+      .ValueOrDie();
+}
+
+ts::Frame Noisy(size_t n) {
+  std::vector<double> a(n);
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = 10.0 + std::sin(0.7 * static_cast<double>(i)) +
+           0.1 * static_cast<double>(i % 5);
+  }
+  return ts::Frame::FromSeries({ts::Series(a, "a")}, "hist").ValueOrDie();
+}
+
+TEST(ClassicalForecasterTest, FullShapeAndClassicalTier) {
+  ClassicalForecaster fc;
+  Result<ForecastResult> result = fc.Forecast(Noisy(48), 6);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().forecast.num_dims(), 1u);
+  EXPECT_EQ(result.value().forecast.length(), 6u);
+  EXPECT_EQ(result.value().tier, ForecastTier::kClassical);
+  EXPECT_FALSE(result.value().degraded);
+  EXPECT_TRUE(result.value().warnings.empty());
+  EXPECT_EQ(result.value().ledger.total(), 0u);
+  EXPECT_EQ(result.value().virtual_seconds, 0.0);
+}
+
+TEST(ClassicalForecasterTest, DriftExtendsALinearSeriesExactly) {
+  ClassicalOptions options;
+  options.engine = ClassicalEngine::kDrift;
+  ClassicalForecaster fc(options);
+  Result<ForecastResult> result = fc.Forecast(Linear(32), 4);
+  ASSERT_TRUE(result.ok());
+  for (size_t h = 0; h < 4; ++h) {
+    // history ends at 3 + 31; drift adds the mean slope (1.0) per step.
+    EXPECT_NEAR(result.value().forecast.at(0, h),
+                34.0 + static_cast<double>(h + 1), 1e-9);
+    EXPECT_NEAR(result.value().forecast.at(1, h), 42.0, 1e-9);
+  }
+}
+
+TEST(ClassicalForecasterTest, NaiveRepeatsTheLastObservation) {
+  ClassicalOptions options;
+  options.engine = ClassicalEngine::kNaiveLast;
+  ClassicalForecaster fc(options);
+  Result<ForecastResult> result = fc.Forecast(Linear(10), 3);
+  ASSERT_TRUE(result.ok());
+  for (size_t h = 0; h < 3; ++h) {
+    EXPECT_NEAR(result.value().forecast.at(0, h), 12.0, 1e-9);
+  }
+}
+
+TEST(ClassicalForecasterTest, AutoBeatsNaiveOnATrendingSeries) {
+  // On a pure trend the auto engine must not pick naive-last: its
+  // one-step residuals are a constant 1.0 while drift/theta/ets track
+  // the slope.
+  ClassicalForecaster fc;
+  Result<ForecastResult> result = fc.Forecast(Linear(40), 5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().forecast.at(0, 4), 42.0 + 5.0, 1.0);
+}
+
+TEST(ClassicalForecasterTest, BandsBracketThePointForecastAndWiden) {
+  ClassicalForecaster fc;
+  Result<ForecastResult> result = fc.Forecast(Noisy(64), 8);
+  ASSERT_TRUE(result.ok());
+  const ForecastResult& r = result.value();
+  ASSERT_EQ(r.quantile_bands.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.quantile_bands[0].first, 0.1);
+  EXPECT_DOUBLE_EQ(r.quantile_bands[1].first, 0.9);
+  const ts::Frame& lo = r.quantile_bands[0].second;
+  const ts::Frame& hi = r.quantile_bands[1].second;
+  for (size_t h = 0; h < 8; ++h) {
+    EXPECT_LE(lo.at(0, h), hi.at(0, h));
+  }
+  // sqrt(h+1) horizon scaling: the band at the last step is at least as
+  // wide as at the first.
+  EXPECT_GE(hi.at(0, 7) - lo.at(0, 7), hi.at(0, 0) - lo.at(0, 0));
+}
+
+TEST(ClassicalForecasterTest, DemotionNoteFlagsDegraded) {
+  ClassicalOptions options;
+  options.demotion_note = "overload ladder demoted request";
+  ClassicalForecaster fc(options);
+  Result<ForecastResult> result = fc.Forecast(Noisy(32), 4);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().degraded);
+  ASSERT_EQ(result.value().warnings.size(), 1u);
+  EXPECT_EQ(result.value().warnings[0], options.demotion_note);
+}
+
+TEST(ClassicalForecasterTest, DeterministicAcrossRuns) {
+  ClassicalForecaster fc;
+  Result<ForecastResult> a = fc.Forecast(Noisy(64), 8);
+  Result<ForecastResult> b = fc.Forecast(Noisy(64), 8);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t h = 0; h < 8; ++h) {
+    EXPECT_DOUBLE_EQ(a.value().forecast.at(0, h),
+                     b.value().forecast.at(0, h));
+    for (size_t q = 0; q < 2; ++q) {
+      EXPECT_DOUBLE_EQ(a.value().quantile_bands[q].second.at(0, h),
+                       b.value().quantile_bands[q].second.at(0, h));
+    }
+  }
+}
+
+TEST(ClassicalForecasterTest, ShortHistoriesStillForecast) {
+  // One observation: every engine degenerates to naive-last; auto must
+  // not crash picking among them.
+  ClassicalForecaster fc;
+  std::vector<double> one = {7.0};
+  ts::Frame tiny =
+      ts::Frame::FromSeries({ts::Series(one, "a")}, "hist").ValueOrDie();
+  Result<ForecastResult> result = fc.Forecast(tiny, 3);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  for (size_t h = 0; h < 3; ++h) {
+    EXPECT_NEAR(result.value().forecast.at(0, h), 7.0, 1e-9);
+  }
+}
+
+TEST(ClassicalForecasterTest, RejectsBadQuantiles) {
+  ClassicalOptions options;
+  options.quantiles = {0.1, 1.0};
+  ClassicalForecaster fc(options);
+  Result<ForecastResult> result = fc.Forecast(Noisy(32), 4);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ClassicalForecasterTest, RejectsZeroHorizonAndEmptyHistory) {
+  ClassicalForecaster fc;
+  EXPECT_EQ(fc.Forecast(Noisy(32), 0).status().code(),
+            StatusCode::kInvalidArgument);
+  ts::Frame empty;
+  EXPECT_EQ(fc.Forecast(empty, 4).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ClassicalForecasterTest, HonorsCancellation) {
+  ClassicalForecaster fc;
+  RequestContext ctx;
+  ctx.cancel.Cancel("client went away");
+  Result<ForecastResult> result = fc.Forecast(Noisy(32), 4, ctx);
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+}
+
+TEST(ClassicalForecasterTest, EngineNamesAreStable) {
+  EXPECT_STREQ(ClassicalEngineName(ClassicalEngine::kAuto), "auto");
+  EXPECT_STREQ(ClassicalEngineName(ClassicalEngine::kNaiveLast), "naive");
+  EXPECT_STREQ(ClassicalEngineName(ClassicalEngine::kDrift), "drift");
+  EXPECT_STREQ(ClassicalEngineName(ClassicalEngine::kTheta), "theta");
+  EXPECT_STREQ(ClassicalEngineName(ClassicalEngine::kEts), "ets");
+  ClassicalForecaster fc;
+  EXPECT_EQ(fc.name(), "Classical(auto)");
+}
+
+}  // namespace
+}  // namespace forecast
+}  // namespace multicast

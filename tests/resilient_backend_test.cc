@@ -304,6 +304,58 @@ TEST(ResilientBackendTest, FailedProbeReopensBreaker) {
   EXPECT_EQ(resilient.stats().circuit_rejections, 1u);
 }
 
+TEST(ResilientBackendTest, HalfOpenRelapseReopensForAFreshCooldown) {
+  // A breaker that needs two clean probes to close, against a backend
+  // that teases recovery: one good probe, then a relapse. The single
+  // success must not close the breaker, the relapse must re-open it for
+  // a *fresh* cooldown anchored at the relapse time, and only two
+  // consecutive clean probes after that cooldown close it.
+  ScriptedBackend inner({Status::Unavailable("down"),
+                         Status::Unavailable("down"),
+                         Status::OK(),  // probe 1: looks recovered...
+                         Status::Unavailable("relapse")});
+  VirtualClock clock;
+  CircuitBreakerPolicy breaker = SmallBreaker();
+  breaker.half_open_successes = 2;
+  ResilientBackend resilient(&inner, OneAttempt(), breaker, &clock);
+  Rng rng(1);
+  (void)resilient.Complete(Prompt(), 4, AllowAll(kVocab), &rng);
+  (void)resilient.Complete(Prompt(), 4, AllowAll(kVocab), &rng);
+  ASSERT_EQ(resilient.circuit_state(), CircuitState::kOpen);
+
+  // Cooldown elapses; the first probe succeeds but one success out of
+  // the required two leaves the breaker half-open, still probing.
+  clock.Advance(5.0);
+  auto probe1 = resilient.Complete(Prompt(), 4, AllowAll(kVocab), &rng);
+  ASSERT_TRUE(probe1.ok());
+  EXPECT_EQ(resilient.circuit_state(), CircuitState::kHalfOpen);
+
+  // The second probe relapses: straight back to open, with the new
+  // cooldown window anchored at the relapse, not the original trip.
+  clock.Advance(1.0);  // now t = 6.0
+  auto probe2 = resilient.Complete(Prompt(), 4, AllowAll(kVocab), &rng);
+  EXPECT_FALSE(probe2.ok());
+  ASSERT_EQ(resilient.circuit_state(), CircuitState::kOpen);
+  EXPECT_EQ(inner.calls, 4u);
+
+  // 4 s later the original cooldown (from t=0) is long over, but the
+  // relapse window (6.0 + 5.0) is not: calls are still rejected cheaply.
+  clock.Advance(4.0);  // t = 10.0 < 11.0
+  auto rejected = resilient.Complete(Prompt(), 4, AllowAll(kVocab), &rng);
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_EQ(inner.calls, 4u);  // backend not contacted
+  EXPECT_EQ(resilient.stats().circuit_rejections, 1u);
+
+  // Past the fresh cooldown, two consecutive clean probes close it —
+  // the first alone still leaves the breaker half-open.
+  clock.Advance(1.5);  // t = 11.5
+  ASSERT_TRUE(resilient.Complete(Prompt(), 4, AllowAll(kVocab), &rng).ok());
+  EXPECT_EQ(resilient.circuit_state(), CircuitState::kHalfOpen);
+  ASSERT_TRUE(resilient.Complete(Prompt(), 4, AllowAll(kVocab), &rng).ok());
+  EXPECT_EQ(resilient.circuit_state(), CircuitState::kClosed);
+  EXPECT_EQ(inner.calls, 6u);
+}
+
 TEST(ResilientBackendTest, CircuitStateNames) {
   EXPECT_STREQ(CircuitStateName(CircuitState::kClosed), "closed");
   EXPECT_STREQ(CircuitStateName(CircuitState::kOpen), "open");

@@ -150,6 +150,29 @@ TEST(AdmissionQueueTest, ClosedQueueRejectsButStillDrains) {
   EXPECT_EQ(out.id, 0u);
 }
 
+TEST(AdmissionQueueTest, RetryAfterTracksTheDrainRate) {
+  QueuePolicy policy;
+  policy.capacity = 2;
+  policy.retry_after_default_seconds = 1.5;
+  AdmissionQueue queue(policy);
+  // Before the queue has drained twice it can only quote the default.
+  EXPECT_DOUBLE_EQ(queue.RetryAfterSeconds(), 1.5);
+  ASSERT_TRUE(queue.Offer(Req(0, 0.0, 99.0)).ok());
+  ASSERT_TRUE(queue.Offer(Req(1, 0.1, 99.0)).ok());
+  ForecastRequest out;
+  ASSERT_TRUE(queue.Pop(1.0, &out, nullptr));
+  EXPECT_DOUBLE_EQ(queue.RetryAfterSeconds(), 1.5);  // one pop: no gap yet
+  ASSERT_TRUE(queue.Pop(1.4, &out, nullptr));
+  // Two pops 0.4 s apart: the mean inter-pop gap is the hint.
+  EXPECT_NEAR(queue.RetryAfterSeconds(), 0.4, 1e-9);
+  // The hint rides on queue-full rejection messages.
+  ASSERT_TRUE(queue.Offer(Req(2, 1.5, 99.0)).ok());
+  ASSERT_TRUE(queue.Offer(Req(3, 1.5, 99.0)).ok());
+  Status shed = queue.Offer(Req(4, 1.6, 99.0));
+  EXPECT_EQ(shed.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(shed.message().find("retry after 0.400s"), std::string::npos);
+}
+
 TEST(AdmissionQueueTest, FlushEmptiesTheBuffer) {
   AdmissionQueue queue(QueuePolicy{});
   ASSERT_TRUE(queue.Offer(Req(0, 0.0, 9.0)).ok());

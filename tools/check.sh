@@ -30,6 +30,13 @@ echo "==== bench smoke: cluster failover goodput + identity gates ===="
 cmake --build build -j "${JOBS}" --target cluster_failover
 ./build/bench/cluster_failover --smoke
 
+echo "==== bench smoke: overload degradation-ladder goodput gates ===="
+# Exits non-zero when the ladder fails to hold >= 90% goodput at 8x
+# overload (where the ungoverned baseline collapses), or when a rerun of
+# the laddered cell is not bit-identical.
+cmake --build build -j "${JOBS}" --target ablation_overload
+./build/bench/ablation_overload --smoke
+
 run_asan=1
 run_tsan=1
 for arg in "$@"; do
@@ -47,6 +54,8 @@ if [[ "${run_asan}" == "1" ]]; then
     virtual_time_test
     serve_queue_test
     serve_executor_test
+    overload_test
+    classical_test
     resilient_backend_test
     fault_injection_test
     backend_contract_test
@@ -74,6 +83,8 @@ if [[ "${run_tsan}" == "1" ]]; then
     multicast_forecaster_test
     llmtime_forecaster_test
     serve_executor_test
+    overload_test
+    classical_test
     resilient_backend_test
     fault_injection_test
     batch_scheduler_test
