@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baselines/arima.h"
@@ -26,6 +27,7 @@
 #include "forecast/llmtime_forecaster.h"
 #include "forecast/multicast_forecaster.h"
 #include "ts/split.h"
+#include "util/metrics.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -118,6 +120,24 @@ inline std::vector<eval::MethodRun> RunFullComparison(
   return OrDie(
       eval::RunMethods({&di, &vi, &vc, &llmtime, &arima, &lstm}, split),
       "full comparison");
+}
+
+/// Writes one registry snapshot to `path` through the single metrics
+/// export path (util::WriteMetricsJson) that serve-sim and cluster-sim
+/// share — benches emit the same artifact schema as the sims. Aborts on
+/// I/O failure, like every other bench artifact writer.
+inline void WriteBenchMetrics(const std::string& path,
+                              const std::string& section,
+                              const util::MetricsRegistry& registry) {
+  std::vector<std::pair<std::string, util::MetricsSnapshot>> sections;
+  sections.emplace_back(section, registry.Snapshot());
+  Status status = util::WriteMetricsJson(path, sections);
+  if (!status.ok()) {
+    std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(),
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+  std::printf("wrote %s\n", path.c_str());
 }
 
 /// Dimension names of a frame, for table headers.

@@ -11,7 +11,10 @@
 // (the failover bill), and fleet occupancy.
 //
 // Run from the repo root: ./build/bench/cluster_failover [--smoke]
-// Writes BENCH_cluster.json. Exits non-zero when losing 1 of 4
+// Writes BENCH_cluster.json, plus BENCH_cluster_metrics.json (the
+// crash-1-of-n cell at the largest fleet, exported through the
+// util::WriteMetricsJson path the sims share). Exits non-zero when
+// losing 1 of 4
 // replicas mid-run drops goodput below 90% of the same fleet's
 // no-fault goodput — the resilience floor the cluster layer promises —
 // or when any served forecast deviates from the single-replica
@@ -133,7 +136,8 @@ struct Cell {
 Cell RunCell(const std::vector<serve::ForecastRequest>& trace,
              size_t replicas, const Scenario& scenario,
              const std::vector<std::vector<double>>* reference,
-             std::vector<std::vector<double>>* forecasts_out) {
+             std::vector<std::vector<double>>* forecasts_out,
+             util::MetricsRegistry* metrics = nullptr) {
   std::vector<cluster::Replica> fleet = cluster::MakeUniformReplicas(
       {.replicas = replicas, .slots = 1, .prefix_cache_capacity = 32});
   for (size_t r = 0; r < fleet.size(); ++r) {
@@ -143,11 +147,12 @@ Cell RunCell(const std::vector<serve::ForecastRequest>& trace,
   options.queue.capacity = 64;
   options.router = cluster::RouterPolicy::kLeastLoaded;
   options.router_seed = 42;
+  options.metrics = metrics;
   cluster::ClusterExecutor executor(MakeFactory(1234), nullptr,
                                     std::move(fleet), options);
   std::vector<serve::ServeStats> stats =
       OrDie(executor.Run(trace), "cluster run");
-  serve::ServeSummary summary = serve::Summarize(stats);
+  serve::ServeSummary summary = serve::Summarize(stats, metrics);
   const cluster::ClusterReport& report = executor.report();
 
   Cell cell;
@@ -230,9 +235,15 @@ int Main(bool smoke) {
                    "Ejections", "Occupancy", "Identical"});
   std::vector<Cell> cells;
   std::map<std::pair<size_t, std::string>, double> goodput_by_cell;
+  util::MetricsRegistry registry;
   for (size_t replicas : fleets) {
     for (const Scenario& scenario : scenarios) {
-      Cell cell = RunCell(trace, replicas, scenario, &reference, nullptr);
+      // Export the headline cell's full counter set (queue/overload/
+      // cluster/serve) through the shared registry path.
+      const bool export_cell = replicas == fleets.back() &&
+                               scenario.name == "crash-1-of-n";
+      Cell cell = RunCell(trace, replicas, scenario, &reference, nullptr,
+                          export_cell ? &registry : nullptr);
       table.AddRow({StrFormat("%zu", cell.replicas), cell.scenario,
                     StrFormat("%zu/%zu", cell.served, cell.offered),
                     StrFormat("%.3f", cell.goodput),
@@ -249,6 +260,10 @@ int Main(bool smoke) {
     }
   }
   std::printf("%s\n", table.Render().c_str());
+
+  WriteBenchMetrics(
+      "BENCH_cluster_metrics.json",
+      StrFormat("crash-1-of-n@%zu-replicas", fleets.back()), registry);
 
   // Acceptance gate: losing 1 of 4 replicas mid-run keeps goodput at
   // >= 90% of the same fleet's no-fault goodput.

@@ -12,8 +12,10 @@
 // work eliminated (ledger prompt tokens vs physically replayed tokens).
 //
 // Run from the repo root: ./build/bench/prefix_cache [--smoke]
-// Writes BENCH_prefix_cache.json. Exits non-zero when the cached run
-// diverges, the n=8 speedup is < 2x, or the n=8 replay reduction < 80%.
+// Writes BENCH_prefix_cache.json, plus BENCH_prefix_cache_metrics.json
+// through the util::WriteMetricsJson export path the sims share. Exits
+// non-zero when the cached run diverges, the n=8 speedup is < 2x, or
+// the n=8 replay reduction < 80%.
 
 #include <cstring>
 #include <string>
@@ -110,6 +112,7 @@ int Main(bool smoke) {
     size_t replayed = 0;
   };
   std::vector<Row> rows;
+  lm::PrefixCacheStats last_cache;
   TextTable table({"Samples", "Uncached (s)", "Cached (s)", "Speedup",
                    "Prompt tok", "Replayed", "Saved", "Identical"});
   for (int samples : sample_counts) {
@@ -147,8 +150,17 @@ int Main(bool smoke) {
                   StrFormat("%.1f%%", row.replay_reduction * 100.0),
                   row.identical ? "yes" : "NO"});
     rows.push_back(row);
+    last_cache = cached.cache;
   }
   std::printf("%s\n", table.Render().c_str());
+
+  // The biggest sweep's cache counters, exported through the same
+  // registry path serve-sim uses for its per-method sections.
+  util::MetricsRegistry registry;
+  lm::PublishPrefixCacheStats(last_cache, &registry, "prefix_cache.");
+  WriteBenchMetrics(
+      "BENCH_prefix_cache_metrics.json",
+      StrFormat("cached n=%d", sample_counts.back()), registry);
 
   std::FILE* json = std::fopen("BENCH_prefix_cache.json", "w");
   if (json == nullptr) {

@@ -51,6 +51,55 @@ BatchStats BatchStats::operator-(const BatchStats& before) const {
   return delta;
 }
 
+void PublishBatchStats(const BatchStats& stats,
+                       util::MetricsRegistry* registry,
+                       const std::string& prefix) {
+  registry->GetCounter(prefix + "steps")
+      ->Add(static_cast<double>(stats.steps));
+  registry->GetCounter(prefix + "slot_steps")
+      ->Add(static_cast<double>(stats.slot_steps));
+  registry->GetCounter(prefix + "submitted")
+      ->Add(static_cast<double>(stats.submitted));
+  registry->GetCounter(prefix + "admitted")
+      ->Add(static_cast<double>(stats.admitted));
+  registry->GetCounter(prefix + "retired")
+      ->Add(static_cast<double>(stats.retired));
+  registry->GetCounter(prefix + "backfills")
+      ->Add(static_cast<double>(stats.backfills));
+  registry->GetCounter(prefix + "preemptions")
+      ->Add(static_cast<double>(stats.preemptions));
+  registry->GetGauge(prefix + "peak_batch")
+      ->SetMax(static_cast<double>(stats.peak_batch));
+  util::Histogram* occupancy = registry->GetHistogram(prefix + "occupancy");
+  for (size_t k = 0; k < stats.occupancy.size(); ++k) {
+    occupancy->ObserveIndex(k, stats.occupancy[k]);
+  }
+}
+
+BatchStats BatchStatsFromSnapshot(const util::MetricsSnapshot& snapshot,
+                                  const std::string& prefix) {
+  BatchStats stats;
+  stats.steps = static_cast<size_t>(snapshot.Value(prefix + "steps"));
+  stats.slot_steps =
+      static_cast<size_t>(snapshot.Value(prefix + "slot_steps"));
+  stats.submitted = static_cast<size_t>(snapshot.Value(prefix + "submitted"));
+  stats.admitted = static_cast<size_t>(snapshot.Value(prefix + "admitted"));
+  stats.retired = static_cast<size_t>(snapshot.Value(prefix + "retired"));
+  stats.backfills = static_cast<size_t>(snapshot.Value(prefix + "backfills"));
+  stats.preemptions =
+      static_cast<size_t>(snapshot.Value(prefix + "preemptions"));
+  stats.peak_batch =
+      static_cast<size_t>(snapshot.Value(prefix + "peak_batch"));
+  if (const util::MetricPoint* occupancy =
+          snapshot.Find(prefix + "occupancy")) {
+    stats.occupancy.reserve(occupancy->buckets.size());
+    for (uint64_t bucket : occupancy->buckets) {
+      stats.occupancy.push_back(static_cast<size_t>(bucket));
+    }
+  }
+  return stats;
+}
+
 BatchScheduler::BatchScheduler(const BatchPolicy& policy) : policy_(policy) {
   slots_.resize(std::max<size_t>(1, policy_.max_batch), 0);
 }

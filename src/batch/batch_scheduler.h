@@ -51,6 +51,7 @@
 #include "lm/language_model.h"
 #include "lm/sampler.h"
 #include "token/vocabulary.h"
+#include "util/metrics.h"
 #include "util/random.h"
 #include "util/status.h"
 #include "util/virtual_time.h"
@@ -100,6 +101,15 @@ struct BatchStats {
   /// Saturating per-field delta (`after - before`).
   BatchStats operator-(const BatchStats& before) const;
 };
+
+/// Registry view of BatchStats: counters under `prefix` (for example
+/// "batch.steps"), peak_batch as a max-gauge, occupancy as an indexed
+/// histogram named `prefix` + "occupancy".
+void PublishBatchStats(const BatchStats& stats,
+                       util::MetricsRegistry* registry,
+                       const std::string& prefix);
+BatchStats BatchStatsFromSnapshot(const util::MetricsSnapshot& snapshot,
+                                  const std::string& prefix);
 
 /// One unit of decode work: a session primed with its prompt plus
 /// everything the per-step sampler needs. The rng (and clock/cancel, if
@@ -165,6 +175,13 @@ class BatchScheduler {
 
   /// Snapshot of the counters. Thread-safe.
   BatchStats stats() const;
+
+  /// Publishes the counters into `registry` under `prefix` (the unified
+  /// metrics export path; see util/metrics.h). Thread-safe.
+  void PublishMetrics(util::MetricsRegistry* registry,
+                      const std::string& prefix = "batch.") const {
+    PublishBatchStats(stats(), registry, prefix);
+  }
 
   const BatchPolicy& policy() const { return policy_; }
 

@@ -24,6 +24,7 @@
 #include "serve/trace.h"
 #include "ts/split.h"
 #include "util/flags.h"
+#include "util/metrics.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -44,7 +45,7 @@ const std::set<std::string> kMethodFlags = {
     // serve-sim trace and serving-policy flags.
     "requests",   "arrival-rate", "deadline",  "queue-capacity",
     "queue-order", "hedge-delay", "burst-factor", "burst-every",
-    "burst-duration", "drain",    "drain-mode",
+    "burst-duration", "drain",    "drain-mode", "metrics-json",
     // overload-ladder flags.
     "slo-class", "overload-ladder", "classical-fallback",
     // cluster-sim fleet flags.
@@ -528,9 +529,16 @@ Result<int> CmdServeSim(const FlagSet& flags, std::ostream& out) {
   std::vector<std::string> cache_lines;
   std::vector<std::string> batch_lines;
   std::vector<std::string> overload_lines;
+  // One registry per method, holding every subsystem's counters for
+  // that run; --metrics-json writes them as one section per method
+  // through the single export path (util::WriteMetricsJson).
+  const std::string metrics_path = flags.GetString("metrics-json", "");
+  std::vector<std::pair<std::string, util::MetricsSnapshot>> sections;
   for (const std::string& name : methods) {
     MethodSpec spec = base;
     spec.name = name;
+    util::MetricsRegistry registry;
+    serve_options.metrics = &registry;
     // One prefix cache per method, shared by every request (and hedge)
     // of that method: requests over the same feed present the same
     // prompt, so later requests fork the cached state instead of
@@ -614,7 +622,14 @@ Result<int> CmdServeSim(const FlagSet& flags, std::ostream& out) {
     }
     MC_ASSIGN_OR_RETURN(std::vector<serve::ServeStats> stats,
                         executor.Run(std::move(reqs)));
-    serve::ServeSummary summary = serve::Summarize(stats);
+    serve::ServeSummary summary = serve::Summarize(stats, &registry);
+    // Lifetime counters of the shared per-method subsystems (the
+    // "serve.*" rollup carries the per-request attribution).
+    if (method_cache != nullptr) method_cache->PublishMetrics(&registry);
+    if (method_scheduler != nullptr) {
+      method_scheduler->PublishMetrics(&registry);
+    }
+    sections.emplace_back(name, registry.Snapshot());
     table.AddRow(
         {name, StrFormat("%zu", summary.served),
          StrFormat("%zu", summary.served_degraded),
@@ -669,6 +684,10 @@ Result<int> CmdServeSim(const FlagSet& flags, std::ostream& out) {
   for (const std::string& line : cache_lines) out << line << "\n";
   for (const std::string& line : batch_lines) out << line << "\n";
   for (const std::string& line : overload_lines) out << line << "\n";
+  if (!metrics_path.empty()) {
+    MC_RETURN_IF_ERROR(util::WriteMetricsJson(metrics_path, sections));
+    out << "wrote metrics to " << metrics_path << "\n";
+  }
   return 0;
 }
 
@@ -722,6 +741,10 @@ Result<int> CmdClusterSim(const FlagSet& flags, std::ostream& out) {
   if (cfg.drain_at > 0.0) options.drain_at_seconds = cfg.drain_at;
   options.drain_mode = cfg.drain_mode;
   options.overload = cfg.overload;
+  // One registry for the whole fleet run; --metrics-json writes it as
+  // one section through the single export path (util::WriteMetricsJson).
+  util::MetricsRegistry registry;
+  options.metrics = &registry;
 
   const std::string name = base.name;
   MethodSpec spec = base;
@@ -840,7 +863,19 @@ Result<int> CmdClusterSim(const FlagSet& flags, std::ostream& out) {
 
   MC_ASSIGN_OR_RETURN(std::vector<serve::ServeStats> stats,
                       executor.Run(std::move(reqs)));
-  serve::ServeSummary summary = serve::Summarize(stats);
+  serve::ServeSummary summary = serve::Summarize(stats, &registry);
+  // Lifetime counters of each replica's node-local subsystems.
+  for (size_t r = 0; r < executor.num_replicas(); ++r) {
+    const cluster::Replica& rep = executor.replica(r);
+    if (rep.prefix_cache != nullptr) {
+      rep.prefix_cache->PublishMetrics(
+          &registry, StrFormat("replica%d.prefix_cache.", rep.id));
+    }
+    if (rep.scheduler != nullptr) {
+      rep.scheduler->PublishMetrics(
+          &registry, StrFormat("replica%d.batch.", rep.id));
+    }
+  }
   const cluster::ClusterReport& report = executor.report();
 
   TextTable table({"Method", "Served", "Degraded", "Shed(full)",
@@ -883,6 +918,13 @@ Result<int> CmdClusterSim(const FlagSet& flags, std::ostream& out) {
         "%zu failovers, %zu misroutes, occupancy %.2f\n",
         rep.id, rep.dispatched, rep.completed, served_here, rep.failovers,
         rep.misroutes, rep.occupancy);
+  }
+  const std::string metrics_path = flags.GetString("metrics-json", "");
+  if (!metrics_path.empty()) {
+    std::vector<std::pair<std::string, util::MetricsSnapshot>> sections;
+    sections.emplace_back(name, registry.Snapshot());
+    MC_RETURN_IF_ERROR(util::WriteMetricsJson(metrics_path, sections));
+    out << "wrote metrics to " << metrics_path << "\n";
   }
   return 0;
 }
@@ -1094,16 +1136,18 @@ std::string UsageText() {
       "            admission)] [--slo-class interactive|standard|batch|\n"
       "            mixed] [--classical-fallback (classical-tier hedge\n"
       "            backup and fallback terminal)]\n"
+      "            export: [--metrics-json out.json (every queue/overload/\n"
+      "            cache/batch/serve counter, one section per method)]\n"
       "  cluster-sim --input feed.csv [--horizon 12] [--method VI]\n"
       "            fleet: [--replicas 3] [--replica-slots 1]\n"
       "            [--router rr|least|p2c|affinity]\n"
       "            chaos: [--replica-chaos 1.0 (expected crashes per\n"
       "            replica over the trace)] [--replica-chaos-seed N]\n"
-      "            plus every serve-sim trace/queue/drain/hedge/overload\n"
-      "            flag; each replica gets its own prefix cache and\n"
-      "            decode scheduler, crashes fail running work over to\n"
-      "            surviving replicas, and health probes eject/readmit\n"
-      "            replicas from routing\n"
+      "            plus every serve-sim trace/queue/drain/hedge/overload/\n"
+      "            metrics-json flag; each replica gets its own prefix\n"
+      "            cache and decode scheduler, crashes fail running work\n"
+      "            over to surviving replicas, and health probes\n"
+      "            eject/readmit replicas from routing\n"
       "  help\n";
 }
 

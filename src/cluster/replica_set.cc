@@ -487,6 +487,12 @@ Result<std::vector<serve::ServeStats>> ClusterExecutor::Run(
                                  unit.spare_failure.ToString().c_str(),
                                  failure.ToString().c_str()));
     }
+    // This flight produced the request's terminal outcome, so it gets
+    // the replica attribution exactly like the served path above —
+    // without it, a request that ran here and then failed (or overran
+    // its deadline) vanished from every per-replica rollup while still
+    // counting in cluster occupancy.
+    unit.st.cluster.replica = f.replica;
     fail_unit(f.unit, now, std::move(failure));
   };
 
@@ -777,9 +783,31 @@ Result<std::vector<serve::ServeStats>> ClusterExecutor::Run(
   }
 
   end_seconds_ = now;
-  queue_stats_ = queue.stats();
   report_.health = monitor.stats();
-  report_.overload = overload.stats();
+  {
+    // Publish this run's queue/overload/failover counters through the
+    // unified registry (options_.metrics or a run-private fallback) and
+    // populate the accessor structs from the snapshot delta — the same
+    // views-over-the-registry contract as ServeExecutor.
+    util::MetricsRegistry own;
+    util::MetricsRegistry* reg =
+        options_.metrics != nullptr ? options_.metrics : &own;
+    const util::MetricsSnapshot metrics_before = reg->Snapshot();
+    queue.PublishMetrics(reg);
+    overload.PublishMetrics(reg);
+    serve::ClusterStats fleet;
+    fleet.failovers = report_.failovers;
+    fleet.redispatched_draws = report_.redispatched_draws;
+    fleet.wasted_seconds = report_.wasted_seconds;
+    serve::PublishClusterStats(fleet, reg, "cluster.");
+    reg->GetCounter("cluster.fleet_unavailable")
+        ->Add(static_cast<double>(report_.fleet_unavailable));
+    const util::MetricsSnapshot metrics_delta =
+        reg->Snapshot().Delta(metrics_before);
+    queue_stats_ = serve::QueueStatsFromSnapshot(metrics_delta, "queue.");
+    report_.overload =
+        serve::OverloadStatsFromSnapshot(metrics_delta, "overload.");
+  }
   for (size_t r = 0; r < replicas_.size(); ++r) {
     const double span =
         end_seconds_ * static_cast<double>(replicas_[r].slots);

@@ -50,6 +50,7 @@
 #include "serve/executor.h"
 #include "serve/queue.h"
 #include "serve/request.h"
+#include "util/metrics.h"
 
 namespace multicast {
 namespace cluster {
@@ -124,6 +125,13 @@ struct ClusterOptions {
   /// way a single node does. Factories see the assigned rung in
   /// ForecastRequest::tier. Off by default.
   serve::OverloadPolicy overload;
+  /// Unified metrics registry (not owned; may be null). When set, the
+  /// executor publishes its queue / overload / fleet-failover counters
+  /// here after each Run under the "queue." / "overload." / "cluster."
+  /// prefixes — the same single export path ServeOptions::metrics feeds
+  /// (see util/metrics.h). The accessor structs are populated from a
+  /// snapshot delta either way.
+  util::MetricsRegistry* metrics = nullptr;
 };
 
 /// Fleet-side rollup of one run (per-request fates live in the

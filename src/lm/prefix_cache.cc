@@ -21,6 +21,49 @@ uint64_t FoldToken(uint64_t hash, token::TokenId id) {
 size_t Saturating(size_t a, size_t b) { return a > b ? a - b : 0; }
 }  // namespace
 
+void PublishPrefixCacheStats(const PrefixCacheStats& stats,
+                             util::MetricsRegistry* registry,
+                             const std::string& prefix) {
+  registry->GetCounter(prefix + "lookups")
+      ->Add(static_cast<double>(stats.lookups));
+  registry->GetCounter(prefix + "full_hits")
+      ->Add(static_cast<double>(stats.full_hits));
+  registry->GetCounter(prefix + "prefix_hits")
+      ->Add(static_cast<double>(stats.prefix_hits));
+  registry->GetCounter(prefix + "misses")
+      ->Add(static_cast<double>(stats.misses));
+  registry->GetCounter(prefix + "insertions")
+      ->Add(static_cast<double>(stats.insertions));
+  registry->GetCounter(prefix + "evictions")
+      ->Add(static_cast<double>(stats.evictions));
+  registry->GetCounter(prefix + "prompt_tokens_seen")
+      ->Add(static_cast<double>(stats.prompt_tokens_seen));
+  registry->GetCounter(prefix + "prompt_tokens_reused")
+      ->Add(static_cast<double>(stats.prompt_tokens_reused));
+  registry->GetCounter(prefix + "prompt_tokens_replayed")
+      ->Add(static_cast<double>(stats.prompt_tokens_replayed));
+}
+
+PrefixCacheStats PrefixCacheStatsFromSnapshot(
+    const util::MetricsSnapshot& snapshot, const std::string& prefix) {
+  PrefixCacheStats stats;
+  stats.lookups = static_cast<size_t>(snapshot.Value(prefix + "lookups"));
+  stats.full_hits = static_cast<size_t>(snapshot.Value(prefix + "full_hits"));
+  stats.prefix_hits =
+      static_cast<size_t>(snapshot.Value(prefix + "prefix_hits"));
+  stats.misses = static_cast<size_t>(snapshot.Value(prefix + "misses"));
+  stats.insertions =
+      static_cast<size_t>(snapshot.Value(prefix + "insertions"));
+  stats.evictions = static_cast<size_t>(snapshot.Value(prefix + "evictions"));
+  stats.prompt_tokens_seen =
+      static_cast<size_t>(snapshot.Value(prefix + "prompt_tokens_seen"));
+  stats.prompt_tokens_reused =
+      static_cast<size_t>(snapshot.Value(prefix + "prompt_tokens_reused"));
+  stats.prompt_tokens_replayed =
+      static_cast<size_t>(snapshot.Value(prefix + "prompt_tokens_replayed"));
+  return stats;
+}
+
 PrefixCacheStats& PrefixCacheStats::operator+=(const PrefixCacheStats& other) {
   lookups += other.lookups;
   full_hits += other.full_hits;

@@ -36,6 +36,7 @@
 
 #include "lm/language_model.h"
 #include "token/vocabulary.h"
+#include "util/metrics.h"
 
 namespace multicast {
 namespace lm {
@@ -69,6 +70,14 @@ struct PrefixCacheStats {
   PrefixCacheStats operator-(const PrefixCacheStats& other) const;
 };
 
+/// Registry view of PrefixCacheStats: counters under `prefix` (for
+/// example "prefix_cache.lookups").
+void PublishPrefixCacheStats(const PrefixCacheStats& stats,
+                             util::MetricsRegistry* registry,
+                             const std::string& prefix);
+PrefixCacheStats PrefixCacheStatsFromSnapshot(
+    const util::MetricsSnapshot& snapshot, const std::string& prefix);
+
 /// See file comment.
 class PrefixCache {
  public:
@@ -100,6 +109,13 @@ class PrefixCache {
   size_t capacity() const { return capacity_; }
   size_t size() const;
   PrefixCacheStats stats() const;
+
+  /// Publishes the counters into `registry` under `prefix` (the unified
+  /// metrics export path; see util/metrics.h). Thread-safe.
+  void PublishMetrics(util::MetricsRegistry* registry,
+                      const std::string& prefix = "prefix_cache.") const {
+    PublishPrefixCacheStats(stats(), registry, prefix);
+  }
 
   /// Drops all cached states (counters are kept).
   void Clear();

@@ -19,6 +19,60 @@ const char* CircuitStateName(CircuitState state) {
   return "?";
 }
 
+void PublishRetryStats(const RetryStats& stats,
+                       util::MetricsRegistry* registry,
+                       const std::string& prefix) {
+  registry->GetCounter(prefix + "calls")
+      ->Add(static_cast<double>(stats.calls));
+  registry->GetCounter(prefix + "attempts")
+      ->Add(static_cast<double>(stats.attempts));
+  registry->GetCounter(prefix + "retries")
+      ->Add(static_cast<double>(stats.retries));
+  registry->GetCounter(prefix + "successes")
+      ->Add(static_cast<double>(stats.successes));
+  registry->GetCounter(prefix + "failures")
+      ->Add(static_cast<double>(stats.failures));
+  registry->GetCounter(prefix + "retryable_errors")
+      ->Add(static_cast<double>(stats.retryable_errors));
+  registry->GetCounter(prefix + "terminal_errors")
+      ->Add(static_cast<double>(stats.terminal_errors));
+  registry->GetCounter(prefix + "circuit_rejections")
+      ->Add(static_cast<double>(stats.circuit_rejections));
+  registry->GetCounter(prefix + "budget_exhausted")
+      ->Add(static_cast<double>(stats.budget_exhausted));
+  registry->GetCounter(prefix + "cancelled_calls")
+      ->Add(static_cast<double>(stats.cancelled_calls));
+  registry->GetCounter(prefix + "deadline_preempted")
+      ->Add(static_cast<double>(stats.deadline_preempted));
+  registry->GetCounter(prefix + "backoff_seconds")->Add(stats.backoff_seconds);
+  registry->GetCounter(prefix + "latency_seconds")->Add(stats.latency_seconds);
+}
+
+RetryStats RetryStatsFromSnapshot(const util::MetricsSnapshot& snapshot,
+                                  const std::string& prefix) {
+  RetryStats stats;
+  stats.calls = static_cast<size_t>(snapshot.Value(prefix + "calls"));
+  stats.attempts = static_cast<size_t>(snapshot.Value(prefix + "attempts"));
+  stats.retries = static_cast<size_t>(snapshot.Value(prefix + "retries"));
+  stats.successes = static_cast<size_t>(snapshot.Value(prefix + "successes"));
+  stats.failures = static_cast<size_t>(snapshot.Value(prefix + "failures"));
+  stats.retryable_errors =
+      static_cast<size_t>(snapshot.Value(prefix + "retryable_errors"));
+  stats.terminal_errors =
+      static_cast<size_t>(snapshot.Value(prefix + "terminal_errors"));
+  stats.circuit_rejections =
+      static_cast<size_t>(snapshot.Value(prefix + "circuit_rejections"));
+  stats.budget_exhausted =
+      static_cast<size_t>(snapshot.Value(prefix + "budget_exhausted"));
+  stats.cancelled_calls =
+      static_cast<size_t>(snapshot.Value(prefix + "cancelled_calls"));
+  stats.deadline_preempted =
+      static_cast<size_t>(snapshot.Value(prefix + "deadline_preempted"));
+  stats.backoff_seconds = snapshot.Value(prefix + "backoff_seconds");
+  stats.latency_seconds = snapshot.Value(prefix + "latency_seconds");
+  return stats;
+}
+
 RetryStats& RetryStats::operator+=(const RetryStats& other) {
   calls += other.calls;
   attempts += other.attempts;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "lm/backend.h"
+#include "util/metrics.h"
 #include "util/random.h"
 #include "util/status.h"
 #include "util/virtual_time.h"
@@ -84,6 +85,15 @@ struct RetryStats {
   RetryStats& operator+=(const RetryStats& other);
 };
 
+/// Registry view of RetryStats: counters under `prefix` (for example
+/// "retry.attempts"). The two virtual-time fields publish as counters
+/// too — they are monotonic sums.
+void PublishRetryStats(const RetryStats& stats,
+                       util::MetricsRegistry* registry,
+                       const std::string& prefix);
+RetryStats RetryStatsFromSnapshot(const util::MetricsSnapshot& snapshot,
+                                  const std::string& prefix);
+
 /// Decorator implementing the retry loop. Not thread-safe (breaker and
 /// clock state are per-instance; production sharding would hold one per
 /// worker).
@@ -111,6 +121,16 @@ class ResilientBackend final : public LlmBackend {
 
   const RetryStats& stats() const { return stats_; }
   CircuitState circuit_state() const { return state_; }
+
+  /// Publishes the counters into `registry` under `prefix` (the unified
+  /// metrics export path; see util/metrics.h). Callers that own a
+  /// registry thread it through here once per backend lifetime (the
+  /// decorator itself never publishes — its accounting also rides in
+  /// ForecastResult::retry_stats).
+  void PublishMetrics(util::MetricsRegistry* registry,
+                      const std::string& prefix = "retry.") const {
+    PublishRetryStats(stats_, registry, prefix);
+  }
 
   /// Current virtual time (of the shared clock, or seconds since
   /// construction on the private one).

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "util/quantile.h"
 #include "util/strings.h"
 #include "util/virtual_time.h"
 
@@ -12,23 +13,141 @@ namespace serve {
 
 namespace {
 
-/// Nearest-rank quantile of an already-sorted latency list.
-double SortedQuantile(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  size_t rank = static_cast<size_t>(
-      std::ceil(q * static_cast<double>(sorted.size())));
-  if (rank == 0) rank = 1;
-  if (rank > sorted.size()) rank = sorted.size();
-  return sorted[rank - 1];
-}
-
 Deadline RequestDeadline(const ForecastRequest& request) {
   return std::isfinite(request.deadline_seconds)
              ? Deadline::At(request.deadline_seconds)
              : Deadline::Never();
 }
 
+// TokenLedger is too small to warrant public view helpers; the serve
+// rollup is its only registry face.
+void PublishTokenLedger(const lm::TokenLedger& ledger,
+                        util::MetricsRegistry* registry,
+                        const std::string& prefix) {
+  registry->GetCounter(prefix + "prompt_tokens")
+      ->Add(static_cast<double>(ledger.prompt_tokens));
+  registry->GetCounter(prefix + "generated_tokens")
+      ->Add(static_cast<double>(ledger.generated_tokens));
+}
+
+lm::TokenLedger TokenLedgerFromSnapshot(const util::MetricsSnapshot& snapshot,
+                                        const std::string& prefix) {
+  lm::TokenLedger ledger;
+  ledger.prompt_tokens =
+      static_cast<size_t>(snapshot.Value(prefix + "prompt_tokens"));
+  ledger.generated_tokens =
+      static_cast<size_t>(snapshot.Value(prefix + "generated_tokens"));
+  return ledger;
+}
+
+std::vector<size_t> BucketsToCounts(const util::MetricPoint* point) {
+  std::vector<size_t> counts;
+  if (point == nullptr) return counts;
+  counts.reserve(point->buckets.size());
+  for (uint64_t b : point->buckets) counts.push_back(static_cast<size_t>(b));
+  return counts;
+}
+
+size_t SaturatingSub(size_t a, size_t b) { return a > b ? a - b : 0; }
+
 }  // namespace
+
+void PublishClusterStats(const ClusterStats& stats,
+                         util::MetricsRegistry* registry,
+                         const std::string& prefix) {
+  registry->GetCounter(prefix + "failovers")
+      ->Add(static_cast<double>(stats.failovers));
+  registry->GetCounter(prefix + "redispatched_draws")
+      ->Add(static_cast<double>(stats.redispatched_draws));
+  registry->GetCounter(prefix + "wasted_seconds")->Add(stats.wasted_seconds);
+}
+
+ClusterStats ClusterStatsFromSnapshot(const util::MetricsSnapshot& snapshot,
+                                      const std::string& prefix) {
+  ClusterStats stats;
+  stats.failovers = static_cast<size_t>(snapshot.Value(prefix + "failovers"));
+  stats.redispatched_draws =
+      static_cast<size_t>(snapshot.Value(prefix + "redispatched_draws"));
+  stats.wasted_seconds = snapshot.Value(prefix + "wasted_seconds");
+  return stats;
+}
+
+RejectionBreakdown& RejectionBreakdown::operator+=(
+    const RejectionBreakdown& rhs) {
+  queue_full += rhs.queue_full;
+  deadline_expired += rhs.deadline_expired;
+  backend_unavailable += rhs.backend_unavailable;
+  cancelled += rhs.cancelled;
+  other += rhs.other;
+  retry_after_hint_sum += rhs.retry_after_hint_sum;
+  retry_after_hints += rhs.retry_after_hints;
+  mean_retry_after_seconds =
+      retry_after_hints > 0
+          ? retry_after_hint_sum / static_cast<double>(retry_after_hints)
+          : 0.0;
+  return *this;
+}
+
+RejectionBreakdown RejectionBreakdown::operator-(
+    const RejectionBreakdown& before) const {
+  RejectionBreakdown d;
+  d.queue_full = SaturatingSub(queue_full, before.queue_full);
+  d.deadline_expired = SaturatingSub(deadline_expired, before.deadline_expired);
+  d.backend_unavailable =
+      SaturatingSub(backend_unavailable, before.backend_unavailable);
+  d.cancelled = SaturatingSub(cancelled, before.cancelled);
+  d.other = SaturatingSub(other, before.other);
+  d.retry_after_hint_sum =
+      retry_after_hint_sum > before.retry_after_hint_sum
+          ? retry_after_hint_sum - before.retry_after_hint_sum
+          : 0.0;
+  d.retry_after_hints =
+      SaturatingSub(retry_after_hints, before.retry_after_hints);
+  d.mean_retry_after_seconds =
+      d.retry_after_hints > 0
+          ? d.retry_after_hint_sum / static_cast<double>(d.retry_after_hints)
+          : 0.0;
+  return d;
+}
+
+void PublishRejectionBreakdown(const RejectionBreakdown& breakdown,
+                               util::MetricsRegistry* registry,
+                               const std::string& prefix) {
+  registry->GetCounter(prefix + "queue_full")
+      ->Add(static_cast<double>(breakdown.queue_full));
+  registry->GetCounter(prefix + "deadline_expired")
+      ->Add(static_cast<double>(breakdown.deadline_expired));
+  registry->GetCounter(prefix + "backend_unavailable")
+      ->Add(static_cast<double>(breakdown.backend_unavailable));
+  registry->GetCounter(prefix + "cancelled")
+      ->Add(static_cast<double>(breakdown.cancelled));
+  registry->GetCounter(prefix + "other")
+      ->Add(static_cast<double>(breakdown.other));
+  registry->GetCounter(prefix + "retry_after_hint_sum")
+      ->Add(breakdown.retry_after_hint_sum);
+  registry->GetCounter(prefix + "retry_after_hints")
+      ->Add(static_cast<double>(breakdown.retry_after_hints));
+}
+
+RejectionBreakdown RejectionBreakdownFromSnapshot(
+    const util::MetricsSnapshot& snapshot, const std::string& prefix) {
+  RejectionBreakdown b;
+  b.queue_full = static_cast<size_t>(snapshot.Value(prefix + "queue_full"));
+  b.deadline_expired =
+      static_cast<size_t>(snapshot.Value(prefix + "deadline_expired"));
+  b.backend_unavailable =
+      static_cast<size_t>(snapshot.Value(prefix + "backend_unavailable"));
+  b.cancelled = static_cast<size_t>(snapshot.Value(prefix + "cancelled"));
+  b.other = static_cast<size_t>(snapshot.Value(prefix + "other"));
+  b.retry_after_hint_sum = snapshot.Value(prefix + "retry_after_hint_sum");
+  b.retry_after_hints =
+      static_cast<size_t>(snapshot.Value(prefix + "retry_after_hints"));
+  b.mean_retry_after_seconds =
+      b.retry_after_hints > 0
+          ? b.retry_after_hint_sum / static_cast<double>(b.retry_after_hints)
+          : 0.0;
+  return b;
+}
 
 const char* OutcomeName(RequestOutcome outcome) {
   switch (outcome) {
@@ -49,50 +168,96 @@ const char* OutcomeName(RequestOutcome outcome) {
 }
 
 ServeSummary Summarize(const std::vector<ServeStats>& stats) {
-  ServeSummary s;
-  s.total = stats.size();
+  return Summarize(stats, nullptr);
+}
+
+ServeSummary Summarize(const std::vector<ServeStats>& stats,
+                       util::MetricsRegistry* registry) {
+  util::MetricsRegistry own;
+  util::MetricsRegistry* reg = registry != nullptr ? registry : &own;
+  const util::MetricsSnapshot before = reg->Snapshot();
+
+  // Register every rollup metric up front, in one fixed order: which
+  // outcomes occur varies per run but first-touch order is the export
+  // order, so pre-registering keeps --metrics-json column-stable.
+  util::Counter* c_total = reg->GetCounter("serve.total");
+  util::Counter* c_served = reg->GetCounter("serve.served");
+  util::Counter* c_served_degraded = reg->GetCounter("serve.served_degraded");
+  util::Counter* c_shed_queue_full = reg->GetCounter("serve.shed_queue_full");
+  util::Counter* c_shed_expired = reg->GetCounter("serve.shed_expired");
+  util::Counter* c_cancelled_drain = reg->GetCounter("serve.cancelled_drain");
+  util::Counter* c_failed = reg->GetCounter("serve.failed");
+  util::Counter* c_hedges_fired = reg->GetCounter("serve.hedges_fired");
+  util::Counter* c_hedge_wins = reg->GetCounter("serve.hedge_wins");
+  util::Counter* c_tier_full = reg->GetCounter("serve.tier_llm_full");
+  util::Counter* c_tier_reduced = reg->GetCounter("serve.tier_llm_reduced");
+  util::Counter* c_tier_classical = reg->GetCounter("serve.tier_classical");
+  util::Counter* c_tier_shed = reg->GetCounter("serve.tier_shed");
+  util::Counter* c_queue_wait_sum =
+      reg->GetCounter("serve.queue_wait_seconds_sum");
+  util::Counter* c_started = reg->GetCounter("serve.requests_started");
+  PublishRetryStats(lm::RetryStats{}, reg, "serve.retry.");
+  PublishTokenLedger(lm::TokenLedger{}, reg, "serve.ledger.");
+  PublishPrefixCacheStats(lm::PrefixCacheStats{}, reg, "serve.prefix_cache.");
+  PublishBatchStats(batch::BatchStats{}, reg, "serve.batch.");
+  PublishClusterStats(ClusterStats{}, reg, "serve.cluster.");
+  PublishRejectionBreakdown(RejectionBreakdown{}, reg, "serve.rejections.");
+  util::Counter* c_rej_queue_full =
+      reg->GetCounter("serve.rejections.queue_full");
+  util::Counter* c_rej_deadline =
+      reg->GetCounter("serve.rejections.deadline_expired");
+  util::Counter* c_rej_unavailable =
+      reg->GetCounter("serve.rejections.backend_unavailable");
+  util::Counter* c_rej_cancelled =
+      reg->GetCounter("serve.rejections.cancelled");
+  util::Counter* c_rej_other = reg->GetCounter("serve.rejections.other");
+  util::Counter* c_rej_hint_sum =
+      reg->GetCounter("serve.rejections.retry_after_hint_sum");
+  util::Counter* c_rej_hints =
+      reg->GetCounter("serve.rejections.retry_after_hints");
+  util::Histogram* h_served = reg->GetHistogram("serve.served_per_replica");
+  util::Histogram* h_finished =
+      reg->GetHistogram("serve.finished_per_replica");
+
+  c_total->Add(static_cast<double>(stats.size()));
   std::vector<double> latencies;
   std::vector<double> queue_waits;
   std::vector<double> service_times;
-  double queue_wait = 0.0;
-  size_t started = 0;
-  double retry_after_sum = 0.0;
-  size_t retry_after_count = 0;
   for (const ServeStats& st : stats) {
     switch (st.outcome) {
       case RequestOutcome::kServed:
-        ++s.served;
+        c_served->Increment();
         break;
       case RequestOutcome::kServedDegraded:
-        ++s.served_degraded;
+        c_served_degraded->Increment();
         break;
       case RequestOutcome::kShedQueueFull:
-        ++s.shed_queue_full;
+        c_shed_queue_full->Increment();
         break;
       case RequestOutcome::kShedExpired:
-        ++s.shed_expired;
+        c_shed_expired->Increment();
         break;
       case RequestOutcome::kCancelledDrain:
-        ++s.cancelled_drain;
+        c_cancelled_drain->Increment();
         break;
       case RequestOutcome::kFailed:
-        ++s.failed;
+        c_failed->Increment();
         break;
     }
-    if (st.hedge_fired) ++s.hedges_fired;
-    if (st.hedge_won) ++s.hedge_wins;
+    if (st.hedge_fired) c_hedges_fired->Increment();
+    if (st.hedge_won) c_hedge_wins->Increment();
     switch (st.tier) {
       case ServiceTier::kLlmFull:
-        ++s.tier_llm_full;
+        c_tier_full->Increment();
         break;
       case ServiceTier::kLlmReduced:
-        ++s.tier_llm_reduced;
+        c_tier_reduced->Increment();
         break;
       case ServiceTier::kClassical:
-        ++s.tier_classical;
+        c_tier_classical->Increment();
         break;
       case ServiceTier::kShed:
-        ++s.tier_shed;
+        c_tier_shed->Increment();
         break;
     }
     if (st.outcome == RequestOutcome::kServed ||
@@ -103,63 +268,119 @@ ServeSummary Summarize(const std::vector<ServeStats>& stats) {
       service_times.push_back(st.finish_seconds - st.start_seconds);
     }
     if (st.attempts > 0) {
-      queue_wait += st.queue_wait_seconds;
-      ++started;
+      c_queue_wait_sum->Add(st.queue_wait_seconds);
+      c_started->Increment();
     }
     if (st.outcome != RequestOutcome::kServed &&
         st.outcome != RequestOutcome::kServedDegraded) {
       // Rejection-reason breakdown keyed on the terminal status code.
       switch (st.status.code()) {
         case StatusCode::kResourceExhausted:
-          ++s.rejections.queue_full;
+          c_rej_queue_full->Increment();
           if (st.retry_after_seconds > 0.0) {
-            retry_after_sum += st.retry_after_seconds;
-            ++retry_after_count;
+            c_rej_hint_sum->Add(st.retry_after_seconds);
+            c_rej_hints->Increment();
           }
           break;
         case StatusCode::kDeadlineExceeded:
-          ++s.rejections.deadline_expired;
+          c_rej_deadline->Increment();
           break;
         case StatusCode::kUnavailable:
-          ++s.rejections.backend_unavailable;
+          c_rej_unavailable->Increment();
           break;
         case StatusCode::kCancelled:
-          ++s.rejections.cancelled;
+          c_rej_cancelled->Increment();
           break;
         default:
-          ++s.rejections.other;
+          c_rej_other->Increment();
           break;
       }
     } else if (st.cluster.replica >= 0) {
-      size_t r = static_cast<size_t>(st.cluster.replica);
-      if (s.served_per_replica.size() <= r) {
-        s.served_per_replica.resize(r + 1, 0);
-      }
-      ++s.served_per_replica[r];
+      h_served->ObserveIndex(static_cast<size_t>(st.cluster.replica));
     }
-    s.retry += st.retry;
-    s.ledger += st.ledger;
-    s.prefix_cache += st.prefix_cache;
-    s.batch += st.batch;
-    s.cluster += st.cluster;
+    // Any outcome that reached a replica lands here — the consistent
+    // per-replica view (see ServeSummary::finished_per_replica).
+    if (st.cluster.replica >= 0) {
+      h_finished->ObserveIndex(static_cast<size_t>(st.cluster.replica));
+    }
+    PublishRetryStats(st.retry, reg, "serve.retry.");
+    PublishTokenLedger(st.ledger, reg, "serve.ledger.");
+    PublishPrefixCacheStats(st.prefix_cache, reg, "serve.prefix_cache.");
+    PublishBatchStats(st.batch, reg, "serve.batch.");
+    PublishClusterStats(st.cluster, reg, "serve.cluster.");
   }
   std::sort(latencies.begin(), latencies.end());
   std::sort(queue_waits.begin(), queue_waits.end());
   std::sort(service_times.begin(), service_times.end());
-  s.p50_latency_seconds = SortedQuantile(latencies, 0.50);
-  s.p99_latency_seconds = SortedQuantile(latencies, 0.99);
-  s.p50_queue_wait_seconds = SortedQuantile(queue_waits, 0.50);
-  s.p95_queue_wait_seconds = SortedQuantile(queue_waits, 0.95);
-  s.p99_queue_wait_seconds = SortedQuantile(queue_waits, 0.99);
-  s.p50_service_seconds = SortedQuantile(service_times, 0.50);
-  s.p95_service_seconds = SortedQuantile(service_times, 0.95);
-  s.p99_service_seconds = SortedQuantile(service_times, 0.99);
-  s.mean_queue_wait_seconds =
-      started > 0 ? queue_wait / static_cast<double>(started) : 0.0;
-  s.rejections.mean_retry_after_seconds =
-      retry_after_count > 0
-          ? retry_after_sum / static_cast<double>(retry_after_count)
-          : 0.0;
+  reg->GetGauge("serve.p50_latency_seconds")
+      ->Set(util::NearestRankQuantileSorted(latencies, 0.50));
+  reg->GetGauge("serve.p99_latency_seconds")
+      ->Set(util::NearestRankQuantileSorted(latencies, 0.99));
+  reg->GetGauge("serve.p50_queue_wait_seconds")
+      ->Set(util::NearestRankQuantileSorted(queue_waits, 0.50));
+  reg->GetGauge("serve.p95_queue_wait_seconds")
+      ->Set(util::NearestRankQuantileSorted(queue_waits, 0.95));
+  reg->GetGauge("serve.p99_queue_wait_seconds")
+      ->Set(util::NearestRankQuantileSorted(queue_waits, 0.99));
+  reg->GetGauge("serve.p50_service_seconds")
+      ->Set(util::NearestRankQuantileSorted(service_times, 0.50));
+  reg->GetGauge("serve.p95_service_seconds")
+      ->Set(util::NearestRankQuantileSorted(service_times, 0.95));
+  reg->GetGauge("serve.p99_service_seconds")
+      ->Set(util::NearestRankQuantileSorted(service_times, 0.99));
+  {
+    // Mean over this call's requests only: subtract what the shared
+    // registry already held (exact when it held nothing).
+    const double started =
+        c_started->value() - before.Value("serve.requests_started");
+    const double wait_sum = c_queue_wait_sum->value() -
+                            before.Value("serve.queue_wait_seconds_sum");
+    reg->GetGauge("serve.mean_queue_wait_seconds")
+        ->Set(started > 0.0 ? wait_sum / started : 0.0);
+  }
+
+  // The summary is a view over what was just published: every field
+  // below reads the snapshot delta, not a side accumulator.
+  const util::MetricsSnapshot delta = reg->Snapshot().Delta(before);
+  ServeSummary s;
+  s.total = static_cast<size_t>(delta.Value("serve.total"));
+  s.served = static_cast<size_t>(delta.Value("serve.served"));
+  s.served_degraded =
+      static_cast<size_t>(delta.Value("serve.served_degraded"));
+  s.shed_queue_full =
+      static_cast<size_t>(delta.Value("serve.shed_queue_full"));
+  s.shed_expired = static_cast<size_t>(delta.Value("serve.shed_expired"));
+  s.cancelled_drain =
+      static_cast<size_t>(delta.Value("serve.cancelled_drain"));
+  s.failed = static_cast<size_t>(delta.Value("serve.failed"));
+  s.hedges_fired = static_cast<size_t>(delta.Value("serve.hedges_fired"));
+  s.hedge_wins = static_cast<size_t>(delta.Value("serve.hedge_wins"));
+  s.tier_llm_full = static_cast<size_t>(delta.Value("serve.tier_llm_full"));
+  s.tier_llm_reduced =
+      static_cast<size_t>(delta.Value("serve.tier_llm_reduced"));
+  s.tier_classical =
+      static_cast<size_t>(delta.Value("serve.tier_classical"));
+  s.tier_shed = static_cast<size_t>(delta.Value("serve.tier_shed"));
+  s.p50_latency_seconds = delta.Value("serve.p50_latency_seconds");
+  s.p99_latency_seconds = delta.Value("serve.p99_latency_seconds");
+  s.mean_queue_wait_seconds = delta.Value("serve.mean_queue_wait_seconds");
+  s.p50_queue_wait_seconds = delta.Value("serve.p50_queue_wait_seconds");
+  s.p95_queue_wait_seconds = delta.Value("serve.p95_queue_wait_seconds");
+  s.p99_queue_wait_seconds = delta.Value("serve.p99_queue_wait_seconds");
+  s.p50_service_seconds = delta.Value("serve.p50_service_seconds");
+  s.p95_service_seconds = delta.Value("serve.p95_service_seconds");
+  s.p99_service_seconds = delta.Value("serve.p99_service_seconds");
+  s.retry = lm::RetryStatsFromSnapshot(delta, "serve.retry.");
+  s.ledger = TokenLedgerFromSnapshot(delta, "serve.ledger.");
+  s.prefix_cache =
+      lm::PrefixCacheStatsFromSnapshot(delta, "serve.prefix_cache.");
+  s.batch = batch::BatchStatsFromSnapshot(delta, "serve.batch.");
+  s.cluster = ClusterStatsFromSnapshot(delta, "serve.cluster.");
+  s.rejections = RejectionBreakdownFromSnapshot(delta, "serve.rejections.");
+  s.served_per_replica =
+      BucketsToCounts(delta.Find("serve.served_per_replica"));
+  s.finished_per_replica =
+      BucketsToCounts(delta.Find("serve.finished_per_replica"));
   return s;
 }
 
@@ -495,8 +716,7 @@ Result<std::vector<ServeStats>> ServeExecutor::Run(
   }
 
   end_seconds_ = now;
-  queue_stats_ = queue.stats();
-  overload_stats_ = overload.stats();
+  PublishRunMetrics(queue, overload);
   std::sort(stats.begin(), stats.end(),
             [](const ServeStats& a, const ServeStats& b) {
               return a.id < b.id;
@@ -641,13 +861,32 @@ Result<std::vector<ServeStats>> ServeExecutor::RunBatched(
   }
 
   end_seconds_ = now;
-  queue_stats_ = queue.stats();
-  overload_stats_ = overload.stats();
+  PublishRunMetrics(queue, overload);
   std::sort(stats.begin(), stats.end(),
             [](const ServeStats& a, const ServeStats& b) {
               return a.id < b.id;
             });
   return stats;
+}
+
+void ServeExecutor::PublishRunMetrics(const AdmissionQueue& queue,
+                                      const OverloadController& overload) {
+  util::MetricsRegistry* reg = options_.metrics;
+  if (reg == nullptr) {
+    if (own_metrics_ == nullptr) {
+      own_metrics_ = std::make_unique<util::MetricsRegistry>();
+    }
+    reg = own_metrics_.get();
+  }
+  const util::MetricsSnapshot before = reg->Snapshot();
+  queue.PublishMetrics(reg);
+  overload.PublishMetrics(reg);
+  // The accessor structs are views over the registry: this run's
+  // contribution is the snapshot delta (exact integers; the gauges keep
+  // their after value, matching the structs' high-water semantics).
+  const util::MetricsSnapshot delta = reg->Snapshot().Delta(before);
+  queue_stats_ = QueueStatsFromSnapshot(delta, "queue.");
+  overload_stats_ = OverloadStatsFromSnapshot(delta, "overload.");
 }
 
 }  // namespace serve

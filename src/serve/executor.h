@@ -34,6 +34,7 @@
 #include "serve/overload.h"
 #include "serve/queue.h"
 #include "serve/request.h"
+#include "util/metrics.h"
 
 namespace multicast {
 namespace serve {
@@ -108,6 +109,14 @@ struct ServeOptions {
   /// existing runs are untouched. Factories see the assigned rung in
   /// ForecastRequest::tier and must build the matching pipeline.
   OverloadPolicy overload;
+  /// Unified metrics registry (not owned; may be null). When set, the
+  /// executor publishes its queue and overload counters here after each
+  /// Run under the "queue." / "overload." prefixes, and callers
+  /// typically hand the same registry to Summarize() for the "serve."
+  /// rollup — one registry, one export path (see util/metrics.h). Null
+  /// falls back to an executor-private registry; the accessor views
+  /// below are populated from a snapshot either way.
+  util::MetricsRegistry* metrics = nullptr;
 };
 
 enum class RequestOutcome {
@@ -148,6 +157,15 @@ struct ClusterStats {
   }
 };
 
+/// Registry view of ClusterStats: counters under `prefix` (for example
+/// "cluster.failovers"). The per-request `replica` field is routing
+/// state, not a counter — views leave it defaulted (-1).
+void PublishClusterStats(const ClusterStats& stats,
+                         util::MetricsRegistry* registry,
+                         const std::string& prefix);
+ClusterStats ClusterStatsFromSnapshot(const util::MetricsSnapshot& snapshot,
+                                      const std::string& prefix);
+
 /// Terminal-status breakdown of every request that was not served:
 /// *why* the serving layer said no, not just how often. Keyed on the
 /// final Status code, so queue shedding, deadline losses (queued or
@@ -161,14 +179,34 @@ struct RejectionBreakdown {
   size_t other = 0;                ///< any other terminal status
   /// Mean retry-after hint attached to the queue_full rejections that
   /// carried one (0 when none did) — what a well-behaved client was
-  /// told to back off by, on average.
+  /// told to back off by, on average. Derived: retry_after_hint_sum /
+  /// retry_after_hints, kept recomputed by the merge operators.
   double mean_retry_after_seconds = 0.0;
+  /// Sum and count of the positive retry-after hints behind the mean —
+  /// stored so two breakdowns merge into the exact combined mean
+  /// instead of a mean-of-means.
+  double retry_after_hint_sum = 0.0;
+  size_t retry_after_hints = 0;
 
   size_t total() const {
     return queue_full + deadline_expired + backend_unavailable +
            cancelled + other;
   }
+
+  /// Merge: counters and hint sums add; the mean is recomputed.
+  RejectionBreakdown& operator+=(const RejectionBreakdown& other);
+  /// Saturating per-counter delta (`after - before`); the mean is
+  /// recomputed from the delta's own hint sum/count.
+  RejectionBreakdown operator-(const RejectionBreakdown& before) const;
 };
+
+/// Registry view of RejectionBreakdown: counters under `prefix` (for
+/// example "rejections.queue_full").
+void PublishRejectionBreakdown(const RejectionBreakdown& breakdown,
+                               util::MetricsRegistry* registry,
+                               const std::string& prefix);
+RejectionBreakdown RejectionBreakdownFromSnapshot(
+    const util::MetricsSnapshot& snapshot, const std::string& prefix);
 
 /// Everything the serving layer knows about one request's fate.
 struct ServeStats {
@@ -259,11 +297,28 @@ struct ServeSummary {
   /// (`served_per_replica[r]` — empty outside cluster runs).
   ClusterStats cluster;
   std::vector<size_t> served_per_replica;
+  /// Requests whose *final* outcome (served or not) was produced on
+  /// replica r. served_per_replica only counts successes, so a request
+  /// that reached a replica and then failed or overran its deadline
+  /// used to vanish from per-replica counts while still appearing in
+  /// cluster occupancy; this view keeps the two consistent —
+  /// finished_per_replica[r] >= served_per_replica[r] element-wise.
+  std::vector<size_t> finished_per_replica;
 
   size_t shed() const { return shed_queue_full + shed_expired; }
 };
 
 ServeSummary Summarize(const std::vector<ServeStats>& stats);
+
+/// Summarize through a caller-owned registry: every rollup counter is
+/// accumulated under the "serve." prefix in `registry` (null falls back
+/// to a Summarize-private registry) and the returned ServeSummary is
+/// populated *from the resulting snapshot* — the summary struct is a
+/// thin view, and --metrics-json exports exactly what it was built
+/// from. Accumulation order is request order, so double-valued sums are
+/// bit-identical to the historical struct-merge loop.
+ServeSummary Summarize(const std::vector<ServeStats>& stats,
+                       util::MetricsRegistry* registry);
 
 /// See file comment.
 class ServeExecutor {
@@ -295,10 +350,18 @@ class ServeExecutor {
   /// already validated and sorted by arrival.
   Result<std::vector<ServeStats>> RunBatched(
       std::vector<ForecastRequest> requests);
+  /// Publishes one finished run's queue/overload counters into the
+  /// metrics registry (options_.metrics or the private fallback) and
+  /// refreshes the snapshot-backed accessor views.
+  void PublishRunMetrics(const AdmissionQueue& queue,
+                         const OverloadController& overload);
 
   ForecasterFactory primary_;
   ForecasterFactory hedge_;
   ServeOptions options_;
+  /// Fallback registry when options_.metrics is null, created lazily so
+  /// the accessor views are always snapshot-backed.
+  std::unique_ptr<util::MetricsRegistry> own_metrics_;
   QueueStats queue_stats_;
   OverloadStats overload_stats_;
   double end_seconds_ = 0.0;

@@ -3,10 +3,84 @@
 #include <algorithm>
 #include <vector>
 
+#include "util/quantile.h"
 #include "util/strings.h"
 
 namespace multicast {
 namespace serve {
+
+namespace {
+size_t SaturatingSub(size_t a, size_t b) { return a > b ? a - b : 0; }
+}  // namespace
+
+OverloadStats& OverloadStats::operator+=(const OverloadStats& other) {
+  aimd_rejected += other.aimd_rejected;
+  ladder_rejected += other.ladder_rejected;
+  demoted_reduced += other.demoted_reduced;
+  demoted_classical += other.demoted_classical;
+  escalations += other.escalations;
+  recoveries += other.recoveries;
+  peak_level = std::max(peak_level, other.peak_level);
+  final_limit = std::max(final_limit, other.final_limit);
+  return *this;
+}
+
+OverloadStats OverloadStats::operator-(const OverloadStats& before) const {
+  OverloadStats delta;
+  delta.aimd_rejected = SaturatingSub(aimd_rejected, before.aimd_rejected);
+  delta.ladder_rejected =
+      SaturatingSub(ladder_rejected, before.ladder_rejected);
+  delta.demoted_reduced =
+      SaturatingSub(demoted_reduced, before.demoted_reduced);
+  delta.demoted_classical =
+      SaturatingSub(demoted_classical, before.demoted_classical);
+  delta.escalations = SaturatingSub(escalations, before.escalations);
+  delta.recoveries = SaturatingSub(recoveries, before.recoveries);
+  // High-water marks do not subtract; the delta keeps the after value.
+  delta.peak_level = peak_level;
+  delta.final_limit = final_limit;
+  return delta;
+}
+
+void PublishOverloadStats(const OverloadStats& stats,
+                          util::MetricsRegistry* registry,
+                          const std::string& prefix) {
+  registry->GetCounter(prefix + "aimd_rejected")
+      ->Add(static_cast<double>(stats.aimd_rejected));
+  registry->GetCounter(prefix + "ladder_rejected")
+      ->Add(static_cast<double>(stats.ladder_rejected));
+  registry->GetCounter(prefix + "demoted_reduced")
+      ->Add(static_cast<double>(stats.demoted_reduced));
+  registry->GetCounter(prefix + "demoted_classical")
+      ->Add(static_cast<double>(stats.demoted_classical));
+  registry->GetCounter(prefix + "escalations")
+      ->Add(static_cast<double>(stats.escalations));
+  registry->GetCounter(prefix + "recoveries")
+      ->Add(static_cast<double>(stats.recoveries));
+  registry->GetGauge(prefix + "peak_level")
+      ->SetMax(static_cast<double>(stats.peak_level));
+  registry->GetGauge(prefix + "final_limit")->SetMax(stats.final_limit);
+}
+
+OverloadStats OverloadStatsFromSnapshot(const util::MetricsSnapshot& snapshot,
+                                        const std::string& prefix) {
+  OverloadStats stats;
+  stats.aimd_rejected =
+      static_cast<size_t>(snapshot.Value(prefix + "aimd_rejected"));
+  stats.ladder_rejected =
+      static_cast<size_t>(snapshot.Value(prefix + "ladder_rejected"));
+  stats.demoted_reduced =
+      static_cast<size_t>(snapshot.Value(prefix + "demoted_reduced"));
+  stats.demoted_classical =
+      static_cast<size_t>(snapshot.Value(prefix + "demoted_classical"));
+  stats.escalations =
+      static_cast<size_t>(snapshot.Value(prefix + "escalations"));
+  stats.recoveries =
+      static_cast<size_t>(snapshot.Value(prefix + "recoveries"));
+  stats.peak_level = static_cast<int>(snapshot.Value(prefix + "peak_level"));
+  stats.final_limit = snapshot.Value(prefix + "final_limit");
+  return stats;
+}
 
 OverloadController::OverloadController(const OverloadPolicy& policy,
                                        size_t queue_capacity)
@@ -25,9 +99,11 @@ double OverloadController::Score(size_t queue_depth) const {
     waits.reserve(waits_.size());
     for (const auto& w : waits_) waits.push_back(w.second);
     std::sort(waits.begin(), waits.end());
-    size_t rank = (waits.size() * 95 + 99) / 100;  // ceil, nearest-rank
-    if (rank == 0) rank = 1;
-    const double p95 = waits[std::min(rank, waits.size()) - 1];
+    // Shared nearest-rank estimator — the same p95 the serve summary
+    // reports, so the ladder and the report can never disagree on one
+    // window (they used to: this file computed the exact integer rank
+    // while the summary's floating-point ceil overshot at n = 20, 40...).
+    const double p95 = util::NearestRankQuantileSorted(waits, 0.95);
     score = std::max(score, p95 / l.wait_budget_seconds);
   }
   const size_t offered = admits_.size() + sheds_.size();

@@ -40,9 +40,11 @@
 
 #include <cstddef>
 #include <deque>
+#include <string>
 #include <utility>
 
 #include "serve/request.h"
+#include "util/metrics.h"
 #include "util/status.h"
 
 namespace multicast {
@@ -102,7 +104,22 @@ struct OverloadStats {
   size_t recoveries = 0;          ///< downward (hysteretic) moves
   int peak_level = 0;             ///< highest pressure level reached
   double final_limit = 0.0;       ///< AIMD limit when the run ended
+
+  /// Merge: counters add; peak_level and final_limit take the max (two
+  /// controllers' high-water marks combine as a fleet high-water mark).
+  OverloadStats& operator+=(const OverloadStats& other);
+  /// Saturating per-counter delta (`after - before`); peak_level and
+  /// final_limit keep the after value (high-water marks do not subtract).
+  OverloadStats operator-(const OverloadStats& before) const;
 };
+
+/// Registry view of OverloadStats: counters under `prefix` (for example
+/// "overload.aimd_rejected"), peak_level / final_limit as max-gauges.
+void PublishOverloadStats(const OverloadStats& stats,
+                          util::MetricsRegistry* registry,
+                          const std::string& prefix);
+OverloadStats OverloadStatsFromSnapshot(const util::MetricsSnapshot& snapshot,
+                                        const std::string& prefix);
 
 /// See file comment. Single-threaded and deterministic, like the rest
 /// of the serving simulation; one instance per executor run.
@@ -134,6 +151,12 @@ class OverloadController {
   int level() const { return level_; }
   double limit() const { return limit_; }
   const OverloadStats& stats() const { return stats_; }
+  /// Publishes the counters into `registry` under `prefix` (the unified
+  /// metrics export path; see util/metrics.h).
+  void PublishMetrics(util::MetricsRegistry* registry,
+                      const std::string& prefix = "overload.") const {
+    PublishOverloadStats(stats_, registry, prefix);
+  }
 
  private:
   /// Pressure score >= 0 (1.0 = saturated) from the three observables.

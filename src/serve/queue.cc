@@ -9,6 +9,41 @@
 namespace multicast {
 namespace serve {
 
+void PublishQueueStats(const QueueStats& stats,
+                       util::MetricsRegistry* registry,
+                       const std::string& prefix) {
+  registry->GetCounter(prefix + "offered")
+      ->Add(static_cast<double>(stats.offered));
+  registry->GetCounter(prefix + "admitted")
+      ->Add(static_cast<double>(stats.admitted));
+  registry->GetCounter(prefix + "rejected_full")
+      ->Add(static_cast<double>(stats.rejected_full));
+  registry->GetCounter(prefix + "rejected_closed")
+      ->Add(static_cast<double>(stats.rejected_closed));
+  registry->GetCounter(prefix + "dropped_expired")
+      ->Add(static_cast<double>(stats.dropped_expired));
+  registry->GetCounter(prefix + "popped")
+      ->Add(static_cast<double>(stats.popped));
+  registry->GetGauge(prefix + "max_depth")
+      ->SetMax(static_cast<double>(stats.max_depth));
+}
+
+QueueStats QueueStatsFromSnapshot(const util::MetricsSnapshot& snapshot,
+                                  const std::string& prefix) {
+  QueueStats stats;
+  stats.offered = static_cast<size_t>(snapshot.Value(prefix + "offered"));
+  stats.admitted = static_cast<size_t>(snapshot.Value(prefix + "admitted"));
+  stats.rejected_full =
+      static_cast<size_t>(snapshot.Value(prefix + "rejected_full"));
+  stats.rejected_closed =
+      static_cast<size_t>(snapshot.Value(prefix + "rejected_closed"));
+  stats.dropped_expired =
+      static_cast<size_t>(snapshot.Value(prefix + "dropped_expired"));
+  stats.popped = static_cast<size_t>(snapshot.Value(prefix + "popped"));
+  stats.max_depth = static_cast<size_t>(snapshot.Value(prefix + "max_depth"));
+  return stats;
+}
+
 const char* QueueOrderName(QueueOrder order) {
   switch (order) {
     case QueueOrder::kFifo:
@@ -85,9 +120,14 @@ bool AdmissionQueue::Pop(double now, ForecastRequest* out,
 double AdmissionQueue::RetryAfterSeconds() const {
   if (pop_times_.size() < 2) return policy_.retry_after_default_seconds;
   // Mean inter-pop gap over the recent drain history: one pop frees one
-  // slot, so a shed caller can expect room in about one gap.
+  // slot, so a shed caller can expect room in about one gap. Pop times
+  // are nondecreasing, so a zero span means every recent pop happened
+  // at one virtual instant — the queue is draining as fast as it can —
+  // and the honest hint is "retry immediately", not the default (which
+  // told callers to wait longest exactly when the queue drained
+  // fastest).
   const double span = pop_times_.back() - pop_times_.front();
-  if (span <= 0.0) return policy_.retry_after_default_seconds;
+  if (span <= 0.0) return 0.0;
   return span / static_cast<double>(pop_times_.size() - 1);
 }
 

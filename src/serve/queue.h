@@ -14,9 +14,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <vector>
 
 #include "serve/request.h"
+#include "util/metrics.h"
 #include "util/status.h"
 
 namespace multicast {
@@ -51,6 +53,14 @@ struct QueueStats {
   size_t popped = 0;           ///< handed to a worker
   size_t max_depth = 0;        ///< high-water mark of the buffer
 };
+
+/// Registry view of QueueStats: counters under `prefix` (for example
+/// "queue.offered"), max_depth as a max-gauge.
+void PublishQueueStats(const QueueStats& stats,
+                       util::MetricsRegistry* registry,
+                       const std::string& prefix);
+QueueStats QueueStatsFromSnapshot(const util::MetricsSnapshot& snapshot,
+                                  const std::string& prefix);
 
 /// See file comment. Deterministic and single-threaded, like the rest
 /// of the serving simulation. Pops are O(1) under FIFO (a deque) and
@@ -92,6 +102,12 @@ class AdmissionQueue {
   bool empty() const { return depth() == 0; }
   const QueuePolicy& policy() const { return policy_; }
   const QueueStats& stats() const { return stats_; }
+  /// Publishes the counters into `registry` under `prefix` (the unified
+  /// metrics export path; see util/metrics.h).
+  void PublishMetrics(util::MetricsRegistry* registry,
+                      const std::string& prefix = "queue.") const {
+    PublishQueueStats(stats_, registry, prefix);
+  }
 
  private:
   /// One waiting request in the EDF heap. `seq` is the admission order

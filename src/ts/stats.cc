@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/quantile.h"
+
 namespace multicast {
 namespace ts {
 
@@ -80,14 +82,11 @@ double Autocorrelation(const std::vector<double>& values, size_t lag) {
 }
 
 double Quantile(std::vector<double> values, double q) {
-  if (values.empty()) return 0.0;
-  q = std::clamp(q, 0.0, 1.0);
+  // Linear interpolation between order statistics — intentionally a
+  // different estimator than the serving layer's nearest-rank quantile;
+  // both now live in util/quantile.h as the single implementation.
   std::sort(values.begin(), values.end());
-  double pos = q * static_cast<double>(values.size() - 1);
-  size_t lo = static_cast<size_t>(std::floor(pos));
-  size_t hi = static_cast<size_t>(std::ceil(pos));
-  double frac = pos - static_cast<double>(lo);
-  return values[lo] * (1.0 - frac) + values[hi] * frac;
+  return util::InterpolatedQuantileSorted(values, q);
 }
 
 double Median(std::vector<double> values) {

@@ -1,0 +1,40 @@
+#include "util/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace multicast {
+namespace util {
+
+double NearestRankQuantileSorted(const std::vector<double>& sorted,
+                                 double q) {
+  if (sorted.empty()) return 0.0;
+  const double n = static_cast<double>(sorted.size());
+  // ceil with an absolute tolerance: 0.07 * 100 evaluates to slightly
+  // above 7 in binary floating point, and a raw ceil would jump to
+  // rank 8. Any real q*n this close to an integer is an exact rank.
+  const double pos = std::clamp(q, 0.0, 1.0) * n;
+  size_t rank = static_cast<size_t>(std::ceil(pos - 1e-9));
+  if (rank == 0) rank = 1;
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank - 1];
+}
+
+double NearestRankQuantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  return NearestRankQuantileSorted(values, q);
+}
+
+double InterpolatedQuantileSorted(const std::vector<double>& sorted,
+                                  double q) {
+  if (sorted.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(pos));
+  const size_t hi = static_cast<size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace util
+}  // namespace multicast

@@ -460,6 +460,52 @@ TEST(ClusterChaosTest, AllReplicasPermanentlyDeadFailsUnavailable) {
 }
 
 // ---------------------------------------------------------------------
+// Bugfix regression: a request that terminally fails *on* a replica
+// keeps that replica's attribution, so it still shows up in the
+// per-replica rollups instead of vanishing.
+// ---------------------------------------------------------------------
+
+TEST(ClusterChaosTest, FailedRequestKeepsReplicaAttribution) {
+  ts::Frame history = History(24);
+  std::vector<Replica> fleet = MakeUniformReplicas(
+      {.replicas = 2, .slots = 1, .prefix_cache_capacity = 0});
+  ClusterOptions options;
+  options.queue.capacity = 16;
+  ClusterExecutor executor(ScriptedFactory(/*service_seconds=*/2.0),
+                           nullptr, std::move(fleet), options);
+  // Requests 0 and 1 occupy both replicas and run to completion at
+  // t=2, past their t=1 deadlines — terminal failures produced *on* a
+  // node. Request 2 expires in the queue and never reaches one.
+  auto stats_or = executor.Run({Req(0, 0.0, 1.0, &history),
+                                Req(1, 0.0, 1.0, &history),
+                                Req(2, 0.0, 1.0, &history)});
+  ASSERT_TRUE(stats_or.ok()) << stats_or.status().ToString();
+  const std::vector<serve::ServeStats>& stats = stats_or.value();
+  ASSERT_EQ(stats.size(), 3u);
+  EXPECT_EQ(stats[0].outcome, serve::RequestOutcome::kFailed);
+  EXPECT_EQ(stats[1].outcome, serve::RequestOutcome::kFailed);
+  EXPECT_EQ(stats[0].status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(stats[1].status.code(), StatusCode::kDeadlineExceeded);
+  // The bug: the terminal-failure path dropped the replica id, so
+  // requests 0 and 1 vanished from every per-replica view even though
+  // each burnt two full seconds of a specific node's slot.
+  EXPECT_EQ(stats[0].cluster.replica, 0);
+  EXPECT_EQ(stats[1].cluster.replica, 1);
+  EXPECT_EQ(stats[2].cluster.replica, -1);
+
+  serve::ServeSummary summary = serve::Summarize(stats);
+  // finished_per_replica counts every request that reached a node,
+  // whatever its fate; served_per_replica only the successes. Nothing
+  // was served here, but both failures are attributed.
+  ASSERT_EQ(summary.finished_per_replica.size(), 2u);
+  EXPECT_EQ(summary.finished_per_replica[0], 1u);
+  EXPECT_EQ(summary.finished_per_replica[1], 1u);
+  for (size_t r = 0; r < summary.served_per_replica.size(); ++r) {
+    EXPECT_EQ(summary.served_per_replica[r], 0u);
+  }
+}
+
+// ---------------------------------------------------------------------
 // Invariant 1: full shape or correct terminal status, over seeded
 // fleet-wide chaos schedules.
 // ---------------------------------------------------------------------
@@ -527,6 +573,15 @@ TEST(ClusterChaosTest, SeededChaosFullShapeOrCorrectStatusInvariant) {
               24u);
     EXPECT_EQ(summary.rejections.total(),
               24u - summary.served - summary.served_degraded);
+    // Per-replica views stay consistent under chaos: every success that
+    // reached a node is also finished there, element-wise.
+    ASSERT_GE(summary.finished_per_replica.size(),
+              summary.served_per_replica.size());
+    for (size_t r = 0; r < summary.served_per_replica.size(); ++r) {
+      EXPECT_GE(summary.finished_per_replica[r],
+                summary.served_per_replica[r])
+          << "replica " << r;
+    }
   }
 }
 

@@ -1,0 +1,610 @@
+// Unified metrics registry: primitives, snapshot arithmetic, the single
+// export path, the one-quantile-implementation regression, and the
+// struct views (Publish / FromSnapshot round-trips plus the merge
+// operators' properties the registry semantics mirror).
+
+#include "util/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "batch/batch_scheduler.h"
+#include "lm/prefix_cache.h"
+#include "lm/resilient_backend.h"
+#include "serve/executor.h"
+#include "serve/overload.h"
+#include "serve/queue.h"
+#include "ts/stats.h"
+#include "util/quantile.h"
+
+namespace multicast {
+namespace util {
+namespace {
+
+// ---------------------------------------------------------------------
+// Registry primitives.
+// ---------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, FirstTouchOrderIsSnapshotOrder) {
+  MetricsRegistry registry;
+  registry.GetCounter("b");
+  registry.GetCounter("a");
+  registry.GetGauge("g");
+  registry.GetHistogram("h");
+  MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.points().size(), 4u);
+  EXPECT_EQ(snapshot.points()[0].name, "b");
+  EXPECT_EQ(snapshot.points()[1].name, "a");
+  EXPECT_EQ(snapshot.points()[2].name, "g");
+  EXPECT_EQ(snapshot.points()[3].name, "h");
+  // Handles are stable: re-requesting a name returns the same object.
+  EXPECT_EQ(registry.GetCounter("b"), registry.GetCounter("b"));
+  EXPECT_EQ(registry.size(), 4u);
+}
+
+TEST(MetricsRegistryTest, CounterAddsAndGaugeKeepsHighWaterMark) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("c");
+  c->Increment();
+  c->Add(2.5);
+  EXPECT_DOUBLE_EQ(c->value(), 3.5);
+  Gauge* g = registry.GetGauge("g");
+  g->Set(4.0);
+  g->SetMax(2.0);  // lower: ignored
+  EXPECT_DOUBLE_EQ(g->value(), 4.0);
+  g->SetMax(7.0);  // higher: raises the mark
+  EXPECT_DOUBLE_EQ(g->value(), 7.0);
+}
+
+TEST(MetricsRegistryTest, FixedBoundHistogramBucketsByBoundary) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("latency", {1.0, 2.0});
+  h->Observe(0.5);  // <= 1.0
+  h->Observe(1.0);  // <= 1.0 (boundary is inclusive)
+  h->Observe(1.5);  // <= 2.0
+  h->Observe(99.0);  // overflow
+  EXPECT_EQ(h->buckets(), (std::vector<uint64_t>{2, 1, 1}));
+  EXPECT_DOUBLE_EQ(h->sum(), 102.0);
+  EXPECT_EQ(h->count(), 4u);
+}
+
+TEST(MetricsRegistryTest, IndexedHistogramGrowsAndZeroCountExtends) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("occupancy");
+  h->ObserveIndex(2, 5);
+  EXPECT_EQ(h->buckets(), (std::vector<uint64_t>{0, 0, 5}));
+  // A zero-count observation extends the vector without counting —
+  // the occupancy-length-preserving behaviour the struct views need.
+  h->ObserveIndex(4, 0);
+  EXPECT_EQ(h->buckets(), (std::vector<uint64_t>{0, 0, 5, 0, 0}));
+  EXPECT_EQ(h->count(), 5u);
+  EXPECT_DOUBLE_EQ(h->sum(), 10.0);  // 2 * 5
+}
+
+// ---------------------------------------------------------------------
+// Snapshot arithmetic: Merge and Delta.
+// ---------------------------------------------------------------------
+
+MetricsSnapshot MakeSnapshot(double counter, double gauge,
+                             std::vector<uint64_t> buckets) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Add(counter);
+  registry.GetGauge("g")->Set(gauge);
+  Histogram* h = registry.GetHistogram("h");
+  for (size_t i = 0; i < buckets.size(); ++i) h->ObserveIndex(i, buckets[i]);
+  return registry.Snapshot();
+}
+
+TEST(MetricsSnapshotTest, FindAndValue) {
+  MetricsSnapshot snapshot = MakeSnapshot(3.0, 9.0, {1});
+  EXPECT_DOUBLE_EQ(snapshot.Value("c"), 3.0);
+  EXPECT_DOUBLE_EQ(snapshot.Value("absent"), 0.0);
+  ASSERT_NE(snapshot.Find("h"), nullptr);
+  EXPECT_EQ(snapshot.Find("h")->kind, MetricKind::kHistogram);
+  EXPECT_EQ(snapshot.Find("absent"), nullptr);
+}
+
+TEST(MetricsSnapshotTest, MergeAddsMaxesAndCombinesRaggedHistograms) {
+  MetricsSnapshot a = MakeSnapshot(2.0, 5.0, {1, 2});
+  MetricsSnapshot b = MakeSnapshot(3.0, 4.0, {1, 1, 7});
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.Value("c"), 5.0);  // counters add
+  EXPECT_DOUBLE_EQ(a.Value("g"), 5.0);  // gauges take the max
+  const MetricPoint* h = a.Find("h");
+  ASSERT_NE(h, nullptr);
+  // Ragged bucket vectors: the shorter side is zero-extended.
+  EXPECT_EQ(h->buckets, (std::vector<uint64_t>{2, 3, 7}));
+  EXPECT_EQ(h->count, 12u);  // 3 observations + 9 observations
+}
+
+TEST(MetricsSnapshotTest, MergeAppendsUnknownPointsInOrder) {
+  MetricsSnapshot a = MakeSnapshot(1.0, 1.0, {});
+  MetricsRegistry other;
+  other.GetCounter("z")->Add(9.0);
+  a.Merge(other.Snapshot());
+  ASSERT_EQ(a.points().size(), 4u);
+  EXPECT_EQ(a.points().back().name, "z");
+  EXPECT_DOUBLE_EQ(a.Value("z"), 9.0);
+}
+
+TEST(MetricsSnapshotTest, DeltaSaturatesCountersAndKeepsGaugeAfter) {
+  MetricsSnapshot before = MakeSnapshot(5.0, 9.0, {4, 4});
+  MetricsSnapshot after = MakeSnapshot(7.0, 3.0, {6, 2});
+  MetricsSnapshot delta = after.Delta(before);
+  EXPECT_DOUBLE_EQ(delta.Value("c"), 2.0);
+  // A high-water mark has no meaningful difference: keep the after.
+  EXPECT_DOUBLE_EQ(delta.Value("g"), 3.0);
+  const MetricPoint* h = delta.Find("h");
+  ASSERT_NE(h, nullptr);
+  // Bucket 1 went 4 -> 2: saturates at zero instead of underflowing.
+  EXPECT_EQ(h->buckets, (std::vector<uint64_t>{2, 0}));
+}
+
+TEST(MetricsSnapshotTest, DeltaPassesThroughPointsAbsentFromBefore) {
+  MetricsSnapshot before;
+  MetricsSnapshot after = MakeSnapshot(7.0, 3.0, {1});
+  MetricsSnapshot delta = after.Delta(before);
+  EXPECT_DOUBLE_EQ(delta.Value("c"), 7.0);
+  EXPECT_DOUBLE_EQ(delta.Value("g"), 3.0);
+}
+
+// ---------------------------------------------------------------------
+// The single export path: MetricsJson / WriteMetricsJson / ToTable.
+// ---------------------------------------------------------------------
+
+TEST(MetricsExportTest, JsonCarriesEveryKind) {
+  MetricsSnapshot snapshot = MakeSnapshot(3.0, 9.5, {1, 0, 2});
+  std::string json = MetricsJson(snapshot);
+  EXPECT_NE(json.find("{\"name\": \"c\", \"kind\": \"counter\", "
+                      "\"value\": 3}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"kind\": \"gauge\", \"value\": 9.5"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"buckets\": [1, 0, 2]"), std::string::npos) << json;
+}
+
+TEST(MetricsExportTest, WriteMetricsJsonEmitsSections) {
+  const std::string path = "metrics_registry_test_artifact.json";
+  std::vector<std::pair<std::string, MetricsSnapshot>> sections;
+  sections.emplace_back("alpha", MakeSnapshot(1.0, 2.0, {3}));
+  sections.emplace_back("beta", MakeSnapshot(4.0, 5.0, {}));
+  ASSERT_TRUE(WriteMetricsJson(path, sections).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  std::remove(path.c_str());
+  EXPECT_NE(text.find("\"sections\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\": \"alpha\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\": \"beta\""), std::string::npos);
+  // Section order is caller order; alpha's metrics precede beta's.
+  EXPECT_LT(text.find("\"alpha\""), text.find("\"beta\""));
+}
+
+TEST(MetricsExportTest, ToTableListsEveryPointInOrder) {
+  MetricsSnapshot snapshot = MakeSnapshot(3.0, 9.0, {1});
+  std::string table = snapshot.ToTable();
+  size_t c = table.find("c");
+  size_t g = table.find("g");
+  size_t h = table.find("h");
+  EXPECT_NE(c, std::string::npos);
+  EXPECT_NE(g, std::string::npos);
+  EXPECT_NE(h, std::string::npos);
+  EXPECT_LT(c, g);
+  EXPECT_LT(g, h);
+}
+
+// ---------------------------------------------------------------------
+// One quantile implementation (regression for the three divergent
+// copies: FP-ceil nearest-rank, exact-integer nearest-rank, and the
+// interpolated ts:: estimator).
+// ---------------------------------------------------------------------
+
+TEST(QuantileTest, NearestRankMatchesExactIntegerFormForAllSmallN) {
+  for (size_t n = 1; n <= 20; ++n) {
+    std::vector<double> sorted;
+    for (size_t i = 1; i <= n; ++i) sorted.push_back(static_cast<double>(i));
+    for (int p : {50, 90, 95, 99}) {
+      // The overload controller's exact integer nearest-rank:
+      // rank = ceil(p/100 * n) computed without floating point.
+      size_t rank = (n * static_cast<size_t>(p) + 99) / 100;
+      if (rank < 1) rank = 1;
+      const double q = static_cast<double>(p) / 100.0;
+      EXPECT_DOUBLE_EQ(NearestRankQuantileSorted(sorted, q),
+                       sorted[rank - 1])
+          << "n=" << n << " p=" << p;
+      // Brute force from the definition: the smallest order statistic
+      // whose cumulative fraction reaches q.
+      size_t brute = n;
+      for (size_t k = 1; k <= n; ++k) {
+        if (static_cast<double>(k) / static_cast<double>(n) >=
+            q - 1e-12) {
+          brute = k;
+          break;
+        }
+      }
+      EXPECT_DOUBLE_EQ(NearestRankQuantileSorted(sorted, q),
+                       sorted[brute - 1])
+          << "n=" << n << " p=" << p;
+    }
+  }
+}
+
+TEST(QuantileTest, CeilOvershootRegression) {
+  // 0.07 * 100 is mathematically 7, but the product computes to
+  // 7.000000000000001 in binary floating point, so the old
+  // std::ceil(q * n) implementation returned rank 8 instead of rank 7.
+  std::vector<double> sorted;
+  for (int i = 1; i <= 100; ++i) sorted.push_back(static_cast<double>(i));
+  EXPECT_GT(std::ceil(0.07 * 100.0), 7.0);  // the bug's mechanism
+  EXPECT_DOUBLE_EQ(NearestRankQuantileSorted(sorted, 0.07), 7.0);
+  // Exact-integer cross-check at the same point: rank (100*7+99)/100.
+  EXPECT_EQ((100u * 7u + 99u) / 100u, 7u);
+}
+
+TEST(QuantileTest, InterpolatedMatchesTsQuantile) {
+  std::vector<double> values = {5.0, 1.0, 4.0, 2.0, 8.0, 3.0, 9.0};
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (double q : {0.0, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    EXPECT_DOUBLE_EQ(InterpolatedQuantileSorted(sorted, q),
+                     ts::Quantile(values, q))
+        << "q=" << q;
+  }
+}
+
+TEST(QuantileTest, EmptySamplesReturnZero) {
+  EXPECT_DOUBLE_EQ(NearestRankQuantileSorted({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(NearestRankQuantile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(InterpolatedQuantileSorted({}, 0.5), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Struct merge-operator properties (the semantics the registry's Merge
+// and Delta mirror).
+// ---------------------------------------------------------------------
+
+batch::BatchStats MakeBatchStats(size_t base, std::vector<size_t> occupancy) {
+  batch::BatchStats s;
+  s.steps = base;
+  s.slot_steps = base * 2;
+  s.submitted = base + 1;
+  s.admitted = base + 2;
+  s.retired = base + 3;
+  s.backfills = base + 4;
+  s.preemptions = base + 5;
+  s.peak_batch = base + 6;
+  s.occupancy = std::move(occupancy);
+  return s;
+}
+
+TEST(StatsMergeTest, BatchStatsMergeHandlesRaggedOccupancy) {
+  batch::BatchStats a = MakeBatchStats(10, {1, 2});
+  batch::BatchStats b = MakeBatchStats(5, {3, 4, 5});
+  a += b;
+  EXPECT_EQ(a.steps, 15u);
+  EXPECT_EQ(a.peak_batch, 16u);  // max, not sum
+  EXPECT_EQ(a.occupancy, (std::vector<size_t>{4, 6, 5}));
+}
+
+TEST(StatsMergeTest, BatchStatsDeltaSaturates) {
+  batch::BatchStats before = MakeBatchStats(10, {4, 4});
+  batch::BatchStats after = MakeBatchStats(7, {6, 2, 1});
+  batch::BatchStats delta = after - before;
+  EXPECT_EQ(delta.steps, 0u);  // 7 - 10 saturates
+  EXPECT_EQ(delta.occupancy, (std::vector<size_t>{2, 0, 1}));
+}
+
+TEST(StatsMergeTest, BatchStatsEmptyPlusNonemptyIsIdentity) {
+  batch::BatchStats empty;
+  batch::BatchStats x = MakeBatchStats(3, {1, 0, 2});
+  batch::BatchStats merged = empty;
+  merged += x;
+  EXPECT_EQ(merged.steps, x.steps);
+  EXPECT_EQ(merged.peak_batch, x.peak_batch);
+  EXPECT_EQ(merged.occupancy, x.occupancy);
+  batch::BatchStats other = x;
+  other += batch::BatchStats{};
+  EXPECT_EQ(other.steps, x.steps);
+  EXPECT_EQ(other.occupancy, x.occupancy);
+}
+
+TEST(StatsMergeTest, OverloadStatsMergeAddsCountersMaxesMarks) {
+  serve::OverloadStats a;
+  a.aimd_rejected = 2;
+  a.escalations = 1;
+  a.peak_level = 2;
+  a.final_limit = 8.0;
+  serve::OverloadStats b;
+  b.aimd_rejected = 3;
+  b.recoveries = 4;
+  b.peak_level = 1;
+  b.final_limit = 16.0;
+  a += b;
+  EXPECT_EQ(a.aimd_rejected, 5u);
+  EXPECT_EQ(a.escalations, 1u);
+  EXPECT_EQ(a.recoveries, 4u);
+  EXPECT_EQ(a.peak_level, 2);
+  EXPECT_DOUBLE_EQ(a.final_limit, 16.0);
+}
+
+TEST(StatsMergeTest, OverloadStatsDeltaSaturatesAndKeepsMarks) {
+  serve::OverloadStats before;
+  before.aimd_rejected = 5;
+  before.peak_level = 3;
+  before.final_limit = 32.0;
+  serve::OverloadStats after;
+  after.aimd_rejected = 3;  // less than before: saturates
+  after.ladder_rejected = 2;
+  after.peak_level = 1;
+  after.final_limit = 4.0;
+  serve::OverloadStats delta = after - before;
+  EXPECT_EQ(delta.aimd_rejected, 0u);
+  EXPECT_EQ(delta.ladder_rejected, 2u);
+  // High-water marks keep the after value, like gauge deltas.
+  EXPECT_EQ(delta.peak_level, 1);
+  EXPECT_DOUBLE_EQ(delta.final_limit, 4.0);
+}
+
+TEST(StatsMergeTest, OverloadStatsEmptyPlusNonemptyIsIdentity) {
+  serve::OverloadStats x;
+  x.demoted_reduced = 3;
+  x.peak_level = 2;
+  x.final_limit = 12.0;
+  serve::OverloadStats merged;
+  merged += x;
+  EXPECT_EQ(merged.demoted_reduced, 3u);
+  EXPECT_EQ(merged.peak_level, 2);
+  EXPECT_DOUBLE_EQ(merged.final_limit, 12.0);
+}
+
+TEST(StatsMergeTest, RejectionBreakdownMergeRecomputesExactMean) {
+  serve::RejectionBreakdown a;
+  a.queue_full = 2;
+  a.retry_after_hint_sum = 3.0;
+  a.retry_after_hints = 2;
+  a.mean_retry_after_seconds = 1.5;
+  serve::RejectionBreakdown b;
+  b.queue_full = 1;
+  b.retry_after_hint_sum = 4.0;
+  b.retry_after_hints = 1;
+  b.mean_retry_after_seconds = 4.0;
+  a += b;
+  EXPECT_EQ(a.queue_full, 3u);
+  // Exact combined mean 7/3, not the mean-of-means 2.75.
+  EXPECT_DOUBLE_EQ(a.mean_retry_after_seconds, 7.0 / 3.0);
+  EXPECT_EQ(a.total(), 3u);
+}
+
+TEST(StatsMergeTest, RejectionBreakdownDeltaSaturatesAndRederivesMean) {
+  serve::RejectionBreakdown before;
+  before.queue_full = 4;
+  before.cancelled = 2;
+  before.retry_after_hint_sum = 4.0;
+  before.retry_after_hints = 4;
+  serve::RejectionBreakdown after = before;
+  after.queue_full = 6;
+  after.cancelled = 1;  // less than before: saturates
+  after.retry_after_hint_sum = 7.0;
+  after.retry_after_hints = 6;
+  serve::RejectionBreakdown delta = after - before;
+  EXPECT_EQ(delta.queue_full, 2u);
+  EXPECT_EQ(delta.cancelled, 0u);
+  EXPECT_DOUBLE_EQ(delta.retry_after_hint_sum, 3.0);
+  EXPECT_EQ(delta.retry_after_hints, 2u);
+  // The delta's mean comes from its own hint sums, not a difference of
+  // means.
+  EXPECT_DOUBLE_EQ(delta.mean_retry_after_seconds, 1.5);
+}
+
+TEST(StatsMergeTest, RejectionBreakdownEmptyPlusNonemptyIsIdentity) {
+  serve::RejectionBreakdown x;
+  x.deadline_expired = 2;
+  x.retry_after_hint_sum = 5.0;
+  x.retry_after_hints = 2;
+  x.mean_retry_after_seconds = 2.5;
+  serve::RejectionBreakdown merged;
+  merged += x;
+  EXPECT_EQ(merged.deadline_expired, 2u);
+  EXPECT_DOUBLE_EQ(merged.mean_retry_after_seconds, 2.5);
+}
+
+// ---------------------------------------------------------------------
+// Views: Publish into a registry, read back from the snapshot, get the
+// original struct — for every ported stats struct.
+// ---------------------------------------------------------------------
+
+TEST(MetricsViewTest, QueueStatsRoundTrips) {
+  serve::QueueStats s;
+  s.offered = 10;
+  s.admitted = 8;
+  s.rejected_full = 1;
+  s.rejected_closed = 1;
+  s.dropped_expired = 2;
+  s.popped = 6;
+  s.max_depth = 4;
+  MetricsRegistry registry;
+  serve::PublishQueueStats(s, &registry, "queue.");
+  serve::QueueStats back =
+      serve::QueueStatsFromSnapshot(registry.Snapshot(), "queue.");
+  EXPECT_EQ(back.offered, s.offered);
+  EXPECT_EQ(back.admitted, s.admitted);
+  EXPECT_EQ(back.rejected_full, s.rejected_full);
+  EXPECT_EQ(back.rejected_closed, s.rejected_closed);
+  EXPECT_EQ(back.dropped_expired, s.dropped_expired);
+  EXPECT_EQ(back.popped, s.popped);
+  EXPECT_EQ(back.max_depth, s.max_depth);
+}
+
+TEST(MetricsViewTest, RetryStatsRoundTrips) {
+  lm::RetryStats s;
+  s.calls = 5;
+  s.attempts = 9;
+  s.retries = 4;
+  s.successes = 4;
+  s.failures = 1;
+  s.retryable_errors = 3;
+  s.terminal_errors = 1;
+  s.circuit_rejections = 2;
+  s.budget_exhausted = 1;
+  s.cancelled_calls = 1;
+  s.deadline_preempted = 1;
+  s.backoff_seconds = 0.75;
+  s.latency_seconds = 2.25;
+  MetricsRegistry registry;
+  lm::PublishRetryStats(s, &registry, "retry.");
+  lm::RetryStats back =
+      lm::RetryStatsFromSnapshot(registry.Snapshot(), "retry.");
+  EXPECT_EQ(back.calls, s.calls);
+  EXPECT_EQ(back.attempts, s.attempts);
+  EXPECT_EQ(back.retries, s.retries);
+  EXPECT_EQ(back.successes, s.successes);
+  EXPECT_EQ(back.failures, s.failures);
+  EXPECT_EQ(back.retryable_errors, s.retryable_errors);
+  EXPECT_EQ(back.terminal_errors, s.terminal_errors);
+  EXPECT_EQ(back.circuit_rejections, s.circuit_rejections);
+  EXPECT_EQ(back.budget_exhausted, s.budget_exhausted);
+  EXPECT_EQ(back.cancelled_calls, s.cancelled_calls);
+  EXPECT_EQ(back.deadline_preempted, s.deadline_preempted);
+  EXPECT_DOUBLE_EQ(back.backoff_seconds, s.backoff_seconds);
+  EXPECT_DOUBLE_EQ(back.latency_seconds, s.latency_seconds);
+}
+
+TEST(MetricsViewTest, PrefixCacheStatsRoundTrips) {
+  lm::PrefixCacheStats s;
+  s.lookups = 12;
+  s.full_hits = 5;
+  s.prefix_hits = 4;
+  s.misses = 3;
+  s.insertions = 7;
+  s.evictions = 2;
+  s.prompt_tokens_seen = 900;
+  s.prompt_tokens_reused = 700;
+  s.prompt_tokens_replayed = 200;
+  MetricsRegistry registry;
+  lm::PublishPrefixCacheStats(s, &registry, "prefix_cache.");
+  lm::PrefixCacheStats back =
+      lm::PrefixCacheStatsFromSnapshot(registry.Snapshot(), "prefix_cache.");
+  EXPECT_EQ(back.lookups, s.lookups);
+  EXPECT_EQ(back.full_hits, s.full_hits);
+  EXPECT_EQ(back.prefix_hits, s.prefix_hits);
+  EXPECT_EQ(back.misses, s.misses);
+  EXPECT_EQ(back.insertions, s.insertions);
+  EXPECT_EQ(back.evictions, s.evictions);
+  EXPECT_EQ(back.prompt_tokens_seen, s.prompt_tokens_seen);
+  EXPECT_EQ(back.prompt_tokens_reused, s.prompt_tokens_reused);
+  EXPECT_EQ(back.prompt_tokens_replayed, s.prompt_tokens_replayed);
+  EXPECT_EQ(back.hits(), s.hits());
+}
+
+TEST(MetricsViewTest, BatchStatsRoundTrips) {
+  batch::BatchStats s = MakeBatchStats(20, {0, 3, 0, 7});
+  MetricsRegistry registry;
+  batch::PublishBatchStats(s, &registry, "batch.");
+  batch::BatchStats back =
+      batch::BatchStatsFromSnapshot(registry.Snapshot(), "batch.");
+  EXPECT_EQ(back.steps, s.steps);
+  EXPECT_EQ(back.slot_steps, s.slot_steps);
+  EXPECT_EQ(back.submitted, s.submitted);
+  EXPECT_EQ(back.admitted, s.admitted);
+  EXPECT_EQ(back.retired, s.retired);
+  EXPECT_EQ(back.backfills, s.backfills);
+  EXPECT_EQ(back.preemptions, s.preemptions);
+  EXPECT_EQ(back.peak_batch, s.peak_batch);
+  EXPECT_EQ(back.occupancy, s.occupancy);
+  EXPECT_DOUBLE_EQ(back.mean_batch(), s.mean_batch());
+}
+
+TEST(MetricsViewTest, OverloadStatsRoundTrips) {
+  serve::OverloadStats s;
+  s.aimd_rejected = 3;
+  s.ladder_rejected = 2;
+  s.demoted_reduced = 4;
+  s.demoted_classical = 1;
+  s.escalations = 5;
+  s.recoveries = 4;
+  s.peak_level = 3;
+  s.final_limit = 24.0;
+  MetricsRegistry registry;
+  serve::PublishOverloadStats(s, &registry, "overload.");
+  serve::OverloadStats back =
+      serve::OverloadStatsFromSnapshot(registry.Snapshot(), "overload.");
+  EXPECT_EQ(back.aimd_rejected, s.aimd_rejected);
+  EXPECT_EQ(back.ladder_rejected, s.ladder_rejected);
+  EXPECT_EQ(back.demoted_reduced, s.demoted_reduced);
+  EXPECT_EQ(back.demoted_classical, s.demoted_classical);
+  EXPECT_EQ(back.escalations, s.escalations);
+  EXPECT_EQ(back.recoveries, s.recoveries);
+  EXPECT_EQ(back.peak_level, s.peak_level);
+  EXPECT_DOUBLE_EQ(back.final_limit, s.final_limit);
+}
+
+TEST(MetricsViewTest, ClusterStatsRoundTrips) {
+  serve::ClusterStats s;
+  s.replica = 2;  // not published: per-request identity, not a counter
+  s.failovers = 2;
+  s.redispatched_draws = 6;
+  s.wasted_seconds = 1.25;
+  MetricsRegistry registry;
+  serve::PublishClusterStats(s, &registry, "cluster.");
+  serve::ClusterStats back =
+      serve::ClusterStatsFromSnapshot(registry.Snapshot(), "cluster.");
+  EXPECT_EQ(back.replica, -1);
+  EXPECT_EQ(back.failovers, s.failovers);
+  EXPECT_EQ(back.redispatched_draws, s.redispatched_draws);
+  EXPECT_DOUBLE_EQ(back.wasted_seconds, s.wasted_seconds);
+}
+
+TEST(MetricsViewTest, RejectionBreakdownRoundTrips) {
+  serve::RejectionBreakdown s;
+  s.queue_full = 3;
+  s.deadline_expired = 2;
+  s.backend_unavailable = 1;
+  s.cancelled = 4;
+  s.other = 1;
+  s.retry_after_hint_sum = 4.5;
+  s.retry_after_hints = 3;
+  s.mean_retry_after_seconds = 1.5;
+  MetricsRegistry registry;
+  serve::PublishRejectionBreakdown(s, &registry, "rejections.");
+  serve::RejectionBreakdown back = serve::RejectionBreakdownFromSnapshot(
+      registry.Snapshot(), "rejections.");
+  EXPECT_EQ(back.queue_full, s.queue_full);
+  EXPECT_EQ(back.deadline_expired, s.deadline_expired);
+  EXPECT_EQ(back.backend_unavailable, s.backend_unavailable);
+  EXPECT_EQ(back.cancelled, s.cancelled);
+  EXPECT_EQ(back.other, s.other);
+  EXPECT_DOUBLE_EQ(back.retry_after_hint_sum, s.retry_after_hint_sum);
+  EXPECT_EQ(back.retry_after_hints, s.retry_after_hints);
+  // The mean is derived from the published sums.
+  EXPECT_DOUBLE_EQ(back.mean_retry_after_seconds, 1.5);
+  EXPECT_EQ(back.total(), s.total());
+}
+
+TEST(MetricsViewTest, PublishingTwiceAccumulatesLikeMerge) {
+  serve::QueueStats s;
+  s.offered = 3;
+  s.max_depth = 2;
+  MetricsRegistry registry;
+  serve::PublishQueueStats(s, &registry, "queue.");
+  s.max_depth = 5;
+  serve::PublishQueueStats(s, &registry, "queue.");
+  serve::QueueStats back =
+      serve::QueueStatsFromSnapshot(registry.Snapshot(), "queue.");
+  EXPECT_EQ(back.offered, 6u);   // counters add across publishes
+  EXPECT_EQ(back.max_depth, 5u);  // the gauge keeps the high-water mark
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace multicast

@@ -173,6 +173,25 @@ TEST(AdmissionQueueTest, RetryAfterTracksTheDrainRate) {
   EXPECT_NE(shed.message().find("retry after 0.400s"), std::string::npos);
 }
 
+// Regression: every recent pop at one virtual instant (a burst drain)
+// used to quote the *default* hint — telling clients to back off
+// longest exactly when the queue drained fastest. A zero-span history
+// now means "retry immediately".
+TEST(AdmissionQueueTest, RetryAfterZeroSpanBurstMeansRetryNow) {
+  QueuePolicy policy;
+  policy.capacity = 4;
+  policy.retry_after_default_seconds = 1.5;
+  AdmissionQueue queue(policy);
+  ASSERT_TRUE(queue.Offer(Req(0, 0.0, 99.0)).ok());
+  ASSERT_TRUE(queue.Offer(Req(1, 0.0, 99.0)).ok());
+  ASSERT_TRUE(queue.Offer(Req(2, 0.0, 99.0)).ok());
+  ForecastRequest out;
+  ASSERT_TRUE(queue.Pop(2.0, &out, nullptr));
+  ASSERT_TRUE(queue.Pop(2.0, &out, nullptr));
+  ASSERT_TRUE(queue.Pop(2.0, &out, nullptr));
+  EXPECT_DOUBLE_EQ(queue.RetryAfterSeconds(), 0.0);
+}
+
 TEST(AdmissionQueueTest, FlushEmptiesTheBuffer) {
   AdmissionQueue queue(QueuePolicy{});
   ASSERT_TRUE(queue.Offer(Req(0, 0.0, 9.0)).ok());

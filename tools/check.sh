@@ -20,6 +20,8 @@ cmake --build build -j "${JOBS}" --target prefix_cache
 ./build/bench/prefix_cache --smoke
 
 echo "==== bench smoke: continuous batching identity + speedup gates ===="
+# Also gates registry instrumentation: publishing scheduler stats
+# through a live MetricsRegistry must cost < 2% throughput.
 cmake --build build -j "${JOBS}" --target batch_throughput
 ./build/bench/batch_throughput --smoke
 
@@ -51,6 +53,8 @@ if [[ "${run_asan}" == "1" ]]; then
   echo "==== sanitizer pass: ASan + UBSan on serve/lm tests ===="
   cmake -B build-asan -S . -DMC_SANITIZE=ON > /dev/null
   ASAN_TESTS=(
+    metrics_test
+    metrics_registry_test
     virtual_time_test
     serve_queue_test
     serve_executor_test
@@ -78,6 +82,8 @@ if [[ "${run_tsan}" == "1" ]]; then
   cmake -B build-tsan -S . -DMC_SANITIZE_THREAD=ON > /dev/null
   TSAN_TESTS=(
     thread_pool_test
+    metrics_test
+    metrics_registry_test
     prefix_cache_test
     parallel_sampling_test
     multicast_forecaster_test
