@@ -20,8 +20,12 @@
 // decisions are pure arithmetic on virtual-time observables. The 8x
 // ladder cell is run twice and must reproduce bit-for-bit.
 //
-// Run from the repo root: ./build/bench/ablation_overload [--smoke]
-// Writes BENCH_overload.json. Exits non-zero when the ladder's goodput
+// Run from the repo root:
+//   ./build/bench/ablation_overload [--smoke] [--metrics-json [path]]
+// Writes BENCH_overload.json; --metrics-json additionally exports the
+// 8x-ladder gate cell's queue/overload/serve registry snapshot (default
+// BENCH_overload_metrics.json) through the util::WriteMetricsJson path
+// the sims share. Exits non-zero when the ladder's goodput
 // at 8x overload falls below 90%, when the baseline fails to collapse
 // there (the scenario must actually overload), or when the rerun is
 // not bit-identical.
@@ -159,19 +163,26 @@ struct Cell {
   std::vector<double> signature;
 };
 
+// `metrics` (optional) receives the executor's queue/overload counters
+// and the "serve." summary rollup — the same registry wiring serve-sim
+// uses for its --metrics-json export.
 Cell RunCell(const ts::Frame* history, size_t horizon, size_t requests,
-             double base_rate, double load, bool ladder) {
+             double base_rate, double load, bool ladder,
+             util::MetricsRegistry* metrics = nullptr) {
   std::vector<serve::ForecastRequest> trace =
       MakeTrace(history, horizon, requests, base_rate * load);
 
   serve::ServeOptions options;
   options.queue.capacity = 32;
   if (ladder) options.overload = LadderOn();
+  options.metrics = metrics;
   serve::ServeExecutor executor(MakeFactory(1234),
                                 serve::ForecasterFactory(), options);
   std::vector<serve::ServeStats> stats =
       OrDie(executor.Run(std::move(trace)), "overload run");
-  serve::ServeSummary summary = serve::Summarize(stats);
+  serve::ServeSummary summary = metrics != nullptr
+                                    ? serve::Summarize(stats, metrics)
+                                    : serve::Summarize(stats);
 
   Cell cell;
   cell.load = load;
@@ -217,7 +228,7 @@ Cell RunCell(const ts::Frame* history, size_t horizon, size_t requests,
 
 }  // namespace
 
-int Main(bool smoke) {
+int Main(bool smoke, const std::string& metrics_path) {
   const size_t kHorizon = 12;
   const size_t kRequests = smoke ? 48 : 96;
   const double kBaseRate = 2.0;
@@ -262,11 +273,20 @@ int Main(bool smoke) {
   // Determinism: the 8x ladder cell, rerun, must reproduce every
   // outcome, tier, finish time and forecast value bit-for-bit.
   const double kGateLoad = 8.0;
-  Cell first = RunCell(&split.train, kHorizon, kRequests, kBaseRate,
-                       kGateLoad, /*ladder=*/true);
+  // --metrics-json: the first gate run doubles as the exported cell, so
+  // the artifact carries the queue/overload/serve counters of the
+  // headline 8x ladder configuration through the single export path.
+  util::MetricsRegistry registry;
+  Cell first =
+      RunCell(&split.train, kHorizon, kRequests, kBaseRate, kGateLoad,
+              /*ladder=*/true,
+              metrics_path.empty() ? nullptr : &registry);
   Cell rerun = RunCell(&split.train, kHorizon, kRequests, kBaseRate,
                        kGateLoad, /*ladder=*/true);
   const bool identical = first.signature == rerun.signature;
+  if (!metrics_path.empty()) {
+    WriteBenchMetrics(metrics_path, "overload_8x_ladder", registry);
+  }
 
   const double ladder_8x = goodput_by_cell[{kGateLoad, true}];
   const double baseline_8x = goodput_by_cell[{kGateLoad, false}];
@@ -356,8 +376,14 @@ int Main(bool smoke) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  std::string metrics_path;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--metrics-json") == 0) {
+      metrics_path = "BENCH_overload_metrics.json";
+      if (i + 1 < argc && argv[i + 1][0] != '-') metrics_path = argv[++i];
+    }
   }
-  return multicast::bench::Main(smoke);
+  return multicast::bench::Main(smoke, metrics_path);
 }

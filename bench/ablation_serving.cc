@@ -9,9 +9,20 @@
 // received. Section 2 holds the load at 2x and turns on hedged
 // requests under increasing fault rates, showing hedges converting
 // slow/failed primaries into served (possibly degraded) answers.
+//
+// Run from the repo root:
+//   ./build/bench/ablation_serving [--metrics-json [path]]
+// --metrics-json exports one registry section per cell (queue/overload
+// counters plus the "serve." summary rollup, default
+// BENCH_serving_metrics.json) through the util::WriteMetricsJson path
+// the sims share.
 
 #include <cmath>
+#include <cstring>
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "baselines/naive.h"
 #include "bench/bench_common.h"
@@ -108,7 +119,12 @@ double MeanServedRmse(const ts::Split& split,
   return n > 0 ? sum / static_cast<double>(n) : 0.0;
 }
 
-void LoadSweepSection(const ts::Split& split) {
+// `sections` (optional) collects one labelled registry snapshot per
+// cell for the --metrics-json export.
+using MetricsSections =
+    std::vector<std::pair<std::string, util::MetricsSnapshot>>;
+
+void LoadSweepSection(const ts::Split& split, MetricsSections* sections) {
   Banner(
       "Offered-load sweep: VI pipeline, 5% faults, deadline 2s, queue 8");
   // At 5% faults the VI pipeline serves one request in roughly half a
@@ -126,12 +142,20 @@ void LoadSweepSection(const ts::Split& split) {
     trace.seed = 7;
     serve::ServeOptions options;
     options.queue.capacity = 8;
+    util::MetricsRegistry registry;
+    if (sections != nullptr) options.metrics = &registry;
 
     serve::ServeExecutor executor(ViFactory(0.05, /*salt=*/0),
                                   serve::ForecasterFactory(), options);
     std::vector<serve::ServeStats> stats =
         OrDie(executor.Run(BuildRequests(split, trace)), "serve run");
-    serve::ServeSummary summary = serve::Summarize(stats);
+    serve::ServeSummary summary =
+        sections != nullptr ? serve::Summarize(stats, &registry)
+                            : serve::Summarize(stats);
+    if (sections != nullptr) {
+      sections->emplace_back(StrFormat("load_%.1fx", multiplier),
+                             registry.Snapshot());
+    }
     double shed_pct = 100.0 * static_cast<double>(summary.shed()) /
                       static_cast<double>(summary.total);
     table.AddRow({StrFormat("%.1fx", multiplier),
@@ -154,7 +178,7 @@ void LoadSweepSection(const ts::Split& split) {
       "the 2s deadline.\n");
 }
 
-void ChaosHedgeSection(const ts::Split& split) {
+void ChaosHedgeSection(const ts::Split& split, MetricsSections* sections) {
   Banner("Chaos at 2x load: hedged requests vs no hedging");
   TextTable table({"fault rate", "hedging", "served", "degraded", "failed",
                    "shed", "hedges", "hedge wins", "p99 s",
@@ -170,6 +194,8 @@ void ChaosHedgeSection(const ts::Split& split) {
       options.queue.capacity = 8;
       options.hedge.enabled = hedging;
       options.hedge.delay_seconds = 0.75;
+      util::MetricsRegistry registry;
+      if (sections != nullptr) options.metrics = &registry;
 
       serve::ServeExecutor executor(
           ViFactory(rate, /*salt=*/99),
@@ -177,7 +203,15 @@ void ChaosHedgeSection(const ts::Split& split) {
           options);
       std::vector<serve::ServeStats> stats =
           OrDie(executor.Run(BuildRequests(split, trace)), "serve run");
-      serve::ServeSummary summary = serve::Summarize(stats);
+      serve::ServeSummary summary =
+          sections != nullptr ? serve::Summarize(stats, &registry)
+                              : serve::Summarize(stats);
+      if (sections != nullptr) {
+        sections->emplace_back(
+            StrFormat("chaos_%.0fpct_hedge_%s", rate * 100.0,
+                      hedging ? "on" : "off"),
+            registry.Snapshot());
+      }
       table.AddRow(
           {StrFormat("%.0f%%", rate * 100.0), hedging ? "on" : "off",
            StrFormat("%zu", summary.served + summary.served_degraded),
@@ -197,17 +231,35 @@ void ChaosHedgeSection(const ts::Split& split) {
       "— the backup chain can only add ways for a request to succeed.\n");
 }
 
-void Run() {
+void Run(const std::string& metrics_path) {
   ts::Split split = LoadSplit("GasRate");
-  LoadSweepSection(split);
-  ChaosHedgeSection(split);
+  MetricsSections sections;
+  MetricsSections* collect = metrics_path.empty() ? nullptr : &sections;
+  LoadSweepSection(split, collect);
+  ChaosHedgeSection(split, collect);
+  if (collect != nullptr) {
+    Status status = util::WriteMetricsJson(metrics_path, sections);
+    if (!status.ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", metrics_path.c_str(),
+                   status.ToString().c_str());
+      std::exit(1);
+    }
+    std::printf("wrote %s\n", metrics_path.c_str());
+  }
 }
 
 }  // namespace
 }  // namespace bench
 }  // namespace multicast
 
-int main() {
-  multicast::bench::Run();
+int main(int argc, char** argv) {
+  std::string metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-json") == 0) {
+      metrics_path = "BENCH_serving_metrics.json";
+      if (i + 1 < argc && argv[i + 1][0] != '-') metrics_path = argv[++i];
+    }
+  }
+  multicast::bench::Run(metrics_path);
   return 0;
 }

@@ -1,0 +1,269 @@
+// Speculative (draft-then-verify) decoding on a latency-bound backend.
+//
+// When each scheduler step costs real time (a GPU forward pass, a
+// network round-trip), plain decode pays that cost once per *token*.
+// Speculative decode drafts k tokens from the classical tier, verifies
+// the whole draft in one batched pass, and emits every accepted token
+// plus one model token per step — so a step that accepts a tokens costs
+// one forward pass but advances a+1 tokens. This bench models the
+// forward pass with a fixed sleep in BatchPolicy::on_step, runs the
+// MultiCast (VC) pipeline on GasRate at several offered loads, and
+// sweeps draft length k against batch size, comparing each cell's wall
+// time with the non-speculative schedule at the same batch size.
+// Forecasts must be bit-identical across every cell — speculation
+// changes when tokens decode, never which tokens.
+//
+// Value-concat is the swept serialization because its long per-dimension
+// digit runs are the friendliest ground for the classical drafter; the
+// acceptance rate and wasted-verify columns report how often the drafts
+// survive verification under the Table II sampler (temperature 0.9 —
+// the drafts compete with genuine sampling noise, not greedy decode).
+//
+// Run from the repo root: ./build/bench/speculative_decode [--smoke]
+// Writes BENCH_speculative.json, plus BENCH_speculative_metrics.json
+// through the util::WriteMetricsJson export path the sims share.
+// Exits non-zero when any speculative forecast diverges from its
+// non-speculative twin, or the best-k speedup falls below the 1.5x
+// acceptance floor.
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "batch/batch_scheduler.h"
+#include "bench/bench_common.h"
+#include "util/timer.h"
+
+namespace multicast {
+namespace bench {
+namespace {
+
+struct LoadResult {
+  double wall_seconds = 0.0;
+  /// Per-request forecast values, flattened in request order.
+  std::vector<std::vector<double>> values;
+  batch::BatchStats stats;
+};
+
+// Serves `concurrent` requests at once, every sample draw decoding
+// through one shared scheduler whose forward pass costs `step_sleep` of
+// wall time. Each request runs the Table II MultiCast (VC) pipeline
+// with a request-decorrelated seed; `draft_k` == 0 decodes plain,
+// anything larger drafts from the classical tier and verifies per step.
+LoadResult RunLoad(const ts::Split& split, size_t horizon, size_t concurrent,
+                   size_t max_batch, int samples, size_t draft_k,
+                   std::chrono::microseconds step_sleep,
+                   util::MetricsRegistry* metrics = nullptr) {
+  batch::BatchPolicy policy;
+  policy.max_batch = max_batch;
+  policy.on_step = [step_sleep](size_t) {
+    std::this_thread::sleep_for(step_sleep);
+  };
+  auto scheduler = std::make_shared<batch::BatchScheduler>(policy);
+
+  LoadResult out;
+  out.values.resize(concurrent);
+  std::vector<std::thread> workers;
+  Timer timer;
+  for (size_t r = 0; r < concurrent; ++r) {
+    workers.emplace_back([&, r]() {
+      forecast::MultiCastOptions opts =
+          DefaultMultiCast(multiplex::MuxKind::kValueConcat);
+      opts.num_samples = samples;
+      opts.seed = 42 + r;
+      opts.batch_scheduler = scheduler;
+      opts.speculative = draft_k > 0;
+      opts.draft_k = static_cast<int>(draft_k);
+      forecast::MultiCastForecaster forecaster(opts);
+      forecast::ForecastResult result =
+          OrDie(forecaster.Forecast(split.train, horizon), "forecast");
+      std::vector<double>& flat = out.values[r];
+      for (size_t d = 0; d < result.forecast.num_dims(); ++d) {
+        const std::vector<double>& vals = result.forecast.dim(d).values();
+        flat.insert(flat.end(), vals.begin(), vals.end());
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  if (metrics != nullptr) scheduler->PublishMetrics(metrics, "batch.");
+  out.wall_seconds = timer.Seconds();
+  out.stats = scheduler->stats();
+  return out;
+}
+
+}  // namespace
+
+int Main(bool smoke) {
+  const size_t kHorizon = 12;
+  const size_t kConcurrent = 4;
+  const int samples = smoke ? 2 : 4;
+  const std::chrono::microseconds step_sleep(2000);
+  const std::vector<size_t> batch_sizes =
+      smoke ? std::vector<size_t>{1} : std::vector<size_t>{1, 4, 16};
+  const std::vector<size_t> draft_ks =
+      smoke ? std::vector<size_t>{4} : std::vector<size_t>{2, 4, 8};
+
+  ts::Split split = LoadSplit("GasRate");
+
+  std::printf(
+      "speculative decoding vs plain decode: MultiCast (VC) on GasRate, "
+      "horizon %zu, %zu concurrent requests, %d samples/request, "
+      "%lldus/step forward pass\n\n",
+      kHorizon, kConcurrent, samples,
+      static_cast<long long>(step_sleep.count()));
+
+  struct Row {
+    size_t max_batch = 0;
+    size_t draft_k = 0;
+    double plain_seconds = 0.0;
+    double spec_seconds = 0.0;
+    double speedup = 0.0;
+    double tokens_per_step = 0.0;
+    double acceptance = 0.0;
+    double wasted = 0.0;
+    bool identical = false;
+  };
+  std::vector<Row> rows;
+  TextTable table({"Batch", "Draft k", "Plain (s)", "Spec (s)", "Speedup",
+                   "Tok/step", "Accept", "Wasted verify", "Identical"});
+
+  // The identity reference: single-slot, non-speculative decode. Every
+  // cell — any batch size, any draft length — must reproduce these
+  // forecasts bit-for-bit.
+  LoadResult reference = RunLoad(split, kHorizon, kConcurrent, 1, samples,
+                                 0, step_sleep);
+
+  util::MetricsRegistry registry;
+  for (size_t max_batch : batch_sizes) {
+    LoadResult plain =
+        max_batch == 1
+            ? reference
+            : RunLoad(split, kHorizon, kConcurrent, max_batch, samples, 0,
+                      step_sleep);
+    for (size_t draft_k : draft_ks) {
+      util::MetricsRegistry* cell_metrics =
+          (max_batch == batch_sizes.back() && draft_k == draft_ks.back())
+              ? &registry
+              : nullptr;
+      LoadResult spec = RunLoad(split, kHorizon, kConcurrent, max_batch,
+                                samples, draft_k, step_sleep, cell_metrics);
+      const batch::SpecStats& ss = spec.stats.spec;
+      Row row;
+      row.max_batch = max_batch;
+      row.draft_k = draft_k;
+      row.plain_seconds = plain.wall_seconds;
+      row.spec_seconds = spec.wall_seconds;
+      row.speedup = plain.wall_seconds / spec.wall_seconds;
+      row.tokens_per_step =
+          ss.steps > 0 ? static_cast<double>(ss.emitted) / ss.steps : 0.0;
+      row.acceptance = ss.acceptance_rate();
+      row.wasted = ss.wasted_verify_fraction();
+      row.identical = spec.values == reference.values;
+      table.AddRow({StrFormat("%zu", row.max_batch),
+                    StrFormat("%zu", row.draft_k),
+                    StrFormat("%.3f", row.plain_seconds),
+                    StrFormat("%.3f", row.spec_seconds),
+                    StrFormat("%.2fx", row.speedup),
+                    StrFormat("%.2f", row.tokens_per_step),
+                    StrFormat("%.0f%%", row.acceptance * 100.0),
+                    StrFormat("%.0f%%", row.wasted * 100.0),
+                    row.identical ? "yes" : "NO"});
+      rows.push_back(row);
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+  WriteBenchMetrics("BENCH_speculative_metrics.json", "speculative_decode",
+                    registry);
+
+  double best_speedup = 0.0;
+  size_t best_k = 0, best_batch = 0;
+  bool all_identical = true;
+  for (const Row& row : rows) {
+    if (row.speedup > best_speedup) {
+      best_speedup = row.speedup;
+      best_k = row.draft_k;
+      best_batch = row.max_batch;
+    }
+    all_identical = all_identical && row.identical;
+  }
+  std::printf(
+      "best speedup %.2fx at draft k = %zu, batch %zu; identical "
+      "forecasts in %s cells\n\n",
+      best_speedup, best_k, best_batch, all_identical ? "all" : "NOT ALL");
+
+  std::FILE* json = std::fopen("BENCH_speculative.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_speculative.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n"
+               "  \"bench\": \"speculative_decode\",\n"
+               "  \"dataset\": \"GasRate\",\n"
+               "  \"method\": \"MultiCast (VC)\",\n"
+               "  \"horizon\": %zu,\n"
+               "  \"concurrent_requests\": %zu,\n"
+               "  \"samples_per_request\": %d,\n"
+               "  \"step_micros\": %lld,\n"
+               "  \"smoke\": %s,\n"
+               "  \"results\": [\n",
+               kHorizon, kConcurrent, samples,
+               static_cast<long long>(step_sleep.count()),
+               smoke ? "true" : "false");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(
+        json,
+        "    {\"max_batch\": %zu, \"draft_k\": %zu, "
+        "\"plain_seconds\": %.4f, \"speculative_seconds\": %.4f, "
+        "\"speedup\": %.3f, \"tokens_per_step\": %.3f, "
+        "\"acceptance_rate\": %.4f, \"wasted_verify_fraction\": %.4f, "
+        "\"identical_to_plain\": %s}%s\n",
+        row.max_batch, row.draft_k, row.plain_seconds, row.spec_seconds,
+        row.speedup, row.tokens_per_step, row.acceptance, row.wasted,
+        row.identical ? "true" : "false", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(json,
+               "  ],\n"
+               "  \"best_speedup\": %.3f,\n"
+               "  \"best_draft_k\": %zu,\n"
+               "  \"best_max_batch\": %zu,\n"
+               "  \"all_identical\": %s\n"
+               "}\n",
+               best_speedup, best_k, best_batch,
+               all_identical ? "true" : "false");
+  std::fclose(json);
+  std::printf("wrote BENCH_speculative.json\n");
+
+  int status = 0;
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: speculative forecasts diverged from plain decode\n");
+    status = 1;
+  }
+  // The speedup gate holds in smoke mode too: the sleeps dominate both
+  // schedules, so the step-count ratio — not CPU contention — decides
+  // the outcome.
+  if (best_speedup < 1.5) {
+    std::fprintf(stderr,
+                 "FAIL: best speculative speedup %.2fx is below the 1.5x "
+                 "floor\n",
+                 best_speedup);
+    status = 1;
+  }
+  return status;
+}
+
+}  // namespace bench
+}  // namespace multicast
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  return multicast::bench::Main(smoke);
+}

@@ -42,6 +42,7 @@ const std::set<std::string> kMethodFlags = {
     "chaos",  "chaos-seed",  "retries",  "redraws",  "fallback",
     "threads", "prefix-cache", "prefix-cache-capacity",
     "batch",  "batch-size",  "batch-backfill",
+    "speculative", "draft-k",
     // serve-sim trace and serving-policy flags.
     "requests",   "arrival-rate", "deadline",  "queue-capacity",
     "queue-order", "hedge-delay", "burst-factor", "burst-every",
@@ -52,7 +53,8 @@ const std::set<std::string> kMethodFlags = {
     "replicas", "replica-slots", "router", "replica-chaos",
     "replica-chaos-seed"};
 const std::set<std::string> kBoolFlags = {
-    "plot", "fallback", "batch", "overload-ladder", "classical-fallback"};
+    "plot", "fallback", "batch", "overload-ladder", "classical-fallback",
+    "speculative"};
 
 Result<lm::ModelProfile> ProfileByName(const std::string& name) {
   if (name == "llama2") return lm::ModelProfile::Llama2_7B();
@@ -118,6 +120,12 @@ Result<MethodSpec> SpecFromFlags(const FlagSet& flags) {
   spec.batch_size = static_cast<int>(batch_size);
   MC_ASSIGN_OR_RETURN(int64_t backfill, flags.GetInt("batch-backfill", 1));
   spec.batch_backfill = backfill != 0;
+  spec.speculative = flags.GetBool("speculative");
+  MC_ASSIGN_OR_RETURN(int64_t draft_k, flags.GetInt("draft-k", 4));
+  if (draft_k < 1) {
+    return Status::InvalidArgument("--draft-k must be >= 1");
+  }
+  spec.draft_k = static_cast<int>(draft_k);
   return spec;
 }
 
@@ -553,7 +561,7 @@ Result<int> CmdServeSim(const FlagSet& flags, std::ostream& out) {
     // One decode scheduler per method, shared the same way: every
     // in-flight request's sample draws join one step-level batch.
     std::shared_ptr<batch::BatchScheduler> method_scheduler;
-    if (spec.batch) {
+    if (spec.batch || spec.speculative) {
       batch::BatchPolicy policy;
       policy.max_batch = static_cast<size_t>(spec.batch_size);
       policy.backfill = spec.batch_backfill;
@@ -669,6 +677,14 @@ Result<int> CmdServeSim(const FlagSet& flags, std::ostream& out) {
           "(peak %zu), %zu backfills, %zu preemptions",
           name.c_str(), bs.steps, bs.admitted, bs.mean_batch(),
           bs.peak_batch, bs.backfills, bs.preemptions));
+      if (bs.spec.steps > 0) {
+        batch_lines.push_back(StrFormat(
+            "spec %s: %zu draft steps, %zu/%zu drafts accepted (%.0f%%), "
+            "%zu tokens emitted, wasted verify %.0f%%",
+            name.c_str(), bs.spec.steps, bs.spec.accepted, bs.spec.drafted,
+            100.0 * bs.spec.acceptance_rate(), bs.spec.emitted,
+            100.0 * bs.spec.wasted_verify_fraction()));
+      }
     } else {
       batch_lines.push_back(StrFormat("batch %s: off", name.c_str()));
     }
@@ -759,7 +775,7 @@ Result<int> CmdClusterSim(const FlagSet& flags, std::ostream& out) {
       rep.prefix_cache = std::make_shared<lm::PrefixCache>(
           static_cast<size_t>(spec.prefix_cache_capacity));
     }
-    if (spec.batch) {
+    if (spec.batch || spec.speculative) {
       batch::BatchPolicy policy;
       policy.max_batch = static_cast<size_t>(spec.batch_size);
       policy.backfill = spec.batch_backfill;
@@ -965,8 +981,10 @@ Result<std::unique_ptr<forecast::Forecaster>> MakeForecaster(
 
   // Shared scheduler when the caller wired one (serve-sim), else a
   // private scheduler per forecaster when batching was asked for.
+  // --speculative implies a scheduler: the draft/verify step engine
+  // lives inside BatchScheduler.
   std::shared_ptr<batch::BatchScheduler> scheduler = spec.batch_scheduler;
-  if (spec.batch && scheduler == nullptr) {
+  if ((spec.batch || spec.speculative) && scheduler == nullptr) {
     batch::BatchPolicy policy;
     policy.max_batch = static_cast<size_t>(spec.batch_size);
     policy.backfill = spec.batch_backfill;
@@ -998,6 +1016,8 @@ Result<std::unique_ptr<forecast::Forecaster>> MakeForecaster(
         static_cast<size_t>(spec.prefix_cache_capacity);
     opts.shared_prefix_cache = spec.shared_prefix_cache;
     opts.batch_scheduler = scheduler;
+    opts.speculative = spec.speculative;
+    opts.draft_k = spec.draft_k;
     return {std::make_unique<forecast::MultiCastForecaster>(opts)};
   };
   auto llmtime = [&]() -> std::unique_ptr<forecast::Forecaster> {
@@ -1014,6 +1034,8 @@ Result<std::unique_ptr<forecast::Forecaster>> MakeForecaster(
         static_cast<size_t>(spec.prefix_cache_capacity);
     opts.shared_prefix_cache = spec.shared_prefix_cache;
     opts.batch_scheduler = scheduler;
+    opts.speculative = spec.speculative;
+    opts.draft_k = spec.draft_k;
     return std::make_unique<forecast::LlmTimeForecaster>(opts);
   };
   // Wraps an LLM-path forecaster in the MultiCast -> LLMTime -> naive
@@ -1111,6 +1133,8 @@ std::string UsageText() {
       "            [--plot] [--threads 4] [--prefix-cache 0|1]\n"
       "            [--prefix-cache-capacity 64] [--batch]\n"
       "            [--batch-size 8] [--batch-backfill 0|1]\n"
+      "            [--speculative (draft-then-verify decode; implies a\n"
+      "            decode scheduler)] [--draft-k 4]\n"
       "            chaos/resilience: [--chaos 0.2] [--chaos-seed N]\n"
       "            [--retries 3] [--redraws 4] [--fallback]\n"
       "            [--classical-fallback (end the chain on the classical\n"
@@ -1128,7 +1152,8 @@ std::string UsageText() {
       "            [--hedge-delay 0.5] [--drain T] [--drain-mode\n"
       "            finish|cancel] [--threads 4] [--prefix-cache 0|1]\n"
       "            [--prefix-cache-capacity 64] [--batch] [--batch-size 8]\n"
-      "            [--batch-backfill 0|1] plus the chaos/resilience flags\n"
+      "            [--batch-backfill 0|1] [--speculative] [--draft-k 4]\n"
+      "            plus the chaos/resilience flags\n"
       "            above (one cache and one decode scheduler are shared\n"
       "            per method, across requests; --batch also serves up to\n"
       "            batch-size requests concurrently)\n"

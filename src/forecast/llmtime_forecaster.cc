@@ -73,6 +73,11 @@ Result<ForecastResult> LlmTimeForecaster::Forecast(const ts::Frame& history,
   // the scheduler is thread-safe and each decode job is independent, so
   // dimension workers batch their draws without affecting outputs.
   base.batch_scheduler = options_.batch_scheduler;
+  // Speculative decode rides the batch scheduler; each dimension's
+  // pipeline drafts from its own univariate classical forecast.
+  base.speculative = options_.speculative;
+  base.draft_k = options_.draft_k;
+  base.draft = options_.draft;
 
   const size_t dims = history.num_dims();
   const double t0 = ctx.now();

@@ -11,6 +11,7 @@
 
 #include "batch/batch_scheduler.h"
 #include "forecast/forecaster.h"
+#include "forecast/multicast_forecaster.h"
 #include "lm/fault_injection.h"
 #include "lm/prefix_cache.h"
 #include "lm/profiles.h"
@@ -60,6 +61,13 @@ struct LlmTimeOptions {
   /// other pipelines on the same scheduler — decode one token per step
   /// together. Bit-identical output either way.
   std::shared_ptr<batch::BatchScheduler> batch_scheduler;
+  /// Speculative (draft-then-verify) decoding, forwarded into every
+  /// per-dimension pipeline (same semantics — and the same bit-identity
+  /// guarantee — as the MultiCastOptions fields of the same names).
+  /// Each dimension drafts from its own univariate classical forecast.
+  bool speculative = false;
+  int draft_k = 4;
+  forecast::DraftKind draft = forecast::DraftKind::kClassical;
 };
 
 /// Runs a univariate serialized forecast per dimension and stitches the

@@ -1,0 +1,121 @@
+#include "lm/draft.h"
+
+#include <utility>
+
+#include "lm/sampler.h"
+#include "util/status.h"
+
+namespace multicast {
+namespace lm {
+
+RewindableSession::RewindableSession(std::unique_ptr<LanguageModel> session,
+                                     size_t refreeze_every)
+    : base_(std::move(session)),
+      refreeze_every_(refreeze_every == 0 ? 1 : refreeze_every) {
+  MC_CHECK(base_ != nullptr);
+  MC_CHECK(base_->SupportsFork());
+  base_->Freeze();
+}
+
+void RewindableSession::Commit(token::TokenId id) {
+  tail_.push_back(id);
+  if (tail_.size() >= refreeze_every_) Refreeze();
+}
+
+void RewindableSession::Refreeze() {
+  // Fold the tail into a new frozen base: fork the old base, replay the
+  // committed tokens on the fork, freeze it, and swap it in. The old
+  // base stays alive inside the fork's copy-on-write chain.
+  std::unique_ptr<LanguageModel> next = base_->Fork();
+  MC_CHECK(next != nullptr);
+  for (token::TokenId id : tail_) next->Observe(id);
+  next->Freeze();
+  base_ = std::move(next);
+  tail_.clear();
+}
+
+std::unique_ptr<LanguageModel> RewindableSession::Peek() const {
+  std::unique_ptr<LanguageModel> fork = base_->Fork();
+  MC_CHECK(fork != nullptr);
+  for (token::TokenId id : tail_) fork->Observe(id);
+  return fork;
+}
+
+void RewindableSession::VerifyTokens(
+    const std::vector<token::TokenId>& draft,
+    std::vector<std::vector<double>>* dists) const {
+  MC_CHECK(dists != nullptr);
+  std::unique_ptr<LanguageModel> fork = Peek();
+  dists->resize(draft.size() + 1);
+  fork->NextDistribution(&(*dists)[0]);
+  for (size_t i = 0; i < draft.size(); ++i) {
+    fork->Observe(draft[i]);
+    fork->NextDistribution(&(*dists)[i + 1]);
+  }
+}
+
+void TemplateDraftModel::Propose(const std::vector<GrammarMask::Shared>& masks,
+                                 size_t position, size_t k,
+                                 std::vector<token::TokenId>* out) {
+  MC_CHECK(out != nullptr);
+  for (size_t i = 0; i < k; ++i) {
+    const size_t pos = position + i;
+    if (pos >= tokens_.size()) break;
+    const token::TokenId id = tokens_[pos];
+    if (!masks.empty()) {
+      const std::vector<bool>& allowed = *masks[pos % masks.size()];
+      if (id < 0 || static_cast<size_t>(id) >= allowed.size() ||
+          !allowed[id]) {
+        break;
+      }
+    }
+    out->push_back(id);
+  }
+}
+
+namespace {
+
+std::unique_ptr<LanguageModel> NewDraftNGram(
+    size_t vocab_size, const NGramOptions& options,
+    const std::vector<token::TokenId>& prompt) {
+  auto model = std::make_unique<NGramLanguageModel>(vocab_size, options);
+  model->ObserveAll(prompt);
+  return model;
+}
+
+}  // namespace
+
+NGramDraftModel::NGramDraftModel(size_t vocab_size,
+                                 const NGramOptions& options,
+                                 const std::vector<token::TokenId>& prompt)
+    : session_(NewDraftNGram(vocab_size, options, prompt)) {}
+
+void NGramDraftModel::Propose(const std::vector<GrammarMask::Shared>& masks,
+                              size_t position, size_t k,
+                              std::vector<token::TokenId>* out) {
+  MC_CHECK(out != nullptr);
+  if (k == 0) return;
+  std::unique_ptr<LanguageModel> peek = session_.Peek();
+  for (size_t i = 0; i < k; ++i) {
+    const size_t pos = position + i;
+    peek->NextDistribution(&probs_);
+    Result<token::TokenId> best =
+        masks.empty() ? GreedyToken(probs_, std::vector<bool>(
+                                                probs_.size(), true))
+                      : GreedyToken(probs_, *masks[pos % masks.size()]);
+    if (!best.ok()) break;
+    out->push_back(best.value());
+    peek->Observe(best.value());
+  }
+}
+
+DraftFactory MakeNGramDraftFactory(size_t vocab_size, int order) {
+  NGramOptions options;
+  options.max_order = order;
+  return [vocab_size, options](const std::vector<token::TokenId>& prompt) {
+    return std::make_unique<NGramDraftModel>(vocab_size, options, prompt);
+  };
+}
+
+}  // namespace lm
+}  // namespace multicast

@@ -1,0 +1,178 @@
+// The draft-model seam for speculative (draft-then-verify) decoding.
+//
+// Autoregressive decode pays one forward pass per token. Speculative
+// decoding breaks that serialization: a cheap *draft* model proposes k
+// continuation tokens, the expensive target model evaluates all k
+// positions in one batched pass (VerifyTokens), and the sampler walks
+// the verified distributions accepting the longest prefix where its own
+// draw agrees with the draft. Every emitted token is sampled from
+// exactly the distribution — with exactly the RNG draw — the plain
+// token-by-token loop would have used, so output is bit-identical at
+// any draft length; only the number of target forward passes changes.
+//
+// Three pieces live here:
+//
+//   DraftModel         — the proposer interface. Implementations must be
+//                        deterministic (no RNG): the job's sampler RNG
+//                        is reserved for emitted tokens, which is what
+//                        keeps speculative output bit-identical.
+//   RewindableSession  — a decode-session wrapper over any forkable
+//                        LanguageModel that can evaluate a draft without
+//                        committing it: the committed context lives as a
+//                        frozen base plus a short tail, and VerifyTokens
+//                        runs each batched verify pass on a throwaway
+//                        fork. This is the simulated analogue of a
+//                        verify pass that scores k+1 positions in one
+//                        forward pass without mutating the KV cache.
+//   TemplateDraftModel — the classical next-value drafter: a classical
+//   NGramDraftModel      forecast rendered through the token codec into
+//                        a positional token template; and a low-order
+//                        n-gram proposer conditioned on the same stream
+//                        the target sees.
+
+#ifndef MULTICAST_LM_DRAFT_H_
+#define MULTICAST_LM_DRAFT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lm/backend.h"
+#include "lm/language_model.h"
+#include "lm/ngram_model.h"
+#include "token/vocabulary.h"
+
+namespace multicast {
+namespace lm {
+
+/// A cheap next-token proposer for speculative decode. One instance
+/// serves one decode job: Observe() feeds it every emitted token (in
+/// order), Propose() asks for draft continuations. Implementations must
+/// be deterministic and must not touch the job's sampler RNG.
+class DraftModel {
+ public:
+  virtual ~DraftModel() = default;
+
+  virtual std::string name() const = 0;
+
+  /// One emitted (verified) token becomes draft context.
+  virtual void Observe(token::TokenId id) = 0;
+
+  /// Appends up to `k` proposed tokens for generation positions
+  /// [position, position + k) to `*out` (not cleared). Proposals should
+  /// obey the grammar (masks[p % masks.size()] for position p) — a
+  /// grammar-invalid proposal can never be accepted, it only wastes
+  /// verification. Fewer than `k` proposals (even zero) is fine: the
+  /// step degrades toward plain one-token decode.
+  virtual void Propose(const std::vector<GrammarMask::Shared>& masks,
+                       size_t position, size_t k,
+                       std::vector<token::TokenId>* out) = 0;
+};
+
+/// Builds one DraftModel per decode job from the job's prompt. The
+/// factory is shared across jobs (and threads) and must be thread-safe;
+/// the returned model is exclusive to its job.
+using DraftFactory =
+    std::function<std::unique_ptr<DraftModel>(
+        const std::vector<token::TokenId>& prompt)>;
+
+/// A decode session that can evaluate candidate continuations without
+/// committing them. The committed context is held as a frozen base plus
+/// the tokens accepted since the last freeze; evaluation forks the base
+/// (copy-on-write, bit-identical to fresh replay — the lm/prefix_cache.h
+/// contract), replays the short tail and scores the candidates on the
+/// throwaway fork. Commit() is the only mutation. The underlying model
+/// must SupportsFork().
+class RewindableSession {
+ public:
+  /// Takes ownership of `session` (prompt already observed) and freezes
+  /// it as the base state. `refreeze_every` bounds the tail replayed per
+  /// evaluation: once the tail reaches it, the base is re-frozen at the
+  /// current position and the tail resets.
+  explicit RewindableSession(std::unique_ptr<LanguageModel> session,
+                             size_t refreeze_every = 32);
+
+  size_t vocab_size() const { return base_->vocab_size(); }
+
+  /// Appends one accepted token to the committed context.
+  void Commit(token::TokenId id);
+
+  /// A throwaway mutable session positioned at the committed context.
+  std::unique_ptr<LanguageModel> Peek() const;
+
+  /// The batched verify pass: evaluates `draft` in one sweep, writing
+  /// draft.size() + 1 next-token distributions into `*dists` —
+  /// (*dists)[i] is the target distribution after the committed context
+  /// plus draft[0..i). Every position is evaluated (the real verify
+  /// pass scores the whole draft in one forward pass; positions past
+  /// the first rejection are honest wasted work, not skipped work).
+  /// Inner vectors are reused across calls.
+  void VerifyTokens(const std::vector<token::TokenId>& draft,
+                    std::vector<std::vector<double>>* dists) const;
+
+  /// Tokens committed since the last re-freeze (tests/diagnostics).
+  size_t tail_length() const { return tail_.size(); }
+
+ private:
+  void Refreeze();
+
+  std::unique_ptr<LanguageModel> base_;  // always frozen
+  std::vector<token::TokenId> tail_;     // committed since last freeze
+  size_t refreeze_every_;
+};
+
+/// Positional draft template: proposes tokens[position + i] verbatim.
+/// This is the classical next-value drafter's shape — a statistical
+/// forecast of the whole horizon, rendered through the same scaler /
+/// multiplexer / codec as the prompt, is a complete predicted token
+/// stream; how far the target agrees with it per step is exactly the
+/// acceptance rate. Observed tokens are ignored (the template is
+/// position-indexed, not context-conditioned).
+class TemplateDraftModel final : public DraftModel {
+ public:
+  explicit TemplateDraftModel(std::vector<token::TokenId> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  std::string name() const override { return "template-draft"; }
+  void Observe(token::TokenId) override {}
+  void Propose(const std::vector<GrammarMask::Shared>& masks,
+               size_t position, size_t k,
+               std::vector<token::TokenId>* out) override;
+
+ private:
+  std::vector<token::TokenId> tokens_;
+};
+
+/// Low-order n-gram proposer: a small Witten–Bell model observes the
+/// prompt and every emitted token (the same stream the target
+/// conditions on) and proposes greedy argmax continuations under the
+/// grammar. Order `max_order` is deliberately short — the draft must
+/// stay cheap relative to the target it is drafted for.
+class NGramDraftModel final : public DraftModel {
+ public:
+  /// Default draft order for MakeNGramDraftFactory.
+  static constexpr int kDefaultOrder = 3;
+
+  NGramDraftModel(size_t vocab_size, const NGramOptions& options,
+                  const std::vector<token::TokenId>& prompt);
+
+  std::string name() const override { return "ngram-draft"; }
+  void Observe(token::TokenId id) override { session_.Commit(id); }
+  void Propose(const std::vector<GrammarMask::Shared>& masks,
+               size_t position, size_t k,
+               std::vector<token::TokenId>* out) override;
+
+ private:
+  RewindableSession session_;
+  mutable std::vector<double> probs_;  // reused across proposals
+};
+
+/// Factory producing an order-`order` NGramDraftModel per job prompt.
+DraftFactory MakeNGramDraftFactory(size_t vocab_size,
+                                   int order = NGramDraftModel::kDefaultOrder);
+
+}  // namespace lm
+}  // namespace multicast
+
+#endif  // MULTICAST_LM_DRAFT_H_

@@ -141,6 +141,16 @@ class MetricsSnapshot {
   /// never-incremented are indistinguishable, as with the old structs).
   double Value(const std::string& name) const;
 
+  /// Quantile estimate of a histogram point, `q` in [0, 1] (clamped).
+  /// Fixed-bound histograms interpolate linearly within the selected
+  /// bucket — from the previous bound (0 for the first bucket) to the
+  /// bucket's own bound, with the overflow bucket pinned at the last
+  /// finite bound. Indexed histograms return the selected bucket index
+  /// (the observed value itself, e.g. a batch-occupancy level). Returns
+  /// 0.0 when the point is absent, not a histogram, or has no
+  /// observations.
+  double HistogramQuantile(const std::string& name, double q) const;
+
   /// Accumulates `other` into this snapshot: counters add, gauges take
   /// the max, histograms combine bucketwise (ragged lengths tolerated —
   /// the shorter side is zero-extended). Points unknown to this

@@ -215,6 +215,101 @@ TEST(BatchSchedulerTest, AutoCancelPreemptsMidDecode) {
   EXPECT_EQ(scheduler.stats().preemptions, 1u);
 }
 
+TEST(BatchSchedulerTest, CostHooksFireOncePerStepUnderDeadlinePreemption) {
+  // The wall-clock hook and the virtual step charge are per-*step*
+  // costs: a slot freed by deadline preemption before the decode phase
+  // must drop out of the occupancy histogram, the hook's batch size and
+  // the surviving jobs' clock charges for that step.
+  std::vector<size_t> hook_calls;
+  BatchPolicy policy;
+  policy.max_batch = 2;
+  policy.step_seconds = 0.1;
+  policy.on_step = [&hook_calls](size_t active) {
+    hook_calls.push_back(active);
+  };
+  BatchScheduler scheduler(policy);
+  VirtualClock doomed_clock, healthy_clock;
+  Rng r1(kSeed, 1), r2(kSeed, 2);
+  DecodeJobSpec doomed = MakeJob(50, &r1);
+  doomed.clock = &doomed_clock;
+  doomed.deadline_seconds = 0.25;
+  DecodeJobSpec healthy = MakeJob(10, &r2);
+  healthy.clock = &healthy_clock;
+  BatchTicket td = scheduler.Submit(std::move(doomed));
+  BatchTicket th = scheduler.Submit(std::move(healthy));
+  EXPECT_FALSE(scheduler.Await(td).ok());
+  ASSERT_TRUE(scheduler.Await(th).ok());
+
+  BatchStats stats = scheduler.stats();
+  EXPECT_EQ(stats.preemptions, 1u);
+  // The hook fired exactly once per decode step, with the post-admission
+  // batch size. The healthy job decoded one token in every step, so it
+  // pins the step count — and was charged step_seconds exactly once per
+  // step it decoded in.
+  EXPECT_EQ(hook_calls.size(), stats.steps);
+  EXPECT_EQ(stats.steps, 10u);
+  EXPECT_DOUBLE_EQ(healthy_clock.now(), 0.1 * 10);
+  // The doomed job stopped being charged the moment it was preempted.
+  EXPECT_LT(doomed_clock.now(), 0.5);
+  // The occupancy histogram is exactly the hook-call histogram: a slot
+  // freed by preemption never counts as occupied in its eviction step.
+  std::vector<size_t> from_hooks;
+  size_t slot_steps = 0;
+  for (size_t active : hook_calls) {
+    if (from_hooks.size() <= active) from_hooks.resize(active + 1, 0);
+    ++from_hooks[active];
+    slot_steps += active;
+  }
+  EXPECT_EQ(stats.occupancy, from_hooks);
+  EXPECT_EQ(stats.slot_steps, slot_steps);
+  // With no third job to back-fill, the batch only shrinks: once the
+  // doomed job is evicted no later step runs two sessions again.
+  bool shrunk = false;
+  for (size_t active : hook_calls) {
+    if (active == 1) shrunk = true;
+    if (shrunk) EXPECT_EQ(active, 1u);
+  }
+  EXPECT_TRUE(shrunk);
+}
+
+TEST(BatchSchedulerTest, CostHooksFireOncePerStepUnderCancelPreemption) {
+  // Same per-step cost contract when the slot dies by cancellation
+  // instead of deadline expiry.
+  std::vector<size_t> hook_calls;
+  BatchPolicy policy;
+  policy.max_batch = 2;
+  policy.step_seconds = 0.1;
+  policy.on_step = [&hook_calls](size_t active) {
+    hook_calls.push_back(active);
+  };
+  BatchScheduler scheduler(policy);
+  VirtualClock cancel_clock, healthy_clock;
+  Rng r1(kSeed, 1), r2(kSeed, 2);
+  DecodeJobSpec cancelled = MakeJob(50, &r1);
+  cancelled.clock = &cancel_clock;
+  cancelled.cancel.CancelAtTime(&cancel_clock, 0.15, "drain");
+  DecodeJobSpec healthy = MakeJob(8, &r2);
+  healthy.clock = &healthy_clock;
+  BatchTicket tc = scheduler.Submit(std::move(cancelled));
+  BatchTicket th = scheduler.Submit(std::move(healthy));
+  auto dead = scheduler.Await(tc);
+  ASSERT_FALSE(dead.ok());
+  EXPECT_EQ(dead.status().code(), StatusCode::kCancelled);
+  ASSERT_TRUE(scheduler.Await(th).ok());
+
+  BatchStats stats = scheduler.stats();
+  EXPECT_EQ(stats.preemptions, 1u);
+  EXPECT_EQ(hook_calls.size(), stats.steps);
+  EXPECT_EQ(stats.steps, 8u);
+  EXPECT_DOUBLE_EQ(healthy_clock.now(), 0.1 * 8);
+  std::vector<size_t> from_hooks;
+  for (size_t active : hook_calls) {
+    if (from_hooks.size() <= active) from_hooks.resize(active + 1, 0);
+    ++from_hooks[active];
+  }
+  EXPECT_EQ(stats.occupancy, from_hooks);
+}
+
 TEST(BatchSchedulerTest, DeadOnArrivalJobNeverTakesASlot) {
   BatchScheduler scheduler;
   Rng rng(kSeed);

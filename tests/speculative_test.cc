@@ -1,0 +1,558 @@
+// Tests of speculative (draft-then-verify) decoding, in three layers:
+//
+//  1. The draft seam — RewindableSession's commit/peek/verify contract
+//     against fresh-replay ground truth, the template and n-gram
+//     drafters' proposal rules, SpecStats arithmetic and its metrics
+//     round trip.
+//  2. Scheduler mechanics — hand-built speculative jobs decode the
+//     exact token sequences of their plain twins (oracle drafts, hostile
+//     drafts, k beyond the budget), with honest SpecStats accounting.
+//  3. The transparency contract: a pipeline with `speculative` set must
+//     produce the plain run-to-completion result bit for bit at every
+//     draft length, batch size and thread count — clean, under chaos
+//     with retries, through deadline degradation and mid-flight cancel,
+//     for both drafter kinds, SAX quantization and LLMTime (the
+//     speculative sibling of batch_scheduler_test's invariance suite).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "batch/batch_scheduler.h"
+#include "forecast/llmtime_forecaster.h"
+#include "forecast/multicast_forecaster.h"
+#include "lm/draft.h"
+#include "lm/generator.h"
+#include "lm/profiles.h"
+#include "token/vocabulary.h"
+#include "ts/frame.h"
+#include "util/metrics.h"
+
+namespace multicast {
+namespace batch {
+namespace {
+
+constexpr uint64_t kSeed = 0x5eed;
+
+// ---------------------------------------------------------------------
+// Layer 1: the draft seam.
+// ---------------------------------------------------------------------
+
+std::unique_ptr<lm::LanguageModel> FreshModel(
+    const std::vector<token::TokenId>& observed) {
+  const size_t vocab = token::Vocabulary::Digits().size();
+  auto model = lm::NewDecoderModel(lm::ModelProfile::Llama2_7B(), vocab);
+  for (token::TokenId t : observed) model->Observe(t);
+  return model;
+}
+
+TEST(RewindableSessionTest, PeekMatchesFreshReplayAfterCommits) {
+  std::vector<token::TokenId> context = {1, 2, 3};
+  lm::RewindableSession session(FreshModel(context));
+  for (token::TokenId t : {4, 5, 6, 1, 2}) {
+    session.Commit(t);
+    context.push_back(t);
+    EXPECT_EQ(session.Peek()->NextDistribution(),
+              FreshModel(context)->NextDistribution())
+        << "after committing " << context.size() - 3 << " tokens";
+  }
+}
+
+TEST(RewindableSessionTest, VerifyTokensScoresEveryDraftPosition) {
+  const std::vector<token::TokenId> context = {1, 2, 3};
+  const std::vector<token::TokenId> draft = {7, 8, 9};
+  lm::RewindableSession session(FreshModel(context));
+  std::vector<std::vector<double>> dists;
+  session.VerifyTokens(draft, &dists);
+  ASSERT_EQ(dists.size(), draft.size() + 1);
+  // dists[i] must equal the fresh-replay distribution after the
+  // committed context plus draft[0..i) — including positions past any
+  // would-be rejection (the verify pass scores the whole draft).
+  std::vector<token::TokenId> replay = context;
+  for (size_t i = 0; i <= draft.size(); ++i) {
+    EXPECT_EQ(dists[i], FreshModel(replay)->NextDistribution())
+        << "verify position " << i;
+    if (i < draft.size()) replay.push_back(draft[i]);
+  }
+  // Verification must not have committed anything.
+  EXPECT_EQ(session.Peek()->NextDistribution(),
+            FreshModel(context)->NextDistribution());
+}
+
+TEST(RewindableSessionTest, RefreezeBoundsTheReplayTail) {
+  std::vector<token::TokenId> context = {1, 2, 3};
+  lm::RewindableSession session(FreshModel(context), /*refreeze_every=*/4);
+  for (int i = 0; i < 10; ++i) {
+    token::TokenId t = static_cast<token::TokenId>(i % 7);
+    session.Commit(t);
+    context.push_back(t);
+    EXPECT_LT(session.tail_length(), 4u);
+  }
+  // 10 commits at refreeze period 4: two refreezes, tail of 2 left.
+  EXPECT_EQ(session.tail_length(), 2u);
+  EXPECT_EQ(session.Peek()->NextDistribution(),
+            FreshModel(context)->NextDistribution());
+}
+
+std::vector<lm::GrammarMask::Shared> AllowAllCycle(size_t positions) {
+  const size_t vocab = token::Vocabulary::Digits().size();
+  return lm::HoistGrammarCycle(lm::AllowAll(vocab), positions, vocab)
+      .ValueOrDie();
+}
+
+TEST(TemplateDraftModelTest, ProposesTheTemplateFromAnyPosition) {
+  lm::TemplateDraftModel draft({1, 2, 3, 4, 5});
+  auto masks = AllowAllCycle(8);
+  std::vector<token::TokenId> out;
+  draft.Propose(masks, 1, 3, &out);
+  EXPECT_EQ(out, (std::vector<token::TokenId>{2, 3, 4}));
+  out.clear();
+  // Truncates at the template's end rather than inventing tokens.
+  draft.Propose(masks, 4, 3, &out);
+  EXPECT_EQ(out, (std::vector<token::TokenId>{5}));
+  out.clear();
+  draft.Propose(masks, 7, 3, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(TemplateDraftModelTest, StopsAtTheFirstGrammarViolation) {
+  const size_t vocab = token::Vocabulary::Digits().size();
+  lm::TemplateDraftModel draft({1, 2, 3, 4});
+  // Position grammar that forbids token 3 everywhere: the proposal run
+  // must stop before it (a grammar-invalid draft can never be accepted).
+  auto mask = std::make_shared<const std::vector<bool>>([&] {
+    std::vector<bool> allowed(vocab, true);
+    allowed[3] = false;
+    return allowed;
+  }());
+  std::vector<lm::GrammarMask::Shared> masks = {mask};
+  std::vector<token::TokenId> out;
+  draft.Propose(masks, 0, 4, &out);
+  EXPECT_EQ(out, (std::vector<token::TokenId>{1, 2}));
+}
+
+TEST(NGramDraftModelTest, DeterministicAndGrammarObedient) {
+  const size_t vocab = token::Vocabulary::Digits().size();
+  const std::vector<token::TokenId> prompt = {1, 2, 3, 1, 2, 3, 1, 2};
+  lm::DraftFactory factory = lm::MakeNGramDraftFactory(vocab);
+  auto a = factory(prompt);
+  auto b = factory(prompt);
+  auto masks = AllowAllCycle(4);
+  std::vector<token::TokenId> out_a, out_b;
+  a->Propose(masks, prompt.size(), 4, &out_a);
+  b->Propose(masks, prompt.size(), 4, &out_b);
+  EXPECT_EQ(out_a, out_b);
+  ASSERT_FALSE(out_a.empty());
+  // A strongly periodic prompt ending in ...1,2 makes 3 the argmax.
+  EXPECT_EQ(out_a[0], 3);
+  // Observed tokens shift the context for later proposals, still
+  // deterministically.
+  a->Observe(out_a[0]);
+  b->Observe(out_b[0]);
+  out_a.clear();
+  out_b.clear();
+  a->Propose(masks, prompt.size() + 1, 4, &out_a);
+  b->Propose(masks, prompt.size() + 1, 4, &out_b);
+  EXPECT_EQ(out_a, out_b);
+}
+
+TEST(SpecStatsTest, ArithmeticAndDerivedRates) {
+  SpecStats a;
+  a.steps = 10;
+  a.drafted = 30;
+  a.accepted = 12;
+  a.emitted = 22;
+  EXPECT_EQ(a.rejected(), 18u);
+  EXPECT_EQ(a.verified(), 40u);
+  EXPECT_DOUBLE_EQ(a.acceptance_rate(), 0.4);
+  EXPECT_DOUBLE_EQ(a.wasted_verify_fraction(), 18.0 / 40.0);
+
+  SpecStats b = a;
+  b += a;
+  EXPECT_EQ(b.steps, 20u);
+  EXPECT_EQ(b.drafted, 60u);
+  SpecStats delta = b - a;
+  EXPECT_EQ(delta.steps, a.steps);
+  EXPECT_EQ(delta.drafted, a.drafted);
+  EXPECT_EQ(delta.accepted, a.accepted);
+  EXPECT_EQ(delta.emitted, a.emitted);
+  // Saturating: a regressed counter clamps to zero, never wraps.
+  SpecStats none;
+  EXPECT_EQ((none - a).steps, 0u);
+  EXPECT_DOUBLE_EQ(none.acceptance_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(none.wasted_verify_fraction(), 0.0);
+}
+
+TEST(SpecStatsTest, SurvivesTheMetricsRoundTrip) {
+  BatchStats stats;
+  stats.submitted = 3;
+  stats.spec.steps = 7;
+  stats.spec.drafted = 21;
+  stats.spec.accepted = 9;
+  stats.spec.emitted = 16;
+  util::MetricsRegistry registry;
+  PublishBatchStats(stats, &registry, "batch.");
+  BatchStats back = BatchStatsFromSnapshot(registry.Snapshot(), "batch.");
+  EXPECT_EQ(back.spec.steps, stats.spec.steps);
+  EXPECT_EQ(back.spec.drafted, stats.spec.drafted);
+  EXPECT_EQ(back.spec.accepted, stats.spec.accepted);
+  EXPECT_EQ(back.spec.emitted, stats.spec.emitted);
+}
+
+// ---------------------------------------------------------------------
+// Layer 2: scheduler mechanics with hand-built speculative jobs.
+// ---------------------------------------------------------------------
+
+// A decode job over the digit vocabulary, optionally speculative.
+DecodeJobSpec MakeJob(size_t num_tokens, Rng* rng,
+                      std::unique_ptr<lm::DraftModel> draft = nullptr,
+                      size_t draft_k = 0) {
+  const size_t vocab = token::Vocabulary::Digits().size();
+  DecodeJobSpec spec;
+  spec.session = lm::NewDecoderModel(lm::ModelProfile::Llama2_7B(), vocab);
+  for (token::TokenId t : {1, 2, 3}) spec.session->Observe(t);
+  spec.num_tokens = num_tokens;
+  spec.masks = AllowAllCycle(num_tokens);
+  spec.rng = rng;
+  spec.draft = std::move(draft);
+  spec.draft_k = draft_k;
+  return spec;
+}
+
+std::vector<token::TokenId> PlainDecode(size_t num_tokens) {
+  BatchScheduler scheduler(BatchPolicy{});
+  Rng rng(kSeed, 1);
+  BatchTicket t = scheduler.Submit(MakeJob(num_tokens, &rng));
+  return scheduler.Await(t).ValueOrDie().tokens;
+}
+
+TEST(SpeculativeSchedulerTest, HostileDraftStillDecodesThePlainTokens) {
+  const size_t n = 12;
+  std::vector<token::TokenId> plain = PlainDecode(n);
+  BatchScheduler scheduler(BatchPolicy{});
+  Rng rng(kSeed, 1);
+  // A template that deliberately disagrees everywhere exercises the
+  // corrective-token path: every step rejects the draft and emits the
+  // one token the plain loop would have sampled.
+  std::vector<token::TokenId> hostile(n);
+  for (size_t i = 0; i < n; ++i) hostile[i] = plain[i] == 0 ? 1 : 0;
+  BatchTicket t = scheduler.Submit(MakeJob(
+      n, &rng, std::make_unique<lm::TemplateDraftModel>(hostile), 4));
+  DecodeOutput out = scheduler.Await(t).ValueOrDie();
+  EXPECT_EQ(out.tokens, plain);
+  EXPECT_EQ(out.spec.emitted, n);
+  EXPECT_EQ(out.spec.steps, n);  // nothing accepted: one token per step
+  EXPECT_EQ(out.spec.accepted, 0u);
+  EXPECT_GT(out.spec.drafted, 0u);
+  BatchStats stats = scheduler.stats();
+  EXPECT_EQ(stats.spec.emitted, n);
+  EXPECT_EQ(stats.slot_steps, out.spec.steps);
+}
+
+TEST(SpeculativeSchedulerTest, OracleDraftRetiresInFewSteps) {
+  const size_t n = 12;
+  const size_t k = 3;
+  std::vector<token::TokenId> plain = PlainDecode(n);
+  BatchScheduler scheduler(BatchPolicy{});
+  Rng rng(kSeed, 1);
+  // A template equal to the plain output is always accepted: the job
+  // advances k + 1 tokens per step.
+  BatchTicket t = scheduler.Submit(MakeJob(
+      n, &rng, std::make_unique<lm::TemplateDraftModel>(plain), k));
+  DecodeOutput out = scheduler.Await(t).ValueOrDie();
+  EXPECT_EQ(out.tokens, plain);
+  EXPECT_EQ(out.spec.emitted, n);
+  EXPECT_EQ(out.spec.steps, (n + k) / (k + 1));
+  EXPECT_EQ(out.spec.accepted, out.spec.drafted);
+  EXPECT_EQ(out.spec.emitted, out.spec.accepted + out.spec.steps);
+}
+
+TEST(SpeculativeSchedulerTest, DraftKBeyondTheBudgetIsClamped) {
+  const size_t n = 5;
+  std::vector<token::TokenId> plain = PlainDecode(n);
+  BatchScheduler scheduler(BatchPolicy{});
+  Rng rng(kSeed, 1);
+  // k far beyond num_tokens: the step engine may never draft past the
+  // remaining budget (the final token always comes from the verify
+  // pass itself).
+  BatchTicket t = scheduler.Submit(MakeJob(
+      n, &rng, std::make_unique<lm::TemplateDraftModel>(plain), 64));
+  DecodeOutput out = scheduler.Await(t).ValueOrDie();
+  EXPECT_EQ(out.tokens, plain);
+  EXPECT_EQ(out.spec.steps, 1u);
+  EXPECT_EQ(out.spec.drafted, n - 1);
+  EXPECT_EQ(out.tokens.size(), n);
+}
+
+TEST(SpeculativeSchedulerTest, MixedBatchKeepsBothSchedulesIdentical) {
+  const size_t n = 10;
+  std::vector<token::TokenId> plain = PlainDecode(n);
+  BatchPolicy policy;
+  policy.max_batch = 4;
+  BatchScheduler scheduler(policy);
+  Rng r1(kSeed, 1), r2(kSeed, 1);
+  BatchTicket spec_job = scheduler.Submit(MakeJob(
+      n, &r1, std::make_unique<lm::TemplateDraftModel>(plain), 4));
+  BatchTicket plain_job = scheduler.Submit(MakeJob(n, &r2));
+  DecodeOutput spec_out = scheduler.Await(spec_job).ValueOrDie();
+  DecodeOutput plain_out = scheduler.Await(plain_job).ValueOrDie();
+  EXPECT_EQ(spec_out.tokens, plain);
+  EXPECT_EQ(plain_out.tokens, plain);
+  EXPECT_GT(spec_out.spec.steps, 0u);
+  EXPECT_EQ(plain_out.spec.steps, 0u);  // the plain job never drafted
+}
+
+// ---------------------------------------------------------------------
+// Layer 3: the pipeline transparency contract.
+// ---------------------------------------------------------------------
+
+using forecast::DraftKind;
+using forecast::ForecastResult;
+using forecast::LlmTimeForecaster;
+using forecast::LlmTimeOptions;
+using forecast::MultiCastForecaster;
+using forecast::MultiCastOptions;
+using forecast::Quantization;
+
+ts::Frame PeriodicFrame(size_t n) {
+  std::vector<double> a(n), b(n);
+  for (size_t i = 0; i < n; ++i) {
+    double phase = 2.0 * M_PI * static_cast<double>(i) / 12.0;
+    a[i] = 10.0 + 5.0 * std::sin(phase);
+    b[i] = 50.0 - 20.0 * std::sin(phase);
+  }
+  return ts::Frame::FromSeries({ts::Series(a, "a"), ts::Series(b, "b")},
+                               "periodic")
+      .ValueOrDie();
+}
+
+// Asserts every deterministic field of two ForecastResults matches
+// exactly (wall-clock `seconds` excluded).
+void ExpectIdentical(const ForecastResult& a, const ForecastResult& b,
+                     const std::string& label) {
+  SCOPED_TRACE(label);
+  ASSERT_EQ(a.forecast.num_dims(), b.forecast.num_dims());
+  for (size_t d = 0; d < a.forecast.num_dims(); ++d) {
+    EXPECT_EQ(a.forecast.dim(d).values(), b.forecast.dim(d).values())
+        << "dimension " << d;
+  }
+  ASSERT_EQ(a.quantile_bands.size(), b.quantile_bands.size());
+  for (size_t i = 0; i < a.quantile_bands.size(); ++i) {
+    EXPECT_EQ(a.quantile_bands[i].first, b.quantile_bands[i].first);
+    for (size_t d = 0; d < a.quantile_bands[i].second.num_dims(); ++d) {
+      EXPECT_EQ(a.quantile_bands[i].second.dim(d).values(),
+                b.quantile_bands[i].second.dim(d).values())
+          << "band " << i << " dimension " << d;
+    }
+  }
+  EXPECT_EQ(a.ledger.prompt_tokens, b.ledger.prompt_tokens);
+  EXPECT_EQ(a.ledger.generated_tokens, b.ledger.generated_tokens);
+  EXPECT_EQ(a.virtual_seconds, b.virtual_seconds);
+  EXPECT_EQ(a.degraded, b.degraded);
+  EXPECT_EQ(a.samples_requested, b.samples_requested);
+  EXPECT_EQ(a.samples_used, b.samples_used);
+  EXPECT_EQ(a.warnings, b.warnings);
+  EXPECT_EQ(a.retry_stats.calls, b.retry_stats.calls);
+  EXPECT_EQ(a.retry_stats.attempts, b.retry_stats.attempts);
+  EXPECT_EQ(a.retry_stats.retries, b.retry_stats.retries);
+  EXPECT_EQ(a.retry_stats.backoff_seconds, b.retry_stats.backoff_seconds);
+}
+
+std::shared_ptr<BatchScheduler> Scheduler(size_t max_batch) {
+  BatchPolicy policy;
+  policy.max_batch = max_batch;
+  return std::make_shared<BatchScheduler>(policy);
+}
+
+// The headline property: speculative decode at any draft length, batch
+// size and thread count is bit-identical to the plain serial run — and
+// the scheduler really did draft (the invariance is not vacuous).
+TEST(SpeculativeIdentityTest, CleanPipelineIsSpeculationInvariant) {
+  ts::Frame frame = PeriodicFrame(96);
+  MultiCastOptions opts;
+  opts.num_samples = 6;
+  opts.seed = 1234;
+  opts.quantiles = {0.1, 0.9};
+
+  auto reference = MultiCastForecaster(opts).Forecast(frame, 12);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  opts.speculative = true;
+  for (int draft_k : {1, 4, 16}) {
+    for (size_t max_batch : {1, 4}) {
+      for (int threads : {1, 8}) {
+        opts.draft_k = draft_k;
+        opts.threads = threads;
+        opts.batch_scheduler = Scheduler(max_batch);
+        auto spec = MultiCastForecaster(opts).Forecast(frame, 12);
+        ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+        ExpectIdentical(reference.value(), spec.value(),
+                        "draft_k=" + std::to_string(draft_k) +
+                            " batch=" + std::to_string(max_batch) +
+                            " threads=" + std::to_string(threads));
+        SpecStats ss = opts.batch_scheduler->stats().spec;
+        EXPECT_GT(ss.steps, 0u);
+        EXPECT_GT(ss.drafted, 0u);
+        EXPECT_EQ(ss.emitted, ss.accepted + ss.steps);
+      }
+    }
+  }
+}
+
+TEST(SpeculativeIdentityTest, NGramDrafterIsSpeculationInvariant) {
+  ts::Frame frame = PeriodicFrame(96);
+  MultiCastOptions opts;
+  opts.num_samples = 5;
+  opts.seed = 1234;
+
+  auto reference = MultiCastForecaster(opts).Forecast(frame, 12);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  opts.speculative = true;
+  opts.draft = DraftKind::kNGram;
+  for (size_t max_batch : {1, 4}) {
+    opts.batch_scheduler = Scheduler(max_batch);
+    auto spec = MultiCastForecaster(opts).Forecast(frame, 12);
+    ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+    ExpectIdentical(reference.value(), spec.value(),
+                    "ngram batch=" + std::to_string(max_batch));
+    EXPECT_GT(opts.batch_scheduler->stats().spec.drafted, 0u);
+  }
+}
+
+TEST(SpeculativeIdentityTest, SaxPipelineIsSpeculationInvariant) {
+  ts::Frame frame = PeriodicFrame(96);
+  MultiCastOptions opts;
+  opts.quantization = Quantization::kSaxAlphabetic;
+  opts.num_samples = 5;
+  opts.seed = 31;
+
+  auto reference = MultiCastForecaster(opts).Forecast(frame, 12);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  opts.speculative = true;
+  for (size_t max_batch : {1, 4}) {
+    opts.batch_scheduler = Scheduler(max_batch);
+    auto spec = MultiCastForecaster(opts).Forecast(frame, 12);
+    ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+    ExpectIdentical(reference.value(), spec.value(),
+                    "sax batch=" + std::to_string(max_batch));
+    EXPECT_GT(opts.batch_scheduler->stats().spec.steps, 0u);
+  }
+}
+
+// Same property under chaos + retries: the redraw/salvage machinery
+// above the leaf must see identical failures at identical draws.
+TEST(SpeculativeIdentityTest, ChaosPipelineIsSpeculationInvariant) {
+  ts::Frame frame = PeriodicFrame(96);
+  MultiCastOptions opts;
+  opts.num_samples = 5;
+  opts.seed = 77;
+  opts.faults = lm::FaultProfile::Chaos(0.2, 4242);
+  opts.resilience.retries_enabled = true;
+
+  auto reference = MultiCastForecaster(opts).Forecast(frame, 12);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  opts.speculative = true;
+  for (int draft_k : {1, 8}) {
+    for (size_t max_batch : {1, 4}) {
+      for (int threads : {1, 8}) {
+        opts.draft_k = draft_k;
+        opts.threads = threads;
+        opts.batch_scheduler = Scheduler(max_batch);
+        auto spec = MultiCastForecaster(opts).Forecast(frame, 12);
+        ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+        ExpectIdentical(reference.value(), spec.value(),
+                        "draft_k=" + std::to_string(draft_k) +
+                            " batch=" + std::to_string(max_batch) +
+                            " threads=" + std::to_string(threads));
+      }
+    }
+  }
+}
+
+// Deadline degradation: the surviving-sample set must match the plain
+// run exactly — speculation adds no virtual time of its own.
+TEST(SpeculativeDegradationTest, DeadlineDegradationIsSpeculationInvariant) {
+  ts::Frame frame = PeriodicFrame(48);
+  auto run = [&](bool speculative, double deadline) {
+    MultiCastOptions opts;
+    opts.num_samples = 8;
+    opts.seed = 5;
+    opts.faults = lm::FaultProfile::Chaos(0.1, 88);
+    opts.resilience.retries_enabled = true;
+    opts.speculative = speculative;
+    if (speculative) opts.batch_scheduler = Scheduler(4);
+    MultiCastForecaster forecaster(opts);
+    VirtualClock clock;
+    RequestContext ctx;
+    ctx.clock = &clock;
+    if (deadline > 0.0) ctx.deadline = Deadline::At(deadline);
+    return forecaster.Forecast(frame, 6, ctx);
+  };
+  auto probe = run(false, 0.0);
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  const double deadline = probe.value().virtual_seconds * 0.5;
+  ASSERT_GT(deadline, 0.0);
+  auto reference = run(false, deadline);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  EXPECT_TRUE(reference.value().degraded);
+  auto spec = run(true, deadline);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  ExpectIdentical(reference.value(), spec.value(), "speculative deadline");
+}
+
+TEST(SpeculativeDegradationTest, MidFlightCancelIsSpeculationInvariant) {
+  ts::Frame frame = PeriodicFrame(48);
+  auto run = [&](bool speculative, double cancel_at) {
+    MultiCastOptions opts;
+    opts.num_samples = 8;
+    opts.seed = 5;
+    opts.faults = lm::FaultProfile::Chaos(0.1, 88);
+    opts.resilience.retries_enabled = true;
+    opts.speculative = speculative;
+    if (speculative) opts.batch_scheduler = Scheduler(4);
+    MultiCastForecaster forecaster(opts);
+    VirtualClock clock;
+    RequestContext ctx;
+    ctx.clock = &clock;
+    if (cancel_at > 0.0) ctx.cancel.CancelAtTime(&clock, cancel_at, "drain");
+    return forecaster.Forecast(frame, 6, ctx);
+  };
+  auto probe = run(false, 0.0);
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  const double cancel_at = probe.value().virtual_seconds * 0.5;
+  ASSERT_GT(cancel_at, 0.0);
+  auto reference = run(false, cancel_at);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  EXPECT_TRUE(reference.value().degraded);
+  auto spec = run(true, cancel_at);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  ExpectIdentical(reference.value(), spec.value(), "speculative cancel");
+}
+
+// LLMTime forwards the speculative knobs into every per-dimension
+// pipeline; each dimension drafts from its own classical forecast.
+TEST(SpeculativeLlmTimeTest, PerDimensionSpeculationIsOutputInvariant) {
+  ts::Frame frame = PeriodicFrame(96);
+  LlmTimeOptions opts;
+  opts.num_samples = 4;
+  opts.seed = 9;
+
+  auto reference = LlmTimeForecaster(opts).Forecast(frame, 12);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  opts.speculative = true;
+  for (int threads : {1, 8}) {
+    opts.threads = threads;
+    opts.batch_scheduler = Scheduler(8);
+    auto spec = LlmTimeForecaster(opts).Forecast(frame, 12);
+    ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+    ExpectIdentical(reference.value(), spec.value(),
+                    "llmtime threads=" + std::to_string(threads));
+    EXPECT_GT(opts.batch_scheduler->stats().spec.steps, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace batch
+}  // namespace multicast

@@ -39,6 +39,13 @@ echo "==== bench smoke: overload degradation-ladder goodput gates ===="
 cmake --build build -j "${JOBS}" --target ablation_overload
 ./build/bench/ablation_overload --smoke
 
+echo "==== bench smoke: speculative decoding identity + speedup gates ===="
+# Exits non-zero when any speculative forecast diverges from its plain
+# twin (bit-identity at every swept draft length and batch size), or
+# the best-k speedup on the latency-bound backend falls below 1.5x.
+cmake --build build -j "${JOBS}" --target speculative_decode
+./build/bench/speculative_decode --smoke
+
 run_asan=1
 run_tsan=1
 for arg in "$@"; do
@@ -65,6 +72,7 @@ if [[ "${run_asan}" == "1" ]]; then
     backend_contract_test
     prefix_cache_test
     batch_scheduler_test
+    speculative_test
     cluster_test
     cluster_chaos_test
   )
@@ -94,6 +102,7 @@ if [[ "${run_tsan}" == "1" ]]; then
     resilient_backend_test
     fault_injection_test
     batch_scheduler_test
+    speculative_test
     cluster_test
     cluster_chaos_test
   )
