@@ -47,6 +47,13 @@ std::vector<Replica> MakeUniformReplicas(
       policy.backfill = options.batch_backfill;
       rep.scheduler = std::make_shared<batch::BatchScheduler>(policy);
     }
+    if (options.paged_memory) {
+      lm::PagedMemoryOptions paged;
+      paged.enabled = true;
+      paged.block_span = options.block_span;
+      paged.max_blocks = options.pool_blocks;
+      rep.block_pool = std::make_shared<lm::BlockPool>(paged);
+    }
     fleet.push_back(std::move(rep));
   }
   return fleet;
@@ -134,7 +141,26 @@ Result<std::vector<serve::ServeStats>> ClusterExecutor::Run(
   }
 
   serve::AdmissionQueue queue(options_.queue);
-  serve::OverloadController overload(options_.overload,
+  serve::OverloadPolicy overload_policy = options_.overload;
+  if (!overload_policy.memory_probe) {
+    // Fleet memory observable: the fullest replica pool. Session state
+    // is pinned to its node, so the tightest pool gates the ladder —
+    // averaging would hide one node at its cap behind idle peers.
+    std::vector<std::shared_ptr<lm::BlockPool>> pools;
+    for (const Replica& rep : replicas_) {
+      if (rep.block_pool != nullptr) pools.push_back(rep.block_pool);
+    }
+    if (!pools.empty()) {
+      overload_policy.memory_probe = [pools = std::move(pools)]() {
+        double fullest = 0.0;
+        for (const auto& pool : pools) {
+          fullest = std::max(fullest, pool->Fullness());
+        }
+        return fullest;
+      };
+    }
+  }
+  serve::OverloadController overload(overload_policy,
                                      options_.queue.capacity);
   Router router(options_.router, replicas_.size(), options_.router_seed);
   HealthMonitor monitor(options_.health, replicas_.size());

@@ -46,6 +46,7 @@
 #include "cluster/health.h"
 #include "cluster/router.h"
 #include "forecast/forecaster.h"
+#include "lm/paged_store.h"
 #include "lm/prefix_cache.h"
 #include "serve/executor.h"
 #include "serve/queue.h"
@@ -64,6 +65,13 @@ struct Replica {
   std::shared_ptr<lm::PrefixCache> prefix_cache;
   /// Node-local decode scheduler; may be null (unbatched decode).
   std::shared_ptr<batch::BatchScheduler> scheduler;
+  /// Node-local paged-memory pool (lm/paged_store.h); may be null
+  /// (plain storage). Factories attach it to the pipelines they build
+  /// here, so a node's sessions share frozen prompt state at block
+  /// granularity; a crash that wipes the node's prefix cache releases
+  /// the cache's block references, and the blocks return to this
+  /// pool's freelist once the last live session drops them.
+  std::shared_ptr<lm::BlockPool> block_pool;
   /// Scripted failures (crash / partition / slow); see fault_plan.h.
   ReplicaFaultPlan plan;
   /// Concurrent in-service requests this node accepts.
@@ -84,6 +92,13 @@ struct UniformReplicaOptions {
   /// disables the schedulers.
   size_t batch_slots = 0;
   bool batch_backfill = true;
+  /// Per-replica paged-memory pools: false leaves every
+  /// Replica::block_pool null (plain storage).
+  bool paged_memory = false;
+  /// Pool geometry when paged_memory is set (same semantics as
+  /// forecast::MultiCastOptions::block_span / pool_blocks).
+  size_t block_span = 32;
+  size_t pool_blocks = 0;
 };
 
 /// The fleet: plain data handed to ClusterExecutor.
@@ -123,7 +138,11 @@ struct ClusterOptions {
   /// Overload-aware degradation (brownout ladder + AIMD admission),
   /// identical to ServeOptions::overload: the fleet sheds load the same
   /// way a single node does. Factories see the assigned rung in
-  /// ForecastRequest::tier. Off by default.
+  /// ForecastRequest::tier. Off by default. When replicas carry paged
+  /// block pools and no memory_probe is set here, the executor probes
+  /// the *fullest* replica pool as the ladder's memory observable (the
+  /// router cannot move pinned session state, so the tightest node
+  /// gates the fleet).
   serve::OverloadPolicy overload;
   /// Unified metrics registry (not owned; may be null). When set, the
   /// executor publishes its queue / overload / fleet-failover counters

@@ -20,6 +20,15 @@ LlmTimeForecaster::LlmTimeForecaster(const LlmTimeOptions& options)
     prefix_cache_ =
         std::make_shared<lm::PrefixCache>(options_.prefix_cache_capacity);
   }
+  if (options_.block_pool != nullptr) {
+    block_pool_ = options_.block_pool;
+  } else if (options_.paged_memory) {
+    lm::PagedMemoryOptions paged;
+    paged.enabled = true;
+    paged.block_span = options_.block_span;
+    paged.max_blocks = options_.pool_blocks;
+    block_pool_ = std::make_shared<lm::BlockPool>(paged);
+  }
 }
 
 LlmTimeForecaster::~LlmTimeForecaster() = default;
@@ -78,6 +87,9 @@ Result<ForecastResult> LlmTimeForecaster::Forecast(const ts::Frame& history,
   base.speculative = options_.speculative;
   base.draft_k = options_.draft_k;
   base.draft = options_.draft;
+  // One pool across all dimensions: BlockPool is thread-safe, and the
+  // per-dimension pipelines attach it through their profile.
+  base.block_pool = block_pool_;
 
   const size_t dims = history.num_dims();
   const double t0 = ctx.now();

@@ -68,6 +68,16 @@ struct LlmTimeOptions {
   bool speculative = false;
   int draft_k = 4;
   forecast::DraftKind draft = forecast::DraftKind::kClassical;
+  /// Paged session memory, forwarded into every per-dimension pipeline
+  /// (same semantics — and the same bit-identity guarantee — as the
+  /// MultiCastOptions fields of the same names). One pool is shared by
+  /// all dimensions, so cross-dimension frozen prompt state shares
+  /// blocks by refcount.
+  bool paged_memory = false;
+  size_t block_span = 32;
+  size_t pool_blocks = 0;
+  /// Externally shared pool; overrides `paged_memory` when set.
+  std::shared_ptr<lm::BlockPool> block_pool;
 };
 
 /// Runs a univariate serialized forecast per dimension and stitches the
@@ -97,6 +107,12 @@ class LlmTimeForecaster final : public Forecaster {
     return prefix_cache_;
   }
 
+  /// The pool shared by every per-dimension pipeline; null when paged
+  /// memory is off and no external pool was attached.
+  const std::shared_ptr<lm::BlockPool>& block_pool() const {
+    return block_pool_;
+  }
+
  private:
   /// The per-dimension pool, created lazily on the first parallel
   /// forecast; null while options_.threads <= 1.
@@ -105,6 +121,7 @@ class LlmTimeForecaster final : public Forecaster {
   LlmTimeOptions options_;
   std::unique_ptr<ThreadPool> pool_;
   std::shared_ptr<lm::PrefixCache> prefix_cache_;
+  std::shared_ptr<lm::BlockPool> block_pool_;
 };
 
 }  // namespace forecast

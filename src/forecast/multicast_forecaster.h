@@ -149,6 +149,24 @@ struct MultiCastOptions {
   /// n-gram proposer when the classical tier cannot render a template
   /// (drafting is an accelerator, never a correctness dependency).
   DraftKind draft = DraftKind::kClassical;
+  /// Paged session memory (lm/paged_store.h): model layers live in
+  /// fixed-span refcounted blocks from a shared BlockPool instead of
+  /// per-entry map nodes, so concurrent draws share frozen prompt state
+  /// at block granularity. Output is bit-identical paged vs plain at
+  /// any thread count, batch size, draft-k and cache state; only
+  /// resident bytes change (reported as lm.mem.* metrics).
+  bool paged_memory = false;
+  /// Payload slots per block (paged mode).
+  size_t block_span = 32;
+  /// Pool-wide live-block cap; 0 = unbounded. When the cap is hit, new
+  /// entries spill to plain storage (bit-identical, counted as
+  /// lm.mem.exhaustion_events) and the pool's fullness feeds the
+  /// serving layer's overload ladder.
+  size_t pool_blocks = 0;
+  /// Externally shared pool (one pool across serving requests or
+  /// LLMTime's per-dimension pipelines). When set it is used regardless
+  /// of `paged_memory` and the forecaster creates no pool of its own.
+  std::shared_ptr<lm::BlockPool> block_pool;
 };
 
 /// See file comment.
@@ -178,6 +196,13 @@ class MultiCastForecaster final : public Forecaster {
     return prefix_cache_;
   }
 
+  /// The paged-memory pool in use (owned or shared); null when paged
+  /// memory is off and no external pool was attached. Exposed for
+  /// benches, serving stats and tests.
+  const std::shared_ptr<lm::BlockPool>& block_pool() const {
+    return block_pool_;
+  }
+
  private:
   Result<ForecastResult> ForecastRaw(const ts::Frame& history, size_t horizon,
                                      const RequestContext& ctx);
@@ -191,6 +216,7 @@ class MultiCastForecaster final : public Forecaster {
   MultiCastOptions options_;
   std::unique_ptr<ThreadPool> pool_;
   std::shared_ptr<lm::PrefixCache> prefix_cache_;
+  std::shared_ptr<lm::BlockPool> block_pool_;
 };
 
 /// Aggregates `samples[s][t]` (s samples of an h-step forecast) into the

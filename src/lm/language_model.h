@@ -19,12 +19,32 @@
 #define MULTICAST_LM_LANGUAGE_MODEL_H_
 
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "token/vocabulary.h"
 
 namespace multicast {
 namespace lm {
+
+/// Estimated resident bytes of one model, split the way the paged
+/// memory accounting needs it: `overlay_bytes` is state private to this
+/// session; `base_bytes` is the frozen base it conditions on, which may
+/// be shared with any number of other sessions by refcount.
+struct MemoryFootprint {
+  size_t overlay_bytes = 0;
+  size_t base_bytes = 0;
+  size_t total() const { return overlay_bytes + base_bytes; }
+};
+
+/// Deduplicating byte tally: shared frozen layers/stores are counted
+/// once no matter how many models (e.g. PrefixCache entries and their
+/// forks) reference them. `seen` holds the identity of each shared
+/// object already counted.
+struct MemoryTally {
+  size_t bytes = 0;
+  std::unordered_set<const void*> seen;
+};
 
 /// A stateful decoding session over a fixed vocabulary.
 class LanguageModel {
@@ -74,6 +94,15 @@ class LanguageModel {
   /// model's context and records only what it observes itself. Requires
   /// Freeze() first. Null when SupportsFork() is false.
   virtual std::unique_ptr<LanguageModel> Fork() const { return nullptr; }
+
+  /// Estimated resident bytes (see MemoryFootprint). Models that do not
+  /// track memory report zeroes.
+  virtual MemoryFootprint ApproxMemoryBytes() const { return {}; }
+
+  /// Adds this model's resident bytes into `tally`, counting shared
+  /// frozen state only once across all models tallied into the same
+  /// MemoryTally (the PrefixCache's true-resident-bytes accounting).
+  virtual void TallyMemory(MemoryTally* tally) const { (void)tally; }
 };
 
 }  // namespace lm

@@ -16,6 +16,12 @@
 // model (see ngram_model.h): frozen layers shared by reference, one
 // private overlay per session, copy-on-first-touch per context key. The
 // shared per-depth log-odds vector is tiny and copied whole on fork.
+//
+// Storage modes mirror ngram_model.h as well: plain per-depth
+// unordered_maps, or — when an enabled BlockPool is attached — one
+// PagedContextStore per layer (keys encode depth) with u16 counts and a
+// plain overflow map for u16-saturated / pool-spilled nodes. The
+// per-node posterior weight stays a full double inside the slot.
 
 #ifndef MULTICAST_LM_MIXTURE_MODEL_H_
 #define MULTICAST_LM_MIXTURE_MODEL_H_
@@ -28,6 +34,7 @@
 #include <vector>
 
 #include "lm/language_model.h"
+#include "lm/paged_store.h"
 
 namespace multicast {
 namespace lm {
@@ -48,12 +55,19 @@ struct MixtureOptions {
   double depth_learning_rate = 0.05;
   /// Uniform mixing floor, as in NGramOptions.
   double uniform_mix = 1e-4;
+  /// Frozen-layer compaction threshold, as in NGramOptions (storage
+  /// only, excluded from the fingerprint). Must be >= 1.
+  size_t max_base_layers = 4;
 };
 
 /// See file comment.
 class MixtureLanguageModel final : public LanguageModel {
  public:
-  MixtureLanguageModel(size_t vocab_size, const MixtureOptions& options);
+  /// `pool` as in NGramLanguageModel: accounting sink, and — when
+  /// enabled — the paged-storage source.
+  MixtureLanguageModel(size_t vocab_size, const MixtureOptions& options,
+                       std::shared_ptr<BlockPool> pool = nullptr);
+  ~MixtureLanguageModel() override;
 
   void Reset() override;
   void Observe(token::TokenId id) override;
@@ -67,14 +81,22 @@ class MixtureLanguageModel final : public LanguageModel {
   bool frozen() const override { return frozen_; }
   std::unique_ptr<LanguageModel> Fork() const override;
 
+  MemoryFootprint ApproxMemoryBytes() const override;
+  void TallyMemory(MemoryTally* tally) const override;
+
   void ObserveAll(const std::vector<token::TokenId>& ids);
+
+  /// True when layers live in paged storage (pool attached and enabled).
+  bool paged() const { return paged_; }
 
   /// Number of context nodes materialized so far, in the effective
   /// (layer-merged) view.
   size_t num_nodes() const;
 
   /// Number of frozen base layers under this session (tests only).
-  size_t num_base_layers() const { return base_.size(); }
+  size_t num_base_layers() const {
+    return paged_ ? paged_base_.size() : base_.size();
+  }
 
  private:
   struct Node {
@@ -93,12 +115,35 @@ class MixtureLanguageModel final : public LanguageModel {
     std::vector<Table> nodes;
   };
 
+  // Paged twin of Layer (see ngram_model.h): one store for all depths
+  // plus the overflow map; `store` null in an overflow-only layer.
+  struct PagedLayer {
+    std::shared_ptr<const PagedContextStore> store;
+    std::shared_ptr<const Table> overflow;
+  };
+
+  // Unified read view over both storage modes (see ngram_model.h).
+  struct NodeRef {
+    bool found = false;
+    const uint32_t* wide = nullptr;
+    const uint16_t* narrow = nullptr;
+    const std::byte* slot = nullptr;  // narrow slot base, for seeding
+    uint32_t total = 0;
+    double log_self_odds = 0.0;
+    double Count(size_t s) const {
+      if (narrow != nullptr) return static_cast<double>(narrow[s]);
+      if (wide != nullptr) return static_cast<double>(wide[s]);
+      return 0.0;
+    }
+  };
+
   // Packs the most recent `depth` tokens into a 64-bit key (5 bits per
   // token, depth tag disambiguates).
   uint64_t PackContext(int depth) const;
 
   // KT predictive probability of `symbol` at `node`.
   double KtProb(const Node& node, size_t symbol) const;
+  double KtProbRef(const NodeRef& node, size_t symbol) const;
 
   // Topmost frozen-layer node for a key, or null.
   const Node* FindFrozen(size_t depth, uint64_t key) const;
@@ -108,18 +153,36 @@ class MixtureLanguageModel final : public LanguageModel {
   // fresh (absent from overlay *and* every frozen layer).
   std::pair<Node*, bool> MutableNode(size_t depth, uint64_t key);
 
+  // Paged twins.
+  size_t SlotBytes() const;
+  NodeRef LookupFrozenPaged(uint64_t key) const;
+  NodeRef LookupNodePaged(uint64_t key) const;
+  // Unified lookup dispatching on the storage mode.
+  NodeRef LookupNode(size_t depth, uint64_t key) const;
+  // Phase-2 node update (weight += llr with clamp, count increments),
+  // with copy-on-first-touch, u16 promotion and exhaustion spill.
+  void UpdateNodePaged(uint64_t key, size_t symbol, double llr,
+                       double prior_log_odds);
+  void CompactPagedBase();
+
   // Walks the context path computing the mixture distribution in-place;
   // also returns the per-depth node keys so Observe can update them.
   void MixturePath(std::vector<double>* mix, std::vector<uint64_t>* keys) const;
 
   size_t vocab_size_;
   MixtureOptions options_;
+  std::shared_ptr<BlockPool> pool_;
+  bool paged_ = false;
   size_t observed_ = 0;
   std::deque<token::TokenId> recent_;
   // Frozen base layers, bottom to top; shared read-only with every fork.
   std::vector<std::shared_ptr<const Layer>> base_;
   // This session's private overlay.
   Layer local_;
+  // Paged-mode twins of base_ / local_.
+  std::vector<PagedLayer> paged_base_;
+  std::unique_ptr<PagedContextStore> paged_local_;
+  Table overflow_local_;
   // Shared log-odds component per depth (see depth_learning_rate).
   // Per-session state: copied, not shared, on fork.
   std::vector<double> depth_log_odds_;

@@ -18,6 +18,17 @@
 // copy is at most 31 counters), after which reads and increments hit
 // the overlay copy — byte-for-byte the same integers a monolithic model
 // would hold, so every downstream float op is bit-identical.
+//
+// Layers have two storage modes (chosen by the BlockPool handed to the
+// constructor — see lm/paged_store.h):
+//   * plain: one unordered_map per order, counts in u32 vectors — the
+//     original representation, kept for differential testing.
+//   * paged: one PagedContextStore per layer (context keys already
+//     encode their order), counts packed as u16 in fixed-size slots
+//     drawn from refcounted pool blocks. Entries whose counts outgrow
+//     u16, and entries the pool had no block for (exhaustion), live in
+//     a plain per-layer overflow map — both still hold exactly the
+//     integers the plain mode holds, so output is bit-identical.
 
 #ifndef MULTICAST_LM_NGRAM_MODEL_H_
 #define MULTICAST_LM_NGRAM_MODEL_H_
@@ -29,6 +40,7 @@
 #include <vector>
 
 #include "lm/language_model.h"
+#include "lm/paged_store.h"
 
 namespace multicast {
 namespace lm {
@@ -44,13 +56,24 @@ struct NGramOptions {
   /// Probability mass mixed in from the uniform distribution at the end
   /// (decoder noise floor). Must be in [0, 1).
   double uniform_mix = 1e-4;
+  /// Frozen layers a fork chain may accumulate before Freeze() compacts
+  /// them into one; bounds the per-lookup layer walk for long chains
+  /// (e.g. rolling windows forked off forked prefixes). Must be >= 1.
+  /// Storage-only: does not affect model output, so it is excluded from
+  /// the model fingerprint.
+  size_t max_base_layers = 4;
 };
 
 /// See file comment.
 class NGramLanguageModel final : public LanguageModel {
  public:
   /// `vocab_size` must be <= 31 (tokens pack into 5 bits each).
-  NGramLanguageModel(size_t vocab_size, const NGramOptions& options);
+  /// `pool`, when set, receives session byte accounting; when it is
+  /// additionally enabled (PagedMemoryOptions::enabled) the layers use
+  /// paged storage drawn from it.
+  NGramLanguageModel(size_t vocab_size, const NGramOptions& options,
+                     std::shared_ptr<BlockPool> pool = nullptr);
+  ~NGramLanguageModel() override;
 
   void Reset() override;
   void Observe(token::TokenId id) override;
@@ -64,10 +87,15 @@ class NGramLanguageModel final : public LanguageModel {
   bool frozen() const override { return frozen_; }
   std::unique_ptr<LanguageModel> Fork() const override;
 
+  MemoryFootprint ApproxMemoryBytes() const override;
+  void TallyMemory(MemoryTally* tally) const override;
+
   /// Convenience: observes a whole token sequence.
   void ObserveAll(const std::vector<token::TokenId>& ids);
 
   const NGramOptions& options() const { return options_; }
+  /// True when layers live in paged storage (pool attached and enabled).
+  bool paged() const { return paged_; }
 
   /// Number of distinct (context, next) pairs currently counted, across
   /// all orders, in the effective (layer-merged) view. Exposed for tests
@@ -75,7 +103,9 @@ class NGramLanguageModel final : public LanguageModel {
   size_t num_entries() const;
 
   /// Number of frozen base layers under this session (tests only).
-  size_t num_base_layers() const { return base_.size(); }
+  size_t num_base_layers() const {
+    return paged_ ? paged_base_.size() : base_.size();
+  }
 
  private:
   // Per-context counts: next-token counts, their total, and the number of
@@ -96,6 +126,32 @@ class NGramLanguageModel final : public LanguageModel {
     std::vector<Table> counts;
   };
 
+  // Paged twin of Layer: one store for every order (keys encode their
+  // order) plus the overflow map for wide-promoted / pool-spilled
+  // entries. `store` may be null in an overflow-only layer (the
+  // compaction fallback when overflow entries exist).
+  struct PagedLayer {
+    std::shared_ptr<const PagedContextStore> store;
+    std::shared_ptr<const Table> overflow;
+  };
+
+  // Unified read view over both storage modes: counts live behind
+  // either a u32 array (plain tables, wide overflow entries) or a u16
+  // slot array (paged). Equal integers cast to equal doubles, so the
+  // blend below is bit-identical across modes.
+  struct CountsRef {
+    bool found = false;
+    const uint32_t* wide = nullptr;
+    const uint16_t* narrow = nullptr;
+    const std::byte* slot = nullptr;  // narrow slot base, for seeding
+    uint32_t total = 0;
+    uint32_t types = 0;
+    double Count(size_t w) const {
+      return narrow != nullptr ? static_cast<double>(narrow[w])
+                               : static_cast<double>(wide[w]);
+    }
+  };
+
   // Packs the last `order` tokens of the recent-context window into a
   // 64-bit key. Keys of different orders cannot collide because the
   // order is encoded in the key.
@@ -109,8 +165,17 @@ class NGramLanguageModel final : public LanguageModel {
   // first touch.
   ContextCounts& MutableEntry(size_t order, uint64_t key);
 
+  // Paged twins.
+  size_t SlotBytes() const;
+  CountsRef LookupFrozenPaged(uint64_t key) const;
+  CountsRef LookupPaged(uint64_t key) const;
+  void ObservePaged(uint64_t key, token::TokenId id);
+  void CompactPagedBase();
+
   size_t vocab_size_;
   NGramOptions options_;
+  std::shared_ptr<BlockPool> pool_;
+  bool paged_ = false;
   size_t observed_ = 0;
   // Most recent max_order tokens (the sliding conditioning window).
   std::deque<token::TokenId> recent_;
@@ -118,6 +183,10 @@ class NGramLanguageModel final : public LanguageModel {
   std::vector<std::shared_ptr<const Layer>> base_;
   // This session's private overlay.
   Layer local_;
+  // Paged-mode twins of base_ / local_.
+  std::vector<PagedLayer> paged_base_;
+  std::unique_ptr<PagedContextStore> paged_local_;
+  Table overflow_local_;
   bool frozen_ = false;
 };
 

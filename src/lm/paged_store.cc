@@ -1,0 +1,352 @@
+#include "lm/paged_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/status.h"
+
+namespace multicast {
+namespace lm {
+namespace {
+
+constexpr size_t kMinBlockSpan = 4;
+constexpr size_t kMinIndexCells = 16;
+
+size_t RoundUp8(size_t n) { return (n + 7) & ~static_cast<size_t>(7); }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// BlockPool
+
+BlockPool::BlockPool(const PagedMemoryOptions& options) : options_(options) {
+  shared_ = std::make_shared<Shared>();
+  shared_->max_blocks = options.max_blocks;
+}
+
+BlockRef BlockPool::Allocate(size_t bytes) {
+  MC_CHECK(bytes > 0);
+  std::unique_ptr<std::byte[]> buf;
+  {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    BlockPoolStats& s = shared_->stats;
+    if (shared_->max_blocks > 0 && s.blocks_live >= shared_->max_blocks) {
+      ++s.exhaustion_events;
+      return nullptr;
+    }
+    auto it = shared_->freelist.find(bytes);
+    if (it != shared_->freelist.end() && !it->second.empty()) {
+      buf = std::move(it->second.back());
+      it->second.pop_back();
+      --s.blocks_free;
+      ++s.blocks_recycled;
+    }
+    ++s.blocks_live;
+    s.blocks_peak = std::max(s.blocks_peak, s.blocks_live);
+    s.bytes_live += bytes;
+    s.bytes_peak = std::max(s.bytes_peak, s.bytes_live);
+  }
+  // Heap work outside the lock; a fresh buffer needs no zeroing — the
+  // store zeroes each slot as it is claimed, recycled or not.
+  if (buf == nullptr) buf = std::make_unique<std::byte[]>(bytes);
+  // The deleter captures the Shared state (not the pool object), so a
+  // block outliving its BlockPool still returns its buffer safely.
+  std::shared_ptr<Shared> home = shared_;
+  return BlockRef(new Block(std::move(buf), bytes), [home](Block* b) {
+    {
+      std::lock_guard<std::mutex> lock(home->mu);
+      BlockPoolStats& s = home->stats;
+      --s.blocks_live;
+      s.bytes_live -= b->bytes_;
+      ++s.blocks_free;
+      home->freelist[b->bytes_].push_back(std::move(b->data_));
+    }
+    delete b;
+  });
+}
+
+void BlockPool::NoteSessionEnd(size_t overlay_bytes, size_t base_bytes) {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  BlockPoolStats& s = shared_->stats;
+  ++s.sessions;
+  s.session_overlay_bytes += overlay_bytes;
+  s.session_base_bytes += base_bytes;
+}
+
+double BlockPool::Fullness() const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  if (shared_->max_blocks == 0) return 0.0;
+  return static_cast<double>(shared_->stats.blocks_live) /
+         static_cast<double>(shared_->max_blocks);
+}
+
+BlockPoolStats BlockPool::stats() const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  return shared_->stats;
+}
+
+void BlockPool::PublishMetrics(util::MetricsRegistry* registry,
+                               const std::string& prefix) const {
+  PublishBlockPoolStats(stats(), registry, prefix);
+  registry->GetGauge(prefix + "pool_fullness")->Set(Fullness());
+}
+
+void PublishBlockPoolStats(const BlockPoolStats& stats,
+                           util::MetricsRegistry* registry,
+                           const std::string& prefix) {
+  auto gauge = [&](const char* name, double v) {
+    registry->GetGauge(prefix + name)->Set(v);
+  };
+  auto counter = [&](const char* name, double v) {
+    registry->GetCounter(prefix + name)->Add(v);
+  };
+  gauge("blocks_live", static_cast<double>(stats.blocks_live));
+  gauge("blocks_peak", static_cast<double>(stats.blocks_peak));
+  gauge("blocks_free", static_cast<double>(stats.blocks_free));
+  gauge("bytes_live", static_cast<double>(stats.bytes_live));
+  gauge("bytes_peak", static_cast<double>(stats.bytes_peak));
+  counter("blocks_recycled", static_cast<double>(stats.blocks_recycled));
+  counter("exhaustion_events", static_cast<double>(stats.exhaustion_events));
+  counter("sessions", static_cast<double>(stats.sessions));
+  counter("session_overlay_bytes",
+          static_cast<double>(stats.session_overlay_bytes));
+  counter("session_base_bytes",
+          static_cast<double>(stats.session_base_bytes));
+  gauge("bytes_per_session", stats.bytes_per_session());
+  gauge("sharing_ratio", stats.sharing_ratio());
+}
+
+BlockPoolStats BlockPoolStatsFromSnapshot(
+    const util::MetricsSnapshot& snapshot, const std::string& prefix) {
+  auto v = [&](const char* name) {
+    return static_cast<size_t>(snapshot.Value(prefix + name));
+  };
+  BlockPoolStats stats;
+  stats.blocks_live = v("blocks_live");
+  stats.blocks_peak = v("blocks_peak");
+  stats.blocks_free = v("blocks_free");
+  stats.bytes_live = v("bytes_live");
+  stats.bytes_peak = v("bytes_peak");
+  stats.blocks_recycled = v("blocks_recycled");
+  stats.exhaustion_events = v("exhaustion_events");
+  stats.sessions = v("sessions");
+  stats.session_overlay_bytes = v("session_overlay_bytes");
+  stats.session_base_bytes = v("session_base_bytes");
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// PagedContextStore
+
+PagedContextStore::PagedContextStore(std::shared_ptr<BlockPool> pool,
+                                     size_t slot_bytes)
+    : pool_(std::move(pool)), slot_bytes_(RoundUp8(slot_bytes)) {
+  MC_CHECK(pool_ != nullptr);
+  span_ = std::max(kMinBlockSpan, pool_->options().block_span);
+  // Keys first, payload area after — 8 * span keeps the payload area
+  // (and with slot_bytes_ a multiple of 8, every slot) 8-aligned for
+  // the mixture model's leading double.
+  block_bytes_ = sizeof(uint64_t) * span_ + slot_bytes_ * span_;
+}
+
+uint64_t PagedContextStore::MixKey(uint64_t key) {
+  // splitmix64 finalizer: the packed context keys are highly regular in
+  // their low bits, and the index mask needs avalanche.
+  uint64_t z = key + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t* PagedContextStore::KeyArray(size_t block) {
+  return reinterpret_cast<uint64_t*>(blocks_[block]->data());
+}
+
+const uint64_t* PagedContextStore::KeyArray(size_t block) const {
+  return reinterpret_cast<const uint64_t*>(blocks_[block]->data());
+}
+
+std::byte* PagedContextStore::Payload(size_t block, size_t slot) {
+  return blocks_[block]->data() + sizeof(uint64_t) * span_ +
+         slot_bytes_ * slot;
+}
+
+const std::byte* PagedContextStore::Payload(size_t block, size_t slot) const {
+  return blocks_[block]->data() + sizeof(uint64_t) * span_ +
+         slot_bytes_ * slot;
+}
+
+size_t PagedContextStore::Probe(uint64_t key) const {
+  const size_t mask = index_.size() - 1;
+  size_t cell = static_cast<size_t>(MixKey(key)) & mask;
+  while (true) {
+    const uint32_t id = index_[cell];
+    if (id == 0) return cell;
+    const size_t slot_id = id - 1;
+    if (KeyArray(slot_id / span_)[slot_id % span_] == key) return cell;
+    cell = (cell + 1) & mask;
+  }
+}
+
+void PagedContextStore::GrowIndex(size_t min_cells) {
+  size_t cells = kMinIndexCells;
+  while (cells < min_cells) cells <<= 1;
+  std::vector<uint32_t> old = std::move(index_);
+  index_.assign(cells, 0);
+  const size_t mask = cells - 1;
+  for (uint32_t id : old) {
+    if (id == 0) continue;
+    const size_t slot_id = id - 1;
+    const uint64_t key = KeyArray(slot_id / span_)[slot_id % span_];
+    size_t cell = static_cast<size_t>(MixKey(key)) & mask;
+    while (index_[cell] != 0) cell = (cell + 1) & mask;
+    index_[cell] = id;
+  }
+}
+
+void PagedContextStore::IndexSlot(uint64_t key, uint32_t block,
+                                  uint32_t slot) {
+  // Keep load below 70%.
+  if (index_.empty() || (size_ + 1) * 10 >= index_.size() * 7) {
+    GrowIndex(index_.empty() ? kMinIndexCells : index_.size() * 2);
+  }
+  const size_t cell = Probe(key);
+  MC_CHECK(index_[cell] == 0);
+  index_[cell] = 1 + block * static_cast<uint32_t>(span_) + slot;
+  ++size_;
+}
+
+const std::byte* PagedContextStore::Find(uint64_t key) const {
+  if (index_.empty()) return nullptr;
+  const uint32_t id = index_[Probe(key)];
+  if (id == 0) return nullptr;
+  const size_t slot_id = id - 1;
+  return Payload(slot_id / span_, slot_id % span_);
+}
+
+std::byte* PagedContextStore::FindMutable(uint64_t key) {
+  return const_cast<std::byte*>(
+      static_cast<const PagedContextStore*>(this)->Find(key));
+}
+
+std::byte* PagedContextStore::Insert(uint64_t key) {
+  if (!tail_open_ || tail_used_ == span_) {
+    BlockRef block = pool_->Allocate(block_bytes_);
+    if (block == nullptr) return nullptr;  // exhaustion: caller spills
+    blocks_.push_back(std::move(block));
+    tail_open_ = true;
+    tail_used_ = 0;
+  }
+  const uint32_t block = static_cast<uint32_t>(blocks_.size() - 1);
+  const uint32_t slot = static_cast<uint32_t>(tail_used_++);
+  KeyArray(block)[slot] = key;
+  std::memset(Payload(block, slot), 0, slot_bytes_);
+  IndexSlot(key, block, slot);
+  return Payload(block, slot);
+}
+
+size_t PagedContextStore::MemoryBytes() const {
+  size_t total = 0;
+  for (const BlockRef& b : blocks_) total += ApproxChunkBytes(b->bytes());
+  if (!index_.empty()) {
+    total += ApproxChunkBytes(index_.size() * sizeof(uint32_t));
+  }
+  return total;
+}
+
+void PagedContextStore::ForEach(
+    const std::function<void(uint64_t, const std::byte*)>& fn) const {
+  for (uint32_t id : index_) {
+    if (id == 0) continue;
+    const size_t slot_id = id - 1;
+    const size_t block = slot_id / span_;
+    const size_t slot = slot_id % span_;
+    fn(KeyArray(block)[slot], Payload(block, slot));
+  }
+}
+
+uint32_t PagedContextStore::AdoptBlock(BlockRef block) {
+  blocks_.push_back(std::move(block));
+  tail_open_ = false;  // never append into an adopted block
+  return static_cast<uint32_t>(blocks_.size() - 1);
+}
+
+std::shared_ptr<PagedContextStore> PagedContextStore::MergeCompact(
+    const std::vector<std::shared_ptr<const PagedContextStore>>& layers,
+    const std::shared_ptr<BlockPool>& pool) {
+  MC_CHECK(!layers.empty());
+  const size_t slot_bytes = layers.front()->slot_bytes_;
+  for (const auto& layer : layers) MC_CHECK(layer->slot_bytes_ == slot_bytes);
+
+  // Effective view: newest layer wins per key. Values identify the
+  // winning (layer, block, slot) so the adoption pass can tell live
+  // slots from shadowed ones.
+  struct Where {
+    size_t layer;
+    uint32_t block;
+    uint32_t slot;
+  };
+  std::unordered_map<uint64_t, Where> merged;
+  for (size_t li = 0; li < layers.size(); ++li) {
+    const PagedContextStore& layer = *layers[li];
+    for (uint32_t id : layer.index_) {
+      if (id == 0) continue;
+      const size_t slot_id = id - 1;
+      const uint32_t block = static_cast<uint32_t>(slot_id / layer.span_);
+      const uint32_t slot = static_cast<uint32_t>(slot_id % layer.span_);
+      merged[layer.KeyArray(block)[slot]] = Where{li, block, slot};
+    }
+  }
+
+  auto out = std::make_shared<PagedContextStore>(pool, slot_bytes);
+
+  // Adoption pass: share any block at least half of whose slot capacity
+  // is still live in the merged view — refcount up, no payload copy.
+  // The dead slots ride along as unindexed waste; below half-live the
+  // waste outweighs the saved copy and the block's survivors are copied
+  // into fresh, dense blocks instead.
+  std::unordered_map<uint64_t, char> handled;
+  handled.reserve(merged.size());
+  for (size_t li = 0; li < layers.size(); ++li) {
+    const PagedContextStore& layer = *layers[li];
+    if (layer.span_ != out->span_) continue;  // span mismatch: copy path
+    for (uint32_t b = 0; b < layer.blocks_.size(); ++b) {
+      // Count live slots: indexed in this layer AND winning in merged.
+      size_t live = 0;
+      const size_t used = (layer.tail_open_ && b + 1 == layer.blocks_.size())
+                              ? layer.tail_used_
+                              : layer.span_;
+      std::vector<uint32_t> live_slots;
+      for (uint32_t s = 0; s < used; ++s) {
+        const uint64_t key = layer.KeyArray(b)[s];
+        auto it = merged.find(key);
+        if (it == merged.end()) continue;
+        const Where& w = it->second;
+        if (w.layer == li && w.block == b && w.slot == s &&
+            handled.find(key) == handled.end()) {
+          live_slots.push_back(s);
+          ++live;
+        }
+      }
+      if (live * 2 < layer.span_) continue;
+      const uint32_t nb = out->AdoptBlock(layer.blocks_[b]);
+      for (uint32_t s : live_slots) {
+        const uint64_t key = layer.KeyArray(b)[s];
+        out->IndexSlot(key, nb, s);
+        handled[key] = 1;
+      }
+    }
+  }
+
+  // Copy pass: everything not adopted goes into fresh dense blocks.
+  for (const auto& [key, w] : merged) {
+    if (handled.find(key) != handled.end()) continue;
+    std::byte* dst = out->Insert(key);
+    if (dst == nullptr) return nullptr;  // pool exhausted mid-merge
+    std::memcpy(dst, layers[w.layer]->Payload(w.block, w.slot), slot_bytes);
+  }
+  return out;
+}
+
+}  // namespace lm
+}  // namespace multicast

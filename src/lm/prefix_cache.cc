@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "lm/paged_store.h"
 #include "util/status.h"
 
 namespace multicast {
@@ -262,6 +263,21 @@ size_t PrefixCache::size() const {
 PrefixCacheStats PrefixCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+size_t PrefixCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // One tally across all entries: a frozen layer shared by several
+  // cached states (prefix-extension chains fork one another; paged
+  // stores share blocks) is counted exactly once.
+  MemoryTally tally;
+  for (const auto& [key, entry] : entries_) {
+    (void)key;
+    tally.bytes +=
+        ApproxChunkBytes(entry.prompt.capacity() * sizeof(token::TokenId));
+    if (entry.model != nullptr) entry.model->TallyMemory(&tally);
+  }
+  return tally.bytes;
 }
 
 void PrefixCache::Clear() {

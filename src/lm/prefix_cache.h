@@ -110,11 +110,19 @@ class PrefixCache {
   size_t size() const;
   PrefixCacheStats stats() const;
 
+  /// True resident bytes of the cache: stored prompt token vectors PLUS
+  /// every cached model state, with frozen layers shared between
+  /// entries (longest-prefix extension chains, paged block sharing)
+  /// counted once via LanguageModel::TallyMemory. Thread-safe.
+  size_t bytes() const;
+
   /// Publishes the counters into `registry` under `prefix` (the unified
-  /// metrics export path; see util/metrics.h). Thread-safe.
+  /// metrics export path; see util/metrics.h), plus a `<prefix>bytes`
+  /// gauge of true resident bytes. Thread-safe.
   void PublishMetrics(util::MetricsRegistry* registry,
                       const std::string& prefix = "prefix_cache.") const {
     PublishPrefixCacheStats(stats(), registry, prefix);
+    registry->GetGauge(prefix + "bytes")->Set(static_cast<double>(bytes()));
   }
 
   /// Drops all cached states (counters are kept).

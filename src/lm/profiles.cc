@@ -25,10 +25,12 @@ std::unique_ptr<LanguageModel> NewDecoderModel(const ModelProfile& profile,
                                                size_t vocab_size) {
   switch (profile.backend) {
     case BackendKind::kNGram:
-      return std::make_unique<NGramLanguageModel>(vocab_size, profile.ngram);
+      return std::make_unique<NGramLanguageModel>(vocab_size, profile.ngram,
+                                                  profile.memory_pool);
     case BackendKind::kMixture:
       return std::make_unique<MixtureLanguageModel>(vocab_size,
-                                                    profile.mixture);
+                                                    profile.mixture,
+                                                    profile.memory_pool);
   }
   return nullptr;
 }

@@ -16,6 +16,7 @@
 #include "lm/language_model.h"
 #include "lm/mixture_model.h"
 #include "lm/ngram_model.h"
+#include "lm/paged_store.h"
 #include "lm/sampler.h"
 
 namespace multicast {
@@ -34,6 +35,13 @@ struct ModelProfile {
   NGramOptions ngram;       // used when backend == kNGram
   MixtureOptions mixture;   // used when backend == kMixture
   SamplerOptions sampler;
+
+  /// Optional paged-memory pool handed to every model this profile
+  /// constructs (see lm/paged_store.h): session byte accounting always,
+  /// paged layer storage when the pool is enabled. Storage-only — model
+  /// output is bit-identical with or without it, so it is excluded from
+  /// ModelFingerprint (like the sampler).
+  std::shared_ptr<BlockPool> memory_pool;
 
   /// Stand-in for LLaMA2-7B: long context order, sharp backoff, low
   /// noise, moderate temperature — a strong pattern completer.

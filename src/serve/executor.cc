@@ -610,7 +610,8 @@ Result<std::vector<ServeStats>> ServeExecutor::Run(
   if (options_.batch.enabled) return RunBatched(std::move(requests));
 
   AdmissionQueue queue(options_.queue);
-  OverloadController overload(options_.overload, options_.queue.capacity);
+  OverloadController overload(EffectiveOverloadPolicy(),
+                              options_.queue.capacity);
   std::vector<ServeStats> stats;
   stats.reserve(requests.size());
 
@@ -734,7 +735,8 @@ Result<std::vector<ServeStats>> ServeExecutor::RunBatched(
   // function of (request, start time), and batching only changes the
   // start times.
   AdmissionQueue queue(options_.queue);
-  OverloadController overload(options_.overload, options_.queue.capacity);
+  OverloadController overload(EffectiveOverloadPolicy(),
+                              options_.queue.capacity);
   std::vector<ServeStats> stats;
   stats.reserve(requests.size());
 
@@ -867,6 +869,17 @@ Result<std::vector<ServeStats>> ServeExecutor::RunBatched(
               return a.id < b.id;
             });
   return stats;
+}
+
+OverloadPolicy ServeExecutor::EffectiveOverloadPolicy() const {
+  OverloadPolicy policy = options_.overload;
+  if (!policy.memory_probe && options_.block_pool != nullptr) {
+    // The probe holds a shared_ptr copy, so a controller outliving the
+    // options (or the pool being swapped) stays safe.
+    std::shared_ptr<lm::BlockPool> pool = options_.block_pool;
+    policy.memory_probe = [pool]() { return pool->Fullness(); };
+  }
+  return policy;
 }
 
 void ServeExecutor::PublishRunMetrics(const AdmissionQueue& queue,

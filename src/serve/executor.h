@@ -30,6 +30,7 @@
 
 #include "batch/batch_scheduler.h"
 #include "forecast/forecaster.h"
+#include "lm/paged_store.h"
 #include "lm/prefix_cache.h"
 #include "serve/overload.h"
 #include "serve/queue.h"
@@ -109,6 +110,15 @@ struct ServeOptions {
   /// existing runs are untouched. Factories see the assigned rung in
   /// ForecastRequest::tier and must build the matching pipeline.
   OverloadPolicy overload;
+  /// The paged-memory pool shared by the served pipelines, when the
+  /// caller wired one into its forecaster factories (see
+  /// lm/paged_store.h). When set and `overload.memory_probe` is unset,
+  /// the executor probes the pool's fullness as the ladder's memory
+  /// observable — a pool nearing its block cap degrades service before
+  /// allocation spills. The executor never publishes the pool's
+  /// lm.mem.* metrics itself (the pool outlives individual runs; the
+  /// caller publishes once per registry).
+  std::shared_ptr<lm::BlockPool> block_pool;
   /// Unified metrics registry (not owned; may be null). When set, the
   /// executor publishes its queue and overload counters here after each
   /// Run under the "queue." / "overload." prefixes, and callers
@@ -355,6 +365,9 @@ class ServeExecutor {
   /// refreshes the snapshot-backed accessor views.
   void PublishRunMetrics(const AdmissionQueue& queue,
                          const OverloadController& overload);
+  /// options_.overload with the memory probe defaulted from
+  /// options_.block_pool when the caller set a pool but no probe.
+  OverloadPolicy EffectiveOverloadPolicy() const;
 
   ForecasterFactory primary_;
   ForecasterFactory hedge_;

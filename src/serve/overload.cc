@@ -112,6 +112,9 @@ double OverloadController::Score(size_t queue_depth) const {
         static_cast<double>(sheds_.size()) / static_cast<double>(offered);
     score = std::max(score, shed_fraction / l.shed_budget);
   }
+  if (policy_.memory_probe && l.memory_budget > 0.0) {
+    score = std::max(score, policy_.memory_probe() / l.memory_budget);
+  }
   return score;
 }
 

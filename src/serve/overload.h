@@ -9,7 +9,8 @@
 //     p95 queue wait over a sliding window, and the recent *external*
 //     shed rate (queue-full rejections and in-queue expiries; the
 //     ladder's own rejections never count, or self-made pressure would
-//     hold it escalated forever) — and each request's quality rung is
+//     hold it escalated forever), plus paged-memory pool fullness when
+//     a memory probe is attached — and each request's quality rung is
 //     the level biased by its class: interactive traffic degrades one
 //     step later than standard, batch one step earlier. The rungs,
 //     best to worst: full LLM pipeline → LLM with the draw count
@@ -40,6 +41,7 @@
 
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <string>
 #include <utility>
 
@@ -71,6 +73,12 @@ struct LadderPolicy {
   double hysteresis_gap = 0.15;
   /// ...and the level has held for this long (one step per dwell).
   double recovery_seconds = 2.0;
+  /// Paged-memory pool fullness (live blocks / cap, in [0, 1]) mapping
+  /// to pressure score 1.0, when OverloadPolicy::memory_probe is set.
+  /// At the default 0.9 a pool at 90% of its block cap saturates the
+  /// score, so the ladder degrades *before* allocation starts spilling.
+  /// <= 0 disables the memory observable.
+  double memory_budget = 0.9;
 };
 
 /// The adaptive admission limiter (see file comment).
@@ -91,6 +99,15 @@ struct AimdPolicy {
 struct OverloadPolicy {
   LadderPolicy ladder;
   AimdPolicy aimd;
+  /// Memory-pressure observable: returns the paged-memory pool's
+  /// fullness in [0, 1] (lm::BlockPool::Fullness; 0 when the pool is
+  /// unbounded). When set, the pressure score also tracks
+  /// fullness / ladder.memory_budget, so a pool nearing its block cap
+  /// walks the same ladder as queue pressure — reduced draws shrink
+  /// per-session state, the classical tier allocates none. Memory
+  /// pressure sheds only through the ladder: it must be enabled for
+  /// the probe to have any effect.
+  std::function<double()> memory_probe;
   bool any_enabled() const { return ladder.enabled || aimd.enabled; }
 };
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 
 #include "lm/ngram_model.h"
 
@@ -79,9 +80,6 @@ TEST(MixtureModelTest, AdaptsDepthPerContext) {
   }
   model.ObserveAll(seq);
   // After ...4, expect 5 strongly.
-  MixtureLanguageModel probe = model;
-  probe.Observe(0);
-  probe.Observe(1);
   // Rebuild the real context: feed a fresh block prefix.
   MixtureLanguageModel m2(6, opts);
   m2.ObserveAll(seq);
@@ -143,6 +141,35 @@ TEST(MixtureModelTest, RejectsBadOptionsViaCheck) {
   edge.max_depth = 12;
   MixtureLanguageModel ok(31, edge);
   EXPECT_EQ(ok.vocab_size(), 31u);
+}
+
+TEST(MixtureModelTest, MaxBaseLayersCompactsLongForkChains) {
+  // Same contract as the n-gram twin: max_base_layers bounds the frozen
+  // chain without changing any output.
+  MixtureOptions tight;
+  tight.max_base_layers = 1;
+  MixtureOptions loose;
+  loose.max_base_layers = 8;
+  auto tight_model = std::make_unique<MixtureLanguageModel>(6, tight);
+  auto loose_model = std::make_unique<MixtureLanguageModel>(6, loose);
+  for (int round = 0; round < 5; ++round) {
+    auto chunk = Repeat({0, 1, 2, 3, 4, 5}, 4 + round);
+    tight_model->ObserveAll(chunk);
+    loose_model->ObserveAll(chunk);
+    tight_model->Freeze();
+    loose_model->Freeze();
+    auto tf = tight_model->Fork();
+    auto lf = loose_model->Fork();
+    tight_model.reset(static_cast<MixtureLanguageModel*>(tf.release()));
+    loose_model.reset(static_cast<MixtureLanguageModel*>(lf.release()));
+  }
+  EXPECT_LE(tight_model->num_base_layers(), 1u);
+  EXPECT_EQ(loose_model->num_base_layers(), 5u);
+  EXPECT_EQ(tight_model->num_nodes(), loose_model->num_nodes());
+  std::vector<double> pt = tight_model->NextDistribution();
+  std::vector<double> pl = loose_model->NextDistribution();
+  ASSERT_EQ(pt.size(), pl.size());
+  for (size_t i = 0; i < pt.size(); ++i) EXPECT_EQ(pt[i], pl[i]);
 }
 
 TEST(MixtureModelTest, NodesGrowWithNovelContexts) {

@@ -102,6 +102,44 @@ TEST_P(MuxVariantTest, DeterministicForSameSeed) {
   }
 }
 
+TEST_P(MuxVariantTest, PagedMemoryIsBitIdentical) {
+  // The paged block store must never change an output: same forecast,
+  // same bands, same ledger, at serial and parallel thread counts.
+  MultiCastOptions plain;
+  plain.mux = GetParam();
+  plain.num_samples = 4;
+  plain.seed = 7;
+  plain.quantiles = {0.1, 0.9};
+  ts::Frame frame = PeriodicFrame(72);
+  auto baseline = MultiCastForecaster(plain).Forecast(frame, 8);
+  ASSERT_TRUE(baseline.ok());
+  for (int threads : {1, 2}) {
+    MultiCastOptions paged = plain;
+    paged.paged_memory = true;
+    paged.block_span = 16;
+    paged.threads = threads;
+    MultiCastForecaster f(paged);
+    ASSERT_NE(f.block_pool(), nullptr);
+    auto result = f.Forecast(frame, 8);
+    ASSERT_TRUE(result.ok());
+    for (size_t d = 0; d < 2; ++d) {
+      EXPECT_EQ(baseline.value().forecast.dim(d).values(),
+                result.value().forecast.dim(d).values());
+      ASSERT_EQ(baseline.value().quantile_bands.size(),
+                result.value().quantile_bands.size());
+      for (size_t q = 0; q < baseline.value().quantile_bands.size(); ++q) {
+        EXPECT_EQ(baseline.value().quantile_bands[q].second.dim(d).values(),
+                  result.value().quantile_bands[q].second.dim(d).values());
+      }
+    }
+    EXPECT_EQ(baseline.value().ledger.total(),
+              result.value().ledger.total());
+    // The pipeline really exercised the pool.
+    EXPECT_GT(f.block_pool()->stats().blocks_peak, 0u);
+    EXPECT_GT(f.block_pool()->stats().sessions, 0u);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllKinds, MuxVariantTest,
     testing::Values(multiplex::MuxKind::kDigitInterleave,

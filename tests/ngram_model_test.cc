@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 
 namespace multicast {
 namespace lm {
@@ -158,6 +159,35 @@ TEST(NGramModelTest, MaxOrderTwelveSupported) {
   model.ObserveAll(Repeat({0, 30, 15, 7, 22, 1, 9, 28, 4, 11, 19, 3}, 10));
   std::vector<double> p = model.NextDistribution();
   EXPECT_GT(p[0], 0.5);  // period-12 cycle continuation
+}
+
+TEST(NGramModelTest, MaxBaseLayersCompactsLongForkChains) {
+  // Fork chains deeper than max_base_layers compact into one layer;
+  // the option is storage-only, so output never changes with it.
+  NGramOptions tight;
+  tight.max_base_layers = 1;
+  NGramOptions loose;
+  loose.max_base_layers = 8;
+  auto tight_model = std::make_unique<NGramLanguageModel>(6, tight);
+  auto loose_model = std::make_unique<NGramLanguageModel>(6, loose);
+  for (int round = 0; round < 5; ++round) {
+    auto chunk = Repeat({0, 1, 2, 3, 4, 5}, 4 + round);
+    tight_model->ObserveAll(chunk);
+    loose_model->ObserveAll(chunk);
+    tight_model->Freeze();
+    loose_model->Freeze();
+    auto tf = tight_model->Fork();
+    auto lf = loose_model->Fork();
+    tight_model.reset(static_cast<NGramLanguageModel*>(tf.release()));
+    loose_model.reset(static_cast<NGramLanguageModel*>(lf.release()));
+  }
+  EXPECT_LE(tight_model->num_base_layers(), 1u);
+  EXPECT_EQ(loose_model->num_base_layers(), 5u);
+  EXPECT_EQ(tight_model->num_entries(), loose_model->num_entries());
+  std::vector<double> pt = tight_model->NextDistribution();
+  std::vector<double> pl = loose_model->NextDistribution();
+  ASSERT_EQ(pt.size(), pl.size());
+  for (size_t i = 0; i < pt.size(); ++i) EXPECT_EQ(pt[i], pl[i]);
 }
 
 }  // namespace

@@ -107,6 +107,50 @@ TEST(OverloadControllerTest, OnlyBatchAtTopLevelIsRejected) {
       controller.Admit(Req(8, SloClass::kInteractive), 0.1, 10, 0).ok());
 }
 
+TEST(OverloadControllerTest, MemoryProbeWalksTheLadder) {
+  // A pool nearing its cap escalates the ladder even with an empty
+  // queue: fullness / memory_budget is one more pressure observable.
+  OverloadPolicy policy;
+  policy.ladder = DefaultLadder();
+  double fullness = 0.0;
+  policy.memory_probe = [&fullness]() { return fullness; };
+  OverloadController controller(policy, /*queue_capacity=*/10);
+
+  EXPECT_EQ(controller.Rung(SloClass::kStandard, 0.0, 0),
+            ServiceTier::kLlmFull);
+  // budget 0.9: fullness 0.5 -> score ~0.56 -> level 1 (reduced).
+  fullness = 0.5;
+  EXPECT_EQ(controller.Rung(SloClass::kStandard, 0.1, 0),
+            ServiceTier::kLlmReduced);
+  // Saturated pool -> score >= enter_reject -> top level; batch traffic
+  // sheds, interactive bottoms out on the classical tier.
+  fullness = 1.0;
+  EXPECT_EQ(controller.Rung(SloClass::kBatch, 0.2, 0),
+            ServiceTier::kShed);
+  EXPECT_EQ(controller.Rung(SloClass::kInteractive, 0.3, 0),
+            ServiceTier::kClassical);
+  Status admit = controller.Admit(Req(1, SloClass::kBatch), 0.4, 0, 0);
+  EXPECT_EQ(admit.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(OverloadControllerTest, MemoryProbeIgnoredWithoutBudgetOrLadder) {
+  // memory_budget <= 0 disables the observable outright.
+  OverloadPolicy no_budget;
+  no_budget.ladder = DefaultLadder();
+  no_budget.ladder.memory_budget = 0.0;
+  no_budget.memory_probe = []() { return 1.0; };
+  OverloadController a(no_budget, 10);
+  EXPECT_EQ(a.Rung(SloClass::kBatch, 0.0, 0), ServiceTier::kLlmFull);
+
+  // And memory pressure sheds only through the ladder: a probe on a
+  // ladder-disabled policy never degrades anything.
+  OverloadPolicy no_ladder;
+  no_ladder.memory_probe = []() { return 1.0; };
+  OverloadController b(no_ladder, 10);
+  EXPECT_TRUE(b.Admit(Req(2, SloClass::kBatch), 0.0, 0, 0).ok());
+  EXPECT_EQ(b.Rung(SloClass::kBatch, 0.0, 0), ServiceTier::kLlmFull);
+}
+
 TEST(OverloadControllerTest, RecoveryIsHystereticAndOneStepPerDwell) {
   OverloadPolicy policy;
   policy.ladder = DefaultLadder();

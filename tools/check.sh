@@ -46,6 +46,14 @@ echo "==== bench smoke: speculative decoding identity + speedup gates ===="
 cmake --build build -j "${JOBS}" --target speculative_decode
 ./build/bench/speculative_decode --smoke
 
+echo "==== bench smoke: paged session memory identity + bytes gates ===="
+# Exits non-zero when any paged forecast diverges from the unpaged
+# baseline (bit-identity across the threads x batch grid and under pool
+# exhaustion), the bytes/session reduction falls below 2x, or a full
+# pool fails to demote/shed through the overload ladder.
+cmake --build build -j "${JOBS}" --target paged_memory
+./build/bench/paged_memory --smoke
+
 run_asan=1
 run_tsan=1
 for arg in "$@"; do
@@ -71,6 +79,7 @@ if [[ "${run_asan}" == "1" ]]; then
     fault_injection_test
     backend_contract_test
     prefix_cache_test
+    paged_store_test
     batch_scheduler_test
     speculative_test
     cluster_test
@@ -93,6 +102,7 @@ if [[ "${run_tsan}" == "1" ]]; then
     metrics_test
     metrics_registry_test
     prefix_cache_test
+    paged_store_test
     parallel_sampling_test
     multicast_forecaster_test
     llmtime_forecaster_test
